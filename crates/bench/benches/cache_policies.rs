@@ -1,0 +1,46 @@
+//! Criterion comparison of the flash-cache policies under a skewed
+//! insert/fetch mix (the data-structure cost, not the device cost).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use face_cache::{
+    build_cache, CacheConfig, CachePolicyKind, IoLog, NoSupplier, NullFlashStore, StagedPage,
+};
+use face_pagestore::{Lsn, PageId};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_policy_mixed_ops");
+    for kind in CachePolicyKind::CACHING {
+        group.bench_function(kind.label(), |b| {
+            let cfg = CacheConfig {
+                capacity_pages: 8_192,
+                group_size: 64,
+                metadata_segment_entries: 64_000,
+                ..CacheConfig::default()
+            };
+            let mut cache =
+                build_cache(kind, cfg, Arc::new(NullFlashStore::new(8_192))).expect("cache");
+            let mut io = IoLog::new();
+            let mut n = 0u64;
+            b.iter(|| {
+                n += 1;
+                let page = PageId::from_u64((n * n) % 20_000);
+                if n % 3 == 0 {
+                    black_box(cache.fetch(page, &mut io));
+                } else {
+                    cache.insert(
+                        StagedPage::meta_only(page, Lsn(n), n % 2 == 0, true),
+                        &mut NoSupplier,
+                        &mut io,
+                    );
+                }
+                io.clear();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the device simulator and an end-to-end simulated
+//! TPC-C transaction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use face_cache::{CacheConfig, CachePolicyKind};
+use face_engine::sim::{SimConfig, SimEngine};
+use face_iosim::{Device, DeviceId, DeviceProfile, IoRequest, RaidArray};
+use face_tpcc::{TpccConfig, TpccWorkload, TransactionKind};
+
+fn bench_device_submit(c: &mut Criterion) {
+    c.bench_function("device_submit_random_read", |b| {
+        let mut d = Device::new(DeviceId(0), DeviceProfile::samsung470_mlc());
+        let mut t = 0u64;
+        b.iter(|| {
+            let completion = d.submit(&IoRequest::random_page_read(black_box(t * 4096)), t);
+            t = completion.finish;
+        });
+    });
+    c.bench_function("raid8_submit_random_read", |b| {
+        let mut arr = RaidArray::seagate_raid0(8);
+        let mut t = 0u64;
+        let mut off = 0u64;
+        b.iter(|| {
+            off = off.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let completion = arr.submit(&IoRequest::random_page_read(off % (1 << 36)), t);
+            t = completion.start;
+        });
+    });
+}
+
+fn bench_sim_transaction(c: &mut Criterion) {
+    c.bench_function("sim_tpcc_transaction_face_gsc", |b| {
+        let mut workload = TpccWorkload::new(TpccConfig {
+            warehouses: 5,
+            seed: 1,
+        });
+        let config = SimConfig {
+            db_pages: workload.layout().total_pages(),
+            buffer_frames: 1_024,
+            policy: CachePolicyKind::FaceGsc,
+            cache_config: CacheConfig {
+                capacity_pages: 8_192,
+                group_size: 64,
+                ..CacheConfig::default()
+            },
+            clients: 8,
+            ..SimConfig::default()
+        };
+        let mut engine = SimEngine::new(config);
+        b.iter(|| {
+            let txn = workload.next_transaction();
+            engine.run_transaction(&txn.accesses, txn.kind == TransactionKind::NewOrder);
+            black_box(engine.counters().committed);
+        });
+    });
+}
+
+criterion_group!(benches, bench_device_submit, bench_sim_transaction);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the mvFIFO flash cache operations.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use face_cache::{
+    CacheConfig, FlashCache, IoLog, MvFifoCache, NoSupplier, NullFlashStore, StagedPage,
+};
+use face_pagestore::{Lsn, PageId};
+
+fn cache(capacity: usize, group: usize, second_chance: bool) -> MvFifoCache {
+    let cfg = CacheConfig {
+        capacity_pages: capacity,
+        group_size: group,
+        second_chance,
+        metadata_segment_entries: 64_000,
+        ..CacheConfig::default()
+    };
+    MvFifoCache::new(cfg, Arc::new(NullFlashStore::new(capacity)))
+}
+
+fn staged(n: u64) -> StagedPage {
+    StagedPage::meta_only(PageId::from_u64(n % 100_000), Lsn(n), true, true)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvfifo_insert");
+    for (label, group_size, sc) in [("base", 1usize, false), ("gr64", 64, false), ("gsc64", 64, true)]
+    {
+        group.bench_function(label, |b| {
+            let mut cache = cache(16_384, group_size, sc);
+            let mut io = IoLog::new();
+            let mut n = 0u64;
+            b.iter(|| {
+                n += 1;
+                cache.insert(black_box(staged(n)), &mut NoSupplier, &mut io);
+                io.clear();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    c.bench_function("mvfifo_fetch_hit", |b| {
+        let mut cache = cache(16_384, 64, true);
+        let mut io = IoLog::new();
+        for n in 0..16_000u64 {
+            cache.insert(staged(n), &mut NoSupplier, &mut io);
+        }
+        io.clear();
+        let mut n = 0u64;
+        b.iter(|| {
+            n = (n + 7) % 16_000;
+            black_box(cache.fetch(PageId::from_u64(n % 100_000), &mut io));
+            io.clear();
+        });
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_fetch);
+criterion_main!(benches);

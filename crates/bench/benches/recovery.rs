@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the recovery path: metadata directory restore and
+//! WAL redo planning.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use face_cache::{DirEntry, IoLog, MetadataDirectory};
+use face_pagestore::{Lsn, PageId};
+use face_wal::{recovery::build_redo_plan, InMemoryLogStorage, LogRecord, LogStorage, TxnId, WalWriter};
+
+fn bench_directory_recover(c: &mut Criterion) {
+    c.bench_function("metadata_directory_recover_100k", |b| {
+        let mut dir = MetadataDirectory::new(64_000);
+        let mut io = IoLog::new();
+        for i in 0..100_000u32 {
+            dir.append(
+                DirEntry {
+                    slot: i % 200_000,
+                    page: PageId::new(0, i),
+                    lsn: Lsn(i as u64),
+                    dirty: i % 2 == 0,
+                },
+                &mut io,
+            );
+        }
+        dir.update_pointers(0, 100_000);
+        dir.crash();
+        b.iter(|| {
+            let out = dir.recover(200_000, &mut |_| None, &mut IoLog::new());
+            black_box(out.entries.len());
+        });
+    });
+}
+
+fn bench_redo_plan(c: &mut Criterion) {
+    c.bench_function("wal_redo_plan_20k_records", |b| {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let writer = WalWriter::new(Arc::clone(&storage));
+        for t in 0..1_000u64 {
+            writer.append(&LogRecord::Begin { txn: TxnId(t) });
+            for u in 0..18u32 {
+                writer.append(&LogRecord::Update {
+                    txn: TxnId(t),
+                    page: PageId::new(1, (t as u32 * 18 + u) % 5_000),
+                    offset: 0,
+                    data: vec![0xAB; 64],
+                });
+            }
+            writer.append(&LogRecord::Commit { txn: TxnId(t) });
+        }
+        writer.force_all().unwrap();
+        b.iter(|| {
+            let (_, plan) = build_redo_plan(Arc::clone(&storage)).unwrap();
+            black_box(plan.len());
+        });
+    });
+}
+
+criterion_group!(benches, bench_directory_recover, bench_redo_plan);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: sensitivity of FaCE+GSC to the group size (scan depth).
+//!
+//! The paper (§3.3) suggests setting the scan depth to the number of pages in
+//! a flash block, typically 64 or 128. This sweep shows how the group size
+//! trades batching efficiency (bigger sequential I/O) against replacement
+//! precision.
+
+use face_bench::experiments::{run_tpcc, sim_config, ExperimentScale, SystemSetup};
+use face_bench::{print_table, write_json};
+use face_engine::sim::SimEngine;
+use face_tpcc::TransactionKind;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    // Group size 1 is exactly base FaCE; the rest are GSC with growing depth.
+    for group_size in [1usize, 16, 32, 64, 128] {
+        let setup = SystemSetup::face_gsc(0.12);
+        let (mut config, mut workload) = sim_config(&scale, &setup);
+        config.cache_config.group_size = group_size;
+        config.cache_config.second_chance = group_size > 1;
+        let mut engine = SimEngine::new(config);
+        for _ in 0..scale.warmup_txns {
+            let txn = workload.next_transaction();
+            engine.run_transaction(&txn.accesses, txn.kind == TransactionKind::NewOrder);
+        }
+        engine.start_measurement();
+        for _ in 0..scale.measure_txns {
+            let txn = workload.next_transaction();
+            engine.run_transaction(&txn.accesses, txn.kind == TransactionKind::NewOrder);
+        }
+        let stats = engine.cache_stats().unwrap();
+        rows.push(vec![
+            group_size.to_string(),
+            format!("{:.0}", engine.tpmc()),
+            format!("{:.1}", stats.hit_ratio() * 100.0),
+            format!("{:.1}", stats.write_reduction_ratio() * 100.0),
+            format!("{:.1}", engine.flash_utilization() * 100.0),
+            format!("{}", stats.second_chances),
+        ]);
+        json.push((group_size, engine.tpmc(), stats));
+    }
+    print_table(
+        "Ablation: FaCE group size / scan depth (flash cache = 12% of DB)",
+        &[
+            "group",
+            "tpmC",
+            "hit %",
+            "write-red %",
+            "flash util %",
+            "second chances",
+        ],
+        &rows,
+    );
+    write_json("ablation_gsc_depth", &json);
+
+    // Reference point: the same cache managed by LC for context.
+    let lc = run_tpcc(
+        &scale,
+        &SystemSetup::face_gsc(0.12).with_policy(face_cache::CachePolicyKind::Lc),
+    );
+    println!("\n(LC reference at the same size: {:.0} tpmC)", lc.tpmc);
+}

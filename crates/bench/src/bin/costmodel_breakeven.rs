@@ -1,0 +1,38 @@
+//! The §2.2 cost-effectiveness analysis: break-even flash size and cost ratio
+//! versus an equivalent DRAM increment.
+
+use face_bench::{print_table, write_json};
+use face_cache::cost_model::{paper_reference_model, AccessMix};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (label, mix) in [
+        ("read-only", AccessMix::ReadOnly),
+        ("write-only", AccessMix::WriteOnly),
+        ("50/50 mix", AccessMix::Mixed),
+    ] {
+        let model = paper_reference_model(mix);
+        for delta in [0.25, 0.5, 1.0, 2.0] {
+            let theta = model.break_even_theta(delta);
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.3}", model.exponent()),
+                format!("{:.2}", delta),
+                format!("{:.3}", theta),
+                format!("{:.3}", model.cost_ratio(delta)),
+            ]);
+            json.push((label.to_string(), delta, theta, model.cost_ratio(delta)));
+        }
+    }
+    print_table(
+        "Cost model (paper 2.2): break-even flash size vs DRAM increment",
+        &["workload", "exponent", "delta (DRAM)", "theta (flash)", "cost ratio"],
+        &rows,
+    );
+    write_json("costmodel_breakeven", &json);
+    println!(
+        "\nA cost ratio well below 1 means the flash cache delivers the same I/O-time\n\
+         saving as the DRAM increment at a fraction of the price."
+    );
+}

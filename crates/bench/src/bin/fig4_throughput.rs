@@ -1,0 +1,40 @@
+//! Figure 4: transaction throughput (tpmC) vs flash cache size, for MLC and
+//! SLC caching devices, against LC, HDD-only and SSD-only.
+
+use face_bench::experiments::run_fig4;
+use face_bench::{print_table, write_json, ExperimentScale};
+use face_iosim::DeviceProfile;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    for (tag, profile) in [
+        ("(a) MLC SSD (Samsung 470)", DeviceProfile::samsung470_mlc()),
+        ("(b) SLC SSD (Intel X25-E)", DeviceProfile::intel_x25e_slc()),
+    ] {
+        let results = run_fig4(&scale, profile);
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    format!("{:.0}", r.flash_fraction * 100.0),
+                    format!("{:.0}", r.tpmc),
+                    format!("{:.1}", r.flash_utilization * 100.0),
+                    format!("{:.1}", r.data_utilization * 100.0),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 4{tag}: tpmC vs |flash cache|/|database|"),
+            &["policy", "flash %", "tpmC", "flash util %", "disk util %"],
+            &rows,
+        );
+        write_json(
+            &format!(
+                "fig4_{}",
+                if tag.starts_with("(a)") { "mlc" } else { "slc" }
+            ),
+            &results,
+        );
+    }
+}

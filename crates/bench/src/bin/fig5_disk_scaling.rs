@@ -1,0 +1,27 @@
+//! Figure 5: throughput scaling with the number of RAID-0 spindles.
+
+use face_bench::experiments::run_fig5;
+use face_bench::{print_table, write_json, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_fig5(&scale);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                format!("{}", r.num_disks),
+                format!("{:.0}", r.tpmc),
+                format!("{:.1}", r.data_utilization * 100.0),
+                format!("{:.1}", r.flash_utilization * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 5: tpmC vs number of raided HDDs (flash cache = 12% of DB)",
+        &["policy", "disks", "tpmC", "disk util %", "flash util %"],
+        &rows,
+    );
+    write_json("fig5_disk_scaling", &results);
+}

@@ -1,0 +1,25 @@
+//! Figure 6: time-varying transaction throughput immediately after a restart.
+
+use face_bench::experiments::run_fig6;
+use face_bench::{print_table, write_json, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let points = run_fig6(&scale);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.policy.clone(),
+                format!("{:.1}", p.time_secs),
+                format!("{:.0}", p.tpm),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 6: throughput after restart (first row per policy = recovery window)",
+        &["policy", "time since crash (s)", "tpm"],
+        &rows,
+    );
+    write_json("fig6_ramp", &points);
+}

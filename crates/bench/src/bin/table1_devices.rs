@@ -1,0 +1,67 @@
+//! Table 1: price and performance characteristics of the simulated devices.
+
+use face_bench::{print_table, write_json};
+use face_cache::cost_model::table1_service_times;
+use face_iosim::DeviceProfile;
+
+fn main() {
+    let profiles = [
+        DeviceProfile::samsung470_mlc(),
+        DeviceProfile::intel_x25m_mlc(),
+        DeviceProfile::intel_x25e_slc(),
+        DeviceProfile::seagate_15k(),
+        DeviceProfile::raid0_8disk_measured(),
+    ];
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                format!("{:.0}", p.random_read_iops),
+                format!("{:.0}", p.random_write_iops),
+                format!("{:.1}", p.seq_read_mbps),
+                format!("{:.1}", p.seq_write_mbps),
+                format!("{:.1}", p.capacity_gb),
+                format!("{:.2}", p.price_per_gb()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: device characteristics (calibration of the simulator)",
+        &[
+            "device",
+            "rand read IOPS",
+            "rand write IOPS",
+            "seq read MB/s",
+            "seq write MB/s",
+            "capacity GB",
+            "$/GB",
+        ],
+        &rows,
+    );
+
+    let service: Vec<Vec<String>> = table1_service_times()
+        .into_iter()
+        .map(|(name, rr, rw, sr, sw)| {
+            vec![
+                name,
+                format!("{:.1}", rr * 1e6),
+                format!("{:.1}", rw * 1e6),
+                format!("{:.1}", sr),
+                format!("{:.1}", sw),
+            ]
+        })
+        .collect();
+    print_table(
+        "Derived 4 KiB service times",
+        &[
+            "device",
+            "rand read us",
+            "rand write us",
+            "seq read MB/s",
+            "seq write MB/s",
+        ],
+        &service,
+    );
+    write_json("table1_devices", &profiles.to_vec());
+}

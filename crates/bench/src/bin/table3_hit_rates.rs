@@ -1,0 +1,35 @@
+//! Table 3: flash-cache read hit ratio and write reduction ratio,
+//! LC vs FaCE vs FaCE+GR vs FaCE+GSC over flash cache sizes.
+
+use face_bench::{print_table, write_json, ExperimentScale};
+use face_bench::experiments::run_policy_size_sweep;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_policy_size_sweep(&scale);
+
+    for (title, metric) in [
+        ("Table 3(a): flash cache hits / DRAM misses (%)", 0usize),
+        ("Table 3(b): write reduction ratio (%)", 1usize),
+    ] {
+        let mut rows = Vec::new();
+        for policy in ["LC", "FaCE", "FaCE+GR", "FaCE+GSC"] {
+            let mut row = vec![policy.to_string()];
+            for r in results.iter().filter(|r| r.policy == policy) {
+                let v = if metric == 0 {
+                    r.flash_hit_ratio
+                } else {
+                    r.write_reduction
+                };
+                row.push(format!("{:.1}", v * 100.0));
+            }
+            rows.push(row);
+        }
+        print_table(
+            title,
+            &["policy", "2GB", "4GB", "6GB", "8GB", "10GB"],
+            &rows,
+        );
+    }
+    write_json("table3_hit_rates", &results);
+}

@@ -1,0 +1,34 @@
+//! Table 4: flash-cache device utilisation and 4 KiB-page I/O throughput.
+
+use face_bench::experiments::run_policy_size_sweep;
+use face_bench::{print_table, write_json, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_policy_size_sweep(&scale);
+
+    let mut util_rows = Vec::new();
+    let mut iops_rows = Vec::new();
+    for policy in ["LC", "FaCE", "FaCE+GR", "FaCE+GSC"] {
+        let mut util = vec![policy.to_string()];
+        let mut iops = vec![policy.to_string()];
+        for r in results.iter().filter(|r| r.policy == policy) {
+            util.push(format!("{:.1}", r.flash_utilization * 100.0));
+            iops.push(format!("{:.0}", r.flash_page_iops));
+        }
+        util_rows.push(util);
+        iops_rows.push(iops);
+    }
+    let header = ["policy", "2GB", "4GB", "6GB", "8GB", "10GB"];
+    print_table(
+        "Table 4(a): device-level utilisation of the flash cache (%)",
+        &header,
+        &util_rows,
+    );
+    print_table(
+        "Table 4(b): throughput of 4KB-page I/O operations (IOPS)",
+        &header,
+        &iops_rows,
+    );
+    write_json("table4_utilization", &results);
+}

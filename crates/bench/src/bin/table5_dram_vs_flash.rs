@@ -1,0 +1,26 @@
+//! Table 5: the same monetary investment directed at more DRAM vs more flash.
+
+use face_bench::experiments::run_table5;
+use face_bench::{print_table, write_json, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let rows = run_table5(&scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("x{}", r.step),
+                format!("{:.0}", r.more_dram_tpmc),
+                format!("{:.0}", r.more_flash_tpmc),
+                format!("{:.2}", r.more_flash_tpmc / r.more_dram_tpmc.max(1.0)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 5: more DRAM (200MB steps) vs more flash (2GB steps), tpmC",
+        &["step", "more DRAM", "more flash", "flash/DRAM"],
+        &table,
+    );
+    write_json("table5_dram_vs_flash", &rows);
+}

@@ -1,0 +1,36 @@
+//! Table 6: time taken to restart the system after a crash, FaCE+GSC vs
+//! HDD-only, across checkpoint intervals.
+
+use face_bench::experiments::run_table6;
+use face_bench::{print_table, write_json, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let rows = run_table6(&scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}s", r.checkpoint_interval_secs),
+                r.policy.clone(),
+                format!("{:.3}", r.restart_secs),
+                format!("{:.1}", r.flash_fetch_share * 100.0),
+                format!("{:.3}", r.report.metadata_restore_secs),
+                format!("{}", r.report.pages_from_flash + r.report.pages_from_disk),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 6: restart time after a mid-interval crash",
+        &[
+            "ckpt interval",
+            "policy",
+            "restart s",
+            "redo from flash %",
+            "metadata restore s",
+            "redo pages",
+        ],
+        &table,
+    );
+    write_json("table6_recovery", &rows);
+}

@@ -1,0 +1,534 @@
+//! The experiment runners behind every table and figure of the paper.
+
+use face_cache::{CacheConfig, CachePolicyKind};
+use face_engine::sim::{SimConfig, SimEngine, SimRecoveryReport};
+use face_iosim::DeviceProfile;
+use face_tpcc::{TpccConfig, TpccWorkload, TransactionKind};
+use serde::{Deserialize, Serialize};
+
+/// The paper's machine ratios that every experiment preserves:
+/// a 200 MB DRAM buffer against a ~50 GB database.
+pub const PAPER_BUFFER_FRACTION: f64 = 0.2 / 50.0;
+
+/// The paper's database size in gigabytes, used to translate a
+/// flash-cache fraction back into the "2 GB / 4 GB / ..." labels of the
+/// tables.
+pub const PAPER_DB_GB: f64 = 50.0;
+
+/// How large (in transactions) a "second" of paper time is in the scaled-down
+/// runs; only the *relative* checkpoint intervals of Table 6 depend on it.
+pub const TXNS_PER_SIM_SECOND: u64 = 40;
+
+/// Scale knobs, read once from the environment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// TPC-C warehouses.
+    pub warehouses: u32,
+    /// Transactions run before measurement starts.
+    pub warmup_txns: u64,
+    /// Transactions measured.
+    pub measure_txns: u64,
+    /// Closed client population.
+    pub clients: usize,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self {
+            warehouses: 10,
+            warmup_txns: 4_000,
+            measure_txns: 8_000,
+            clients: 50,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// Read the scale from `FACE_*` environment variables, falling back to
+    /// the defaults.
+    pub fn from_env() -> Self {
+        let get = |name: &str, default: u64| -> u64 {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Self {
+            warehouses: get("FACE_WAREHOUSES", 10) as u32,
+            warmup_txns: get("FACE_WARMUP_TXNS", 4_000),
+            measure_txns: get("FACE_MEASURE_TXNS", 8_000),
+            clients: get("FACE_CLIENTS", 50) as usize,
+        }
+    }
+
+    /// A tiny scale for unit tests of the harness itself.
+    pub fn tiny() -> Self {
+        Self {
+            warehouses: 2,
+            warmup_txns: 300,
+            measure_txns: 600,
+            clients: 8,
+        }
+    }
+}
+
+/// One configuration of the simulated system.
+#[derive(Debug, Clone)]
+pub struct SystemSetup {
+    /// Flash cache policy (or `None`).
+    pub policy: CachePolicyKind,
+    /// Flash cache size as a fraction of the database size.
+    pub flash_fraction: f64,
+    /// Flash device profile.
+    pub flash_profile: DeviceProfile,
+    /// Number of spindles in the data array.
+    pub num_disks: usize,
+    /// Put the whole database on the flash device (SSD-only).
+    pub data_on_flash: bool,
+    /// Multiplier on the DRAM buffer relative to the paper's ratio
+    /// (used by the Table 5 "more DRAM" arm).
+    pub dram_multiplier: f64,
+}
+
+impl SystemSetup {
+    /// A FaCE+GSC system with the paper's defaults and the given cache size.
+    pub fn face_gsc(flash_fraction: f64) -> Self {
+        Self {
+            policy: CachePolicyKind::FaceGsc,
+            flash_fraction,
+            flash_profile: DeviceProfile::samsung470_mlc(),
+            num_disks: 8,
+            data_on_flash: false,
+            dram_multiplier: 1.0,
+        }
+    }
+
+    /// Same system with a different policy.
+    pub fn with_policy(mut self, policy: CachePolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The HDD-only baseline.
+    pub fn hdd_only() -> Self {
+        Self {
+            policy: CachePolicyKind::None,
+            flash_fraction: 0.0,
+            ..Self::face_gsc(0.0)
+        }
+    }
+
+    /// The SSD-only baseline (database stored on the flash device).
+    pub fn ssd_only(flash_profile: DeviceProfile) -> Self {
+        Self {
+            policy: CachePolicyKind::None,
+            flash_fraction: 0.0,
+            flash_profile,
+            data_on_flash: true,
+            ..Self::face_gsc(0.0)
+        }
+    }
+}
+
+/// The measurements extracted from one run (one cell/point of a table or
+/// figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Policy label ("FaCE+GSC", "LC", "HDD only", ...).
+    pub policy: String,
+    /// Flash cache size as a fraction of the database.
+    pub flash_fraction: f64,
+    /// The equivalent flash size at the paper's 50 GB database scale.
+    pub flash_gb_paper_equivalent: f64,
+    /// Committed NewOrder transactions per minute.
+    pub tpmc: f64,
+    /// Flash cache hit ratio over DRAM misses (Table 3a).
+    pub flash_hit_ratio: f64,
+    /// Write-reduction ratio (Table 3b).
+    pub write_reduction: f64,
+    /// Flash device utilisation (Table 4a).
+    pub flash_utilization: f64,
+    /// Data device (disk array / SSD) utilisation.
+    pub data_utilization: f64,
+    /// 4 KiB-page I/O operations per second on the flash device (Table 4b).
+    pub flash_page_iops: f64,
+    /// DRAM buffer hit ratio.
+    pub dram_hit_ratio: f64,
+    /// Number of spindles in the data array.
+    pub num_disks: usize,
+}
+
+fn policy_label(setup: &SystemSetup) -> String {
+    if setup.data_on_flash {
+        "SSD only".to_string()
+    } else if setup.policy == CachePolicyKind::None {
+        "HDD only".to_string()
+    } else {
+        setup.policy.label().to_string()
+    }
+}
+
+/// Build the simulation configuration for a setup at a given scale.
+pub fn sim_config(scale: &ExperimentScale, setup: &SystemSetup) -> (SimConfig, TpccWorkload) {
+    let workload = TpccWorkload::new(TpccConfig {
+        warehouses: scale.warehouses,
+        seed: 0xFACE,
+    });
+    let db_pages = workload.layout().total_pages();
+    let buffer_frames = ((db_pages as f64 * PAPER_BUFFER_FRACTION * setup.dram_multiplier).ceil()
+        as usize)
+        .max(64);
+    let flash_pages = ((db_pages as f64 * setup.flash_fraction) as usize).max(16);
+    let config = SimConfig {
+        db_pages,
+        buffer_frames,
+        policy: setup.policy,
+        cache_config: CacheConfig {
+            capacity_pages: flash_pages,
+            group_size: 64,
+            metadata_segment_entries: 64_000,
+            ..CacheConfig::default()
+        },
+        flash_profile: setup.flash_profile.clone(),
+        num_disks: setup.num_disks,
+        data_on_flash: setup.data_on_flash,
+        clients: scale.clients,
+        ..SimConfig::default()
+    };
+    (config, workload)
+}
+
+/// Run the TPC-C workload against one system setup and collect the paper's
+/// metrics.
+pub fn run_tpcc(scale: &ExperimentScale, setup: &SystemSetup) -> RunResult {
+    let (config, mut workload) = sim_config(scale, setup);
+    let mut engine = SimEngine::new(config);
+
+    for _ in 0..scale.warmup_txns {
+        let txn = workload.next_transaction();
+        engine.run_transaction(&txn.accesses, txn.kind == TransactionKind::NewOrder);
+    }
+    engine.start_measurement();
+    // Periodic checkpoints during measurement, as a real system would take.
+    let checkpoint_every = (scale.measure_txns / 4).max(1);
+    for i in 0..scale.measure_txns {
+        let txn = workload.next_transaction();
+        engine.run_transaction(&txn.accesses, txn.kind == TransactionKind::NewOrder);
+        if i > 0 && i % checkpoint_every == 0 {
+            engine.checkpoint();
+        }
+    }
+
+    let cache_stats = engine.cache_stats();
+    let buffer = engine.buffer_stats();
+    RunResult {
+        policy: policy_label(setup),
+        flash_fraction: setup.flash_fraction,
+        flash_gb_paper_equivalent: setup.flash_fraction * PAPER_DB_GB,
+        tpmc: engine.tpmc(),
+        flash_hit_ratio: cache_stats.map(|s| s.hit_ratio()).unwrap_or(0.0),
+        write_reduction: cache_stats.map(|s| s.write_reduction_ratio()).unwrap_or(0.0),
+        flash_utilization: engine.flash_utilization(),
+        data_utilization: engine.data_utilization(),
+        flash_page_iops: engine.flash_page_iops(),
+        dram_hit_ratio: {
+            let s = buffer;
+            if s.accesses == 0 {
+                0.0
+            } else {
+                s.hits as f64 / s.accesses as f64
+            }
+        },
+        num_disks: setup.num_disks,
+    }
+}
+
+/// The flash-cache sizes of Tables 3 and 4 (2–10 GB on a 50 GB database),
+/// expressed as fractions.
+pub fn table3_fractions() -> Vec<f64> {
+    vec![0.04, 0.08, 0.12, 0.16, 0.20]
+}
+
+/// The flash-cache sizes of Figure 4 (4–28 % of the database).
+pub fn fig4_fractions() -> Vec<f64> {
+    vec![0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28]
+}
+
+/// The policies compared throughout §5.3.
+pub fn compared_policies() -> Vec<CachePolicyKind> {
+    vec![
+        CachePolicyKind::Lc,
+        CachePolicyKind::Face,
+        CachePolicyKind::FaceGr,
+        CachePolicyKind::FaceGsc,
+    ]
+}
+
+/// Tables 3 and 4: sweep policy x flash size on the MLC device.
+pub fn run_policy_size_sweep(scale: &ExperimentScale) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    for policy in compared_policies() {
+        for fraction in table3_fractions() {
+            let setup = SystemSetup::face_gsc(fraction).with_policy(policy);
+            out.push(run_tpcc(scale, &setup));
+        }
+    }
+    out
+}
+
+/// Figure 4: throughput vs flash size for one device type, including the
+/// HDD-only and SSD-only reference lines.
+pub fn run_fig4(scale: &ExperimentScale, flash_profile: DeviceProfile) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    out.push(run_tpcc(scale, &SystemSetup::hdd_only()));
+    out.push(run_tpcc(scale, &SystemSetup::ssd_only(flash_profile.clone())));
+    for policy in compared_policies() {
+        for fraction in fig4_fractions() {
+            let mut setup = SystemSetup::face_gsc(fraction).with_policy(policy);
+            setup.flash_profile = flash_profile.clone();
+            out.push(run_tpcc(scale, &setup));
+        }
+    }
+    out
+}
+
+/// One row of the Table 5 comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Investment step (x1..x5).
+    pub step: u32,
+    /// tpmC with the extra money spent on DRAM.
+    pub more_dram_tpmc: f64,
+    /// tpmC with the same money spent on flash (FaCE+GSC).
+    pub more_flash_tpmc: f64,
+}
+
+/// Table 5: each step adds the paper's 200 MB of DRAM or 2 GB of flash
+/// (10x cheaper per byte, hence 10x larger for the same money).
+pub fn run_table5(scale: &ExperimentScale) -> Vec<Table5Row> {
+    let mut rows = Vec::new();
+    for step in 1..=5u32 {
+        let dram_setup = SystemSetup {
+            dram_multiplier: 1.0 + step as f64,
+            ..SystemSetup::hdd_only()
+        };
+        let flash_setup = SystemSetup::face_gsc(0.04 * step as f64);
+        rows.push(Table5Row {
+            step,
+            more_dram_tpmc: run_tpcc(scale, &dram_setup).tpmc,
+            more_flash_tpmc: run_tpcc(scale, &flash_setup).tpmc,
+        });
+    }
+    rows
+}
+
+/// Figure 5: throughput vs number of disks at a fixed 12 % flash cache.
+pub fn run_fig5(scale: &ExperimentScale) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    for disks in [4usize, 8, 12, 16] {
+        for setup in [
+            Some(SystemSetup::face_gsc(0.12)),
+            Some(SystemSetup::face_gsc(0.12).with_policy(CachePolicyKind::Lc)),
+            Some(SystemSetup::hdd_only()),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let mut setup = setup;
+            setup.num_disks = disks;
+            out.push(run_tpcc(scale, &setup));
+        }
+    }
+    out
+}
+
+/// One row of the Table 6 recovery comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table6Row {
+    /// Checkpoint interval in (paper-scale) seconds.
+    pub checkpoint_interval_secs: u64,
+    /// Policy label.
+    pub policy: String,
+    /// Simulated restart time in seconds.
+    pub restart_secs: f64,
+    /// Share of redo fetches served by the flash cache.
+    pub flash_fetch_share: f64,
+    /// Full recovery report.
+    pub report: SimRecoveryReport,
+}
+
+/// Table 6: restart time after a crash at the middle of a checkpoint
+/// interval, FaCE+GSC vs HDD-only, for several intervals.
+pub fn run_table6(scale: &ExperimentScale) -> Vec<Table6Row> {
+    let mut rows = Vec::new();
+    for interval in [60u64, 120, 180] {
+        for setup in [SystemSetup::face_gsc(0.08), SystemSetup::hdd_only()] {
+            let (config, mut workload) = sim_config(scale, &setup);
+            let mut engine = SimEngine::new(config);
+            for _ in 0..scale.warmup_txns {
+                let txn = workload.next_transaction();
+                engine.run_transaction(&txn.accesses, false);
+            }
+            engine.checkpoint();
+            // Crash at the mid-point of the interval, as in the paper.
+            let txns_to_mid_interval = interval * TXNS_PER_SIM_SECOND / 2;
+            for _ in 0..txns_to_mid_interval {
+                let txn = workload.next_transaction();
+                engine.run_transaction(&txn.accesses, false);
+            }
+            let report = engine.crash_and_restart();
+            let total = report.pages_from_flash + report.pages_from_disk;
+            rows.push(Table6Row {
+                checkpoint_interval_secs: interval,
+                policy: policy_label(&setup),
+                restart_secs: report.restart_secs,
+                flash_fetch_share: if total == 0 {
+                    0.0
+                } else {
+                    report.pages_from_flash as f64 / total as f64
+                },
+                report,
+            });
+        }
+    }
+    rows
+}
+
+/// One point of the Figure 6 post-restart throughput time series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Point {
+    /// Policy label.
+    pub policy: String,
+    /// Simulated seconds since the crash.
+    pub time_secs: f64,
+    /// Throughput (all transactions per minute) over the preceding window.
+    pub tpm: f64,
+}
+
+/// Figure 6: time-varying throughput immediately after a restart.
+pub fn run_fig6(scale: &ExperimentScale) -> Vec<Fig6Point> {
+    let mut points = Vec::new();
+    for setup in [SystemSetup::face_gsc(0.08), SystemSetup::hdd_only()] {
+        let (config, mut workload) = sim_config(scale, &setup);
+        let mut engine = SimEngine::new(config);
+        for _ in 0..scale.warmup_txns {
+            let txn = workload.next_transaction();
+            engine.run_transaction(&txn.accesses, false);
+        }
+        engine.checkpoint();
+        for _ in 0..(90 * TXNS_PER_SIM_SECOND) {
+            let txn = workload.next_transaction();
+            engine.run_transaction(&txn.accesses, false);
+        }
+        let crash_instant = engine.makespan();
+        let report = engine.crash_and_restart();
+        let label = policy_label(&setup);
+        // The recovery window itself: zero throughput until redo finishes.
+        points.push(Fig6Point {
+            policy: label.clone(),
+            time_secs: report.restart_secs,
+            tpm: 0.0,
+        });
+        // Then measure throughput in windows.
+        let windows = 12u64;
+        let txns_per_window = (scale.measure_txns / windows).max(50);
+        for _ in 0..windows {
+            let window_start = engine.makespan();
+            let mut committed = 0u64;
+            for _ in 0..txns_per_window {
+                let txn = workload.next_transaction();
+                engine.run_transaction(&txn.accesses, false);
+                committed += 1;
+            }
+            let window_end = engine.makespan();
+            let secs = (window_end - window_start) as f64 / 1e9;
+            points.push(Fig6Point {
+                policy: label.clone(),
+                time_secs: (window_end - crash_instant) as f64 / 1e9,
+                tpm: if secs > 0.0 {
+                    committed as f64 * 60.0 / secs
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_has_sane_defaults() {
+        let s = ExperimentScale::from_env();
+        assert!(s.warehouses >= 1);
+        assert!(s.measure_txns > 0);
+        let tiny = ExperimentScale::tiny();
+        assert!(tiny.warmup_txns < s.warmup_txns || s.warmup_txns < 4000);
+    }
+
+    #[test]
+    fn single_run_produces_consistent_metrics() {
+        let scale = ExperimentScale::tiny();
+        let r = run_tpcc(&scale, &SystemSetup::face_gsc(0.10));
+        assert_eq!(r.policy, "FaCE+GSC");
+        assert!(r.tpmc > 0.0);
+        assert!(r.flash_hit_ratio >= 0.0 && r.flash_hit_ratio <= 1.0);
+        assert!(r.write_reduction >= 0.0 && r.write_reduction <= 1.0);
+        assert!(r.flash_utilization >= 0.0 && r.flash_utilization <= 1.0);
+        assert!(r.dram_hit_ratio > 0.0);
+        assert!((r.flash_gb_paper_equivalent - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baselines_have_expected_labels() {
+        let scale = ExperimentScale::tiny();
+        let hdd = run_tpcc(&scale, &SystemSetup::hdd_only());
+        assert_eq!(hdd.policy, "HDD only");
+        assert_eq!(hdd.flash_utilization, 0.0);
+        let ssd = run_tpcc(
+            &scale,
+            &SystemSetup::ssd_only(DeviceProfile::samsung470_mlc()),
+        );
+        assert_eq!(ssd.policy, "SSD only");
+        assert!(ssd.tpmc > hdd.tpmc, "SSD-only should beat HDD-only");
+    }
+
+    #[test]
+    fn face_beats_hdd_only_at_tiny_scale() {
+        let scale = ExperimentScale::tiny();
+        let face = run_tpcc(&scale, &SystemSetup::face_gsc(0.15));
+        let hdd = run_tpcc(&scale, &SystemSetup::hdd_only());
+        assert!(
+            face.tpmc > hdd.tpmc,
+            "FaCE {:.0} vs HDD-only {:.0}",
+            face.tpmc,
+            hdd.tpmc
+        );
+    }
+
+    #[test]
+    fn recovery_rows_cover_both_policies_and_intervals() {
+        let scale = ExperimentScale {
+            warmup_txns: 200,
+            measure_txns: 200,
+            ..ExperimentScale::tiny()
+        };
+        let rows = run_table6(&scale);
+        assert_eq!(rows.len(), 6);
+        let face_rows: Vec<_> = rows.iter().filter(|r| r.policy == "FaCE+GSC").collect();
+        let hdd_rows: Vec<_> = rows.iter().filter(|r| r.policy == "HDD only").collect();
+        assert_eq!(face_rows.len(), 3);
+        assert_eq!(hdd_rows.len(), 3);
+        for (f, h) in face_rows.iter().zip(hdd_rows.iter()) {
+            assert!(
+                f.restart_secs <= h.restart_secs,
+                "FaCE restart should not be slower ({} vs {})",
+                f.restart_secs,
+                h.restart_secs
+            );
+        }
+    }
+}

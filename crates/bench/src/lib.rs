@@ -1,0 +1,29 @@
+//! # face-bench — experiment harness for the FaCE reproduction
+//!
+//! One function per table/figure of the paper's evaluation (§5), each driving
+//! the trace-driven simulation (`face-engine::sim`) with the TPC-C workload
+//! (`face-tpcc`) on the calibrated devices (`face-iosim`). The `src/bin/`
+//! binaries are thin wrappers that print the paper-style rows and write JSON
+//! results; `benches/` contains Criterion micro-benchmarks of the core data
+//! structures.
+//!
+//! Experiments run at a reduced scale by default so the whole suite finishes
+//! in minutes; every size *ratio* the paper's results depend on
+//! (DRAM : flash : database, group size, client count) is preserved. Set the
+//! environment variables below for larger runs:
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `FACE_WAREHOUSES` | TPC-C scale factor | 10 |
+//! | `FACE_WARMUP_TXNS` | transactions before measurement | 4000 |
+//! | `FACE_MEASURE_TXNS` | measured transactions | 8000 |
+//! | `FACE_CLIENTS` | closed client population | 50 |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{ExperimentScale, RunResult};
+pub use report::{print_table, write_json};

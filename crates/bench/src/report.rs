@@ -1,0 +1,85 @@
+//! Small helpers for printing paper-style tables and persisting JSON results.
+
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Print a fixed-width table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Serialise `value` as pretty JSON under `results/<name>.json` (relative to
+/// the workspace root when run via cargo). Errors are reported but not fatal:
+/// the printed table is the primary output.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(results written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[
+                vec!["1".to_string(), "2".to_string()],
+                vec!["long-cell".to_string(), "x".to_string(), "extra".to_string()],
+            ],
+        );
+    }
+
+    #[test]
+    fn write_json_accepts_serialisable_values() {
+        // Uses the real results/ directory; harmless and exercised rarely.
+        write_json("unit_test_output", &vec![1, 2, 3]);
+        let path = std::path::Path::new("results/unit_test_output.json");
+        if path.exists() {
+            let content = std::fs::read_to_string(path).unwrap();
+            assert!(content.contains('1'));
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-frame state flags.
+
+use serde::{Deserialize, Serialize};
+
+/// The dirty / flash-dirty flag pair carried by every DRAM frame.
+///
+/// Following the paper (§3.3):
+/// * `dirty` — the frame is newer than the copy in the *disk-resident*
+///   database.
+/// * `fdirty` ("flash dirty") — the frame is newer than the corresponding
+///   copy in the *flash cache* (or no flash copy exists yet because the page
+///   was last fetched from disk and then updated).
+///
+/// Transitions:
+/// * fetch from disk: `dirty = fdirty = false`;
+/// * fetch from flash cache: `fdirty = false`, `dirty` inherited from the
+///   flash metadata entry (the flash copy may itself be newer than disk);
+/// * update in the DRAM buffer: `dirty = fdirty = true`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FrameFlags {
+    /// Newer than the disk copy.
+    pub dirty: bool,
+    /// Newer than the flash-cache copy.
+    pub fdirty: bool,
+}
+
+impl FrameFlags {
+    /// Flags for a page just fetched from disk.
+    pub fn fetched_from_disk() -> Self {
+        Self {
+            dirty: false,
+            fdirty: false,
+        }
+    }
+
+    /// Flags for a page just fetched from the flash cache, whose flash
+    /// metadata entry carried `flash_dirty`.
+    pub fn fetched_from_flash(flash_dirty: bool) -> Self {
+        Self {
+            dirty: flash_dirty,
+            fdirty: false,
+        }
+    }
+
+    /// Apply an update: both flags raised.
+    pub fn mark_updated(&mut self) {
+        self.dirty = true;
+        self.fdirty = true;
+    }
+
+    /// The page (in its current form) has been staged into the flash cache;
+    /// the flash copy is now in sync with the DRAM copy.
+    pub fn staged_to_flash(&mut self) {
+        self.fdirty = false;
+    }
+
+    /// The page has been written to disk; both copies are in sync with disk.
+    pub fn written_to_disk(&mut self) {
+        self.dirty = false;
+        self.fdirty = false;
+    }
+
+    /// Whether the page needs any write-back at all when evicted (it is newer
+    /// than at least one lower tier).
+    pub fn needs_writeback(&self) -> bool {
+        self.dirty || self.fdirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_fetch_starts_clean() {
+        let f = FrameFlags::fetched_from_disk();
+        assert!(!f.dirty);
+        assert!(!f.fdirty);
+        assert!(!f.needs_writeback());
+    }
+
+    #[test]
+    fn flash_fetch_inherits_dirty() {
+        let f = FrameFlags::fetched_from_flash(true);
+        assert!(f.dirty);
+        assert!(!f.fdirty);
+        assert!(f.needs_writeback());
+
+        let f = FrameFlags::fetched_from_flash(false);
+        assert!(!f.dirty);
+        assert!(!f.fdirty);
+    }
+
+    #[test]
+    fn update_raises_both() {
+        let mut f = FrameFlags::fetched_from_disk();
+        f.mark_updated();
+        assert!(f.dirty && f.fdirty);
+    }
+
+    #[test]
+    fn staging_clears_only_fdirty() {
+        let mut f = FrameFlags::fetched_from_disk();
+        f.mark_updated();
+        f.staged_to_flash();
+        assert!(f.dirty);
+        assert!(!f.fdirty);
+        assert!(f.needs_writeback());
+    }
+
+    #[test]
+    fn disk_write_clears_both() {
+        let mut f = FrameFlags::fetched_from_disk();
+        f.mark_updated();
+        f.written_to_disk();
+        assert!(!f.needs_writeback());
+    }
+
+    #[test]
+    fn paper_lifecycle_example() {
+        // Fetch from disk, update, evict to flash, re-fetch from flash,
+        // evict again without update: the second eviction must not raise
+        // fdirty (conditional enqueue), but the page is still dirty vs disk.
+        let mut f = FrameFlags::fetched_from_disk();
+        f.mark_updated();
+        // Evicted: the flash cache records dirty=true. The DRAM copy is gone.
+        let flash_entry_dirty = f.dirty;
+        // Re-fetch from flash:
+        let f2 = FrameFlags::fetched_from_flash(flash_entry_dirty);
+        assert!(f2.dirty, "still newer than disk");
+        assert!(!f2.fdirty, "in sync with the flash copy");
+    }
+}

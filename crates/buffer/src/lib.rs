@@ -1,0 +1,40 @@
+//! # face-buffer — the DRAM buffer pool
+//!
+//! The first-level cache of the storage hierarchy. The FaCE design hinges on
+//! two properties of this layer (paper §3):
+//!
+//! 1. Pages enter the flash cache **on exit** from the DRAM buffer — never on
+//!    entry — because a flash copy is useless while the DRAM copy exists.
+//!    The buffer pool therefore hands every evicted page to a pluggable
+//!    [`LowerTier`] (the flash cache + disk, or disk alone).
+//! 2. Each DRAM frame carries two flags: `dirty` (newer than the disk copy)
+//!    and `fdirty` (newer than the flash-cache copy). The pair drives the
+//!    conditional/unconditional enqueue logic of mvFIFO (paper Algorithm 1).
+//!
+//! The crate provides:
+//! * [`LruList`] — the recency list used for DRAM replacement (the paper uses
+//!   PostgreSQL's buffer replacement; LRU is the reference policy its
+//!   analysis assumes).
+//! * [`BufferPool`] — a data-carrying pool over any [`LowerTier`], used by the
+//!   functional engine, the examples and the recovery tests.
+//! * [`BufferSim`] — a metadata-only twin of the pool (same replacement and
+//!   flag logic, no page bodies), used by the performance experiments where
+//!   the database is far larger than what is worth materialising.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod flags;
+pub mod lru;
+pub mod pool;
+pub mod sim;
+pub mod tier;
+
+pub use flags::FrameFlags;
+pub use lru::LruList;
+pub use pool::{BufferPool, BufferStats};
+pub use sim::{BufferSim, EvictedMeta, SimAccess};
+pub use tier::{
+    DirectDiskTier, FetchOutcome, FetchSource, LowerTier, TierError, TierResult, WriteBackOutcome,
+    WriteBackReason,
+};

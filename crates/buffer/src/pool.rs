@@ -1,0 +1,429 @@
+//! The data-carrying DRAM buffer pool.
+
+use std::collections::HashMap;
+
+use face_pagestore::{Lsn, Page, PageId};
+
+use crate::flags::FrameFlags;
+use crate::lru::LruList;
+use crate::tier::{FetchSource, LowerTier, TierResult, WriteBackReason};
+
+/// Counters describing buffer pool activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Logical page accesses (reads + updates).
+    pub accesses: u64,
+    /// Accesses satisfied from a DRAM frame.
+    pub hits: u64,
+    /// Accesses that had to fetch from the lower tier.
+    pub misses: u64,
+    /// Misses satisfied by the flash cache.
+    pub flash_hits: u64,
+    /// Misses satisfied by the disk.
+    pub disk_fetches: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Evicted frames that were dirty or fdirty (needed write-back).
+    pub dirty_evictions: u64,
+    /// Pages flushed by checkpoints.
+    pub checkpoint_writes: u64,
+}
+
+impl BufferStats {
+    /// DRAM hit ratio over all accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Share of DRAM misses that were served by the flash cache — the
+    /// paper's Table 3(a) metric.
+    pub fn flash_hit_ratio(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.flash_hits as f64 / self.misses as f64
+        }
+    }
+}
+
+struct Frame {
+    page: Page,
+    flags: FrameFlags,
+}
+
+/// A fixed-capacity DRAM buffer pool with LRU replacement over a pluggable
+/// [`LowerTier`].
+///
+/// The pool owns page data; callers access pages through closures so that a
+/// page reference can never outlive its residency.
+pub struct BufferPool<L: LowerTier> {
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    lru: LruList<PageId>,
+    lower: L,
+    stats: BufferStats,
+}
+
+impl<L: LowerTier> BufferPool<L> {
+    /// A pool holding at most `capacity` pages, over `lower`.
+    pub fn new(capacity: usize, lower: L) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        Self {
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            lru: LruList::with_capacity(capacity),
+            lower,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Pool capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the pool holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Whether `id` is resident.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.frames.contains_key(&id)
+    }
+
+    /// The flags of a resident page.
+    pub fn flags(&self, id: PageId) -> Option<FrameFlags> {
+        self.frames.get(&id).map(|f| f.flags)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Reset activity counters (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    /// Shared access to the lower tier.
+    pub fn lower(&self) -> &L {
+        &self.lower
+    }
+
+    /// Mutable access to the lower tier.
+    pub fn lower_mut(&mut self) -> &mut L {
+        &mut self.lower
+    }
+
+    /// Read access to a page: fetches it from the lower tier on a miss and
+    /// passes a shared reference to `f`.
+    pub fn read<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> TierResult<R> {
+        self.ensure_resident(id)?;
+        let frame = self.frames.get(&id).expect("just made resident");
+        Ok(f(&frame.page))
+    }
+
+    /// Update a page: fetches on miss, applies `f`, stamps `lsn` into the
+    /// page header if it is newer, and raises the dirty/fdirty flags.
+    ///
+    /// Write-ahead discipline is the caller's responsibility: append the log
+    /// record (obtaining `lsn`) *before* calling `update`.
+    pub fn update<R>(
+        &mut self,
+        id: PageId,
+        lsn: Lsn,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> TierResult<R> {
+        self.ensure_resident(id)?;
+        let frame = self.frames.get_mut(&id).expect("just made resident");
+        let r = f(&mut frame.page);
+        if lsn > frame.page.lsn() {
+            frame.page.set_lsn(lsn);
+        }
+        frame.flags.mark_updated();
+        Ok(r)
+    }
+
+    /// Allocate a new page on the backing store and install it resident and
+    /// dirty (it exists nowhere below the buffer yet).
+    pub fn allocate_page(&mut self, file: u32) -> TierResult<PageId> {
+        let id = self.lower.allocate(file)?;
+        self.make_room()?;
+        let mut flags = FrameFlags::fetched_from_disk();
+        flags.mark_updated();
+        self.frames.insert(
+            id,
+            Frame {
+                page: Page::new(id),
+                flags,
+            },
+        );
+        self.lru.insert_mru(id);
+        Ok(id)
+    }
+
+    /// Evict the least-recently-used frame, handing it to the lower tier.
+    /// Returns the evicted page id, or `None` if the pool is empty.
+    ///
+    /// This is also the hook Group Second Chance uses to "pull pages from the
+    /// LRU tail of the DRAM buffer" to fill a flash write batch (paper §3.3).
+    pub fn evict_lru_frame(&mut self) -> TierResult<Option<PageId>> {
+        let Some(victim) = self.lru.pop_lru() else {
+            return Ok(None);
+        };
+        let frame = self.frames.remove(&victim).expect("lru and map in sync");
+        self.stats.evictions += 1;
+        if frame.flags.needs_writeback() {
+            self.stats.dirty_evictions += 1;
+        }
+        self.lower.write_back(
+            &frame.page,
+            frame.flags.dirty,
+            frame.flags.fdirty,
+            WriteBackReason::Eviction,
+        )?;
+        Ok(Some(victim))
+    }
+
+    /// Checkpoint support: hand every dirty page to the lower tier (which
+    /// will direct it to the flash cache under FaCE, or to disk otherwise)
+    /// and update the resident flags according to where the copy landed.
+    /// Returns the number of pages written.
+    pub fn flush_all_dirty(&mut self) -> TierResult<usize> {
+        // Collect ids first to avoid holding a borrow across write_back.
+        let dirty_ids: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.flags.needs_writeback())
+            .map(|(id, _)| *id)
+            .collect();
+        let mut written = 0;
+        for id in dirty_ids {
+            let frame = self.frames.get(&id).expect("still resident");
+            let outcome = self.lower.write_back(
+                &frame.page,
+                frame.flags.dirty,
+                frame.flags.fdirty,
+                WriteBackReason::Checkpoint,
+            )?;
+            let frame = self.frames.get_mut(&id).expect("still resident");
+            if outcome.on_disk {
+                frame.flags.written_to_disk();
+            }
+            if outcome.in_flash {
+                frame.flags.staged_to_flash();
+            }
+            written += 1;
+            self.stats.checkpoint_writes += 1;
+        }
+        self.lower.sync()?;
+        Ok(written)
+    }
+
+    /// Drop every frame without writing anything back. This models a crash:
+    /// the DRAM buffer's contents are lost.
+    pub fn crash(&mut self) {
+        self.frames.clear();
+        self.lru.clear();
+    }
+
+    /// The resident pages from least- to most-recently used (for inspection
+    /// and tests).
+    pub fn resident_lru_order(&self) -> Vec<PageId> {
+        self.lru.iter_lru_to_mru().copied().collect()
+    }
+
+    fn ensure_resident(&mut self, id: PageId) -> TierResult<()> {
+        self.stats.accesses += 1;
+        if self.frames.contains_key(&id) {
+            self.stats.hits += 1;
+            self.lru.touch(&id);
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        self.make_room()?;
+        let mut page = Page::zeroed();
+        let outcome = self.lower.fetch(id, &mut page)?;
+        match outcome.source {
+            FetchSource::FlashCache => self.stats.flash_hits += 1,
+            FetchSource::Disk => self.stats.disk_fetches += 1,
+        }
+        let flags = match outcome.source {
+            FetchSource::FlashCache => FrameFlags::fetched_from_flash(outcome.dirty),
+            FetchSource::Disk => FrameFlags::fetched_from_disk(),
+        };
+        // A page fetched from storage may be unformatted (never written);
+        // give it a proper header so later updates are well-formed.
+        if !page.is_formatted() {
+            page.set_id(id);
+        }
+        self.frames.insert(id, Frame { page, flags });
+        self.lru.insert_mru(id);
+        Ok(())
+    }
+
+    fn make_room(&mut self) -> TierResult<()> {
+        while self.frames.len() >= self.capacity {
+            self.evict_lru_frame()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::DirectDiskTier;
+    use face_pagestore::{InMemoryPageStore, PageStore};
+    use std::sync::Arc;
+
+    fn pool(capacity: usize) -> (BufferPool<DirectDiskTier>, Arc<InMemoryPageStore>) {
+        let store = Arc::new(InMemoryPageStore::new());
+        let tier = DirectDiskTier::new(store.clone() as Arc<dyn PageStore>);
+        (BufferPool::new(capacity, tier), store)
+    }
+
+    #[test]
+    fn allocate_update_read_round_trip() {
+        let (mut pool, _store) = pool(4);
+        let id = pool.allocate_page(0).unwrap();
+        pool.update(id, Lsn(10), |p| p.write_body(0, b"hello"))
+            .unwrap();
+        let val = pool.read(id, |p| p.read_body(0, 5).to_vec()).unwrap();
+        assert_eq!(val, b"hello");
+        let flags = pool.flags(id).unwrap();
+        assert!(flags.dirty && flags.fdirty);
+        // LSN stamped.
+        let lsn = pool.read(id, |p| p.lsn()).unwrap();
+        assert_eq!(lsn, Lsn(10));
+    }
+
+    #[test]
+    fn older_lsn_does_not_regress_page_lsn() {
+        let (mut pool, _) = pool(4);
+        let id = pool.allocate_page(0).unwrap();
+        pool.update(id, Lsn(10), |_| ()).unwrap();
+        pool.update(id, Lsn(5), |_| ()).unwrap();
+        assert_eq!(pool.read(id, |p| p.lsn()).unwrap(), Lsn(10));
+    }
+
+    #[test]
+    fn eviction_writes_dirty_pages_to_lower_tier() {
+        let (mut pool, store) = pool(2);
+        let a = pool.allocate_page(0).unwrap();
+        let b = pool.allocate_page(0).unwrap();
+        pool.update(a, Lsn(1), |p| p.write_body(0, b"a")).unwrap();
+        pool.update(b, Lsn(2), |p| p.write_body(0, b"b")).unwrap();
+        // Third page forces the eviction of `a` (LRU).
+        let c = pool.allocate_page(0).unwrap();
+        assert!(!pool.contains(a));
+        assert!(pool.contains(b));
+        assert!(pool.contains(c));
+        // `a` must now be readable from the store with its update.
+        let mut out = Page::zeroed();
+        store.read_page(a, &mut out).unwrap();
+        assert_eq!(out.read_body(0, 1), b"a");
+        assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let (mut pool, _) = pool(2);
+        let a = pool.allocate_page(0).unwrap();
+        let b = pool.allocate_page(0).unwrap();
+        let _c = pool.allocate_page(0).unwrap(); // evicts a
+        pool.read(b, |_| ()).unwrap(); // hit
+        pool.read(a, |_| ()).unwrap(); // miss -> disk fetch
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.disk_fetches, 1);
+        assert_eq!(s.flash_hits, 0);
+        assert!(s.hit_ratio() > 0.0);
+        pool.reset_stats();
+        assert_eq!(pool.stats().accesses, 0);
+    }
+
+    #[test]
+    fn lru_order_follows_access_recency() {
+        let (mut pool, _) = pool(3);
+        let a = pool.allocate_page(0).unwrap();
+        let b = pool.allocate_page(0).unwrap();
+        let c = pool.allocate_page(0).unwrap();
+        pool.read(a, |_| ()).unwrap();
+        assert_eq!(pool.resident_lru_order(), vec![b, c, a]);
+    }
+
+    #[test]
+    fn flush_all_dirty_cleans_frames_without_evicting() {
+        let (mut pool, store) = pool(4);
+        let a = pool.allocate_page(0).unwrap();
+        let b = pool.allocate_page(0).unwrap();
+        pool.update(a, Lsn(1), |p| p.write_body(0, b"ck")).unwrap();
+        let written = pool.flush_all_dirty().unwrap();
+        // Both pages were dirty (freshly allocated counts as dirty).
+        assert_eq!(written, 2);
+        assert!(pool.contains(a) && pool.contains(b));
+        // DirectDiskTier reports on_disk, so frames are now clean.
+        assert!(!pool.flags(a).unwrap().dirty);
+        assert!(!pool.flags(b).unwrap().dirty);
+        let mut out = Page::zeroed();
+        store.read_page(a, &mut out).unwrap();
+        assert_eq!(out.read_body(0, 2), b"ck");
+        // A second checkpoint has nothing to write.
+        assert_eq!(pool.flush_all_dirty().unwrap(), 0);
+    }
+
+    #[test]
+    fn crash_drops_unflushed_updates() {
+        let (mut pool, store) = pool(4);
+        let a = pool.allocate_page(0).unwrap();
+        pool.update(a, Lsn(1), |p| p.write_body(0, b"lost")).unwrap();
+        pool.crash();
+        assert!(pool.is_empty());
+        // The store never saw the update.
+        let mut out = Page::zeroed();
+        store.read_page(a, &mut out).unwrap();
+        assert!(!out.is_formatted());
+    }
+
+    #[test]
+    fn explicit_evict_lru_frame() {
+        let (mut pool, _) = pool(4);
+        let a = pool.allocate_page(0).unwrap();
+        let b = pool.allocate_page(0).unwrap();
+        assert_eq!(pool.evict_lru_frame().unwrap(), Some(a));
+        assert_eq!(pool.evict_lru_frame().unwrap(), Some(b));
+        assert_eq!(pool.evict_lru_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let (mut pool, _) = pool(3);
+        for _ in 0..20 {
+            pool.allocate_page(0).unwrap();
+        }
+        assert!(pool.len() <= 3);
+        assert_eq!(pool.capacity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let store = Arc::new(InMemoryPageStore::new());
+        let tier = DirectDiskTier::new(store as Arc<dyn PageStore>);
+        let _ = BufferPool::new(0, tier);
+    }
+}

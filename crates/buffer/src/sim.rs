@@ -1,0 +1,364 @@
+//! A metadata-only twin of the buffer pool for the performance experiments.
+//!
+//! The paper's evaluation uses a 50 GB database with a 200 MB DRAM buffer and
+//! a 2–14 GB flash cache. Reproducing the *behaviour* of the buffer pool and
+//! flash cache only requires the replacement decisions and flag transitions,
+//! not the page bodies, so the experiment driver uses this structure and
+//! charges simulated device time for the physical I/O the decisions imply.
+//! The flag logic is identical to [`crate::BufferPool`].
+
+use std::collections::HashMap;
+
+use face_pagestore::PageId;
+
+use crate::flags::FrameFlags;
+use crate::lru::LruList;
+
+/// Metadata describing a page leaving the DRAM buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedMeta {
+    /// The page.
+    pub page: PageId,
+    /// Newer than the disk copy.
+    pub dirty: bool,
+    /// Newer than the flash-cache copy.
+    pub fdirty: bool,
+}
+
+/// The outcome of a logical page access against the simulated buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimAccess {
+    /// Whether the page was already resident.
+    pub hit: bool,
+}
+
+/// Counters for the simulated buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimBufferStats {
+    /// Logical accesses.
+    pub accesses: u64,
+    /// DRAM hits.
+    pub hits: u64,
+    /// DRAM misses.
+    pub misses: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Evictions of pages with dirty or fdirty set.
+    pub dirty_evictions: u64,
+}
+
+/// The metadata-only DRAM buffer.
+#[derive(Debug, Clone)]
+pub struct BufferSim {
+    capacity: usize,
+    frames: HashMap<PageId, FrameFlags>,
+    lru: LruList<PageId>,
+    stats: SimBufferStats,
+}
+
+impl BufferSim {
+    /// A buffer of `capacity` page frames.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer needs at least one frame");
+        Self {
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            lru: LruList::with_capacity(capacity),
+            stats: SimBufferStats::default(),
+        }
+    }
+
+    /// Capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident page count.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.frames.len() >= self.capacity
+    }
+
+    /// Whether `id` is resident.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.frames.contains_key(&id)
+    }
+
+    /// The flags of a resident page.
+    pub fn flags(&self, id: PageId) -> Option<FrameFlags> {
+        self.frames.get(&id).copied()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> SimBufferStats {
+        self.stats
+    }
+
+    /// Reset counters (after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = SimBufferStats::default();
+    }
+
+    /// A logical access to `id`. On a hit the LRU position and (for writes)
+    /// the flags are updated. On a miss the caller must fetch the page from
+    /// the lower tiers and then call [`BufferSim::install`].
+    pub fn access(&mut self, id: PageId, is_write: bool) -> SimAccess {
+        self.stats.accesses += 1;
+        if let Some(flags) = self.frames.get_mut(&id) {
+            self.stats.hits += 1;
+            if is_write {
+                flags.mark_updated();
+            }
+            self.lru.touch(&id);
+            SimAccess { hit: true }
+        } else {
+            self.stats.misses += 1;
+            SimAccess { hit: false }
+        }
+    }
+
+    /// Install a page after a miss. `dirty_from_below` is the dirty flag of
+    /// the copy obtained from the flash cache (false when fetched from disk).
+    /// If the buffer is full, the LRU page is evicted and returned so the
+    /// caller can stage it into the flash cache / disk.
+    pub fn install(
+        &mut self,
+        id: PageId,
+        dirty_from_below: bool,
+        is_write: bool,
+    ) -> Option<EvictedMeta> {
+        debug_assert!(!self.frames.contains_key(&id), "install of resident page");
+        let evicted = if self.is_full() { self.evict_lru() } else { None };
+        let mut flags = FrameFlags {
+            dirty: dirty_from_below,
+            fdirty: false,
+        };
+        if is_write {
+            flags.mark_updated();
+        }
+        self.frames.insert(id, flags);
+        self.lru.insert_mru(id);
+        evicted
+    }
+
+    /// Evict the least-recently-used page and return its metadata, or `None`
+    /// if the buffer is empty. Used both for capacity misses and by Group
+    /// Second Chance when it pulls extra pages from the LRU tail to fill a
+    /// flash write batch.
+    pub fn evict_lru(&mut self) -> Option<EvictedMeta> {
+        let victim = self.lru.pop_lru()?;
+        let flags = self.frames.remove(&victim).expect("lru and map in sync");
+        self.stats.evictions += 1;
+        if flags.needs_writeback() {
+            self.stats.dirty_evictions += 1;
+        }
+        Some(EvictedMeta {
+            page: victim,
+            dirty: flags.dirty,
+            fdirty: flags.fdirty,
+        })
+    }
+
+    /// Evict the least-recently-used *dirty* page, searching from the LRU end.
+    /// Returns `None` if no dirty page is resident. This is the variant GSC
+    /// prefers when filling a batch: pulling a clean page would waste a flash
+    /// write slot.
+    pub fn evict_lru_dirty(&mut self) -> Option<EvictedMeta> {
+        let victim = self
+            .lru
+            .iter_lru_to_mru()
+            .copied()
+            .find(|id| {
+                self.frames
+                    .get(id)
+                    .map(|f| f.needs_writeback())
+                    .unwrap_or(false)
+            })?;
+        let flags = self.frames.remove(&victim).expect("resident");
+        self.lru.remove(&victim);
+        self.stats.evictions += 1;
+        self.stats.dirty_evictions += 1;
+        Some(EvictedMeta {
+            page: victim,
+            dirty: flags.dirty,
+            fdirty: flags.fdirty,
+        })
+    }
+
+    /// Pages that a checkpoint must flush (dirty or fdirty), in LRU order.
+    pub fn dirty_pages(&self) -> Vec<EvictedMeta> {
+        self.lru
+            .iter_lru_to_mru()
+            .filter_map(|id| {
+                let f = self.frames.get(id)?;
+                if f.needs_writeback() {
+                    Some(EvictedMeta {
+                        page: *id,
+                        dirty: f.dirty,
+                        fdirty: f.fdirty,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Record the outcome of a checkpoint write for a page that stays
+    /// resident: `in_flash` / `on_disk` describe where the copy landed.
+    pub fn mark_checkpointed(&mut self, id: PageId, in_flash: bool, on_disk: bool) {
+        if let Some(flags) = self.frames.get_mut(&id) {
+            if on_disk {
+                flags.written_to_disk();
+            }
+            if in_flash {
+                flags.staged_to_flash();
+            }
+        }
+    }
+
+    /// Drop everything (crash).
+    pub fn crash(&mut self) {
+        self.frames.clear();
+        self.lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u32) -> PageId {
+        PageId::new(0, n)
+    }
+
+    #[test]
+    fn miss_install_hit_cycle() {
+        let mut b = BufferSim::new(2);
+        assert!(!b.access(pid(1), false).hit);
+        assert!(b.install(pid(1), false, false).is_none());
+        assert!(b.access(pid(1), false).hit);
+        assert_eq!(b.stats().hits, 1);
+        assert_eq!(b.stats().misses, 1);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    fn eviction_returns_lru_with_flags() {
+        let mut b = BufferSim::new(2);
+        b.access(pid(1), true);
+        b.install(pid(1), false, true); // dirty+fdirty
+        b.access(pid(2), false);
+        b.install(pid(2), false, false); // clean
+        // Installing a third page evicts page 1 (LRU).
+        b.access(pid(3), false);
+        let evicted = b.install(pid(3), false, false).unwrap();
+        assert_eq!(evicted.page, pid(1));
+        assert!(evicted.dirty && evicted.fdirty);
+        assert_eq!(b.stats().evictions, 1);
+        assert_eq!(b.stats().dirty_evictions, 1);
+        assert!(!b.contains(pid(1)));
+    }
+
+    #[test]
+    fn write_hit_marks_flags() {
+        let mut b = BufferSim::new(2);
+        b.access(pid(1), false);
+        b.install(pid(1), false, false);
+        assert!(!b.flags(pid(1)).unwrap().dirty);
+        b.access(pid(1), true);
+        let f = b.flags(pid(1)).unwrap();
+        assert!(f.dirty && f.fdirty);
+    }
+
+    #[test]
+    fn install_from_flash_inherits_dirty() {
+        let mut b = BufferSim::new(2);
+        b.access(pid(7), false);
+        b.install(pid(7), true, false);
+        let f = b.flags(pid(7)).unwrap();
+        assert!(f.dirty);
+        assert!(!f.fdirty);
+    }
+
+    #[test]
+    fn evict_lru_dirty_skips_clean_pages() {
+        let mut b = BufferSim::new(4);
+        b.access(pid(1), false);
+        b.install(pid(1), false, false); // clean, LRU
+        b.access(pid(2), true);
+        b.install(pid(2), false, true); // dirty
+        b.access(pid(3), false);
+        b.install(pid(3), false, false); // clean, MRU
+        let e = b.evict_lru_dirty().unwrap();
+        assert_eq!(e.page, pid(2));
+        assert!(b.contains(pid(1)));
+        assert!(b.contains(pid(3)));
+        // No dirty pages left.
+        assert!(b.evict_lru_dirty().is_none());
+    }
+
+    #[test]
+    fn dirty_pages_and_checkpoint_marking() {
+        let mut b = BufferSim::new(4);
+        for i in 1..=3 {
+            b.access(pid(i), i == 2);
+            b.install(pid(i), false, i == 2);
+        }
+        let dirty = b.dirty_pages();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].page, pid(2));
+
+        // Checkpoint to flash: fdirty cleared, dirty kept.
+        b.mark_checkpointed(pid(2), true, false);
+        let f = b.flags(pid(2)).unwrap();
+        assert!(f.dirty && !f.fdirty);
+        // Checkpoint to disk clears both.
+        b.mark_checkpointed(pid(2), false, true);
+        assert!(!b.flags(pid(2)).unwrap().needs_writeback());
+        // Marking a non-resident page is a no-op.
+        b.mark_checkpointed(pid(99), true, true);
+    }
+
+    #[test]
+    fn crash_drops_all_frames() {
+        let mut b = BufferSim::new(4);
+        b.access(pid(1), true);
+        b.install(pid(1), false, true);
+        b.crash();
+        assert!(b.is_empty());
+        assert!(b.evict_lru().is_none());
+    }
+
+    #[test]
+    fn capacity_is_respected_under_churn() {
+        let mut b = BufferSim::new(8);
+        for i in 0..1000u32 {
+            let id = pid(i % 50);
+            if !b.access(id, i % 3 == 0).hit {
+                b.install(id, false, i % 3 == 0);
+            }
+            assert!(b.len() <= 8);
+        }
+        assert_eq!(b.capacity(), 8);
+        let s = b.stats();
+        assert_eq!(s.accesses, 1000);
+        assert_eq!(s.hits + s.misses, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let _ = BufferSim::new(0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The interface between the DRAM buffer pool and whatever sits below it.
+//!
+//! With FaCE enabled the lower tier is the flash cache backed by the disk
+//! array; without it the lower tier is the disk alone. The buffer pool does
+//! not know the difference — exactly the paper's point that the flash cache
+//! "simply goes along with the replacement mechanism provided by the DRAM
+//! buffer pool".
+
+use std::sync::Arc;
+
+use face_pagestore::{Page, PageId, PageStore, StoreError};
+
+/// Errors surfaced by a lower tier.
+#[derive(Debug)]
+pub enum TierError {
+    /// The page does not exist anywhere below the buffer.
+    PageNotFound(PageId),
+    /// An error from the underlying page store (disk).
+    Store(StoreError),
+    /// An error from the flash-cache layer.
+    Cache(String),
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierError::PageNotFound(id) => write!(f, "page {id} not found in any tier"),
+            TierError::Store(e) => write!(f, "store error: {e}"),
+            TierError::Cache(msg) => write!(f, "flash cache error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TierError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for TierError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::PageNotFound(id) => TierError::PageNotFound(id),
+            other => TierError::Store(other),
+        }
+    }
+}
+
+/// Result alias for tier operations.
+pub type TierResult<T> = Result<T, TierError>;
+
+/// Where a fetched page came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchSource {
+    /// The flash cache ("flash hit").
+    FlashCache,
+    /// The disk-resident database.
+    Disk,
+}
+
+/// The result of fetching a page from the lower tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// Where the page was found.
+    pub source: FetchSource,
+    /// Whether the fetched copy is newer than the disk copy (only possible
+    /// for flash-cache hits under a write-back policy).
+    pub dirty: bool,
+}
+
+/// Why a page is being handed to the lower tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteBackReason {
+    /// The DRAM buffer evicted the page to make room.
+    Eviction,
+    /// A checkpoint is flushing dirty pages.
+    Checkpoint,
+}
+
+/// What the lower tier did with a written-back page, so the buffer pool can
+/// maintain its flags when the page stays resident (checkpoint case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteBackOutcome {
+    /// The page (this exact version) now exists in the flash cache.
+    pub in_flash: bool,
+    /// The page (this exact version) now exists on disk.
+    pub on_disk: bool,
+}
+
+/// The storage stack below the DRAM buffer pool.
+pub trait LowerTier: Send {
+    /// Fetch page `id` into `buf`, looking in the flash cache first if one is
+    /// present.
+    fn fetch(&mut self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome>;
+
+    /// Accept a page leaving the DRAM buffer (eviction) or being flushed by a
+    /// checkpoint. `dirty` / `fdirty` are the DRAM frame's flags.
+    fn write_back(
+        &mut self,
+        page: &Page,
+        dirty: bool,
+        fdirty: bool,
+        reason: WriteBackReason,
+    ) -> TierResult<WriteBackOutcome>;
+
+    /// Allocate a brand-new page on the backing store.
+    fn allocate(&mut self, file: u32) -> TierResult<PageId>;
+
+    /// Force everything the tier has buffered to durable storage.
+    fn sync(&mut self) -> TierResult<()>;
+}
+
+/// The no-flash-cache baseline: fetches come from disk, dirty write-backs go
+/// straight to disk. This is the paper's "HDD only" configuration (and, with
+/// the data store placed on an SSD profile, the "SSD only" configuration).
+pub struct DirectDiskTier {
+    store: Arc<dyn PageStore>,
+    disk_reads: u64,
+    disk_writes: u64,
+}
+
+impl DirectDiskTier {
+    /// Create a tier over the given store.
+    pub fn new(store: Arc<dyn PageStore>) -> Self {
+        Self {
+            store,
+            disk_reads: 0,
+            disk_writes: 0,
+        }
+    }
+
+    /// Physical reads issued to the store.
+    pub fn disk_reads(&self) -> u64 {
+        self.disk_reads
+    }
+
+    /// Physical writes issued to the store.
+    pub fn disk_writes(&self) -> u64 {
+        self.disk_writes
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<dyn PageStore> {
+        &self.store
+    }
+}
+
+impl LowerTier for DirectDiskTier {
+    fn fetch(&mut self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome> {
+        self.store.read_page(id, buf)?;
+        self.disk_reads += 1;
+        Ok(FetchOutcome {
+            source: FetchSource::Disk,
+            dirty: false,
+        })
+    }
+
+    fn write_back(
+        &mut self,
+        page: &Page,
+        dirty: bool,
+        _fdirty: bool,
+        _reason: WriteBackReason,
+    ) -> TierResult<WriteBackOutcome> {
+        if dirty {
+            let mut copy = page.clone();
+            copy.update_checksum();
+            self.store.write_page(copy.id(), &copy)?;
+            self.disk_writes += 1;
+        }
+        Ok(WriteBackOutcome {
+            in_flash: false,
+            on_disk: true,
+        })
+    }
+
+    fn allocate(&mut self, file: u32) -> TierResult<PageId> {
+        Ok(self.store.allocate(file)?)
+    }
+
+    fn sync(&mut self) -> TierResult<()> {
+        self.store.sync()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use face_pagestore::InMemoryPageStore;
+
+    #[test]
+    fn direct_tier_reads_and_writes_disk() {
+        let store = Arc::new(InMemoryPageStore::new());
+        let mut tier = DirectDiskTier::new(store.clone());
+        let id = tier.allocate(0).unwrap();
+
+        let mut page = Page::new(id);
+        page.write_body(0, b"v1");
+        let out = tier
+            .write_back(&page, true, true, WriteBackReason::Eviction)
+            .unwrap();
+        assert!(out.on_disk);
+        assert!(!out.in_flash);
+        assert_eq!(tier.disk_writes(), 1);
+
+        let mut buf = Page::zeroed();
+        let fetched = tier.fetch(id, &mut buf).unwrap();
+        assert_eq!(fetched.source, FetchSource::Disk);
+        assert!(!fetched.dirty);
+        assert_eq!(buf.read_body(0, 2), b"v1");
+        assert_eq!(tier.disk_reads(), 1);
+        tier.sync().unwrap();
+    }
+
+    #[test]
+    fn clean_writeback_skips_disk() {
+        let store = Arc::new(InMemoryPageStore::new());
+        let mut tier = DirectDiskTier::new(store);
+        let id = tier.allocate(0).unwrap();
+        let page = Page::new(id);
+        tier.write_back(&page, false, false, WriteBackReason::Eviction)
+            .unwrap();
+        assert_eq!(tier.disk_writes(), 0);
+    }
+
+    #[test]
+    fn missing_page_maps_to_tier_error() {
+        let store = Arc::new(InMemoryPageStore::new());
+        let mut tier = DirectDiskTier::new(store);
+        let mut buf = Page::zeroed();
+        let err = tier.fetch(PageId::new(0, 99), &mut buf).unwrap_err();
+        assert!(matches!(err, TierError::PageNotFound(_)));
+        assert!(format!("{err}").contains("0:99"));
+    }
+
+    #[test]
+    fn error_display_variants() {
+        let e = TierError::Cache("bad state".into());
+        assert!(format!("{e}").contains("bad state"));
+        let e: TierError = StoreError::Closed.into();
+        assert!(matches!(e, TierError::Store(_)));
+    }
+}

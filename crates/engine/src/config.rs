@@ -1,0 +1,112 @@
+//! Engine configuration.
+
+use std::path::PathBuf;
+
+use face_cache::{CacheConfig, CachePolicyKind};
+
+/// Where the engine keeps its durable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// Everything in memory (fast; "durable" for the lifetime of the process,
+    /// which is exactly what crash-simulation tests need).
+    InMemory,
+    /// Real files under a directory (database files and WAL).
+    OnDisk(PathBuf),
+}
+
+/// Configuration for [`crate::Database`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Durable storage backend.
+    pub backend: StorageBackend,
+    /// DRAM buffer pool capacity in page frames.
+    pub buffer_frames: usize,
+    /// Which flash-cache policy to run ([`CachePolicyKind::None`] disables
+    /// the cache entirely).
+    pub cache_policy: CachePolicyKind,
+    /// Flash cache parameters (capacity, group size, ...).
+    pub cache_config: CacheConfig,
+    /// Number of hash buckets (pages) in the key-value table.
+    pub table_buckets: u32,
+}
+
+impl EngineConfig {
+    /// An in-memory configuration with small defaults, suitable for tests and
+    /// examples.
+    pub fn in_memory() -> Self {
+        Self {
+            backend: StorageBackend::InMemory,
+            buffer_frames: 128,
+            cache_policy: CachePolicyKind::FaceGsc,
+            cache_config: CacheConfig {
+                capacity_pages: 512,
+                group_size: 16,
+                ..CacheConfig::default()
+            },
+            table_buckets: 1024,
+        }
+    }
+
+    /// A file-backed configuration rooted at `dir`.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            backend: StorageBackend::OnDisk(dir.into()),
+            ..Self::in_memory()
+        }
+    }
+
+    /// Set the buffer pool size in frames.
+    pub fn buffer_frames(mut self, frames: usize) -> Self {
+        self.buffer_frames = frames;
+        self
+    }
+
+    /// Choose the flash-cache policy and its capacity in pages.
+    pub fn flash_cache(mut self, policy: CachePolicyKind, capacity_pages: usize) -> Self {
+        self.cache_policy = policy;
+        self.cache_config.capacity_pages = capacity_pages;
+        self
+    }
+
+    /// Disable the flash cache (HDD-only / SSD-only configurations).
+    pub fn no_flash_cache(mut self) -> Self {
+        self.cache_policy = CachePolicyKind::None;
+        self
+    }
+
+    /// Override the full cache configuration.
+    pub fn cache_config(mut self, config: CacheConfig) -> Self {
+        self.cache_config = config;
+        self
+    }
+
+    /// Set the number of hash buckets in the key-value table.
+    pub fn table_buckets(mut self, buckets: u32) -> Self {
+        self.table_buckets = buckets;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let cfg = EngineConfig::in_memory()
+            .buffer_frames(32)
+            .flash_cache(CachePolicyKind::Lc, 64)
+            .table_buckets(10);
+        assert_eq!(cfg.buffer_frames, 32);
+        assert_eq!(cfg.cache_policy, CachePolicyKind::Lc);
+        assert_eq!(cfg.cache_config.capacity_pages, 64);
+        assert_eq!(cfg.table_buckets, 10);
+        assert_eq!(cfg.backend, StorageBackend::InMemory);
+
+        let cfg = cfg.no_flash_cache();
+        assert_eq!(cfg.cache_policy, CachePolicyKind::None);
+
+        let on_disk = EngineConfig::on_disk("/tmp/facedb");
+        assert!(matches!(on_disk.backend, StorageBackend::OnDisk(_)));
+    }
+}

@@ -1,0 +1,742 @@
+//! The transactional key-value database hosting the FaCE flash cache.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use face_buffer::BufferPool;
+use face_cache::{
+    build_cache, CacheRecoveryInfo, CacheStats, CachePolicyKind, FlashStore, IoLog, MemFlashStore,
+};
+use face_pagestore::{FilePageStore, InMemoryPageStore, Lsn, PageId, PageStore};
+use face_wal::{
+    recovery::build_redo_plan, CheckpointData, FileLogStorage, InMemoryLogStorage, LogRecord,
+    LogStorage, TxnId, WalWriter,
+};
+
+use crate::config::{EngineConfig, StorageBackend};
+use crate::error::{EngineError, EngineResult};
+use crate::table::{self, PutOutcome, VALUE_CAPACITY};
+use crate::tier::{FaceTier, TierStats};
+
+/// File id of the key-value table within the page store.
+pub const TABLE_FILE: u32 = 1;
+
+/// Aggregate activity counters of the database.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Transactions started.
+    pub txns_started: u64,
+    /// Transactions committed.
+    pub txns_committed: u64,
+    /// Transactions aborted.
+    pub txns_aborted: u64,
+    /// put operations.
+    pub puts: u64,
+    /// get operations.
+    pub gets: u64,
+    /// delete operations.
+    pub deletes: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
+/// What a restart after a crash had to do, and where it found its pages.
+/// Table 6 and Figure 6 of the paper are about making these numbers small.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Log records scanned by the analysis pass.
+    pub records_scanned: u64,
+    /// Redo updates applied.
+    pub redo_applied: u64,
+    /// Redo updates skipped because the page already contained them
+    /// (pageLSN at or above the record's LSN).
+    pub redo_skipped: u64,
+    /// Redo page fetches served by the flash cache.
+    pub pages_from_flash: u64,
+    /// Redo page fetches served by the disk.
+    pub pages_from_disk: u64,
+    /// What the flash cache could restore of itself.
+    pub cache_recovery: CacheRecoveryInfo,
+}
+
+impl RecoveryReport {
+    /// Share of redo page fetches served by the flash cache (the paper
+    /// observes more than 98 %).
+    pub fn flash_fetch_ratio(&self) -> f64 {
+        let total = self.pages_from_flash + self.pages_from_disk;
+        if total == 0 {
+            0.0
+        } else {
+            self.pages_from_flash as f64 / total as f64
+        }
+    }
+}
+
+/// A transactional key-value database over the FaCE storage hierarchy.
+pub struct Database {
+    config: EngineConfig,
+    pool: BufferPool<FaceTier>,
+    wal: WalWriter,
+    log_storage: Arc<dyn LogStorage>,
+    flash_store: Arc<dyn FlashStore>,
+    disk: Arc<dyn PageStore>,
+    next_txn: u64,
+    active: HashSet<u64>,
+    /// Per-transaction before-images (page, body offset, bytes) so that an
+    /// abort can compensate the updates it already applied.
+    undo_log: HashMap<u64, Vec<(PageId, u32, Vec<u8>)>>,
+    crashed: bool,
+    stats: DbStats,
+}
+
+impl Database {
+    /// Open (or create) a database with the given configuration. If the log
+    /// already contains work (a file-backed database being reopened), redo is
+    /// run before the database becomes available.
+    pub fn open(config: EngineConfig) -> EngineResult<Self> {
+        let (disk, log_storage): (Arc<dyn PageStore>, Arc<dyn LogStorage>) = match &config.backend
+        {
+            StorageBackend::InMemory => (
+                Arc::new(InMemoryPageStore::new()),
+                Arc::new(InMemoryLogStorage::new()),
+            ),
+            StorageBackend::OnDisk(dir) => (
+                Arc::new(FilePageStore::open(dir.join("data"))?),
+                Arc::new(FileLogStorage::open(dir.join("wal.log"))?),
+            ),
+        };
+        let flash_store: Arc<dyn FlashStore> =
+            Arc::new(MemFlashStore::new(config.cache_config.capacity_pages.max(1)));
+        let cache = build_cache(
+            config.cache_policy,
+            config.cache_config.clone(),
+            Arc::clone(&flash_store),
+        );
+        let tier = FaceTier::new(Arc::clone(&disk), cache);
+        let pool = BufferPool::new(config.buffer_frames, tier);
+        let wal = WalWriter::new(Arc::clone(&log_storage));
+
+        let mut db = Self {
+            config,
+            pool,
+            wal,
+            log_storage,
+            flash_store,
+            disk,
+            next_txn: 1,
+            active: HashSet::new(),
+            undo_log: HashMap::new(),
+            crashed: false,
+            stats: DbStats::default(),
+        };
+        db.ensure_table_allocated()?;
+        // A reopened database may have committed work in the log that never
+        // reached the data files; replay it.
+        if !db.log_storage.is_empty() {
+            db.run_redo()?;
+        }
+        Ok(db)
+    }
+
+    fn ensure_table_allocated(&mut self) -> EngineResult<()> {
+        while self.disk.num_pages(TABLE_FILE) < self.config.table_buckets as u64 {
+            self.disk.allocate(TABLE_FILE)?;
+        }
+        Ok(())
+    }
+
+    fn bucket_of(&self, key: u64) -> PageId {
+        // A multiplicative hash spreads adjacent keys over the buckets.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        PageId::new(TABLE_FILE, (h % self.config.table_buckets as u64) as u32)
+    }
+
+    fn check_not_crashed(&self) -> EngineResult<()> {
+        if self.crashed {
+            Err(EngineError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_txn(&self, txn: TxnId) -> EngineResult<()> {
+        if self.active.contains(&txn.0) {
+            Ok(())
+        } else {
+            Err(EngineError::UnknownTransaction(txn.0))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Start a new transaction.
+    pub fn begin(&mut self) -> TxnId {
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.active.insert(txn.0);
+        self.wal.append(&LogRecord::Begin { txn });
+        self.stats.txns_started += 1;
+        txn
+    }
+
+    /// Commit a transaction: its commit record (and everything before it) is
+    /// forced to the log before this returns.
+    pub fn commit(&mut self, txn: TxnId) -> EngineResult<()> {
+        self.check_not_crashed()?;
+        self.check_txn(txn)?;
+        self.wal.append_and_force(&LogRecord::Commit { txn })?;
+        self.active.remove(&txn.0);
+        self.undo_log.remove(&txn.0);
+        self.stats.txns_committed += 1;
+        Ok(())
+    }
+
+    /// Abort a transaction. Updates already applied by the transaction are
+    /// compensated by an internally generated, immediately committed
+    /// compensation transaction, so neither the running system nor a
+    /// post-crash redo retains the aborted changes.
+    pub fn abort(&mut self, txn: TxnId) -> EngineResult<()> {
+        self.check_not_crashed()?;
+        self.check_txn(txn)?;
+        self.wal.append(&LogRecord::Abort { txn });
+        self.active.remove(&txn.0);
+        self.stats.txns_aborted += 1;
+        // Compensate the aborted updates under an internal transaction that
+        // commits immediately, so the undo survives a crash through redo.
+        let undo = self.undo_log.remove(&txn.0).unwrap_or_default();
+        if !undo.is_empty() {
+            let comp = self.begin();
+            self.stats.txns_started -= 1; // internal, not user-visible
+            for (page, offset, before) in undo.into_iter().rev() {
+                let off = offset as usize;
+                let bytes = before.clone();
+                self.pool
+                    .update(page, Lsn::ZERO, move |p| p.write_body(off, &bytes))?;
+                let lsn = self.wal.append(&LogRecord::Update {
+                    txn: comp,
+                    page,
+                    offset,
+                    data: before,
+                });
+                self.pool.update(page, lsn, |_| ())?;
+            }
+            self.wal.append_and_force(&LogRecord::Commit { txn: comp })?;
+            self.active.remove(&comp.0);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Key-value operations
+    // ------------------------------------------------------------------
+
+    /// Insert or update `key` with `value` under transaction `txn`.
+    pub fn put(&mut self, txn: TxnId, key: u64, value: &[u8]) -> EngineResult<()> {
+        self.check_not_crashed()?;
+        self.check_txn(txn)?;
+        if value.len() > VALUE_CAPACITY {
+            return Err(EngineError::ValueTooLarge {
+                len: value.len(),
+                max: VALUE_CAPACITY,
+            });
+        }
+        let page_id = self.bucket_of(key);
+        let (outcome, body_before) = self.pool.update(page_id, Lsn::ZERO, |p| {
+            let before = p.body().to_vec();
+            (table::put(p, key, value), before)
+        })?;
+        let write = match outcome {
+            PutOutcome::Inserted(w) | PutOutcome::Updated(w) => w,
+            PutOutcome::PageFull => return Err(EngineError::TableFull(key)),
+        };
+        self.undo_log.entry(txn.0).or_default().push((
+            page_id,
+            write.offset as u32,
+            body_before[write.offset..write.offset + write.bytes.len()].to_vec(),
+        ));
+        let lsn = self.wal.append(&LogRecord::Update {
+            txn,
+            page: page_id,
+            offset: write.offset as u32,
+            data: write.bytes,
+        });
+        // Stamp the page with the LSN of the record describing its change.
+        self.pool.update(page_id, lsn, |_| ())?;
+        self.stats.puts += 1;
+        Ok(())
+    }
+
+    /// Read the value stored under `key`.
+    pub fn get(&mut self, key: u64) -> EngineResult<Option<Vec<u8>>> {
+        self.check_not_crashed()?;
+        let page_id = self.bucket_of(key);
+        let value = self.pool.read(page_id, |p| table::get(p, key))?;
+        self.stats.gets += 1;
+        Ok(value)
+    }
+
+    /// Delete `key` under transaction `txn`. Returns whether the key existed.
+    pub fn delete(&mut self, txn: TxnId, key: u64) -> EngineResult<bool> {
+        self.check_not_crashed()?;
+        self.check_txn(txn)?;
+        let page_id = self.bucket_of(key);
+        let (write, body_before) = self.pool.update(page_id, Lsn::ZERO, |p| {
+            let before = p.body().to_vec();
+            (table::delete(p, key), before)
+        })?;
+        let Some(write) = write else {
+            return Ok(false);
+        };
+        self.undo_log.entry(txn.0).or_default().push((
+            page_id,
+            write.offset as u32,
+            body_before[write.offset..write.offset + write.bytes.len()].to_vec(),
+        ));
+        let lsn = self.wal.append(&LogRecord::Update {
+            txn,
+            page: page_id,
+            offset: write.offset as u32,
+            data: write.bytes,
+        });
+        self.pool.update(page_id, lsn, |_| ())?;
+        self.stats.deletes += 1;
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing, crash and restart
+    // ------------------------------------------------------------------
+
+    /// Take a checkpoint. With FaCE enabled, dirty DRAM pages are flushed to
+    /// the flash cache (sequential flash writes); without it (or under
+    /// LC/TAC) they go to disk. The checkpoint record is forced to the log.
+    pub fn checkpoint(&mut self) -> EngineResult<usize> {
+        self.check_not_crashed()?;
+        let redo_lsn = self.wal.next_lsn();
+        let flushed = self.pool.flush_all_dirty()?;
+        // Policies that cannot keep dirty pages in flash drain them to disk.
+        self.pool.lower_mut().checkpoint_cache()?;
+        self.wal.append_and_force(&LogRecord::Checkpoint(CheckpointData {
+            redo_lsn,
+            active_txns: self.active.iter().map(|t| TxnId(*t)).collect(),
+        }))?;
+        self.stats.checkpoints += 1;
+        Ok(flushed)
+    }
+
+    /// Simulate a crash: everything volatile (DRAM buffer contents, active
+    /// transactions, RAM-resident cache metadata) is lost; the disk store,
+    /// the flash store and the forced portion of the WAL survive.
+    pub fn crash(&mut self) {
+        self.pool.crash();
+        self.active.clear();
+        self.undo_log.clear();
+        self.crashed = true;
+    }
+
+    /// Restart after [`Database::crash`]: restore the flash-cache directory
+    /// from its persistent metadata, then run log analysis and redo. Redo
+    /// page fetches go through the normal buffer/cache path, so most of them
+    /// are served by the flash cache when FaCE is enabled.
+    pub fn restart(&mut self) -> EngineResult<RecoveryReport> {
+        if !self.crashed {
+            // Restarting a healthy database is allowed and just runs redo.
+            self.pool.crash();
+            self.active.clear();
+        }
+        self.crashed = false;
+
+        // Phase 1: restore the flash cache metadata directory.
+        let mut io = IoLog::new();
+        let cache_recovery = match self.pool.lower_mut().cache_mut() {
+            Some(cache) => cache.crash_and_recover(&mut io),
+            None => CacheRecoveryInfo::default(),
+        };
+
+        // Phase 2: WAL analysis + redo.
+        let mut report = self.run_redo()?;
+        report.cache_recovery = cache_recovery;
+        Ok(report)
+    }
+
+    fn run_redo(&mut self) -> EngineResult<RecoveryReport> {
+        let (analysis, plan) = build_redo_plan(Arc::clone(&self.log_storage))?;
+        let mut report = RecoveryReport {
+            records_scanned: analysis.records_scanned,
+            ..Default::default()
+        };
+        let before = self.pool.stats();
+        for update in &plan.updates {
+            let current_lsn = self.pool.read(update.page, |p| p.lsn())?;
+            if current_lsn >= update.lsn {
+                report.redo_skipped += 1;
+                continue;
+            }
+            let offset = update.offset as usize;
+            let data = update.data.clone();
+            self.pool
+                .update(update.page, update.lsn, move |p| p.write_body(offset, &data))?;
+            report.redo_applied += 1;
+        }
+        let after = self.pool.stats();
+        report.pages_from_flash = after.flash_hits - before.flash_hits;
+        report.pages_from_disk = after.disk_fetches - before.disk_fetches;
+        // Keep transaction ids monotonic across the restart.
+        let max_seen = analysis
+            .committed
+            .iter()
+            .chain(analysis.in_flight.iter())
+            .map(|t| t.0)
+            .max()
+            .unwrap_or(0);
+        self.next_txn = self.next_txn.max(max_seen + 1);
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Database-level counters.
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// Buffer pool counters (hits, misses, flash hits, evictions).
+    pub fn buffer_stats(&self) -> face_buffer::BufferStats {
+        self.pool.stats()
+    }
+
+    /// Lower-tier counters (flash fetches, disk fetches, disk writes).
+    pub fn tier_stats(&self) -> TierStats {
+        self.pool.lower().stats()
+    }
+
+    /// Flash cache counters, if a cache is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.pool.lower().cache().map(|c| c.stats())
+    }
+
+    /// The configured cache policy.
+    pub fn cache_policy(&self) -> CachePolicyKind {
+        self.config.cache_policy
+    }
+
+    /// Number of log records written so far.
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records_appended()
+    }
+
+    /// Direct access to the flash store (used by tests that verify
+    /// durability properties).
+    pub fn flash_store(&self) -> &Arc<dyn FlashStore> {
+        &self.flash_store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_db(policy: CachePolicyKind) -> Database {
+        let config = EngineConfig::in_memory()
+            .buffer_frames(8)
+            .table_buckets(64)
+            .flash_cache(policy, 128);
+        Database::open(config).unwrap()
+    }
+
+    #[test]
+    fn put_get_commit_cycle() {
+        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let txn = db.begin();
+        db.put(txn, 1, b"one").unwrap();
+        db.put(txn, 2, b"two").unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(db.get(1).unwrap().unwrap(), b"one");
+        assert_eq!(db.get(2).unwrap().unwrap(), b"two");
+        assert_eq!(db.get(3).unwrap(), None);
+        let stats = db.stats();
+        assert_eq!(stats.puts, 2);
+        assert_eq!(stats.txns_committed, 1);
+        assert!(db.wal_records() >= 4);
+    }
+
+    #[test]
+    fn updates_overwrite_previous_values() {
+        let mut db = small_db(CachePolicyKind::Face);
+        let txn = db.begin();
+        db.put(txn, 9, b"v1").unwrap();
+        db.put(txn, 9, b"v2").unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(db.get(9).unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn delete_removes_keys() {
+        let mut db = small_db(CachePolicyKind::FaceGr);
+        let txn = db.begin();
+        db.put(txn, 5, b"gone soon").unwrap();
+        assert!(db.delete(txn, 5).unwrap());
+        assert!(!db.delete(txn, 5).unwrap());
+        db.commit(txn).unwrap();
+        assert_eq!(db.get(5).unwrap(), None);
+    }
+
+    #[test]
+    fn abort_undoes_applied_changes() {
+        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let setup = db.begin();
+        db.put(setup, 1, b"original").unwrap();
+        db.commit(setup).unwrap();
+
+        let txn = db.begin();
+        db.put(txn, 1, b"doomed").unwrap();
+        db.put(txn, 2, b"also doomed").unwrap();
+        db.abort(txn).unwrap();
+        assert_eq!(db.get(1).unwrap().unwrap(), b"original");
+        assert_eq!(db.get(2).unwrap(), None);
+
+        // The compensation is itself durable: after a crash the aborted
+        // changes still do not reappear.
+        db.crash();
+        db.restart().unwrap();
+        assert_eq!(db.get(1).unwrap().unwrap(), b"original");
+        assert_eq!(db.get(2).unwrap(), None);
+        assert_eq!(db.stats().txns_aborted, 1);
+    }
+
+    #[test]
+    fn errors_for_bad_usage() {
+        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let txn = db.begin();
+        db.commit(txn).unwrap();
+        assert!(matches!(
+            db.put(txn, 1, b"late"),
+            Err(EngineError::UnknownTransaction(_))
+        ));
+        let txn2 = db.begin();
+        let huge = vec![0u8; 4000];
+        assert!(matches!(
+            db.put(txn2, 1, &huge),
+            Err(EngineError::ValueTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn operations_after_crash_require_restart() {
+        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let txn = db.begin();
+        db.put(txn, 1, b"x").unwrap();
+        db.commit(txn).unwrap();
+        db.crash();
+        assert!(matches!(db.get(1), Err(EngineError::Crashed)));
+        db.restart().unwrap();
+        assert_eq!(db.get(1).unwrap().unwrap(), b"x");
+    }
+
+    #[test]
+    fn committed_data_survives_crash_without_checkpoint() {
+        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let txn = db.begin();
+        for k in 0..50u64 {
+            db.put(txn, k, format!("value-{k}").as_bytes()).unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.crash();
+        let report = db.restart().unwrap();
+        assert!(report.redo_applied > 0);
+        for k in 0..50u64 {
+            assert_eq!(
+                db.get(k).unwrap().unwrap(),
+                format!("value-{k}").as_bytes(),
+                "key {k} lost"
+            );
+        }
+    }
+
+    #[test]
+    fn uncommitted_work_is_not_redone() {
+        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let committed = db.begin();
+        db.put(committed, 1, b"keep").unwrap();
+        db.commit(committed).unwrap();
+        let in_flight = db.begin();
+        db.put(in_flight, 2, b"lose").unwrap();
+        // No commit for txn 2.
+        db.crash();
+        db.restart().unwrap();
+        assert_eq!(db.get(1).unwrap().unwrap(), b"keep");
+        // The in-flight update is not replayed by redo.
+        // (It may or may not have reached storage before the crash; with a
+        // crash immediately after the update and no eviction, it is gone.)
+        assert_eq!(db.get(2).unwrap(), None);
+    }
+
+    #[test]
+    fn checkpoint_reduces_redo_work() {
+        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let txn = db.begin();
+        for k in 0..40u64 {
+            db.put(txn, k, b"before checkpoint").unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.checkpoint().unwrap();
+        let txn = db.begin();
+        for k in 40..50u64 {
+            db.put(txn, k, b"after checkpoint").unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.crash();
+        let report = db.restart().unwrap();
+        // Only the post-checkpoint work needs redo (some of it may even be
+        // skipped if the pages were flushed).
+        assert!(
+            report.redo_applied + report.redo_skipped <= 10,
+            "redo touched {} records",
+            report.redo_applied + report.redo_skipped
+        );
+        for k in 0..50u64 {
+            assert!(db.get(k).unwrap().is_some(), "key {k} lost");
+        }
+    }
+
+    #[test]
+    fn face_recovery_fetches_pages_from_flash() {
+        let mut db = small_db(CachePolicyKind::FaceGsc);
+        // Write enough data that pages are evicted from the tiny DRAM buffer
+        // into the flash cache.
+        let txn = db.begin();
+        for k in 0..200u64 {
+            db.put(txn, k, format!("v{k}").as_bytes()).unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.checkpoint().unwrap();
+        let txn = db.begin();
+        for k in 0..200u64 {
+            db.put(txn, k, format!("w{k}").as_bytes()).unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.crash();
+        let report = db.restart().unwrap();
+        assert!(report.cache_recovery.survived);
+        assert!(
+            report.pages_from_flash > report.pages_from_disk,
+            "flash {} vs disk {}",
+            report.pages_from_flash,
+            report.pages_from_disk
+        );
+        for k in 0..200u64 {
+            assert_eq!(db.get(k).unwrap().unwrap(), format!("w{k}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn hdd_only_configuration_still_recovers() {
+        let config = EngineConfig::in_memory()
+            .buffer_frames(8)
+            .table_buckets(32)
+            .no_flash_cache();
+        let mut db = Database::open(config).unwrap();
+        let txn = db.begin();
+        for k in 0..60u64 {
+            db.put(txn, k, b"hdd only").unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.crash();
+        let report = db.restart().unwrap();
+        assert!(!report.cache_recovery.survived);
+        assert_eq!(report.pages_from_flash, 0);
+        for k in 0..60u64 {
+            assert!(db.get(k).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn lc_and_tac_lose_their_cache_on_crash() {
+        for policy in [CachePolicyKind::Lc, CachePolicyKind::Tac] {
+            let mut db = small_db(policy);
+            let txn = db.begin();
+            for k in 0..100u64 {
+                db.put(txn, k, b"cached").unwrap();
+            }
+            db.commit(txn).unwrap();
+            db.crash();
+            let report = db.restart().unwrap();
+            // Neither LC nor TAC can restore its cache from flash: the cache
+            // restarts cold. (Redo may still repopulate it as it runs, so
+            // flash hits during redo are possible but not required.)
+            assert!(!report.cache_recovery.survived, "{policy}");
+            assert_eq!(report.cache_recovery.entries_restored, 0, "{policy}");
+            for k in 0..100u64 {
+                assert!(db.get(k).unwrap().is_some(), "{policy}: key {k} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_drives_flash_hits() {
+        let mut db = small_db(CachePolicyKind::FaceGsc);
+        // Working set larger than the 8-frame DRAM buffer but smaller than
+        // the 128-page flash cache: re-reads should hit flash.
+        let txn = db.begin();
+        for k in 0..60u64 {
+            db.put(txn, k, b"warm").unwrap();
+        }
+        db.commit(txn).unwrap();
+        for _ in 0..3 {
+            for k in 0..60u64 {
+                db.get(k).unwrap();
+            }
+        }
+        let buffer = db.buffer_stats();
+        assert!(buffer.flash_hits > 0, "expected flash hits: {buffer:?}");
+        let cache = db.cache_stats().unwrap();
+        assert!(cache.hits > 0);
+        assert!(db.tier_stats().flash_fetches > 0);
+    }
+
+    #[test]
+    fn on_disk_backend_survives_reopen() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "face_engine_reopen_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut db = Database::open(
+                EngineConfig::on_disk(&dir)
+                    .buffer_frames(8)
+                    .table_buckets(16)
+                    .flash_cache(CachePolicyKind::FaceGsc, 64),
+            )
+            .unwrap();
+            let txn = db.begin();
+            db.put(txn, 7, b"persisted").unwrap();
+            db.commit(txn).unwrap();
+            // No checkpoint, no clean shutdown: the reopened instance must
+            // recover from the WAL alone.
+        }
+        {
+            let mut db = Database::open(
+                EngineConfig::on_disk(&dir)
+                    .buffer_frames(8)
+                    .table_buckets(16)
+                    .flash_cache(CachePolicyKind::FaceGsc, 64),
+            )
+            .unwrap();
+            assert_eq!(db.get(7).unwrap().unwrap(), b"persisted");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! Engine-level errors.
+
+use face_buffer::TierError;
+use face_pagestore::StoreError;
+use face_wal::WalError;
+
+/// Anything that can go wrong inside the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Error from the buffer pool / lower tier.
+    Tier(TierError),
+    /// Error from a page store.
+    Store(StoreError),
+    /// Error from the write-ahead log.
+    Wal(WalError),
+    /// The transaction id is unknown or already finished.
+    UnknownTransaction(u64),
+    /// The requested key does not exist.
+    KeyNotFound(u64),
+    /// A value is too large to fit in a page.
+    ValueTooLarge {
+        /// Length of the offending value.
+        len: usize,
+        /// Maximum supported length.
+        max: usize,
+    },
+    /// The table page addressed by a key has no free slot left.
+    TableFull(u64),
+    /// The engine is in a crashed state and must be restarted first.
+    Crashed,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Tier(e) => write!(f, "storage tier error: {e}"),
+            EngineError::Store(e) => write!(f, "page store error: {e}"),
+            EngineError::Wal(e) => write!(f, "WAL error: {e}"),
+            EngineError::UnknownTransaction(id) => write!(f, "unknown transaction {id}"),
+            EngineError::KeyNotFound(k) => write!(f, "key {k} not found"),
+            EngineError::ValueTooLarge { len, max } => {
+                write!(f, "value of {len} bytes exceeds the {max}-byte limit")
+            }
+            EngineError::TableFull(k) => {
+                write!(f, "no free slot for key {k} (hash bucket exhausted)")
+            }
+            EngineError::Crashed => write!(f, "engine has crashed; call restart() first"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Tier(e) => Some(e),
+            EngineError::Store(e) => Some(e),
+            EngineError::Wal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TierError> for EngineError {
+    fn from(e: TierError) -> Self {
+        EngineError::Tier(e)
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+impl From<WalError> for EngineError {
+    fn from(e: WalError) -> Self {
+        EngineError::Wal(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(format!("{}", EngineError::UnknownTransaction(7)).contains('7'));
+        assert!(format!("{}", EngineError::KeyNotFound(9)).contains('9'));
+        assert!(format!(
+            "{}",
+            EngineError::ValueTooLarge { len: 10, max: 5 }
+        )
+        .contains("10"));
+        assert!(format!("{}", EngineError::TableFull(3)).contains('3'));
+        assert!(format!("{}", EngineError::Crashed).contains("restart"));
+        let from_store: EngineError = StoreError::Closed.into();
+        assert!(matches!(from_store, EngineError::Store(_)));
+        let from_tier: EngineError = TierError::Cache("x".into()).into();
+        assert!(matches!(from_tier, EngineError::Tier(_)));
+    }
+}

@@ -1,0 +1,416 @@
+//! [`FaceTier`]: the storage stack below the DRAM buffer — flash cache first,
+//! disk second.
+//!
+//! This adapter is the reproduction's equivalent of the paper's modifications
+//! to PostgreSQL's `bufferAlloc` / `getFreeBuffer` / `bufferSync`: it decides,
+//! for every page crossing the DRAM boundary, whether the flash cache or the
+//! disk serves or receives it, and it applies the stage-out writes the cache
+//! requests.
+
+use std::sync::Arc;
+
+use face_buffer::{FetchOutcome, FetchSource, LowerTier, TierError, TierResult, WriteBackOutcome, WriteBackReason};
+use face_cache::{FlashCache, IoLog, NoSupplier, StagedPage};
+use face_pagestore::{Page, PageId, PageStore};
+
+/// Counters for the tier's physical activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Pages fetched from the flash cache.
+    pub flash_fetches: u64,
+    /// Pages fetched from disk.
+    pub disk_fetches: u64,
+    /// Pages written to disk (stage-outs, write-through and no-cache writes).
+    pub disk_writes: u64,
+    /// Pages handed to the flash cache.
+    pub cache_inserts: u64,
+}
+
+/// The lower tier used by [`crate::Database`]: an optional flash cache backed
+/// by the disk store.
+pub struct FaceTier {
+    cache: Option<Box<dyn FlashCache>>,
+    disk: Arc<dyn PageStore>,
+    io: IoLog,
+    stats: TierStats,
+}
+
+impl FaceTier {
+    /// Build a tier over `disk` with an optional flash cache.
+    pub fn new(disk: Arc<dyn PageStore>, cache: Option<Box<dyn FlashCache>>) -> Self {
+        Self {
+            cache,
+            disk,
+            io: IoLog::new(),
+            stats: TierStats::default(),
+        }
+    }
+
+    /// Whether a flash cache is configured.
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The flash cache, if configured.
+    pub fn cache(&self) -> Option<&dyn FlashCache> {
+        self.cache.as_deref()
+    }
+
+    /// Mutable access to the flash cache, if configured.
+    pub fn cache_mut(&mut self) -> Option<&mut Box<dyn FlashCache>> {
+        self.cache.as_mut()
+    }
+
+    /// Replace the flash cache (used by recovery to install the cache rebuilt
+    /// from its persistent metadata).
+    pub fn set_cache(&mut self, cache: Option<Box<dyn FlashCache>>) {
+        self.cache = cache;
+    }
+
+    /// The disk store.
+    pub fn disk(&self) -> &Arc<dyn PageStore> {
+        &self.disk
+    }
+
+    /// Physical-activity counters.
+    pub fn stats(&self) -> TierStats {
+        self.stats
+    }
+
+    /// Drain the accumulated I/O event log (simulation drivers charge device
+    /// time from it; functional callers may simply discard it).
+    pub fn drain_io(&mut self) -> Vec<face_cache::FlashIoEvent> {
+        self.io.drain()
+    }
+
+    fn write_staged_to_disk(&mut self, staged: &[StagedPage]) -> TierResult<()> {
+        for s in staged {
+            if let Some(data) = &s.data {
+                let mut copy = data.clone();
+                copy.update_checksum();
+                self.disk.write_page(copy.id(), &copy)?;
+            }
+            self.stats.disk_writes += 1;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint support: ask the cache for dirty pages that are not part of
+    /// the persistent database (LC) and write them to disk.
+    pub fn checkpoint_cache(&mut self) -> TierResult<usize> {
+        let Some(cache) = self.cache.as_mut() else {
+            return Ok(0);
+        };
+        cache.sync(&mut self.io);
+        let drained = cache.drain_dirty_for_checkpoint(&mut self.io);
+        let n = drained.len();
+        self.write_staged_to_disk(&drained)?;
+        Ok(n)
+    }
+}
+
+impl LowerTier for FaceTier {
+    fn fetch(&mut self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome> {
+        if let Some(cache) = self.cache.as_mut() {
+            if let Some(hit) = cache.fetch(id, &mut self.io) {
+                self.stats.flash_fetches += 1;
+                match hit.data {
+                    Some(data) => {
+                        *buf = data;
+                        return Ok(FetchOutcome {
+                            source: FetchSource::FlashCache,
+                            dirty: hit.dirty,
+                        });
+                    }
+                    None => {
+                        // The cache is metadata-only (null flash store): fall
+                        // back to disk for the bytes but keep the flash-hit
+                        // accounting. Only possible in hybrid test setups.
+                        self.disk.read_page(id, buf)?;
+                        return Ok(FetchOutcome {
+                            source: FetchSource::FlashCache,
+                            dirty: hit.dirty,
+                        });
+                    }
+                }
+            }
+        }
+        self.disk.read_page(id, buf)?;
+        self.stats.disk_fetches += 1;
+        if let Some(cache) = self.cache.as_mut() {
+            // On-entry policies (TAC) may admit the page now.
+            let outcome = cache.on_fetched_from_disk(id, &mut self.io);
+            if outcome.cached {
+                self.stats.cache_inserts += 1;
+            }
+        }
+        Ok(FetchOutcome {
+            source: FetchSource::Disk,
+            dirty: false,
+        })
+    }
+
+    fn write_back(
+        &mut self,
+        page: &Page,
+        dirty: bool,
+        fdirty: bool,
+        reason: WriteBackReason,
+    ) -> TierResult<WriteBackOutcome> {
+        match self.cache.as_mut() {
+            None => {
+                // No flash cache: dirty pages go straight to disk.
+                if dirty {
+                    let mut copy = page.clone();
+                    copy.update_checksum();
+                    self.disk.write_page(copy.id(), &copy)?;
+                    self.stats.disk_writes += 1;
+                }
+                Ok(WriteBackOutcome {
+                    in_flash: false,
+                    on_disk: true,
+                })
+            }
+            Some(cache) => {
+                // FaCE checkpoints flush dirty pages to the flash cache; LC and
+                // TAC cannot treat the flash copy as persistent, so checkpoint
+                // writes must reach the disk. The page is still passed through
+                // the cache so that any cached copy is refreshed — otherwise a
+                // later fetch could resurrect a stale version (a coherence
+                // hazard for the on-entry, write-through TAC baseline).
+                if reason == WriteBackReason::Checkpoint && !cache.persists_dirty_pages() {
+                    let staged = StagedPage::with_data(page.clone(), dirty, fdirty);
+                    let outcome = cache.insert(staged, &mut NoSupplier, &mut self.io);
+                    for s in &outcome.staged_out {
+                        if let Some(data) = &s.data {
+                            let mut copy = data.clone();
+                            copy.update_checksum();
+                            self.disk.write_page(copy.id(), &copy)?;
+                        }
+                        self.stats.disk_writes += 1;
+                    }
+                    if dirty {
+                        let mut copy = page.clone();
+                        copy.update_checksum();
+                        self.disk.write_page(copy.id(), &copy)?;
+                        self.stats.disk_writes += 1;
+                    }
+                    return Ok(WriteBackOutcome {
+                        in_flash: false,
+                        on_disk: true,
+                    });
+                }
+
+                let persists = cache.persists_dirty_pages();
+                let staged = StagedPage::with_data(page.clone(), dirty, fdirty);
+                let outcome = cache.insert(staged, &mut NoSupplier, &mut self.io);
+                if outcome.cached {
+                    self.stats.cache_inserts += 1;
+                }
+                if outcome.wrote_through_to_disk && dirty {
+                    let mut copy = page.clone();
+                    copy.update_checksum();
+                    self.disk.write_page(copy.id(), &copy)?;
+                    self.stats.disk_writes += 1;
+                }
+                self.write_staged_to_disk(&outcome.staged_out)?;
+                Ok(WriteBackOutcome {
+                    in_flash: outcome.cached && persists,
+                    on_disk: outcome.wrote_through_to_disk,
+                })
+            }
+        }
+    }
+
+    fn allocate(&mut self, file: u32) -> TierResult<PageId> {
+        self.disk.allocate(file).map_err(TierError::from)
+    }
+
+    fn sync(&mut self) -> TierResult<()> {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.sync(&mut self.io);
+        }
+        self.disk.sync()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use face_buffer::LowerTier;
+    use face_cache::{build_cache, CacheConfig, CachePolicyKind, MemFlashStore};
+    use face_pagestore::{InMemoryPageStore, Lsn};
+
+    fn tier(policy: CachePolicyKind, capacity: usize) -> (FaceTier, Arc<InMemoryPageStore>) {
+        let disk = Arc::new(InMemoryPageStore::new());
+        let cfg = CacheConfig {
+            capacity_pages: capacity,
+            group_size: 4,
+            metadata_segment_entries: 1_000_000,
+            // Keep LC's background cleaner out of these focused tests.
+            lc_dirty_threshold: 2.0,
+            ..CacheConfig::default()
+        };
+        let cache = build_cache(policy, cfg, Arc::new(MemFlashStore::new(capacity)));
+        (
+            FaceTier::new(disk.clone() as Arc<dyn PageStore>, cache),
+            disk,
+        )
+    }
+
+    fn dirty_page(id: PageId, marker: &[u8]) -> Page {
+        let mut p = Page::new(id);
+        p.set_lsn(Lsn(1));
+        p.write_body(0, marker);
+        p
+    }
+
+    #[test]
+    fn eviction_goes_to_flash_then_serves_fetches() {
+        let (mut tier, disk) = tier(CachePolicyKind::FaceGsc, 64);
+        let id = tier.allocate(0).unwrap();
+        let page = dirty_page(id, b"cached in flash");
+        let out = tier
+            .write_back(&page, true, true, WriteBackReason::Eviction)
+            .unwrap();
+        assert!(out.in_flash);
+        assert!(!out.on_disk);
+        // The disk never saw the write (write-back).
+        let mut buf = Page::zeroed();
+        disk.read_page(id, &mut buf).unwrap();
+        assert!(!buf.is_formatted());
+
+        // A fetch is served from the flash cache with the dirty flag set.
+        let mut buf = Page::zeroed();
+        let fetched = tier.fetch(id, &mut buf).unwrap();
+        assert_eq!(fetched.source, FetchSource::FlashCache);
+        assert!(fetched.dirty);
+        assert_eq!(buf.read_body(0, 15), b"cached in flash");
+        assert_eq!(tier.stats().flash_fetches, 1);
+        assert_eq!(tier.stats().disk_writes, 0);
+    }
+
+    #[test]
+    fn no_cache_tier_writes_disk_directly() {
+        let disk = Arc::new(InMemoryPageStore::new());
+        let mut tier = FaceTier::new(disk.clone() as Arc<dyn PageStore>, None);
+        assert!(!tier.has_cache());
+        let id = tier.allocate(0).unwrap();
+        let page = dirty_page(id, b"straight to disk");
+        let out = tier
+            .write_back(&page, true, true, WriteBackReason::Eviction)
+            .unwrap();
+        assert!(out.on_disk && !out.in_flash);
+        let mut buf = Page::zeroed();
+        let fetched = tier.fetch(id, &mut buf).unwrap();
+        assert_eq!(fetched.source, FetchSource::Disk);
+        assert_eq!(buf.read_body(0, 16), b"straight to disk");
+    }
+
+    #[test]
+    fn stage_outs_reach_the_disk_store() {
+        // A tiny FaCE cache: filling it forces dirty stage-outs to disk.
+        let (mut tier, disk) = tier(CachePolicyKind::Face, 2);
+        let ids: Vec<PageId> = (0..4).map(|_| tier.allocate(0).unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            let page = dirty_page(*id, format!("v{i}").as_bytes());
+            tier.write_back(&page, true, true, WriteBackReason::Eviction)
+                .unwrap();
+        }
+        // The first pages were staged out of the 2-slot cache onto disk.
+        assert!(tier.stats().disk_writes >= 2);
+        let mut buf = Page::zeroed();
+        disk.read_page(ids[0], &mut buf).unwrap();
+        assert_eq!(buf.read_body(0, 2), b"v0");
+    }
+
+    #[test]
+    fn tac_write_through_hits_disk_and_counts() {
+        let (mut tier, disk) = tier(CachePolicyKind::Tac, 64);
+        let id = tier.allocate(0).unwrap();
+        let page = dirty_page(id, b"wt");
+        let out = tier
+            .write_back(&page, true, true, WriteBackReason::Eviction)
+            .unwrap();
+        assert!(out.on_disk);
+        assert!(!out.in_flash);
+        let mut buf = Page::zeroed();
+        disk.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf.read_body(0, 2), b"wt");
+    }
+
+    #[test]
+    fn lc_checkpoint_write_back_goes_to_disk() {
+        let (mut tier, disk) = tier(CachePolicyKind::Lc, 64);
+        let id = tier.allocate(0).unwrap();
+        let page = dirty_page(id, b"ckpt");
+        let out = tier
+            .write_back(&page, true, true, WriteBackReason::Checkpoint)
+            .unwrap();
+        assert!(out.on_disk);
+        let mut buf = Page::zeroed();
+        disk.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf.read_body(0, 4), b"ckpt");
+
+        // FaCE checkpoints, by contrast, stay in flash.
+        let (mut face_tier, face_disk) = super::tests::tier(CachePolicyKind::FaceGsc, 64);
+        let id = face_tier.allocate(0).unwrap();
+        let page = dirty_page(id, b"ckpt");
+        let out = face_tier
+            .write_back(&page, true, true, WriteBackReason::Checkpoint)
+            .unwrap();
+        assert!(out.in_flash && !out.on_disk);
+        let mut buf = Page::zeroed();
+        face_disk.read_page(id, &mut buf).unwrap();
+        assert!(!buf.is_formatted());
+    }
+
+    #[test]
+    fn on_entry_notification_reaches_tac() {
+        let (mut tier, disk) = tier(CachePolicyKind::Tac, 64);
+        let id = tier.allocate(0).unwrap();
+        // Put something on disk so fetches succeed.
+        let mut page = Page::new(id);
+        page.update_checksum();
+        disk.write_page(id, &page).unwrap();
+        // Two fetches warm the extent; the second admits the page.
+        let mut buf = Page::zeroed();
+        tier.fetch(id, &mut buf).unwrap();
+        tier.fetch(id, &mut buf).unwrap();
+        assert!(tier.cache().unwrap().contains(id));
+    }
+
+    #[test]
+    fn checkpoint_cache_drains_lc_dirty_pages() {
+        let (mut tier, disk) = tier(CachePolicyKind::Lc, 64);
+        let id = tier.allocate(0).unwrap();
+        let page = dirty_page(id, b"lazy");
+        tier.write_back(&page, true, true, WriteBackReason::Eviction)
+            .unwrap();
+        // Nothing on disk yet (write-back).
+        let mut buf = Page::zeroed();
+        disk.read_page(id, &mut buf).unwrap();
+        assert!(!buf.is_formatted());
+        let drained = tier.checkpoint_cache().unwrap();
+        assert_eq!(drained, 1);
+        disk.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf.read_body(0, 4), b"lazy");
+        // FaCE has nothing to drain.
+        let (mut face_tier, _) = super::tests::tier(CachePolicyKind::FaceGsc, 64);
+        assert_eq!(face_tier.checkpoint_cache().unwrap(), 0);
+    }
+
+    #[test]
+    fn io_log_drains() {
+        let (mut tier, _) = tier(CachePolicyKind::Face, 8);
+        let id = tier.allocate(0).unwrap();
+        let page = dirty_page(id, b"x");
+        tier.write_back(&page, true, true, WriteBackReason::Eviction)
+            .unwrap();
+        let events = tier.drain_io();
+        assert!(!events.is_empty());
+        assert!(tier.drain_io().is_empty());
+        tier.sync().unwrap();
+    }
+}

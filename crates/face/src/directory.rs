@@ -1,0 +1,432 @@
+//! The persistent metadata directory of the flash cache (paper §4.1–4.2).
+//!
+//! Every page entering the flash cache gets a directory entry (page id,
+//! pageLSN, dirty flag, slot). Because mvFIFO enqueues pages strictly in slot
+//! order, entries can be collected in an in-memory *current segment* and
+//! flushed to flash as one large sequential write ("flash cache
+//! checkpointing") — unlike LRU-based schemes (TAC), which must update entries
+//! in place with random writes for every replacement.
+//!
+//! After a crash, the directory is restored from:
+//! 1. the persisted segments (sequential flash read), and
+//! 2. a bounded scan of the data pages enqueued since the last segment flush
+//!    (at most two segments' worth), whose headers carry the page id and
+//!    pageLSN needed to rebuild the lost entries.
+
+use std::collections::HashMap;
+
+use face_pagestore::{Lsn, PageId};
+use serde::{Deserialize, Serialize};
+
+use crate::io::IoLog;
+
+/// Size of one serialised entry in bytes (the paper's 24-byte entries).
+pub const ENTRY_BYTES: usize = 24;
+
+/// One metadata entry describing a page version in the flash cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// The flash slot holding the page version.
+    pub slot: u32,
+    /// The cached page.
+    pub page: PageId,
+    /// The pageLSN of the cached version.
+    pub lsn: Lsn,
+    /// Whether the cached version is newer than the disk copy.
+    pub dirty: bool,
+}
+
+impl DirEntry {
+    /// Serialise to the fixed 24-byte representation.
+    pub fn to_bytes(&self) -> [u8; ENTRY_BYTES] {
+        let mut out = [0u8; ENTRY_BYTES];
+        out[0..8].copy_from_slice(&self.page.to_u64().to_le_bytes());
+        out[8..16].copy_from_slice(&self.lsn.0.to_le_bytes());
+        out[16..20].copy_from_slice(&self.slot.to_le_bytes());
+        out[20] = self.dirty as u8;
+        out
+    }
+
+    /// Deserialise from the 24-byte representation.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < ENTRY_BYTES {
+            return None;
+        }
+        Some(Self {
+            page: PageId::from_u64(u64::from_le_bytes(bytes[0..8].try_into().ok()?)),
+            lsn: Lsn(u64::from_le_bytes(bytes[8..16].try_into().ok()?)),
+            slot: u32::from_le_bytes(bytes[16..20].try_into().ok()?),
+            dirty: bytes[20] != 0,
+        })
+    }
+}
+
+/// Queue pointers persisted alongside the segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PersistedPointers {
+    /// Index of the oldest occupied slot.
+    pub front: u64,
+    /// Number of occupied slots.
+    pub size: u64,
+    /// Global enqueue sequence number covered by the persisted segments.
+    pub persisted_seq: u64,
+    /// Global enqueue sequence number at the last pointer update.
+    pub total_seq: u64,
+}
+
+/// Statistics for the metadata directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectoryStats {
+    /// Entries appended to the current segment.
+    pub entries_appended: u64,
+    /// Segments flushed to flash.
+    pub segments_flushed: u64,
+    /// Bytes written by segment flushes.
+    pub bytes_flushed: u64,
+}
+
+/// The outcome of restoring the directory after a crash.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredDirectory {
+    /// Entries restored, keyed by slot.
+    pub entries: HashMap<u32, DirEntry>,
+    /// The persisted queue pointers.
+    pub pointers: PersistedPointers,
+    /// Number of persisted segments loaded.
+    pub segments_loaded: u64,
+    /// Number of data pages scanned to rebuild the lost tail.
+    pub pages_scanned: u64,
+    /// Entries rebuilt from data-page headers (the lost tail).
+    pub entries_rebuilt_from_pages: u64,
+}
+
+/// The metadata directory: a RAM-resident current segment plus the persisted
+/// segments (which survive a crash, like any other flash-resident data).
+#[derive(Debug, Clone)]
+pub struct MetadataDirectory {
+    segment_entries: usize,
+    current: Vec<DirEntry>,
+    /// Persisted ("flash-resident") segments. Survive [`MetadataDirectory::crash`].
+    persisted: Vec<Vec<DirEntry>>,
+    pointers: PersistedPointers,
+    stats: DirectoryStats,
+}
+
+impl MetadataDirectory {
+    /// A directory flushing segments of `segment_entries` entries.
+    pub fn new(segment_entries: usize) -> Self {
+        assert!(segment_entries > 0, "segment must hold at least one entry");
+        Self {
+            segment_entries,
+            current: Vec::with_capacity(segment_entries),
+            persisted: Vec::new(),
+            pointers: PersistedPointers::default(),
+            stats: DirectoryStats::default(),
+        }
+    }
+
+    /// Entries per segment.
+    pub fn segment_entries(&self) -> usize {
+        self.segment_entries
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> DirectoryStats {
+        self.stats
+    }
+
+    /// Number of persisted segments.
+    pub fn persisted_segments(&self) -> usize {
+        self.persisted.len()
+    }
+
+    /// Entries waiting in the RAM-resident current segment.
+    pub fn pending_entries(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Append an entry for a page that just entered the flash cache. If the
+    /// current segment becomes full it is flushed (one sequential flash
+    /// write, recorded in `io`).
+    pub fn append(&mut self, entry: DirEntry, io: &mut IoLog) {
+        self.current.push(entry);
+        self.stats.entries_appended += 1;
+        self.pointers.total_seq += 1;
+        if self.current.len() >= self.segment_entries {
+            self.flush_segment(io);
+        }
+    }
+
+    /// Record the queue pointers (front, size). Pointer updates are folded
+    /// into the segment mechanism and charged no extra I/O.
+    pub fn update_pointers(&mut self, front: u64, size: u64) {
+        self.pointers.front = front;
+        self.pointers.size = size;
+    }
+
+    /// Force the current segment out (flash cache checkpointing). A no-op if
+    /// the current segment is empty.
+    pub fn flush_segment(&mut self, io: &mut IoLog) {
+        if self.current.is_empty() {
+            return;
+        }
+        let seg = std::mem::replace(&mut self.current, Vec::with_capacity(self.segment_entries));
+        let bytes = seg.len() * ENTRY_BYTES;
+        let pages = bytes.div_ceil(face_pagestore::PAGE_SIZE).max(1) as u32;
+        io.flash_write_seq(pages);
+        self.pointers.persisted_seq += seg.len() as u64;
+        self.persisted.push(seg);
+        self.stats.segments_flushed += 1;
+        self.stats.bytes_flushed += bytes as u64;
+    }
+
+    /// Simulate a crash: the RAM-resident current segment is lost, the
+    /// persisted segments and pointers survive.
+    pub fn crash(&mut self) {
+        self.current.clear();
+    }
+
+    /// The persisted pointers (what recovery will see).
+    pub fn pointers(&self) -> PersistedPointers {
+        self.pointers
+    }
+
+    /// Number of enqueues whose entries are *not* covered by persisted
+    /// segments (the tail that recovery must rebuild by scanning data pages).
+    pub fn unpersisted_entries(&self) -> u64 {
+        self.pointers.total_seq - self.pointers.persisted_seq
+    }
+
+    /// Restore the directory after a crash.
+    ///
+    /// * Persisted segments are read back (one sequential flash read each).
+    /// * The lost tail — enqueues after the last persisted segment, bounded to
+    ///   two segments' worth as in the paper — is rebuilt by scanning data
+    ///   page headers via `read_slot_header` (one sequential flash read of
+    ///   the scanned region).
+    ///
+    /// Later entries supersede earlier ones for the same slot.
+    pub fn recover(
+        &self,
+        capacity_slots: u64,
+        read_slot_header: &mut dyn FnMut(u32) -> Option<(PageId, Lsn)>,
+        io: &mut IoLog,
+    ) -> RecoveredDirectory {
+        let mut out = RecoveredDirectory {
+            pointers: self.pointers,
+            ..Default::default()
+        };
+
+        // 1. Replay persisted segments in order.
+        for seg in &self.persisted {
+            let bytes = seg.len() * ENTRY_BYTES;
+            let pages = bytes.div_ceil(face_pagestore::PAGE_SIZE).max(1) as u32;
+            io.flash_read_seq(pages);
+            out.segments_loaded += 1;
+            for e in seg {
+                out.entries.insert(e.slot, *e);
+            }
+        }
+
+        // 2. Rebuild the lost tail from data page headers. The tail is the
+        //    last `unpersisted` enqueued slots before the rear, capped at two
+        //    segments (the paper scans the two most recent segments to cover
+        //    a flush that was in progress at the crash).
+        let unpersisted = self.unpersisted_entries();
+        let scan = unpersisted
+            .min(2 * self.segment_entries as u64)
+            .min(capacity_slots);
+        if scan > 0 && capacity_slots > 0 {
+            let rear = (self.pointers.front + self.pointers.size) % capacity_slots;
+            io.flash_read_seq(scan as u32);
+            for i in 0..scan {
+                // Slots counted backwards from the rear (modular, avoiding
+                // underflow when the scan wraps past slot zero).
+                let slot = ((rear as i128 - 1 - i as i128)
+                    .rem_euclid(capacity_slots as i128)) as u32;
+                out.pages_scanned += 1;
+                if let Some((page, lsn)) = read_slot_header(slot) {
+                    // The dirty flag is not in the page header; assume dirty
+                    // (safe: at worst an extra disk write at stage-out).
+                    out.entries.insert(
+                        slot,
+                        DirEntry {
+                            slot,
+                            page,
+                            lsn,
+                            dirty: true,
+                        },
+                    );
+                    out.entries_rebuilt_from_pages += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Persistent directory size in bytes (what recovery must read).
+    pub fn persisted_bytes(&self) -> u64 {
+        self.persisted
+            .iter()
+            .map(|s| (s.len() * ENTRY_BYTES) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(slot: u32, page: u32, lsn: u64, dirty: bool) -> DirEntry {
+        DirEntry {
+            slot,
+            page: PageId::new(0, page),
+            lsn: Lsn(lsn),
+            dirty,
+        }
+    }
+
+    #[test]
+    fn entry_serialisation_round_trips() {
+        let e = entry(7, 1234, 999, true);
+        let bytes = e.to_bytes();
+        assert_eq!(bytes.len(), ENTRY_BYTES);
+        assert_eq!(DirEntry::from_bytes(&bytes), Some(e));
+        assert_eq!(DirEntry::from_bytes(&bytes[..10]), None);
+    }
+
+    #[test]
+    fn segment_flushes_when_full() {
+        let mut dir = MetadataDirectory::new(4);
+        let mut io = IoLog::new();
+        for i in 0..3 {
+            dir.append(entry(i, i, i as u64, false), &mut io);
+        }
+        assert_eq!(dir.persisted_segments(), 0);
+        assert_eq!(dir.pending_entries(), 3);
+        assert!(io.is_empty());
+
+        dir.append(entry(3, 3, 3, false), &mut io);
+        assert_eq!(dir.persisted_segments(), 1);
+        assert_eq!(dir.pending_entries(), 0);
+        // The flush is one sequential flash write.
+        assert_eq!(io.flash_pages_written(), 1);
+        assert_eq!(io.flash_pages_written_random(), 0);
+        assert_eq!(dir.stats().segments_flushed, 1);
+        assert_eq!(dir.stats().bytes_flushed, 4 * ENTRY_BYTES as u64);
+    }
+
+    #[test]
+    fn paper_segment_size_is_about_1_5_mb() {
+        let bytes = 64_000 * ENTRY_BYTES;
+        assert!(bytes > 1_400_000 && bytes < 1_600_000);
+    }
+
+    #[test]
+    fn crash_loses_only_current_segment() {
+        let mut dir = MetadataDirectory::new(2);
+        let mut io = IoLog::new();
+        dir.append(entry(0, 10, 1, true), &mut io);
+        dir.append(entry(1, 11, 2, true), &mut io); // flush
+        dir.append(entry(2, 12, 3, true), &mut io); // pending
+        assert_eq!(dir.unpersisted_entries(), 1);
+        dir.crash();
+        assert_eq!(dir.pending_entries(), 0);
+        assert_eq!(dir.persisted_segments(), 1);
+        // Pointers and persisted seq survive.
+        assert_eq!(dir.pointers().total_seq, 3);
+        assert_eq!(dir.pointers().persisted_seq, 2);
+    }
+
+    #[test]
+    fn recovery_merges_segments_and_scanned_tail() {
+        let mut dir = MetadataDirectory::new(2);
+        let mut io = IoLog::new();
+        dir.append(entry(0, 10, 1, true), &mut io);
+        dir.append(entry(1, 11, 2, false), &mut io); // segment flushed
+        dir.append(entry(2, 12, 3, true), &mut io); // lost at crash
+        dir.update_pointers(0, 3);
+        dir.crash();
+
+        let mut recov_io = IoLog::new();
+        let restored = dir.recover(
+            8,
+            &mut |slot| {
+                // The flash store still holds page 12 at slot 2.
+                if slot == 2 {
+                    Some((PageId::new(0, 12), Lsn(3)))
+                } else {
+                    None
+                }
+            },
+            &mut recov_io,
+        );
+        assert_eq!(restored.segments_loaded, 1);
+        assert_eq!(restored.entries_rebuilt_from_pages, 1);
+        assert_eq!(restored.pages_scanned, 1);
+        assert_eq!(restored.entries.len(), 3);
+        assert_eq!(restored.entries[&0].page, PageId::new(0, 10));
+        assert_eq!(restored.entries[&2].page, PageId::new(0, 12));
+        // Rebuilt-from-header entries are conservatively dirty.
+        assert!(restored.entries[&2].dirty);
+        // Recovery performed sequential flash reads only.
+        assert!(recov_io.flash_pages_written() == 0);
+        assert!(recov_io
+            .events()
+            .iter()
+            .all(|e| !e.is_write() && e.is_flash()));
+    }
+
+    #[test]
+    fn recovery_scan_is_bounded_to_two_segments() {
+        let mut dir = MetadataDirectory::new(10);
+        let mut io = IoLog::new();
+        // 35 entries, none flushed manually -> 3 segments persisted (30
+        // entries), 5 pending lost.
+        for i in 0..35u32 {
+            dir.append(entry(i, i, i as u64, false), &mut io);
+        }
+        dir.update_pointers(0, 35);
+        dir.crash();
+        let restored = dir.recover(100, &mut |_| None, &mut IoLog::new());
+        assert_eq!(restored.segments_loaded, 3);
+        assert_eq!(restored.pages_scanned, 5); // only the lost tail
+        assert_eq!(restored.entries.len(), 30);
+
+        // If nothing was ever flushed, the scan caps at 2 segments.
+        let mut dir = MetadataDirectory::new(10);
+        for i in 0..50u32 {
+            dir.append(entry(i, i, 0, false), &mut io);
+        }
+        // Pretend none persisted by building a fresh directory with only
+        // pointer state: simulate by crashing a directory whose segment size
+        // is huge.
+        let mut big = MetadataDirectory::new(1_000_000);
+        for i in 0..50u32 {
+            big.append(entry(i, i, 0, false), &mut io);
+        }
+        big.update_pointers(0, 50);
+        big.crash();
+        let restored = big.recover(1000, &mut |_| None, &mut IoLog::new());
+        assert_eq!(restored.pages_scanned, 50);
+    }
+
+    #[test]
+    fn forced_flush_and_persisted_bytes() {
+        let mut dir = MetadataDirectory::new(100);
+        let mut io = IoLog::new();
+        dir.flush_segment(&mut io); // empty: no-op
+        assert_eq!(dir.persisted_segments(), 0);
+        dir.append(entry(0, 1, 1, true), &mut io);
+        dir.flush_segment(&mut io);
+        assert_eq!(dir.persisted_segments(), 1);
+        assert_eq!(dir.persisted_bytes(), ENTRY_BYTES as u64);
+        assert_eq!(dir.unpersisted_entries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_segment_size_rejected() {
+        let _ = MetadataDirectory::new(0);
+    }
+}

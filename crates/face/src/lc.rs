@@ -1,0 +1,460 @@
+//! The Lazy Cleaning (LC) baseline [Do et al., SIGMOD 2011] as described in
+//! the paper's §2.3 and §5.
+//!
+//! LC caches pages on exit from the DRAM buffer with a write-back policy —
+//! the same "when" and "sync" choices as FaCE — but manages the flash cache
+//! with LRU-2 replacement and keeps exactly one copy per page, overwriting it
+//! in place. Every admission or replacement therefore costs a *random* flash
+//! write, which is what saturates the flash device in the paper's Table 4.
+//! A lazy cleaner flushes cold dirty pages to disk in the background once the
+//! dirty fraction exceeds a threshold.
+//!
+//! Because LC provides no mechanism for making the flash-resident dirty pages
+//! part of the persistent database, checkpoints must write them to disk
+//! ([`FlashCache::drain_dirty_for_checkpoint`]).
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use face_pagestore::{Lsn, PageId};
+
+use crate::io::IoLog;
+use crate::policy::{FlashCache, PageSupplier};
+use crate::store::FlashStore;
+use crate::types::{
+    CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome, StagedPage,
+};
+
+#[derive(Debug, Clone, Copy)]
+struct LcMeta {
+    slot: usize,
+    lsn: Lsn,
+    dirty: bool,
+    /// Most recent and second most recent access times (logical clock).
+    last: u64,
+    penultimate: u64,
+}
+
+/// The LC flash cache.
+pub struct LcCache {
+    config: CacheConfig,
+    store: Arc<dyn FlashStore>,
+    map: HashMap<PageId, LcMeta>,
+    /// Victim order for LRU-2: pages keyed by (penultimate access, last
+    /// access, page). A page referenced only once has penultimate = 0 and is
+    /// evicted before any page with two references, as LRU-2 prescribes.
+    victim_order: BTreeSet<(u64, u64, PageId)>,
+    free_slots: Vec<usize>,
+    clock: u64,
+    dirty_count: usize,
+    stats: CacheStats,
+}
+
+impl LcCache {
+    /// Create an LC cache over `store`.
+    pub fn new(config: CacheConfig, store: Arc<dyn FlashStore>) -> Self {
+        assert!(config.capacity_pages > 0, "flash cache needs capacity");
+        assert!(
+            store.capacity() >= config.capacity_pages,
+            "flash store smaller than configured capacity"
+        );
+        let free_slots = (0..config.capacity_pages).rev().collect();
+        Self {
+            config,
+            store,
+            map: HashMap::new(),
+            victim_order: BTreeSet::new(),
+            free_slots,
+            clock: 0,
+            dirty_count: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Current fraction of cached pages that are dirty.
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.map.is_empty() {
+            0.0
+        } else {
+            self.dirty_count as f64 / self.map.len() as f64
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn bump(&mut self, page: PageId) {
+        let now = self.tick();
+        if let Some(meta) = self.map.get_mut(&page) {
+            let old_key = (meta.penultimate, meta.last, page);
+            meta.penultimate = meta.last;
+            meta.last = now;
+            self.victim_order.remove(&old_key);
+            self.victim_order.insert((meta.penultimate, meta.last, page));
+        }
+    }
+
+    fn remove_entry(&mut self, page: PageId) -> Option<LcMeta> {
+        let meta = self.map.remove(&page)?;
+        self.victim_order
+            .remove(&(meta.penultimate, meta.last, page));
+        if meta.dirty {
+            self.dirty_count -= 1;
+        }
+        self.free_slots.push(meta.slot);
+        Some(meta)
+    }
+
+    /// Evict the LRU-2 victim, returning its stage-out (if it was dirty).
+    fn evict_victim(&mut self, io: &mut IoLog) -> Option<StagedPage> {
+        let &(_, _, victim) = self.victim_order.iter().next()?;
+        let meta = self.remove_entry(victim).expect("victim is cached");
+        self.stats.staged_out += 1;
+        if meta.dirty {
+            // Reading the page back out of flash and writing it to disk are
+            // both random operations.
+            io.flash_read_rand(1);
+            io.disk_write(victim);
+            self.stats.staged_out_to_disk += 1;
+            Some(StagedPage {
+                page: victim,
+                lsn: meta.lsn,
+                dirty: true,
+                fdirty: false,
+                data: self.store.read_slot(meta.slot),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The background lazy cleaner: once the dirty fraction exceeds the
+    /// threshold, flush the coldest dirty pages to disk until the target
+    /// fraction is reached. Returns the cleaned pages so the engine can write
+    /// them to the disk store in data-carrying mode.
+    fn lazy_clean(&mut self, io: &mut IoLog) -> Vec<StagedPage> {
+        let mut cleaned = Vec::new();
+        if self.dirty_fraction() <= self.config.lc_dirty_threshold {
+            return cleaned;
+        }
+        let target =
+            (self.config.lc_clean_target * self.map.len() as f64).floor() as usize;
+        // Coldest-first order is exactly the victim order.
+        let order: Vec<PageId> = self.victim_order.iter().map(|&(_, _, p)| p).collect();
+        for page in order {
+            if self.dirty_count <= target {
+                break;
+            }
+            let Some(meta) = self.map.get_mut(&page) else {
+                continue;
+            };
+            if !meta.dirty {
+                continue;
+            }
+            meta.dirty = false;
+            self.dirty_count -= 1;
+            self.stats.lazily_cleaned += 1;
+            io.flash_read_rand(1);
+            io.disk_write(page);
+            cleaned.push(StagedPage {
+                page,
+                lsn: meta.lsn,
+                dirty: true,
+                fdirty: false,
+                data: self.store.read_slot(meta.slot),
+            });
+        }
+        cleaned
+    }
+}
+
+impl FlashCache for LcCache {
+    fn policy_name(&self) -> &'static str {
+        "LC"
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
+        self.stats.lookups += 1;
+        let meta = *self.map.get(&page)?;
+        self.stats.hits += 1;
+        self.bump(page);
+        io.flash_read_rand(1);
+        Some(FlashFetch {
+            data: self.store.read_slot(meta.slot),
+            dirty: meta.dirty,
+            lsn: meta.lsn,
+        })
+    }
+
+    fn insert(
+        &mut self,
+        staged: StagedPage,
+        _supplier: &mut dyn PageSupplier,
+        io: &mut IoLog,
+    ) -> InsertOutcome {
+        self.stats.inserts += 1;
+        if staged.dirty {
+            self.stats.dirty_inserts += 1;
+        }
+        let mut outcome = InsertOutcome {
+            cached: true,
+            ..Default::default()
+        };
+
+        if let Some(meta) = self.map.get_mut(&staged.page) {
+            // Single-copy design: overwrite the existing copy in place.
+            let became_dirty = staged.dirty && !meta.dirty;
+            meta.dirty |= staged.dirty;
+            meta.lsn = staged.lsn;
+            if became_dirty {
+                self.dirty_count += 1;
+            }
+            let slot = meta.slot;
+            io.flash_write_rand(1);
+            if let Some(data) = &staged.data {
+                self.store.write_slot(slot, data);
+            }
+            self.bump(staged.page);
+            self.stats.cached_inserts += 1;
+        } else {
+            // Admit a new page, evicting the LRU-2 victim if full.
+            if self.free_slots.is_empty() {
+                if let Some(out) = self.evict_victim(io) {
+                    outcome.staged_out.push(out);
+                }
+            }
+            let slot = self.free_slots.pop().expect("slot freed by eviction");
+            io.flash_write_rand(1);
+            if let Some(data) = &staged.data {
+                self.store.write_slot(slot, data);
+            }
+            let now = self.tick();
+            self.map.insert(
+                staged.page,
+                LcMeta {
+                    slot,
+                    lsn: staged.lsn,
+                    dirty: staged.dirty,
+                    last: now,
+                    penultimate: 0,
+                },
+            );
+            self.victim_order.insert((0, now, staged.page));
+            if staged.dirty {
+                self.dirty_count += 1;
+            }
+            self.stats.cached_inserts += 1;
+        }
+
+        // Background lazy cleaning.
+        let cleaned = self.lazy_clean(io);
+        outcome.staged_out.extend(cleaned);
+        outcome
+    }
+
+    fn sync(&mut self, _io: &mut IoLog) {
+        // LC has no buffered batch; nothing to do.
+    }
+
+    fn drain_dirty_for_checkpoint(&mut self, io: &mut IoLog) -> Vec<StagedPage> {
+        let dirty_pages: Vec<PageId> = self
+            .map
+            .iter()
+            .filter(|(_, m)| m.dirty)
+            .map(|(p, _)| *p)
+            .collect();
+        let mut out = Vec::with_capacity(dirty_pages.len());
+        for page in dirty_pages {
+            let meta = self.map.get_mut(&page).expect("still cached");
+            meta.dirty = false;
+            self.dirty_count -= 1;
+            io.flash_read_rand(1);
+            io.disk_write(page);
+            out.push(StagedPage {
+                page,
+                lsn: meta.lsn,
+                dirty: true,
+                fdirty: false,
+                data: self.store.read_slot(meta.slot),
+            });
+        }
+        out
+    }
+
+    fn persists_dirty_pages(&self) -> bool {
+        false
+    }
+
+    fn crash_and_recover(&mut self, _io: &mut IoLog) -> CacheRecoveryInfo {
+        // LC keeps no persistent metadata: after a crash the flash-resident
+        // copies are unreachable and the cache restarts cold (paper §4.1).
+        self.map.clear();
+        self.victim_order.clear();
+        self.free_slots = (0..self.config.capacity_pages).rev().collect();
+        self.dirty_count = 0;
+        CacheRecoveryInfo::default()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.capacity_pages
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NoSupplier;
+    use crate::store::NullFlashStore;
+
+    fn pid(n: u32) -> PageId {
+        PageId::new(0, n)
+    }
+
+    fn staged(n: u32, dirty: bool) -> StagedPage {
+        StagedPage::meta_only(pid(n), Lsn(n as u64), dirty, dirty)
+    }
+
+    fn cache(capacity: usize) -> LcCache {
+        let cfg = CacheConfig {
+            capacity_pages: capacity,
+            lc_dirty_threshold: 2.0, // unreachable: the cleaner never runs in these tests
+            lc_clean_target: 0.5,
+            ..CacheConfig::default()
+        };
+        LcCache::new(cfg, Arc::new(NullFlashStore::new(capacity)))
+    }
+
+    #[test]
+    fn single_copy_overwrite_in_place() {
+        let mut c = cache(4);
+        let mut io = IoLog::new();
+        c.insert(staged(1, false), &mut NoSupplier, &mut io);
+        c.insert(staged(1, true), &mut NoSupplier, &mut io);
+        assert_eq!(c.len(), 1, "LC keeps one copy per page");
+        // Both writes are random flash writes.
+        assert_eq!(io.flash_pages_written_random(), 2);
+        assert!((c.dirty_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fetch_hits_and_misses() {
+        let mut c = cache(4);
+        let mut io = IoLog::new();
+        c.insert(staged(1, true), &mut NoSupplier, &mut io);
+        assert!(c.fetch(pid(1), &mut io).unwrap().dirty);
+        assert!(c.fetch(pid(2), &mut io).is_none());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().lookups, 2);
+    }
+
+    #[test]
+    fn lru2_prefers_single_reference_victims() {
+        let mut c = cache(3);
+        let mut io = IoLog::new();
+        c.insert(staged(1, false), &mut NoSupplier, &mut io);
+        c.insert(staged(2, false), &mut NoSupplier, &mut io);
+        c.insert(staged(3, false), &mut NoSupplier, &mut io);
+        // Page 1 gets a second reference (older than page 2's first), page 2
+        // and 3 have only one. LRU-2 evicts among single-reference pages
+        // first, oldest first: page 2.
+        c.fetch(pid(1), &mut io).unwrap();
+        c.insert(staged(4, false), &mut NoSupplier, &mut io);
+        assert!(c.contains(pid(1)));
+        assert!(!c.contains(pid(2)));
+        assert!(c.contains(pid(3)));
+        assert!(c.contains(pid(4)));
+    }
+
+    #[test]
+    fn dirty_eviction_goes_to_disk() {
+        let mut c = cache(2);
+        let mut io = IoLog::new();
+        c.insert(staged(1, true), &mut NoSupplier, &mut io);
+        c.insert(staged(2, false), &mut NoSupplier, &mut io);
+        let mut io = IoLog::new();
+        let out = c.insert(staged(3, false), &mut NoSupplier, &mut io);
+        // Page 1 (oldest, dirty) is evicted: flash read + disk write.
+        assert_eq!(io.disk_writes(), 1);
+        assert_eq!(out.staged_out.len(), 1);
+        assert_eq!(out.staged_out[0].page, pid(1));
+        assert_eq!(c.stats().staged_out_to_disk, 1);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = cache(1);
+        let mut io = IoLog::new();
+        c.insert(staged(1, false), &mut NoSupplier, &mut io);
+        let mut io = IoLog::new();
+        let out = c.insert(staged(2, false), &mut NoSupplier, &mut io);
+        assert_eq!(io.disk_writes(), 0);
+        assert!(out.staged_out.is_empty());
+    }
+
+    #[test]
+    fn lazy_cleaner_kicks_in_above_threshold() {
+        let cfg = CacheConfig {
+            capacity_pages: 10,
+            lc_dirty_threshold: 0.5,
+            lc_clean_target: 0.2,
+            ..CacheConfig::default()
+        };
+        let mut c = LcCache::new(cfg, Arc::new(NullFlashStore::new(10)));
+        let mut io = IoLog::new();
+        for i in 0..8 {
+            c.insert(staged(i, true), &mut NoSupplier, &mut io);
+        }
+        // 8/8 dirty > 0.5 threshold -> cleaner runs down to 20%.
+        assert!(c.dirty_fraction() <= 0.5);
+        assert!(c.stats().lazily_cleaned > 0);
+        assert!(io.disk_writes() > 0);
+        // Cleaned pages stay cached (clean), so the cache still contains them.
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn checkpoint_drains_dirty_pages_to_disk() {
+        let mut c = cache(8);
+        let mut io = IoLog::new();
+        for i in 0..5 {
+            c.insert(staged(i, i % 2 == 0), &mut NoSupplier, &mut io);
+        }
+        assert!(!c.persists_dirty_pages());
+        let mut ckpt_io = IoLog::new();
+        let drained = c.drain_dirty_for_checkpoint(&mut ckpt_io);
+        assert_eq!(drained.len(), 3); // pages 0, 2, 4
+        assert_eq!(ckpt_io.disk_writes(), 3);
+        assert!((c.dirty_fraction() - 0.0).abs() < 1e-9);
+        // Second drain is free.
+        assert!(c.drain_dirty_for_checkpoint(&mut ckpt_io).is_empty());
+    }
+
+    #[test]
+    fn all_flash_writes_are_random() {
+        let mut c = cache(16);
+        let mut io = IoLog::new();
+        for i in 0..100 {
+            c.insert(staged(i % 30, i % 2 == 0), &mut NoSupplier, &mut io);
+        }
+        assert_eq!(io.flash_pages_written(), io.flash_pages_written_random());
+        assert!(c.len() <= c.capacity());
+    }
+}

@@ -1,0 +1,55 @@
+//! # face-cache — the FaCE flash cache extension
+//!
+//! The paper's primary contribution: managing a flash SSD as a second-level
+//! cache between the DRAM buffer pool and the disk array, optimised for the
+//! write asymmetry of flash memory, and extending the persistent database to
+//! include the cached pages so that checkpointing and restart become cheaper.
+//!
+//! ## Policies
+//!
+//! | Policy | When cached | Sync | Replacement | Module |
+//! |---|---|---|---|---|
+//! | FaCE (mvFIFO) | on exit from DRAM | write-back | multi-version FIFO | [`mvfifo`] |
+//! | FaCE + GR | on exit | write-back | mvFIFO, batched group I/O | [`mvfifo`] |
+//! | FaCE + GSC | on exit | write-back | mvFIFO, group second chance | [`mvfifo`] |
+//! | LC (lazy cleaning) | on exit | write-back | LRU-2, in-place overwrite | [`lc`] |
+//! | TAC (temperature-aware) | on entry | write-through | temperature buckets | [`tac`] |
+//!
+//! All policies implement the [`FlashCache`] trait, record the physical I/O
+//! they cause in an [`IoLog`] (so the simulation driver can charge calibrated
+//! device times), and optionally carry real page data through a [`FlashStore`]
+//! (so the functional engine, the recovery tests and the examples move real
+//! bytes).
+//!
+//! ## Recovery
+//!
+//! [`directory::MetadataDirectory`] implements the paper's §4 flash-cache
+//! checkpointing: metadata entries are accumulated per enqueue and flushed to
+//! flash in large sequential segments; after a crash the directory is
+//! restored from the persisted segments plus a bounded scan of the most
+//! recently enqueued data pages.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost_model;
+pub mod directory;
+pub mod io;
+pub mod lc;
+pub mod mvfifo;
+pub mod policy;
+pub mod store;
+pub mod tac;
+pub mod types;
+
+pub use cost_model::{AccessMix, CostModel};
+pub use directory::{DirEntry, MetadataDirectory, RecoveredDirectory};
+pub use io::{FlashIoEvent, IoLog};
+pub use lc::LcCache;
+pub use mvfifo::MvFifoCache;
+pub use policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier, PageSupplier};
+pub use store::{FlashStore, HeaderFlashStore, MemFlashStore, NullFlashStore};
+pub use tac::TacCache;
+pub use types::{
+    CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome, StagedPage,
+};

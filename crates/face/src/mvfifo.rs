@@ -1,0 +1,960 @@
+//! Multi-Version FIFO replacement with Group Replacement and Group Second
+//! Chance — the FaCE caching algorithms (paper §3.2–3.3, Algorithm 1).
+//!
+//! The flash cache is a circular queue of page slots. Pages evicted from the
+//! DRAM buffer are *enqueued at the rear* (append-only, hence sequential flash
+//! writes); victims are *dequeued from the front*. Because older versions of a
+//! page are never overwritten in place, several versions of the same page can
+//! coexist; only the most recently enqueued one is *valid*. Dequeued pages are
+//! written to disk only if they are dirty and valid; everything else is simply
+//! discarded.
+//!
+//! * **FaCE** (base): `group_size = 1` — every enqueue is an append of one
+//!   page, every replacement dequeues one page.
+//! * **FaCE + GR**: enqueues are buffered and written as one batch-sized
+//!   sequential I/O; replacements dequeue a whole group at once.
+//! * **FaCE + GSC**: like GR, but a dequeued page whose reference bit is set
+//!   (it was hit while cached) is re-enqueued instead of discarded; if the
+//!   write batch still has room it is topped up with dirty pages pulled from
+//!   the DRAM buffer's LRU tail.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use face_pagestore::{Lsn, Page, PageId};
+
+use crate::directory::{DirEntry, MetadataDirectory, RecoveredDirectory};
+use crate::io::IoLog;
+use crate::policy::{FlashCache, PageSupplier};
+use crate::store::FlashStore;
+use crate::types::{
+    CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome, StagedPage,
+};
+
+/// Metadata for one occupied flash slot.
+#[derive(Debug, Clone)]
+struct SlotMeta {
+    page: PageId,
+    lsn: Lsn,
+    /// The cached version is newer than the disk copy.
+    dirty: bool,
+    /// This is the latest version of the page (only valid copies are served
+    /// and only valid dirty copies are flushed to disk at dequeue).
+    valid: bool,
+    /// The page was referenced (hit) while cached — second-chance candidate.
+    referenced: bool,
+}
+
+/// The FaCE flash cache.
+pub struct MvFifoCache {
+    config: CacheConfig,
+    store: Arc<dyn FlashStore>,
+    /// Slot metadata; `None` means the slot is currently outside the queue.
+    slots: Vec<Option<SlotMeta>>,
+    /// Index of the oldest occupied slot.
+    front: usize,
+    /// Number of occupied slots.
+    size: usize,
+    /// Latest valid version of each cached page.
+    dir: HashMap<PageId, usize>,
+    /// Slots assigned but whose physical batch write has not happened yet.
+    pending_slots: Vec<usize>,
+    /// Data for the pending slots (parallel to `pending_slots`) when the
+    /// store carries data.
+    pending_data: Vec<Option<Page>>,
+    meta_dir: MetadataDirectory,
+    stats: CacheStats,
+}
+
+impl MvFifoCache {
+    /// Create a cache with the given configuration over `store`.
+    ///
+    /// # Panics
+    /// Panics if the store capacity does not match the configured capacity or
+    /// if the capacity is zero.
+    pub fn new(config: CacheConfig, store: Arc<dyn FlashStore>) -> Self {
+        assert!(config.capacity_pages > 0, "flash cache needs capacity");
+        assert!(
+            store.capacity() >= config.capacity_pages,
+            "flash store smaller than configured capacity"
+        );
+        assert!(config.group_size >= 1, "group size must be at least 1");
+        let capacity = config.capacity_pages;
+        let meta_dir = MetadataDirectory::new(config.metadata_segment_entries);
+        Self {
+            config,
+            store,
+            slots: (0..capacity).map(|_| None).collect(),
+            front: 0,
+            size: 0,
+            dir: HashMap::new(),
+            pending_slots: Vec::new(),
+            pending_data: Vec::new(),
+            meta_dir,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The persistent metadata directory (for recovery experiments).
+    pub fn metadata_directory(&self) -> &MetadataDirectory {
+        &self.meta_dir
+    }
+
+    /// Force a flash-cache checkpoint of the metadata directory (independent
+    /// of database checkpointing, as in the paper).
+    pub fn checkpoint_metadata(&mut self, io: &mut IoLog) {
+        self.meta_dir.flush_segment(io);
+        self.stats.metadata_flushes += 1;
+    }
+
+    /// Fraction of occupied slots holding invalidated (duplicate) versions —
+    /// the paper reports 30–40 % duplicates for an 8 GB cache.
+    pub fn duplicate_ratio(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        let invalid = self
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Some(m) if !m.valid))
+            .count();
+        invalid as f64 / self.size as f64
+    }
+
+    fn free_slots(&self) -> usize {
+        self.config.capacity_pages - self.size
+    }
+
+    /// The data stored at `slot`, looking in the not-yet-flushed pending
+    /// batch first (those pages are RAM-resident until the batch write).
+    fn slot_data(&self, slot: usize) -> Option<Page> {
+        if let Some(pos) = self.pending_slots.iter().position(|&s| s == slot) {
+            return self.pending_data[pos].clone();
+        }
+        self.store.read_slot(slot)
+    }
+
+    fn rear(&self) -> usize {
+        (self.front + self.size) % self.config.capacity_pages
+    }
+
+    /// Assign the rear slot to a page version and record its metadata entry.
+    /// The physical write is deferred to the pending batch.
+    fn enqueue_assign(&mut self, staged: &StagedPage, io: &mut IoLog) -> usize {
+        debug_assert!(self.free_slots() > 0, "enqueue without free slot");
+        let slot = self.rear();
+        self.size += 1;
+        self.slots[slot] = Some(SlotMeta {
+            page: staged.page,
+            lsn: staged.lsn,
+            dirty: staged.dirty,
+            valid: true,
+            referenced: false,
+        });
+        self.dir.insert(staged.page, slot);
+        self.meta_dir.append(
+            DirEntry {
+                slot: slot as u32,
+                page: staged.page,
+                lsn: staged.lsn,
+                dirty: staged.dirty,
+            },
+            io,
+        );
+        self.meta_dir
+            .update_pointers(self.front as u64, self.size as u64);
+        self.pending_slots.push(slot);
+        self.pending_data.push(staged.data.clone());
+        slot
+    }
+
+    /// Physically write the pending batch as one sequential flash I/O.
+    fn flush_pending(&mut self, io: &mut IoLog) {
+        if self.pending_slots.is_empty() {
+            return;
+        }
+        let n = self.pending_slots.len() as u32;
+        // One batch-sized sequential flash write (the pending slots were
+        // assigned consecutively at the rear).
+        io.flash_write_seq(n);
+        for (slot, data) in self.pending_slots.iter().zip(self.pending_data.iter()) {
+            if self.store.carries_data() {
+                if let Some(page) = data {
+                    self.store.write_slot(*slot, page);
+                }
+            }
+            // Header-only stores learn which page now occupies the slot, so
+            // a recovery scan of page headers works in simulation mode too.
+            if let Some(meta) = &self.slots[*slot] {
+                self.store.note_slot_header(*slot, meta.page, meta.lsn);
+            }
+        }
+        self.pending_slots.clear();
+        self.pending_data.clear();
+    }
+
+    /// Dequeue up to `group_size` slots from the front. Dirty valid pages are
+    /// staged out to disk; referenced valid pages get a second chance under
+    /// GSC. Returns the staged pages that must be written to disk and the
+    /// pages to re-enqueue.
+    fn group_dequeue(
+        &mut self,
+        io: &mut IoLog,
+    ) -> (Vec<StagedPage>, Vec<StagedPage>) {
+        let n = self.config.group_size.min(self.size);
+        if n == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        // Decide whether the batch requires reading page contents back from
+        // flash: any page that will be flushed to disk or re-enqueued.
+        let mut needs_read = false;
+        for i in 0..n {
+            let slot = (self.front + i) % self.config.capacity_pages;
+            if let Some(m) = &self.slots[slot] {
+                if m.valid && (m.dirty || (self.config.second_chance && m.referenced)) {
+                    needs_read = true;
+                    break;
+                }
+            }
+        }
+        if needs_read {
+            io.flash_read_seq(n as u32);
+        }
+
+        let mut to_disk = Vec::new();
+        let mut second_chance = Vec::new();
+        for i in 0..n {
+            let slot = (self.front + i) % self.config.capacity_pages;
+            let Some(meta) = self.slots[slot].take() else {
+                continue;
+            };
+            // If this slot's write is still pending, take its data out of the
+            // pending batch so it is neither lost nor written later.
+            let pending_data = self
+                .pending_slots
+                .iter()
+                .position(|&s| s == slot)
+                .map(|pos| {
+                    self.pending_slots.remove(pos);
+                    self.pending_data.remove(pos)
+                })
+                .flatten();
+            self.stats.staged_out += 1;
+            if meta.valid {
+                // The directory entry must point at this slot (it is the
+                // latest version); remove it — the page is leaving the cache
+                // unless it gets a second chance.
+                if self.dir.get(&meta.page) == Some(&slot) {
+                    self.dir.remove(&meta.page);
+                }
+                let data = pending_data.or_else(|| self.store.read_slot(slot));
+                if self.config.second_chance && meta.referenced {
+                    self.stats.second_chances += 1;
+                    second_chance.push(StagedPage {
+                        page: meta.page,
+                        lsn: meta.lsn,
+                        dirty: meta.dirty,
+                        fdirty: true, // force unconditional re-enqueue
+                        data,
+                    });
+                } else if meta.dirty {
+                    self.stats.staged_out_to_disk += 1;
+                    io.disk_write(meta.page);
+                    to_disk.push(StagedPage {
+                        page: meta.page,
+                        lsn: meta.lsn,
+                        dirty: true,
+                        fdirty: false,
+                        data,
+                    });
+                }
+                // Clean, unreferenced valid pages are simply discarded.
+            }
+            // Invalid (superseded) versions are discarded with no I/O.
+        }
+        self.front = (self.front + n) % self.config.capacity_pages;
+        self.size -= n;
+        self.meta_dir
+            .update_pointers(self.front as u64, self.size as u64);
+
+        // Pathological case: every page in the group was referenced. Force
+        // the oldest one out so the replacement makes progress (paper §3.3).
+        if !second_chance.is_empty() && second_chance.len() == n {
+            let forced = second_chance.remove(0);
+            self.stats.second_chances -= 1;
+            if forced.dirty {
+                self.stats.staged_out_to_disk += 1;
+                io.disk_write(forced.page);
+                to_disk.push(forced);
+            }
+        }
+        (to_disk, second_chance)
+    }
+
+    /// Invalidate the previous version of `page`, if cached.
+    fn invalidate_previous(&mut self, page: PageId) {
+        if let Some(slot) = self.dir.remove(&page) {
+            if let Some(meta) = &mut self.slots[slot] {
+                meta.valid = false;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Admit one page version: ensure space, assign a slot, and collect any
+    /// stage-outs and second-chance re-enqueues triggered by replacement.
+    fn admit(
+        &mut self,
+        staged: StagedPage,
+        outcome: &mut InsertOutcome,
+        io: &mut IoLog,
+    ) {
+        // Make space. Each iteration frees at least one slot.
+        while self.free_slots() == 0 {
+            let (to_disk, second_chance) = self.group_dequeue(io);
+            outcome.staged_out.extend(to_disk);
+            for sc in second_chance {
+                // Re-enqueue survivors. Space for them is guaranteed: the
+                // dequeue freed `group_size` slots and at most
+                // `group_size - 1` survivors remain.
+                self.invalidate_previous(sc.page);
+                self.enqueue_assign(&sc, io);
+            }
+        }
+        self.invalidate_previous(staged.page);
+        self.enqueue_assign(&staged, io);
+        self.stats.cached_inserts += 1;
+    }
+
+    /// Restore a cache from its surviving flash-resident state after a crash:
+    /// the persisted metadata directory plus a bounded scan of recently
+    /// enqueued data pages (paper §4.2). The recovered cache serves fetches
+    /// for every page whose metadata could be restored.
+    pub fn recover(
+        config: CacheConfig,
+        store: Arc<dyn FlashStore>,
+        survived: &MetadataDirectory,
+        io: &mut IoLog,
+    ) -> (Self, RecoveredDirectory) {
+        let capacity = config.capacity_pages;
+        let recovered = survived.recover(capacity as u64, &mut |slot| {
+            store.slot_header(slot as usize)
+        }, io);
+
+        let mut cache = Self::new(config, store);
+        cache.front = recovered.pointers.front as usize % capacity.max(1);
+        cache.size = (recovered.pointers.size as usize).min(capacity);
+        // Replay entries oldest-to-newest so the latest version of each page
+        // wins. Entries are keyed by slot; order them by queue position.
+        let mut ordered: Vec<&DirEntry> = recovered.entries.values().collect();
+        let front = cache.front;
+        ordered.sort_by_key(|e| {
+            let s = e.slot as usize;
+            (s + capacity - front) % capacity
+        });
+        for e in ordered {
+            let slot = e.slot as usize;
+            // Only slots inside the occupied window are live.
+            let offset = (slot + capacity - front) % capacity;
+            if offset >= cache.size {
+                continue;
+            }
+            if let Some(prev) = cache.dir.insert(e.page, slot) {
+                if let Some(m) = &mut cache.slots[prev] {
+                    m.valid = false;
+                }
+            }
+            cache.slots[slot] = Some(SlotMeta {
+                page: e.page,
+                lsn: e.lsn,
+                dirty: e.dirty,
+                valid: true,
+                referenced: false,
+            });
+        }
+        // The restored metadata directory continues from the survivor.
+        cache.meta_dir = survived.clone();
+        (cache, recovered)
+    }
+}
+
+impl FlashCache for MvFifoCache {
+    fn policy_name(&self) -> &'static str {
+        if self.config.second_chance {
+            "FaCE+GSC"
+        } else if self.config.group_size > 1 {
+            "FaCE+GR"
+        } else {
+            "FaCE"
+        }
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.dir.contains_key(&page)
+    }
+
+    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
+        self.stats.lookups += 1;
+        let slot = *self.dir.get(&page)?;
+        let meta = self.slots[slot].as_mut()?;
+        debug_assert!(meta.valid, "directory points at an invalid version");
+        self.stats.hits += 1;
+        meta.referenced = true;
+        let dirty = meta.dirty;
+        let lsn = meta.lsn;
+        io.flash_read_rand(1);
+        Some(FlashFetch {
+            data: self.slot_data(slot),
+            dirty,
+            lsn,
+        })
+    }
+
+    fn insert(
+        &mut self,
+        staged: StagedPage,
+        supplier: &mut dyn PageSupplier,
+        io: &mut IoLog,
+    ) -> InsertOutcome {
+        self.stats.inserts += 1;
+        if staged.dirty {
+            self.stats.dirty_inserts += 1;
+        }
+        let mut outcome = InsertOutcome {
+            cached: true,
+            ..Default::default()
+        };
+
+        // Conditional enqueue (Algorithm 1): a clean page whose identical
+        // copy is already cached is not enqueued again.
+        if !staged.fdirty && self.dir.contains_key(&staged.page) {
+            self.stats.skipped_inserts += 1;
+            return outcome;
+        }
+
+        let had_replacement_potential = self.free_slots() == 0;
+        self.admit(staged, &mut outcome, io);
+
+        // Group Second Chance: top the write batch up with dirty pages pulled
+        // from the DRAM buffer's LRU tail so the batch write is full-sized.
+        if self.config.second_chance && had_replacement_potential {
+            while self.pending_slots.len() < self.config.group_size && self.free_slots() > 0 {
+                let Some(extra) = supplier.next_dirty_page() else {
+                    break;
+                };
+                self.stats.pulled_from_dram += 1;
+                self.stats.inserts += 1;
+                if extra.dirty {
+                    self.stats.dirty_inserts += 1;
+                }
+                if !extra.fdirty && self.dir.contains_key(&extra.page) {
+                    self.stats.skipped_inserts += 1;
+                    continue;
+                }
+                self.invalidate_previous(extra.page);
+                self.enqueue_assign(&extra, io);
+                self.stats.cached_inserts += 1;
+            }
+        }
+
+        // Write the batch once it reaches the group size (always, for the
+        // base policy where the group size is 1).
+        if self.pending_slots.len() >= self.config.group_size {
+            self.flush_pending(io);
+        }
+        outcome
+    }
+
+    fn sync(&mut self, io: &mut IoLog) {
+        self.flush_pending(io);
+        self.meta_dir.flush_segment(io);
+    }
+
+    fn persists_dirty_pages(&self) -> bool {
+        true
+    }
+
+    fn crash_and_recover(&mut self, io: &mut IoLog) -> CacheRecoveryInfo {
+        // RAM-resident state (directory, slot metadata, pending batch, the
+        // current metadata segment) is lost; the flash store contents and the
+        // persisted metadata segments survive and the cache is rebuilt from
+        // them.
+        let mut survivor = self.meta_dir.clone();
+        survivor.crash();
+        let config = self.config.clone();
+        let store = Arc::clone(&self.store);
+        let stats = self.stats;
+        let (mut rebuilt, report) = Self::recover(config, store, &survivor, io);
+        rebuilt.stats = stats;
+        let entries_restored = rebuilt.dir.len() as u64;
+        *self = rebuilt;
+        CacheRecoveryInfo {
+            survived: true,
+            metadata_segments_loaded: report.segments_loaded,
+            pages_scanned: report.pages_scanned,
+            entries_restored,
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.capacity_pages
+    }
+
+    fn len(&self) -> usize {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NoSupplier;
+    use crate::store::{MemFlashStore, NullFlashStore};
+
+    fn pid(n: u32) -> PageId {
+        PageId::new(0, n)
+    }
+
+    fn meta_cfg(capacity: usize, group: usize, sc: bool) -> CacheConfig {
+        CacheConfig {
+            capacity_pages: capacity,
+            group_size: group,
+            second_chance: sc,
+            metadata_segment_entries: 1_000_000, // keep metadata out of the way
+            ..CacheConfig::default()
+        }
+    }
+
+    fn meta_cache(capacity: usize, group: usize, sc: bool) -> MvFifoCache {
+        MvFifoCache::new(
+            meta_cfg(capacity, group, sc),
+            Arc::new(NullFlashStore::new(capacity)),
+        )
+    }
+
+    fn staged(n: u32, dirty: bool, fdirty: bool) -> StagedPage {
+        StagedPage::meta_only(pid(n), Lsn(n as u64), dirty, fdirty)
+    }
+
+    #[test]
+    fn enqueue_and_hit() {
+        let mut c = meta_cache(4, 1, false);
+        let mut io = IoLog::new();
+        c.insert(staged(1, true, true), &mut NoSupplier, &mut io);
+        assert!(c.contains(pid(1)));
+        assert_eq!(c.len(), 1);
+        // The enqueue is a sequential flash write of one page.
+        assert_eq!(io.flash_pages_written(), 1);
+        assert_eq!(io.flash_pages_written_random(), 0);
+
+        let mut io = IoLog::new();
+        let hit = c.fetch(pid(1), &mut io).unwrap();
+        assert!(hit.dirty);
+        assert_eq!(hit.lsn, Lsn(1));
+        assert_eq!(c.stats().hits, 1);
+        // A flash hit is one random flash read.
+        assert_eq!(io.events().len(), 1);
+        assert!(c.fetch(pid(99), &mut io).is_none());
+        assert_eq!(c.stats().lookups, 2);
+    }
+
+    #[test]
+    fn conditional_enqueue_skips_clean_duplicates() {
+        let mut c = meta_cache(4, 1, false);
+        let mut io = IoLog::new();
+        c.insert(staged(1, false, true), &mut NoSupplier, &mut io);
+        assert_eq!(c.len(), 1);
+        // Clean page, identical copy already cached: skipped.
+        c.insert(staged(1, false, false), &mut NoSupplier, &mut io);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().skipped_inserts, 1);
+        // fdirty copy is enqueued unconditionally and invalidates the old one.
+        c.insert(staged(1, true, true), &mut NoSupplier, &mut io);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().invalidations, 1);
+        assert!((c.duplicate_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dequeue_flushes_only_latest_dirty_version() {
+        let mut c = meta_cache(2, 1, false);
+        let mut io = IoLog::new();
+        // Two versions of page 1 fill the cache; the older one is invalid.
+        c.insert(staged(1, true, true), &mut NoSupplier, &mut io);
+        c.insert(staged(1, true, true), &mut NoSupplier, &mut io);
+        assert_eq!(c.len(), 2);
+
+        // Inserting page 2 dequeues the front slot: the *invalid* old version
+        // of page 1, which must be discarded without a disk write.
+        let mut io = IoLog::new();
+        let out = c.insert(staged(2, true, true), &mut NoSupplier, &mut io);
+        assert_eq!(io.disk_writes(), 0);
+        assert!(out.staged_out.is_empty());
+        assert!(c.contains(pid(1)));
+
+        // Next insert dequeues the valid dirty version of page 1: disk write.
+        let mut io = IoLog::new();
+        let out = c.insert(staged(3, true, true), &mut NoSupplier, &mut io);
+        assert_eq!(io.disk_writes(), 1);
+        assert_eq!(out.staged_out.len(), 1);
+        assert_eq!(out.staged_out[0].page, pid(1));
+        assert!(!c.contains(pid(1)));
+        assert_eq!(c.stats().staged_out_to_disk, 1);
+    }
+
+    #[test]
+    fn clean_valid_pages_are_discarded_without_disk_write() {
+        let mut c = meta_cache(2, 1, false);
+        let mut io = IoLog::new();
+        c.insert(staged(1, false, true), &mut NoSupplier, &mut io);
+        c.insert(staged(2, false, true), &mut NoSupplier, &mut io);
+        let mut io = IoLog::new();
+        let out = c.insert(staged(3, false, true), &mut NoSupplier, &mut io);
+        assert_eq!(io.disk_writes(), 0);
+        assert!(out.staged_out.is_empty());
+        assert!(!c.contains(pid(1)));
+    }
+
+    #[test]
+    fn group_replacement_batches_io() {
+        let mut c = meta_cache(16, 4, false);
+        let mut io = IoLog::new();
+        // Fill the cache with 16 dirty pages: writes happen in batches of 4.
+        for i in 0..16 {
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+        }
+        let batch_writes: Vec<_> = io
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::io::FlashIoEvent::FlashWrite { .. }))
+            .collect();
+        assert_eq!(batch_writes.len(), 4, "4 batches of 4 pages");
+        assert_eq!(io.flash_pages_written(), 16);
+
+        // The next insert triggers a group dequeue of 4 dirty pages: one
+        // sequential flash read of 4 pages + 4 disk writes.
+        let mut io = IoLog::new();
+        c.insert(staged(100, true, true), &mut NoSupplier, &mut io);
+        assert_eq!(io.disk_writes(), 4);
+        let seq_reads: u64 = io
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                crate::io::FlashIoEvent::FlashRead {
+                    pages,
+                    sequential: true,
+                } => Some(*pages as u64),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(seq_reads, 4);
+        assert_eq!(c.len(), 13); // 16 - 4 dequeued + 1 inserted
+    }
+
+    #[test]
+    fn second_chance_reenqueues_referenced_pages() {
+        let mut c = meta_cache(8, 4, true);
+        let mut io = IoLog::new();
+        for i in 0..8 {
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+        }
+        // Reference pages 0 and 2 (they sit in the first group).
+        c.fetch(pid(0), &mut io).unwrap();
+        c.fetch(pid(2), &mut io).unwrap();
+
+        let mut io = IoLog::new();
+        let out = c.insert(staged(100, true, true), &mut NoSupplier, &mut io);
+        // Pages 1 and 3 (unreferenced, dirty) go to disk; 0 and 2 survive.
+        assert_eq!(io.disk_writes(), 2);
+        assert!(c.contains(pid(0)));
+        assert!(c.contains(pid(2)));
+        assert!(!c.contains(pid(1)));
+        assert!(!c.contains(pid(3)));
+        assert_eq!(c.stats().second_chances, 2);
+        assert_eq!(out.staged_out.len(), 2);
+    }
+
+    #[test]
+    fn gsc_pulls_dirty_pages_from_dram_to_fill_batch() {
+        let mut c = meta_cache(8, 4, true);
+        let mut io = IoLog::new();
+        for i in 0..8 {
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+        }
+        // Supplier provides extra dirty pages 200, 201, ...
+        let mut next = 200u32;
+        let mut supplier = || {
+            let s = staged(next, true, true);
+            next += 1;
+            Some(s)
+        };
+        let mut io = IoLog::new();
+        c.insert(staged(100, true, true), &mut supplier, &mut io);
+        assert!(c.stats().pulled_from_dram > 0);
+        assert!(c.contains(pid(200)));
+        // The batch written was full-sized (4 pages) in a single write.
+        let max_batch = io
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                crate::io::FlashIoEvent::FlashWrite { pages, .. } => Some(*pages),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert_eq!(max_batch, 4);
+    }
+
+    #[test]
+    fn all_referenced_group_still_makes_progress() {
+        let mut c = meta_cache(4, 4, true);
+        let mut io = IoLog::new();
+        for i in 0..4 {
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+        }
+        for i in 0..4 {
+            c.fetch(pid(i), &mut io).unwrap();
+        }
+        // Every cached page is referenced; the insert must still succeed.
+        let out = c.insert(staged(99, true, true), &mut NoSupplier, &mut io);
+        assert!(c.contains(pid(99)));
+        // The forced-out page went to disk (it was dirty).
+        assert_eq!(out.staged_out.len(), 1);
+        assert!(c.len() <= c.capacity());
+    }
+
+    #[test]
+    fn data_round_trips_through_mem_store() {
+        let store = Arc::new(MemFlashStore::new(8));
+        let mut c = MvFifoCache::new(meta_cfg(8, 1, false), store);
+        let mut io = IoLog::new();
+        let mut page = Page::new(pid(5));
+        page.set_lsn(Lsn(42));
+        page.write_body(0, b"flash resident");
+        c.insert(StagedPage::with_data(page, true, true), &mut NoSupplier, &mut io);
+
+        let hit = c.fetch(pid(5), &mut io).unwrap();
+        let data = hit.data.expect("mem store carries data");
+        assert_eq!(data.read_body(0, 14), b"flash resident");
+        assert_eq!(data.lsn(), Lsn(42));
+    }
+
+    #[test]
+    fn staged_out_pages_carry_data_for_disk_write() {
+        let store = Arc::new(MemFlashStore::new(2));
+        let mut c = MvFifoCache::new(meta_cfg(2, 1, false), store);
+        let mut io = IoLog::new();
+        let mut p1 = Page::new(pid(1));
+        p1.write_body(0, b"v1");
+        c.insert(StagedPage::with_data(p1, true, true), &mut NoSupplier, &mut io);
+        c.insert(staged(2, false, true), &mut NoSupplier, &mut io);
+        // Page 1 is dequeued dirty; its data must be available for the disk
+        // write the engine will perform.
+        let out = c.insert(staged(3, false, true), &mut NoSupplier, &mut io);
+        assert_eq!(out.staged_out.len(), 1);
+        let data = out.staged_out[0].data.as_ref().expect("data present");
+        assert_eq!(data.read_body(0, 2), b"v1");
+    }
+
+    #[test]
+    fn sync_flushes_pending_batch_and_metadata() {
+        let mut cfg = meta_cfg(64, 16, false);
+        cfg.metadata_segment_entries = 1000;
+        let mut c = MvFifoCache::new(cfg, Arc::new(NullFlashStore::new(64)));
+        let mut io = IoLog::new();
+        for i in 0..5 {
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+        }
+        // 5 < group of 16: nothing written yet.
+        assert_eq!(io.flash_pages_written(), 0);
+        let mut io = IoLog::new();
+        c.sync(&mut io);
+        // Pending batch (5 pages) + metadata segment (1 page).
+        assert_eq!(io.flash_pages_written(), 6);
+        // All writes sequential.
+        assert_eq!(io.flash_pages_written_random(), 0);
+    }
+
+    #[test]
+    fn metadata_checkpointing_is_sequential_and_periodic() {
+        let mut cfg = meta_cfg(1024, 1, false);
+        cfg.metadata_segment_entries = 100;
+        let mut c = MvFifoCache::new(cfg, Arc::new(NullFlashStore::new(1024)));
+        let mut io = IoLog::new();
+        for i in 0..250 {
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+        }
+        // 250 entries with 100-entry segments: two automatic flushes.
+        assert_eq!(c.metadata_directory().persisted_segments(), 2);
+        assert_eq!(io.flash_pages_written_random(), 0);
+    }
+
+    #[test]
+    fn recovery_restores_cache_contents_from_flash() {
+        let store = Arc::new(MemFlashStore::new(64));
+        let mut cfg = meta_cfg(64, 1, false);
+        cfg.metadata_segment_entries = 8;
+        let mut c = MvFifoCache::new(cfg.clone(), Arc::clone(&store) as Arc<dyn FlashStore>);
+        let mut io = IoLog::new();
+        for i in 0..20u32 {
+            let mut p = Page::new(pid(i));
+            p.set_lsn(Lsn(i as u64 + 1));
+            p.write_body(0, &i.to_le_bytes());
+            c.insert(StagedPage::with_data(p, true, true), &mut NoSupplier, &mut io);
+        }
+        // Crash: the in-memory metadata segment is lost, flash contents and
+        // persisted segments survive.
+        let mut survivor = c.metadata_directory().clone();
+        survivor.crash();
+
+        let mut recovery_io = IoLog::new();
+        let (recovered, report) = MvFifoCache::recover(
+            cfg,
+            store as Arc<dyn FlashStore>,
+            &survivor,
+            &mut recovery_io,
+        );
+        // 20 enqueues with 8-entry segments: 16 persisted, 4 rebuilt by
+        // scanning data page headers.
+        assert_eq!(report.segments_loaded, 2);
+        assert_eq!(report.entries_rebuilt_from_pages, 4);
+        assert_eq!(recovered.len(), 20);
+        let mut io = IoLog::new();
+        let mut ok = 0;
+        let mut recovered = recovered;
+        for i in 0..20u32 {
+            if let Some(hit) = recovered.fetch(pid(i), &mut io) {
+                let data = hit.data.unwrap();
+                assert_eq!(data.read_body(0, 4), &i.to_le_bytes());
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 20, "all cached pages recoverable");
+        // Recovery itself used only sequential flash reads.
+        assert!(recovery_io.events().iter().all(|e| e.is_flash() && !e.is_write()));
+    }
+
+    #[test]
+    fn recovery_keeps_only_latest_version() {
+        let store = Arc::new(MemFlashStore::new(16));
+        let cfg = meta_cfg(16, 1, false);
+        let mut c = MvFifoCache::new(cfg.clone(), Arc::clone(&store) as Arc<dyn FlashStore>);
+        let mut io = IoLog::new();
+        let mut old = Page::new(pid(7));
+        old.set_lsn(Lsn(1));
+        old.write_body(0, b"old");
+        c.insert(StagedPage::with_data(old, true, true), &mut NoSupplier, &mut io);
+        let mut newer = Page::new(pid(7));
+        newer.set_lsn(Lsn(2));
+        newer.write_body(0, b"new");
+        c.insert(StagedPage::with_data(newer, true, true), &mut NoSupplier, &mut io);
+
+        let mut survivor = c.metadata_directory().clone();
+        survivor.crash();
+        let (mut recovered, _) = MvFifoCache::recover(
+            cfg,
+            store as Arc<dyn FlashStore>,
+            &survivor,
+            &mut IoLog::new(),
+        );
+        let hit = recovered.fetch(pid(7), &mut IoLog::new()).unwrap();
+        assert_eq!(hit.lsn, Lsn(2));
+        assert_eq!(hit.data.unwrap().read_body(0, 3), b"new");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// An arbitrary interleaving of inserts and fetches against any
+        /// cache geometry preserves the structural invariants of mvFIFO:
+        /// bounded occupancy, a directory that only points at valid slots
+        /// holding the right page, and never a random flash write.
+        fn check(ops: Vec<(u8, u32, bool)>, capacity: usize, group: usize, sc: bool) {
+            let mut cache = meta_cache(capacity, group, sc);
+            let mut io = IoLog::new();
+            for (op, page, dirty) in ops {
+                if op % 3 == 0 {
+                    cache.fetch(pid(page % 64), &mut io);
+                } else {
+                    cache.insert(staged(page % 64, dirty, true), &mut NoSupplier, &mut io);
+                }
+                assert!(cache.len() <= cache.capacity());
+                for (p, s) in cache.dir.iter() {
+                    let m = cache.slots[*s].as_ref().expect("directory points at a slot");
+                    assert!(m.valid, "directory must reference valid versions only");
+                    assert_eq!(m.page, *p);
+                }
+                // At most one valid version per page.
+                let mut valid_pages = std::collections::HashSet::new();
+                for m in cache.slots.iter().flatten() {
+                    if m.valid {
+                        assert!(valid_pages.insert(m.page), "duplicate valid version");
+                    }
+                }
+            }
+            assert_eq!(io.flash_pages_written_random(), 0);
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn invariants_hold_for_base_face(ops in prop::collection::vec((any::<u8>(), any::<u32>(), any::<bool>()), 1..200)) {
+                check(ops, 16, 1, false);
+            }
+
+            #[test]
+            fn invariants_hold_for_gr_and_gsc(
+                ops in prop::collection::vec((any::<u8>(), any::<u32>(), any::<bool>()), 1..200),
+                group in 2usize..8,
+                sc in any::<bool>(),
+            ) {
+                check(ops, 24, group, sc);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_invariant_under_random_workload() {
+        let mut c = meta_cache(32, 8, true);
+        let mut io = IoLog::new();
+        let mut rng: u64 = 0x12345;
+        for i in 0..2000u32 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let page = (rng >> 16) as u32 % 200;
+            if rng % 3 == 0 {
+                c.fetch(pid(page), &mut io);
+            } else {
+                c.insert(
+                    staged(page, rng % 2 == 0, true),
+                    &mut NoSupplier,
+                    &mut io,
+                );
+            }
+            assert!(c.len() <= c.capacity(), "overflow at step {i}");
+            // The directory never points at an invalid slot.
+            for (p, s) in c.dir.iter() {
+                let m = c.slots[*s].as_ref().expect("directory points at a slot");
+                assert!(m.valid);
+                assert_eq!(m.page, *p);
+            }
+        }
+        // Writes to flash are never random under mvFIFO.
+        assert_eq!(io.flash_pages_written_random(), 0);
+        assert!(c.stats().hits > 0);
+        assert!(c.stats().staged_out > 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! The [`FlashCache`] trait implemented by every caching policy, and a
+//! factory for building a policy by name.
+
+use std::sync::Arc;
+
+use face_pagestore::PageId;
+
+use crate::io::IoLog;
+use crate::lc::LcCache;
+use crate::mvfifo::MvFifoCache;
+use crate::store::FlashStore;
+use crate::tac::TacCache;
+use crate::types::{
+    CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome, StagedPage,
+};
+
+/// Supplies additional dirty pages from the DRAM buffer's LRU tail so Group
+/// Second Chance can fill a flash write batch (paper §3.3 — analogous to the
+/// Linux writeback daemons / Oracle DBWR pulling victims in batches).
+pub trait PageSupplier {
+    /// The next dirty page pulled from the DRAM LRU tail, or `None` if the
+    /// buffer has no more dirty pages to give.
+    fn next_dirty_page(&mut self) -> Option<StagedPage>;
+}
+
+/// A supplier that never provides pages (used by non-GSC policies, unit tests
+/// and checkpoint-time inserts).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoSupplier;
+
+impl PageSupplier for NoSupplier {
+    fn next_dirty_page(&mut self) -> Option<StagedPage> {
+        None
+    }
+}
+
+impl<F> PageSupplier for F
+where
+    F: FnMut() -> Option<StagedPage>,
+{
+    fn next_dirty_page(&mut self) -> Option<StagedPage> {
+        self()
+    }
+}
+
+/// A second-level cache on a flash device, sitting between the DRAM buffer
+/// pool and the disk array.
+pub trait FlashCache: Send {
+    /// Human-readable policy name (used in reports).
+    fn policy_name(&self) -> &'static str;
+
+    /// Whether a valid copy of `page` is cached.
+    fn contains(&self, page: PageId) -> bool;
+
+    /// Look up `page` on a DRAM miss. On a hit the cached copy is returned
+    /// (with data when the backing store carries data) and the physical flash
+    /// read is recorded in `io`.
+    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch>;
+
+    /// Hand a page leaving the DRAM buffer (eviction or checkpoint flush) to
+    /// the cache. `supplier` lets Group Second Chance pull extra dirty pages
+    /// from the DRAM LRU tail; pass [`NoSupplier`] when that must not happen
+    /// (e.g. during checkpoints).
+    fn insert(
+        &mut self,
+        staged: StagedPage,
+        supplier: &mut dyn PageSupplier,
+        io: &mut IoLog,
+    ) -> InsertOutcome;
+
+    /// Notification that `page` was fetched from *disk* into the DRAM buffer.
+    /// Only on-entry policies (TAC) react to this.
+    fn on_fetched_from_disk(&mut self, _page: PageId, _io: &mut IoLog) -> InsertOutcome {
+        InsertOutcome::default()
+    }
+
+    /// Flush any buffered page batch and metadata to flash (called by
+    /// checkpoints and before clean shutdown).
+    fn sync(&mut self, io: &mut IoLog);
+
+    /// Checkpoint support for policies whose cached dirty pages are *not*
+    /// part of the persistent database (LC): return every dirty cached page
+    /// (with data when available) so the caller can write them to disk, and
+    /// mark them clean. FaCE and TAC return nothing.
+    fn drain_dirty_for_checkpoint(&mut self, _io: &mut IoLog) -> Vec<StagedPage> {
+        Vec::new()
+    }
+
+    /// Whether dirty pages staged in this cache are part of the persistent
+    /// database (true for FaCE: checkpoints may flush to flash and recovery
+    /// may read from flash; false for LC/TAC which must checkpoint to disk).
+    fn persists_dirty_pages(&self) -> bool;
+
+    /// Simulate a crash followed by restart-time cache recovery. Volatile
+    /// (RAM-resident) cache metadata is lost; whatever the policy keeps
+    /// persistently in flash is restored. FaCE rebuilds its directory from
+    /// the persisted metadata segments plus a bounded data-page scan; LC and
+    /// TAC lose everything (the paper's §4.1 point: without persistent
+    /// metadata the flash copies become inaccessible).
+    fn crash_and_recover(&mut self, io: &mut IoLog) -> CacheRecoveryInfo;
+
+    /// Activity counters.
+    fn stats(&self) -> CacheStats;
+
+    /// Reset activity counters (after warm-up).
+    fn reset_stats(&mut self);
+
+    /// Capacity in page slots.
+    fn capacity(&self) -> usize;
+
+    /// Occupied page slots (including invalidated old versions for mvFIFO).
+    fn len(&self) -> usize;
+
+    /// Whether the cache currently holds nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which caching policy to run. `None` disables the flash cache entirely
+/// (the HDD-only and SSD-only configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CachePolicyKind {
+    /// No flash cache.
+    None,
+    /// Base FaCE: mvFIFO, per-page append writes.
+    Face,
+    /// FaCE with Group Replacement (batched dequeue/enqueue).
+    FaceGr,
+    /// FaCE with Group Second Chance.
+    FaceGsc,
+    /// Lazy Cleaning baseline (LRU-2, write-back, in-place overwrite).
+    Lc,
+    /// Temperature-aware caching baseline (on-entry, write-through).
+    Tac,
+}
+
+impl CachePolicyKind {
+    /// All policies that actually cache (excludes `None`).
+    pub const CACHING: [CachePolicyKind; 5] = [
+        CachePolicyKind::Face,
+        CachePolicyKind::FaceGr,
+        CachePolicyKind::FaceGsc,
+        CachePolicyKind::Lc,
+        CachePolicyKind::Tac,
+    ];
+
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CachePolicyKind::None => "none",
+            CachePolicyKind::Face => "FaCE",
+            CachePolicyKind::FaceGr => "FaCE+GR",
+            CachePolicyKind::FaceGsc => "FaCE+GSC",
+            CachePolicyKind::Lc => "LC",
+            CachePolicyKind::Tac => "TAC",
+        }
+    }
+}
+
+impl std::fmt::Display for CachePolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Build a flash cache of the given kind over `store`.
+/// Returns `None` for [`CachePolicyKind::None`].
+pub fn build_cache(
+    kind: CachePolicyKind,
+    config: CacheConfig,
+    store: Arc<dyn FlashStore>,
+) -> Option<Box<dyn FlashCache>> {
+    match kind {
+        CachePolicyKind::None => None,
+        CachePolicyKind::Face => {
+            let cfg = CacheConfig {
+                group_size: 1,
+                second_chance: false,
+                ..config
+            };
+            Some(Box::new(MvFifoCache::new(cfg, store)))
+        }
+        CachePolicyKind::FaceGr => {
+            let cfg = CacheConfig {
+                second_chance: false,
+                ..config
+            };
+            Some(Box::new(MvFifoCache::new(cfg, store)))
+        }
+        CachePolicyKind::FaceGsc => {
+            let cfg = CacheConfig {
+                second_chance: true,
+                ..config
+            };
+            Some(Box::new(MvFifoCache::new(cfg, store)))
+        }
+        CachePolicyKind::Lc => Some(Box::new(LcCache::new(config, store))),
+        CachePolicyKind::Tac => Some(Box::new(TacCache::new(config, store))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::NullFlashStore;
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(CachePolicyKind::FaceGsc.label(), "FaCE+GSC");
+        assert_eq!(format!("{}", CachePolicyKind::Lc), "LC");
+        assert_eq!(CachePolicyKind::CACHING.len(), 5);
+    }
+
+    #[test]
+    fn factory_builds_every_policy() {
+        let cfg = CacheConfig {
+            capacity_pages: 128,
+            ..CacheConfig::default()
+        };
+        assert!(build_cache(
+            CachePolicyKind::None,
+            cfg.clone(),
+            Arc::new(NullFlashStore::new(128))
+        )
+        .is_none());
+        for kind in CachePolicyKind::CACHING {
+            let cache = build_cache(kind, cfg.clone(), Arc::new(NullFlashStore::new(128)))
+                .expect("caching policy");
+            assert_eq!(cache.capacity(), 128);
+            assert!(cache.is_empty());
+        }
+        // Base FaCE forces group_size to 1.
+        let face = build_cache(
+            CachePolicyKind::Face,
+            cfg.clone().group_size(64),
+            Arc::new(NullFlashStore::new(128)),
+        )
+        .unwrap();
+        assert_eq!(face.policy_name(), "FaCE");
+        let gsc = build_cache(
+            CachePolicyKind::FaceGsc,
+            cfg,
+            Arc::new(NullFlashStore::new(128)),
+        )
+        .unwrap();
+        assert_eq!(gsc.policy_name(), "FaCE+GSC");
+    }
+
+    #[test]
+    fn no_supplier_returns_nothing() {
+        let mut s = NoSupplier;
+        assert!(s.next_dirty_page().is_none());
+        // Closures work as suppliers too.
+        let mut n = 0;
+        let mut closure_supplier = || {
+            n += 1;
+            None
+        };
+        assert!(closure_supplier.next_dirty_page().is_none());
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Storage for the flash-resident cache frames.
+//!
+//! The cache policies address the flash device as an array of page *slots*
+//! (frame numbers). A [`FlashStore`] holds the actual bytes of those slots;
+//! the [`NullFlashStore`] holds nothing and is used in metadata-only
+//! simulation mode.
+
+use face_pagestore::{Page, PageId};
+use parking_lot::RwLock;
+
+/// Storage for flash cache slots.
+pub trait FlashStore: Send + Sync {
+    /// Number of page slots.
+    fn capacity(&self) -> usize;
+
+    /// Write a page into `slot`.
+    fn write_slot(&self, slot: usize, page: &Page);
+
+    /// Write a batch of pages into consecutive slots starting at `start_slot`
+    /// (wrapping around the capacity), modelling FaCE's single batch-sized
+    /// sequential write.
+    fn write_slots(&self, start_slot: usize, pages: &[Page]) {
+        for (i, p) in pages.iter().enumerate() {
+            self.write_slot((start_slot + i) % self.capacity(), p);
+        }
+    }
+
+    /// Read the page stored in `slot`, if any.
+    fn read_slot(&self, slot: usize) -> Option<Page>;
+
+    /// The id and LSN of the page stored in `slot`, without the body. Used by
+    /// recovery to rebuild metadata from page headers (paper §4.2).
+    fn slot_header(&self, slot: usize) -> Option<(PageId, face_pagestore::Lsn)> {
+        self.read_slot(slot).map(|p| (p.id(), p.lsn()))
+    }
+
+    /// Note which page (and pageLSN) now occupies `slot`. Data-carrying
+    /// stores can ignore this (the header is inside the page); header-only
+    /// stores use it so that recovery's page-header scan works without
+    /// storing page bodies.
+    fn note_slot_header(&self, _slot: usize, _page: PageId, _lsn: face_pagestore::Lsn) {}
+
+    /// Whether this store keeps page data (false for the null store).
+    fn carries_data(&self) -> bool;
+
+    /// Drop every slot (used to model a brand-new cache device).
+    fn clear(&self);
+}
+
+/// An in-memory flash store: one optional page per slot.
+///
+/// This doubles as the "durable" flash device in crash-simulation tests: a
+/// crash drops the DRAM buffer and the in-memory metadata directory but keeps
+/// the `MemFlashStore` contents, exactly like a real non-volatile SSD.
+pub struct MemFlashStore {
+    slots: RwLock<Vec<Option<Box<Page>>>>,
+}
+
+impl MemFlashStore {
+    /// A store with `capacity` empty slots.
+    pub fn new(capacity: usize) -> Self {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        Self {
+            slots: RwLock::new(slots),
+        }
+    }
+
+    /// Number of occupied slots (diagnostic).
+    pub fn occupied(&self) -> usize {
+        self.slots.read().iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl FlashStore for MemFlashStore {
+    fn capacity(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    fn write_slot(&self, slot: usize, page: &Page) {
+        let mut slots = self.slots.write();
+        let len = slots.len();
+        slots[slot % len] = Some(Box::new(page.clone()));
+    }
+
+    fn read_slot(&self, slot: usize) -> Option<Page> {
+        let slots = self.slots.read();
+        slots.get(slot % slots.len().max(1))?.as_deref().cloned()
+    }
+
+    fn carries_data(&self) -> bool {
+        true
+    }
+
+    fn clear(&self) {
+        let mut slots = self.slots.write();
+        for s in slots.iter_mut() {
+            *s = None;
+        }
+    }
+}
+
+/// A store that keeps only the page id and pageLSN of each slot — what a real
+/// flash device's page headers would reveal to a recovery scan — but no page
+/// bodies. The performance simulation uses this so that multi-gigabyte flash
+/// caches cost only a few bytes per slot while recovery experiments still
+/// exercise the paper's §4.2 header-scan path.
+pub struct HeaderFlashStore {
+    headers: RwLock<Vec<Option<(PageId, face_pagestore::Lsn)>>>,
+}
+
+impl HeaderFlashStore {
+    /// A header-only store with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        let mut headers = Vec::with_capacity(capacity);
+        headers.resize_with(capacity, || None);
+        Self {
+            headers: RwLock::new(headers),
+        }
+    }
+}
+
+impl FlashStore for HeaderFlashStore {
+    fn capacity(&self) -> usize {
+        self.headers.read().len()
+    }
+
+    fn write_slot(&self, slot: usize, page: &Page) {
+        let mut headers = self.headers.write();
+        let len = headers.len();
+        headers[slot % len] = Some((page.id(), page.lsn()));
+    }
+
+    fn read_slot(&self, _slot: usize) -> Option<Page> {
+        None
+    }
+
+    fn slot_header(&self, slot: usize) -> Option<(PageId, face_pagestore::Lsn)> {
+        let headers = self.headers.read();
+        *headers.get(slot)?
+    }
+
+    fn note_slot_header(&self, slot: usize, page: PageId, lsn: face_pagestore::Lsn) {
+        let mut headers = self.headers.write();
+        let len = headers.len();
+        headers[slot % len] = Some((page, lsn));
+    }
+
+    fn carries_data(&self) -> bool {
+        false
+    }
+
+    fn clear(&self) {
+        for h in self.headers.write().iter_mut() {
+            *h = None;
+        }
+    }
+}
+
+/// A flash store that keeps no data. Reads return `None`; writes are
+/// accepted and dropped. Metadata-only simulation uses this so that caches of
+/// millions of slots cost only their metadata.
+#[derive(Debug, Clone)]
+pub struct NullFlashStore {
+    capacity: usize,
+}
+
+impl NullFlashStore {
+    /// A data-less store with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity }
+    }
+}
+
+impl FlashStore for NullFlashStore {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn write_slot(&self, _slot: usize, _page: &Page) {}
+
+    fn read_slot(&self, _slot: usize) -> Option<Page> {
+        None
+    }
+
+    fn carries_data(&self) -> bool {
+        false
+    }
+
+    fn clear(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use face_pagestore::Lsn;
+
+    #[test]
+    fn mem_store_round_trips_pages() {
+        let store = MemFlashStore::new(8);
+        assert_eq!(store.capacity(), 8);
+        assert!(store.carries_data());
+        assert!(store.read_slot(3).is_none());
+
+        let mut page = Page::new(PageId::new(1, 7));
+        page.set_lsn(Lsn(5));
+        page.write_body(0, b"cached");
+        store.write_slot(3, &page);
+        let out = store.read_slot(3).unwrap();
+        assert_eq!(out.id(), PageId::new(1, 7));
+        assert_eq!(out.read_body(0, 6), b"cached");
+        assert_eq!(store.slot_header(3), Some((PageId::new(1, 7), Lsn(5))));
+        assert_eq!(store.occupied(), 1);
+
+        store.clear();
+        assert_eq!(store.occupied(), 0);
+    }
+
+    #[test]
+    fn batch_write_wraps_around() {
+        let store = MemFlashStore::new(4);
+        let pages: Vec<Page> = (0..3).map(|i| Page::new(PageId::new(0, i))).collect();
+        store.write_slots(3, &pages);
+        // Slots 3, 0, 1 are now occupied.
+        assert_eq!(store.read_slot(3).unwrap().id(), PageId::new(0, 0));
+        assert_eq!(store.read_slot(0).unwrap().id(), PageId::new(0, 1));
+        assert_eq!(store.read_slot(1).unwrap().id(), PageId::new(0, 2));
+        assert!(store.read_slot(2).is_none());
+    }
+
+    #[test]
+    fn header_store_remembers_headers_only() {
+        let store = HeaderFlashStore::new(16);
+        assert_eq!(store.capacity(), 16);
+        assert!(!store.carries_data());
+        assert!(store.slot_header(3).is_none());
+
+        let mut page = Page::new(PageId::new(2, 5));
+        page.set_lsn(Lsn(77));
+        store.write_slot(3, &page);
+        assert_eq!(store.slot_header(3), Some((PageId::new(2, 5), Lsn(77))));
+        assert!(store.read_slot(3).is_none(), "bodies are not kept");
+
+        store.note_slot_header(4, PageId::new(9, 9), Lsn(1));
+        assert_eq!(store.slot_header(4), Some((PageId::new(9, 9), Lsn(1))));
+        store.clear();
+        assert!(store.slot_header(3).is_none());
+    }
+
+    #[test]
+    fn null_store_holds_nothing() {
+        let store = NullFlashStore::new(1000);
+        assert_eq!(store.capacity(), 1000);
+        assert!(!store.carries_data());
+        store.write_slot(5, &Page::new(PageId::new(0, 0)));
+        assert!(store.read_slot(5).is_none());
+        assert!(store.slot_header(5).is_none());
+        store.clear();
+    }
+}

@@ -1,0 +1,267 @@
+//! Shared types for the flash-cache policies.
+
+use face_pagestore::{Lsn, Page, PageId};
+use serde::{Deserialize, Serialize};
+
+/// A page handed to the flash cache by the DRAM buffer (eviction or
+/// checkpoint flush) or pulled from the DRAM LRU tail by Group Second Chance.
+#[derive(Debug, Clone)]
+pub struct StagedPage {
+    /// The page id.
+    pub page: PageId,
+    /// The pageLSN of this version.
+    pub lsn: Lsn,
+    /// Newer than the disk copy.
+    pub dirty: bool,
+    /// Newer than the flash copy (false means an identical copy may already
+    /// be cached).
+    pub fdirty: bool,
+    /// The page contents. `None` in metadata-only simulation mode.
+    pub data: Option<Page>,
+}
+
+impl StagedPage {
+    /// A metadata-only staged page (simulation mode).
+    pub fn meta_only(page: PageId, lsn: Lsn, dirty: bool, fdirty: bool) -> Self {
+        Self {
+            page,
+            lsn,
+            dirty,
+            fdirty,
+            data: None,
+        }
+    }
+
+    /// A staged page carrying real data.
+    pub fn with_data(page: Page, dirty: bool, fdirty: bool) -> Self {
+        Self {
+            page: page.id(),
+            lsn: page.lsn(),
+            dirty,
+            fdirty,
+            data: Some(page),
+        }
+    }
+}
+
+/// The result of a successful flash-cache fetch.
+#[derive(Debug, Clone)]
+pub struct FlashFetch {
+    /// The cached copy's contents (present when the cache carries data).
+    pub data: Option<Page>,
+    /// Whether the cached copy is newer than the disk copy.
+    pub dirty: bool,
+    /// The pageLSN of the cached copy.
+    pub lsn: Lsn,
+}
+
+/// What happened when a page was handed to the cache.
+#[derive(Debug, Clone, Default)]
+pub struct InsertOutcome {
+    /// The page was admitted to the flash cache (metadata now references it).
+    pub cached: bool,
+    /// The inserted page itself was written through to disk (TAC).
+    pub wrote_through_to_disk: bool,
+    /// Dirty pages staged *out* of the flash cache to disk as a consequence
+    /// of this insert. In data-carrying mode each carries its contents; the
+    /// caller must write them to the disk store.
+    pub staged_out: Vec<StagedPage>,
+}
+
+/// What a flash cache could restore of itself after a simulated crash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheRecoveryInfo {
+    /// Whether any cached state survived and is usable after restart.
+    pub survived: bool,
+    /// Persistent metadata segments read back.
+    pub metadata_segments_loaded: u64,
+    /// Data pages scanned to rebuild lost metadata entries.
+    pub pages_scanned: u64,
+    /// Cached page versions accessible after recovery.
+    pub entries_restored: u64,
+}
+
+/// Configuration for a flash cache instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in pages (flash cache bytes / 4 KiB).
+    pub capacity_pages: usize,
+    /// Batch size (pages) for group replacement / group second chance.
+    /// The paper suggests the number of pages in a flash block, typically 64
+    /// or 128.
+    pub group_size: usize,
+    /// Enable second chance for referenced pages (GSC).
+    pub second_chance: bool,
+    /// LC only: fraction of dirty pages that triggers the lazy cleaner.
+    pub lc_dirty_threshold: f64,
+    /// LC only: fraction the cleaner reduces the dirty share to.
+    pub lc_clean_target: f64,
+    /// TAC only: pages per temperature extent.
+    pub tac_extent_pages: usize,
+    /// TAC only: minimum extent temperature (accesses) for admission.
+    pub tac_admission_temperature: u32,
+    /// Entries per persistent metadata segment (paper: 64,000 entries of
+    /// 24 bytes, about 1.5 MB per segment).
+    pub metadata_segment_entries: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity_pages: 64 * 1024, // 256 MB at 4 KiB/page
+            group_size: 64,
+            second_chance: false,
+            lc_dirty_threshold: 0.75,
+            lc_clean_target: 0.6,
+            tac_extent_pages: 32,
+            tac_admission_temperature: 2,
+            metadata_segment_entries: 64_000,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration sized to `bytes` of flash, everything else default.
+    pub fn with_capacity_bytes(bytes: u64) -> Self {
+        Self {
+            capacity_pages: (bytes / face_pagestore::PAGE_SIZE as u64) as usize,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style override of the group size.
+    pub fn group_size(mut self, group_size: usize) -> Self {
+        self.group_size = group_size;
+        self
+    }
+
+    /// Builder-style enable of second chance.
+    pub fn with_second_chance(mut self, on: bool) -> Self {
+        self.second_chance = on;
+        self
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_pages as u64 * face_pagestore::PAGE_SIZE as u64
+    }
+}
+
+/// Counters describing flash-cache activity. The paper's Tables 3 and 4 are
+/// derived from these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookup attempts (every DRAM miss consults the cache).
+    pub lookups: u64,
+    /// Lookups that found a valid cached copy (flash hits).
+    pub hits: u64,
+    /// Pages handed to the cache from the DRAM buffer.
+    pub inserts: u64,
+    /// Inserts admitted (enqueued / written into the cache).
+    pub cached_inserts: u64,
+    /// Inserts skipped because an identical copy was already cached
+    /// (conditional enqueue of clean pages).
+    pub skipped_inserts: u64,
+    /// Dirty inserts (dirty flag set when handed over).
+    pub dirty_inserts: u64,
+    /// Previous versions invalidated by unconditional enqueues.
+    pub invalidations: u64,
+    /// Pages staged out of the cache (dequeued / replaced).
+    pub staged_out: u64,
+    /// Staged-out pages that had to be written to disk (dirty and valid).
+    pub staged_out_to_disk: u64,
+    /// Pages given a second chance (re-enqueued by GSC).
+    pub second_chances: u64,
+    /// Dirty pages pulled from the DRAM LRU tail to fill a GSC batch.
+    pub pulled_from_dram: u64,
+    /// Pages cleaned by LC's lazy cleaner.
+    pub lazily_cleaned: u64,
+    /// Persistent metadata segment flushes.
+    pub metadata_flushes: u64,
+}
+
+impl CacheStats {
+    /// Flash hit ratio over lookups — Table 3(a) ("ratio of flash cache hits
+    /// to all DRAM misses") when every DRAM miss performs a lookup.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Write-reduction ratio — Table 3(b): the share of dirty evictions from
+    /// the DRAM buffer that did *not* reach the disk at this point
+    /// (absorbed by the flash cache). Some of them reach disk later when
+    /// staged out; that delayed, deduplicated traffic is what the paper
+    /// credits as the reduction.
+    pub fn write_reduction_ratio(&self) -> f64 {
+        if self.dirty_inserts == 0 {
+            0.0
+        } else {
+            1.0 - (self.staged_out_to_disk as f64 / self.dirty_inserts as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_page_constructors() {
+        let meta = StagedPage::meta_only(PageId::new(1, 2), Lsn(3), true, false);
+        assert!(meta.data.is_none());
+        assert!(meta.dirty);
+        assert!(!meta.fdirty);
+
+        let mut page = Page::new(PageId::new(4, 5));
+        page.set_lsn(Lsn(9));
+        let with_data = StagedPage::with_data(page, false, true);
+        assert_eq!(with_data.page, PageId::new(4, 5));
+        assert_eq!(with_data.lsn, Lsn(9));
+        assert!(with_data.data.is_some());
+    }
+
+    #[test]
+    fn config_capacity_conversions() {
+        let cfg = CacheConfig::with_capacity_bytes(2 * 1024 * 1024 * 1024);
+        assert_eq!(cfg.capacity_pages, 524_288);
+        assert_eq!(cfg.capacity_bytes(), 2 * 1024 * 1024 * 1024);
+        let cfg = cfg.group_size(128).with_second_chance(true);
+        assert_eq!(cfg.group_size, 128);
+        assert!(cfg.second_chance);
+    }
+
+    #[test]
+    fn default_config_matches_paper_constants() {
+        let cfg = CacheConfig::default();
+        assert_eq!(cfg.metadata_segment_entries, 64_000);
+        assert!(cfg.group_size == 64 || cfg.group_size == 128);
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.write_reduction_ratio(), 0.0);
+        s.lookups = 100;
+        s.hits = 70;
+        s.dirty_inserts = 50;
+        s.staged_out_to_disk = 20;
+        assert!((s.hit_ratio() - 0.7).abs() < 1e-9);
+        assert!((s.write_reduction_ratio() - 0.6).abs() < 1e-9);
+        // More disk writes than dirty inserts clamps to zero reduction.
+        s.staged_out_to_disk = 80;
+        assert_eq!(s.write_reduction_ratio(), 0.0);
+    }
+
+    #[test]
+    fn insert_outcome_default_is_empty() {
+        let o = InsertOutcome::default();
+        assert!(!o.cached);
+        assert!(!o.wrote_through_to_disk);
+        assert!(o.staged_out.is_empty());
+    }
+}

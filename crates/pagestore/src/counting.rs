@@ -1,0 +1,155 @@
+//! A transparent wrapper that counts physical page reads and writes.
+//!
+//! The FaCE paper's Table 3(b) reports the *write reduction ratio*: the share
+//! of dirty-page evictions that were absorbed by the flash cache instead of
+//! reaching the disk. Counting physical I/O against the underlying store lets
+//! the functional tests assert that the write-back flash cache really does
+//! reduce disk writes, independent of the simulated-device experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::page::{Page, PageId};
+use crate::store::{PageStore, StoreResult};
+
+/// Counters shared by clones of a [`CountingStore`].
+#[derive(Debug, Default)]
+pub struct IoCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    syncs: AtomicU64,
+}
+
+impl IoCounters {
+    /// Physical page reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Physical page writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Sync (flush) calls so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Wraps any [`PageStore`] and counts the operations that reach it.
+pub struct CountingStore<S> {
+    inner: S,
+    counters: Arc<IoCounters>,
+}
+
+impl<S: PageStore> CountingStore<S> {
+    /// Wrap `inner`.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            counters: Arc::new(IoCounters::default()),
+        }
+    }
+
+    /// A handle to the shared counters.
+    pub fn counters(&self) -> Arc<IoCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the counters.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PageStore> PageStore for CountingStore<S> {
+    fn read_page(&self, id: PageId, buf: &mut Page) -> StoreResult<()> {
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> StoreResult<()> {
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.write_page(id, page)
+    }
+
+    fn allocate(&self, file: u32) -> StoreResult<PageId> {
+        self.inner.allocate(file)
+    }
+
+    fn num_pages(&self, file: u32) -> u64 {
+        self.inner.num_pages(file)
+    }
+
+    fn sync(&self) -> StoreResult<()> {
+        self.counters.syncs.fetch_add(1, Ordering::Relaxed);
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem_store::InMemoryPageStore;
+
+    #[test]
+    fn counts_reads_writes_and_syncs() {
+        let store = CountingStore::new(InMemoryPageStore::new());
+        let counters = store.counters();
+        let id = store.allocate(0).unwrap();
+        let mut page = Page::new(id);
+        page.update_checksum();
+        store.write_page(id, &page).unwrap();
+        store.write_page(id, &page).unwrap();
+        let mut out = Page::zeroed();
+        store.read_page(id, &mut out).unwrap();
+        store.sync().unwrap();
+
+        assert_eq!(counters.reads(), 1);
+        assert_eq!(counters.writes(), 2);
+        assert_eq!(counters.syncs(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let store = CountingStore::new(InMemoryPageStore::new());
+        let id = store.allocate(0).unwrap();
+        let mut page = Page::new(id);
+        page.update_checksum();
+        store.write_page(id, &page).unwrap();
+        store.counters().reset();
+        assert_eq!(store.counters().writes(), 0);
+    }
+
+    #[test]
+    fn allocation_is_not_counted_as_io() {
+        let store = CountingStore::new(InMemoryPageStore::new());
+        store.allocate(0).unwrap();
+        store.allocate(0).unwrap();
+        assert_eq!(store.counters().reads(), 0);
+        assert_eq!(store.counters().writes(), 0);
+        assert_eq!(store.num_pages(0), 2);
+    }
+
+    #[test]
+    fn inner_access() {
+        let store = CountingStore::new(InMemoryPageStore::new());
+        store.allocate(3).unwrap();
+        assert_eq!(store.inner().num_pages(3), 1);
+        let inner = store.into_inner();
+        assert_eq!(inner.num_pages(3), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # face-pagestore — pages and page stores
+//!
+//! The lowest layer of the FaCE reproduction's storage engine: fixed-size
+//! 4 KiB pages with a self-describing header (page id, pageLSN, checksum) and
+//! the [`PageStore`] trait with file-backed and in-memory implementations.
+//!
+//! The page header carries the same information the paper relies on for
+//! recovery (§4.2): every page stores its own id and pageLSN, so the flash
+//! cache's metadata directory can be rebuilt by scanning data pages, and redo
+//! can decide whether a logged update is already reflected in a page.
+//!
+//! Layers above:
+//! * `face-wal` appends log records and assigns LSNs stored in page headers;
+//! * `face-buffer` caches pages in DRAM frames;
+//! * `face-cache` stages evicted pages in a flash-resident cache;
+//! * `face-engine` stores records and B+tree nodes inside page bodies.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod counting;
+pub mod file_store;
+pub mod mem_store;
+pub mod page;
+pub mod store;
+
+pub use counting::CountingStore;
+pub use file_store::FilePageStore;
+pub use mem_store::InMemoryPageStore;
+pub use page::{Lsn, Page, PageId, PAGE_BODY_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE};
+pub use store::{PageStore, StoreError, StoreResult};

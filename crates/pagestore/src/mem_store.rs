@@ -1,0 +1,185 @@
+//! An in-memory page store, used by unit tests and by simulation-mode engines
+//! where page *contents* still matter but real files would be wasteful.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::page::{Page, PageId};
+use crate::store::{validate_read, PageStore, StoreError, StoreResult};
+
+#[derive(Default)]
+struct Inner {
+    pages: HashMap<PageId, Box<Page>>,
+    /// Highest allocated page number per file, +1.
+    file_sizes: HashMap<u32, u64>,
+}
+
+/// A heap-allocated page store.
+#[derive(Default)]
+pub struct InMemoryPageStore {
+    inner: RwLock<Inner>,
+}
+
+impl InMemoryPageStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages that have actually been written (not just allocated).
+    pub fn materialized_pages(&self) -> usize {
+        self.inner.read().pages.len()
+    }
+
+    /// Drop all contents (simulates media loss; used in crash tests to verify
+    /// that recovery really does depend on the flash cache / disk contents).
+    pub fn clear(&self) {
+        let mut g = self.inner.write();
+        g.pages.clear();
+        g.file_sizes.clear();
+    }
+}
+
+impl PageStore for InMemoryPageStore {
+    fn read_page(&self, id: PageId, buf: &mut Page) -> StoreResult<()> {
+        let g = self.inner.read();
+        let size = g.file_sizes.get(&id.file).copied().unwrap_or(0);
+        if (id.page_no as u64) >= size {
+            return Err(StoreError::PageNotFound(id));
+        }
+        match g.pages.get(&id) {
+            Some(p) => {
+                *buf = (**p).clone();
+                validate_read(id, buf)
+            }
+            None => {
+                // Allocated but never written: zero-filled.
+                *buf = Page::zeroed();
+                Ok(())
+            }
+        }
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> StoreResult<()> {
+        debug_assert_eq!(page.id(), id, "page header id must match slot");
+        let mut g = self.inner.write();
+        let size = g.file_sizes.entry(id.file).or_insert(0);
+        if (id.page_no as u64) >= *size {
+            // Implicit extension keeps the store permissive for tests that
+            // write without allocating first.
+            *size = id.page_no as u64 + 1;
+        }
+        g.pages.insert(id, Box::new(page.clone()));
+        Ok(())
+    }
+
+    fn allocate(&self, file: u32) -> StoreResult<PageId> {
+        let mut g = self.inner.write();
+        let size = g.file_sizes.entry(file).or_insert(0);
+        let id = PageId::new(file, *size as u32);
+        *size += 1;
+        Ok(id)
+    }
+
+    fn num_pages(&self, file: u32) -> u64 {
+        self.inner.read().file_sizes.get(&file).copied().unwrap_or(0)
+    }
+
+    fn sync(&self) -> StoreResult<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::Lsn;
+
+    #[test]
+    fn allocate_read_write_round_trip() {
+        let store = InMemoryPageStore::new();
+        let id = store.allocate(1).unwrap();
+        assert_eq!(id, PageId::new(1, 0));
+        assert_eq!(store.num_pages(1), 1);
+        assert!(store.contains(id));
+
+        let mut page = Page::new(id);
+        page.write_body(0, b"data");
+        page.set_lsn(Lsn(7));
+        page.update_checksum();
+        store.write_page(id, &page).unwrap();
+
+        let mut out = Page::zeroed();
+        store.read_page(id, &mut out).unwrap();
+        assert_eq!(out.read_body(0, 4), b"data");
+        assert_eq!(out.lsn(), Lsn(7));
+    }
+
+    #[test]
+    fn allocated_but_unwritten_page_reads_zeroed() {
+        let store = InMemoryPageStore::new();
+        let id = store.allocate(0).unwrap();
+        let mut out = Page::new(PageId::new(9, 9));
+        store.read_page(id, &mut out).unwrap();
+        assert!(!out.is_formatted());
+    }
+
+    #[test]
+    fn unallocated_page_not_found() {
+        let store = InMemoryPageStore::new();
+        let mut out = Page::zeroed();
+        let err = store.read_page(PageId::new(0, 5), &mut out).unwrap_err();
+        assert!(matches!(err, StoreError::PageNotFound(_)));
+        assert!(!store.contains(PageId::new(0, 5)));
+    }
+
+    #[test]
+    fn sequential_allocation_per_file() {
+        let store = InMemoryPageStore::new();
+        for i in 0..10u32 {
+            assert_eq!(store.allocate(2).unwrap(), PageId::new(2, i));
+        }
+        assert_eq!(store.allocate(3).unwrap(), PageId::new(3, 0));
+        assert_eq!(store.num_pages(2), 10);
+        assert_eq!(store.num_pages(3), 1);
+        assert_eq!(store.num_pages(4), 0);
+    }
+
+    #[test]
+    fn implicit_extension_on_write() {
+        let store = InMemoryPageStore::new();
+        let id = PageId::new(0, 99);
+        let mut page = Page::new(id);
+        page.update_checksum();
+        store.write_page(id, &page).unwrap();
+        assert_eq!(store.num_pages(0), 100);
+        assert_eq!(store.materialized_pages(), 1);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let store = InMemoryPageStore::new();
+        let id = store.allocate(0).unwrap();
+        let mut p = Page::new(id);
+        p.update_checksum();
+        store.write_page(id, &p).unwrap();
+        store.clear();
+        assert_eq!(store.num_pages(0), 0);
+        assert_eq!(store.materialized_pages(), 0);
+    }
+
+    #[test]
+    fn corrupted_page_detected_on_read() {
+        let store = InMemoryPageStore::new();
+        let id = store.allocate(0).unwrap();
+        let mut p = Page::new(id);
+        p.write_body(0, b"x");
+        // Deliberately skip update_checksum so the stored checksum (0) is
+        // wrong for the contents.
+        store.write_page(id, &p).unwrap();
+        let mut out = Page::zeroed();
+        let err = store.read_page(id, &mut out).unwrap_err();
+        assert!(matches!(err, StoreError::ChecksumMismatch(_)));
+    }
+}

@@ -1,0 +1,156 @@
+//! The [`PageStore`] trait and its error type.
+
+use std::fmt;
+use std::io;
+
+use crate::page::{Page, PageId};
+
+/// Errors returned by page stores.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The requested page does not exist in the store.
+    PageNotFound(PageId),
+    /// The page read from storage fails its checksum.
+    ChecksumMismatch(PageId),
+    /// The page read from storage carries a different id than requested
+    /// (torn write or mis-directed I/O).
+    WrongPage {
+        /// The page that was requested.
+        requested: PageId,
+        /// The id found in the page header.
+        found: PageId,
+    },
+    /// An underlying I/O error.
+    Io(io::Error),
+    /// The store has been closed or its backing file removed.
+    Closed,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::PageNotFound(id) => write!(f, "page {id} not found"),
+            StoreError::ChecksumMismatch(id) => write!(f, "checksum mismatch on page {id}"),
+            StoreError::WrongPage { requested, found } => {
+                write!(f, "requested page {requested} but found {found}")
+            }
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Closed => write!(f, "page store is closed"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// A persistent (or pretend-persistent) home for pages.
+///
+/// Implementations use interior mutability so a store can be shared behind an
+/// `Arc` by the buffer manager, the flash cache's stage-out path and the
+/// recovery manager simultaneously.
+pub trait PageStore: Send + Sync {
+    /// Read the page `id` into `buf`.
+    fn read_page(&self, id: PageId, buf: &mut Page) -> StoreResult<()>;
+
+    /// Write `page` to its slot. The page's header id must equal `id`.
+    fn write_page(&self, id: PageId, page: &Page) -> StoreResult<()>;
+
+    /// Allocate the next page of file `file`, returning its id. The page is
+    /// zero-filled on storage until first written.
+    fn allocate(&self, file: u32) -> StoreResult<PageId>;
+
+    /// Number of allocated pages in `file`.
+    fn num_pages(&self, file: u32) -> u64;
+
+    /// Flush any buffered writes to durable storage.
+    fn sync(&self) -> StoreResult<()>;
+
+    /// Whether the page exists (has been allocated).
+    fn contains(&self, id: PageId) -> bool {
+        (id.page_no as u64) < self.num_pages(id.file)
+    }
+}
+
+/// Validate that a page read from storage is the page we asked for and is not
+/// corrupted. Shared by store implementations.
+pub fn validate_read(requested: PageId, page: &Page) -> StoreResult<()> {
+    if !page.is_formatted() {
+        // A never-written (all-zero) page is legal: freshly allocated.
+        return Ok(());
+    }
+    let found = page.id();
+    if found != requested {
+        return Err(StoreError::WrongPage { requested, found });
+    }
+    if !page.verify_checksum() {
+        return Err(StoreError::ChecksumMismatch(requested));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{Lsn, Page, PageId};
+
+    #[test]
+    fn error_display() {
+        let id = PageId::new(1, 2);
+        assert!(format!("{}", StoreError::PageNotFound(id)).contains("1:2"));
+        assert!(format!("{}", StoreError::ChecksumMismatch(id)).contains("checksum"));
+        let e = StoreError::WrongPage {
+            requested: id,
+            found: PageId::new(3, 4),
+        };
+        assert!(format!("{e}").contains("3:4"));
+        let io_err = StoreError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(format!("{io_err}").contains("boom"));
+        assert!(format!("{}", StoreError::Closed).contains("closed"));
+    }
+
+    #[test]
+    fn validate_read_accepts_fresh_and_correct_pages() {
+        let id = PageId::new(5, 6);
+        // Unformatted (never written) page is fine.
+        assert!(validate_read(id, &Page::zeroed()).is_ok());
+        // Correct page with valid checksum is fine.
+        let mut p = Page::new(id);
+        p.set_lsn(Lsn(1));
+        p.update_checksum();
+        assert!(validate_read(id, &p).is_ok());
+    }
+
+    #[test]
+    fn validate_read_rejects_wrong_page_and_corruption() {
+        let id = PageId::new(5, 6);
+        let mut other = Page::new(PageId::new(9, 9));
+        other.update_checksum();
+        assert!(matches!(
+            validate_read(id, &other),
+            Err(StoreError::WrongPage { .. })
+        ));
+
+        let mut p = Page::new(id);
+        p.update_checksum();
+        p.as_bytes_mut()[100] ^= 0x01;
+        assert!(matches!(
+            validate_read(id, &p),
+            Err(StoreError::ChecksumMismatch(_))
+        ));
+    }
+}

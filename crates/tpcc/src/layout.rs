@@ -1,0 +1,233 @@
+//! Physical layout of the nine TPC-C tables over 4 KiB pages.
+
+use face_pagestore::PageId;
+use serde::{Deserialize, Serialize};
+
+/// The TPC-C tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Table {
+    /// WAREHOUSE — 1 row per warehouse.
+    Warehouse,
+    /// DISTRICT — 10 rows per warehouse.
+    District,
+    /// CUSTOMER — 30,000 rows per warehouse (~655 bytes each).
+    Customer,
+    /// HISTORY — 30,000+ rows per warehouse, append-only.
+    History,
+    /// NEW_ORDER — ~9,000 rows per warehouse.
+    NewOrder,
+    /// ORDER — 30,000+ rows per warehouse.
+    Order,
+    /// ORDER_LINE — ~300,000 rows per warehouse (~54 bytes each).
+    OrderLine,
+    /// ITEM — 100,000 rows, shared across warehouses.
+    Item,
+    /// STOCK — 100,000 rows per warehouse (~306 bytes each).
+    Stock,
+}
+
+impl Table {
+    /// All tables, in file-id order.
+    pub const ALL: [Table; 9] = [
+        Table::Warehouse,
+        Table::District,
+        Table::Customer,
+        Table::History,
+        Table::NewOrder,
+        Table::Order,
+        Table::OrderLine,
+        Table::Item,
+        Table::Stock,
+    ];
+
+    /// The page-store file id used for this table.
+    pub fn file_id(self) -> u32 {
+        match self {
+            Table::Warehouse => 10,
+            Table::District => 11,
+            Table::Customer => 12,
+            Table::History => 13,
+            Table::NewOrder => 14,
+            Table::Order => 15,
+            Table::OrderLine => 16,
+            Table::Item => 17,
+            Table::Stock => 18,
+        }
+    }
+
+    /// Rows per warehouse at initial population (ITEM is global and listed as
+    /// its absolute cardinality).
+    pub fn rows_per_warehouse(self) -> u64 {
+        match self {
+            Table::Warehouse => 1,
+            Table::District => 10,
+            Table::Customer => 30_000,
+            Table::History => 30_000,
+            Table::NewOrder => 9_000,
+            Table::Order => 30_000,
+            Table::OrderLine => 300_000,
+            Table::Item => 100_000,
+            Table::Stock => 100_000,
+        }
+    }
+
+    /// Approximate rows per 4 KiB page, derived from the TPC-C row sizes
+    /// (§1.3 of the specification) with typical PostgreSQL tuple overhead.
+    pub fn rows_per_page(self) -> u64 {
+        match self {
+            Table::Warehouse => 40,
+            Table::District => 40,
+            Table::Customer => 6,
+            Table::History => 80,
+            Table::NewOrder => 400,
+            Table::Order => 120,
+            Table::OrderLine => 70,
+            Table::Item => 45,
+            Table::Stock => 12,
+        }
+    }
+
+    /// Whether the table grows during the run (orders, order lines, history).
+    pub fn is_append_only(self) -> bool {
+        matches!(self, Table::History | Table::Order | Table::OrderLine | Table::NewOrder)
+    }
+}
+
+/// Maps (table, warehouse, row) to pages for a given scale.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableLayout {
+    warehouses: u32,
+    /// Growth headroom multiplier for append-only tables (the paper's 50 GB
+    /// database includes space into which orders grow).
+    growth_factor: f64,
+}
+
+impl TableLayout {
+    /// A layout for `warehouses` warehouses with the default 30 % growth
+    /// headroom for append-only tables.
+    pub fn new(warehouses: u32) -> Self {
+        assert!(warehouses > 0, "need at least one warehouse");
+        Self {
+            warehouses,
+            growth_factor: 1.3,
+        }
+    }
+
+    /// Number of warehouses.
+    pub fn warehouses(&self) -> u32 {
+        self.warehouses
+    }
+
+    /// Pages used by one table across all warehouses.
+    pub fn table_pages(&self, table: Table) -> u64 {
+        let rows = if table == Table::Item {
+            table.rows_per_warehouse()
+        } else {
+            table.rows_per_warehouse() * self.warehouses as u64
+        };
+        let rows = if table.is_append_only() {
+            (rows as f64 * self.growth_factor).ceil() as u64
+        } else {
+            rows
+        };
+        rows.div_ceil(table.rows_per_page()).max(1)
+    }
+
+    /// Total database size in pages.
+    pub fn total_pages(&self) -> u64 {
+        Table::ALL.iter().map(|t| self.table_pages(*t)).sum()
+    }
+
+    /// Total database size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_pages() * face_pagestore::PAGE_SIZE as u64
+    }
+
+    /// The page holding row `row` of `table` in `warehouse` (warehouses are
+    /// 1-based as in the TPC-C specification; ITEM ignores the warehouse).
+    pub fn page_of(&self, table: Table, warehouse: u32, row: u64) -> PageId {
+        debug_assert!(warehouse >= 1 && warehouse <= self.warehouses);
+        let rows_per_page = table.rows_per_page();
+        let global_row = if table == Table::Item {
+            row % table.rows_per_warehouse()
+        } else {
+            let capacity = if table.is_append_only() {
+                (table.rows_per_warehouse() as f64 * self.growth_factor).ceil() as u64
+            } else {
+                table.rows_per_warehouse()
+            };
+            (warehouse as u64 - 1) * capacity + (row % capacity)
+        };
+        let page_no = (global_row / rows_per_page) % self.table_pages(table);
+        PageId::new(table.file_id(), page_no as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_size_scales_with_warehouses() {
+        let small = TableLayout::new(10);
+        let large = TableLayout::new(100);
+        assert!(large.total_pages() > 9 * small.total_pages());
+        // The paper's 500-warehouse database is roughly 50-60 GB including
+        // growth headroom; our layout should land in the same ballpark.
+        let paper = TableLayout::new(500);
+        let gb = paper.total_bytes() as f64 / 1e9;
+        assert!(gb > 30.0 && gb < 90.0, "500 warehouses -> {gb:.1} GB");
+    }
+
+    #[test]
+    fn stock_and_customer_dominate_the_size() {
+        let layout = TableLayout::new(100);
+        let stock = layout.table_pages(Table::Stock);
+        let customer = layout.table_pages(Table::Customer);
+        let warehouse = layout.table_pages(Table::Warehouse);
+        assert!(stock > 100 * warehouse);
+        assert!(customer > 100 * warehouse);
+    }
+
+    #[test]
+    fn page_mapping_is_stable_and_in_range() {
+        let layout = TableLayout::new(10);
+        for table in Table::ALL {
+            let pages = layout.table_pages(table);
+            for row in [0u64, 1, 17, 999_999] {
+                let pid = layout.page_of(table, 3, row);
+                assert_eq!(pid.file, table.file_id());
+                assert!((pid.page_no as u64) < pages, "{table:?} row {row}");
+                // Deterministic.
+                assert_eq!(pid, layout.page_of(table, 3, row));
+            }
+        }
+    }
+
+    #[test]
+    fn different_warehouses_use_disjoint_pages_for_small_tables() {
+        let layout = TableLayout::new(50);
+        let a = layout.page_of(Table::Stock, 1, 5);
+        let b = layout.page_of(Table::Stock, 2, 5);
+        assert_ne!(a, b);
+        // ITEM is shared: same page regardless of warehouse.
+        assert_eq!(
+            layout.page_of(Table::Item, 1, 5),
+            layout.page_of(Table::Item, 2, 5)
+        );
+    }
+
+    #[test]
+    fn rows_within_a_page_share_it() {
+        let layout = TableLayout::new(10);
+        let a = layout.page_of(Table::OrderLine, 1, 0);
+        let b = layout.page_of(Table::OrderLine, 1, 1);
+        assert_eq!(a, b, "consecutive order lines share a page");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warehouse")]
+    fn zero_warehouses_rejected() {
+        let _ = TableLayout::new(0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # face-tpcc — TPC-C workload generation for the FaCE reproduction
+//!
+//! The paper evaluates FaCE with TPC-C (BenchmarkSQL, 500 warehouses, 50
+//! clients) on PostgreSQL. This crate reproduces the *page access behaviour*
+//! of that workload: the nine TPC-C tables are laid out over 4 KiB pages with
+//! row sizes from the TPC-C specification, and the five transaction types
+//! generate logical page-access sequences with the standard mix and NURand
+//! skew. The sequences are replayed either against the functional engine or
+//! against the trace-driven simulation ([`face_engine::sim::SimEngine`]).
+//!
+//! Absolute row counts scale with the warehouse count, so experiments can run
+//! at a reduced scale while preserving every size *ratio* the paper's results
+//! depend on (DRAM : flash cache : database).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod layout;
+pub mod random;
+pub mod workload;
+
+pub use layout::{Table, TableLayout};
+pub use random::TpccRandom;
+pub use workload::{TpccConfig, TpccTransaction, TpccWorkload, TransactionKind};

@@ -1,0 +1,140 @@
+//! TPC-C random number generation: uniform helpers and the non-uniform
+//! NURand function that produces the benchmark's skewed customer and item
+//! accesses (TPC-C specification §2.1.6).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The constant `C` values used by NURand. The specification requires them to
+/// be chosen once per run; fixed values keep experiments reproducible.
+const C_LAST: u64 = 123;
+const C_CUST_ID: u64 = 259;
+const C_ITEM_ID: u64 = 7911;
+
+/// A deterministic random source for TPC-C drivers.
+#[derive(Debug, Clone)]
+pub struct TpccRandom {
+    rng: SmallRng,
+}
+
+impl TpccRandom {
+    /// A generator seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// A probability check: true with probability `percent`/100.
+    pub fn chance(&mut self, percent: u32) -> bool {
+        self.rng.gen_range(0..100) < percent
+    }
+
+    /// NURand(A, x, y) as defined by the specification.
+    pub fn nurand(&mut self, a: u64, x: u64, y: u64) -> u64 {
+        let c = match a {
+            255 => C_LAST,
+            1023 => C_CUST_ID,
+            8191 => C_ITEM_ID,
+            _ => 42,
+        };
+        (((self.uniform(0, a) | self.uniform(x, y)) + c) % (y - x + 1)) + x
+    }
+
+    /// A customer id (1..=3000) with NURand(1023) skew.
+    pub fn customer_id(&mut self) -> u64 {
+        self.nurand(1023, 1, 3000)
+    }
+
+    /// An item id (1..=100000) with NURand(8191) skew.
+    pub fn item_id(&mut self) -> u64 {
+        self.nurand(8191, 1, 100_000)
+    }
+
+    /// A district id (1..=10), uniform.
+    pub fn district_id(&mut self) -> u64 {
+        self.uniform(1, 10)
+    }
+
+    /// Number of order lines in a NewOrder (5..=15, uniform).
+    pub fn order_line_count(&mut self) -> u64 {
+        self.uniform(5, 15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let mut a = TpccRandom::new(7);
+        let mut b = TpccRandom::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(1, 1000), b.uniform(1, 1000));
+            assert_eq!(a.item_id(), b.item_id());
+        }
+        let mut c = TpccRandom::new(8);
+        let same: usize = (0..100)
+            .filter(|_| TpccRandom::new(7).uniform(1, 1000) == c.uniform(1, 1000))
+            .count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = TpccRandom::new(1);
+        for _ in 0..1000 {
+            let v = r.uniform(5, 15);
+            assert!((5..=15).contains(&v));
+        }
+        assert_eq!(r.uniform(9, 9), 9);
+        assert_eq!(r.uniform(10, 3), 10);
+    }
+
+    #[test]
+    fn nurand_stays_in_range_and_is_skewed() {
+        let mut r = TpccRandom::new(2);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let n = 50_000;
+        for _ in 0..n {
+            let v = r.item_id();
+            assert!((1..=100_000).contains(&v));
+            *counts.entry(v).or_default() += 1;
+        }
+        // Skew: the most popular 10% of drawn items should cover far more
+        // than 10% of the draws.
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: u64 = freqs.iter().take(freqs.len() / 10).sum();
+        let total: u64 = freqs.iter().sum();
+        assert!(
+            top_decile as f64 > 0.2 * total as f64,
+            "NURand should concentrate accesses (top decile = {:.1}%)",
+            100.0 * top_decile as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn helpers_are_in_spec_ranges() {
+        let mut r = TpccRandom::new(3);
+        for _ in 0..1000 {
+            assert!((1..=3000).contains(&r.customer_id()));
+            assert!((1..=10).contains(&r.district_id()));
+            assert!((5..=15).contains(&r.order_line_count()));
+        }
+        let heads = (0..10_000).filter(|_| r.chance(50)).count();
+        assert!(heads > 4000 && heads < 6000);
+        assert_eq!((0..1000).filter(|_| r.chance(0)).count(), 0);
+        assert_eq!((0..1000).filter(|_| r.chance(100)).count(), 1000);
+    }
+}

@@ -1,0 +1,408 @@
+//! The five TPC-C transaction types as logical page-access sequences.
+
+use face_engine::sim::PageAccess;
+use serde::{Deserialize, Serialize};
+
+use crate::layout::{Table, TableLayout};
+use crate::random::TpccRandom;
+
+/// The TPC-C transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransactionKind {
+    /// New-Order: the tpmC-counted transaction (~45 % of the mix).
+    NewOrder,
+    /// Payment (~43 %).
+    Payment,
+    /// Order-Status (read-only, ~4 %).
+    OrderStatus,
+    /// Delivery (~4 %).
+    Delivery,
+    /// Stock-Level (read-only, ~4 %).
+    StockLevel,
+}
+
+impl TransactionKind {
+    /// Whether the transaction modifies the database.
+    pub fn is_update(&self) -> bool {
+        !matches!(self, TransactionKind::OrderStatus | TransactionKind::StockLevel)
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransactionKind::NewOrder => "new_order",
+            TransactionKind::Payment => "payment",
+            TransactionKind::OrderStatus => "order_status",
+            TransactionKind::Delivery => "delivery",
+            TransactionKind::StockLevel => "stock_level",
+        }
+    }
+}
+
+/// A generated transaction: its kind and the page accesses it performs.
+#[derive(Debug, Clone)]
+pub struct TpccTransaction {
+    /// Which of the five transaction types this is.
+    pub kind: TransactionKind,
+    /// The page accesses, in execution order.
+    pub accesses: Vec<PageAccess>,
+}
+
+/// Workload configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TpccConfig {
+    /// Number of warehouses (the TPC-C scale factor; the paper uses 500).
+    pub warehouses: u32,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        Self {
+            warehouses: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// State for generating a stream of TPC-C transactions.
+#[derive(Debug, Clone)]
+pub struct TpccWorkload {
+    layout: TableLayout,
+    rng: TpccRandom,
+    /// Next order id per (warehouse, district), driving the append-only
+    /// growth of ORDER / ORDER_LINE / NEW_ORDER.
+    next_order_id: Vec<u64>,
+    /// Oldest undelivered order per (warehouse, district).
+    next_delivery_id: Vec<u64>,
+}
+
+impl TpccWorkload {
+    /// Create a workload generator.
+    pub fn new(config: TpccConfig) -> Self {
+        let layout = TableLayout::new(config.warehouses);
+        let districts = config.warehouses as usize * 10;
+        Self {
+            layout,
+            rng: TpccRandom::new(config.seed),
+            next_order_id: vec![3_001; districts],
+            next_delivery_id: vec![2_101; districts],
+        }
+    }
+
+    /// The table layout (shared with the experiment driver for sizing).
+    pub fn layout(&self) -> &TableLayout {
+        &self.layout
+    }
+
+    fn district_index(&self, warehouse: u64, district: u64) -> usize {
+        ((warehouse - 1) * 10 + (district - 1)) as usize
+    }
+
+    fn page(&self, table: Table, warehouse: u64, row: u64) -> PageAccess {
+        PageAccess::read(self.layout.page_of(table, warehouse as u32, row))
+    }
+
+    fn page_write(&self, table: Table, warehouse: u64, row: u64) -> PageAccess {
+        PageAccess::write(self.layout.page_of(table, warehouse as u32, row))
+    }
+
+    fn random_warehouse(&mut self) -> u64 {
+        self.rng.uniform(1, self.layout.warehouses() as u64)
+    }
+
+    /// Generate the next transaction according to the standard mix
+    /// (45/43/4/4/4).
+    pub fn next_transaction(&mut self) -> TpccTransaction {
+        let roll = self.rng.uniform(0, 99);
+        let kind = match roll {
+            0..=44 => TransactionKind::NewOrder,
+            45..=87 => TransactionKind::Payment,
+            88..=91 => TransactionKind::OrderStatus,
+            92..=95 => TransactionKind::Delivery,
+            _ => TransactionKind::StockLevel,
+        };
+        self.transaction_of_kind(kind)
+    }
+
+    /// Generate a transaction of a specific kind (used by tests and the
+    /// per-type micro-benchmarks).
+    pub fn transaction_of_kind(&mut self, kind: TransactionKind) -> TpccTransaction {
+        let accesses = match kind {
+            TransactionKind::NewOrder => self.new_order(),
+            TransactionKind::Payment => self.payment(),
+            TransactionKind::OrderStatus => self.order_status(),
+            TransactionKind::Delivery => self.delivery(),
+            TransactionKind::StockLevel => self.stock_level(),
+        };
+        TpccTransaction { kind, accesses }
+    }
+
+    fn new_order(&mut self) -> Vec<PageAccess> {
+        let w = self.random_warehouse();
+        let d = self.rng.district_id();
+        let c = self.rng.customer_id();
+        let idx = self.district_index(w, d);
+        let order_id = self.next_order_id[idx];
+        self.next_order_id[idx] += 1;
+
+        let mut a = Vec::with_capacity(40);
+        a.push(self.page(Table::Warehouse, w, 0));
+        // District row is read and updated (next_o_id).
+        a.push(self.page_write(Table::District, w, d - 1));
+        a.push(self.page(Table::Customer, w, (d - 1) * 3000 + c - 1));
+
+        let lines = self.rng.order_line_count();
+        for line in 0..lines {
+            let item = self.rng.item_id();
+            // 1% of orders access a remote warehouse's stock.
+            let supply_w = if self.rng.chance(1) && self.layout.warehouses() > 1 {
+                self.random_warehouse()
+            } else {
+                w
+            };
+            a.push(self.page(Table::Item, w, item - 1));
+            a.push(self.page_write(Table::Stock, supply_w, item - 1));
+            a.push(self.page_write(
+                Table::OrderLine,
+                w,
+                (d - 1) * 30_000 + order_id * 15 + line,
+            ));
+        }
+        a.push(self.page_write(Table::Order, w, (d - 1) * 3_000 + order_id));
+        a.push(self.page_write(Table::NewOrder, w, (d - 1) * 900 + order_id));
+        a
+    }
+
+    fn payment(&mut self) -> Vec<PageAccess> {
+        let w = self.random_warehouse();
+        let d = self.rng.district_id();
+        // 15% of payments are for a customer of a remote warehouse.
+        let (cw, cd) = if self.rng.chance(15) && self.layout.warehouses() > 1 {
+            (self.random_warehouse(), self.rng.district_id())
+        } else {
+            (w, d)
+        };
+        let c = self.rng.customer_id();
+
+        let mut a = Vec::with_capacity(8);
+        a.push(self.page_write(Table::Warehouse, w, 0));
+        a.push(self.page_write(Table::District, w, d - 1));
+        // 60% of lookups are by last name: scan a few customer pages.
+        if self.rng.chance(60) {
+            let base = self.rng.uniform(0, 2_999);
+            for i in 0..3 {
+                a.push(self.page(Table::Customer, cw, (cd - 1) * 3000 + (base + i) % 3000));
+            }
+        }
+        a.push(self.page_write(Table::Customer, cw, (cd - 1) * 3000 + c - 1));
+        let history_row = self.rng.uniform(0, 29_999);
+        a.push(self.page_write(Table::History, w, history_row));
+        a
+    }
+
+    fn order_status(&mut self) -> Vec<PageAccess> {
+        let w = self.random_warehouse();
+        let d = self.rng.district_id();
+        let c = self.rng.customer_id();
+        let idx = self.district_index(w, d);
+        let recent_order = self.next_order_id[idx].saturating_sub(self.rng.uniform(1, 20));
+
+        let mut a = Vec::with_capacity(8);
+        if self.rng.chance(60) {
+            let base = self.rng.uniform(0, 2_999);
+            for i in 0..3 {
+                a.push(self.page(Table::Customer, w, (d - 1) * 3000 + (base + i) % 3000));
+            }
+        }
+        a.push(self.page(Table::Customer, w, (d - 1) * 3000 + c - 1));
+        a.push(self.page(Table::Order, w, (d - 1) * 3_000 + recent_order));
+        // Order lines of that order (5-15 rows, typically 1-2 pages).
+        a.push(self.page(Table::OrderLine, w, (d - 1) * 30_000 + recent_order * 15));
+        a.push(self.page(
+            Table::OrderLine,
+            w,
+            (d - 1) * 30_000 + recent_order * 15 + 14,
+        ));
+        a
+    }
+
+    fn delivery(&mut self) -> Vec<PageAccess> {
+        let w = self.random_warehouse();
+        let mut a = Vec::with_capacity(60);
+        for d in 1..=10u64 {
+            let idx = self.district_index(w, d);
+            if self.next_delivery_id[idx] >= self.next_order_id[idx] {
+                continue;
+            }
+            let order_id = self.next_delivery_id[idx];
+            self.next_delivery_id[idx] += 1;
+            // Delete the NEW_ORDER row, update the ORDER row, sum and update
+            // the order lines, credit the customer.
+            a.push(self.page_write(Table::NewOrder, w, (d - 1) * 900 + order_id));
+            a.push(self.page_write(Table::Order, w, (d - 1) * 3_000 + order_id));
+            a.push(self.page_write(Table::OrderLine, w, (d - 1) * 30_000 + order_id * 15));
+            let customer = self.rng.customer_id();
+            a.push(self.page_write(Table::Customer, w, (d - 1) * 3000 + customer - 1));
+        }
+        a
+    }
+
+    fn stock_level(&mut self) -> Vec<PageAccess> {
+        let w = self.random_warehouse();
+        let d = self.rng.district_id();
+        let idx = self.district_index(w, d);
+        let newest = self.next_order_id[idx];
+
+        let mut a = Vec::with_capacity(30);
+        a.push(self.page(Table::District, w, d - 1));
+        // Examine the order lines of the last 20 orders and the stock rows of
+        // their items.
+        for back in 0..20u64 {
+            let order = newest.saturating_sub(back + 1);
+            a.push(self.page(Table::OrderLine, w, (d - 1) * 30_000 + order * 15));
+        }
+        for _ in 0..8 {
+            let item = self.rng.item_id();
+            a.push(self.page(Table::Stock, w, item - 1));
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn workload() -> TpccWorkload {
+        TpccWorkload::new(TpccConfig {
+            warehouses: 10,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn mix_matches_the_specification() {
+        let mut w = workload();
+        let mut counts: HashMap<TransactionKind, u64> = HashMap::new();
+        let n = 20_000;
+        for _ in 0..n {
+            *counts.entry(w.next_transaction().kind).or_default() += 1;
+        }
+        let share = |k| *counts.get(&k).unwrap_or(&0) as f64 / n as f64;
+        assert!((share(TransactionKind::NewOrder) - 0.45).abs() < 0.02);
+        assert!((share(TransactionKind::Payment) - 0.43).abs() < 0.02);
+        assert!((share(TransactionKind::OrderStatus) - 0.04).abs() < 0.01);
+        assert!((share(TransactionKind::Delivery) - 0.04).abs() < 0.01);
+        assert!((share(TransactionKind::StockLevel) - 0.04).abs() < 0.01);
+    }
+
+    #[test]
+    fn new_order_touches_the_expected_tables() {
+        let mut w = workload();
+        let txn = w.transaction_of_kind(TransactionKind::NewOrder);
+        assert!(txn.kind.is_update());
+        assert!(txn.accesses.len() >= 5 + 3 * 5);
+        let files: std::collections::HashSet<u32> =
+            txn.accesses.iter().map(|a| a.page.file).collect();
+        for t in [
+            Table::Warehouse,
+            Table::District,
+            Table::Customer,
+            Table::Item,
+            Table::Stock,
+            Table::OrderLine,
+            Table::Order,
+            Table::NewOrder,
+        ] {
+            assert!(files.contains(&t.file_id()), "{t:?} missing");
+        }
+        // Stock and order-line accesses are writes.
+        assert!(txn
+            .accesses
+            .iter()
+            .any(|a| a.page.file == Table::Stock.file_id() && a.write));
+    }
+
+    #[test]
+    fn read_only_transactions_do_not_write() {
+        let mut w = workload();
+        for kind in [TransactionKind::OrderStatus, TransactionKind::StockLevel] {
+            let txn = w.transaction_of_kind(kind);
+            assert!(!txn.kind.is_update());
+            assert!(txn.accesses.iter().all(|a| !a.write), "{kind:?} wrote");
+            assert!(!txn.accesses.is_empty());
+        }
+    }
+
+    #[test]
+    fn delivery_consumes_new_orders() {
+        let mut w = workload();
+        // Generate some new orders first so delivery has work.
+        for _ in 0..50 {
+            w.transaction_of_kind(TransactionKind::NewOrder);
+        }
+        let txn = w.transaction_of_kind(TransactionKind::Delivery);
+        assert!(txn.kind.is_update());
+        assert!(!txn.accesses.is_empty());
+        assert!(txn.accesses.iter().any(|a| a.write));
+    }
+
+    #[test]
+    fn order_ids_advance_and_pages_stay_in_bounds() {
+        let mut w = workload();
+        let pages = w.layout().total_pages();
+        let before = w.next_order_id[0];
+        for _ in 0..200 {
+            let txn = w.next_transaction();
+            for a in &txn.accesses {
+                let table = Table::ALL
+                    .iter()
+                    .find(|t| t.file_id() == a.page.file)
+                    .expect("access maps to a TPC-C table");
+                assert!(
+                    (a.page.page_no as u64) < w.layout().table_pages(*table),
+                    "page out of range for {table:?}"
+                );
+            }
+            assert!(pages > 0);
+        }
+        assert!(w.next_order_id.iter().any(|&id| id > before));
+    }
+
+    #[test]
+    fn accesses_are_skewed_toward_hot_pages() {
+        let mut w = workload();
+        let mut counts: HashMap<face_pagestore::PageId, u64> = HashMap::new();
+        for _ in 0..2000 {
+            for a in w.next_transaction().accesses {
+                *counts.entry(a.page).or_default() += 1;
+            }
+        }
+        let total: u64 = counts.values().sum();
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freqs.iter().take(freqs.len() / 10).sum();
+        // TPC-C locality: the hottest 10% of touched pages should absorb well
+        // over a third of the traffic.
+        assert!(
+            top10 as f64 > 0.35 * total as f64,
+            "top decile only {:.1}%",
+            100.0 * top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn workloads_with_same_seed_are_identical() {
+        let mut a = TpccWorkload::new(TpccConfig { warehouses: 5, seed: 9 });
+        let mut b = TpccWorkload::new(TpccConfig { warehouses: 5, seed: 9 });
+        for _ in 0..50 {
+            let ta = a.next_transaction();
+            let tb = b.next_transaction();
+            assert_eq!(ta.kind, tb.kind);
+            assert_eq!(ta.accesses, tb.accesses);
+        }
+    }
+}

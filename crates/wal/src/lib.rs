@@ -1,0 +1,40 @@
+//! # face-wal — write-ahead logging and redo recovery
+//!
+//! The FaCE paper keeps the two classical recovery principles unchanged
+//! (§4): write-ahead logging and commit-time force of the log tail. What
+//! changes is *where* data pages are considered persistent — once a dirty
+//! page reaches the flash cache it counts as propagated to the database, so
+//! checkpoints flush to flash instead of disk and restart redo fetches most
+//! pages from flash.
+//!
+//! This crate provides the substrate that makes that meaningful:
+//!
+//! * [`LogRecord`] — begin / update (redo-only, after-image) / commit / abort
+//!   / checkpoint records with a compact binary encoding.
+//! * [`WalWriter`] — an append buffer that assigns LSNs and forces the tail to
+//!   a [`LogStorage`] on commit (group commit).
+//! * [`LogReader`] — sequential scan of the log from any LSN.
+//! * [`recovery`] — the analysis pass (find the last checkpoint, the set of
+//!   committed transactions and the pages needing redo) producing a
+//!   [`recovery::RedoPlan`] that the engine applies through its buffer
+//!   manager / flash cache.
+//!
+//! LSNs are byte offsets into the logical log stream, as in ARIES and
+//! PostgreSQL.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod reader;
+pub mod record;
+pub mod recovery;
+pub mod storage;
+pub mod writer;
+
+pub use face_pagestore::Lsn;
+pub use reader::LogReader;
+pub use record::{CheckpointData, LogRecord, TxnId};
+pub use recovery::{AnalysisResult, RedoPlan, RedoUpdate};
+pub use storage::{FileLogStorage, InMemoryLogStorage, LogStorage, WalError, WalResult};
+pub use writer::WalWriter;

@@ -1,0 +1,197 @@
+//! Sequential log scanning for recovery.
+
+use std::sync::Arc;
+
+use face_pagestore::Lsn;
+
+use crate::codec::crc32;
+use crate::record::LogRecord;
+use crate::storage::{LogStorage, WalError, WalResult};
+use crate::writer::FRAME_HEADER_SIZE;
+
+/// Reads records back from a [`LogStorage`], starting at any LSN that is a
+/// record boundary.
+///
+/// The reader stops cleanly at the end of the log. A torn tail (a frame whose
+/// header or payload is incomplete, as happens when a crash interrupts a log
+/// write) terminates the scan as "end of log", exactly as a real recovery
+/// would treat it; a CRC mismatch in the *middle* of the log is reported as
+/// corruption.
+pub struct LogReader {
+    storage: Arc<dyn LogStorage>,
+    pos: u64,
+}
+
+/// A record together with its LSN and the LSN of the following record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedRecord {
+    /// This record's LSN.
+    pub lsn: Lsn,
+    /// The LSN one past this record (start of the next record).
+    pub next_lsn: Lsn,
+    /// The decoded record.
+    pub record: LogRecord,
+}
+
+impl LogReader {
+    /// Start reading at the beginning of the log.
+    pub fn new(storage: Arc<dyn LogStorage>) -> Self {
+        Self { storage, pos: 0 }
+    }
+
+    /// Start reading at `lsn` (must be a record boundary).
+    pub fn from_lsn(storage: Arc<dyn LogStorage>, lsn: Lsn) -> Self {
+        Self {
+            storage,
+            pos: lsn.0,
+        }
+    }
+
+    /// The LSN the next call to [`LogReader::next_record`] will read.
+    pub fn position(&self) -> Lsn {
+        Lsn(self.pos)
+    }
+
+    /// Read the next record, or `Ok(None)` at end of log (including a torn
+    /// tail).
+    pub fn next_record(&mut self) -> WalResult<Option<LoggedRecord>> {
+        let log_len = self.storage.len();
+        if self.pos >= log_len {
+            return Ok(None);
+        }
+        // Frame header.
+        let mut header = [0u8; FRAME_HEADER_SIZE as usize];
+        let n = self.storage.read_at(self.pos, &mut header)?;
+        if n < header.len() {
+            // Torn header at the tail: treat as end of log.
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let expected_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+
+        let payload_off = self.pos + FRAME_HEADER_SIZE;
+        if payload_off + len as u64 > log_len {
+            // Torn payload at the tail.
+            return Ok(None);
+        }
+        let mut payload = vec![0u8; len];
+        let n = self.storage.read_at(payload_off, &mut payload)?;
+        if n < len {
+            return Ok(None);
+        }
+        if crc32(&payload) != expected_crc {
+            return Err(WalError::Corrupt {
+                at: self.pos,
+                reason: "CRC mismatch".to_string(),
+            });
+        }
+        let record = LogRecord::decode(&payload).map_err(|e| WalError::Corrupt {
+            at: self.pos,
+            reason: e.to_string(),
+        })?;
+        let lsn = Lsn(self.pos);
+        self.pos = payload_off + len as u64;
+        Ok(Some(LoggedRecord {
+            lsn,
+            next_lsn: Lsn(self.pos),
+            record,
+        }))
+    }
+
+    /// Collect every remaining record into a vector.
+    pub fn read_to_end(&mut self) -> WalResult<Vec<LoggedRecord>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{LogRecord, TxnId};
+    use crate::storage::InMemoryLogStorage;
+    use crate::writer::WalWriter;
+    use face_pagestore::PageId;
+
+    fn setup() -> (Arc<dyn LogStorage>, Vec<Lsn>) {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = WalWriter::new(Arc::clone(&storage));
+        let mut lsns = Vec::new();
+        lsns.push(w.append(&LogRecord::Begin { txn: TxnId(1) }));
+        lsns.push(w.append(&LogRecord::Update {
+            txn: TxnId(1),
+            page: PageId::new(0, 3),
+            offset: 10,
+            data: vec![9; 20],
+        }));
+        lsns.push(w.append(&LogRecord::Commit { txn: TxnId(1) }));
+        w.force_all().unwrap();
+        (storage, lsns)
+    }
+
+    #[test]
+    fn reads_back_in_order_with_lsns() {
+        let (storage, lsns) = setup();
+        let mut r = LogReader::new(storage);
+        let recs = r.read_to_end().unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].lsn, lsns[0]);
+        assert_eq!(recs[1].lsn, lsns[1]);
+        assert_eq!(recs[2].lsn, lsns[2]);
+        assert_eq!(recs[0].next_lsn, recs[1].lsn);
+        assert!(matches!(recs[2].record, LogRecord::Commit { .. }));
+        // Reader is exhausted.
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn starts_from_arbitrary_lsn() {
+        let (storage, lsns) = setup();
+        let mut r = LogReader::from_lsn(storage, lsns[1]);
+        assert_eq!(r.position(), lsns[1]);
+        let recs = r.read_to_end().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[0].record, LogRecord::Update { .. }));
+    }
+
+    #[test]
+    fn empty_log_yields_nothing() {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let mut r = LogReader::new(storage);
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_end_of_log() {
+        let (storage, lsns) = setup();
+        // Chop the last record in half.
+        let cut = lsns[2].0 + 3;
+        storage.truncate(cut).unwrap();
+        let mut r = LogReader::new(storage);
+        let recs = r.read_to_end().unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error() {
+        let (storage, lsns) = setup();
+        // Flip a byte inside the payload of the middle record. Do it by
+        // rewriting the whole stream (storage has no random write; rebuild).
+        let mut all = vec![0u8; storage.len() as usize];
+        storage.read_at(0, &mut all).unwrap();
+        all[(lsns[1].0 + FRAME_HEADER_SIZE + 2) as usize] ^= 0xFF;
+        let corrupted = InMemoryLogStorage::new();
+        corrupted.append(&all).unwrap();
+        let mut r = LogReader::new(Arc::new(corrupted));
+        // First record fine.
+        assert!(r.next_record().unwrap().is_some());
+        // Second is corrupt.
+        assert!(matches!(
+            r.next_record(),
+            Err(WalError::Corrupt { .. })
+        ));
+    }
+}

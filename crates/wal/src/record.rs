@@ -1,0 +1,293 @@
+//! Log record types and their binary encoding.
+
+use face_pagestore::{Lsn, PageId};
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+
+/// A transaction identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "txn:{}", self.0)
+    }
+}
+
+/// The state captured by a checkpoint record.
+///
+/// The paper's checkpoints flush dirty DRAM pages to the flash cache (when
+/// FaCE is enabled) or to disk (baseline). The checkpoint record itself only
+/// needs the begin-LSN from which redo must scan and the transactions that
+/// were active, exactly as in textbook fuzzy checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CheckpointData {
+    /// Redo must start scanning from this LSN (the minimum recovery LSN of
+    /// any page that was dirty and not yet flushed when the checkpoint
+    /// completed; equal to the checkpoint's own LSN for a sharp checkpoint).
+    pub redo_lsn: Lsn,
+    /// Transactions active at the time of the checkpoint.
+    pub active_txns: Vec<TxnId>,
+}
+
+/// A single write-ahead log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// A transaction started.
+    Begin {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// A redo-only physiological update: `data` is the after-image of the
+    /// bytes at `offset` within the body of page `page`.
+    Update {
+        /// The transaction performing the update.
+        txn: TxnId,
+        /// The updated page.
+        page: PageId,
+        /// Byte offset within the page body.
+        offset: u32,
+        /// After-image bytes.
+        data: Vec<u8>,
+    },
+    /// The transaction committed. A commit record forces the log tail.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// The transaction aborted; its updates must not be redone.
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// A fuzzy checkpoint completed.
+    Checkpoint(CheckpointData),
+}
+
+const TAG_BEGIN: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
+
+impl LogRecord {
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Update { txn, .. }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn } => Some(*txn),
+            LogRecord::Checkpoint(_) => None,
+        }
+    }
+
+    /// Whether this record is a commit.
+    pub fn is_commit(&self) -> bool {
+        matches!(self, LogRecord::Commit { .. })
+    }
+
+    /// Encode the record payload (without framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(32);
+        match self {
+            LogRecord::Begin { txn } => {
+                w.put_u8(TAG_BEGIN);
+                w.put_u64(txn.0);
+            }
+            LogRecord::Update {
+                txn,
+                page,
+                offset,
+                data,
+            } => {
+                w.put_u8(TAG_UPDATE);
+                w.put_u64(txn.0);
+                w.put_u64(page.to_u64());
+                w.put_u32(*offset);
+                w.put_bytes(data);
+            }
+            LogRecord::Commit { txn } => {
+                w.put_u8(TAG_COMMIT);
+                w.put_u64(txn.0);
+            }
+            LogRecord::Abort { txn } => {
+                w.put_u8(TAG_ABORT);
+                w.put_u64(txn.0);
+            }
+            LogRecord::Checkpoint(data) => {
+                w.put_u8(TAG_CHECKPOINT);
+                w.put_u64(data.redo_lsn.0);
+                w.put_u32(data.active_txns.len() as u32);
+                for t in &data.active_txns {
+                    w.put_u64(t.0);
+                }
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decode a record payload produced by [`LogRecord::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(payload);
+        let tag = r.get_u8()?;
+        match tag {
+            TAG_BEGIN => Ok(LogRecord::Begin {
+                txn: TxnId(r.get_u64()?),
+            }),
+            TAG_UPDATE => {
+                let txn = TxnId(r.get_u64()?);
+                let page = PageId::from_u64(r.get_u64()?);
+                let offset = r.get_u32()?;
+                let data = r.get_bytes()?.to_vec();
+                Ok(LogRecord::Update {
+                    txn,
+                    page,
+                    offset,
+                    data,
+                })
+            }
+            TAG_COMMIT => Ok(LogRecord::Commit {
+                txn: TxnId(r.get_u64()?),
+            }),
+            TAG_ABORT => Ok(LogRecord::Abort {
+                txn: TxnId(r.get_u64()?),
+            }),
+            TAG_CHECKPOINT => {
+                let redo_lsn = Lsn(r.get_u64()?);
+                let n = r.get_u32()? as usize;
+                let mut active_txns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    active_txns.push(TxnId(r.get_u64()?));
+                }
+                Ok(LogRecord::Checkpoint(CheckpointData {
+                    redo_lsn,
+                    active_txns,
+                }))
+            }
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: LogRecord) {
+        let enc = rec.encode();
+        let dec = LogRecord::decode(&enc).unwrap();
+        assert_eq!(rec, dec);
+    }
+
+    #[test]
+    fn all_record_types_round_trip() {
+        roundtrip(LogRecord::Begin { txn: TxnId(1) });
+        roundtrip(LogRecord::Update {
+            txn: TxnId(42),
+            page: PageId::new(3, 77),
+            offset: 128,
+            data: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(LogRecord::Update {
+            txn: TxnId(42),
+            page: PageId::new(0, 0),
+            offset: 0,
+            data: vec![],
+        });
+        roundtrip(LogRecord::Commit { txn: TxnId(9) });
+        roundtrip(LogRecord::Abort { txn: TxnId(10) });
+        roundtrip(LogRecord::Checkpoint(CheckpointData {
+            redo_lsn: Lsn(12345),
+            active_txns: vec![TxnId(1), TxnId(2), TxnId(3)],
+        }));
+        roundtrip(LogRecord::Checkpoint(CheckpointData::default()));
+    }
+
+    #[test]
+    fn txn_accessor() {
+        assert_eq!(LogRecord::Begin { txn: TxnId(5) }.txn(), Some(TxnId(5)));
+        assert_eq!(
+            LogRecord::Checkpoint(CheckpointData::default()).txn(),
+            None
+        );
+        assert!(LogRecord::Commit { txn: TxnId(1) }.is_commit());
+        assert!(!LogRecord::Abort { txn: TxnId(1) }.is_commit());
+    }
+
+    #[test]
+    fn invalid_tag_rejected() {
+        let err = LogRecord::decode(&[99]).unwrap_err();
+        assert_eq!(err, CodecError::InvalidTag(99));
+        // Truncated payload.
+        assert_eq!(
+            LogRecord::decode(&[TAG_UPDATE, 1, 2]).unwrap_err(),
+            CodecError::UnexpectedEnd
+        );
+    }
+
+    #[test]
+    fn txn_display() {
+        assert_eq!(format!("{}", TxnId(17)), "txn:17");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_record() -> impl Strategy<Value = LogRecord> {
+            prop_oneof![
+                any::<u64>().prop_map(|t| LogRecord::Begin { txn: TxnId(t) }),
+                any::<u64>().prop_map(|t| LogRecord::Commit { txn: TxnId(t) }),
+                any::<u64>().prop_map(|t| LogRecord::Abort { txn: TxnId(t) }),
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u32>(),
+                    prop::collection::vec(any::<u8>(), 0..256)
+                )
+                    .prop_map(|(t, p, o, d)| LogRecord::Update {
+                        txn: TxnId(t),
+                        page: PageId::from_u64(p),
+                        offset: o,
+                        data: d,
+                    }),
+                (any::<u64>(), prop::collection::vec(any::<u64>(), 0..16)).prop_map(
+                    |(lsn, txns)| LogRecord::Checkpoint(CheckpointData {
+                        redo_lsn: Lsn(lsn),
+                        active_txns: txns.into_iter().map(TxnId).collect(),
+                    })
+                ),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            /// Every record round-trips bit-exactly through the log codec.
+            #[test]
+            fn encode_decode_round_trips(rec in arb_record()) {
+                let encoded = rec.encode();
+                prop_assert_eq!(LogRecord::decode(&encoded).unwrap(), rec);
+            }
+
+            /// Truncated payloads never panic: they decode to a clean error.
+            #[test]
+            fn truncation_is_detected(rec in arb_record(), cut in any::<prop::sample::Index>()) {
+                let encoded = rec.encode();
+                let cut = cut.index(encoded.len().max(1));
+                if cut < encoded.len() {
+                    prop_assert!(LogRecord::decode(&encoded[..cut]).is_err() ||
+                                 // A prefix can only decode successfully if it is
+                                 // itself a complete record of the same type,
+                                 // which the length prefixes make impossible for
+                                 // a strict prefix — so any Ok here must equal
+                                 // the original (degenerate empty-data case).
+                                 LogRecord::decode(&encoded[..cut]).unwrap() != rec || cut == encoded.len());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Restart analysis and redo planning.
+//!
+//! Recovery in the reproduction follows the paper's PostgreSQL host:
+//! redo-only recovery of committed work. The analysis pass scans the log to
+//! find (a) the most recent checkpoint, (b) the set of transactions that
+//! committed, and (c) every update record at or after the checkpoint's redo
+//! LSN that belongs to a committed transaction. The resulting [`RedoPlan`] is
+//! applied by the engine: each update's page is fetched (from the flash cache
+//! if present — this is where FaCE's restart advantage comes from), the
+//! after-image applied if the pageLSN is older, and the page marked dirty.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use face_pagestore::{Lsn, PageId};
+
+use crate::reader::LogReader;
+use crate::record::{CheckpointData, LogRecord, TxnId};
+use crate::storage::LogStorage;
+use crate::WalResult;
+
+/// One update that must be re-applied during restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedoUpdate {
+    /// LSN of the update record.
+    pub lsn: Lsn,
+    /// The transaction that made the update (always committed).
+    pub txn: TxnId,
+    /// The page to which the update applies.
+    pub page: PageId,
+    /// Byte offset within the page body.
+    pub offset: u32,
+    /// After-image bytes.
+    pub data: Vec<u8>,
+}
+
+/// What the analysis pass learned from the log.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisResult {
+    /// The most recent checkpoint found, if any.
+    pub last_checkpoint: Option<CheckpointData>,
+    /// LSN of that checkpoint record.
+    pub checkpoint_lsn: Option<Lsn>,
+    /// Transactions that committed (over the whole log).
+    pub committed: HashSet<TxnId>,
+    /// Transactions that started but neither committed nor aborted ("losers";
+    /// with redo-only recovery their updates are simply not replayed).
+    pub in_flight: HashSet<TxnId>,
+    /// Total records scanned.
+    pub records_scanned: u64,
+    /// End of the log at the time of analysis.
+    pub end_lsn: Lsn,
+}
+
+/// The work restart must perform, in log order.
+#[derive(Debug, Clone, Default)]
+pub struct RedoPlan {
+    /// Updates to re-apply, ordered by LSN.
+    pub updates: Vec<RedoUpdate>,
+    /// The LSN redo scanning started from.
+    pub redo_start: Lsn,
+    /// Distinct pages touched by the plan.
+    pub pages: Vec<PageId>,
+}
+
+impl RedoPlan {
+    /// Number of updates in the plan.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether there is nothing to redo.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
+/// Scan the whole log and classify transactions.
+pub fn analyze(storage: Arc<dyn LogStorage>) -> WalResult<AnalysisResult> {
+    let mut reader = LogReader::new(storage);
+    let mut result = AnalysisResult::default();
+    let mut started: HashSet<TxnId> = HashSet::new();
+    let mut finished: HashSet<TxnId> = HashSet::new();
+
+    while let Some(rec) = reader.next_record()? {
+        result.records_scanned += 1;
+        result.end_lsn = rec.next_lsn;
+        match &rec.record {
+            LogRecord::Begin { txn } => {
+                started.insert(*txn);
+            }
+            LogRecord::Commit { txn } => {
+                result.committed.insert(*txn);
+                finished.insert(*txn);
+            }
+            LogRecord::Abort { txn } => {
+                finished.insert(*txn);
+            }
+            LogRecord::Checkpoint(data) => {
+                result.last_checkpoint = Some(data.clone());
+                result.checkpoint_lsn = Some(rec.lsn);
+            }
+            LogRecord::Update { .. } => {}
+        }
+    }
+    result.in_flight = started.difference(&finished).copied().collect();
+    Ok(result)
+}
+
+/// Build the redo plan: committed updates at or after the checkpoint's redo
+/// LSN (or the whole log if no checkpoint exists).
+pub fn build_redo_plan(storage: Arc<dyn LogStorage>) -> WalResult<(AnalysisResult, RedoPlan)> {
+    let analysis = analyze(Arc::clone(&storage))?;
+    let redo_start = analysis
+        .last_checkpoint
+        .as_ref()
+        .map(|c| c.redo_lsn)
+        .unwrap_or(Lsn::ZERO);
+
+    let mut reader = LogReader::from_lsn(storage, redo_start);
+    let mut updates = Vec::new();
+    let mut pages: BTreeMap<PageId, ()> = BTreeMap::new();
+    while let Some(rec) = reader.next_record()? {
+        if let LogRecord::Update {
+            txn,
+            page,
+            offset,
+            data,
+        } = rec.record
+        {
+            if analysis.committed.contains(&txn) {
+                pages.insert(page, ());
+                updates.push(RedoUpdate {
+                    lsn: rec.lsn,
+                    txn,
+                    page,
+                    offset,
+                    data,
+                });
+            }
+        }
+    }
+    let plan = RedoPlan {
+        updates,
+        redo_start,
+        pages: pages.into_keys().collect(),
+    };
+    Ok((analysis, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LogRecord;
+    use crate::storage::InMemoryLogStorage;
+    use crate::writer::WalWriter;
+
+    fn storage_with<F: FnOnce(&WalWriter)>(f: F) -> Arc<dyn LogStorage> {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = WalWriter::new(Arc::clone(&storage));
+        f(&w);
+        w.force_all().unwrap();
+        storage
+    }
+
+    fn update(txn: u64, page: u32, val: u8) -> LogRecord {
+        LogRecord::Update {
+            txn: TxnId(txn),
+            page: PageId::new(0, page),
+            offset: 0,
+            data: vec![val; 8],
+        }
+    }
+
+    #[test]
+    fn analysis_classifies_transactions() {
+        let storage = storage_with(|w| {
+            w.append(&LogRecord::Begin { txn: TxnId(1) });
+            w.append(&update(1, 1, 1));
+            w.append(&LogRecord::Commit { txn: TxnId(1) });
+            w.append(&LogRecord::Begin { txn: TxnId(2) });
+            w.append(&update(2, 2, 2));
+            w.append(&LogRecord::Abort { txn: TxnId(2) });
+            w.append(&LogRecord::Begin { txn: TxnId(3) });
+            w.append(&update(3, 3, 3));
+            // Txn 3 never finishes: in-flight at crash.
+        });
+        let a = analyze(storage).unwrap();
+        assert!(a.committed.contains(&TxnId(1)));
+        assert!(!a.committed.contains(&TxnId(2)));
+        assert!(a.in_flight.contains(&TxnId(3)));
+        assert_eq!(a.records_scanned, 8);
+        assert!(a.last_checkpoint.is_none());
+    }
+
+    #[test]
+    fn redo_plan_contains_only_committed_updates() {
+        let storage = storage_with(|w| {
+            w.append(&LogRecord::Begin { txn: TxnId(1) });
+            w.append(&update(1, 1, 0xAA));
+            w.append(&LogRecord::Commit { txn: TxnId(1) });
+            w.append(&LogRecord::Begin { txn: TxnId(2) });
+            w.append(&update(2, 2, 0xBB));
+            // Txn 2 in-flight: must not be redone.
+        });
+        let (_, plan) = build_redo_plan(storage).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.updates[0].page, PageId::new(0, 1));
+        assert_eq!(plan.updates[0].txn, TxnId(1));
+        assert_eq!(plan.redo_start, Lsn::ZERO);
+        assert_eq!(plan.pages, vec![PageId::new(0, 1)]);
+    }
+
+    #[test]
+    fn redo_starts_at_checkpoint_redo_lsn() {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = WalWriter::new(Arc::clone(&storage));
+        w.append(&LogRecord::Begin { txn: TxnId(1) });
+        w.append(&update(1, 1, 1));
+        w.append(&LogRecord::Commit { txn: TxnId(1) });
+        // Checkpoint whose redo_lsn points past everything so far.
+        let ckpt_redo = w.next_lsn();
+        w.append(&LogRecord::Checkpoint(CheckpointData {
+            redo_lsn: ckpt_redo,
+            active_txns: vec![],
+        }));
+        w.append(&LogRecord::Begin { txn: TxnId(2) });
+        w.append(&update(2, 5, 2));
+        w.append(&LogRecord::Commit { txn: TxnId(2) });
+        w.force_all().unwrap();
+
+        let (analysis, plan) = build_redo_plan(storage).unwrap();
+        assert!(analysis.last_checkpoint.is_some());
+        assert_eq!(plan.redo_start, ckpt_redo);
+        // Only txn 2's update is at/after the redo point.
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.updates[0].page, PageId::new(0, 5));
+    }
+
+    #[test]
+    fn later_checkpoint_wins() {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = WalWriter::new(Arc::clone(&storage));
+        w.append(&LogRecord::Checkpoint(CheckpointData {
+            redo_lsn: Lsn(0),
+            active_txns: vec![TxnId(9)],
+        }));
+        let second_redo = w.next_lsn();
+        w.append(&LogRecord::Checkpoint(CheckpointData {
+            redo_lsn: second_redo,
+            active_txns: vec![],
+        }));
+        w.force_all().unwrap();
+        let a = analyze(storage).unwrap();
+        assert_eq!(a.last_checkpoint.unwrap().redo_lsn, second_redo);
+    }
+
+    #[test]
+    fn empty_log_analyzes_cleanly() {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let (a, plan) = build_redo_plan(storage).unwrap();
+        assert_eq!(a.records_scanned, 0);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn updates_ordered_by_lsn_and_pages_deduped() {
+        let storage = storage_with(|w| {
+            w.append(&LogRecord::Begin { txn: TxnId(1) });
+            w.append(&update(1, 7, 1));
+            w.append(&update(1, 7, 2));
+            w.append(&update(1, 3, 3));
+            w.append(&LogRecord::Commit { txn: TxnId(1) });
+        });
+        let (_, plan) = build_redo_plan(storage).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert!(plan.updates.windows(2).all(|w| w[0].lsn < w[1].lsn));
+        assert_eq!(plan.pages.len(), 2);
+    }
+}

@@ -1,0 +1,281 @@
+//! Durable homes for the log stream.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+/// Errors from the WAL layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record frame failed its CRC or was truncated mid-write.
+    Corrupt {
+        /// Byte offset of the bad frame.
+        at: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            WalError::Corrupt { at, reason } => {
+                write!(f, "corrupt log frame at offset {at}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Result alias for WAL operations.
+pub type WalResult<T> = Result<T, WalError>;
+
+/// An append-only byte stream with random reads, used to persist the log.
+pub trait LogStorage: Send + Sync {
+    /// Append `data` at the end of the stream; returns the offset at which it
+    /// was written.
+    fn append(&self, data: &[u8]) -> WalResult<u64>;
+
+    /// Read up to `buf.len()` bytes starting at `offset`; returns the number
+    /// of bytes read (0 at end of stream).
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> WalResult<usize>;
+
+    /// Current length of the stream in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the stream is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Make all appended data durable.
+    fn sync(&self) -> WalResult<()>;
+
+    /// Truncate the stream to `len` bytes (used by tests to simulate a torn
+    /// tail after a crash).
+    fn truncate(&self, len: u64) -> WalResult<()>;
+}
+
+/// A log kept in memory. Durability is simulated: the contents survive as
+/// long as the process does, which is exactly what the crash-simulation tests
+/// need (they drop volatile state explicitly but keep the "devices").
+#[derive(Default)]
+pub struct InMemoryLogStorage {
+    data: Mutex<Vec<u8>>,
+}
+
+impl InMemoryLogStorage {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LogStorage for InMemoryLogStorage {
+    fn append(&self, data: &[u8]) -> WalResult<u64> {
+        let mut g = self.data.lock();
+        let off = g.len() as u64;
+        g.extend_from_slice(data);
+        Ok(off)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> WalResult<usize> {
+        let g = self.data.lock();
+        if offset >= g.len() as u64 {
+            return Ok(0);
+        }
+        let start = offset as usize;
+        let n = buf.len().min(g.len() - start);
+        buf[..n].copy_from_slice(&g[start..start + n]);
+        Ok(n)
+    }
+
+    fn len(&self) -> u64 {
+        self.data.lock().len() as u64
+    }
+
+    fn sync(&self) -> WalResult<()> {
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> WalResult<()> {
+        let mut g = self.data.lock();
+        g.truncate(len as usize);
+        Ok(())
+    }
+}
+
+/// A log stored in a single append-only file.
+pub struct FileLogStorage {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl FileLogStorage {
+    /// Open (creating if necessary) the log file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> WalResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl LogStorage for FileLogStorage {
+    fn append(&self, data: &[u8]) -> WalResult<u64> {
+        let mut f = self.file.lock();
+        let off = f.metadata()?.len();
+        f.write_all(data)?;
+        Ok(off)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> WalResult<usize> {
+        // Open a read handle separately so reads do not disturb the append
+        // cursor guarded by the mutex.
+        let mut rf = File::open(&self.path)?;
+        let len = rf.metadata()?.len();
+        if offset >= len {
+            return Ok(0);
+        }
+        rf.seek(SeekFrom::Start(offset))?;
+        let want = buf.len().min((len - offset) as usize);
+        rf.read_exact(&mut buf[..want])?;
+        Ok(want)
+    }
+
+    fn len(&self) -> u64 {
+        self.file.lock().metadata().map(|m| m.len()).unwrap_or(0)
+    }
+
+    fn sync(&self) -> WalResult<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> WalResult<()> {
+        let f = self.file.lock();
+        f.set_len(len)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_log(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "face_wal_{tag}_{}_{n}.log",
+            std::process::id()
+        ))
+    }
+
+    fn exercise(storage: &dyn LogStorage) {
+        assert!(storage.is_empty());
+        let o1 = storage.append(b"hello ").unwrap();
+        let o2 = storage.append(b"world").unwrap();
+        assert_eq!(o1, 0);
+        assert_eq!(o2, 6);
+        assert_eq!(storage.len(), 11);
+        storage.sync().unwrap();
+
+        let mut buf = [0u8; 5];
+        assert_eq!(storage.read_at(6, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"world");
+
+        // Read past the end returns 0 bytes.
+        assert_eq!(storage.read_at(100, &mut buf).unwrap(), 0);
+
+        // Partial read at the tail.
+        let mut buf = [0u8; 10];
+        assert_eq!(storage.read_at(8, &mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], b"rld");
+
+        storage.truncate(6).unwrap();
+        assert_eq!(storage.len(), 6);
+        let o3 = storage.append(b"again").unwrap();
+        assert_eq!(o3, 6);
+    }
+
+    #[test]
+    fn in_memory_storage_behaviour() {
+        let s = InMemoryLogStorage::new();
+        exercise(&s);
+    }
+
+    #[test]
+    fn file_storage_behaviour() {
+        let path = temp_log("basic");
+        let _ = std::fs::remove_file(&path);
+        let s = FileLogStorage::open(&path).unwrap();
+        exercise(&s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_storage_persists_across_reopen() {
+        let path = temp_log("persist");
+        let _ = std::fs::remove_file(&path);
+        {
+            let s = FileLogStorage::open(&path).unwrap();
+            s.append(b"durable").unwrap();
+            s.sync().unwrap();
+        }
+        {
+            let s = FileLogStorage::open(&path).unwrap();
+            assert_eq!(s.len(), 7);
+            let mut buf = [0u8; 7];
+            s.read_at(0, &mut buf).unwrap();
+            assert_eq!(&buf, b"durable");
+            assert_eq!(s.path(), path.as_path());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = WalError::Corrupt {
+            at: 12,
+            reason: "bad crc".into(),
+        };
+        assert!(format!("{e}").contains("12"));
+        let io: WalError = std::io::Error::new(std::io::ErrorKind::Other, "disk gone").into();
+        assert!(format!("{io}").contains("disk gone"));
+    }
+}

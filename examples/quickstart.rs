@@ -1,0 +1,49 @@
+//! Quickstart: a transactional key-value database with a FaCE flash cache.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use face_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small in-memory database: 64 DRAM frames, a 512-page flash cache
+    // managed by FaCE with Group Second Chance.
+    let config = EngineConfig::in_memory()
+        .buffer_frames(64)
+        .table_buckets(256)
+        .flash_cache(CachePolicyKind::FaceGsc, 512);
+    let mut db = Database::open(config)?;
+
+    // Write some data under a transaction and commit it.
+    let txn = db.begin();
+    for k in 0..500u64 {
+        db.put(txn, k, format!("value-{k}").as_bytes())?;
+    }
+    db.commit(txn)?;
+
+    // Read it back a few times: the working set is larger than the DRAM
+    // buffer, so re-reads are served by the flash cache.
+    for _ in 0..3 {
+        for k in 0..500u64 {
+            let v = db.get(k)?.expect("present");
+            assert_eq!(v, format!("value-{k}").as_bytes());
+        }
+    }
+
+    let buffer = db.buffer_stats();
+    let cache = db.cache_stats().expect("flash cache enabled");
+    println!("DRAM buffer : {:5} hits, {:5} misses", buffer.hits, buffer.misses);
+    println!(
+        "Flash cache : {:5} hits / {:5} lookups ({:.0}% of DRAM misses served by flash)",
+        cache.hits,
+        cache.lookups,
+        100.0 * buffer.flash_hits as f64 / buffer.misses.max(1) as f64
+    );
+    println!(
+        "Disk        : {:5} page reads, {:5} page writes",
+        db.tier_stats().disk_fetches,
+        db.tier_stats().disk_writes
+    );
+    println!("\nEverything above ran through the same code paths the paper modifies in");
+    println!("PostgreSQL: caching on exit from the DRAM buffer, write-back, mvFIFO + GSC.");
+    Ok(())
+}

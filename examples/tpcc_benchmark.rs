@@ -1,0 +1,89 @@
+//! A fuller TPC-C run against the simulated testbed, printing the same
+//! metrics the paper reports (tpmC, hit ratios, write reduction, utilisation)
+//! plus a crash-recovery measurement at the end.
+//!
+//! Run with `cargo run --release --example tpcc_benchmark`.
+
+use face_cache::CacheConfig;
+use face_repro::prelude::*;
+
+fn main() {
+    let warehouses = std::env::var("FACE_WAREHOUSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10u32);
+    let mut workload = TpccWorkload::new(TpccConfig {
+        warehouses,
+        seed: 2026,
+    });
+    let db_pages = workload.layout().total_pages();
+    println!(
+        "TPC-C: {warehouses} warehouses, {} pages ({:.1} GB equivalent)",
+        db_pages,
+        db_pages as f64 * 4096.0 / 1e9
+    );
+
+    let config = SimConfig {
+        db_pages,
+        buffer_frames: ((db_pages as f64 * 0.004) as usize).max(64), // 200MB : 50GB
+        policy: CachePolicyKind::FaceGsc,
+        cache_config: CacheConfig {
+            capacity_pages: (db_pages / 10) as usize, // 10% of the database
+            group_size: 64,
+            ..CacheConfig::default()
+        },
+        flash_profile: DeviceProfile::samsung470_mlc(),
+        num_disks: 8,
+        clients: 50,
+        ..SimConfig::default()
+    };
+    let mut engine = SimEngine::new(config);
+
+    println!("warming up the flash cache...");
+    for _ in 0..5_000 {
+        let txn = workload.next_transaction();
+        engine.run_transaction(&txn.accesses, txn.kind == TransactionKind::NewOrder);
+    }
+    engine.start_measurement();
+    println!("measuring...");
+    for i in 0..10_000 {
+        let txn = workload.next_transaction();
+        engine.run_transaction(&txn.accesses, txn.kind == TransactionKind::NewOrder);
+        if i % 2_500 == 2_499 {
+            engine.checkpoint();
+        }
+    }
+
+    let cache = engine.cache_stats().unwrap();
+    println!("\n--- steady state ---");
+    println!("tpmC                 : {:.0}", engine.tpmc());
+    println!("flash hit ratio      : {:.1}%", cache.hit_ratio() * 100.0);
+    println!(
+        "write reduction      : {:.1}%",
+        cache.write_reduction_ratio() * 100.0
+    );
+    println!(
+        "flash utilisation    : {:.1}%",
+        engine.flash_utilization() * 100.0
+    );
+    println!(
+        "disk utilisation     : {:.1}%",
+        engine.data_utilization() * 100.0
+    );
+    println!("flash page IOPS      : {:.0}", engine.flash_page_iops());
+
+    println!("\n--- crash / restart ---");
+    let report = engine.crash_and_restart();
+    println!(
+        "restart time         : {:.2} s (simulated)",
+        report.restart_secs
+    );
+    println!(
+        "metadata restore     : {:.2} s",
+        report.metadata_restore_secs
+    );
+    println!(
+        "redo fetches         : {} from flash, {} from disk",
+        report.pages_from_flash, report.pages_from_disk
+    );
+}

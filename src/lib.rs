@@ -1,0 +1,38 @@
+//! # face-repro — reproduction of FaCE (VLDB 2012)
+//!
+//! "Flash-based Extended Cache for Higher Throughput and Faster Recovery"
+//! (Kang, Lee, Moon — PVLDB 5(11), 2012) rebuilt as a Rust workspace:
+//!
+//! * [`face_cache`] — the paper's contribution: mvFIFO flash caching with
+//!   Group Replacement / Group Second Chance, the LC and TAC baselines, and
+//!   the persistent metadata directory used for recovery.
+//! * [`face_engine`] — the host storage engine (buffer pool, WAL, key-value
+//!   table layer, checkpointing, crash/restart) plus the trace-driven
+//!   performance simulator.
+//! * [`face_iosim`] — calibrated models of the paper's devices (Table 1).
+//! * [`face_tpcc`] — the TPC-C workload generator.
+//! * [`face_buffer`], [`face_wal`], [`face_pagestore`] — the supporting
+//!   substrates.
+//!
+//! The facade crate simply re-exports the pieces so examples and integration
+//! tests can use one coherent namespace. See `README.md` for a tour and
+//! `EXPERIMENTS.md` for the paper-versus-measured comparison.
+
+#![warn(missing_docs)]
+
+pub use face_buffer;
+pub use face_cache;
+pub use face_engine;
+pub use face_iosim;
+pub use face_pagestore;
+pub use face_tpcc;
+pub use face_wal;
+
+/// Commonly used items for examples and tests.
+pub mod prelude {
+    pub use face_cache::{CacheConfig, CachePolicyKind};
+    pub use face_engine::sim::{PageAccess, SimConfig, SimEngine};
+    pub use face_engine::{Database, EngineConfig};
+    pub use face_iosim::DeviceProfile;
+    pub use face_tpcc::{TpccConfig, TpccWorkload, TransactionKind};
+}

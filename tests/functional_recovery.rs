@@ -1,0 +1,184 @@
+//! End-to-end functional tests across crates: the real engine (real pages,
+//! WAL, flash cache with data) under workloads with crashes, checkpoints and
+//! aborts, for every caching policy.
+
+use face_repro::prelude::*;
+
+fn db_with(policy: CachePolicyKind, buffer_frames: usize, flash_pages: usize) -> Database {
+    let mut config = EngineConfig::in_memory()
+        .buffer_frames(buffer_frames)
+        .table_buckets(256)
+        .flash_cache(policy, flash_pages);
+    if policy == CachePolicyKind::None {
+        config = config.no_flash_cache();
+    }
+    Database::open(config).unwrap()
+}
+
+fn value(k: u64, version: u32) -> Vec<u8> {
+    format!("key-{k}-version-{version}").into_bytes()
+}
+
+#[test]
+fn every_policy_preserves_committed_data_across_a_crash() {
+    for policy in [
+        CachePolicyKind::FaceGsc,
+        CachePolicyKind::FaceGr,
+        CachePolicyKind::Face,
+        CachePolicyKind::Lc,
+        CachePolicyKind::Tac,
+        CachePolicyKind::None,
+    ] {
+        let mut db = db_with(policy, 16, 512);
+        let txn = db.begin();
+        for k in 0..300u64 {
+            db.put(txn, k, &value(k, 1)).unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.checkpoint().unwrap();
+
+        let txn = db.begin();
+        for k in 0..300u64 {
+            if k % 3 == 0 {
+                db.put(txn, k, &value(k, 2)).unwrap();
+            }
+        }
+        db.commit(txn).unwrap();
+        db.crash();
+        db.restart().unwrap();
+
+        for k in 0..300u64 {
+            let expected = if k % 3 == 0 { value(k, 2) } else { value(k, 1) };
+            assert_eq!(
+                db.get(k).unwrap().as_deref(),
+                Some(expected.as_slice()),
+                "{policy}: key {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_crash_restart_cycles_converge() {
+    let mut db = db_with(CachePolicyKind::FaceGsc, 16, 256);
+    for round in 1..=4u32 {
+        let txn = db.begin();
+        for k in 0..150u64 {
+            db.put(txn, k, &value(k, round)).unwrap();
+        }
+        db.commit(txn).unwrap();
+        if round % 2 == 0 {
+            db.checkpoint().unwrap();
+        }
+        db.crash();
+        let report = db.restart().unwrap();
+        assert!(report.cache_recovery.survived);
+        for k in 0..150u64 {
+            assert_eq!(db.get(k).unwrap().unwrap(), value(k, round), "round {round}");
+        }
+    }
+}
+
+#[test]
+fn mixed_commit_abort_workload_is_consistent_after_crash() {
+    let mut db = db_with(CachePolicyKind::FaceGsc, 32, 512);
+    // Committed baseline.
+    let txn = db.begin();
+    for k in 0..200u64 {
+        db.put(txn, k, &value(k, 1)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    // An aborted transaction whose changes must vanish.
+    let txn = db.begin();
+    for k in 0..200u64 {
+        db.put(txn, k, b"should never be visible").unwrap();
+    }
+    db.abort(txn).unwrap();
+
+    // Another committed wave over half the keys.
+    let txn = db.begin();
+    for k in (0..200u64).step_by(2) {
+        db.put(txn, k, &value(k, 3)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    db.crash();
+    db.restart().unwrap();
+    for k in 0..200u64 {
+        let expected = if k % 2 == 0 { value(k, 3) } else { value(k, 1) };
+        assert_eq!(db.get(k).unwrap().unwrap(), expected, "key {k}");
+    }
+}
+
+#[test]
+fn deletes_survive_crash_and_recovery() {
+    let mut db = db_with(CachePolicyKind::FaceGr, 16, 256);
+    let txn = db.begin();
+    for k in 0..100u64 {
+        db.put(txn, k, &value(k, 1)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    for k in (0..100u64).step_by(4) {
+        assert!(db.delete(txn, k).unwrap());
+    }
+    db.commit(txn).unwrap();
+    db.crash();
+    db.restart().unwrap();
+    for k in 0..100u64 {
+        let got = db.get(k).unwrap();
+        if k % 4 == 0 {
+            assert!(got.is_none(), "key {k} should have stayed deleted");
+        } else {
+            assert_eq!(got.unwrap(), value(k, 1));
+        }
+    }
+}
+
+#[test]
+fn face_reduces_disk_writes_versus_no_cache() {
+    let run = |policy: CachePolicyKind| -> (u64, u64) {
+        let mut db = db_with(policy, 16, 1024);
+        for round in 0..6u32 {
+            let txn = db.begin();
+            for k in 0..400u64 {
+                db.put(txn, k, &value(k, round)).unwrap();
+            }
+            db.commit(txn).unwrap();
+        }
+        let t = db.tier_stats();
+        (t.disk_writes, t.flash_fetches)
+    };
+    let (face_writes, face_flash_fetches) = run(CachePolicyKind::FaceGsc);
+    let (plain_writes, _) = run(CachePolicyKind::None);
+    assert!(
+        face_writes < plain_writes / 2,
+        "FaCE should absorb most disk writes: {face_writes} vs {plain_writes}"
+    );
+    assert!(face_flash_fetches > 0);
+}
+
+#[test]
+fn flash_cache_serves_rereads_after_buffer_pressure() {
+    let mut db = db_with(CachePolicyKind::Face, 8, 2048);
+    let txn = db.begin();
+    for k in 0..500u64 {
+        db.put(txn, k, &value(k, 1)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    // Re-read everything twice: with only 8 DRAM frames nearly every read
+    // misses DRAM, and the flash cache should serve the bulk of them.
+    for _ in 0..2 {
+        for k in 0..500u64 {
+            assert!(db.get(k).unwrap().is_some());
+        }
+    }
+    let buffer = db.buffer_stats();
+    assert!(
+        buffer.flash_hits > buffer.disk_fetches,
+        "flash {} vs disk {}",
+        buffer.flash_hits,
+        buffer.disk_fetches
+    );
+}

@@ -1,0 +1,153 @@
+//! Qualitative checks of the paper's headline claims on the simulated
+//! testbed, at a deliberately small scale so they run in an ordinary
+//! `cargo test`. The full-scale numbers live in EXPERIMENTS.md and are
+//! produced by the `face-bench` binaries.
+
+use face_bench::experiments::{run_tpcc, ExperimentScale, SystemSetup};
+use face_cache::CachePolicyKind;
+use face_iosim::DeviceProfile;
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        warehouses: 3,
+        warmup_txns: 800,
+        measure_txns: 1_500,
+        clients: 16,
+    }
+}
+
+#[test]
+fn flash_caching_beats_hdd_only() {
+    // Paper §5.3 / Figure 4: any reasonable flash cache improves throughput
+    // over the disk-only system.
+    let scale = scale();
+    let hdd = run_tpcc(&scale, &SystemSetup::hdd_only());
+    let face = run_tpcc(&scale, &SystemSetup::face_gsc(0.12));
+    assert!(
+        face.tpmc > 1.2 * hdd.tpmc,
+        "FaCE {:.0} tpmC vs HDD-only {:.0} tpmC",
+        face.tpmc,
+        hdd.tpmc
+    );
+}
+
+#[test]
+fn gsc_improves_over_plain_mvfifo_hit_rate() {
+    // Paper Table 3: GSC lifts the flash hit rate (and write reduction) over
+    // base FaCE by giving referenced pages a second chance.
+    let scale = scale();
+    let base = run_tpcc(&scale, &SystemSetup::face_gsc(0.08).with_policy(CachePolicyKind::Face));
+    let gsc = run_tpcc(&scale, &SystemSetup::face_gsc(0.08));
+    assert!(
+        gsc.flash_hit_ratio >= base.flash_hit_ratio,
+        "GSC hit {:.3} vs base {:.3}",
+        gsc.flash_hit_ratio,
+        base.flash_hit_ratio
+    );
+}
+
+#[test]
+fn lc_hit_rate_higher_but_utilisation_much_higher_than_face() {
+    // Paper Tables 3 and 4: LC keeps a single copy per page so its hit rate
+    // is a little higher, but in-place random writes push the flash device
+    // towards saturation, while FaCE keeps utilisation well below LC's.
+    let scale = scale();
+    let lc = run_tpcc(&scale, &SystemSetup::face_gsc(0.12).with_policy(CachePolicyKind::Lc));
+    let face = run_tpcc(&scale, &SystemSetup::face_gsc(0.12));
+    assert!(
+        lc.flash_utilization > face.flash_utilization,
+        "LC util {:.2} should exceed FaCE util {:.2}",
+        lc.flash_utilization,
+        face.flash_utilization
+    );
+    // And despite any hit-rate edge, FaCE's throughput is at least as good.
+    assert!(
+        face.tpmc >= lc.tpmc,
+        "FaCE {:.0} tpmC vs LC {:.0} tpmC",
+        face.tpmc,
+        lc.tpmc
+    );
+}
+
+#[test]
+fn face_processes_more_flash_page_iops_than_lc() {
+    // Paper Table 4(b): sequential writes let FaCE push far more 4 KiB page
+    // operations through the same device.
+    let scale = scale();
+    let lc = run_tpcc(&scale, &SystemSetup::face_gsc(0.12).with_policy(CachePolicyKind::Lc));
+    let gsc = run_tpcc(&scale, &SystemSetup::face_gsc(0.12));
+    assert!(
+        gsc.flash_page_iops > lc.flash_page_iops,
+        "FaCE+GSC {:.0} page IOPS vs LC {:.0}",
+        gsc.flash_page_iops,
+        lc.flash_page_iops
+    );
+}
+
+#[test]
+fn growing_the_flash_cache_narrows_the_gap_to_ssd_only() {
+    // The paper's most striking full-scale result is that a disk-based system
+    // with a small FaCE cache outperforms storing the whole database on the
+    // MLC SSD. That crossover depends on the full TPC-C skew and scale and is
+    // evaluated by the `fig4_throughput` harness (see EXPERIMENTS.md). At
+    // this reduced test scale we check the directional claim behind it: as
+    // the flash cache grows, FaCE keeps closing the gap to SSD-only because
+    // ever more of the I/O is absorbed by sequential flash writes and flash
+    // reads instead of the disk array.
+    let scale = scale();
+    let ssd_only = run_tpcc(&scale, &SystemSetup::ssd_only(DeviceProfile::samsung470_mlc()));
+    let small = run_tpcc(&scale, &SystemSetup::face_gsc(0.04));
+    let large = run_tpcc(&scale, &SystemSetup::face_gsc(0.24));
+    assert!(ssd_only.tpmc > 0.0 && small.tpmc > 0.0);
+    let small_ratio = small.tpmc / ssd_only.tpmc;
+    let large_ratio = large.tpmc / ssd_only.tpmc;
+    assert!(
+        large_ratio > small_ratio,
+        "FaCE/SSD-only ratio should grow with the cache: {small_ratio:.2} -> {large_ratio:.2}"
+    );
+}
+
+#[test]
+fn write_back_reduces_disk_writes_write_through_does_not() {
+    // Paper §2.3: TAC's write-through policy gives read caching only; the
+    // write-reduction ratio of the FaCE variants must be clearly higher.
+    let scale = scale();
+    let tac = run_tpcc(&scale, &SystemSetup::face_gsc(0.12).with_policy(CachePolicyKind::Tac));
+    let face = run_tpcc(&scale, &SystemSetup::face_gsc(0.12));
+    assert!(face.write_reduction > 0.15, "FaCE WR {:.2}", face.write_reduction);
+    assert!(
+        face.write_reduction > tac.write_reduction,
+        "FaCE WR {:.2} vs TAC WR {:.2}",
+        face.write_reduction,
+        tac.write_reduction
+    );
+}
+
+#[test]
+fn larger_flash_cache_increases_hit_rate_and_throughput() {
+    // Paper Table 3 / Figure 4 trend along the x-axis.
+    let scale = scale();
+    let small = run_tpcc(&scale, &SystemSetup::face_gsc(0.04));
+    let large = run_tpcc(&scale, &SystemSetup::face_gsc(0.24));
+    assert!(large.flash_hit_ratio > small.flash_hit_ratio);
+    assert!(large.tpmc >= small.tpmc);
+}
+
+#[test]
+fn throughput_scales_with_disk_array_width_under_face() {
+    // Paper Figure 5: with FaCE the disk array remains the bottleneck, so
+    // adding spindles keeps improving throughput.
+    let scale = scale();
+    let mut four = SystemSetup::face_gsc(0.12);
+    four.num_disks = 4;
+    let mut sixteen = SystemSetup::face_gsc(0.12);
+    sixteen.num_disks = 16;
+    let narrow = run_tpcc(&scale, &four);
+    let wide = run_tpcc(&scale, &sixteen);
+    assert!(
+        wide.tpmc > narrow.tpmc,
+        "16 disks {:.0} tpmC vs 4 disks {:.0} tpmC",
+        wide.tpmc,
+        narrow.tpmc
+    );
+}
