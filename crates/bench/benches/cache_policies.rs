@@ -26,11 +26,11 @@ fn bench_policies(c: &mut Criterion) {
             b.iter(|| {
                 n += 1;
                 let page = PageId::from_u64((n * n) % 20_000);
-                if n % 3 == 0 {
+                if n.is_multiple_of(3) {
                     black_box(cache.fetch(page, &mut io));
                 } else {
                     cache.insert(
-                        StagedPage::meta_only(page, Lsn(n), n % 2 == 0, true),
+                        StagedPage::meta_only(page, Lsn(n), n.is_multiple_of(2), true),
                         &mut NoSupplier,
                         &mut io,
                     );

@@ -25,8 +25,11 @@ fn staged(n: u64) -> StagedPage {
 
 fn bench_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("mvfifo_insert");
-    for (label, group_size, sc) in [("base", 1usize, false), ("gr64", 64, false), ("gsc64", 64, true)]
-    {
+    for (label, group_size, sc) in [
+        ("base", 1usize, false),
+        ("gr64", 64, false),
+        ("gsc64", 64, true),
+    ] {
         group.bench_function(label, |b| {
             let mut cache = cache(16_384, group_size, sc);
             let mut io = IoLog::new();

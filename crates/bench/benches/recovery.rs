@@ -6,7 +6,9 @@ use std::sync::Arc;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use face_cache::{DirEntry, IoLog, MetadataDirectory};
 use face_pagestore::{Lsn, PageId};
-use face_wal::{recovery::build_redo_plan, InMemoryLogStorage, LogRecord, LogStorage, TxnId, WalWriter};
+use face_wal::{
+    recovery::build_redo_plan, InMemoryLogStorage, LogRecord, LogStorage, TxnId, WalWriter,
+};
 
 fn bench_directory_recover(c: &mut Criterion) {
     c.bench_function("metadata_directory_recover_100k", |b| {

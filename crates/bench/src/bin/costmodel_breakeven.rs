@@ -27,7 +27,13 @@ fn main() {
     }
     print_table(
         "Cost model (paper 2.2): break-even flash size vs DRAM increment",
-        &["workload", "exponent", "delta (DRAM)", "theta (flash)", "cost ratio"],
+        &[
+            "workload",
+            "exponent",
+            "delta (DRAM)",
+            "theta (flash)",
+            "cost ratio",
+        ],
         &rows,
     );
     write_json("costmodel_breakeven", &json);

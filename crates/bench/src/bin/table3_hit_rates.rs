@@ -1,8 +1,8 @@
 //! Table 3: flash-cache read hit ratio and write reduction ratio,
 //! LC vs FaCE vs FaCE+GR vs FaCE+GSC over flash cache sizes.
 
-use face_bench::{print_table, write_json, ExperimentScale};
 use face_bench::experiments::run_policy_size_sweep;
+use face_bench::{print_table, write_json, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();

@@ -175,9 +175,8 @@ pub fn sim_config(scale: &ExperimentScale, setup: &SystemSetup) -> (SimConfig, T
         seed: 0xFACE,
     });
     let db_pages = workload.layout().total_pages();
-    let buffer_frames = ((db_pages as f64 * PAPER_BUFFER_FRACTION * setup.dram_multiplier).ceil()
-        as usize)
-        .max(64);
+    let buffer_frames =
+        ((db_pages as f64 * PAPER_BUFFER_FRACTION * setup.dram_multiplier).ceil() as usize).max(64);
     let flash_pages = ((db_pages as f64 * setup.flash_fraction) as usize).max(16);
     let config = SimConfig {
         db_pages,
@@ -227,7 +226,9 @@ pub fn run_tpcc(scale: &ExperimentScale, setup: &SystemSetup) -> RunResult {
         flash_gb_paper_equivalent: setup.flash_fraction * PAPER_DB_GB,
         tpmc: engine.tpmc(),
         flash_hit_ratio: cache_stats.map(|s| s.hit_ratio()).unwrap_or(0.0),
-        write_reduction: cache_stats.map(|s| s.write_reduction_ratio()).unwrap_or(0.0),
+        write_reduction: cache_stats
+            .map(|s| s.write_reduction_ratio())
+            .unwrap_or(0.0),
         flash_utilization: engine.flash_utilization(),
         data_utilization: engine.data_utilization(),
         flash_page_iops: engine.flash_page_iops(),
@@ -281,7 +282,10 @@ pub fn run_policy_size_sweep(scale: &ExperimentScale) -> Vec<RunResult> {
 pub fn run_fig4(scale: &ExperimentScale, flash_profile: DeviceProfile) -> Vec<RunResult> {
     let mut out = Vec::new();
     out.push(run_tpcc(scale, &SystemSetup::hdd_only()));
-    out.push(run_tpcc(scale, &SystemSetup::ssd_only(flash_profile.clone())));
+    out.push(run_tpcc(
+        scale,
+        &SystemSetup::ssd_only(flash_profile.clone()),
+    ));
     for policy in compared_policies() {
         for fraction in fig4_fractions() {
             let mut setup = SystemSetup::face_gsc(fraction).with_policy(policy);

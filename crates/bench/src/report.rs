@@ -27,7 +27,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -66,7 +69,11 @@ mod tests {
             &["a", "b"],
             &[
                 vec!["1".to_string(), "2".to_string()],
-                vec!["long-cell".to_string(), "x".to_string(), "extra".to_string()],
+                vec![
+                    "long-cell".to_string(),
+                    "x".to_string(),
+                    "extra".to_string(),
+                ],
             ],
         );
     }

@@ -390,7 +390,8 @@ mod tests {
     fn crash_drops_unflushed_updates() {
         let (mut pool, store) = pool(4);
         let a = pool.allocate_page(0).unwrap();
-        pool.update(a, Lsn(1), |p| p.write_body(0, b"lost")).unwrap();
+        pool.update(a, Lsn(1), |p| p.write_body(0, b"lost"))
+            .unwrap();
         pool.crash();
         assert!(pool.is_empty());
         // The store never saw the update.

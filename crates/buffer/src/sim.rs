@@ -137,7 +137,11 @@ impl BufferSim {
         is_write: bool,
     ) -> Option<EvictedMeta> {
         debug_assert!(!self.frames.contains_key(&id), "install of resident page");
-        let evicted = if self.is_full() { self.evict_lru() } else { None };
+        let evicted = if self.is_full() {
+            self.evict_lru()
+        } else {
+            None
+        };
         let mut flags = FrameFlags {
             dirty: dirty_from_below,
             fdirty: false,
@@ -173,16 +177,12 @@ impl BufferSim {
     /// prefers when filling a batch: pulling a clean page would waste a flash
     /// write slot.
     pub fn evict_lru_dirty(&mut self) -> Option<EvictedMeta> {
-        let victim = self
-            .lru
-            .iter_lru_to_mru()
-            .copied()
-            .find(|id| {
-                self.frames
-                    .get(id)
-                    .map(|f| f.needs_writeback())
-                    .unwrap_or(false)
-            })?;
+        let victim = self.lru.iter_lru_to_mru().copied().find(|id| {
+            self.frames
+                .get(id)
+                .map(|f| f.needs_writeback())
+                .unwrap_or(false)
+        })?;
         let flags = self.frames.remove(&victim).expect("resident");
         self.lru.remove(&victim);
         self.stats.evictions += 1;
@@ -260,6 +260,7 @@ mod tests {
         b.install(pid(1), false, true); // dirty+fdirty
         b.access(pid(2), false);
         b.install(pid(2), false, false); // clean
+
         // Installing a third page evicts page 1 (LRU).
         b.access(pid(3), false);
         let evicted = b.install(pid(3), false, false).unwrap();

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use face_buffer::BufferPool;
 use face_cache::{
-    build_cache, CacheRecoveryInfo, CacheStats, CachePolicyKind, FlashStore, IoLog, MemFlashStore,
+    build_cache, CachePolicyKind, CacheRecoveryInfo, CacheStats, FlashStore, IoLog, MemFlashStore,
 };
 use face_pagestore::{FilePageStore, InMemoryPageStore, Lsn, PageId, PageStore};
 use face_wal::{
@@ -94,8 +94,7 @@ impl Database {
     /// already contains work (a file-backed database being reopened), redo is
     /// run before the database becomes available.
     pub fn open(config: EngineConfig) -> EngineResult<Self> {
-        let (disk, log_storage): (Arc<dyn PageStore>, Arc<dyn LogStorage>) = match &config.backend
-        {
+        let (disk, log_storage): (Arc<dyn PageStore>, Arc<dyn LogStorage>) = match &config.backend {
             StorageBackend::InMemory => (
                 Arc::new(InMemoryPageStore::new()),
                 Arc::new(InMemoryLogStorage::new()),
@@ -105,8 +104,9 @@ impl Database {
                 Arc::new(FileLogStorage::open(dir.join("wal.log"))?),
             ),
         };
-        let flash_store: Arc<dyn FlashStore> =
-            Arc::new(MemFlashStore::new(config.cache_config.capacity_pages.max(1)));
+        let flash_store: Arc<dyn FlashStore> = Arc::new(MemFlashStore::new(
+            config.cache_config.capacity_pages.max(1),
+        ));
         let cache = build_cache(
             config.cache_policy,
             config.cache_config.clone(),
@@ -222,7 +222,8 @@ impl Database {
                 });
                 self.pool.update(page, lsn, |_| ())?;
             }
-            self.wal.append_and_force(&LogRecord::Commit { txn: comp })?;
+            self.wal
+                .append_and_force(&LogRecord::Commit { txn: comp })?;
             self.active.remove(&comp.0);
         }
         Ok(())
@@ -318,10 +319,11 @@ impl Database {
         let flushed = self.pool.flush_all_dirty()?;
         // Policies that cannot keep dirty pages in flash drain them to disk.
         self.pool.lower_mut().checkpoint_cache()?;
-        self.wal.append_and_force(&LogRecord::Checkpoint(CheckpointData {
-            redo_lsn,
-            active_txns: self.active.iter().map(|t| TxnId(*t)).collect(),
-        }))?;
+        self.wal
+            .append_and_force(&LogRecord::Checkpoint(CheckpointData {
+                redo_lsn,
+                active_txns: self.active.iter().map(|t| TxnId(*t)).collect(),
+            }))?;
         self.stats.checkpoints += 1;
         Ok(flushed)
     }
@@ -376,8 +378,9 @@ impl Database {
             }
             let offset = update.offset as usize;
             let data = update.data.clone();
-            self.pool
-                .update(update.page, update.lsn, move |p| p.write_body(offset, &data))?;
+            self.pool.update(update.page, update.lsn, move |p| {
+                p.write_body(offset, &data)
+            })?;
             report.redo_applied += 1;
         }
         let after = self.pool.stats();

@@ -89,11 +89,7 @@ mod tests {
     fn display_covers_variants() {
         assert!(format!("{}", EngineError::UnknownTransaction(7)).contains('7'));
         assert!(format!("{}", EngineError::KeyNotFound(9)).contains('9'));
-        assert!(format!(
-            "{}",
-            EngineError::ValueTooLarge { len: 10, max: 5 }
-        )
-        .contains("10"));
+        assert!(format!("{}", EngineError::ValueTooLarge { len: 10, max: 5 }).contains("10"));
         assert!(format!("{}", EngineError::TableFull(3)).contains('3'));
         assert!(format!("{}", EngineError::Crashed).contains("restart"));
         let from_store: EngineError = StoreError::Closed.into();

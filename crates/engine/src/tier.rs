@@ -9,7 +9,9 @@
 
 use std::sync::Arc;
 
-use face_buffer::{FetchOutcome, FetchSource, LowerTier, TierError, TierResult, WriteBackOutcome, WriteBackReason};
+use face_buffer::{
+    FetchOutcome, FetchSource, LowerTier, TierError, TierResult, WriteBackOutcome, WriteBackReason,
+};
 use face_cache::{FlashCache, IoLog, NoSupplier, StagedPage};
 use face_pagestore::{Page, PageId, PageStore};
 

@@ -137,7 +137,11 @@ mod tests {
         // that the exponent is very close to 1, so flash caching is nearly as
         // effective per byte as extra DRAM.
         let read = paper_reference_model(AccessMix::ReadOnly);
-        assert!(read.exponent() > 1.0 && read.exponent() < 1.03, "{}", read.exponent());
+        assert!(
+            read.exponent() > 1.0 && read.exponent() < 1.03,
+            "{}",
+            read.exponent()
+        );
         let write = paper_reference_model(AccessMix::WriteOnly);
         assert!(
             write.exponent() > 1.0 && write.exponent() < 1.08,

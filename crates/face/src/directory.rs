@@ -242,8 +242,8 @@ impl MetadataDirectory {
             for i in 0..scan {
                 // Slots counted backwards from the rear (modular, avoiding
                 // underflow when the scan wraps past slot zero).
-                let slot = ((rear as i128 - 1 - i as i128)
-                    .rem_euclid(capacity_slots as i128)) as u32;
+                let slot =
+                    ((rear as i128 - 1 - i as i128).rem_euclid(capacity_slots as i128)) as u32;
                 out.pages_scanned += 1;
                 if let Some((page, lsn)) = read_slot_header(slot) {
                     // The dirty flag is not in the page header; assume dirty

@@ -92,7 +92,8 @@ impl LcCache {
             meta.penultimate = meta.last;
             meta.last = now;
             self.victim_order.remove(&old_key);
-            self.victim_order.insert((meta.penultimate, meta.last, page));
+            self.victim_order
+                .insert((meta.penultimate, meta.last, page));
         }
     }
 
@@ -139,8 +140,7 @@ impl LcCache {
         if self.dirty_fraction() <= self.config.lc_dirty_threshold {
             return cleaned;
         }
-        let target =
-            (self.config.lc_clean_target * self.map.len() as f64).floor() as usize;
+        let target = (self.config.lc_clean_target * self.map.len() as f64).floor() as usize;
         // Coldest-first order is exactly the victim order.
         let order: Vec<PageId> = self.victim_order.iter().map(|&(_, _, p)| p).collect();
         for page in order {

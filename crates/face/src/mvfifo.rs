@@ -202,10 +202,7 @@ impl MvFifoCache {
     /// staged out to disk; referenced valid pages get a second chance under
     /// GSC. Returns the staged pages that must be written to disk and the
     /// pages to re-enqueue.
-    fn group_dequeue(
-        &mut self,
-        io: &mut IoLog,
-    ) -> (Vec<StagedPage>, Vec<StagedPage>) {
+    fn group_dequeue(&mut self, io: &mut IoLog) -> (Vec<StagedPage>, Vec<StagedPage>) {
         let n = self.config.group_size.min(self.size);
         if n == 0 {
             return (Vec::new(), Vec::new());
@@ -239,11 +236,10 @@ impl MvFifoCache {
                 .pending_slots
                 .iter()
                 .position(|&s| s == slot)
-                .map(|pos| {
+                .and_then(|pos| {
                     self.pending_slots.remove(pos);
                     self.pending_data.remove(pos)
-                })
-                .flatten();
+                });
             self.stats.staged_out += 1;
             if meta.valid {
                 // The directory entry must point at this slot (it is the
@@ -308,12 +304,7 @@ impl MvFifoCache {
 
     /// Admit one page version: ensure space, assign a slot, and collect any
     /// stage-outs and second-chance re-enqueues triggered by replacement.
-    fn admit(
-        &mut self,
-        staged: StagedPage,
-        outcome: &mut InsertOutcome,
-        io: &mut IoLog,
-    ) {
+    fn admit(&mut self, staged: StagedPage, outcome: &mut InsertOutcome, io: &mut IoLog) {
         // Make space. Each iteration frees at least one slot.
         while self.free_slots() == 0 {
             let (to_disk, second_chance) = self.group_dequeue(io);
@@ -342,9 +333,11 @@ impl MvFifoCache {
         io: &mut IoLog,
     ) -> (Self, RecoveredDirectory) {
         let capacity = config.capacity_pages;
-        let recovered = survived.recover(capacity as u64, &mut |slot| {
-            store.slot_header(slot as usize)
-        }, io);
+        let recovered = survived.recover(
+            capacity as u64,
+            &mut |slot| store.slot_header(slot as usize),
+            io,
+        );
 
         let mut cache = Self::new(config, store);
         cache.front = recovered.pointers.front as usize % capacity.max(1);
@@ -744,7 +737,11 @@ mod tests {
         let mut page = Page::new(pid(5));
         page.set_lsn(Lsn(42));
         page.write_body(0, b"flash resident");
-        c.insert(StagedPage::with_data(page, true, true), &mut NoSupplier, &mut io);
+        c.insert(
+            StagedPage::with_data(page, true, true),
+            &mut NoSupplier,
+            &mut io,
+        );
 
         let hit = c.fetch(pid(5), &mut io).unwrap();
         let data = hit.data.expect("mem store carries data");
@@ -759,7 +756,11 @@ mod tests {
         let mut io = IoLog::new();
         let mut p1 = Page::new(pid(1));
         p1.write_body(0, b"v1");
-        c.insert(StagedPage::with_data(p1, true, true), &mut NoSupplier, &mut io);
+        c.insert(
+            StagedPage::with_data(p1, true, true),
+            &mut NoSupplier,
+            &mut io,
+        );
         c.insert(staged(2, false, true), &mut NoSupplier, &mut io);
         // Page 1 is dequeued dirty; its data must be available for the disk
         // write the engine will perform.
@@ -813,7 +814,11 @@ mod tests {
             let mut p = Page::new(pid(i));
             p.set_lsn(Lsn(i as u64 + 1));
             p.write_body(0, &i.to_le_bytes());
-            c.insert(StagedPage::with_data(p, true, true), &mut NoSupplier, &mut io);
+            c.insert(
+                StagedPage::with_data(p, true, true),
+                &mut NoSupplier,
+                &mut io,
+            );
         }
         // Crash: the in-memory metadata segment is lost, flash contents and
         // persisted segments survive.
@@ -844,7 +849,10 @@ mod tests {
         }
         assert_eq!(ok, 20, "all cached pages recoverable");
         // Recovery itself used only sequential flash reads.
-        assert!(recovery_io.events().iter().all(|e| e.is_flash() && !e.is_write()));
+        assert!(recovery_io
+            .events()
+            .iter()
+            .all(|e| e.is_flash() && !e.is_write()));
     }
 
     #[test]
@@ -856,11 +864,19 @@ mod tests {
         let mut old = Page::new(pid(7));
         old.set_lsn(Lsn(1));
         old.write_body(0, b"old");
-        c.insert(StagedPage::with_data(old, true, true), &mut NoSupplier, &mut io);
+        c.insert(
+            StagedPage::with_data(old, true, true),
+            &mut NoSupplier,
+            &mut io,
+        );
         let mut newer = Page::new(pid(7));
         newer.set_lsn(Lsn(2));
         newer.write_body(0, b"new");
-        c.insert(StagedPage::with_data(newer, true, true), &mut NoSupplier, &mut io);
+        c.insert(
+            StagedPage::with_data(newer, true, true),
+            &mut NoSupplier,
+            &mut io,
+        );
 
         let mut survivor = c.metadata_directory().clone();
         survivor.crash();
@@ -894,7 +910,9 @@ mod tests {
                 }
                 assert!(cache.len() <= cache.capacity());
                 for (p, s) in cache.dir.iter() {
-                    let m = cache.slots[*s].as_ref().expect("directory points at a slot");
+                    let m = cache.slots[*s]
+                        .as_ref()
+                        .expect("directory points at a slot");
                     assert!(m.valid, "directory must reference valid versions only");
                     assert_eq!(m.page, *p);
                 }
@@ -935,11 +953,11 @@ mod tests {
         for i in 0..2000u32 {
             rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
             let page = (rng >> 16) as u32 % 200;
-            if rng % 3 == 0 {
+            if rng.is_multiple_of(3) {
                 c.fetch(pid(page), &mut io);
             } else {
                 c.insert(
-                    staged(page, rng % 2 == 0, true),
+                    staged(page, rng.is_multiple_of(2), true),
                     &mut NoSupplier,
                     &mut io,
                 );

@@ -110,7 +110,13 @@ impl TacCache {
         }
     }
 
-    fn admit(&mut self, page: PageId, lsn: Lsn, data: Option<&face_pagestore::Page>, io: &mut IoLog) {
+    fn admit(
+        &mut self,
+        page: PageId,
+        lsn: Lsn,
+        data: Option<&face_pagestore::Page>,
+        io: &mut IoLog,
+    ) {
         if self.free_slots.is_empty() {
             self.evict_victim(io);
         }

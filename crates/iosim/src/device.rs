@@ -217,7 +217,7 @@ mod tests {
     fn stats_accumulate_and_reset() {
         let mut d = ssd();
         for i in 0..10 {
-            d.submit(&IoRequest::random_page_read(i * 1 << 20), 0);
+            d.submit(&IoRequest::random_page_read(i * (1 << 20)), 0);
         }
         assert_eq!(d.stats().total_ops(), 10);
         assert!(d.stats().busy_time() > 0);

@@ -180,10 +180,7 @@ mod tests {
         // Four random reads landing on four different members all start at 0.
         let mut finishes = Vec::new();
         for i in 0..4u64 {
-            let c = arr.submit(
-                &IoRequest::random_page_read(i * DEFAULT_STRIPE_BYTES),
-                0,
-            );
+            let c = arr.submit(&IoRequest::random_page_read(i * DEFAULT_STRIPE_BYTES), 0);
             assert_eq!(c.wait, 0);
             finishes.push(c.finish);
         }
@@ -208,7 +205,7 @@ mod tests {
             let mut arr = RaidArray::seagate_raid0(n);
             let requests = 4000;
             // 16 concurrent streams.
-            let mut client_time = vec![0u64; 16];
+            let mut client_time = [0u64; 16];
             let mut rng_off = 0u64;
             for i in 0..requests {
                 let c = i % 16;

@@ -89,13 +89,7 @@ impl DeviceStats {
     }
 
     /// Record one completed operation.
-    pub fn record(
-        &mut self,
-        class: OpClass,
-        bytes: u32,
-        service: SimDuration,
-        wait: SimDuration,
-    ) {
+    pub fn record(&mut self, class: OpClass, bytes: u32, service: SimDuration, wait: SimDuration) {
         let i = class.index();
         self.ops[i] += 1;
         self.bytes[i] += bytes as u64;

@@ -161,11 +161,19 @@ impl IoSystem {
     /// Snapshots of all configured devices over a window.
     pub fn snapshots(&self, elapsed: SimDuration) -> Vec<StatsSnapshot> {
         let mut v = Vec::with_capacity(3);
-        v.push(self.data.aggregate_stats().snapshot(self.data.name(), elapsed));
+        v.push(
+            self.data
+                .aggregate_stats()
+                .snapshot(self.data.name(), elapsed),
+        );
         if let Some(f) = &self.flash {
             v.push(f.aggregate_stats().snapshot(f.name(), elapsed));
         }
-        v.push(self.log.aggregate_stats().snapshot(self.log.name(), elapsed));
+        v.push(
+            self.log
+                .aggregate_stats()
+                .snapshot(self.log.name(), elapsed),
+        );
         v
     }
 
@@ -194,10 +202,7 @@ impl std::fmt::Debug for IoSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IoSystem")
             .field("data", &self.data.name())
-            .field(
-                "flash",
-                &self.flash.as_ref().map(|d| d.name().to_string()),
-            )
+            .field("flash", &self.flash.as_ref().map(|d| d.name().to_string()))
             .field("log", &self.log.name())
             .field("clock", &self.clock)
             .finish()
@@ -276,9 +281,9 @@ impl IoSystemBuilder {
                 .data
                 .unwrap_or_else(|| Box::new(RaidArray::seagate_raid0(8))),
             flash: self.flash,
-            log: self
-                .log
-                .unwrap_or_else(|| Box::new(Device::new(DeviceId(300), DeviceProfile::seagate_15k()))),
+            log: self.log.unwrap_or_else(|| {
+                Box::new(Device::new(DeviceId(300), DeviceProfile::seagate_15k()))
+            }),
         }
     }
 }
@@ -298,9 +303,7 @@ impl ClientSet {
     /// Create `n` clients, all ready at time zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one client");
-        Self {
-            ready: vec![0; n],
-        }
+        Self { ready: vec![0; n] }
     }
 
     /// Create `n` clients all ready at `start`.
@@ -487,7 +490,9 @@ mod tests {
         let mut offset = 0u64;
         for _ in 0..(8 * per_client_reads) {
             let (c, ready) = clients.next_client();
-            offset = offset.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            offset = offset
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let off = (offset % (1u64 << 34)) & !0xFFF;
             let comp = sys.submit(Role::Data, &IoRequest::random_page_read(off), ready);
             serial_time += comp.service;

@@ -6,6 +6,7 @@
 //! depend on 2012-era device characteristics, not on whatever disk this
 //! reproduction happens to run on.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -42,17 +43,26 @@ impl FilePageStore {
         self.dir.join(format!("file_{file}.db"))
     }
 
-    fn with_file<T>(&self, file: u32, f: impl FnOnce(&mut File) -> StoreResult<T>) -> StoreResult<T> {
+    fn with_file<T>(
+        &self,
+        file: u32,
+        f: impl FnOnce(&mut File) -> StoreResult<T>,
+    ) -> StoreResult<T> {
         let mut files = self.files.lock();
-        if !files.contains_key(&file) {
-            let handle = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .create(true)
-                .open(self.file_path(file))?;
-            files.insert(file, handle);
-        }
-        f(files.get_mut(&file).expect("just inserted"))
+        let handle = match files.entry(file) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                // Existing segment contents must survive reopening.
+                let handle = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(false)
+                    .open(self.file_path(file))?;
+                e.insert(handle)
+            }
+        };
+        f(handle)
     }
 
     fn file_len_pages(&self, file: u32) -> u64 {

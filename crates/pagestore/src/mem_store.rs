@@ -83,7 +83,12 @@ impl PageStore for InMemoryPageStore {
     }
 
     fn num_pages(&self, file: u32) -> u64 {
-        self.inner.read().file_sizes.get(&file).copied().unwrap_or(0)
+        self.inner
+            .read()
+            .file_sizes
+            .get(&file)
+            .copied()
+            .unwrap_or(0)
     }
 
     fn sync(&self) -> StoreResult<()> {

@@ -118,7 +118,7 @@ mod tests {
             found: PageId::new(3, 4),
         };
         assert!(format!("{e}").contains("3:4"));
-        let io_err = StoreError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let io_err = StoreError::from(io::Error::other("boom"));
         assert!(format!("{io_err}").contains("boom"));
         assert!(format!("{}", StoreError::Closed).contains("closed"));
     }

@@ -89,7 +89,10 @@ impl Table {
 
     /// Whether the table grows during the run (orders, order lines, history).
     pub fn is_append_only(self) -> bool {
-        matches!(self, Table::History | Table::Order | Table::OrderLine | Table::NewOrder)
+        matches!(
+            self,
+            Table::History | Table::Order | Table::OrderLine | Table::NewOrder
+        )
     }
 }
 

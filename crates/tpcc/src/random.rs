@@ -35,7 +35,7 @@ impl TpccRandom {
 
     /// A probability check: true with probability `percent`/100.
     pub fn chance(&mut self, percent: u32) -> bool {
-        self.rng.gen_range(0..100) < percent
+        self.rng.gen_range(0u32..100) < percent
     }
 
     /// NURand(A, x, y) as defined by the specification.

@@ -24,7 +24,10 @@ pub enum TransactionKind {
 impl TransactionKind {
     /// Whether the transaction modifies the database.
     pub fn is_update(&self) -> bool {
-        !matches!(self, TransactionKind::OrderStatus | TransactionKind::StockLevel)
+        !matches!(
+            self,
+            TransactionKind::OrderStatus | TransactionKind::StockLevel
+        )
     }
 
     /// Short label for reports.
@@ -164,11 +167,7 @@ impl TpccWorkload {
             };
             a.push(self.page(Table::Item, w, item - 1));
             a.push(self.page_write(Table::Stock, supply_w, item - 1));
-            a.push(self.page_write(
-                Table::OrderLine,
-                w,
-                (d - 1) * 30_000 + order_id * 15 + line,
-            ));
+            a.push(self.page_write(Table::OrderLine, w, (d - 1) * 30_000 + order_id * 15 + line));
         }
         a.push(self.page_write(Table::Order, w, (d - 1) * 3_000 + order_id));
         a.push(self.page_write(Table::NewOrder, w, (d - 1) * 900 + order_id));
@@ -396,8 +395,14 @@ mod tests {
 
     #[test]
     fn workloads_with_same_seed_are_identical() {
-        let mut a = TpccWorkload::new(TpccConfig { warehouses: 5, seed: 9 });
-        let mut b = TpccWorkload::new(TpccConfig { warehouses: 5, seed: 9 });
+        let mut a = TpccWorkload::new(TpccConfig {
+            warehouses: 5,
+            seed: 9,
+        });
+        let mut b = TpccWorkload::new(TpccConfig {
+            warehouses: 5,
+            seed: 9,
+        });
         for _ in 0..50 {
             let ta = a.next_transaction();
             let tb = b.next_transaction();

@@ -119,15 +119,16 @@ mod tests {
     fn setup() -> (Arc<dyn LogStorage>, Vec<Lsn>) {
         let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
         let w = WalWriter::new(Arc::clone(&storage));
-        let mut lsns = Vec::new();
-        lsns.push(w.append(&LogRecord::Begin { txn: TxnId(1) }));
-        lsns.push(w.append(&LogRecord::Update {
-            txn: TxnId(1),
-            page: PageId::new(0, 3),
-            offset: 10,
-            data: vec![9; 20],
-        }));
-        lsns.push(w.append(&LogRecord::Commit { txn: TxnId(1) }));
+        let lsns = vec![
+            w.append(&LogRecord::Begin { txn: TxnId(1) }),
+            w.append(&LogRecord::Update {
+                txn: TxnId(1),
+                page: PageId::new(0, 3),
+                offset: 10,
+                data: vec![9; 20],
+            }),
+            w.append(&LogRecord::Commit { txn: TxnId(1) }),
+        ];
         w.force_all().unwrap();
         (storage, lsns)
     }
@@ -189,9 +190,6 @@ mod tests {
         // First record fine.
         assert!(r.next_record().unwrap().is_some());
         // Second is corrupt.
-        assert!(matches!(
-            r.next_record(),
-            Err(WalError::Corrupt { .. })
-        ));
+        assert!(matches!(r.next_record(), Err(WalError::Corrupt { .. })));
     }
 }

@@ -210,10 +210,7 @@ mod tests {
     #[test]
     fn txn_accessor() {
         assert_eq!(LogRecord::Begin { txn: TxnId(5) }.txn(), Some(TxnId(5)));
-        assert_eq!(
-            LogRecord::Checkpoint(CheckpointData::default()).txn(),
-            None
-        );
+        assert_eq!(LogRecord::Checkpoint(CheckpointData::default()).txn(), None);
         assert!(LogRecord::Commit { txn: TxnId(1) }.is_commit());
         assert!(!LogRecord::Abort { txn: TxnId(1) }.is_commit());
     }

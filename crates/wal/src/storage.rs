@@ -200,10 +200,7 @@ mod tests {
     fn temp_log(tag: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        std::env::temp_dir().join(format!(
-            "face_wal_{tag}_{}_{n}.log",
-            std::process::id()
-        ))
+        std::env::temp_dir().join(format!("face_wal_{tag}_{}_{n}.log", std::process::id()))
     }
 
     fn exercise(storage: &dyn LogStorage) {
@@ -275,7 +272,7 @@ mod tests {
             reason: "bad crc".into(),
         };
         assert!(format!("{e}").contains("12"));
-        let io: WalError = std::io::Error::new(std::io::ErrorKind::Other, "disk gone").into();
+        let io: WalError = std::io::Error::other("disk gone").into();
         assert!(format!("{io}").contains("disk gone"));
     }
 }

@@ -66,7 +66,9 @@ impl WalWriter {
         inner
             .pending
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        inner.pending.extend_from_slice(&crc32(&payload).to_le_bytes());
+        inner
+            .pending
+            .extend_from_slice(&crc32(&payload).to_le_bytes());
         inner.pending.extend_from_slice(&payload);
         inner.next_lsn = lsn.advance(FRAME_HEADER_SIZE + payload.len() as u64);
         inner.stats.records_appended += 1;

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let buffer = db.buffer_stats();
     let cache = db.cache_stats().expect("flash cache enabled");
-    println!("DRAM buffer : {:5} hits, {:5} misses", buffer.hits, buffer.misses);
+    println!(
+        "DRAM buffer : {:5} hits, {:5} misses",
+        buffer.hits, buffer.misses
+    );
     println!(
         "Flash cache : {:5} hits / {:5} lookups ({:.0}% of DRAM misses served by flash)",
         cache.hits,

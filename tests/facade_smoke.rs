@@ -1,0 +1,94 @@
+//! Smoke test for the `face_repro::prelude` re-export surface.
+//!
+//! The facade crate exists so examples and integration tests can use one
+//! coherent namespace; this test pins that surface so a future re-export
+//! change cannot silently rot it: every prelude item is constructed or called
+//! through its `face_repro::prelude` path.
+
+use face_repro::prelude::*;
+
+#[test]
+fn prelude_drives_a_simulation_end_to_end() {
+    let config = SimConfig {
+        db_pages: 4_096,
+        buffer_frames: 128,
+        policy: CachePolicyKind::FaceGsc,
+        cache_config: CacheConfig {
+            capacity_pages: 512,
+            group_size: 16,
+            ..CacheConfig::default()
+        },
+        clients: 4,
+        ..SimConfig::default()
+    };
+    let mut engine = SimEngine::new(config);
+
+    // A small skewed read/write mix over the prelude's PageAccess type.
+    for txn in 0..200u64 {
+        let accesses: Vec<PageAccess> = (0..8)
+            .map(|i| {
+                let page = face_repro::face_pagestore::PageId::from_u64((txn * 13 + i * 7) % 1_024);
+                if i % 3 == 0 {
+                    PageAccess::write(page)
+                } else {
+                    PageAccess::read(page)
+                }
+            })
+            .collect();
+        engine.run_transaction(&accesses, txn % 2 == 0);
+    }
+
+    let counters = engine.counters();
+    assert_eq!(counters.committed, 200, "every transaction commits");
+    let stats = engine.buffer_stats();
+    assert!(
+        stats.hits + stats.misses >= 200 * 8 / 2,
+        "accesses flow through the DRAM buffer (hits={} misses={})",
+        stats.hits,
+        stats.misses
+    );
+    assert!(
+        engine.makespan() > 0,
+        "simulated time advances as transactions run"
+    );
+}
+
+#[test]
+fn prelude_exposes_devices_engine_and_workload() {
+    // Device profiles from the prelude match the paper's Table 1 shape:
+    // flash random reads are far faster than disk random reads.
+    let flash = DeviceProfile::samsung470_mlc();
+    let disk = DeviceProfile::seagate_15k();
+    assert!(flash.random_read_iops > 10.0 * disk.random_read_iops);
+
+    // The TPC-C generator produces well-formed transactions with the
+    // standard five types reachable from the prelude.
+    let mut workload = TpccWorkload::new(TpccConfig {
+        warehouses: 2,
+        seed: 42,
+    });
+    let mut kinds = std::collections::HashSet::new();
+    for _ in 0..500 {
+        let txn = workload.next_transaction();
+        assert!(!txn.accesses.is_empty(), "transactions touch pages");
+        kinds.insert(txn.kind);
+    }
+    assert!(
+        kinds.contains(&TransactionKind::NewOrder) && kinds.len() >= 4,
+        "the standard mix appears: {kinds:?}"
+    );
+
+    // The functional engine round-trips a put/get through the prelude's
+    // Database/EngineConfig pair.
+    let config = EngineConfig::in_memory()
+        .buffer_frames(64)
+        .flash_cache(CachePolicyKind::FaceGsc, 256);
+    let mut db = Database::open(config).expect("engine opens");
+    let txn = db.begin();
+    db.put(txn, 7, b"facade smoke").expect("put");
+    db.commit(txn).expect("commit");
+    assert_eq!(
+        db.get(7).expect("get").as_deref(),
+        Some(&b"facade smoke"[..])
+    );
+}

@@ -74,7 +74,11 @@ fn repeated_crash_restart_cycles_converge() {
         let report = db.restart().unwrap();
         assert!(report.cache_recovery.survived);
         for k in 0..150u64 {
-            assert_eq!(db.get(k).unwrap().unwrap(), value(k, round), "round {round}");
+            assert_eq!(
+                db.get(k).unwrap().unwrap(),
+                value(k, round),
+                "round {round}"
+            );
         }
     }
 }

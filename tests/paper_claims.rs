@@ -36,7 +36,10 @@ fn gsc_improves_over_plain_mvfifo_hit_rate() {
     // Paper Table 3: GSC lifts the flash hit rate (and write reduction) over
     // base FaCE by giving referenced pages a second chance.
     let scale = scale();
-    let base = run_tpcc(&scale, &SystemSetup::face_gsc(0.08).with_policy(CachePolicyKind::Face));
+    let base = run_tpcc(
+        &scale,
+        &SystemSetup::face_gsc(0.08).with_policy(CachePolicyKind::Face),
+    );
     let gsc = run_tpcc(&scale, &SystemSetup::face_gsc(0.08));
     assert!(
         gsc.flash_hit_ratio >= base.flash_hit_ratio,
@@ -52,7 +55,10 @@ fn lc_hit_rate_higher_but_utilisation_much_higher_than_face() {
     // is a little higher, but in-place random writes push the flash device
     // towards saturation, while FaCE keeps utilisation well below LC's.
     let scale = scale();
-    let lc = run_tpcc(&scale, &SystemSetup::face_gsc(0.12).with_policy(CachePolicyKind::Lc));
+    let lc = run_tpcc(
+        &scale,
+        &SystemSetup::face_gsc(0.12).with_policy(CachePolicyKind::Lc),
+    );
     let face = run_tpcc(&scale, &SystemSetup::face_gsc(0.12));
     assert!(
         lc.flash_utilization > face.flash_utilization,
@@ -74,7 +80,10 @@ fn face_processes_more_flash_page_iops_than_lc() {
     // Paper Table 4(b): sequential writes let FaCE push far more 4 KiB page
     // operations through the same device.
     let scale = scale();
-    let lc = run_tpcc(&scale, &SystemSetup::face_gsc(0.12).with_policy(CachePolicyKind::Lc));
+    let lc = run_tpcc(
+        &scale,
+        &SystemSetup::face_gsc(0.12).with_policy(CachePolicyKind::Lc),
+    );
     let gsc = run_tpcc(&scale, &SystemSetup::face_gsc(0.12));
     assert!(
         gsc.flash_page_iops > lc.flash_page_iops,
@@ -95,7 +104,10 @@ fn growing_the_flash_cache_narrows_the_gap_to_ssd_only() {
     // ever more of the I/O is absorbed by sequential flash writes and flash
     // reads instead of the disk array.
     let scale = scale();
-    let ssd_only = run_tpcc(&scale, &SystemSetup::ssd_only(DeviceProfile::samsung470_mlc()));
+    let ssd_only = run_tpcc(
+        &scale,
+        &SystemSetup::ssd_only(DeviceProfile::samsung470_mlc()),
+    );
     let small = run_tpcc(&scale, &SystemSetup::face_gsc(0.04));
     let large = run_tpcc(&scale, &SystemSetup::face_gsc(0.24));
     assert!(ssd_only.tpmc > 0.0 && small.tpmc > 0.0);
@@ -112,9 +124,16 @@ fn write_back_reduces_disk_writes_write_through_does_not() {
     // Paper §2.3: TAC's write-through policy gives read caching only; the
     // write-reduction ratio of the FaCE variants must be clearly higher.
     let scale = scale();
-    let tac = run_tpcc(&scale, &SystemSetup::face_gsc(0.12).with_policy(CachePolicyKind::Tac));
+    let tac = run_tpcc(
+        &scale,
+        &SystemSetup::face_gsc(0.12).with_policy(CachePolicyKind::Tac),
+    );
     let face = run_tpcc(&scale, &SystemSetup::face_gsc(0.12));
-    assert!(face.write_reduction > 0.15, "FaCE WR {:.2}", face.write_reduction);
+    assert!(
+        face.write_reduction > 0.15,
+        "FaCE WR {:.2}",
+        face.write_reduction
+    );
     assert!(
         face.write_reduction > tac.write_reduction,
         "FaCE WR {:.2} vs TAC WR {:.2}",

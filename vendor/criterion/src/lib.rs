@@ -1,0 +1,176 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This stub keeps the same authoring surface the
+//! workspace's benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — and implements a simple but
+//! honest measurement loop: warm-up, then timed batches, reporting the median
+//! batch's nanoseconds per iteration. There is no statistical analysis,
+//! plotting or result persistence; swap the real criterion back in via
+//! `[workspace.dependencies]` when the environment allows.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each bench spends warming up and measuring.
+///
+/// Tuned so a full `cargo bench` stays in seconds; override with the
+/// `CRITERION_STUB_MS` environment variable (milliseconds per phase).
+fn phase_budget() -> Duration {
+    let ms = std::env::var("CRITERION_STUB_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// Entry point handed to bench functions, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Finish the group (formatting no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Measurement driver passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, then time batches and keep the median.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let budget = phase_budget();
+
+        // Warm-up: run until the budget elapses, learning a batch size that
+        // takes roughly 1/20 of the measurement budget.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < budget {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = budget.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch =
+            ((budget.as_nanos() as f64 / 20.0 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+
+        // Measurement: timed batches until the budget elapses.
+        let mut samples = Vec::new();
+        let measure_start = Instant::now();
+        let mut total_iters = 0u64;
+        while measure_start.elapsed() < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples.get(samples.len() / 2).copied().unwrap_or(per_iter);
+        self.iters = warm_iters + total_iters;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<44} (no measurement)");
+        } else if self.ns_per_iter >= 10_000.0 {
+            println!(
+                "{name:<44} {:>12.2} us/iter ({} iters)",
+                self.ns_per_iter / 1_000.0,
+                self.iters
+            );
+        } else {
+            println!(
+                "{name:<44} {:>12.1} ns/iter ({} iters)",
+                self.ns_per_iter, self.iters
+            );
+        }
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`; the stub
+            // has no CLI surface, so flags are accepted and ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        std::env::set_var("CRITERION_STUB_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

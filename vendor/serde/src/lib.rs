@@ -1,0 +1,37 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real `serde` cannot be
+//! fetched. This repository only ever *derives* `Serialize`/`Deserialize` and
+//! hands values to `serde_json::to_string_pretty` for human-readable result
+//! files — no binary formats, no deserialisation, no custom impls. The stub
+//! therefore models the two traits as blanket markers:
+//!
+//! * [`Serialize`] requires [`core::fmt::Debug`] (every derived type in the
+//!   workspace also derives `Debug`) and is implemented for all such types.
+//!   The vendored `serde_json` renders values through their `Debug` output.
+//! * [`Deserialize`] is a pure marker implemented for every type; nothing in
+//!   the workspace deserialises.
+//!
+//! The derive macros re-exported from `serde_derive` emit nothing, so
+//! `#[derive(Serialize, Deserialize)]` and `serde::Serialize` bounds compile
+//! unchanged against this stub. Swapping the real serde back in later only
+//! requires changing the `[workspace.dependencies]` entry.
+
+use core::fmt::Debug;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for values that can be rendered by the vendored `serde_json`.
+///
+/// Blanket-implemented for every `Debug` type; the `Debug` representation is
+/// the serialisation source.
+pub trait Serialize: Debug {}
+
+impl<T: Debug + ?Sized> Serialize for T {}
+
+/// Marker for deserialisable values. Nothing in this workspace deserialises,
+/// so the trait carries no behaviour; it exists so `use serde::Deserialize`
+/// and derive bounds resolve.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}

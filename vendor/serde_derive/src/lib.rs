@@ -1,0 +1,23 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `serde`/`serde_derive` crates cannot be fetched. The sibling `serde`
+//! stub implements `Serialize`/`Deserialize` as blanket marker traits, which
+//! means the derive macros have nothing to generate: they validate nothing and
+//! emit an empty token stream. `#[derive(Serialize, Deserialize)]` therefore
+//! compiles exactly as it would with the real crate, and the actual
+//! serialisation behaviour lives in the vendored `serde_json`.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `serde::Serialize` (blanket-implemented in the stub).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `serde::Deserialize` (blanket-implemented in the stub).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

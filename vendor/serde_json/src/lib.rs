@@ -1,0 +1,401 @@
+//! Vendored minimal stand-in for `serde_json`.
+//!
+//! The build environment has no network access, so the real `serde_json`
+//! cannot be fetched. The workspace uses exactly one entry point —
+//! [`to_string_pretty`] — to persist experiment results as human-readable
+//! JSON. The vendored `serde` models `Serialize` as "has a `Debug` impl", so
+//! this crate serialises by rendering the value with `{:#?}` and then
+//! mechanically rewriting Rust's pretty `Debug` grammar into JSON:
+//!
+//! * `StructName { field: v, .. }` → `{ "field": v, .. }`
+//! * `TupleStruct(a, b)` / tuples → `[a, b]`
+//! * unit enum variants (`FaceGsc`) and other bare idents → `"FaceGsc"`
+//! * `Some(x)` → `x`, `None` → `null`, string/char literals pass through
+//!
+//! The rewrite understands string literals, so quoted text is never mangled.
+//! It is a pragmatic bridge, not a general serialiser: it covers the shapes
+//! the experiment-result structs actually have (numbers, strings, booleans,
+//! vectors, nested derived structs and unit enums). Exotic `Debug` output
+//! falls through as best-effort text in an otherwise valid document.
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`'s public face.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialise `value` as pretty-printed JSON.
+///
+/// Renders the value's `Debug` representation and rewrites it into JSON (see
+/// the crate docs for the exact mapping). Infallible for the types this
+/// workspace serialises; the `Result` keeps the real `serde_json` signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(debug_to_json(&format!("{value:#?}")))
+}
+
+/// Serialise `value` as compact JSON (same rewrite, single-line `Debug`).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(debug_to_json(&format!("{value:?}")))
+}
+
+/// Tokens of Rust's `Debug` grammar that matter for the JSON rewrite.
+#[derive(Debug, PartialEq)]
+enum Tok {
+    /// `{`, `}`, `[`, `]`, `(`, `)`, `,`, `:`
+    Punct(char),
+    /// A bare identifier: struct/variant name, field name, `true`, `None`, ..
+    Ident(String),
+    /// A numeric literal, passed through verbatim.
+    Number(String),
+    /// A string or char literal including its original escapes.
+    Str(String),
+}
+
+fn lex(input: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' | '}' | '[' | ']' | '(' | ')' | ',' | ':' => toks.push(Tok::Punct(c)),
+            '"' | '\'' => {
+                // A quoted literal: copy until the matching unescaped quote.
+                let quote = c;
+                let mut s = String::new();
+                s.push('"');
+                while let Some(c2) = chars.next() {
+                    if c2 == '\\' {
+                        s.push('\\');
+                        if let Some(c3) = chars.next() {
+                            s.push(c3);
+                        }
+                    } else if c2 == quote {
+                        break;
+                    } else if c2 == '"' {
+                        // A double quote inside a char literal needs escaping.
+                        s.push('\\');
+                        s.push('"');
+                    } else {
+                        s.push(c2);
+                    }
+                }
+                s.push('"');
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::from(c);
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '.' || c2 == '_' {
+                        s.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // `-inf` starts with '-' and lands here rather than in the
+                // ident branch that handles `inf`/`NaN`.
+                if s == "-inf" {
+                    toks.push(Tok::Number("-1e999".to_string()));
+                    continue;
+                }
+                // Strip type suffixes Debug sometimes emits (e.g. `1.5s` from
+                // Duration) down to the leading numeric part.
+                let numeric: String = s
+                    .chars()
+                    .take_while(|c2| c2.is_ascii_digit() || *c2 == '.' || *c2 == '-')
+                    .collect();
+                toks.push(Tok::Number(if numeric.is_empty() { s } else { numeric }));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::from(c);
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        s.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            _ => {} // whitespace and anything else is insignificant
+        }
+    }
+    toks
+}
+
+/// Rewrite a `Debug` rendering into JSON text.
+fn debug_to_json(debug: &str) -> String {
+    let toks = lex(debug);
+    let mut out = String::new();
+    let mut indent = 0usize;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Ident(name) => {
+                let next = toks.get(i + 1);
+                match next {
+                    // `Name {` / `Name [` → drop the name, keep the delimiter.
+                    Some(Tok::Punct('{')) | Some(Tok::Punct('[')) => {}
+                    // `Name( ... )` → `Some`/newtype unwrapping or tuple-as-array.
+                    Some(Tok::Punct('(')) => {}
+                    // `field:` → `"field":`
+                    Some(Tok::Punct(':')) => {
+                        out.push('"');
+                        out.push_str(name);
+                        out.push_str("\": ");
+                        i += 2;
+                        continue;
+                    }
+                    // Bare ident value: boolean, null, or unit variant.
+                    _ => match name.as_str() {
+                        "true" | "false" => out.push_str(name),
+                        "None" => out.push_str("null"),
+                        "NaN" => out.push_str("null"),
+                        "inf" => out.push_str("1e999"),
+                        _ => {
+                            out.push('"');
+                            out.push_str(name);
+                            out.push('"');
+                        }
+                    },
+                }
+            }
+            Tok::Number(n) => out.push_str(n),
+            Tok::Str(s) => out.push_str(s),
+            Tok::Punct(p) => match p {
+                '{' | '[' => {
+                    out.push(if *p == '{' { '{' } else { '[' });
+                    indent += 1;
+                    newline(&mut out, indent);
+                }
+                '}' | ']' => {
+                    indent = indent.saturating_sub(1);
+                    newline(&mut out, indent);
+                    out.push(if *p == '}' { '}' } else { ']' });
+                }
+                '(' => {
+                    // Count the elements to decide between unwrapping a
+                    // newtype (`Lsn(7)` → `7`) and a tuple (`(a, b)` → array).
+                    let elems = paren_arity(&toks, i);
+                    if elems != 1 {
+                        out.push('[');
+                        indent += 1;
+                        newline(&mut out, indent);
+                    }
+                }
+                ')' => {
+                    let open = matching_open(&toks, i);
+                    if paren_arity(&toks, open) != 1 {
+                        indent = indent.saturating_sub(1);
+                        newline(&mut out, indent);
+                        out.push(']');
+                    }
+                }
+                ',' => {
+                    // Debug allows trailing commas; JSON does not.
+                    let closes = matches!(
+                        toks.get(i + 1),
+                        Some(Tok::Punct('}'))
+                            | Some(Tok::Punct(']'))
+                            | Some(Tok::Punct(')'))
+                            | None
+                    );
+                    if !closes {
+                        out.push(',');
+                        newline(&mut out, indent);
+                    }
+                }
+                _ => {}
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Number of top-level comma-separated elements inside the paren group that
+/// opens at token index `open` (which must be a `(`).
+fn paren_arity(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut elems = 1usize;
+    let mut any = false;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t {
+            Tok::Punct('(') | Tok::Punct('{') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct('}') | Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            // A trailing comma (pretty `Debug` always emits one) does not
+            // start a new element.
+            Tok::Punct(',') if depth == 1 && !matches!(toks.get(i + 1), Some(Tok::Punct(')'))) => {
+                elems += 1;
+            }
+            _ if depth >= 1 => any = true,
+            _ => {}
+        }
+    }
+    if any {
+        elems
+    } else {
+        0
+    }
+}
+
+/// Index of the `(` that the `)` at `close` matches.
+fn matching_open(toks: &[Tok], close: usize) -> usize {
+    let mut depth = 0usize;
+    for i in (0..=close).rev() {
+        match toks[i] {
+            Tok::Punct(')') | Tok::Punct('}') | Tok::Punct(']') => depth += 1,
+            Tok::Punct('(') | Tok::Punct('{') | Tok::Punct('[') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    #[allow(dead_code)]
+    struct Inner {
+        label: String,
+        hits: u64,
+    }
+
+    #[derive(Debug)]
+    #[allow(dead_code)]
+    enum Kind {
+        FaceGsc,
+    }
+
+    #[derive(Debug)]
+    #[allow(dead_code)]
+    struct Outer {
+        kind: Kind,
+        ratio: f64,
+        on: bool,
+        items: Vec<Inner>,
+        missing: Option<u32>,
+        present: Option<u32>,
+    }
+
+    fn parses_as_json(s: &str) {
+        // A tiny structural validator: balanced delimiters, no bare idents.
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut prev = ' ';
+        for c in s.chars() {
+            if in_str {
+                if c == '"' && prev != '\\' {
+                    in_str = false;
+                }
+                prev = if prev == '\\' && c == '\\' { ' ' } else { c };
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced in {s}");
+            prev = c;
+        }
+        assert_eq!(depth, 0, "unbalanced in {s}");
+        assert!(!in_str, "unterminated string in {s}");
+    }
+
+    #[test]
+    fn vec_of_numbers_is_json() {
+        let s = to_string_pretty(&vec![1, 2, 3]).unwrap();
+        parses_as_json(&s);
+        assert!(s.contains('1') && s.contains('3'));
+        assert!(s.trim_start().starts_with('['));
+    }
+
+    #[test]
+    fn derived_struct_becomes_object() {
+        let v = Outer {
+            kind: Kind::FaceGsc,
+            ratio: 2.5,
+            on: true,
+            items: vec![Inner {
+                label: "FaCE +GSC {tricky}".to_string(),
+                hits: 9,
+            }],
+            missing: None,
+            present: Some(7),
+        };
+        let s = to_string_pretty(&v).unwrap();
+        parses_as_json(&s);
+        assert!(s.contains("\"kind\": \"FaceGsc\""), "{s}");
+        assert!(s.contains("\"ratio\": 2.5"), "{s}");
+        assert!(s.contains("\"on\": true"), "{s}");
+        assert!(s.contains("\"label\": \"FaCE +GSC {tricky}\""), "{s}");
+        assert!(s.contains("\"missing\": null"), "{s}");
+        assert!(s.contains("\"present\": 7"), "{s}");
+    }
+
+    #[test]
+    fn tuples_become_arrays() {
+        let s = to_string(&(1u32, "two", 3.0f64)).unwrap();
+        parses_as_json(&s);
+        assert!(s.starts_with('['), "{s}");
+        assert!(s.contains("\"two\""), "{s}");
+    }
+
+    #[test]
+    fn float_specials_stay_parseable() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        struct Specials {
+            pos: f64,
+            neg: f64,
+            nan: f64,
+        }
+        let s = to_string_pretty(&Specials {
+            pos: f64::INFINITY,
+            neg: f64::NEG_INFINITY,
+            nan: f64::NAN,
+        })
+        .unwrap();
+        parses_as_json(&s);
+        assert!(s.contains("\"pos\": 1e999"), "{s}");
+        assert!(s.contains("\"neg\": -1e999"), "{s}");
+        assert!(s.contains("\"nan\": null"), "{s}");
+    }
+
+    #[test]
+    fn newtype_unwraps() {
+        #[derive(Debug)]
+        struct Lsn(#[allow(dead_code)] u64);
+        let s = to_string(&Lsn(42)).unwrap();
+        assert_eq!(s.trim(), "42");
+    }
+}
