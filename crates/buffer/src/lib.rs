@@ -32,7 +32,7 @@ pub mod tier;
 
 pub use flags::FrameFlags;
 pub use lru::LruList;
-pub use pool::{BufferPool, BufferStats};
+pub use pool::{BufferPool, BufferStats, DEFAULT_POOL_SHARDS};
 pub use sim::{BufferSim, EvictedMeta, SimAccess};
 pub use tier::{
     DirectDiskTier, FetchOutcome, FetchSource, LowerTier, TierError, TierResult, WriteBackOutcome,

@@ -1,12 +1,27 @@
-//! The data-carrying DRAM buffer pool.
+//! The data-carrying DRAM buffer pool, sharded for concurrent callers.
+//!
+//! The pool hashes page ids over `N` independent shards — the same lock
+//! striping PostgreSQL applies to its buffer table — so threads touching
+//! different pages proceed in parallel. Each shard owns a fixed slice of the
+//! frame budget, its own LRU list and its own mutex; the lower tier is shared
+//! and must itself be concurrency-safe ([`LowerTier`] takes `&self`).
+//!
+//! Lock order: a thread holds at most one shard lock at a time, and may call
+//! into the lower tier (which takes its own internal locks) while holding it.
+//! The lower tier never calls back into the pool, so the order
+//! `shard → tier-internals` is acyclic.
 
 use std::collections::HashMap;
 
-use face_pagestore::{Lsn, Page, PageId};
+use face_pagestore::{Counter, Lsn, Page, PageId};
+use parking_lot::Mutex;
 
 use crate::flags::FrameFlags;
 use crate::lru::LruList;
 use crate::tier::{FetchSource, LowerTier, TierResult, WriteBackReason};
+
+/// Default shard count for pools that do not specify one.
+pub const DEFAULT_POOL_SHARDS: usize = 8;
 
 /// Counters describing buffer pool activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,70 +65,142 @@ impl BufferStats {
     }
 }
 
+/// Atomic twin of [`BufferStats`]: bumped from any shard without extra locks.
+#[derive(Debug, Default)]
+struct AtomicBufferStats {
+    accesses: Counter,
+    hits: Counter,
+    misses: Counter,
+    flash_hits: Counter,
+    disk_fetches: Counter,
+    evictions: Counter,
+    dirty_evictions: Counter,
+    checkpoint_writes: Counter,
+}
+
+impl AtomicBufferStats {
+    fn snapshot(&self) -> BufferStats {
+        BufferStats {
+            accesses: self.accesses.get(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            flash_hits: self.flash_hits.get(),
+            disk_fetches: self.disk_fetches.get(),
+            evictions: self.evictions.get(),
+            dirty_evictions: self.dirty_evictions.get(),
+            checkpoint_writes: self.checkpoint_writes.get(),
+        }
+    }
+
+    fn reset(&self) {
+        self.accesses.set(0);
+        self.hits.set(0);
+        self.misses.set(0);
+        self.flash_hits.set(0);
+        self.disk_fetches.set(0);
+        self.evictions.set(0);
+        self.dirty_evictions.set(0);
+        self.checkpoint_writes.set(0);
+    }
+}
+
 struct Frame {
     page: Page,
     flags: FrameFlags,
 }
 
-/// A fixed-capacity DRAM buffer pool with LRU replacement over a pluggable
-/// [`LowerTier`].
-///
-/// The pool owns page data; callers access pages through closures so that a
-/// page reference can never outlive its residency.
-pub struct BufferPool<L: LowerTier> {
+/// One lock-striped slice of the pool: a frame table and its LRU list.
+struct Shard {
     capacity: usize,
     frames: HashMap<PageId, Frame>,
     lru: LruList<PageId>,
+}
+
+/// A fixed-capacity, sharded DRAM buffer pool with per-shard LRU replacement
+/// over a pluggable [`LowerTier`].
+///
+/// All operations take `&self`; the pool is `Send + Sync` whenever its lower
+/// tier is. The pool owns page data; callers access pages through closures so
+/// that a page reference can never outlive its residency (or its shard lock).
+pub struct BufferPool<L: LowerTier> {
+    capacity: usize,
+    shards: Vec<Mutex<Shard>>,
     lower: L,
-    stats: BufferStats,
+    stats: AtomicBufferStats,
 }
 
 impl<L: LowerTier> BufferPool<L> {
-    /// A pool holding at most `capacity` pages, over `lower`.
+    /// A pool holding at most `capacity` pages over `lower`, striped over
+    /// [`DEFAULT_POOL_SHARDS`] shards (fewer if the capacity is smaller).
     pub fn new(capacity: usize, lower: L) -> Self {
+        Self::with_shards(capacity, DEFAULT_POOL_SHARDS, lower)
+    }
+
+    /// A pool striped over exactly `shards` shards (clamped to `capacity` so
+    /// every shard owns at least one frame). `shards == 1` reproduces the
+    /// classic single-LRU pool, which some tests rely on for exact eviction
+    /// order.
+    pub fn with_shards(capacity: usize, shards: usize, lower: L) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
+        let shards = shards.clamp(1, capacity);
+        let base = capacity / shards;
+        let rem = capacity % shards;
+        let shards = (0..shards)
+            .map(|i| {
+                let cap = base + usize::from(i < rem);
+                Mutex::new(Shard {
+                    capacity: cap,
+                    frames: HashMap::with_capacity(cap),
+                    lru: LruList::with_capacity(cap),
+                })
+            })
+            .collect();
         Self {
             capacity,
-            frames: HashMap::with_capacity(capacity),
-            lru: LruList::with_capacity(capacity),
+            shards,
             lower,
-            stats: BufferStats::default(),
+            stats: AtomicBufferStats::default(),
         }
     }
 
-    /// Pool capacity in frames.
+    /// Pool capacity in frames (summed over shards).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of resident pages.
     pub fn len(&self) -> usize {
-        self.frames.len()
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
     }
 
     /// Whether the pool holds no pages.
     pub fn is_empty(&self) -> bool {
-        self.frames.is_empty()
+        self.len() == 0
     }
 
     /// Whether `id` is resident.
     pub fn contains(&self, id: PageId) -> bool {
-        self.frames.contains_key(&id)
+        self.shard(id).lock().frames.contains_key(&id)
     }
 
     /// The flags of a resident page.
     pub fn flags(&self, id: PageId) -> Option<FrameFlags> {
-        self.frames.get(&id).map(|f| f.flags)
+        self.shard(id).lock().frames.get(&id).map(|f| f.flags)
     }
 
-    /// Activity counters.
+    /// Activity counters (a point-in-time snapshot of the atomic tallies).
     pub fn stats(&self) -> BufferStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Reset activity counters (e.g. after warm-up).
-    pub fn reset_stats(&mut self) {
-        self.stats = BufferStats::default();
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     /// Shared access to the lower tier.
@@ -121,16 +208,17 @@ impl<L: LowerTier> BufferPool<L> {
         &self.lower
     }
 
-    /// Mutable access to the lower tier.
-    pub fn lower_mut(&mut self) -> &mut L {
-        &mut self.lower
+    fn shard(&self, id: PageId) -> &Mutex<Shard> {
+        &self.shards[id.stripe_of(self.shards.len())]
     }
 
     /// Read access to a page: fetches it from the lower tier on a miss and
-    /// passes a shared reference to `f`.
-    pub fn read<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> TierResult<R> {
-        self.ensure_resident(id)?;
-        let frame = self.frames.get(&id).expect("just made resident");
+    /// passes a shared reference to `f`. The shard lock is held for the
+    /// duration of `f`.
+    pub fn read<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> TierResult<R> {
+        let mut shard = self.shard(id).lock();
+        self.ensure_resident(&mut shard, id)?;
+        let frame = shard.frames.get(&id).expect("just made resident");
         Ok(f(&frame.page))
     }
 
@@ -138,54 +226,141 @@ impl<L: LowerTier> BufferPool<L> {
     /// page header if it is newer, and raises the dirty/fdirty flags.
     ///
     /// Write-ahead discipline is the caller's responsibility: append the log
-    /// record (obtaining `lsn`) *before* calling `update`.
-    pub fn update<R>(
-        &mut self,
-        id: PageId,
-        lsn: Lsn,
-        f: impl FnOnce(&mut Page) -> R,
-    ) -> TierResult<R> {
-        self.ensure_resident(id)?;
-        let frame = self.frames.get_mut(&id).expect("just made resident");
+    /// record (obtaining `lsn`) *before* calling `update`, or use
+    /// [`BufferPool::update_with`] to append while the page latch is held.
+    pub fn update<R>(&self, id: PageId, lsn: Lsn, f: impl FnOnce(&mut Page) -> R) -> TierResult<R> {
+        self.update_with(id, |page| {
+            let r = f(page);
+            if lsn > page.lsn() {
+                page.set_lsn(lsn);
+            }
+            r
+        })
+    }
+
+    /// Update a page under its shard lock (the page latch), leaving LSN
+    /// stamping to the closure. This is the concurrent engine's write path:
+    /// appending the WAL record and applying the change inside one critical
+    /// section keeps the log order consistent with the page's update order,
+    /// which redo correctness requires once multiple threads write.
+    pub fn update_with<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> TierResult<R> {
+        let mut shard = self.shard(id).lock();
+        self.ensure_resident(&mut shard, id)?;
+        let frame = shard.frames.get_mut(&id).expect("just made resident");
         let r = f(&mut frame.page);
-        if lsn > frame.page.lsn() {
-            frame.page.set_lsn(lsn);
-        }
         frame.flags.mark_updated();
         Ok(r)
     }
 
     /// Allocate a new page on the backing store and install it resident and
     /// dirty (it exists nowhere below the buffer yet).
-    pub fn allocate_page(&mut self, file: u32) -> TierResult<PageId> {
+    pub fn allocate_page(&self, file: u32) -> TierResult<PageId> {
         let id = self.lower.allocate(file)?;
-        self.make_room()?;
+        let mut shard = self.shard(id).lock();
+        self.make_room(&mut shard)?;
         let mut flags = FrameFlags::fetched_from_disk();
         flags.mark_updated();
-        self.frames.insert(
+        shard.frames.insert(
             id,
             Frame {
                 page: Page::new(id),
                 flags,
             },
         );
-        self.lru.insert_mru(id);
+        shard.lru.insert_mru(id);
         Ok(id)
     }
 
-    /// Evict the least-recently-used frame, handing it to the lower tier.
-    /// Returns the evicted page id, or `None` if the pool is empty.
+    /// Evict the least-recently-used frame of the *fullest* shard, handing it
+    /// to the lower tier. Returns the evicted page id, or `None` if the pool
+    /// is empty.
     ///
-    /// This is also the hook Group Second Chance uses to "pull pages from the
-    /// LRU tail of the DRAM buffer" to fill a flash write batch (paper §3.3).
-    pub fn evict_lru_frame(&mut self) -> TierResult<Option<PageId>> {
-        let Some(victim) = self.lru.pop_lru() else {
+    /// With one shard this is the exact global LRU victim; with several it is
+    /// the LRU victim of the most loaded stripe — the hook Group Second
+    /// Chance uses to "pull pages from the LRU tail of the DRAM buffer"
+    /// (paper §3.3) only needs *a* cold dirty page, not *the* coldest.
+    pub fn evict_lru_frame(&self) -> TierResult<Option<PageId>> {
+        let fullest = self
+            .shards
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.lock().frames.len())
+            .map(|(i, _)| i)
+            .expect("at least one shard");
+        let mut shard = self.shards[fullest].lock();
+        self.evict_from(&mut shard)
+    }
+
+    /// Checkpoint support: hand every dirty page to the lower tier (which
+    /// will direct it to the flash cache under FaCE, or to disk otherwise)
+    /// and update the resident flags according to where the copy landed.
+    /// Returns the number of pages written.
+    ///
+    /// Shards are flushed one at a time; updates racing ahead of the
+    /// checkpoint simply leave their pages dirty for the next one (a fuzzy
+    /// checkpoint, as in the paper's host system).
+    pub fn flush_all_dirty(&self) -> TierResult<usize> {
+        let mut written = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let dirty_ids: Vec<PageId> = shard
+                .frames
+                .iter()
+                .filter(|(_, f)| f.flags.needs_writeback())
+                .map(|(id, _)| *id)
+                .collect();
+            for id in dirty_ids {
+                let frame = shard.frames.get(&id).expect("still resident");
+                let outcome = self.lower.write_back(
+                    &frame.page,
+                    frame.flags.dirty,
+                    frame.flags.fdirty,
+                    WriteBackReason::Checkpoint,
+                )?;
+                let frame = shard.frames.get_mut(&id).expect("still resident");
+                if outcome.on_disk {
+                    frame.flags.written_to_disk();
+                }
+                if outcome.in_flash {
+                    frame.flags.staged_to_flash();
+                }
+                written += 1;
+                self.stats.checkpoint_writes.inc();
+            }
+        }
+        self.lower.sync()?;
+        Ok(written)
+    }
+
+    /// Drop every frame without writing anything back. This models a crash:
+    /// the DRAM buffer's contents are lost. Callers must have quiesced
+    /// concurrent operations (a real crash does so by definition).
+    pub fn crash(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.frames.clear();
+            shard.lru.clear();
+        }
+    }
+
+    /// The resident pages from least- to most-recently used within each
+    /// shard, concatenated in shard order (for inspection and tests; exact
+    /// global order only with one shard).
+    pub fn resident_lru_order(&self) -> Vec<PageId> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().lru.iter_lru_to_mru().copied().collect::<Vec<_>>())
+            .collect()
+    }
+
+    fn evict_from(&self, shard: &mut Shard) -> TierResult<Option<PageId>> {
+        let Some(victim) = shard.lru.pop_lru() else {
             return Ok(None);
         };
-        let frame = self.frames.remove(&victim).expect("lru and map in sync");
-        self.stats.evictions += 1;
+        let frame = shard.frames.remove(&victim).expect("lru and map in sync");
+        self.stats.evictions.inc();
         if frame.flags.needs_writeback() {
-            self.stats.dirty_evictions += 1;
+            self.stats.dirty_evictions.inc();
         }
         self.lower.write_back(
             &frame.page,
@@ -196,68 +371,20 @@ impl<L: LowerTier> BufferPool<L> {
         Ok(Some(victim))
     }
 
-    /// Checkpoint support: hand every dirty page to the lower tier (which
-    /// will direct it to the flash cache under FaCE, or to disk otherwise)
-    /// and update the resident flags according to where the copy landed.
-    /// Returns the number of pages written.
-    pub fn flush_all_dirty(&mut self) -> TierResult<usize> {
-        // Collect ids first to avoid holding a borrow across write_back.
-        let dirty_ids: Vec<PageId> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| f.flags.needs_writeback())
-            .map(|(id, _)| *id)
-            .collect();
-        let mut written = 0;
-        for id in dirty_ids {
-            let frame = self.frames.get(&id).expect("still resident");
-            let outcome = self.lower.write_back(
-                &frame.page,
-                frame.flags.dirty,
-                frame.flags.fdirty,
-                WriteBackReason::Checkpoint,
-            )?;
-            let frame = self.frames.get_mut(&id).expect("still resident");
-            if outcome.on_disk {
-                frame.flags.written_to_disk();
-            }
-            if outcome.in_flash {
-                frame.flags.staged_to_flash();
-            }
-            written += 1;
-            self.stats.checkpoint_writes += 1;
-        }
-        self.lower.sync()?;
-        Ok(written)
-    }
-
-    /// Drop every frame without writing anything back. This models a crash:
-    /// the DRAM buffer's contents are lost.
-    pub fn crash(&mut self) {
-        self.frames.clear();
-        self.lru.clear();
-    }
-
-    /// The resident pages from least- to most-recently used (for inspection
-    /// and tests).
-    pub fn resident_lru_order(&self) -> Vec<PageId> {
-        self.lru.iter_lru_to_mru().copied().collect()
-    }
-
-    fn ensure_resident(&mut self, id: PageId) -> TierResult<()> {
-        self.stats.accesses += 1;
-        if self.frames.contains_key(&id) {
-            self.stats.hits += 1;
-            self.lru.touch(&id);
+    fn ensure_resident(&self, shard: &mut Shard, id: PageId) -> TierResult<()> {
+        self.stats.accesses.inc();
+        if shard.frames.contains_key(&id) {
+            self.stats.hits.inc();
+            shard.lru.touch(&id);
             return Ok(());
         }
-        self.stats.misses += 1;
-        self.make_room()?;
+        self.stats.misses.inc();
+        self.make_room(shard)?;
         let mut page = Page::zeroed();
         let outcome = self.lower.fetch(id, &mut page)?;
         match outcome.source {
-            FetchSource::FlashCache => self.stats.flash_hits += 1,
-            FetchSource::Disk => self.stats.disk_fetches += 1,
+            FetchSource::FlashCache => self.stats.flash_hits.inc(),
+            FetchSource::Disk => self.stats.disk_fetches.inc(),
         }
         let flags = match outcome.source {
             FetchSource::FlashCache => FrameFlags::fetched_from_flash(outcome.dirty),
@@ -268,14 +395,14 @@ impl<L: LowerTier> BufferPool<L> {
         if !page.is_formatted() {
             page.set_id(id);
         }
-        self.frames.insert(id, Frame { page, flags });
-        self.lru.insert_mru(id);
+        shard.frames.insert(id, Frame { page, flags });
+        shard.lru.insert_mru(id);
         Ok(())
     }
 
-    fn make_room(&mut self) -> TierResult<()> {
-        while self.frames.len() >= self.capacity {
-            self.evict_lru_frame()?;
+    fn make_room(&self, shard: &mut Shard) -> TierResult<()> {
+        while shard.frames.len() >= shard.capacity {
+            self.evict_from(shard)?;
         }
         Ok(())
     }
@@ -288,15 +415,25 @@ mod tests {
     use face_pagestore::{InMemoryPageStore, PageStore};
     use std::sync::Arc;
 
+    /// Single-shard pool: exact global LRU, as the original pool had.
     fn pool(capacity: usize) -> (BufferPool<DirectDiskTier>, Arc<InMemoryPageStore>) {
         let store = Arc::new(InMemoryPageStore::new());
         let tier = DirectDiskTier::new(store.clone() as Arc<dyn PageStore>);
-        (BufferPool::new(capacity, tier), store)
+        (BufferPool::with_shards(capacity, 1, tier), store)
+    }
+
+    fn sharded_pool(
+        capacity: usize,
+        shards: usize,
+    ) -> (BufferPool<DirectDiskTier>, Arc<InMemoryPageStore>) {
+        let store = Arc::new(InMemoryPageStore::new());
+        let tier = DirectDiskTier::new(store.clone() as Arc<dyn PageStore>);
+        (BufferPool::with_shards(capacity, shards, tier), store)
     }
 
     #[test]
     fn allocate_update_read_round_trip() {
-        let (mut pool, _store) = pool(4);
+        let (pool, _store) = pool(4);
         let id = pool.allocate_page(0).unwrap();
         pool.update(id, Lsn(10), |p| p.write_body(0, b"hello"))
             .unwrap();
@@ -311,7 +448,7 @@ mod tests {
 
     #[test]
     fn older_lsn_does_not_regress_page_lsn() {
-        let (mut pool, _) = pool(4);
+        let (pool, _) = pool(4);
         let id = pool.allocate_page(0).unwrap();
         pool.update(id, Lsn(10), |_| ()).unwrap();
         pool.update(id, Lsn(5), |_| ()).unwrap();
@@ -319,8 +456,21 @@ mod tests {
     }
 
     #[test]
+    fn update_with_leaves_lsn_to_the_closure() {
+        let (pool, _) = pool(4);
+        let id = pool.allocate_page(0).unwrap();
+        pool.update_with(id, |p| {
+            p.write_body(0, b"latched");
+            p.set_lsn(Lsn(33));
+        })
+        .unwrap();
+        assert_eq!(pool.read(id, |p| p.lsn()).unwrap(), Lsn(33));
+        assert!(pool.flags(id).unwrap().dirty);
+    }
+
+    #[test]
     fn eviction_writes_dirty_pages_to_lower_tier() {
-        let (mut pool, store) = pool(2);
+        let (pool, store) = pool(2);
         let a = pool.allocate_page(0).unwrap();
         let b = pool.allocate_page(0).unwrap();
         pool.update(a, Lsn(1), |p| p.write_body(0, b"a")).unwrap();
@@ -340,7 +490,7 @@ mod tests {
 
     #[test]
     fn hits_and_misses_counted() {
-        let (mut pool, _) = pool(2);
+        let (pool, _) = pool(2);
         let a = pool.allocate_page(0).unwrap();
         let b = pool.allocate_page(0).unwrap();
         let _c = pool.allocate_page(0).unwrap(); // evicts a
@@ -358,7 +508,7 @@ mod tests {
 
     #[test]
     fn lru_order_follows_access_recency() {
-        let (mut pool, _) = pool(3);
+        let (pool, _) = pool(3);
         let a = pool.allocate_page(0).unwrap();
         let b = pool.allocate_page(0).unwrap();
         let c = pool.allocate_page(0).unwrap();
@@ -368,7 +518,7 @@ mod tests {
 
     #[test]
     fn flush_all_dirty_cleans_frames_without_evicting() {
-        let (mut pool, store) = pool(4);
+        let (pool, store) = pool(4);
         let a = pool.allocate_page(0).unwrap();
         let b = pool.allocate_page(0).unwrap();
         pool.update(a, Lsn(1), |p| p.write_body(0, b"ck")).unwrap();
@@ -388,7 +538,7 @@ mod tests {
 
     #[test]
     fn crash_drops_unflushed_updates() {
-        let (mut pool, store) = pool(4);
+        let (pool, store) = pool(4);
         let a = pool.allocate_page(0).unwrap();
         pool.update(a, Lsn(1), |p| p.write_body(0, b"lost"))
             .unwrap();
@@ -402,7 +552,7 @@ mod tests {
 
     #[test]
     fn explicit_evict_lru_frame() {
-        let (mut pool, _) = pool(4);
+        let (pool, _) = pool(4);
         let a = pool.allocate_page(0).unwrap();
         let b = pool.allocate_page(0).unwrap();
         assert_eq!(pool.evict_lru_frame().unwrap(), Some(a));
@@ -412,12 +562,77 @@ mod tests {
 
     #[test]
     fn capacity_never_exceeded() {
-        let (mut pool, _) = pool(3);
+        let (pool, _) = pool(3);
         for _ in 0..20 {
             pool.allocate_page(0).unwrap();
         }
         assert!(pool.len() <= 3);
         assert_eq!(pool.capacity(), 3);
+    }
+
+    #[test]
+    fn sharded_capacity_never_exceeded() {
+        let (pool, _) = sharded_pool(13, 4);
+        assert_eq!(pool.shard_count(), 4);
+        for _ in 0..100 {
+            pool.allocate_page(0).unwrap();
+        }
+        assert!(pool.len() <= 13, "len {} over capacity", pool.len());
+        assert_eq!(pool.capacity(), 13);
+    }
+
+    #[test]
+    fn shard_count_clamped_to_capacity() {
+        let (pool, _) = sharded_pool(3, 64);
+        assert_eq!(pool.shard_count(), 3);
+        // Per-shard capacities sum to the total.
+        for _ in 0..10 {
+            pool.allocate_page(0).unwrap();
+        }
+        assert!(pool.len() <= 3);
+    }
+
+    #[test]
+    fn concurrent_reads_and_updates_do_not_lose_pages() {
+        use std::sync::Arc;
+        let store = Arc::new(InMemoryPageStore::new());
+        let tier = DirectDiskTier::new(store.clone() as Arc<dyn PageStore>);
+        let pool = Arc::new(BufferPool::with_shards(64, 8, tier));
+        // Pre-allocate pages single-threaded (allocation order is global).
+        let ids: Vec<PageId> = (0..32).map(|_| pool.allocate_page(0).unwrap()).collect();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let pool = Arc::clone(&pool);
+                let ids = ids.clone();
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        for (i, id) in ids.iter().enumerate() {
+                            if i % 8 == t {
+                                // Each thread owns a disjoint slice of pages.
+                                pool.update(*id, Lsn(round + 1), |p| {
+                                    p.write_body(0, &(t as u64 * 1000 + round).to_le_bytes())
+                                })
+                                .unwrap();
+                            } else {
+                                pool.read(*id, |p| p.lsn()).unwrap();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Every owned page carries its owner's final round value.
+        for (i, id) in ids.iter().enumerate() {
+            let t = i % 8;
+            let val = pool
+                .read(*id, |p| {
+                    u64::from_le_bytes(p.read_body(0, 8).try_into().unwrap())
+                })
+                .unwrap();
+            assert_eq!(val, t as u64 * 1000 + 49, "page {i} lost an update");
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.accesses, 8 * 50 * 32 + 32);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use face_pagestore::{Page, PageId, PageStore, StoreError};
+use face_pagestore::{Counter, Page, PageId, PageStore, StoreError};
 
 /// Errors surfaced by a lower tier.
 #[derive(Debug)]
@@ -91,15 +91,20 @@ pub struct WriteBackOutcome {
 }
 
 /// The storage stack below the DRAM buffer pool.
-pub trait LowerTier: Send {
+///
+/// Every method takes `&self`: the sharded buffer pool calls into the tier
+/// from many threads at once (one per shard), so implementations must manage
+/// their own interior mutability (atomics for counters, locks around any
+/// structural state).
+pub trait LowerTier: Send + Sync {
     /// Fetch page `id` into `buf`, looking in the flash cache first if one is
     /// present.
-    fn fetch(&mut self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome>;
+    fn fetch(&self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome>;
 
     /// Accept a page leaving the DRAM buffer (eviction) or being flushed by a
     /// checkpoint. `dirty` / `fdirty` are the DRAM frame's flags.
     fn write_back(
-        &mut self,
+        &self,
         page: &Page,
         dirty: bool,
         fdirty: bool,
@@ -107,10 +112,10 @@ pub trait LowerTier: Send {
     ) -> TierResult<WriteBackOutcome>;
 
     /// Allocate a brand-new page on the backing store.
-    fn allocate(&mut self, file: u32) -> TierResult<PageId>;
+    fn allocate(&self, file: u32) -> TierResult<PageId>;
 
     /// Force everything the tier has buffered to durable storage.
-    fn sync(&mut self) -> TierResult<()>;
+    fn sync(&self) -> TierResult<()>;
 }
 
 /// The no-flash-cache baseline: fetches come from disk, dirty write-backs go
@@ -118,8 +123,8 @@ pub trait LowerTier: Send {
 /// the data store placed on an SSD profile, the "SSD only" configuration).
 pub struct DirectDiskTier {
     store: Arc<dyn PageStore>,
-    disk_reads: u64,
-    disk_writes: u64,
+    disk_reads: Counter,
+    disk_writes: Counter,
 }
 
 impl DirectDiskTier {
@@ -127,19 +132,19 @@ impl DirectDiskTier {
     pub fn new(store: Arc<dyn PageStore>) -> Self {
         Self {
             store,
-            disk_reads: 0,
-            disk_writes: 0,
+            disk_reads: Counter::default(),
+            disk_writes: Counter::default(),
         }
     }
 
     /// Physical reads issued to the store.
     pub fn disk_reads(&self) -> u64 {
-        self.disk_reads
+        self.disk_reads.get()
     }
 
     /// Physical writes issued to the store.
     pub fn disk_writes(&self) -> u64 {
-        self.disk_writes
+        self.disk_writes.get()
     }
 
     /// The underlying store.
@@ -149,9 +154,9 @@ impl DirectDiskTier {
 }
 
 impl LowerTier for DirectDiskTier {
-    fn fetch(&mut self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome> {
+    fn fetch(&self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome> {
         self.store.read_page(id, buf)?;
-        self.disk_reads += 1;
+        self.disk_reads.inc();
         Ok(FetchOutcome {
             source: FetchSource::Disk,
             dirty: false,
@@ -159,7 +164,7 @@ impl LowerTier for DirectDiskTier {
     }
 
     fn write_back(
-        &mut self,
+        &self,
         page: &Page,
         dirty: bool,
         _fdirty: bool,
@@ -169,7 +174,7 @@ impl LowerTier for DirectDiskTier {
             let mut copy = page.clone();
             copy.update_checksum();
             self.store.write_page(copy.id(), &copy)?;
-            self.disk_writes += 1;
+            self.disk_writes.inc();
         }
         Ok(WriteBackOutcome {
             in_flash: false,
@@ -177,11 +182,11 @@ impl LowerTier for DirectDiskTier {
         })
     }
 
-    fn allocate(&mut self, file: u32) -> TierResult<PageId> {
+    fn allocate(&self, file: u32) -> TierResult<PageId> {
         Ok(self.store.allocate(file)?)
     }
 
-    fn sync(&mut self) -> TierResult<()> {
+    fn sync(&self) -> TierResult<()> {
         self.store.sync()?;
         Ok(())
     }
@@ -195,7 +200,7 @@ mod tests {
     #[test]
     fn direct_tier_reads_and_writes_disk() {
         let store = Arc::new(InMemoryPageStore::new());
-        let mut tier = DirectDiskTier::new(store.clone());
+        let tier = DirectDiskTier::new(store.clone());
         let id = tier.allocate(0).unwrap();
 
         let mut page = Page::new(id);
@@ -219,7 +224,7 @@ mod tests {
     #[test]
     fn clean_writeback_skips_disk() {
         let store = Arc::new(InMemoryPageStore::new());
-        let mut tier = DirectDiskTier::new(store);
+        let tier = DirectDiskTier::new(store);
         let id = tier.allocate(0).unwrap();
         let page = Page::new(id);
         tier.write_back(&page, false, false, WriteBackReason::Eviction)
@@ -230,7 +235,7 @@ mod tests {
     #[test]
     fn missing_page_maps_to_tier_error() {
         let store = Arc::new(InMemoryPageStore::new());
-        let mut tier = DirectDiskTier::new(store);
+        let tier = DirectDiskTier::new(store);
         let mut buf = Page::zeroed();
         let err = tier.fetch(PageId::new(0, 99), &mut buf).unwrap_err();
         assert!(matches!(err, TierError::PageNotFound(_)));

@@ -4,6 +4,8 @@ use std::path::PathBuf;
 
 use face_cache::{CacheConfig, CachePolicyKind};
 
+use crate::latency::DeviceLatency;
+
 /// Where the engine keeps its durable state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageBackend {
@@ -28,6 +30,16 @@ pub struct EngineConfig {
     pub cache_config: CacheConfig,
     /// Number of hash buckets (pages) in the key-value table.
     pub table_buckets: u32,
+    /// Lock stripes of the DRAM buffer pool (clamped to `buffer_frames`).
+    pub buffer_shards: usize,
+    /// Lock stripes of the flash cache (clamped so each shard holds at least
+    /// one replacement group).
+    pub cache_shards: usize,
+    /// When set, every physical store operation charges a real (scaled)
+    /// service time on the calling thread, so multi-threaded throughput
+    /// behaves like the paper's testbed. `None` (the default) runs at memory
+    /// speed.
+    pub device_latency: Option<DeviceLatency>,
 }
 
 impl EngineConfig {
@@ -44,6 +56,9 @@ impl EngineConfig {
                 ..CacheConfig::default()
             },
             table_buckets: 1024,
+            buffer_shards: 8,
+            cache_shards: 4,
+            device_latency: None,
         }
     }
 
@@ -83,6 +98,31 @@ impl EngineConfig {
     /// Set the number of hash buckets in the key-value table.
     pub fn table_buckets(mut self, buckets: u32) -> Self {
         self.table_buckets = buckets;
+        self
+    }
+
+    /// Set the buffer pool's lock-stripe count.
+    pub fn buffer_shards(mut self, shards: usize) -> Self {
+        self.buffer_shards = shards.max(1);
+        self
+    }
+
+    /// Set the flash cache's lock-stripe count.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Emulate the (scaled) paper-testbed devices with real per-operation
+    /// service times.
+    pub fn simulated_devices(mut self) -> Self {
+        self.device_latency = Some(DeviceLatency::default());
+        self
+    }
+
+    /// Emulate devices with explicit service times.
+    pub fn device_latency(mut self, latency: DeviceLatency) -> Self {
+        self.device_latency = Some(latency);
         self
     }
 }

@@ -1,25 +1,65 @@
 //! The transactional key-value database hosting the FaCE flash cache.
+//!
+//! ## Concurrency
+//!
+//! Every public operation takes `&self`; [`Database`] is `Send + Sync` and is
+//! meant to be shared behind an [`Arc`] by one thread per client. The state
+//! is partitioned so threads rarely meet:
+//!
+//! * the key→page map is a pure hash (`bucket_of` — no shared state at
+//!   all);
+//! * the DRAM buffer pool is lock-striped by page id
+//!   ([`face_buffer::BufferPool`]);
+//! * the flash cache is lock-striped by page id
+//!   ([`face_cache::ShardedFlashCache`] inside [`FaceTier`]);
+//! * the transaction table (active set + undo logs) is lock-striped by
+//!   transaction id;
+//! * WAL appends serialise on the writer's short append mutex, and commits
+//!   amortise the log force through leader-based group commit
+//!   ([`face_wal::WalWriter`]);
+//! * counters are atomics.
+//!
+//! Lock order (outer to inner): txn stripe → buffer-pool shard →
+//! tier internals (cache shard, I/O log, stores) → WAL. A thread never holds
+//! two locks of the same layer, so the order is acyclic.
+//!
+//! The engine page-latches writes (the WAL record is appended while the
+//! page's shard lock is held, so log order matches apply order per page) but
+//! provides **no key-level write locking**: two transactions racing a
+//! read-modify-write of the *same key* can lose one update, exactly like the
+//! paper's host system without row locks. Drivers partition keys across
+//! threads (as the TPC-C driver partitions warehouses).
+//!
+//! [`Database::crash`] / [`Database::restart`] model whole-system events and
+//! must be called after client threads have quiesced.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use face_buffer::BufferPool;
 use face_cache::{
-    build_cache, CachePolicyKind, CacheRecoveryInfo, CacheStats, FlashStore, IoLog, MemFlashStore,
+    CachePolicyKind, CacheRecoveryInfo, CacheStats, Counter, FlashStore, MemFlashStore,
+    ShardedFlashCache,
 };
-use face_pagestore::{FilePageStore, InMemoryPageStore, Lsn, PageId, PageStore};
+use face_pagestore::{FilePageStore, InMemoryPageStore, PageId, PageStore};
 use face_wal::{
     recovery::build_redo_plan, CheckpointData, FileLogStorage, InMemoryLogStorage, LogRecord,
     LogStorage, TxnId, WalWriter,
 };
+use parking_lot::Mutex;
 
 use crate::config::{EngineConfig, StorageBackend};
 use crate::error::{EngineError, EngineResult};
+use crate::latency::{LatencyFlashStore, LatencyLogStorage, LatencyPageStore};
 use crate::table::{self, PutOutcome, VALUE_CAPACITY};
 use crate::tier::{FaceTier, TierStats};
 
 /// File id of the key-value table within the page store.
 pub const TABLE_FILE: u32 = 1;
+
+/// Lock stripes of the transaction table.
+const TXN_STRIPES: usize = 16;
 
 /// Aggregate activity counters of the database.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +78,42 @@ pub struct DbStats {
     pub deletes: u64,
     /// Checkpoints taken.
     pub checkpoints: u64,
+}
+
+/// Atomic twin of [`DbStats`], built from the flash-cache crate's relaxed
+/// [`Counter`] primitive.
+#[derive(Debug, Default)]
+struct DbStatCounters {
+    txns_started: Counter,
+    txns_committed: Counter,
+    txns_aborted: Counter,
+    puts: Counter,
+    gets: Counter,
+    deletes: Counter,
+    checkpoints: Counter,
+}
+
+impl DbStatCounters {
+    fn snapshot(&self) -> DbStats {
+        DbStats {
+            txns_started: self.txns_started.get(),
+            txns_committed: self.txns_committed.get(),
+            txns_aborted: self.txns_aborted.get(),
+            puts: self.puts.get(),
+            gets: self.gets.get(),
+            deletes: self.deletes.get(),
+            checkpoints: self.checkpoints.get(),
+        }
+    }
+}
+
+/// One stripe of the transaction table.
+#[derive(Default)]
+struct TxnStripe {
+    active: HashSet<u64>,
+    /// Per-transaction before-images (page, body offset, bytes) so that an
+    /// abort can compensate the updates it already applied.
+    undo: HashMap<u64, Vec<(PageId, u32, Vec<u8>)>>,
 }
 
 /// What a restart after a crash had to do, and where it found its pages.
@@ -73,20 +149,18 @@ impl RecoveryReport {
 }
 
 /// A transactional key-value database over the FaCE storage hierarchy.
+/// All operations take `&self`; see the module docs for the concurrency
+/// contract.
 pub struct Database {
     config: EngineConfig,
     pool: BufferPool<FaceTier>,
     wal: WalWriter,
     log_storage: Arc<dyn LogStorage>,
-    flash_store: Arc<dyn FlashStore>,
     disk: Arc<dyn PageStore>,
-    next_txn: u64,
-    active: HashSet<u64>,
-    /// Per-transaction before-images (page, body offset, bytes) so that an
-    /// abort can compensate the updates it already applied.
-    undo_log: HashMap<u64, Vec<(PageId, u32, Vec<u8>)>>,
-    crashed: bool,
-    stats: DbStats,
+    next_txn: AtomicU64,
+    stripes: Vec<Mutex<TxnStripe>>,
+    crashed: AtomicBool,
+    stats: DbStatCounters,
 }
 
 impl Database {
@@ -94,40 +168,47 @@ impl Database {
     /// already contains work (a file-backed database being reopened), redo is
     /// run before the database becomes available.
     pub fn open(config: EngineConfig) -> EngineResult<Self> {
-        let (disk, log_storage): (Arc<dyn PageStore>, Arc<dyn LogStorage>) = match &config.backend {
-            StorageBackend::InMemory => (
-                Arc::new(InMemoryPageStore::new()),
-                Arc::new(InMemoryLogStorage::new()),
-            ),
-            StorageBackend::OnDisk(dir) => (
-                Arc::new(FilePageStore::open(dir.join("data"))?),
-                Arc::new(FileLogStorage::open(dir.join("wal.log"))?),
-            ),
-        };
-        let flash_store: Arc<dyn FlashStore> = Arc::new(MemFlashStore::new(
-            config.cache_config.capacity_pages.max(1),
-        ));
-        let cache = build_cache(
+        let (mut disk, mut log_storage): (Arc<dyn PageStore>, Arc<dyn LogStorage>) =
+            match &config.backend {
+                StorageBackend::InMemory => (
+                    Arc::new(InMemoryPageStore::new()),
+                    Arc::new(InMemoryLogStorage::new()),
+                ),
+                StorageBackend::OnDisk(dir) => (
+                    Arc::new(FilePageStore::open(dir.join("data"))?),
+                    Arc::new(FileLogStorage::open(dir.join("wal.log"))?),
+                ),
+            };
+        if let Some(latency) = config.device_latency {
+            disk = Arc::new(LatencyPageStore::new(disk, latency));
+            log_storage = Arc::new(LatencyLogStorage::new(log_storage, latency));
+        }
+        let cache = ShardedFlashCache::build(
             config.cache_policy,
             config.cache_config.clone(),
-            Arc::clone(&flash_store),
+            config.cache_shards,
+            |shard_capacity| {
+                let store: Arc<dyn FlashStore> = Arc::new(MemFlashStore::new(shard_capacity));
+                match config.device_latency {
+                    Some(latency) => Arc::new(LatencyFlashStore::new(store, latency)),
+                    None => store,
+                }
+            },
         );
         let tier = FaceTier::new(Arc::clone(&disk), cache);
-        let pool = BufferPool::new(config.buffer_frames, tier);
+        let pool = BufferPool::with_shards(config.buffer_frames, config.buffer_shards, tier);
         let wal = WalWriter::new(Arc::clone(&log_storage));
 
-        let mut db = Self {
+        let db = Self {
             config,
             pool,
             wal,
             log_storage,
-            flash_store,
             disk,
-            next_txn: 1,
-            active: HashSet::new(),
-            undo_log: HashMap::new(),
-            crashed: false,
-            stats: DbStats::default(),
+            next_txn: AtomicU64::new(1),
+            stripes: (0..TXN_STRIPES).map(|_| Mutex::default()).collect(),
+            crashed: AtomicBool::new(false),
+            stats: DbStatCounters::default(),
         };
         db.ensure_table_allocated()?;
         // A reopened database may have committed work in the log that never
@@ -138,7 +219,7 @@ impl Database {
         Ok(db)
     }
 
-    fn ensure_table_allocated(&mut self) -> EngineResult<()> {
+    fn ensure_table_allocated(&self) -> EngineResult<()> {
         while self.disk.num_pages(TABLE_FILE) < self.config.table_buckets as u64 {
             self.disk.allocate(TABLE_FILE)?;
         }
@@ -151,8 +232,12 @@ impl Database {
         PageId::new(TABLE_FILE, (h % self.config.table_buckets as u64) as u32)
     }
 
+    fn stripe(&self, txn: TxnId) -> &Mutex<TxnStripe> {
+        &self.stripes[(txn.0 as usize) % TXN_STRIPES]
+    }
+
     fn check_not_crashed(&self) -> EngineResult<()> {
-        if self.crashed {
+        if self.crashed.load(Ordering::Acquire) {
             Err(EngineError::Crashed)
         } else {
             Ok(())
@@ -160,7 +245,7 @@ impl Database {
     }
 
     fn check_txn(&self, txn: TxnId) -> EngineResult<()> {
-        if self.active.contains(&txn.0) {
+        if self.stripe(txn).lock().active.contains(&txn.0) {
             Ok(())
         } else {
             Err(EngineError::UnknownTransaction(txn.0))
@@ -171,25 +256,34 @@ impl Database {
     // Transactions
     // ------------------------------------------------------------------
 
-    /// Start a new transaction.
-    pub fn begin(&mut self) -> TxnId {
-        let txn = TxnId(self.next_txn);
-        self.next_txn += 1;
-        self.active.insert(txn.0);
+    fn begin_txn(&self, internal: bool) -> TxnId {
+        let txn = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        self.stripe(txn).lock().active.insert(txn.0);
         self.wal.append(&LogRecord::Begin { txn });
-        self.stats.txns_started += 1;
+        if !internal {
+            self.stats.txns_started.inc();
+        }
         txn
     }
 
+    /// Start a new transaction.
+    pub fn begin(&self) -> TxnId {
+        self.begin_txn(false)
+    }
+
     /// Commit a transaction: its commit record (and everything before it) is
-    /// forced to the log before this returns.
-    pub fn commit(&mut self, txn: TxnId) -> EngineResult<()> {
+    /// forced to the log before this returns. Concurrent commits share
+    /// physical log flushes (group commit): one leader's device write covers
+    /// every commit record appended while it was in flight.
+    pub fn commit(&self, txn: TxnId) -> EngineResult<()> {
         self.check_not_crashed()?;
         self.check_txn(txn)?;
         self.wal.append_and_force(&LogRecord::Commit { txn })?;
-        self.active.remove(&txn.0);
-        self.undo_log.remove(&txn.0);
-        self.stats.txns_committed += 1;
+        let mut stripe = self.stripe(txn).lock();
+        stripe.active.remove(&txn.0);
+        stripe.undo.remove(&txn.0);
+        drop(stripe);
+        self.stats.txns_committed.inc();
         Ok(())
     }
 
@@ -197,34 +291,38 @@ impl Database {
     /// compensated by an internally generated, immediately committed
     /// compensation transaction, so neither the running system nor a
     /// post-crash redo retains the aborted changes.
-    pub fn abort(&mut self, txn: TxnId) -> EngineResult<()> {
+    pub fn abort(&self, txn: TxnId) -> EngineResult<()> {
         self.check_not_crashed()?;
         self.check_txn(txn)?;
         self.wal.append(&LogRecord::Abort { txn });
-        self.active.remove(&txn.0);
-        self.stats.txns_aborted += 1;
+        let undo = {
+            let mut stripe = self.stripe(txn).lock();
+            stripe.active.remove(&txn.0);
+            stripe.undo.remove(&txn.0).unwrap_or_default()
+        };
+        self.stats.txns_aborted.inc();
         // Compensate the aborted updates under an internal transaction that
         // commits immediately, so the undo survives a crash through redo.
-        let undo = self.undo_log.remove(&txn.0).unwrap_or_default();
         if !undo.is_empty() {
-            let comp = self.begin();
-            self.stats.txns_started -= 1; // internal, not user-visible
+            let comp = self.begin_txn(true);
             for (page, offset, before) in undo.into_iter().rev() {
                 let off = offset as usize;
-                let bytes = before.clone();
-                self.pool
-                    .update(page, Lsn::ZERO, move |p| p.write_body(off, &bytes))?;
-                let lsn = self.wal.append(&LogRecord::Update {
-                    txn: comp,
-                    page,
-                    offset,
-                    data: before,
-                });
-                self.pool.update(page, lsn, |_| ())?;
+                self.pool.update_with(page, |p| {
+                    p.write_body(off, &before);
+                    let lsn = self.wal.append(&LogRecord::Update {
+                        txn: comp,
+                        page,
+                        offset,
+                        data: before,
+                    });
+                    if lsn > p.lsn() {
+                        p.set_lsn(lsn);
+                    }
+                })?;
             }
             self.wal
                 .append_and_force(&LogRecord::Commit { txn: comp })?;
-            self.active.remove(&comp.0);
+            self.stripe(comp).lock().active.remove(&comp.0);
         }
         Ok(())
     }
@@ -234,7 +332,7 @@ impl Database {
     // ------------------------------------------------------------------
 
     /// Insert or update `key` with `value` under transaction `txn`.
-    pub fn put(&mut self, txn: TxnId, key: u64, value: &[u8]) -> EngineResult<()> {
+    pub fn put(&self, txn: TxnId, key: u64, value: &[u8]) -> EngineResult<()> {
         self.check_not_crashed()?;
         self.check_txn(txn)?;
         if value.len() > VALUE_CAPACITY {
@@ -244,65 +342,75 @@ impl Database {
             });
         }
         let page_id = self.bucket_of(key);
-        let (outcome, body_before) = self.pool.update(page_id, Lsn::ZERO, |p| {
-            let before = p.body().to_vec();
-            (table::put(p, key, value), before)
+        // Apply the change and append its log record under the page latch:
+        // with concurrent writers, redo correctness needs the log order of a
+        // page's records to match the order the page absorbed them.
+        let write = self.pool.update_with(page_id, |p| {
+            let (outcome, undo) = table::put_with_undo(p, key, value);
+            let write = match outcome {
+                PutOutcome::Inserted(w) | PutOutcome::Updated(w) => w,
+                PutOutcome::PageFull => return Err(EngineError::TableFull(key)),
+            };
+            let undo = undo.expect("pre-image present whenever a slot was written");
+            let lsn = self.wal.append(&LogRecord::Update {
+                txn,
+                page: page_id,
+                offset: write.offset as u32,
+                data: write.bytes,
+            });
+            if lsn > p.lsn() {
+                p.set_lsn(lsn);
+            }
+            Ok((write.offset as u32, undo))
         })?;
-        let write = match outcome {
-            PutOutcome::Inserted(w) | PutOutcome::Updated(w) => w,
-            PutOutcome::PageFull => return Err(EngineError::TableFull(key)),
-        };
-        self.undo_log.entry(txn.0).or_default().push((
-            page_id,
-            write.offset as u32,
-            body_before[write.offset..write.offset + write.bytes.len()].to_vec(),
-        ));
-        let lsn = self.wal.append(&LogRecord::Update {
-            txn,
-            page: page_id,
-            offset: write.offset as u32,
-            data: write.bytes,
-        });
-        // Stamp the page with the LSN of the record describing its change.
-        self.pool.update(page_id, lsn, |_| ())?;
-        self.stats.puts += 1;
+        let (offset, undo) = write?;
+        self.stripe(txn)
+            .lock()
+            .undo
+            .entry(txn.0)
+            .or_default()
+            .push((page_id, offset, undo));
+        self.stats.puts.inc();
         Ok(())
     }
 
     /// Read the value stored under `key`.
-    pub fn get(&mut self, key: u64) -> EngineResult<Option<Vec<u8>>> {
+    pub fn get(&self, key: u64) -> EngineResult<Option<Vec<u8>>> {
         self.check_not_crashed()?;
         let page_id = self.bucket_of(key);
         let value = self.pool.read(page_id, |p| table::get(p, key))?;
-        self.stats.gets += 1;
+        self.stats.gets.inc();
         Ok(value)
     }
 
     /// Delete `key` under transaction `txn`. Returns whether the key existed.
-    pub fn delete(&mut self, txn: TxnId, key: u64) -> EngineResult<bool> {
+    pub fn delete(&self, txn: TxnId, key: u64) -> EngineResult<bool> {
         self.check_not_crashed()?;
         self.check_txn(txn)?;
         let page_id = self.bucket_of(key);
-        let (write, body_before) = self.pool.update(page_id, Lsn::ZERO, |p| {
-            let before = p.body().to_vec();
-            (table::delete(p, key), before)
+        let write = self.pool.update_with(page_id, |p| {
+            let (write, undo) = table::delete_with_undo(p, key)?;
+            let lsn = self.wal.append(&LogRecord::Update {
+                txn,
+                page: page_id,
+                offset: write.offset as u32,
+                data: write.bytes,
+            });
+            if lsn > p.lsn() {
+                p.set_lsn(lsn);
+            }
+            Some((write.offset as u32, undo))
         })?;
-        let Some(write) = write else {
+        let Some((offset, undo)) = write else {
             return Ok(false);
         };
-        self.undo_log.entry(txn.0).or_default().push((
-            page_id,
-            write.offset as u32,
-            body_before[write.offset..write.offset + write.bytes.len()].to_vec(),
-        ));
-        let lsn = self.wal.append(&LogRecord::Update {
-            txn,
-            page: page_id,
-            offset: write.offset as u32,
-            data: write.bytes,
-        });
-        self.pool.update(page_id, lsn, |_| ())?;
-        self.stats.deletes += 1;
+        self.stripe(txn)
+            .lock()
+            .undo
+            .entry(txn.0)
+            .or_default()
+            .push((page_id, offset, undo));
+        self.stats.deletes.inc();
         Ok(true)
     }
 
@@ -310,52 +418,67 @@ impl Database {
     // Checkpointing, crash and restart
     // ------------------------------------------------------------------
 
-    /// Take a checkpoint. With FaCE enabled, dirty DRAM pages are flushed to
-    /// the flash cache (sequential flash writes); without it (or under
-    /// LC/TAC) they go to disk. The checkpoint record is forced to the log.
-    pub fn checkpoint(&mut self) -> EngineResult<usize> {
+    /// Take a (fuzzy) checkpoint. With FaCE enabled, dirty DRAM pages are
+    /// flushed to the flash cache (sequential flash writes); without it (or
+    /// under LC/TAC) they go to disk. The checkpoint record is forced to the
+    /// log. Operations may keep running concurrently; their updates simply
+    /// stay dirty for the next checkpoint.
+    pub fn checkpoint(&self) -> EngineResult<usize> {
         self.check_not_crashed()?;
         let redo_lsn = self.wal.next_lsn();
         let flushed = self.pool.flush_all_dirty()?;
         // Policies that cannot keep dirty pages in flash drain them to disk.
-        self.pool.lower_mut().checkpoint_cache()?;
+        self.pool.lower().checkpoint_cache()?;
+        let active_txns = self
+            .stripes
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .active
+                    .iter()
+                    .map(|t| TxnId(*t))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
         self.wal
             .append_and_force(&LogRecord::Checkpoint(CheckpointData {
                 redo_lsn,
-                active_txns: self.active.iter().map(|t| TxnId(*t)).collect(),
+                active_txns,
             }))?;
-        self.stats.checkpoints += 1;
+        self.stats.checkpoints.inc();
         Ok(flushed)
     }
 
     /// Simulate a crash: everything volatile (DRAM buffer contents, active
     /// transactions, RAM-resident cache metadata) is lost; the disk store,
-    /// the flash store and the forced portion of the WAL survive.
-    pub fn crash(&mut self) {
+    /// the flash store and the forced portion of the WAL survive. Client
+    /// threads must have quiesced.
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::Release);
         self.pool.crash();
-        self.active.clear();
-        self.undo_log.clear();
-        self.crashed = true;
+        for stripe in &self.stripes {
+            let mut stripe = stripe.lock();
+            stripe.active.clear();
+            stripe.undo.clear();
+        }
     }
 
     /// Restart after [`Database::crash`]: restore the flash-cache directory
     /// from its persistent metadata, then run log analysis and redo. Redo
     /// page fetches go through the normal buffer/cache path, so most of them
     /// are served by the flash cache when FaCE is enabled.
-    pub fn restart(&mut self) -> EngineResult<RecoveryReport> {
-        if !self.crashed {
+    pub fn restart(&self) -> EngineResult<RecoveryReport> {
+        if !self.crashed.load(Ordering::Acquire) {
             // Restarting a healthy database is allowed and just runs redo.
             self.pool.crash();
-            self.active.clear();
+            for stripe in &self.stripes {
+                stripe.lock().active.clear();
+            }
         }
-        self.crashed = false;
+        self.crashed.store(false, Ordering::Release);
 
         // Phase 1: restore the flash cache metadata directory.
-        let mut io = IoLog::new();
-        let cache_recovery = match self.pool.lower_mut().cache_mut() {
-            Some(cache) => cache.crash_and_recover(&mut io),
-            None => CacheRecoveryInfo::default(),
-        };
+        let cache_recovery = self.pool.lower().recover_cache();
 
         // Phase 2: WAL analysis + redo.
         let mut report = self.run_redo()?;
@@ -363,7 +486,7 @@ impl Database {
         Ok(report)
     }
 
-    fn run_redo(&mut self) -> EngineResult<RecoveryReport> {
+    fn run_redo(&self) -> EngineResult<RecoveryReport> {
         let (analysis, plan) = build_redo_plan(Arc::clone(&self.log_storage))?;
         let mut report = RecoveryReport {
             records_scanned: analysis.records_scanned,
@@ -394,7 +517,7 @@ impl Database {
             .map(|t| t.0)
             .max()
             .unwrap_or(0);
-        self.next_txn = self.next_txn.max(max_seen + 1);
+        self.next_txn.fetch_max(max_seen + 1, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -407,9 +530,9 @@ impl Database {
         &self.config
     }
 
-    /// Database-level counters.
+    /// Database-level counters (a point-in-time snapshot).
     pub fn stats(&self) -> DbStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Buffer pool counters (hits, misses, flash hits, evictions).
@@ -422,7 +545,7 @@ impl Database {
         self.pool.lower().stats()
     }
 
-    /// Flash cache counters, if a cache is configured.
+    /// Flash cache counters, if a cache is configured (merged over shards).
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.pool.lower().cache().map(|c| c.stats())
     }
@@ -437,16 +560,27 @@ impl Database {
         self.wal.records_appended()
     }
 
-    /// Direct access to the flash store (used by tests that verify
-    /// durability properties).
-    pub fn flash_store(&self) -> &Arc<dyn FlashStore> {
-        &self.flash_store
+    /// Physical log flushes performed (one per group-commit leader).
+    pub fn wal_forces(&self) -> u64 {
+        self.wal.forces()
+    }
+
+    /// Commits whose force piggy-backed on another leader's flush.
+    pub fn wal_piggybacked_forces(&self) -> u64 {
+        self.wal.piggybacked_forces()
+    }
+
+    /// The per-shard flash stores (crash-simulation tests inspect them), or
+    /// an empty slice with no cache configured.
+    pub fn flash_stores(&self) -> &[Arc<dyn FlashStore>] {
+        self.pool.lower().cache().map(|c| c.stores()).unwrap_or(&[])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use face_cache::CachePolicyKind;
 
     fn small_db(policy: CachePolicyKind) -> Database {
         let config = EngineConfig::in_memory()
@@ -457,8 +591,14 @@ mod tests {
     }
 
     #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+    }
+
+    #[test]
     fn put_get_commit_cycle() {
-        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let db = small_db(CachePolicyKind::FaceGsc);
         let txn = db.begin();
         db.put(txn, 1, b"one").unwrap();
         db.put(txn, 2, b"two").unwrap();
@@ -474,7 +614,7 @@ mod tests {
 
     #[test]
     fn updates_overwrite_previous_values() {
-        let mut db = small_db(CachePolicyKind::Face);
+        let db = small_db(CachePolicyKind::Face);
         let txn = db.begin();
         db.put(txn, 9, b"v1").unwrap();
         db.put(txn, 9, b"v2").unwrap();
@@ -484,7 +624,7 @@ mod tests {
 
     #[test]
     fn delete_removes_keys() {
-        let mut db = small_db(CachePolicyKind::FaceGr);
+        let db = small_db(CachePolicyKind::FaceGr);
         let txn = db.begin();
         db.put(txn, 5, b"gone soon").unwrap();
         assert!(db.delete(txn, 5).unwrap());
@@ -495,7 +635,7 @@ mod tests {
 
     #[test]
     fn abort_undoes_applied_changes() {
-        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let db = small_db(CachePolicyKind::FaceGsc);
         let setup = db.begin();
         db.put(setup, 1, b"original").unwrap();
         db.commit(setup).unwrap();
@@ -514,11 +654,13 @@ mod tests {
         assert_eq!(db.get(1).unwrap().unwrap(), b"original");
         assert_eq!(db.get(2).unwrap(), None);
         assert_eq!(db.stats().txns_aborted, 1);
+        // The compensation transaction is internal, not user-visible.
+        assert_eq!(db.stats().txns_started, 2);
     }
 
     #[test]
     fn errors_for_bad_usage() {
-        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let db = small_db(CachePolicyKind::FaceGsc);
         let txn = db.begin();
         db.commit(txn).unwrap();
         assert!(matches!(
@@ -535,7 +677,7 @@ mod tests {
 
     #[test]
     fn operations_after_crash_require_restart() {
-        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let db = small_db(CachePolicyKind::FaceGsc);
         let txn = db.begin();
         db.put(txn, 1, b"x").unwrap();
         db.commit(txn).unwrap();
@@ -547,7 +689,7 @@ mod tests {
 
     #[test]
     fn committed_data_survives_crash_without_checkpoint() {
-        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let db = small_db(CachePolicyKind::FaceGsc);
         let txn = db.begin();
         for k in 0..50u64 {
             db.put(txn, k, format!("value-{k}").as_bytes()).unwrap();
@@ -567,7 +709,7 @@ mod tests {
 
     #[test]
     fn uncommitted_work_is_not_redone() {
-        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let db = small_db(CachePolicyKind::FaceGsc);
         let committed = db.begin();
         db.put(committed, 1, b"keep").unwrap();
         db.commit(committed).unwrap();
@@ -585,7 +727,7 @@ mod tests {
 
     #[test]
     fn checkpoint_reduces_redo_work() {
-        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let db = small_db(CachePolicyKind::FaceGsc);
         let txn = db.begin();
         for k in 0..40u64 {
             db.put(txn, k, b"before checkpoint").unwrap();
@@ -613,7 +755,7 @@ mod tests {
 
     #[test]
     fn face_recovery_fetches_pages_from_flash() {
-        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let db = small_db(CachePolicyKind::FaceGsc);
         // Write enough data that pages are evicted from the tiny DRAM buffer
         // into the flash cache.
         let txn = db.begin();
@@ -647,7 +789,8 @@ mod tests {
             .buffer_frames(8)
             .table_buckets(32)
             .no_flash_cache();
-        let mut db = Database::open(config).unwrap();
+        let db = Database::open(config).unwrap();
+        assert!(db.flash_stores().is_empty());
         let txn = db.begin();
         for k in 0..60u64 {
             db.put(txn, k, b"hdd only").unwrap();
@@ -665,7 +808,7 @@ mod tests {
     #[test]
     fn lc_and_tac_lose_their_cache_on_crash() {
         for policy in [CachePolicyKind::Lc, CachePolicyKind::Tac] {
-            let mut db = small_db(policy);
+            let db = small_db(policy);
             let txn = db.begin();
             for k in 0..100u64 {
                 db.put(txn, k, b"cached").unwrap();
@@ -686,7 +829,7 @@ mod tests {
 
     #[test]
     fn workload_drives_flash_hits() {
-        let mut db = small_db(CachePolicyKind::FaceGsc);
+        let db = small_db(CachePolicyKind::FaceGsc);
         // Working set larger than the 8-frame DRAM buffer but smaller than
         // the 128-page flash cache: re-reads should hit flash.
         let txn = db.begin();
@@ -704,6 +847,7 @@ mod tests {
         let cache = db.cache_stats().unwrap();
         assert!(cache.hits > 0);
         assert!(db.tier_stats().flash_fetches > 0);
+        assert!(!db.flash_stores().is_empty());
     }
 
     #[test]
@@ -717,7 +861,7 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         {
-            let mut db = Database::open(
+            let db = Database::open(
                 EngineConfig::on_disk(&dir)
                     .buffer_frames(8)
                     .table_buckets(16)
@@ -731,7 +875,7 @@ mod tests {
             // recover from the WAL alone.
         }
         {
-            let mut db = Database::open(
+            let db = Database::open(
                 EngineConfig::on_disk(&dir)
                     .buffer_frames(8)
                     .table_buckets(16)
@@ -741,5 +885,46 @@ mod tests {
             assert_eq!(db.get(7).unwrap().unwrap(), b"persisted");
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_transactions_from_many_threads() {
+        let db = Arc::new(
+            Database::open(
+                EngineConfig::in_memory()
+                    .buffer_frames(64)
+                    .table_buckets(256)
+                    .flash_cache(CachePolicyKind::FaceGsc, 512),
+            )
+            .unwrap(),
+        );
+        let threads = 4u64;
+        let keys_per_thread = 50u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    let txn = db.begin();
+                    for i in 0..keys_per_thread {
+                        let key = t * 10_000 + i;
+                        db.put(txn, key, format!("t{t}-{i}").as_bytes()).unwrap();
+                    }
+                    db.commit(txn).unwrap();
+                });
+            }
+        });
+        for t in 0..threads {
+            for i in 0..keys_per_thread {
+                let key = t * 10_000 + i;
+                assert_eq!(
+                    db.get(key).unwrap().unwrap(),
+                    format!("t{t}-{i}").as_bytes(),
+                    "key {key} lost"
+                );
+            }
+        }
+        let stats = db.stats();
+        assert_eq!(stats.txns_committed, threads);
+        assert_eq!(stats.puts, threads * keys_per_thread);
     }
 }

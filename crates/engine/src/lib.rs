@@ -24,7 +24,7 @@
 //! let config = EngineConfig::in_memory()
 //!     .buffer_frames(64)
 //!     .flash_cache(CachePolicyKind::FaceGsc, 256);
-//! let mut db = Database::open(config).unwrap();
+//! let db = Database::open(config).unwrap();
 //!
 //! let txn = db.begin();
 //! db.put(txn, 42, b"hello flash cache").unwrap();
@@ -38,6 +38,7 @@
 pub mod config;
 pub mod db;
 pub mod error;
+pub mod latency;
 pub mod sim;
 pub mod table;
 pub mod tier;
@@ -45,6 +46,7 @@ pub mod tier;
 pub use config::EngineConfig;
 pub use db::{Database, DbStats, RecoveryReport};
 pub use error::{EngineError, EngineResult};
+pub use latency::DeviceLatency;
 pub use tier::FaceTier;
 
 pub use face_cache::CachePolicyKind;

@@ -79,34 +79,55 @@ pub fn get(page: &Page, key: u64) -> Option<Vec<u8>> {
 /// Insert or update `key` with `value`, returning the slot image written so
 /// the caller can log it for redo.
 pub fn put(page: &mut Page, key: u64, value: &[u8]) -> PutOutcome {
+    put_with_undo(page, key, value).0
+}
+
+/// Like [`put`], but also returns the overwritten slot's pre-image (exactly
+/// the bytes an abort must restore). Capturing just the slot keeps the
+/// engine's page-latched write path from copying the whole page body.
+pub fn put_with_undo(page: &mut Page, key: u64, value: &[u8]) -> (PutOutcome, Option<Vec<u8>>) {
     assert!(
         value.len() <= VALUE_CAPACITY,
         "value exceeds slot capacity; enforce at the engine layer"
     );
+    let (slot, existed) = match find_slot(page, key) {
+        Some(slot) => (Some(slot), true),
+        None => (
+            (0..SLOTS_PER_PAGE).find(|&s| decode_slot(page, s).is_none()),
+            false,
+        ),
+    };
+    let Some(slot) = slot else {
+        return (PutOutcome::PageFull, None);
+    };
+    let offset = slot_offset(slot);
+    let undo = page.read_body(offset, SLOT_SIZE).to_vec();
     let bytes = encode_slot(key, value);
-    if let Some(slot) = find_slot(page, key) {
-        let offset = slot_offset(slot);
-        page.write_body(offset, &bytes);
-        return PutOutcome::Updated(SlotWrite { offset, bytes });
-    }
-    for slot in 0..SLOTS_PER_PAGE {
-        if decode_slot(page, slot).is_none() {
-            let offset = slot_offset(slot);
-            page.write_body(offset, &bytes);
-            return PutOutcome::Inserted(SlotWrite { offset, bytes });
-        }
-    }
-    PutOutcome::PageFull
+    page.write_body(offset, &bytes);
+    let write = SlotWrite { offset, bytes };
+    let outcome = if existed {
+        PutOutcome::Updated(write)
+    } else {
+        PutOutcome::Inserted(write)
+    };
+    (outcome, Some(undo))
 }
 
 /// Remove `key` from the page. Returns the slot image written (a cleared
 /// slot) or `None` if the key was absent.
 pub fn delete(page: &mut Page, key: u64) -> Option<SlotWrite> {
+    delete_with_undo(page, key).map(|(write, _)| write)
+}
+
+/// Like [`delete`], but also returns the removed slot's pre-image for the
+/// caller's undo log.
+pub fn delete_with_undo(page: &mut Page, key: u64) -> Option<(SlotWrite, Vec<u8>)> {
     let slot = find_slot(page, key)?;
     let offset = slot_offset(slot);
+    let undo = page.read_body(offset, SLOT_SIZE).to_vec();
     let bytes = vec![0u8; SLOT_SIZE];
     page.write_body(offset, &bytes);
-    Some(SlotWrite { offset, bytes })
+    Some((SlotWrite { offset, bytes }, undo))
 }
 
 /// Number of live records in the page.

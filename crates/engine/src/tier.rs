@@ -6,14 +6,21 @@
 //! for every page crossing the DRAM boundary, whether the flash cache or the
 //! disk serves or receives it, and it applies the stage-out writes the cache
 //! requests.
+//!
+//! The tier is called concurrently by every shard of the buffer pool, so all
+//! of its state is interior-mutable: the flash cache is the lock-striped
+//! [`ShardedFlashCache`], activity counters are atomics, and the shared I/O
+//! event log sits behind its own mutex (each operation records into a local
+//! log and merges it in one short critical section).
 
 use std::sync::Arc;
 
 use face_buffer::{
     FetchOutcome, FetchSource, LowerTier, TierError, TierResult, WriteBackOutcome, WriteBackReason,
 };
-use face_cache::{FlashCache, IoLog, NoSupplier, StagedPage};
+use face_cache::{CacheRecoveryInfo, Counter, IoLog, ShardedFlashCache, StagedPage};
 use face_pagestore::{Page, PageId, PageStore};
+use parking_lot::Mutex;
 
 /// Counters for the tier's physical activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,23 +35,44 @@ pub struct TierStats {
     pub cache_inserts: u64,
 }
 
+/// Atomic twin of [`TierStats`], built from the flash-cache crate's relaxed
+/// [`Counter`] primitive.
+#[derive(Debug, Default)]
+struct TierStatCounters {
+    flash_fetches: Counter,
+    disk_fetches: Counter,
+    disk_writes: Counter,
+    cache_inserts: Counter,
+}
+
+impl TierStatCounters {
+    fn snapshot(&self) -> TierStats {
+        TierStats {
+            flash_fetches: self.flash_fetches.get(),
+            disk_fetches: self.disk_fetches.get(),
+            disk_writes: self.disk_writes.get(),
+            cache_inserts: self.cache_inserts.get(),
+        }
+    }
+}
+
 /// The lower tier used by [`crate::Database`]: an optional flash cache backed
-/// by the disk store.
+/// by the disk store. Safe for concurrent callers.
 pub struct FaceTier {
-    cache: Option<Box<dyn FlashCache>>,
+    cache: Option<ShardedFlashCache>,
     disk: Arc<dyn PageStore>,
-    io: IoLog,
-    stats: TierStats,
+    io: Mutex<IoLog>,
+    stats: TierStatCounters,
 }
 
 impl FaceTier {
-    /// Build a tier over `disk` with an optional flash cache.
-    pub fn new(disk: Arc<dyn PageStore>, cache: Option<Box<dyn FlashCache>>) -> Self {
+    /// Build a tier over `disk` with an optional (sharded) flash cache.
+    pub fn new(disk: Arc<dyn PageStore>, cache: Option<ShardedFlashCache>) -> Self {
         Self {
             cache,
             disk,
-            io: IoLog::new(),
-            stats: TierStats::default(),
+            io: Mutex::new(IoLog::new()),
+            stats: TierStatCounters::default(),
         }
     }
 
@@ -54,19 +82,8 @@ impl FaceTier {
     }
 
     /// The flash cache, if configured.
-    pub fn cache(&self) -> Option<&dyn FlashCache> {
-        self.cache.as_deref()
-    }
-
-    /// Mutable access to the flash cache, if configured.
-    pub fn cache_mut(&mut self) -> Option<&mut Box<dyn FlashCache>> {
-        self.cache.as_mut()
-    }
-
-    /// Replace the flash cache (used by recovery to install the cache rebuilt
-    /// from its persistent metadata).
-    pub fn set_cache(&mut self, cache: Option<Box<dyn FlashCache>>) {
-        self.cache = cache;
+    pub fn cache(&self) -> Option<&ShardedFlashCache> {
+        self.cache.as_ref()
     }
 
     /// The disk store.
@@ -76,46 +93,78 @@ impl FaceTier {
 
     /// Physical-activity counters.
     pub fn stats(&self) -> TierStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Drain the accumulated I/O event log (simulation drivers charge device
     /// time from it; functional callers may simply discard it).
-    pub fn drain_io(&mut self) -> Vec<face_cache::FlashIoEvent> {
-        self.io.drain()
+    pub fn drain_io(&self) -> Vec<face_cache::FlashIoEvent> {
+        self.io.lock().drain()
     }
 
-    fn write_staged_to_disk(&mut self, staged: &[StagedPage]) -> TierResult<()> {
+    fn merge_io(&self, local: IoLog) {
+        if !local.is_empty() {
+            self.io.lock().merge(local);
+        }
+    }
+
+    fn write_staged_to_disk(&self, staged: &[StagedPage]) -> TierResult<()> {
         for s in staged {
             if let Some(data) = &s.data {
                 let mut copy = data.clone();
                 copy.update_checksum();
                 self.disk.write_page(copy.id(), &copy)?;
             }
-            self.stats.disk_writes += 1;
+            self.stats.disk_writes.inc();
         }
+        Ok(())
+    }
+
+    fn write_page_to_disk(&self, page: &Page) -> TierResult<()> {
+        let mut copy = page.clone();
+        copy.update_checksum();
+        self.disk.write_page(copy.id(), &copy)?;
+        self.stats.disk_writes.inc();
         Ok(())
     }
 
     /// Checkpoint support: ask the cache for dirty pages that are not part of
     /// the persistent database (LC) and write them to disk.
-    pub fn checkpoint_cache(&mut self) -> TierResult<usize> {
-        let Some(cache) = self.cache.as_mut() else {
+    pub fn checkpoint_cache(&self) -> TierResult<usize> {
+        let Some(cache) = self.cache.as_ref() else {
             return Ok(0);
         };
-        cache.sync(&mut self.io);
-        let drained = cache.drain_dirty_for_checkpoint(&mut self.io);
+        let mut io = IoLog::new();
+        cache.sync(&mut io);
+        let drained = cache.drain_dirty_for_checkpoint(&mut io);
+        self.merge_io(io);
         let n = drained.len();
         self.write_staged_to_disk(&drained)?;
         Ok(n)
     }
+
+    /// Restart support: crash and recover the flash cache from its persistent
+    /// flash-resident state, merging the per-shard reports. Returns the
+    /// default (nothing survived) report when no cache is configured.
+    pub fn recover_cache(&self) -> CacheRecoveryInfo {
+        let Some(cache) = self.cache.as_ref() else {
+            return CacheRecoveryInfo::default();
+        };
+        let mut io = IoLog::new();
+        let info = cache.crash_and_recover(&mut io);
+        self.merge_io(io);
+        info
+    }
 }
 
 impl LowerTier for FaceTier {
-    fn fetch(&mut self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome> {
-        if let Some(cache) = self.cache.as_mut() {
-            if let Some(hit) = cache.fetch(id, &mut self.io) {
-                self.stats.flash_fetches += 1;
+    fn fetch(&self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome> {
+        if let Some(cache) = self.cache.as_ref() {
+            let mut io = IoLog::new();
+            let hit = cache.fetch(id, &mut io);
+            self.merge_io(io);
+            if let Some(hit) = hit {
+                self.stats.flash_fetches.inc();
                 match hit.data {
                     Some(data) => {
                         *buf = data;
@@ -138,12 +187,14 @@ impl LowerTier for FaceTier {
             }
         }
         self.disk.read_page(id, buf)?;
-        self.stats.disk_fetches += 1;
-        if let Some(cache) = self.cache.as_mut() {
+        self.stats.disk_fetches.inc();
+        if let Some(cache) = self.cache.as_ref() {
             // On-entry policies (TAC) may admit the page now.
-            let outcome = cache.on_fetched_from_disk(id, &mut self.io);
+            let mut io = IoLog::new();
+            let outcome = cache.on_fetched_from_disk(id, &mut io);
+            self.merge_io(io);
             if outcome.cached {
-                self.stats.cache_inserts += 1;
+                self.stats.cache_inserts.inc();
             }
         }
         Ok(FetchOutcome {
@@ -153,20 +204,17 @@ impl LowerTier for FaceTier {
     }
 
     fn write_back(
-        &mut self,
+        &self,
         page: &Page,
         dirty: bool,
         fdirty: bool,
         reason: WriteBackReason,
     ) -> TierResult<WriteBackOutcome> {
-        match self.cache.as_mut() {
+        match self.cache.as_ref() {
             None => {
                 // No flash cache: dirty pages go straight to disk.
                 if dirty {
-                    let mut copy = page.clone();
-                    copy.update_checksum();
-                    self.disk.write_page(copy.id(), &copy)?;
-                    self.stats.disk_writes += 1;
+                    self.write_page_to_disk(page)?;
                 }
                 Ok(WriteBackOutcome {
                     in_flash: false,
@@ -182,20 +230,12 @@ impl LowerTier for FaceTier {
                 // hazard for the on-entry, write-through TAC baseline).
                 if reason == WriteBackReason::Checkpoint && !cache.persists_dirty_pages() {
                     let staged = StagedPage::with_data(page.clone(), dirty, fdirty);
-                    let outcome = cache.insert(staged, &mut NoSupplier, &mut self.io);
-                    for s in &outcome.staged_out {
-                        if let Some(data) = &s.data {
-                            let mut copy = data.clone();
-                            copy.update_checksum();
-                            self.disk.write_page(copy.id(), &copy)?;
-                        }
-                        self.stats.disk_writes += 1;
-                    }
+                    let mut io = IoLog::new();
+                    let outcome = cache.insert(staged, &mut io);
+                    self.merge_io(io);
+                    self.write_staged_to_disk(&outcome.staged_out)?;
                     if dirty {
-                        let mut copy = page.clone();
-                        copy.update_checksum();
-                        self.disk.write_page(copy.id(), &copy)?;
-                        self.stats.disk_writes += 1;
+                        self.write_page_to_disk(page)?;
                     }
                     return Ok(WriteBackOutcome {
                         in_flash: false,
@@ -205,15 +245,14 @@ impl LowerTier for FaceTier {
 
                 let persists = cache.persists_dirty_pages();
                 let staged = StagedPage::with_data(page.clone(), dirty, fdirty);
-                let outcome = cache.insert(staged, &mut NoSupplier, &mut self.io);
+                let mut io = IoLog::new();
+                let outcome = cache.insert(staged, &mut io);
+                self.merge_io(io);
                 if outcome.cached {
-                    self.stats.cache_inserts += 1;
+                    self.stats.cache_inserts.inc();
                 }
                 if outcome.wrote_through_to_disk && dirty {
-                    let mut copy = page.clone();
-                    copy.update_checksum();
-                    self.disk.write_page(copy.id(), &copy)?;
-                    self.stats.disk_writes += 1;
+                    self.write_page_to_disk(page)?;
                 }
                 self.write_staged_to_disk(&outcome.staged_out)?;
                 Ok(WriteBackOutcome {
@@ -224,13 +263,15 @@ impl LowerTier for FaceTier {
         }
     }
 
-    fn allocate(&mut self, file: u32) -> TierResult<PageId> {
+    fn allocate(&self, file: u32) -> TierResult<PageId> {
         self.disk.allocate(file).map_err(TierError::from)
     }
 
-    fn sync(&mut self) -> TierResult<()> {
-        if let Some(cache) = self.cache.as_mut() {
-            cache.sync(&mut self.io);
+    fn sync(&self) -> TierResult<()> {
+        if let Some(cache) = self.cache.as_ref() {
+            let mut io = IoLog::new();
+            cache.sync(&mut io);
+            self.merge_io(io);
         }
         self.disk.sync()?;
         Ok(())
@@ -241,7 +282,7 @@ impl LowerTier for FaceTier {
 mod tests {
     use super::*;
     use face_buffer::LowerTier;
-    use face_cache::{build_cache, CacheConfig, CachePolicyKind, MemFlashStore};
+    use face_cache::{CacheConfig, CachePolicyKind, FlashStore, MemFlashStore};
     use face_pagestore::{InMemoryPageStore, Lsn};
 
     fn tier(policy: CachePolicyKind, capacity: usize) -> (FaceTier, Arc<InMemoryPageStore>) {
@@ -254,7 +295,9 @@ mod tests {
             lc_dirty_threshold: 2.0,
             ..CacheConfig::default()
         };
-        let cache = build_cache(policy, cfg, Arc::new(MemFlashStore::new(capacity)));
+        let cache = ShardedFlashCache::build(policy, cfg, 2, |cap| {
+            Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
+        });
         (
             FaceTier::new(disk.clone() as Arc<dyn PageStore>, cache),
             disk,
@@ -270,7 +313,7 @@ mod tests {
 
     #[test]
     fn eviction_goes_to_flash_then_serves_fetches() {
-        let (mut tier, disk) = tier(CachePolicyKind::FaceGsc, 64);
+        let (tier, disk) = tier(CachePolicyKind::FaceGsc, 64);
         let id = tier.allocate(0).unwrap();
         let page = dirty_page(id, b"cached in flash");
         let out = tier
@@ -296,8 +339,11 @@ mod tests {
     #[test]
     fn no_cache_tier_writes_disk_directly() {
         let disk = Arc::new(InMemoryPageStore::new());
-        let mut tier = FaceTier::new(disk.clone() as Arc<dyn PageStore>, None);
+        let tier = FaceTier::new(disk.clone() as Arc<dyn PageStore>, None);
         assert!(!tier.has_cache());
+        assert!(tier.cache().is_none());
+        assert_eq!(tier.checkpoint_cache().unwrap(), 0);
+        assert!(!tier.recover_cache().survived);
         let id = tier.allocate(0).unwrap();
         let page = dirty_page(id, b"straight to disk");
         let out = tier
@@ -313,23 +359,29 @@ mod tests {
     #[test]
     fn stage_outs_reach_the_disk_store() {
         // A tiny FaCE cache: filling it forces dirty stage-outs to disk.
-        let (mut tier, disk) = tier(CachePolicyKind::Face, 2);
-        let ids: Vec<PageId> = (0..4).map(|_| tier.allocate(0).unwrap()).collect();
+        let (tier, disk) = tier(CachePolicyKind::Face, 2);
+        let ids: Vec<PageId> = (0..6).map(|_| tier.allocate(0).unwrap()).collect();
         for (i, id) in ids.iter().enumerate() {
             let page = dirty_page(*id, format!("v{i}").as_bytes());
             tier.write_back(&page, true, true, WriteBackReason::Eviction)
                 .unwrap();
         }
-        // The first pages were staged out of the 2-slot cache onto disk.
+        // Early pages were staged out of the 2-slot cache onto disk.
         assert!(tier.stats().disk_writes >= 2);
-        let mut buf = Page::zeroed();
-        disk.read_page(ids[0], &mut buf).unwrap();
-        assert_eq!(buf.read_body(0, 2), b"v0");
+        let mut staged_to_disk = 0;
+        for id in &ids {
+            let mut buf = Page::zeroed();
+            disk.read_page(*id, &mut buf).unwrap();
+            if buf.is_formatted() {
+                staged_to_disk += 1;
+            }
+        }
+        assert!(staged_to_disk >= 2);
     }
 
     #[test]
     fn tac_write_through_hits_disk_and_counts() {
-        let (mut tier, disk) = tier(CachePolicyKind::Tac, 64);
+        let (tier, disk) = tier(CachePolicyKind::Tac, 64);
         let id = tier.allocate(0).unwrap();
         let page = dirty_page(id, b"wt");
         let out = tier
@@ -344,7 +396,7 @@ mod tests {
 
     #[test]
     fn lc_checkpoint_write_back_goes_to_disk() {
-        let (mut tier, disk) = tier(CachePolicyKind::Lc, 64);
+        let (tier, disk) = tier(CachePolicyKind::Lc, 64);
         let id = tier.allocate(0).unwrap();
         let page = dirty_page(id, b"ckpt");
         let out = tier
@@ -356,7 +408,7 @@ mod tests {
         assert_eq!(buf.read_body(0, 4), b"ckpt");
 
         // FaCE checkpoints, by contrast, stay in flash.
-        let (mut face_tier, face_disk) = super::tests::tier(CachePolicyKind::FaceGsc, 64);
+        let (face_tier, face_disk) = super::tests::tier(CachePolicyKind::FaceGsc, 64);
         let id = face_tier.allocate(0).unwrap();
         let page = dirty_page(id, b"ckpt");
         let out = face_tier
@@ -370,7 +422,7 @@ mod tests {
 
     #[test]
     fn on_entry_notification_reaches_tac() {
-        let (mut tier, disk) = tier(CachePolicyKind::Tac, 64);
+        let (tier, disk) = tier(CachePolicyKind::Tac, 64);
         let id = tier.allocate(0).unwrap();
         // Put something on disk so fetches succeed.
         let mut page = Page::new(id);
@@ -385,7 +437,7 @@ mod tests {
 
     #[test]
     fn checkpoint_cache_drains_lc_dirty_pages() {
-        let (mut tier, disk) = tier(CachePolicyKind::Lc, 64);
+        let (tier, disk) = tier(CachePolicyKind::Lc, 64);
         let id = tier.allocate(0).unwrap();
         let page = dirty_page(id, b"lazy");
         tier.write_back(&page, true, true, WriteBackReason::Eviction)
@@ -399,13 +451,13 @@ mod tests {
         disk.read_page(id, &mut buf).unwrap();
         assert_eq!(buf.read_body(0, 4), b"lazy");
         // FaCE has nothing to drain.
-        let (mut face_tier, _) = super::tests::tier(CachePolicyKind::FaceGsc, 64);
+        let (face_tier, _) = super::tests::tier(CachePolicyKind::FaceGsc, 64);
         assert_eq!(face_tier.checkpoint_cache().unwrap(), 0);
     }
 
     #[test]
     fn io_log_drains() {
-        let (mut tier, _) = tier(CachePolicyKind::Face, 8);
+        let (tier, _) = tier(CachePolicyKind::Face, 8);
         let id = tier.allocate(0).unwrap();
         let page = dirty_page(id, b"x");
         tier.write_back(&page, true, true, WriteBackReason::Eviction)
@@ -414,5 +466,33 @@ mod tests {
         assert!(!events.is_empty());
         assert!(tier.drain_io().is_empty());
         tier.sync().unwrap();
+    }
+
+    #[test]
+    fn concurrent_write_backs_and_fetches() {
+        let (tier, _) = tier(CachePolicyKind::FaceGsc, 256);
+        let tier = Arc::new(tier);
+        let ids: Vec<PageId> = (0..64).map(|_| tier.allocate(0).unwrap()).collect();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let tier = Arc::clone(&tier);
+                let ids = ids.clone();
+                s.spawn(move || {
+                    for (i, id) in ids.iter().enumerate() {
+                        if i % 4 == t {
+                            let page = dirty_page(*id, &(i as u32).to_le_bytes());
+                            tier.write_back(&page, true, true, WriteBackReason::Eviction)
+                                .unwrap();
+                            let mut buf = Page::zeroed();
+                            let out = tier.fetch(*id, &mut buf).unwrap();
+                            assert_eq!(out.source, FetchSource::FlashCache);
+                            assert_eq!(buf.read_body(0, 4), &(i as u32).to_le_bytes());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(tier.stats().flash_fetches, 64);
+        assert_eq!(tier.cache().unwrap().stats().inserts, 64);
     }
 }

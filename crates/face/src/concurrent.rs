@@ -1,0 +1,379 @@
+//! A sharded, concurrency-safe front for the flash-cache policies.
+//!
+//! The policy implementations ([`crate::mvfifo`], [`crate::lc`],
+//! [`crate::tac`]) are deliberately single-threaded: their directories are
+//! intricate (a circular multi-version queue, an LRU-2 victim order, a
+//! temperature map) and the paper's algorithms are specified sequentially.
+//! [`ShardedFlashCache`] makes them safe for concurrent callers the same way
+//! the paper's host system (PostgreSQL) partitions its buffer table: the
+//! page-id space is hashed over `N` independent shards, each a full policy
+//! instance over its own slice of the flash device, each behind its own
+//! mutex. Callers holding different pages proceed in parallel; the global
+//! mvFIFO order becomes a per-shard FIFO order, which preserves every
+//! property the paper relies on (sequential batch writes, multi-version
+//! invalidation, bounded occupancy) within each shard.
+//!
+//! Statistics are atomic inside the policies ([`crate::types::Counter`]), so
+//! [`ShardedFlashCache::stats`] merges per-shard snapshots without stalling
+//! writers for long.
+
+use std::sync::Arc;
+
+use face_pagestore::PageId;
+use parking_lot::Mutex;
+
+use crate::io::IoLog;
+use crate::policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier};
+use crate::store::FlashStore;
+use crate::types::{CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome};
+use crate::StagedPage;
+
+/// A lock-striped set of independent policy instances, routable by page id,
+/// exposing the whole [`FlashCache`] surface through `&self`.
+pub struct ShardedFlashCache {
+    shards: Vec<Mutex<Box<dyn FlashCache>>>,
+    stores: Vec<Arc<dyn FlashStore>>,
+    kind: CachePolicyKind,
+    capacity: usize,
+    /// TAC routes by extent so per-extent temperature is not diluted across
+    /// shards; every other policy routes by page.
+    route_granularity: u64,
+    persists: bool,
+    name: &'static str,
+}
+
+impl ShardedFlashCache {
+    /// Build `shards` independent caches of `kind`, splitting
+    /// `config.capacity_pages` between them. `store_factory` is called once
+    /// per shard with that shard's slot capacity (the functional engine hands
+    /// out one [`crate::MemFlashStore`] per shard; the simulation would use
+    /// header-only stores).
+    ///
+    /// Returns `None` for [`CachePolicyKind::None`].
+    pub fn build(
+        kind: CachePolicyKind,
+        config: CacheConfig,
+        shards: usize,
+        store_factory: impl Fn(usize) -> Arc<dyn FlashStore>,
+    ) -> Option<Self> {
+        if kind == CachePolicyKind::None {
+            return None;
+        }
+        let capacity = config.capacity_pages.max(1);
+        // Never create shards so small that a policy's group size exceeds its
+        // capacity; each shard must hold at least one replacement group.
+        let min_per_shard = config.group_size.max(1);
+        let shards = shards.clamp(1, (capacity / min_per_shard).max(1));
+        let base = capacity / shards;
+        let rem = capacity % shards;
+
+        let mut built = Vec::with_capacity(shards);
+        let mut stores = Vec::with_capacity(shards);
+        let mut name = "";
+        for i in 0..shards {
+            let shard_capacity = base + usize::from(i < rem);
+            let shard_config = CacheConfig {
+                capacity_pages: shard_capacity,
+                ..config.clone()
+            };
+            let store = store_factory(shard_capacity);
+            let cache =
+                build_cache(kind, shard_config, Arc::clone(&store)).expect("kind is not None");
+            name = cache.policy_name();
+            stores.push(store);
+            built.push(Mutex::new(cache));
+        }
+        let persists = built[0].lock().persists_dirty_pages();
+        Some(Self {
+            shards: built,
+            stores,
+            kind,
+            capacity,
+            route_granularity: if kind == CachePolicyKind::Tac {
+                config.tac_extent_pages.max(1) as u64
+            } else {
+                1
+            },
+            persists,
+            name,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard flash stores (crash-simulation tests inspect them).
+    pub fn stores(&self) -> &[Arc<dyn FlashStore>] {
+        &self.stores
+    }
+
+    /// The policy kind every shard runs.
+    pub fn kind(&self) -> CachePolicyKind {
+        self.kind
+    }
+
+    /// Human-readable policy name.
+    pub fn policy_name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether dirty pages staged into this cache count as persistent
+    /// database content (FaCE yes, LC/TAC no).
+    pub fn persists_dirty_pages(&self) -> bool {
+        self.persists
+    }
+
+    /// Total capacity in page slots across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn shard_of(&self, page: PageId) -> usize {
+        face_pagestore::stripe_of(page.to_u64() / self.route_granularity, self.shards.len())
+    }
+
+    /// Whether a valid copy of `page` is cached.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.shards[self.shard_of(page)].lock().contains(page)
+    }
+
+    /// Look up `page` on a DRAM miss (see [`FlashCache::fetch`]).
+    pub fn fetch(&self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
+        self.shards[self.shard_of(page)].lock().fetch(page, io)
+    }
+
+    /// Hand a page leaving the DRAM buffer to its shard (see
+    /// [`FlashCache::insert`]). The GSC "pull extra dirty pages from the DRAM
+    /// LRU tail" hook is not plumbed through the concurrent front — suppliers
+    /// would have to re-enter the buffer pool while a shard lock is held; the
+    /// per-shard group batching is preserved without it.
+    pub fn insert(&self, staged: StagedPage, io: &mut IoLog) -> InsertOutcome {
+        self.shards[self.shard_of(staged.page)]
+            .lock()
+            .insert(staged, &mut NoSupplier, io)
+    }
+
+    /// Notification that `page` was fetched from disk (see
+    /// [`FlashCache::on_fetched_from_disk`]).
+    pub fn on_fetched_from_disk(&self, page: PageId, io: &mut IoLog) -> InsertOutcome {
+        self.shards[self.shard_of(page)]
+            .lock()
+            .on_fetched_from_disk(page, io)
+    }
+
+    /// Flush buffered batches and metadata on every shard.
+    pub fn sync(&self, io: &mut IoLog) {
+        for shard in &self.shards {
+            shard.lock().sync(io);
+        }
+    }
+
+    /// Drain dirty pages for a checkpoint from every shard (LC).
+    pub fn drain_dirty_for_checkpoint(&self, io: &mut IoLog) -> Vec<StagedPage> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().drain_dirty_for_checkpoint(io));
+        }
+        out
+    }
+
+    /// Crash and recover every shard, merging the per-shard reports.
+    /// `survived` is true only if every shard's metadata survived (FaCE).
+    pub fn crash_and_recover(&self, io: &mut IoLog) -> CacheRecoveryInfo {
+        let mut merged = CacheRecoveryInfo {
+            survived: true,
+            ..CacheRecoveryInfo::default()
+        };
+        for shard in &self.shards {
+            let info = shard.lock().crash_and_recover(io);
+            merged.survived &= info.survived;
+            merged.metadata_segments_loaded += info.metadata_segments_loaded;
+            merged.pages_scanned += info.pages_scanned;
+            merged.entries_restored += info.entries_restored;
+        }
+        merged
+    }
+
+    /// Merged activity counters across shards.
+    pub fn stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .map(|s| s.lock().stats())
+            .fold(CacheStats::default(), |acc, s| acc.merged(&s))
+    }
+
+    /// Reset activity counters on every shard.
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            shard.lock().reset_stats();
+        }
+    }
+
+    /// Occupied page slots across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no shard holds anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemFlashStore;
+    use face_pagestore::{Lsn, Page};
+
+    fn sharded(kind: CachePolicyKind, capacity: usize, shards: usize) -> ShardedFlashCache {
+        let config = CacheConfig {
+            capacity_pages: capacity,
+            group_size: 4,
+            metadata_segment_entries: 1_000_000,
+            lc_dirty_threshold: 2.0,
+            ..CacheConfig::default()
+        };
+        ShardedFlashCache::build(kind, config, shards, |cap| {
+            Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
+        })
+        .unwrap()
+    }
+
+    fn data_page(n: u32) -> StagedPage {
+        let mut p = Page::new(PageId::new(0, n));
+        p.set_lsn(Lsn(n as u64 + 1));
+        p.write_body(0, &n.to_le_bytes());
+        StagedPage::with_data(p, true, true)
+    }
+
+    #[test]
+    fn none_policy_builds_nothing() {
+        assert!(ShardedFlashCache::build(
+            CachePolicyKind::None,
+            CacheConfig::default(),
+            4,
+            |cap| Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn capacity_splits_exactly_across_shards() {
+        let c = sharded(CachePolicyKind::FaceGsc, 130, 4);
+        assert_eq!(c.shard_count(), 4);
+        assert_eq!(c.capacity(), 130);
+        let total: usize = c.stores().iter().map(|s| s.capacity()).sum();
+        assert_eq!(total, 130);
+        assert_eq!(c.policy_name(), "FaCE+GSC");
+        assert!(c.persists_dirty_pages());
+        assert_eq!(c.kind(), CachePolicyKind::FaceGsc);
+    }
+
+    #[test]
+    fn tiny_caches_collapse_to_fewer_shards() {
+        // 8 slots with group size 4 support at most 2 shards.
+        let c = sharded(CachePolicyKind::FaceGr, 8, 16);
+        assert!(c.shard_count() <= 2);
+        assert_eq!(c.capacity(), 8);
+    }
+
+    #[test]
+    fn insert_fetch_round_trip_across_shards() {
+        let c = sharded(CachePolicyKind::Face, 256, 4);
+        let mut io = IoLog::new();
+        for n in 0..64u32 {
+            c.insert(data_page(n), &mut io);
+        }
+        assert_eq!(c.len(), 64);
+        assert!(!c.is_empty());
+        for n in 0..64u32 {
+            let page = PageId::new(0, n);
+            assert!(c.contains(page), "page {n} routed consistently");
+            let hit = c.fetch(page, &mut io).expect("cached");
+            assert_eq!(hit.data.unwrap().read_body(0, 4), &n.to_le_bytes());
+        }
+        let stats = c.stats();
+        assert_eq!(stats.inserts, 64);
+        assert_eq!(stats.hits, 64);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn concurrent_callers_keep_shards_consistent() {
+        let c = Arc::new(sharded(CachePolicyKind::FaceGsc, 512, 4));
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let mut io = IoLog::new();
+                    for i in 0..200u32 {
+                        let n = t * 1000 + (i % 50);
+                        c.insert(data_page(n), &mut io);
+                        c.fetch(PageId::new(0, n), &mut io);
+                    }
+                });
+            }
+        });
+        let stats = c.stats();
+        assert_eq!(stats.inserts, 8 * 200);
+        assert_eq!(stats.lookups, 8 * 200);
+        assert!(c.len() <= c.capacity());
+    }
+
+    #[test]
+    fn crash_and_recover_merges_shard_reports() {
+        let c = sharded(CachePolicyKind::FaceGsc, 256, 4);
+        let mut io = IoLog::new();
+        for n in 0..40u32 {
+            c.insert(data_page(n), &mut io);
+        }
+        c.sync(&mut io);
+        let info = c.crash_and_recover(&mut io);
+        assert!(info.survived);
+        assert_eq!(info.entries_restored, 40);
+        // The recovered shards still serve every page.
+        for n in 0..40u32 {
+            assert!(c.contains(PageId::new(0, n)), "page {n} lost");
+        }
+
+        // LC loses everything on every shard.
+        let lc = sharded(CachePolicyKind::Lc, 64, 4);
+        let mut io = IoLog::new();
+        for n in 0..10u32 {
+            lc.insert(data_page(n), &mut io);
+        }
+        let info = lc.crash_and_recover(&mut io);
+        assert!(!info.survived);
+        assert_eq!(info.entries_restored, 0);
+        assert!(lc.is_empty());
+    }
+
+    #[test]
+    fn tac_routes_by_extent_so_temperature_accumulates() {
+        let c = sharded(CachePolicyKind::Tac, 64, 4);
+        let mut io = IoLog::new();
+        // Two different pages of the same extent must land on the same shard
+        // for the second access to cross the admission temperature.
+        let a = PageId::new(0, 0);
+        let b = PageId::new(0, 1);
+        c.on_fetched_from_disk(a, &mut io);
+        let out = c.on_fetched_from_disk(b, &mut io);
+        assert!(out.cached, "extent heat must not be diluted across shards");
+        assert!(!c.persists_dirty_pages());
+    }
+
+    #[test]
+    fn lc_checkpoint_drains_across_shards() {
+        let c = sharded(CachePolicyKind::Lc, 64, 4);
+        let mut io = IoLog::new();
+        for n in 0..20u32 {
+            c.insert(data_page(n), &mut io);
+        }
+        let drained = c.drain_dirty_for_checkpoint(&mut io);
+        assert_eq!(drained.len(), 20);
+    }
+}

@@ -153,6 +153,12 @@ impl IoLog {
         std::mem::take(&mut self.events)
     }
 
+    /// Append every event of `other` (merging a per-operation local log into
+    /// a shared one).
+    pub fn merge(&mut self, mut other: IoLog) {
+        self.events.append(&mut other.events);
+    }
+
     /// Clear without returning.
     pub fn clear(&mut self) {
         self.events.clear();

@@ -22,7 +22,8 @@ use crate::io::IoLog;
 use crate::policy::{FlashCache, PageSupplier};
 use crate::store::FlashStore;
 use crate::types::{
-    CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome, StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FlashFetch, InsertOutcome,
+    StagedPage,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +48,7 @@ pub struct LcCache {
     free_slots: Vec<usize>,
     clock: u64,
     dirty_count: usize,
-    stats: CacheStats,
+    stats: CacheStatCounters,
 }
 
 impl LcCache {
@@ -67,7 +68,7 @@ impl LcCache {
             free_slots,
             clock: 0,
             dirty_count: 0,
-            stats: CacheStats::default(),
+            stats: CacheStatCounters::default(),
         }
     }
 
@@ -112,13 +113,13 @@ impl LcCache {
     fn evict_victim(&mut self, io: &mut IoLog) -> Option<StagedPage> {
         let &(_, _, victim) = self.victim_order.iter().next()?;
         let meta = self.remove_entry(victim).expect("victim is cached");
-        self.stats.staged_out += 1;
+        self.stats.staged_out.inc();
         if meta.dirty {
             // Reading the page back out of flash and writing it to disk are
             // both random operations.
             io.flash_read_rand(1);
             io.disk_write(victim);
-            self.stats.staged_out_to_disk += 1;
+            self.stats.staged_out_to_disk.inc();
             Some(StagedPage {
                 page: victim,
                 lsn: meta.lsn,
@@ -155,7 +156,7 @@ impl LcCache {
             }
             meta.dirty = false;
             self.dirty_count -= 1;
-            self.stats.lazily_cleaned += 1;
+            self.stats.lazily_cleaned.inc();
             io.flash_read_rand(1);
             io.disk_write(page);
             cleaned.push(StagedPage {
@@ -180,9 +181,9 @@ impl FlashCache for LcCache {
     }
 
     fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
-        self.stats.lookups += 1;
+        self.stats.lookups.inc();
         let meta = *self.map.get(&page)?;
-        self.stats.hits += 1;
+        self.stats.hits.inc();
         self.bump(page);
         io.flash_read_rand(1);
         Some(FlashFetch {
@@ -198,9 +199,9 @@ impl FlashCache for LcCache {
         _supplier: &mut dyn PageSupplier,
         io: &mut IoLog,
     ) -> InsertOutcome {
-        self.stats.inserts += 1;
+        self.stats.inserts.inc();
         if staged.dirty {
-            self.stats.dirty_inserts += 1;
+            self.stats.dirty_inserts.inc();
         }
         let mut outcome = InsertOutcome {
             cached: true,
@@ -221,7 +222,7 @@ impl FlashCache for LcCache {
                 self.store.write_slot(slot, data);
             }
             self.bump(staged.page);
-            self.stats.cached_inserts += 1;
+            self.stats.cached_inserts.inc();
         } else {
             // Admit a new page, evicting the LRU-2 victim if full.
             if self.free_slots.is_empty() {
@@ -249,7 +250,7 @@ impl FlashCache for LcCache {
             if staged.dirty {
                 self.dirty_count += 1;
             }
-            self.stats.cached_inserts += 1;
+            self.stats.cached_inserts.inc();
         }
 
         // Background lazy cleaning.
@@ -302,11 +303,11 @@ impl FlashCache for LcCache {
     }
 
     fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+    fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     fn capacity(&self) -> usize {

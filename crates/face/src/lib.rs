@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod concurrent;
 pub mod cost_model;
 pub mod directory;
 pub mod io;
@@ -42,6 +43,7 @@ pub mod store;
 pub mod tac;
 pub mod types;
 
+pub use concurrent::ShardedFlashCache;
 pub use cost_model::{AccessMix, CostModel};
 pub use directory::{DirEntry, MetadataDirectory, RecoveredDirectory};
 pub use io::{FlashIoEvent, IoLog};
@@ -51,5 +53,6 @@ pub use policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier, PageSuppl
 pub use store::{FlashStore, HeaderFlashStore, MemFlashStore, NullFlashStore};
 pub use tac::TacCache;
 pub use types::{
-    CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome, StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, Counter, FlashFetch,
+    InsertOutcome, StagedPage,
 };

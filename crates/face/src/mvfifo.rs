@@ -28,7 +28,8 @@ use crate::io::IoLog;
 use crate::policy::{FlashCache, PageSupplier};
 use crate::store::FlashStore;
 use crate::types::{
-    CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome, StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FlashFetch, InsertOutcome,
+    StagedPage,
 };
 
 /// Metadata for one occupied flash slot.
@@ -63,7 +64,7 @@ pub struct MvFifoCache {
     /// store carries data.
     pending_data: Vec<Option<Page>>,
     meta_dir: MetadataDirectory,
-    stats: CacheStats,
+    stats: CacheStatCounters,
 }
 
 impl MvFifoCache {
@@ -91,7 +92,7 @@ impl MvFifoCache {
             pending_slots: Vec::new(),
             pending_data: Vec::new(),
             meta_dir,
-            stats: CacheStats::default(),
+            stats: CacheStatCounters::default(),
         }
     }
 
@@ -109,7 +110,7 @@ impl MvFifoCache {
     /// of database checkpointing, as in the paper).
     pub fn checkpoint_metadata(&mut self, io: &mut IoLog) {
         self.meta_dir.flush_segment(io);
-        self.stats.metadata_flushes += 1;
+        self.stats.metadata_flushes.inc();
     }
 
     /// Fraction of occupied slots holding invalidated (duplicate) versions —
@@ -240,7 +241,7 @@ impl MvFifoCache {
                     self.pending_slots.remove(pos);
                     self.pending_data.remove(pos)
                 });
-            self.stats.staged_out += 1;
+            self.stats.staged_out.inc();
             if meta.valid {
                 // The directory entry must point at this slot (it is the
                 // latest version); remove it — the page is leaving the cache
@@ -250,7 +251,7 @@ impl MvFifoCache {
                 }
                 let data = pending_data.or_else(|| self.store.read_slot(slot));
                 if self.config.second_chance && meta.referenced {
-                    self.stats.second_chances += 1;
+                    self.stats.second_chances.inc();
                     second_chance.push(StagedPage {
                         page: meta.page,
                         lsn: meta.lsn,
@@ -259,7 +260,7 @@ impl MvFifoCache {
                         data,
                     });
                 } else if meta.dirty {
-                    self.stats.staged_out_to_disk += 1;
+                    self.stats.staged_out_to_disk.inc();
                     io.disk_write(meta.page);
                     to_disk.push(StagedPage {
                         page: meta.page,
@@ -282,9 +283,9 @@ impl MvFifoCache {
         // the oldest one out so the replacement makes progress (paper §3.3).
         if !second_chance.is_empty() && second_chance.len() == n {
             let forced = second_chance.remove(0);
-            self.stats.second_chances -= 1;
+            self.stats.second_chances.sub(1);
             if forced.dirty {
-                self.stats.staged_out_to_disk += 1;
+                self.stats.staged_out_to_disk.inc();
                 io.disk_write(forced.page);
                 to_disk.push(forced);
             }
@@ -297,7 +298,7 @@ impl MvFifoCache {
         if let Some(slot) = self.dir.remove(&page) {
             if let Some(meta) = &mut self.slots[slot] {
                 meta.valid = false;
-                self.stats.invalidations += 1;
+                self.stats.invalidations.inc();
             }
         }
     }
@@ -319,7 +320,7 @@ impl MvFifoCache {
         }
         self.invalidate_previous(staged.page);
         self.enqueue_assign(&staged, io);
-        self.stats.cached_inserts += 1;
+        self.stats.cached_inserts.inc();
     }
 
     /// Restore a cache from its surviving flash-resident state after a crash:
@@ -392,11 +393,11 @@ impl FlashCache for MvFifoCache {
     }
 
     fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
-        self.stats.lookups += 1;
+        self.stats.lookups.inc();
         let slot = *self.dir.get(&page)?;
         let meta = self.slots[slot].as_mut()?;
         debug_assert!(meta.valid, "directory points at an invalid version");
-        self.stats.hits += 1;
+        self.stats.hits.inc();
         meta.referenced = true;
         let dirty = meta.dirty;
         let lsn = meta.lsn;
@@ -414,9 +415,9 @@ impl FlashCache for MvFifoCache {
         supplier: &mut dyn PageSupplier,
         io: &mut IoLog,
     ) -> InsertOutcome {
-        self.stats.inserts += 1;
+        self.stats.inserts.inc();
         if staged.dirty {
-            self.stats.dirty_inserts += 1;
+            self.stats.dirty_inserts.inc();
         }
         let mut outcome = InsertOutcome {
             cached: true,
@@ -426,7 +427,7 @@ impl FlashCache for MvFifoCache {
         // Conditional enqueue (Algorithm 1): a clean page whose identical
         // copy is already cached is not enqueued again.
         if !staged.fdirty && self.dir.contains_key(&staged.page) {
-            self.stats.skipped_inserts += 1;
+            self.stats.skipped_inserts.inc();
             return outcome;
         }
 
@@ -440,18 +441,18 @@ impl FlashCache for MvFifoCache {
                 let Some(extra) = supplier.next_dirty_page() else {
                     break;
                 };
-                self.stats.pulled_from_dram += 1;
-                self.stats.inserts += 1;
+                self.stats.pulled_from_dram.inc();
+                self.stats.inserts.inc();
                 if extra.dirty {
-                    self.stats.dirty_inserts += 1;
+                    self.stats.dirty_inserts.inc();
                 }
                 if !extra.fdirty && self.dir.contains_key(&extra.page) {
-                    self.stats.skipped_inserts += 1;
+                    self.stats.skipped_inserts.inc();
                     continue;
                 }
                 self.invalidate_previous(extra.page);
                 self.enqueue_assign(&extra, io);
-                self.stats.cached_inserts += 1;
+                self.stats.cached_inserts.inc();
             }
         }
 
@@ -481,9 +482,9 @@ impl FlashCache for MvFifoCache {
         survivor.crash();
         let config = self.config.clone();
         let store = Arc::clone(&self.store);
-        let stats = self.stats;
+        let stats = self.stats.snapshot();
         let (mut rebuilt, report) = Self::recover(config, store, &survivor, io);
-        rebuilt.stats = stats;
+        rebuilt.stats = CacheStatCounters::from(stats);
         let entries_restored = rebuilt.dir.len() as u64;
         *self = rebuilt;
         CacheRecoveryInfo {
@@ -495,11 +496,11 @@ impl FlashCache for MvFifoCache {
     }
 
     fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+    fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     fn capacity(&self) -> usize {

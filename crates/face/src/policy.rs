@@ -103,7 +103,7 @@ pub trait FlashCache: Send {
     fn stats(&self) -> CacheStats;
 
     /// Reset activity counters (after warm-up).
-    fn reset_stats(&mut self);
+    fn reset_stats(&self);
 
     /// Capacity in page slots.
     fn capacity(&self) -> usize;

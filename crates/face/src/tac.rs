@@ -23,7 +23,8 @@ use crate::io::IoLog;
 use crate::policy::{FlashCache, PageSupplier};
 use crate::store::FlashStore;
 use crate::types::{
-    CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome, StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FlashFetch, InsertOutcome,
+    StagedPage,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +48,7 @@ pub struct TacCache {
     extent_heat: HashMap<u64, u32>,
     free_slots: Vec<usize>,
     clock: u64,
-    stats: CacheStats,
+    stats: CacheStatCounters,
 }
 
 impl TacCache {
@@ -67,7 +68,7 @@ impl TacCache {
             extent_heat: HashMap::new(),
             free_slots,
             clock: 0,
-            stats: CacheStats::default(),
+            stats: CacheStatCounters::default(),
         }
     }
 
@@ -89,7 +90,7 @@ impl TacCache {
     fn charge_metadata_update(&mut self, io: &mut IoLog) {
         io.flash_write_rand(1);
         io.flash_write_rand(1);
-        self.stats.metadata_flushes += 1;
+        self.stats.metadata_flushes.inc();
     }
 
     /// Evict a victim chosen by temperature (coldest extent first, LRU as the
@@ -105,7 +106,7 @@ impl TacCache {
         if let Some(victim) = victim {
             let meta = self.map.remove(&victim).expect("victim cached");
             self.free_slots.push(meta.slot);
-            self.stats.staged_out += 1;
+            self.stats.staged_out.inc();
             self.charge_metadata_update(io);
         }
     }
@@ -141,7 +142,7 @@ impl TacCache {
                 has_data,
             },
         );
-        self.stats.cached_inserts += 1;
+        self.stats.cached_inserts.inc();
     }
 }
 
@@ -155,13 +156,13 @@ impl FlashCache for TacCache {
     }
 
     fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
-        self.stats.lookups += 1;
+        self.stats.lookups.inc();
         self.warm_up(page);
         let meta = self.map.get_mut(&page)?;
         self.clock += 1;
         meta.last_access = self.clock;
         let meta = *meta;
-        self.stats.hits += 1;
+        self.stats.hits.inc();
         io.flash_read_rand(1);
         Some(FlashFetch {
             data: if meta.has_data {
@@ -181,9 +182,9 @@ impl FlashCache for TacCache {
         _supplier: &mut dyn PageSupplier,
         io: &mut IoLog,
     ) -> InsertOutcome {
-        self.stats.inserts += 1;
+        self.stats.inserts.inc();
         if staged.dirty {
-            self.stats.dirty_inserts += 1;
+            self.stats.dirty_inserts.inc();
         }
         let mut outcome = InsertOutcome::default();
         if staged.dirty {
@@ -192,7 +193,7 @@ impl FlashCache for TacCache {
             // write-reduction metric reflects that).
             io.disk_write(staged.page);
             outcome.wrote_through_to_disk = true;
-            self.stats.staged_out_to_disk += 1;
+            self.stats.staged_out_to_disk.inc();
             // And, if a flash copy exists, it is refreshed in place.
             if let Some(meta) = self.map.get_mut(&staged.page) {
                 meta.lsn = staged.lsn;
@@ -206,7 +207,7 @@ impl FlashCache for TacCache {
                     self.store.write_slot(slot, d);
                 }
                 outcome.cached = true;
-                self.stats.cached_inserts += 1;
+                self.stats.cached_inserts.inc();
             }
         } else {
             // Clean pages leaving the DRAM buffer are not cached on exit —
@@ -252,11 +253,11 @@ impl FlashCache for TacCache {
     }
 
     fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+    fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     fn capacity(&self) -> usize {

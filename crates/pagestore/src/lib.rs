@@ -18,14 +18,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod counter;
 pub mod counting;
 pub mod file_store;
 pub mod mem_store;
 pub mod page;
 pub mod store;
 
+pub use counter::Counter;
 pub use counting::CountingStore;
 pub use file_store::FilePageStore;
 pub use mem_store::InMemoryPageStore;
-pub use page::{Lsn, Page, PageId, PAGE_BODY_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE};
+pub use page::{stripe_of, Lsn, Page, PageId, PAGE_BODY_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE};
 pub use store::{PageStore, StoreError, StoreResult};

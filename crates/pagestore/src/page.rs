@@ -81,6 +81,13 @@ impl PageId {
         ((self.file as u64) << 32) | self.page_no as u64
     }
 
+    /// The lock stripe (of `stripes`) this page id routes to — the shared
+    /// hash used by every lock-striped layer (buffer-pool shards, flash-cache
+    /// shards), so routing never drifts between them.
+    pub fn stripe_of(self, stripes: usize) -> usize {
+        stripe_of(self.to_u64(), stripes)
+    }
+
     /// Unpack from a 64-bit value produced by [`PageId::to_u64`].
     pub fn from_u64(v: u64) -> Self {
         Self {
@@ -105,6 +112,15 @@ impl fmt::Display for PageId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}", self.file, self.page_no)
     }
+}
+
+/// Route an arbitrary 64-bit key to one of `stripes` lock stripes with a
+/// Fibonacci multiplicative hash (the high half mixes file/page-number
+/// patterns well). Callers that stripe at a coarser granularity (e.g. TAC's
+/// temperature extents) pre-divide the key before routing.
+pub fn stripe_of(key: u64, stripes: usize) -> usize {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % stripes.max(1)
 }
 
 /// A 4 KiB page: header plus body.

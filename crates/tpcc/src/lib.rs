@@ -15,10 +15,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod driver;
 pub mod layout;
 pub mod random;
 pub mod workload;
 
+pub use driver::{run_concurrent, DriverConfig, DriverReport, ThreadStats};
 pub use layout::{Table, TableLayout};
 pub use random::TpccRandom;
 pub use workload::{TpccConfig, TpccTransaction, TpccWorkload, TransactionKind};

@@ -74,6 +74,10 @@ impl Default for TpccConfig {
 pub struct TpccWorkload {
     layout: TableLayout,
     rng: TpccRandom,
+    /// Warehouses this generator draws from (inclusive). The full range by
+    /// default; a sub-range when a multi-threaded driver partitions the
+    /// warehouses so threads never write each other's rows.
+    home: (u64, u64),
     /// Next order id per (warehouse, district), driving the append-only
     /// growth of ORDER / ORDER_LINE / NEW_ORDER.
     next_order_id: Vec<u64>,
@@ -82,13 +86,29 @@ pub struct TpccWorkload {
 }
 
 impl TpccWorkload {
-    /// Create a workload generator.
+    /// Create a workload generator over every warehouse.
     pub fn new(config: TpccConfig) -> Self {
+        let home = (1, config.warehouses as u64);
+        Self::with_home_range(config, home.0, home.1)
+    }
+
+    /// Create a workload generator whose transactions stay within warehouses
+    /// `lo..=hi` (the layout still spans every warehouse in `config`). The
+    /// concurrent TPC-C driver gives each thread a disjoint range, so its
+    /// write sets never collide — the engine page-latches but does not lock
+    /// rows, exactly like the paper's host without row locks.
+    pub fn with_home_range(config: TpccConfig, lo: u64, hi: u64) -> Self {
+        assert!(
+            lo >= 1 && lo <= hi && hi <= config.warehouses as u64,
+            "home range {lo}..={hi} outside 1..={}",
+            config.warehouses
+        );
         let layout = TableLayout::new(config.warehouses);
         let districts = config.warehouses as usize * 10;
         Self {
             layout,
             rng: TpccRandom::new(config.seed),
+            home: (lo, hi),
             next_order_id: vec![3_001; districts],
             next_delivery_id: vec![2_101; districts],
         }
@@ -112,7 +132,13 @@ impl TpccWorkload {
     }
 
     fn random_warehouse(&mut self) -> u64 {
-        self.rng.uniform(1, self.layout.warehouses() as u64)
+        self.rng.uniform(self.home.0, self.home.1)
+    }
+
+    /// Whether this generator can reach more than one warehouse (remote
+    /// stock / remote payment accesses only make sense then).
+    fn multi_warehouse(&self) -> bool {
+        self.home.1 > self.home.0
     }
 
     /// Generate the next transaction according to the standard mix
@@ -160,7 +186,7 @@ impl TpccWorkload {
         for line in 0..lines {
             let item = self.rng.item_id();
             // 1% of orders access a remote warehouse's stock.
-            let supply_w = if self.rng.chance(1) && self.layout.warehouses() > 1 {
+            let supply_w = if self.rng.chance(1) && self.multi_warehouse() {
                 self.random_warehouse()
             } else {
                 w
@@ -178,7 +204,7 @@ impl TpccWorkload {
         let w = self.random_warehouse();
         let d = self.rng.district_id();
         // 15% of payments are for a customer of a remote warehouse.
-        let (cw, cd) = if self.rng.chance(15) && self.layout.warehouses() > 1 {
+        let (cw, cd) = if self.rng.chance(15) && self.multi_warehouse() {
             (self.random_warehouse(), self.rng.district_id())
         } else {
             (w, d)

@@ -18,6 +18,11 @@ pub enum WalError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An earlier physical log flush failed, so the writer can no longer
+    /// guarantee which appended bytes reached storage; every subsequent
+    /// force is refused rather than risk acknowledging lost commits or
+    /// writing at desynchronised offsets.
+    Poisoned,
 }
 
 impl std::fmt::Display for WalError {
@@ -26,6 +31,9 @@ impl std::fmt::Display for WalError {
             WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
             WalError::Corrupt { at, reason } => {
                 write!(f, "corrupt log frame at offset {at}: {reason}")
+            }
+            WalError::Poisoned => {
+                write!(f, "WAL writer poisoned by an earlier failed log flush")
             }
         }
     }

@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 
 use crate::codec::crc32;
 use crate::record::LogRecord;
-use crate::storage::{LogStorage, WalResult};
+use crate::storage::{LogStorage, WalError, WalResult};
 
 /// Size of the per-record frame header: `u32` payload length + `u32` CRC.
 pub const FRAME_HEADER_SIZE: u64 = 8;
@@ -17,6 +17,9 @@ struct WriterStats {
     records_appended: u64,
     forces: u64,
     bytes_flushed: u64,
+    /// Commit-path forces that found their LSN already durable — a
+    /// preceding leader's flush covered them (group commit piggy-backing).
+    piggybacked_forces: u64,
 }
 
 struct WriterInner {
@@ -26,6 +29,11 @@ struct WriterInner {
     next_lsn: Lsn,
     /// All records with LSN below this are durable in storage.
     durable_lsn: Lsn,
+    /// A physical flush failed: the bytes it stole may or may not have
+    /// reached storage, so no later flush can be allowed to write at what
+    /// would now be a desynchronised offset — and no committer may be told
+    /// its record is durable. Every subsequent force fails fast.
+    poisoned: bool,
     stats: WriterStats,
 }
 
@@ -33,11 +41,21 @@ struct WriterInner {
 ///
 /// The writer implements the paper's (and every ARIES system's) commit rule:
 /// a transaction's commit record — and everything before it — must be forced
-/// to stable storage before the commit is acknowledged. Batching between
-/// forces gives group commit for free.
+/// to stable storage before the commit is acknowledged.
+///
+/// Group commit is leader-based: `force` steals the pending buffer under the
+/// short append lock, then performs the physical write under a separate flush
+/// lock so that *appends keep flowing while the device is busy*. Committers
+/// arriving mid-flush block on the flush lock; when they get in, either a
+/// leader's write already covered their LSN (their force is a no-op — one
+/// physical flush acknowledged many commits) or they become the next leader
+/// and flush everything that accumulated, batch-sized.
 pub struct WalWriter {
     storage: Arc<dyn LogStorage>,
     inner: Mutex<WriterInner>,
+    /// Serialises physical flushes; held across storage I/O, never while
+    /// holding `inner`. Lock order: `flush_lock` → `inner`.
+    flush_lock: Mutex<()>,
 }
 
 impl WalWriter {
@@ -52,8 +70,10 @@ impl WalWriter {
                 pending: Vec::new(),
                 next_lsn: end,
                 durable_lsn: end,
+                poisoned: false,
                 stats: WriterStats::default(),
             }),
+            flush_lock: Mutex::new(()),
         }
     }
 
@@ -76,10 +96,15 @@ impl WalWriter {
     }
 
     /// Append a record and immediately force the log through it — the
-    /// commit-time path.
+    /// commit-time path. When the force turns out to be a no-op because
+    /// another leader's flush already covered this record, the commit is
+    /// counted as piggy-backed ([`WalWriter::piggybacked_forces`]).
     pub fn append_and_force(&self, record: &LogRecord) -> WalResult<Lsn> {
         let lsn = self.append(record);
-        self.force(self.next_lsn())?;
+        let led_flush = self.force(self.next_lsn())?;
+        if !led_flush {
+            self.inner.lock().stats.piggybacked_forces += 1;
+        }
         Ok(lsn)
     }
 
@@ -87,19 +112,55 @@ impl WalWriter {
     /// durable. Forcing an already-durable LSN is a no-op.
     ///
     /// Returns `true` if a physical write was performed (the caller may want
-    /// to charge a simulated log-device I/O only in that case).
+    /// to charge a simulated log-device I/O only in that case). `false` means
+    /// the LSN was already durable — under concurrency, usually because this
+    /// committer piggy-backed on another leader's flush.
     pub fn force(&self, upto: Lsn) -> WalResult<bool> {
-        let mut inner = self.inner.lock();
-        if upto <= inner.durable_lsn || inner.pending.is_empty() {
-            return Ok(false);
+        // Cheap pre-check without the flush lock: a force of an
+        // already-durable LSN must not queue behind a slow device. (An empty
+        // `pending` alone proves nothing here — the bytes may be riding in a
+        // leader's in-flight write, which only `durable_lsn` reflects.)
+        {
+            let inner = self.inner.lock();
+            if inner.poisoned {
+                return Err(WalError::Poisoned);
+            }
+            if upto <= inner.durable_lsn {
+                return Ok(false);
+            }
         }
-        // Simplification: force always flushes the entire pending buffer.
-        // This is what group commit does in practice (the tail is small) and
-        // it keeps the LSN/byte-offset correspondence exact.
-        let buf = std::mem::take(&mut inner.pending);
-        self.storage.append(&buf)?;
-        self.storage.sync()?;
-        inner.durable_lsn = inner.next_lsn;
+        // Become (or wait for) the flush leader. Holding `flush_lock` across
+        // the storage I/O — but *not* `inner` — is what lets appends continue
+        // while the device works, which is where group commit's batching
+        // comes from.
+        let _leader = self.flush_lock.lock();
+        let (buf, end) = {
+            let mut inner = self.inner.lock();
+            if inner.poisoned {
+                return Err(WalError::Poisoned);
+            }
+            if upto <= inner.durable_lsn || inner.pending.is_empty() {
+                // A preceding leader's flush covered this LSN while we waited.
+                return Ok(false);
+            }
+            // Steal the whole pending tail: everything appended so far rides
+            // in this leader's single physical write.
+            (std::mem::take(&mut inner.pending), inner.next_lsn)
+        };
+        let wrote = self.storage.append(&buf).and_then(|_| self.storage.sync());
+        let mut inner = self.inner.lock();
+        if let Err(e) = wrote {
+            // The stolen bytes are in limbo (the append may have partially
+            // reached storage). Poison the writer: followers waiting on this
+            // batch — and everyone after them — get an error instead of a
+            // false durability acknowledgement, and no later leader writes at
+            // a desynchronised offset.
+            inner.poisoned = true;
+            return Err(e);
+        }
+        // `end` was `next_lsn` at steal time; appends that raced in since are
+        // still in `pending` and not yet durable.
+        inner.durable_lsn = end;
         inner.stats.forces += 1;
         inner.stats.bytes_flushed += buf.len() as u64;
         Ok(true)
@@ -129,6 +190,17 @@ impl WalWriter {
     /// Number of physical force (flush) operations performed.
     pub fn forces(&self) -> u64 {
         self.inner.lock().stats.forces
+    }
+
+    /// Number of commit-path appends ([`WalWriter::append_and_force`]) that
+    /// were acknowledged without leading a physical write because another
+    /// committer's flush already covered their LSN. Under a concurrent commit
+    /// load, `piggybacked_forces / (forces + piggybacked_forces)` is the
+    /// share of commits that group commit amortised away. (Plain
+    /// [`WalWriter::force`] no-ops on already-durable LSNs are not counted —
+    /// they amortise nothing.)
+    pub fn piggybacked_forces(&self) -> u64 {
+        self.inner.lock().stats.piggybacked_forces
     }
 
     /// Total bytes flushed to storage.
@@ -210,6 +282,104 @@ mod tests {
             .append_and_force(&LogRecord::Commit { txn: TxnId(1) })
             .unwrap();
         assert!(w.durable_lsn() > commit_lsn);
+    }
+
+    #[test]
+    fn failed_flush_poisons_the_writer_instead_of_lying() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// Storage whose appends can be switched to fail.
+        struct FlakyStorage {
+            inner: InMemoryLogStorage,
+            fail: AtomicBool,
+        }
+        impl LogStorage for FlakyStorage {
+            fn append(&self, data: &[u8]) -> WalResult<u64> {
+                if self.fail.load(Ordering::Relaxed) {
+                    return Err(WalError::Io(std::io::Error::other("device gone")));
+                }
+                self.inner.append(data)
+            }
+            fn read_at(&self, offset: u64, buf: &mut [u8]) -> WalResult<usize> {
+                self.inner.read_at(offset, buf)
+            }
+            fn len(&self) -> u64 {
+                self.inner.len()
+            }
+            fn sync(&self) -> WalResult<()> {
+                self.inner.sync()
+            }
+            fn truncate(&self, len: u64) -> WalResult<()> {
+                self.inner.truncate(len)
+            }
+        }
+
+        let storage = Arc::new(FlakyStorage {
+            inner: InMemoryLogStorage::new(),
+            fail: AtomicBool::new(false),
+        });
+        let w = WalWriter::new(Arc::clone(&storage) as Arc<dyn LogStorage>);
+        // A healthy commit first.
+        w.append(&LogRecord::Begin { txn: TxnId(1) });
+        w.append_and_force(&LogRecord::Commit { txn: TxnId(1) })
+            .unwrap();
+        let durable_before = w.durable_lsn();
+
+        // The device dies mid-batch: the leader's flush fails...
+        storage.fail.store(true, Ordering::Relaxed);
+        w.append(&LogRecord::Begin { txn: TxnId(2) });
+        assert!(matches!(
+            w.append_and_force(&LogRecord::Commit { txn: TxnId(2) }),
+            Err(WalError::Io(_))
+        ));
+        // ...durability must NOT have advanced past what really hit storage,
+        // and every later force fails fast instead of acknowledging commits
+        // whose bytes are in limbo — even after the device "recovers".
+        assert_eq!(w.durable_lsn(), durable_before);
+        storage.fail.store(false, Ordering::Relaxed);
+        assert!(matches!(
+            w.append_and_force(&LogRecord::Commit { txn: TxnId(3) }),
+            Err(WalError::Poisoned)
+        ));
+        assert!(matches!(w.force_all(), Err(WalError::Poisoned)));
+        assert_eq!(w.durable_lsn(), durable_before);
+        // The physical log still parses cleanly up to the durable point.
+        let mut reader = crate::reader::LogReader::new(w.storage());
+        let records = reader.read_to_end().unwrap();
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_commits_stay_ordered_and_durable() {
+        use std::sync::Arc;
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = Arc::new(WalWriter::new(Arc::clone(&storage)));
+        let threads = 8;
+        let per_thread = 50u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let w = Arc::clone(&w);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let txn = TxnId(t * 1000 + i);
+                        w.append(&LogRecord::Begin { txn });
+                        let lsn = w.append_and_force(&LogRecord::Commit { txn }).unwrap();
+                        // The commit rule: everything up to and including the
+                        // commit record is durable before commit returns.
+                        assert!(w.durable_lsn() > lsn);
+                    }
+                });
+            }
+        });
+        assert_eq!(w.records_appended(), threads * per_thread * 2);
+        // Every byte appended ended up durable exactly once, in LSN order.
+        assert_eq!(w.durable_lsn(), w.next_lsn());
+        assert_eq!(storage.len(), w.next_lsn().0);
+        // The frame stream parses end to end (no interleaving corruption).
+        let mut reader = crate::reader::LogReader::new(storage);
+        let records = reader.read_to_end().unwrap();
+        assert_eq!(records.len() as u64, threads * per_thread * 2);
+        assert_eq!(w.forces() + w.piggybacked_forces(), threads * per_thread);
     }
 
     #[test]

@@ -19,7 +19,7 @@ fn run(policy: CachePolicyKind) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         config
     };
-    let mut db = Database::open(config)?;
+    let db = Database::open(config)?;
 
     // Phase 1: committed work, then a checkpoint.
     let txn = db.begin();

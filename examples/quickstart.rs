@@ -11,7 +11,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .buffer_frames(64)
         .table_buckets(256)
         .flash_cache(CachePolicyKind::FaceGsc, 512);
-    let mut db = Database::open(config)?;
+    let db = Database::open(config)?;
 
     // Write some data under a transaction and commit it.
     let txn = db.begin();

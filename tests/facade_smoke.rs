@@ -83,7 +83,7 @@ fn prelude_exposes_devices_engine_and_workload() {
     let config = EngineConfig::in_memory()
         .buffer_frames(64)
         .flash_cache(CachePolicyKind::FaceGsc, 256);
-    let mut db = Database::open(config).expect("engine opens");
+    let db = Database::open(config).expect("engine opens");
     let txn = db.begin();
     db.put(txn, 7, b"facade smoke").expect("put");
     db.commit(txn).expect("commit");

@@ -29,7 +29,7 @@ fn every_policy_preserves_committed_data_across_a_crash() {
         CachePolicyKind::Tac,
         CachePolicyKind::None,
     ] {
-        let mut db = db_with(policy, 16, 512);
+        let db = db_with(policy, 16, 512);
         let txn = db.begin();
         for k in 0..300u64 {
             db.put(txn, k, &value(k, 1)).unwrap();
@@ -60,7 +60,7 @@ fn every_policy_preserves_committed_data_across_a_crash() {
 
 #[test]
 fn repeated_crash_restart_cycles_converge() {
-    let mut db = db_with(CachePolicyKind::FaceGsc, 16, 256);
+    let db = db_with(CachePolicyKind::FaceGsc, 16, 256);
     for round in 1..=4u32 {
         let txn = db.begin();
         for k in 0..150u64 {
@@ -85,7 +85,7 @@ fn repeated_crash_restart_cycles_converge() {
 
 #[test]
 fn mixed_commit_abort_workload_is_consistent_after_crash() {
-    let mut db = db_with(CachePolicyKind::FaceGsc, 32, 512);
+    let db = db_with(CachePolicyKind::FaceGsc, 32, 512);
     // Committed baseline.
     let txn = db.begin();
     for k in 0..200u64 {
@@ -117,7 +117,7 @@ fn mixed_commit_abort_workload_is_consistent_after_crash() {
 
 #[test]
 fn deletes_survive_crash_and_recovery() {
-    let mut db = db_with(CachePolicyKind::FaceGr, 16, 256);
+    let db = db_with(CachePolicyKind::FaceGr, 16, 256);
     let txn = db.begin();
     for k in 0..100u64 {
         db.put(txn, k, &value(k, 1)).unwrap();
@@ -143,7 +143,7 @@ fn deletes_survive_crash_and_recovery() {
 #[test]
 fn face_reduces_disk_writes_versus_no_cache() {
     let run = |policy: CachePolicyKind| -> (u64, u64) {
-        let mut db = db_with(policy, 16, 1024);
+        let db = db_with(policy, 16, 1024);
         for round in 0..6u32 {
             let txn = db.begin();
             for k in 0..400u64 {
@@ -165,7 +165,7 @@ fn face_reduces_disk_writes_versus_no_cache() {
 
 #[test]
 fn flash_cache_serves_rereads_after_buffer_pressure() {
-    let mut db = db_with(CachePolicyKind::Face, 8, 2048);
+    let db = db_with(CachePolicyKind::Face, 8, 2048);
     let txn = db.begin();
     for k in 0..500u64 {
         db.put(txn, k, &value(k, 1)).unwrap();

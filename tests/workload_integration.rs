@@ -13,7 +13,7 @@ fn tpcc_access_pattern_drives_the_functional_engine() {
         warehouses: 1,
         seed: 5,
     });
-    let mut db = Database::open(
+    let db = Database::open(
         EngineConfig::in_memory()
             .buffer_frames(32)
             .table_buckets(1024)

@@ -82,9 +82,71 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Acquire a shared read guard without blocking, if no writer holds the
+    /// lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquire an exclusive write guard without blocking, if the lock is free.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutably access the protected value without locking.
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A condition variable usable with [`Mutex`] guards.
+///
+/// Divergence from upstream `parking_lot`: `wait`/`wait_while` take and
+/// return the guard *by value* instead of through `&mut`, because the
+/// in-place swap cannot be written against `std`'s consuming API without
+/// `unsafe`. Poisoning is erased as everywhere else in this stub.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Block until notified, atomically releasing and re-acquiring the lock
+    /// behind `guard`. Spurious wake-ups are possible, as with any condvar.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until `condition` returns false (i.e. wait *while* it holds).
+    pub fn wait_while<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        condition: impl FnMut(&mut T) -> bool,
+    ) -> MutexGuard<'a, T> {
+        self.0
+            .wait_while(guard, condition)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
@@ -115,5 +177,64 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_try_variants_report_contention() {
+        let l = RwLock::new(5);
+        {
+            let _r = l.read();
+            // A reader blocks writers but not other readers.
+            assert!(l.try_read().is_some());
+            assert!(l.try_write().is_none());
+        }
+        {
+            let _w = l.write();
+            assert!(l.try_read().is_none());
+            assert!(l.try_write().is_none());
+        }
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_waiters() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let guard = lock.lock();
+                let guard = cv.wait_while(guard, |ready| !*ready);
+                *guard
+            })
+        };
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_single_wait_round_trip() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut guard = lock.lock();
+            while *guard == 0 {
+                guard = cv.wait(guard);
+            }
+            *guard
+        });
+        // Nudge until the waiter observes the value (tolerates spurious
+        // wake-up ordering).
+        let (lock, cv) = &*pair;
+        *lock.lock() = 7;
+        cv.notify_one();
+        assert_eq!(t.join().unwrap(), 7);
     }
 }
