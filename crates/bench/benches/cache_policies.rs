@@ -16,7 +16,6 @@ fn bench_policies(c: &mut Criterion) {
             let cfg = CacheConfig {
                 capacity_pages: 8_192,
                 group_size: 64,
-                metadata_segment_entries: 64_000,
                 ..CacheConfig::default()
             };
             let mut cache =

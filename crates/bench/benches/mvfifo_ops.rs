@@ -13,7 +13,6 @@ fn cache(capacity: usize, group: usize, second_chance: bool) -> MvFifoCache {
         capacity_pages: capacity,
         group_size: group,
         second_chance,
-        metadata_segment_entries: 64_000,
         ..CacheConfig::default()
     };
     MvFifoCache::new(cfg, Arc::new(NullFlashStore::new(capacity)))

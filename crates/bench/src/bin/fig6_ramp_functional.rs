@@ -1,0 +1,95 @@
+//! Figure 6 (functional): post-restart throughput ramp of the *real* engine,
+//! warm restart (durable cache metadata + WAL reconciliation) versus cold
+//! restart (wiped cache device), on the default simulated devices.
+//!
+//! This binary is also a CI gate: it exits non-zero if the warm restart's
+//! first measurement window fails to beat the cold restart's — i.e. if the
+//! paper's faster-recovery claim stops holding in the functional engine.
+//!
+//! Scale knobs: `FACE_REC_WAREHOUSES`, `FACE_REC_THREADS`,
+//! `FACE_REC_LOAD_TXNS`, `FACE_REC_POST_TXNS`, `FACE_REC_WINDOWS`,
+//! `FACE_REC_WINDOW_TXNS`.
+
+use face_bench::experiments::{run_fig6_functional, RecoveryScale};
+use face_bench::{print_table, write_json};
+
+fn main() {
+    let scale = RecoveryScale::from_env();
+    let arms = run_fig6_functional(&scale);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for arm in &arms {
+        rows.push(vec![
+            arm.mode.clone(),
+            "restart".to_string(),
+            format!("{:.3}s", arm.restart_secs),
+            format!("{}", arm.recovery.cache_recovery.entries_restored),
+            format!("{:.1}", arm.recovery.flash_fetch_share * 100.0),
+            String::new(),
+        ]);
+        for w in &arm.windows {
+            rows.push(vec![
+                arm.mode.clone(),
+                format!("window {}", w.window),
+                format!("{:.3}s", w.secs),
+                format!("{}", w.flash_hits),
+                String::new(),
+                format!("{:.0}", w.tpm),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 6 (functional): throughput ramp after warm vs cold restart (FaCE+GSC, simulated devices)",
+        &[
+            "arm",
+            "phase",
+            "wall",
+            "flash entries/hits",
+            "redo flash %",
+            "tpm",
+        ],
+        &rows,
+    );
+    write_json("fig6_ramp_functional", &arms);
+
+    let warm = arms.iter().find(|a| a.mode == "warm");
+    let cold = arms.iter().find(|a| a.mode == "cold");
+    match (warm, cold) {
+        (Some(warm), Some(cold)) if !warm.windows.is_empty() && !cold.windows.is_empty() => {
+            let w0 = warm.windows[0].tpm;
+            let c0 = cold.windows[0].tpm;
+            // Where each arm reaches steady state: the first window at 90 %
+            // of its own final-window throughput.
+            let steady = |arm: &face_bench::experiments::RampArmReport| {
+                let last = arm.windows.last().map(|w| w.tpm).unwrap_or(0.0);
+                arm.windows
+                    .iter()
+                    .position(|w| w.tpm >= 0.9 * last)
+                    .unwrap_or(arm.windows.len())
+            };
+            println!(
+                "warm reaches steady state in window {}, cold in window {}",
+                steady(warm),
+                steady(cold)
+            );
+            let pass = w0 > c0;
+            println!(
+                "[{}] warm first-window {w0:.0} tpm vs cold {c0:.0} tpm ({:.2}x); \
+                 warm restart {:.3}s vs cold {:.3}s",
+                if pass { "PASS" } else { "FAIL" },
+                w0 / c0.max(f64::MIN_POSITIVE),
+                warm.restart_secs,
+                cold.restart_secs,
+            );
+            if !pass {
+                // The CI smoke-run must go red when the warm restart stops
+                // out-ramping the cold one.
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("[FAIL] expected warm and cold arms with at least one window each");
+            std::process::exit(1);
+        }
+    }
+}

@@ -19,6 +19,10 @@ pub enum TierError {
     Store(StoreError),
     /// An error from the flash-cache layer.
     Cache(String),
+    /// The WAL could not be forced up to a page's LSN before persisting the
+    /// page (tiers that observe the write-ahead rule refuse to write a dirty
+    /// page whose log records are not durable).
+    Wal(String),
 }
 
 impl std::fmt::Display for TierError {
@@ -27,6 +31,7 @@ impl std::fmt::Display for TierError {
             TierError::PageNotFound(id) => write!(f, "page {id} not found in any tier"),
             TierError::Store(e) => write!(f, "store error: {e}"),
             TierError::Cache(msg) => write!(f, "flash cache error: {msg}"),
+            TierError::Wal(msg) => write!(f, "write-ahead rule violated: {msg}"),
         }
     }
 }
@@ -248,5 +253,7 @@ mod tests {
         assert!(format!("{e}").contains("bad state"));
         let e: TierError = StoreError::Closed.into();
         assert!(matches!(e, TierError::Store(_)));
+        let e = TierError::Wal("log force failed".into());
+        assert!(format!("{e}").contains("log force failed"));
     }
 }

@@ -45,7 +45,7 @@ use face_cache::{
 use face_pagestore::{FilePageStore, InMemoryPageStore, PageId, PageStore};
 use face_wal::{
     recovery::build_redo_plan, CheckpointData, FileLogStorage, InMemoryLogStorage, LogRecord,
-    LogStorage, TxnId, WalWriter,
+    LogStorage, Lsn, TxnId, WalWriter,
 };
 use parking_lot::Mutex;
 
@@ -131,6 +131,9 @@ pub struct RecoveryReport {
     pub pages_from_flash: u64,
     /// Redo page fetches served by the disk.
     pub pages_from_disk: u64,
+    /// The durable end of the WAL that cache recovery reconciled against:
+    /// no recovered flash page carries a pageLSN beyond this.
+    pub durable_lsn: Lsn,
     /// What the flash cache could restore of itself.
     pub cache_recovery: CacheRecoveryInfo,
 }
@@ -154,7 +157,7 @@ impl RecoveryReport {
 pub struct Database {
     config: EngineConfig,
     pool: BufferPool<FaceTier>,
-    wal: WalWriter,
+    wal: Arc<WalWriter>,
     log_storage: Arc<dyn LogStorage>,
     disk: Arc<dyn PageStore>,
     next_txn: AtomicU64,
@@ -195,9 +198,12 @@ impl Database {
                 }
             },
         );
-        let tier = FaceTier::new(Arc::clone(&disk), cache);
+        let wal = Arc::new(WalWriter::new(Arc::clone(&log_storage)));
+        // The tier carries the write-ahead guard: no dirty page reaches the
+        // flash cache or the disk before its log records are durable, so a
+        // recovered flash directory never outruns the durable log.
+        let tier = FaceTier::new(Arc::clone(&disk), cache).with_wal(Arc::clone(&wal));
         let pool = BufferPool::with_shards(config.buffer_frames, config.buffer_shards, tier);
-        let wal = WalWriter::new(Arc::clone(&log_storage));
 
         let db = Self {
             config,
@@ -450,12 +456,16 @@ impl Database {
     }
 
     /// Simulate a crash: everything volatile (DRAM buffer contents, active
-    /// transactions, RAM-resident cache metadata) is lost; the disk store,
-    /// the flash store and the forced portion of the WAL survive. Client
-    /// threads must have quiesced.
+    /// transactions, RAM-resident cache metadata, the unflushed WAL tail) is
+    /// lost; the disk store, the flash store, the flash-resident cache
+    /// metadata (sealed journal groups + cache checkpoint) and the forced
+    /// portion of the WAL survive. Client threads must have quiesced.
     pub fn crash(&self) {
         self.crashed.store(true, Ordering::Release);
         self.pool.crash();
+        // The log buffer is RAM: records appended but never forced die with
+        // the process, and LSN assignment rewinds to the durable end.
+        self.wal.discard_unflushed();
         for stripe in &self.stripes {
             let mut stripe = stripe.lock();
             stripe.active.clear();
@@ -464,26 +474,68 @@ impl Database {
     }
 
     /// Restart after [`Database::crash`]: restore the flash-cache directory
-    /// from its persistent metadata, then run log analysis and redo. Redo
-    /// page fetches go through the normal buffer/cache path, so most of them
-    /// are served by the flash cache when FaCE is enabled.
+    /// from its persistent metadata (cache checkpoint + journal), reconcile
+    /// it against the WAL's durable end, then run log analysis and redo.
+    ///
+    /// Reconciliation rules (paper §4):
+    /// * a flash page whose pageLSN exceeds the last durable log record is
+    ///   **discarded** — its log records were lost in the crash, so serving
+    ///   it would diverge from what redo can reconstruct;
+    /// * a dirty flash page at or below the durable end **substitutes for
+    ///   the disk copy** during redo — redo page fetches go through the
+    ///   normal buffer/cache path, so most of them are served by the flash
+    ///   cache when FaCE is enabled (the warm-restart effect of Figure 6).
     pub fn restart(&self) -> EngineResult<RecoveryReport> {
+        self.prepare_restart();
+
+        // Phase 1: restore the flash cache directory, reconciled against the
+        // durable log horizon.
+        let durable_lsn = self.wal.durable_lsn();
+        let cache_recovery = self.pool.lower().recover_cache(durable_lsn);
+
+        // Phase 2: WAL analysis + redo.
+        let mut report = self.run_redo()?;
+        report.durable_lsn = durable_lsn;
+        report.cache_recovery = cache_recovery;
+        Ok(report)
+    }
+
+    /// Restart with a **cold** flash cache — the path a production system
+    /// takes when decommissioning or replacing the cache device. Because
+    /// FaCE's dirty flash pages are part of the persistent database (they
+    /// exist nowhere else), the cache cannot simply be wiped: its directory
+    /// is first recovered from the persistent metadata exactly as in
+    /// [`Database::restart`], every dirty valid page is evacuated to disk,
+    /// and only then is the device wiped. Redo and the workload that follows
+    /// ramp up from disk — the cold baseline of the warm-restart
+    /// experiments.
+    pub fn restart_cold(&self) -> EngineResult<RecoveryReport> {
+        self.prepare_restart();
+        let durable_lsn = self.wal.durable_lsn();
+        // Recover the directory (reconciled) so the evacuation knows which
+        // flash pages are dirty, drain them to disk, then wipe the device.
+        self.pool.lower().recover_cache(durable_lsn);
+        self.pool.lower().reset_cache_cold()?;
+        let mut report = self.run_redo()?;
+        report.durable_lsn = durable_lsn;
+        // Nothing survives into the wiped cache by construction.
+        report.cache_recovery = CacheRecoveryInfo::default();
+        Ok(report)
+    }
+
+    /// Shared prologue of [`Database::restart`] / [`Database::restart_cold`].
+    fn prepare_restart(&self) {
         if !self.crashed.load(Ordering::Acquire) {
             // Restarting a healthy database is allowed and just runs redo.
+            // Flush the log tail first so reconciliation does not discard
+            // flash pages whose records are merely buffered, not lost.
+            let _ = self.wal.force_all();
             self.pool.crash();
             for stripe in &self.stripes {
                 stripe.lock().active.clear();
             }
         }
         self.crashed.store(false, Ordering::Release);
-
-        // Phase 1: restore the flash cache metadata directory.
-        let cache_recovery = self.pool.lower().recover_cache();
-
-        // Phase 2: WAL analysis + redo.
-        let mut report = self.run_redo()?;
-        report.cache_recovery = cache_recovery;
-        Ok(report)
     }
 
     fn run_redo(&self) -> EngineResult<RecoveryReport> {
@@ -568,6 +620,12 @@ impl Database {
     /// Commits whose force piggy-backed on another leader's flush.
     pub fn wal_piggybacked_forces(&self) -> u64 {
         self.wal.piggybacked_forces()
+    }
+
+    /// The durable end of the WAL: every record below this LSN survives a
+    /// crash, and cache recovery discards any flash page above it.
+    pub fn wal_durable_lsn(&self) -> Lsn {
+        self.wal.durable_lsn()
     }
 
     /// The per-shard flash stores (crash-simulation tests inspect them), or

@@ -186,6 +186,10 @@ impl FlashStore for LatencyFlashStore {
         self.inner.note_slot_header(slot, page, lsn);
     }
 
+    fn clear_slot(&self, slot: usize) {
+        self.inner.clear_slot(slot);
+    }
+
     fn carries_data(&self) -> bool {
         self.inner.carries_data()
     }

@@ -19,7 +19,8 @@ use face_buffer::{
     FetchOutcome, FetchSource, LowerTier, TierError, TierResult, WriteBackOutcome, WriteBackReason,
 };
 use face_cache::{CacheRecoveryInfo, Counter, IoLog, ShardedFlashCache, StagedPage};
-use face_pagestore::{Page, PageId, PageStore};
+use face_pagestore::{Lsn, Page, PageId, PageStore};
+use face_wal::WalWriter;
 use parking_lot::Mutex;
 
 /// Counters for the tier's physical activity.
@@ -33,6 +34,9 @@ pub struct TierStats {
     pub disk_writes: u64,
     /// Pages handed to the flash cache.
     pub cache_inserts: u64,
+    /// Physical log flushes led by the tier's write-ahead guard (a dirty
+    /// page could not be persisted before its log records were).
+    pub wal_guard_forces: u64,
 }
 
 /// Atomic twin of [`TierStats`], built from the flash-cache crate's relaxed
@@ -43,6 +47,7 @@ struct TierStatCounters {
     disk_fetches: Counter,
     disk_writes: Counter,
     cache_inserts: Counter,
+    wal_guard_forces: Counter,
 }
 
 impl TierStatCounters {
@@ -52,6 +57,7 @@ impl TierStatCounters {
             disk_fetches: self.disk_fetches.get(),
             disk_writes: self.disk_writes.get(),
             cache_inserts: self.cache_inserts.get(),
+            wal_guard_forces: self.wal_guard_forces.get(),
         }
     }
 }
@@ -62,6 +68,13 @@ pub struct FaceTier {
     cache: Option<ShardedFlashCache>,
     disk: Arc<dyn PageStore>,
     io: Mutex<IoLog>,
+    /// The engine's log writer, when attached: the tier observes the
+    /// write-ahead rule for every dirty page it persists — to flash as much
+    /// as to disk, because a page in the flash cache *is* part of the
+    /// persistent database (paper §4). Forcing here sits at the innermost
+    /// position of the documented lock order (buffer shard → tier → WAL),
+    /// so no new ordering is introduced.
+    wal: Option<Arc<WalWriter>>,
     stats: TierStatCounters,
 }
 
@@ -72,7 +85,41 @@ impl FaceTier {
             cache,
             disk,
             io: Mutex::new(IoLog::new()),
+            wal: None,
             stats: TierStatCounters::default(),
+        }
+    }
+
+    /// Attach the log writer whose durability this tier must respect before
+    /// persisting dirty pages (the write-ahead guard).
+    pub fn with_wal(mut self, wal: Arc<WalWriter>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// Write-ahead guard: make every log record up to and including `lsn`
+    /// durable before the caller persists a page carrying that pageLSN.
+    /// Almost always a no-op under a committing workload (group commit keeps
+    /// the durable horizon ahead of evicted pages); when it does lead a
+    /// flush, that flush is counted in [`TierStats::wal_guard_forces`].
+    fn ensure_wal_durable(&self, lsn: Lsn) -> TierResult<()> {
+        let Some(wal) = self.wal.as_ref() else {
+            return Ok(());
+        };
+        if lsn == Lsn::ZERO {
+            return Ok(());
+        }
+        match wal.force(Lsn(lsn.0 + 1)) {
+            Ok(led_flush) => {
+                if led_flush {
+                    self.stats.wal_guard_forces.inc();
+                }
+                Ok(())
+            }
+            Err(e) => Err(TierError::Wal(format!(
+                "cannot persist page with LSN {}: {e}",
+                lsn.0
+            ))),
         }
     }
 
@@ -110,6 +157,7 @@ impl FaceTier {
 
     fn write_staged_to_disk(&self, staged: &[StagedPage]) -> TierResult<()> {
         for s in staged {
+            self.ensure_wal_durable(s.lsn)?;
             if let Some(data) = &s.data {
                 let mut copy = data.clone();
                 copy.update_checksum();
@@ -121,6 +169,7 @@ impl FaceTier {
     }
 
     fn write_page_to_disk(&self, page: &Page) -> TierResult<()> {
+        self.ensure_wal_durable(page.lsn())?;
         let mut copy = page.clone();
         copy.update_checksum();
         self.disk.write_page(copy.id(), &copy)?;
@@ -144,16 +193,41 @@ impl FaceTier {
     }
 
     /// Restart support: crash and recover the flash cache from its persistent
-    /// flash-resident state, merging the per-shard reports. Returns the
-    /// default (nothing survived) report when no cache is configured.
-    pub fn recover_cache(&self) -> CacheRecoveryInfo {
+    /// flash-resident state (cache checkpoint + sealed journal groups),
+    /// reconciling every recovered version against `durable_lsn` — the
+    /// durable end of the WAL. A flash page newer than the last durable log
+    /// record is discarded; a dirty flash page at or below it substitutes
+    /// for disk reads during the redo that follows. Merges the per-shard
+    /// reports; returns the default (nothing survived) report when no cache
+    /// is configured.
+    pub fn recover_cache(&self, durable_lsn: Lsn) -> CacheRecoveryInfo {
         let Some(cache) = self.cache.as_ref() else {
             return CacheRecoveryInfo::default();
         };
         let mut io = IoLog::new();
-        let info = cache.crash_and_recover(&mut io);
+        let info = cache.crash_and_recover(durable_lsn, &mut io);
         self.merge_io(io);
         info
+    }
+
+    /// Restart support, cold variant: **evacuate** every dirty valid flash
+    /// page to disk (under FaCE those pages are the only persistent copy of
+    /// their contents — wiping without draining loses committed data), then
+    /// wipe the cache (stores, journal, checkpoint, directory). Models
+    /// decommissioning or replacing the cache device — the baseline the
+    /// warm-restart experiments compare against. Returns the number of pages
+    /// evacuated; a no-op without a cache.
+    pub fn reset_cache_cold(&self) -> TierResult<usize> {
+        let Some(cache) = self.cache.as_ref() else {
+            return Ok(0);
+        };
+        let mut io = IoLog::new();
+        let evacuated = cache.evacuate_dirty(&mut io);
+        self.merge_io(io);
+        let n = evacuated.len();
+        self.write_staged_to_disk(&evacuated)?;
+        cache.reset_cold();
+        Ok(n)
     }
 }
 
@@ -222,6 +296,14 @@ impl LowerTier for FaceTier {
                 })
             }
             Some(cache) => {
+                // Write-ahead guard: a dirty page entering a persisting cache
+                // (FaCE) joins the persistent database right there, so its
+                // log records must be durable first — same rule as a disk
+                // write. Non-persisting caches (LC/TAC) hit the guard on the
+                // disk-write paths below instead.
+                if dirty && cache.persists_dirty_pages() {
+                    self.ensure_wal_durable(page.lsn())?;
+                }
                 // FaCE checkpoints flush dirty pages to the flash cache; LC and
                 // TAC cannot treat the flash copy as persistent, so checkpoint
                 // writes must reach the disk. The page is still passed through
@@ -290,7 +372,6 @@ mod tests {
         let cfg = CacheConfig {
             capacity_pages: capacity,
             group_size: 4,
-            metadata_segment_entries: 1_000_000,
             // Keep LC's background cleaner out of these focused tests.
             lc_dirty_threshold: 2.0,
             ..CacheConfig::default()
@@ -343,7 +424,8 @@ mod tests {
         assert!(!tier.has_cache());
         assert!(tier.cache().is_none());
         assert_eq!(tier.checkpoint_cache().unwrap(), 0);
-        assert!(!tier.recover_cache().survived);
+        assert!(!tier.recover_cache(Lsn(u64::MAX)).survived);
+        assert_eq!(tier.reset_cache_cold().unwrap(), 0);
         let id = tier.allocate(0).unwrap();
         let page = dirty_page(id, b"straight to disk");
         let out = tier
@@ -466,6 +548,49 @@ mod tests {
         assert!(!events.is_empty());
         assert!(tier.drain_io().is_empty());
         tier.sync().unwrap();
+    }
+
+    #[test]
+    fn wal_guard_forces_log_before_persisting_dirty_pages() {
+        use face_wal::{InMemoryLogStorage, LogRecord, LogStorage, TxnId, WalWriter};
+        let disk = Arc::new(InMemoryPageStore::new());
+        let cfg = CacheConfig {
+            capacity_pages: 16,
+            group_size: 1,
+            ..CacheConfig::default()
+        };
+        let cache = ShardedFlashCache::build(CachePolicyKind::FaceGsc, cfg, 1, |cap| {
+            Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
+        });
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let wal = Arc::new(WalWriter::new(Arc::clone(&storage)));
+        let tier = FaceTier::new(disk as Arc<dyn PageStore>, cache).with_wal(Arc::clone(&wal));
+
+        let id = tier.allocate(0).unwrap();
+        // A Begin record first, as in the engine: updates never sit at log
+        // offset zero (`Lsn::ZERO` is the "never logged" page sentinel).
+        wal.append(&LogRecord::Begin { txn: TxnId(1) });
+        let lsn = wal.append(&LogRecord::Update {
+            txn: TxnId(1),
+            page: id,
+            offset: 0,
+            data: vec![1; 8],
+        });
+        assert_eq!(wal.durable_lsn(), Lsn(0), "nothing durable yet");
+
+        // Evicting the dirty page into the (persisting) flash cache must
+        // force the log record first: flash membership is persistence.
+        let mut page = dirty_page(id, b"guarded");
+        page.set_lsn(lsn);
+        tier.write_back(&page, true, true, WriteBackReason::Eviction)
+            .unwrap();
+        assert!(wal.durable_lsn() > lsn, "record durable before the page");
+        assert_eq!(tier.stats().wal_guard_forces, 1);
+
+        // A second write-back of already-covered LSNs is a no-op force.
+        tier.write_back(&page, true, true, WriteBackReason::Eviction)
+            .unwrap();
+        assert_eq!(tier.stats().wal_guard_forces, 1);
     }
 
     #[test]

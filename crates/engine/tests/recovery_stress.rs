@@ -1,0 +1,216 @@
+//! Warm crash-recovery stress tests — the CI `recovery` gate that runs in
+//! **release mode** (`cargo test --release -p face-engine --test
+//! recovery_stress`).
+//!
+//! What is pinned down here:
+//! * repeated crashes injected between rounds of a concurrent group-commit
+//!   loop recover a *warm* flash cache every time, and no recovered flash
+//!   slot ever carries a pageLSN beyond the WAL's durable end (the
+//!   reconciliation invariant);
+//! * the volatile WAL tail really dies with a crash (LSNs rewind to the
+//!   durable end) and recovery still restores every committed key;
+//! * a cold restart on the same history loses the cache but not the data.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use face_cache::CachePolicyKind;
+use face_engine::{Database, DeviceLatency, EngineConfig};
+
+const THREADS: u64 = 8;
+
+fn stress_db() -> Arc<Database> {
+    Arc::new(
+        Database::open(
+            EngineConfig::in_memory()
+                .buffer_frames(128)
+                .buffer_shards(16)
+                .table_buckets(2048)
+                .flash_cache(CachePolicyKind::FaceGsc, 8192)
+                .cache_shards(8),
+        )
+        .unwrap(),
+    )
+}
+
+fn key_of(thread: u64, i: u64) -> u64 {
+    thread * 1_000_000 + i
+}
+
+/// Every flash slot of every shard must satisfy the reconciliation
+/// invariant: no recovered page version outruns the durable log.
+fn assert_flash_below_durable(db: &Database) {
+    let durable = db.wal_durable_lsn();
+    for (s, store) in db.flash_stores().iter().enumerate() {
+        for slot in 0..store.capacity() {
+            if let Some((page, lsn)) = store.slot_header(slot) {
+                assert!(
+                    lsn <= durable,
+                    "shard {s} slot {slot}: page {page} at lsn {lsn:?} beyond durable {durable:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_mid_group_commit_loop_recovers_warm_every_iteration() {
+    // N iterations of: concurrent group-commit load (small DRAM buffer, so
+    // plenty of pages cross into the flash cache) -> crash -> warm restart.
+    // Each iteration must recover persistent cache metadata, serve redo
+    // mostly from flash once the cache is populated, keep every committed
+    // key, and never resurrect a flash page beyond the durable log.
+    let db = stress_db();
+    let keys_per_thread = 60u64;
+    let iterations = 6u64;
+    for iter in 0..iterations {
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    // Several small transactions per round: commits interleave
+                    // across threads, so group commit and the write-ahead
+                    // guard both see real contention.
+                    for chunk in 0..6u64 {
+                        let txn = db.begin();
+                        for i in 0..keys_per_thread / 6 {
+                            let key = key_of(t, chunk * 10 + i);
+                            db.put(txn, key, format!("i{iter}-t{t}-{key}").as_bytes())
+                                .unwrap();
+                        }
+                        db.commit(txn).unwrap();
+                    }
+                });
+            }
+        });
+        // Take a checkpoint on even iterations so both "fresh WAL tail" and
+        // "bounded redo" restarts are exercised.
+        if iter % 2 == 0 {
+            db.checkpoint().unwrap();
+        }
+        db.crash();
+        let report = db.restart().unwrap();
+        assert!(
+            report.cache_recovery.survived,
+            "iteration {iter}: cache metadata lost"
+        );
+        assert!(
+            report.cache_recovery.entries_restored > 0,
+            "iteration {iter}: cache came back empty"
+        );
+        assert_eq!(
+            report.cache_recovery.entries_discarded_beyond_wal, 0,
+            "iteration {iter}: the write-ahead guard let a page outrun the log"
+        );
+        assert_flash_below_durable(&db);
+        // Every committed key readable with its last committed value.
+        for t in 0..THREADS {
+            for chunk in 0..6u64 {
+                for i in 0..keys_per_thread / 6 {
+                    let key = key_of(t, chunk * 10 + i);
+                    assert_eq!(
+                        db.get(key).unwrap().as_deref(),
+                        Some(format!("i{iter}-t{t}-{key}").as_bytes()),
+                        "iteration {iter}: key {key} lost"
+                    );
+                }
+            }
+        }
+    }
+    // Across the whole loop, redo found pages in flash (the warm-restart
+    // effect the gate exists to protect).
+    assert!(db.buffer_stats().flash_hits > 0);
+}
+
+#[test]
+fn crash_discards_the_volatile_wal_tail() {
+    // A slow log device so the in-flight tail is observable: appends whose
+    // force never completed must vanish with the crash, and LSN assignment
+    // must rewind to the durable end.
+    let db = Arc::new(
+        Database::open(
+            EngineConfig::in_memory()
+                // Large enough that neither wave forces an eviction: the
+                // loser's pages must stay purely volatile for this test.
+                .buffer_frames(256)
+                .table_buckets(512)
+                .flash_cache(CachePolicyKind::FaceGsc, 2048)
+                .device_latency(DeviceLatency {
+                    log_sync: Duration::from_millis(1),
+                    ..DeviceLatency::zero()
+                }),
+        )
+        .unwrap(),
+    );
+    let txn = db.begin();
+    for k in 0..40u64 {
+        db.put(txn, k, b"committed").unwrap();
+    }
+    db.commit(txn).unwrap();
+    let durable_before = db.wal_durable_lsn();
+
+    // Appended, never forced: a begin + puts without commit.
+    let loser = db.begin();
+    for k in 100..120u64 {
+        db.put(loser, k, b"in flight").unwrap();
+    }
+    db.crash();
+    assert_eq!(
+        db.wal_durable_lsn(),
+        durable_before,
+        "crash must not advance durability"
+    );
+    let report = db.restart().unwrap();
+    assert_eq!(report.durable_lsn, durable_before);
+    assert_flash_below_durable(&db);
+    for k in 0..40u64 {
+        assert_eq!(db.get(k).unwrap().as_deref(), Some(b"committed".as_ref()));
+    }
+    // The loser's records died in the log buffer; with no eviction of its
+    // pages (they fit in DRAM and were dropped), the keys are simply gone.
+    for k in 100..120u64 {
+        assert_eq!(db.get(k).unwrap(), None, "loser key {k} resurrected");
+    }
+}
+
+#[test]
+fn cold_restart_loses_the_cache_but_not_the_data() {
+    let db = stress_db();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                let txn = db.begin();
+                for i in 0..50u64 {
+                    db.put(txn, key_of(t, i), format!("t{t}-{i}").as_bytes())
+                        .unwrap();
+                }
+                db.commit(txn).unwrap();
+            });
+        }
+    });
+    db.checkpoint().unwrap();
+    db.crash();
+    let report = db.restart_cold().unwrap();
+    assert!(!report.cache_recovery.survived);
+    assert_eq!(report.cache_recovery.entries_restored, 0);
+    assert_eq!(
+        report.pages_from_flash, 0,
+        "cold restart must not see flash"
+    );
+    for t in 0..THREADS {
+        for i in 0..50u64 {
+            assert_eq!(
+                db.get(key_of(t, i)).unwrap().as_deref(),
+                Some(format!("t{t}-{i}").as_bytes()),
+                "cold restart lost a committed key"
+            );
+        }
+    }
+
+    // And the next crash on the refilled cache recovers warm again.
+    db.crash();
+    let report = db.restart().unwrap();
+    assert!(report.cache_recovery.survived);
+    assert_flash_below_durable(&db);
+}

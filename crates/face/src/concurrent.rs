@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use face_pagestore::PageId;
+use face_pagestore::{Lsn, PageId};
 use parking_lot::Mutex;
 
 use crate::io::IoLog;
@@ -33,6 +33,9 @@ use crate::StagedPage;
 pub struct ShardedFlashCache {
     shards: Vec<Mutex<Box<dyn FlashCache>>>,
     stores: Vec<Arc<dyn FlashStore>>,
+    /// Per-shard configurations (each shard owns a slice of the capacity);
+    /// kept so a shard can be rebuilt cold ([`ShardedFlashCache::reset_cold`]).
+    configs: Vec<CacheConfig>,
     kind: CachePolicyKind,
     capacity: usize,
     /// TAC routes by extent so per-extent temperature is not diluted across
@@ -69,6 +72,7 @@ impl ShardedFlashCache {
 
         let mut built = Vec::with_capacity(shards);
         let mut stores = Vec::with_capacity(shards);
+        let mut configs = Vec::with_capacity(shards);
         let mut name = "";
         for i in 0..shards {
             let shard_capacity = base + usize::from(i < rem);
@@ -77,16 +81,18 @@ impl ShardedFlashCache {
                 ..config.clone()
             };
             let store = store_factory(shard_capacity);
-            let cache =
-                build_cache(kind, shard_config, Arc::clone(&store)).expect("kind is not None");
+            let cache = build_cache(kind, shard_config.clone(), Arc::clone(&store))
+                .expect("kind is not None");
             name = cache.policy_name();
             stores.push(store);
+            configs.push(shard_config);
             built.push(Mutex::new(cache));
         }
         let persists = built[0].lock().persists_dirty_pages();
         Some(Self {
             shards: built,
             stores,
+            configs,
             kind,
             capacity,
             route_granularity: if kind == CachePolicyKind::Tac {
@@ -179,35 +185,77 @@ impl ShardedFlashCache {
         out
     }
 
+    /// Evacuate every dirty valid page from every shard (see
+    /// [`FlashCache::evacuate_dirty`]): the caller must write them to disk
+    /// before wiping the cache with [`ShardedFlashCache::reset_cold`].
+    pub fn evacuate_dirty(&self, io: &mut IoLog) -> Vec<StagedPage> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().evacuate_dirty(io));
+        }
+        out
+    }
+
     /// Crash and recover every shard, merging the per-shard reports.
     /// `survived` is true only if every shard's metadata survived (FaCE).
-    pub fn crash_and_recover(&self, io: &mut IoLog) -> CacheRecoveryInfo {
+    /// Each shard reconciles its recovered directory against `durable_lsn`
+    /// (the durable end of the WAL): versions newer than it are discarded.
+    /// Callers without a WAL pass `Lsn(u64::MAX)`.
+    pub fn crash_and_recover(&self, durable_lsn: Lsn, io: &mut IoLog) -> CacheRecoveryInfo {
         let mut merged = CacheRecoveryInfo {
             survived: true,
             ..CacheRecoveryInfo::default()
         };
         for shard in &self.shards {
-            let info = shard.lock().crash_and_recover(io);
-            merged.survived &= info.survived;
-            merged.metadata_segments_loaded += info.metadata_segments_loaded;
-            merged.pages_scanned += info.pages_scanned;
-            merged.entries_restored += info.entries_restored;
+            let info = shard.lock().crash_and_recover(durable_lsn, io);
+            merged = merged.merged(&info);
         }
         merged
     }
 
-    /// Merged activity counters across shards.
-    pub fn stats(&self) -> CacheStats {
-        self.shards
+    /// Drop every shard cold: flash store contents and all cache metadata
+    /// (journal, checkpoint, directory) are discarded and fresh policy
+    /// instances are built. Models restarting with a wiped or replaced cache
+    /// device — the baseline the warm-recovery experiments compare against.
+    pub fn reset_cold(&self) {
+        for ((shard, store), config) in self
+            .shards
             .iter()
-            .map(|s| s.lock().stats())
+            .zip(self.stores.iter())
+            .zip(self.configs.iter())
+        {
+            let mut guard = shard.lock();
+            store.clear();
+            *guard = build_cache(self.kind, config.clone(), Arc::clone(store))
+                .expect("kind is not None");
+        }
+    }
+
+    /// Merged activity counters across shards.
+    ///
+    /// The snapshot is **consistent across shards**: every shard lock is
+    /// acquired (in shard order) before any counter is read, so the merged
+    /// numbers reflect one instant and per-shard sums cannot tear against a
+    /// concurrent operation that spans the snapshot (the previous
+    /// implementation read shard 0, released it, then read shard 1 — an
+    /// insert landing in between was half-counted). The result is still a
+    /// *point-in-time* value: by the time the caller looks at it, further
+    /// operations may have run. Callers needing exact books must quiesce
+    /// writers first — the staleness, not the tearing, is the contract.
+    pub fn stats(&self) -> CacheStats {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        guards
+            .iter()
+            .map(|g| g.stats())
             .fold(CacheStats::default(), |acc, s| acc.merged(&s))
     }
 
-    /// Reset activity counters on every shard.
+    /// Reset activity counters on every shard, under the same consistent
+    /// all-shards pass as [`ShardedFlashCache::stats`].
     pub fn reset_stats(&self) {
-        for shard in &self.shards {
-            shard.lock().reset_stats();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        for g in &guards {
+            g.reset_stats();
         }
     }
 
@@ -232,7 +280,7 @@ mod tests {
         let config = CacheConfig {
             capacity_pages: capacity,
             group_size: 4,
-            metadata_segment_entries: 1_000_000,
+            meta_checkpoint_interval_groups: 1_000_000,
             lc_dirty_threshold: 2.0,
             ..CacheConfig::default()
         };
@@ -332,9 +380,11 @@ mod tests {
             c.insert(data_page(n), &mut io);
         }
         c.sync(&mut io);
-        let info = c.crash_and_recover(&mut io);
+        let info = c.crash_and_recover(Lsn(u64::MAX), &mut io);
         assert!(info.survived);
         assert_eq!(info.entries_restored, 40);
+        assert!(info.checkpoint_loaded, "sync writes a cache checkpoint");
+        assert_eq!(info.entries_discarded_beyond_wal, 0);
         // The recovered shards still serve every page.
         for n in 0..40u32 {
             assert!(c.contains(PageId::new(0, n)), "page {n} lost");
@@ -346,10 +396,53 @@ mod tests {
         for n in 0..10u32 {
             lc.insert(data_page(n), &mut io);
         }
-        let info = lc.crash_and_recover(&mut io);
+        let info = lc.crash_and_recover(Lsn(u64::MAX), &mut io);
         assert!(!info.survived);
         assert_eq!(info.entries_restored, 0);
         assert!(lc.is_empty());
+    }
+
+    #[test]
+    fn recovery_reconciles_against_the_durable_lsn() {
+        let c = sharded(CachePolicyKind::FaceGsc, 256, 4);
+        let mut io = IoLog::new();
+        for n in 0..40u32 {
+            c.insert(data_page(n), &mut io); // page n carries Lsn(n + 1)
+        }
+        c.sync(&mut io);
+        // Only LSNs <= 20 are durable in the WAL: the newer half of the cache
+        // must be discarded at recovery, the older half stays warm.
+        let info = c.crash_and_recover(Lsn(20), &mut io);
+        assert!(info.survived);
+        assert_eq!(info.entries_discarded_beyond_wal, 20);
+        assert_eq!(info.entries_restored, 20);
+        for n in 0..40u32 {
+            assert_eq!(
+                c.contains(PageId::new(0, n)),
+                n < 20,
+                "page {n} on the wrong side of the durable LSN"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_cold_drops_contents_but_keeps_working() {
+        let c = sharded(CachePolicyKind::FaceGsc, 256, 4);
+        let mut io = IoLog::new();
+        for n in 0..32u32 {
+            c.insert(data_page(n), &mut io);
+        }
+        c.sync(&mut io);
+        assert!(!c.is_empty());
+        c.reset_cold();
+        assert!(c.is_empty());
+        assert!(!c.contains(PageId::new(0, 3)));
+        // The stores were wiped too — nothing to recover.
+        let info = c.crash_and_recover(Lsn(u64::MAX), &mut io);
+        assert_eq!(info.entries_restored, 0);
+        // The cold cache accepts new work.
+        c.insert(data_page(99), &mut io);
+        assert!(c.contains(PageId::new(0, 99)));
     }
 
     #[test]

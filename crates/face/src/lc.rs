@@ -288,11 +288,33 @@ impl FlashCache for LcCache {
         out
     }
 
+    fn evacuate_dirty(&mut self, io: &mut IoLog) -> Vec<StagedPage> {
+        // Like the checkpoint drain, but without clearing the dirty flags:
+        // the caller's disk writes may fail, and a cleared flag would let a
+        // retry treat the page as safe to drop (see the trait contract).
+        let mut out = Vec::new();
+        for (page, meta) in &self.map {
+            if !meta.dirty {
+                continue;
+            }
+            io.flash_read_rand(1);
+            io.disk_write(*page);
+            out.push(StagedPage {
+                page: *page,
+                lsn: meta.lsn,
+                dirty: true,
+                fdirty: false,
+                data: self.store.read_slot(meta.slot),
+            });
+        }
+        out
+    }
+
     fn persists_dirty_pages(&self) -> bool {
         false
     }
 
-    fn crash_and_recover(&mut self, _io: &mut IoLog) -> CacheRecoveryInfo {
+    fn crash_and_recover(&mut self, _durable_lsn: Lsn, _io: &mut IoLog) -> CacheRecoveryInfo {
         // LC keeps no persistent metadata: after a crash the flash-resident
         // copies are unreachable and the cache restarts cold (paper §4.1).
         self.map.clear();

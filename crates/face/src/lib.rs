@@ -23,11 +23,19 @@
 //!
 //! ## Recovery
 //!
-//! [`directory::MetadataDirectory`] implements the paper's §4 flash-cache
-//! checkpointing: metadata entries are accumulated per enqueue and flushed to
-//! flash in large sequential segments; after a crash the directory is
-//! restored from the persisted segments plus a bounded scan of the most
-//! recently enqueued data pages.
+//! [`meta::MetaJournal`] implements the paper's §4 mapping-metadata
+//! persistence for the functional engine: every enqueue appends a compact
+//! journal record (page id, slot, pageLSN, dirty bit, group epoch) that is
+//! flushed *with its group's batch write*, and a periodic
+//! [`meta::CacheCheckpoint`] snapshots the directory so restart replays a
+//! bounded amount of journal. Recovery reconciles the rebuilt directory
+//! against the WAL's durable end: versions newer than the durable log are
+//! discarded; dirty versions at or below it substitute for disk reads during
+//! redo. The older [`directory::MetadataDirectory`] (fixed-size segments plus
+//! a header scan of recently enqueued pages) is kept as a standalone model of
+//! the paper's original segment scheme — every cache, simulated or
+//! functional, recovers through the journal; the directory's remaining
+//! consumer is the `recovery` micro-bench.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,6 +45,7 @@ pub mod cost_model;
 pub mod directory;
 pub mod io;
 pub mod lc;
+pub mod meta;
 pub mod mvfifo;
 pub mod policy;
 pub mod store;
@@ -48,6 +57,7 @@ pub use cost_model::{AccessMix, CostModel};
 pub use directory::{DirEntry, MetadataDirectory, RecoveredDirectory};
 pub use io::{FlashIoEvent, IoLog};
 pub use lc::LcCache;
+pub use meta::{CacheCheckpoint, JournalEntry, JournalStats, MetaJournal, RecoveredJournal};
 pub use mvfifo::MvFifoCache;
 pub use policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier, PageSupplier};
 pub use store::{FlashStore, HeaderFlashStore, MemFlashStore, NullFlashStore};

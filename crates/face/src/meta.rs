@@ -1,0 +1,481 @@
+//! The per-shard mapping-metadata journal and cache checkpoint (paper §4.3).
+//!
+//! Every page version enqueued into the flash cache gets a compact
+//! [`JournalEntry`] — page id, flash slot, pageLSN, dirty bit and the **group
+//! epoch** of the batch that carries it. Entries are buffered in RAM and
+//! flushed *with their group*: when mvFIFO writes a batch of data pages as one
+//! sequential flash I/O, the batch's metadata records ride along as a small
+//! sequential append ([`MetaJournal::seal_group`]). A crash therefore loses
+//! metadata and data together — a sealed group is fully recoverable, an
+//! unsealed group is fully gone — which is exactly the paper's invariant that
+//! the in-flash directory never references pages whose bytes did not reach
+//! flash.
+//!
+//! A [`CacheCheckpoint`] bounds how much journal a restart must replay: every
+//! `checkpoint_interval_groups` sealed groups, the cache snapshots its live
+//! directory (queue pointers plus the valid entries in queue order) into one
+//! sequential flash write and prunes the sealed groups it covers. Recovery is
+//! then `checkpoint + at most checkpoint_interval_groups × group_size journal
+//! records`, independent of how long the cache has been running — unlike a
+//! segment log that only ever grows.
+//!
+//! Reconciliation against the WAL happens one level up
+//! ([`crate::mvfifo::MvFifoCache::recover`]): a journaled version whose
+//! pageLSN exceeds the durable log end must be discarded (its log records are
+//! lost, so serving it would diverge from redo), while dirty versions at or
+//! below it substitute for disk reads during redo.
+
+use face_pagestore::{Lsn, PageId};
+use serde::{Deserialize, Serialize};
+
+use crate::io::IoLog;
+
+/// Serialised size of one journal entry in bytes (the paper's 24-byte entries
+/// plus the 8-byte group epoch).
+pub const JOURNAL_ENTRY_BYTES: usize = 32;
+
+/// One mapping-metadata record: which page version occupies which flash slot,
+/// stamped with the group epoch whose batch write made it durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// The group epoch that sealed (flushed) this entry. Entries of the same
+    /// epoch became durable in the same sequential batch write.
+    pub epoch: u64,
+    /// The flash slot holding the page version.
+    pub slot: u32,
+    /// The cached page.
+    pub page: PageId,
+    /// The pageLSN of the cached version.
+    pub lsn: Lsn,
+    /// Whether the cached version is newer than the disk copy.
+    pub dirty: bool,
+}
+
+impl JournalEntry {
+    /// Serialise to the fixed 32-byte on-flash representation.
+    pub fn to_bytes(&self) -> [u8; JOURNAL_ENTRY_BYTES] {
+        let mut out = [0u8; JOURNAL_ENTRY_BYTES];
+        out[0..8].copy_from_slice(&self.epoch.to_le_bytes());
+        out[8..16].copy_from_slice(&self.page.to_u64().to_le_bytes());
+        out[16..24].copy_from_slice(&self.lsn.0.to_le_bytes());
+        out[24..28].copy_from_slice(&self.slot.to_le_bytes());
+        out[28] = self.dirty as u8;
+        out
+    }
+
+    /// Deserialise from the 32-byte representation.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < JOURNAL_ENTRY_BYTES {
+            return None;
+        }
+        Some(Self {
+            epoch: u64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            page: PageId::from_u64(u64::from_le_bytes(bytes[8..16].try_into().ok()?)),
+            lsn: Lsn(u64::from_le_bytes(bytes[16..24].try_into().ok()?)),
+            slot: u32::from_le_bytes(bytes[24..28].try_into().ok()?),
+            dirty: bytes[28] != 0,
+        })
+    }
+}
+
+/// A point-in-time snapshot of a shard's directory, persisted to flash so
+/// that restart replays at most `checkpoint_interval_groups` of journal.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheCheckpoint {
+    /// Every sealed group with epoch at or below this is folded into the
+    /// snapshot; recovery replays only groups with a higher epoch.
+    pub epoch: u64,
+    /// Index of the oldest occupied queue slot at snapshot time.
+    pub front: u64,
+    /// Number of occupied queue slots at snapshot time.
+    pub size: u64,
+    /// The valid page versions, in queue (oldest-to-newest) order.
+    pub entries: Vec<JournalEntry>,
+}
+
+impl CacheCheckpoint {
+    /// Persistent size in bytes (a small fixed header plus the entries).
+    pub fn bytes(&self) -> u64 {
+        (JOURNAL_ENTRY_BYTES + self.entries.len() * JOURNAL_ENTRY_BYTES) as u64
+    }
+}
+
+/// Activity counters of the journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalStats {
+    /// Entries appended (one per enqueue).
+    pub entries_appended: u64,
+    /// Groups sealed (metadata flushed with a batch write).
+    pub groups_sealed: u64,
+    /// Cache checkpoints written.
+    pub checkpoints_written: u64,
+    /// Bytes written by seals and checkpoints.
+    pub bytes_flushed: u64,
+    /// Journal entries pruned by checkpoints (replay they no longer cost).
+    pub entries_pruned: u64,
+}
+
+/// What [`MetaJournal::recover`] restored, in replay order.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredJournal {
+    /// Checkpoint entries first (queue order), then sealed groups in epoch
+    /// order. Later entries supersede earlier ones for the same page.
+    pub entries: Vec<JournalEntry>,
+    /// The durable queue front pointer.
+    pub front: u64,
+    /// The durable queue size.
+    pub size: u64,
+    /// Whether a cache checkpoint was found and loaded.
+    pub checkpoint_loaded: bool,
+    /// Entries loaded from the checkpoint snapshot.
+    pub checkpoint_entries: u64,
+    /// Journal records replayed from sealed groups past the checkpoint.
+    pub journal_records_replayed: u64,
+}
+
+/// The mapping-metadata journal of one cache shard: a RAM-resident current
+/// group (lost at crash), the sealed groups since the last checkpoint and the
+/// most recent [`CacheCheckpoint`] (both "flash-resident": they survive
+/// [`MetaJournal::crash`]).
+#[derive(Debug, Clone)]
+pub struct MetaJournal {
+    checkpoint_interval_groups: usize,
+    /// Entries of the group currently being assembled. RAM-resident: lost at
+    /// a crash, together with the group's pending data pages.
+    current: Vec<JournalEntry>,
+    /// Sealed groups newer than the checkpoint, oldest first.
+    sealed: Vec<Vec<JournalEntry>>,
+    /// The most recent directory snapshot.
+    checkpoint: Option<CacheCheckpoint>,
+    /// Epoch the current group will carry when sealed.
+    next_epoch: u64,
+    /// Queue pointers as of the last seal or checkpoint. Like the paper's
+    /// directory header, pointer updates ride along with metadata writes and
+    /// are charged no extra I/O.
+    durable_front: u64,
+    durable_size: u64,
+    stats: JournalStats,
+}
+
+impl MetaJournal {
+    /// A journal that writes a [`CacheCheckpoint`] every
+    /// `checkpoint_interval_groups` sealed groups.
+    pub fn new(checkpoint_interval_groups: usize) -> Self {
+        Self {
+            checkpoint_interval_groups: checkpoint_interval_groups.max(1),
+            current: Vec::new(),
+            sealed: Vec::new(),
+            checkpoint: None,
+            next_epoch: 1,
+            durable_front: 0,
+            durable_size: 0,
+            stats: JournalStats::default(),
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// The epoch the next sealed group will carry.
+    pub fn current_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Entries buffered in the RAM-resident current group.
+    pub fn unsealed_entries(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Sealed groups not yet folded into a checkpoint — what recovery must
+    /// replay beyond the checkpoint.
+    pub fn sealed_groups(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// The most recent cache checkpoint, if one was written.
+    pub fn checkpoint(&self) -> Option<&CacheCheckpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Configured checkpoint cadence in sealed groups.
+    pub fn checkpoint_interval_groups(&self) -> usize {
+        self.checkpoint_interval_groups
+    }
+
+    /// Record a page version entering the cache. The entry stays RAM-resident
+    /// until [`MetaJournal::seal_group`] flushes it with the group's batch
+    /// write.
+    pub fn append(&mut self, slot: u32, page: PageId, lsn: Lsn, dirty: bool) {
+        self.current.push(JournalEntry {
+            epoch: self.next_epoch,
+            slot,
+            page,
+            lsn,
+            dirty,
+        });
+        self.stats.entries_appended += 1;
+    }
+
+    /// Seal the current group: its entries become durable together with the
+    /// group's data pages (one small sequential append charged to `io`), and
+    /// the queue pointers `front`/`size` are persisted alongside. A no-op
+    /// apart from the pointer update when no entries are buffered.
+    pub fn seal_group(&mut self, front: u64, size: u64, io: &mut IoLog) {
+        self.durable_front = front;
+        self.durable_size = size;
+        if self.current.is_empty() {
+            return;
+        }
+        let group = std::mem::take(&mut self.current);
+        let bytes = group.len() * JOURNAL_ENTRY_BYTES;
+        let pages = bytes.div_ceil(face_pagestore::PAGE_SIZE).max(1) as u32;
+        io.flash_write_seq(pages);
+        self.sealed.push(group);
+        self.next_epoch += 1;
+        self.stats.groups_sealed += 1;
+        self.stats.bytes_flushed += bytes as u64;
+    }
+
+    /// Whether enough groups have sealed since the last checkpoint that the
+    /// owner should snapshot its directory now.
+    pub fn checkpoint_due(&self) -> bool {
+        self.sealed.len() >= self.checkpoint_interval_groups
+    }
+
+    /// Install a directory snapshot: `live` must be the owner's valid entries
+    /// in queue order. Covers every sealed group (they are pruned), so replay
+    /// after this point starts from the snapshot.
+    pub fn install_checkpoint(
+        &mut self,
+        front: u64,
+        size: u64,
+        live: Vec<JournalEntry>,
+        io: &mut IoLog,
+    ) {
+        let ckpt = CacheCheckpoint {
+            // Everything sealed so far is covered by the snapshot.
+            epoch: self.next_epoch - 1,
+            front,
+            size,
+            entries: live,
+        };
+        let pages = ckpt
+            .bytes()
+            .div_ceil(face_pagestore::PAGE_SIZE as u64)
+            .max(1) as u32;
+        io.flash_write_seq(pages);
+        self.stats.bytes_flushed += ckpt.bytes();
+        self.stats.checkpoints_written += 1;
+        self.stats.entries_pruned += self.sealed.iter().map(|g| g.len() as u64).sum::<u64>();
+        self.sealed.clear();
+        self.durable_front = front;
+        self.durable_size = size;
+        self.checkpoint = Some(ckpt);
+    }
+
+    /// Simulate a crash: the RAM-resident current group is lost; the sealed
+    /// groups, the checkpoint and the durable pointers survive.
+    pub fn crash(&mut self) {
+        self.current.clear();
+    }
+
+    /// Durable replay length in entries: what a restart reads beyond loading
+    /// the checkpoint. Bounded by the checkpoint cadence.
+    pub fn replay_entries(&self) -> u64 {
+        self.sealed.iter().map(|g| g.len() as u64).sum()
+    }
+
+    /// Restore the durable state after a crash: read the checkpoint (one
+    /// sequential flash read) and every sealed group past it (one sequential
+    /// read each), returning entries in replay order plus the durable queue
+    /// pointers.
+    pub fn recover(&self, io: &mut IoLog) -> RecoveredJournal {
+        let mut out = RecoveredJournal {
+            front: self.durable_front,
+            size: self.durable_size,
+            ..Default::default()
+        };
+        if let Some(ckpt) = &self.checkpoint {
+            let pages = ckpt
+                .bytes()
+                .div_ceil(face_pagestore::PAGE_SIZE as u64)
+                .max(1) as u32;
+            io.flash_read_seq(pages);
+            out.checkpoint_loaded = true;
+            out.checkpoint_entries = ckpt.entries.len() as u64;
+            out.entries.extend(ckpt.entries.iter().copied());
+        }
+        for group in &self.sealed {
+            let bytes = group.len() * JOURNAL_ENTRY_BYTES;
+            io.flash_read_seq(bytes.div_ceil(face_pagestore::PAGE_SIZE).max(1) as u32);
+            out.journal_records_replayed += group.len() as u64;
+            out.entries.extend(group.iter().copied());
+        }
+        out
+    }
+
+    /// Persistent metadata size in bytes (checkpoint plus sealed groups) —
+    /// what recovery must read.
+    pub fn persisted_bytes(&self) -> u64 {
+        let ckpt = self.checkpoint.as_ref().map(|c| c.bytes()).unwrap_or(0);
+        ckpt + self.replay_entries() * JOURNAL_ENTRY_BYTES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(slot: u32, page: u32, lsn: u64, dirty: bool) -> JournalEntry {
+        JournalEntry {
+            epoch: 0,
+            slot,
+            page: PageId::new(0, page),
+            lsn: Lsn(lsn),
+            dirty,
+        }
+    }
+
+    #[test]
+    fn entry_serialisation_round_trips() {
+        let e = JournalEntry {
+            epoch: 7,
+            slot: 12,
+            page: PageId::new(3, 99),
+            lsn: Lsn(1234),
+            dirty: true,
+        };
+        let bytes = e.to_bytes();
+        assert_eq!(bytes.len(), JOURNAL_ENTRY_BYTES);
+        assert_eq!(JournalEntry::from_bytes(&bytes), Some(e));
+        assert_eq!(JournalEntry::from_bytes(&bytes[..16]), None);
+    }
+
+    #[test]
+    fn entries_ride_with_their_group_epoch() {
+        let mut j = MetaJournal::new(4);
+        let mut io = IoLog::new();
+        j.append(0, PageId::new(0, 1), Lsn(1), true);
+        j.append(1, PageId::new(0, 2), Lsn(2), true);
+        assert_eq!(j.unsealed_entries(), 2);
+        assert_eq!(j.sealed_groups(), 0);
+        assert!(io.is_empty());
+
+        j.seal_group(0, 2, &mut io);
+        assert_eq!(j.unsealed_entries(), 0);
+        assert_eq!(j.sealed_groups(), 1);
+        // The seal is one small sequential flash write.
+        assert_eq!(io.flash_pages_written(), 1);
+        assert_eq!(io.flash_pages_written_random(), 0);
+        assert_eq!(j.stats().groups_sealed, 1);
+        assert_eq!(j.stats().bytes_flushed, 2 * JOURNAL_ENTRY_BYTES as u64);
+
+        // Both entries carry the epoch of the group that sealed them.
+        let rec = j.recover(&mut IoLog::new());
+        assert!(rec.entries.iter().all(|e| e.epoch == 1));
+        assert_eq!(j.current_epoch(), 2);
+    }
+
+    #[test]
+    fn crash_loses_only_the_unsealed_group() {
+        let mut j = MetaJournal::new(4);
+        let mut io = IoLog::new();
+        j.append(0, PageId::new(0, 1), Lsn(1), true);
+        j.seal_group(0, 1, &mut io);
+        j.append(1, PageId::new(0, 2), Lsn(2), true);
+        j.crash();
+        assert_eq!(j.unsealed_entries(), 0);
+        let rec = j.recover(&mut io);
+        assert_eq!(rec.entries.len(), 1);
+        assert_eq!(rec.entries[0].page, PageId::new(0, 1));
+        assert_eq!((rec.front, rec.size), (0, 1));
+    }
+
+    #[test]
+    fn pointers_persist_at_seal_time_only() {
+        let mut j = MetaJournal::new(4);
+        let mut io = IoLog::new();
+        j.append(0, PageId::new(0, 1), Lsn(1), false);
+        j.seal_group(3, 9, &mut io);
+        // A later pointer move without a seal is volatile...
+        j.append(1, PageId::new(0, 2), Lsn(2), false);
+        j.crash();
+        let rec = j.recover(&mut io);
+        assert_eq!((rec.front, rec.size), (3, 9));
+        // ...but an empty seal still persists pointers (dequeue-only
+        // progress recorded by the next batch boundary).
+        j.seal_group(5, 7, &mut io);
+        let rec = j.recover(&mut io);
+        assert_eq!((rec.front, rec.size), (5, 7));
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_prunes_groups() {
+        let mut j = MetaJournal::new(2);
+        let mut io = IoLog::new();
+        for g in 0..2u32 {
+            for i in 0..3u32 {
+                j.append(
+                    g * 3 + i,
+                    PageId::new(0, g * 3 + i),
+                    Lsn((g * 3 + i) as u64),
+                    true,
+                );
+            }
+            j.seal_group(0, ((g + 1) * 3) as u64, &mut io);
+        }
+        assert!(j.checkpoint_due());
+        assert_eq!(j.replay_entries(), 6);
+
+        // The owner snapshots its live directory (here: 4 survivors).
+        let live: Vec<JournalEntry> = (0..4u32).map(|i| entry(i, i, i as u64, true)).collect();
+        j.install_checkpoint(0, 6, live, &mut io);
+        assert!(!j.checkpoint_due());
+        assert_eq!(j.sealed_groups(), 0);
+        assert_eq!(j.replay_entries(), 0, "replay is bounded by the snapshot");
+        assert_eq!(j.stats().entries_pruned, 6);
+        assert_eq!(j.stats().checkpoints_written, 1);
+
+        let rec = j.recover(&mut IoLog::new());
+        assert!(rec.checkpoint_loaded);
+        assert_eq!(rec.checkpoint_entries, 4);
+        assert_eq!(rec.journal_records_replayed, 0);
+        assert_eq!(rec.entries.len(), 4);
+
+        // Groups sealed after the checkpoint replay on top of it.
+        j.append(9, PageId::new(0, 9), Lsn(9), true);
+        j.seal_group(1, 7, &mut io);
+        let rec = j.recover(&mut IoLog::new());
+        assert_eq!(rec.journal_records_replayed, 1);
+        assert_eq!(rec.entries.len(), 5);
+        // Replay order: checkpoint first, then the newer group.
+        assert_eq!(rec.entries.last().unwrap().page, PageId::new(0, 9));
+        assert_eq!((rec.front, rec.size), (1, 7));
+    }
+
+    #[test]
+    fn recovery_io_is_sequential_reads_only() {
+        let mut j = MetaJournal::new(2);
+        let mut io = IoLog::new();
+        for i in 0..5u32 {
+            j.append(i, PageId::new(0, i), Lsn(i as u64), false);
+        }
+        j.seal_group(0, 5, &mut io);
+        j.install_checkpoint(0, 5, vec![entry(0, 0, 0, false)], &mut io);
+        let mut rio = IoLog::new();
+        j.recover(&mut rio);
+        assert!(!rio.is_empty());
+        assert!(rio.events().iter().all(|e| e.is_flash() && !e.is_write()));
+        assert!(j.persisted_bytes() > 0);
+    }
+
+    #[test]
+    fn paper_entry_size_keeps_checkpoints_small() {
+        // 64k entries at 32 bytes ≈ 2 MB per checkpoint — same order as the
+        // paper's 1.5 MB segments.
+        let bytes = 64_000 * JOURNAL_ENTRY_BYTES;
+        assert!(bytes < 3 * 1024 * 1024);
+    }
+}

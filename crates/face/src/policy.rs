@@ -86,6 +86,21 @@ pub trait FlashCache: Send {
         Vec::new()
     }
 
+    /// Evacuation support: return **every** dirty valid cached page (with
+    /// data when available) so the caller can write them to disk before
+    /// wiping or replacing the cache device. For FaCE this is mandatory
+    /// before a cache wipe — dirty flash pages are part of the persistent
+    /// database and exist nowhere else. Unlike the checkpoint drain, dirty
+    /// flags are **left set**: the caller's disk writes may still fail, and
+    /// clearing early would let a retried evacuation (or a later eviction)
+    /// drop the only copy. A successful evacuation is followed by a wipe,
+    /// which retires the flags; repeated calls are idempotent. Policies that
+    /// never hold dirty pages (TAC) return nothing.
+    fn evacuate_dirty(&mut self, io: &mut IoLog) -> Vec<StagedPage> {
+        let _ = io;
+        Vec::new()
+    }
+
     /// Whether dirty pages staged in this cache are part of the persistent
     /// database (true for FaCE: checkpoints may flush to flash and recovery
     /// may read from flash; false for LC/TAC which must checkpoint to disk).
@@ -94,10 +109,18 @@ pub trait FlashCache: Send {
     /// Simulate a crash followed by restart-time cache recovery. Volatile
     /// (RAM-resident) cache metadata is lost; whatever the policy keeps
     /// persistently in flash is restored. FaCE rebuilds its directory from
-    /// the persisted metadata segments plus a bounded data-page scan; LC and
-    /// TAC lose everything (the paper's §4.1 point: without persistent
-    /// metadata the flash copies become inaccessible).
-    fn crash_and_recover(&mut self, io: &mut IoLog) -> CacheRecoveryInfo;
+    /// the cache checkpoint plus the sealed journal groups, reconciled
+    /// against the WAL: any version whose pageLSN exceeds `durable_lsn` (the
+    /// durable end of the log) is discarded, because its log records are
+    /// lost and serving it would diverge from redo. LC and TAC lose
+    /// everything (the paper's §4.1 point: without persistent metadata the
+    /// flash copies become inaccessible). Callers without a WAL pass
+    /// `Lsn(u64::MAX)` to disable reconciliation.
+    fn crash_and_recover(
+        &mut self,
+        durable_lsn: face_pagestore::Lsn,
+        io: &mut IoLog,
+    ) -> CacheRecoveryInfo;
 
     /// Activity counters.
     fn stats(&self) -> CacheStats;

@@ -45,6 +45,13 @@ pub trait FlashStore: Send + Sync {
 
     /// Drop every slot (used to model a brand-new cache device).
     fn clear(&self);
+
+    /// Invalidate a single slot: its bytes and header become unreadable, as
+    /// if the frame were trimmed. Recovery uses this when it discards a
+    /// version that outran the durable log — leaving the bytes readable
+    /// would let a *later* recovery's header scan resurrect the dead
+    /// timeline once the (reused) LSN range becomes durable again.
+    fn clear_slot(&self, _slot: usize) {}
 }
 
 /// An in-memory flash store: one optional page per slot.
@@ -96,6 +103,14 @@ impl FlashStore for MemFlashStore {
         let mut slots = self.slots.write();
         for s in slots.iter_mut() {
             *s = None;
+        }
+    }
+
+    fn clear_slot(&self, slot: usize) {
+        let mut slots = self.slots.write();
+        let len = slots.len();
+        if len > 0 {
+            slots[slot % len] = None;
         }
     }
 }
@@ -153,6 +168,14 @@ impl FlashStore for HeaderFlashStore {
     fn clear(&self) {
         for h in self.headers.write().iter_mut() {
             *h = None;
+        }
+    }
+
+    fn clear_slot(&self, slot: usize) {
+        let mut headers = self.headers.write();
+        let len = headers.len();
+        if len > 0 {
+            headers[slot % len] = None;
         }
     }
 }

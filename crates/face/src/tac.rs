@@ -240,7 +240,7 @@ impl FlashCache for TacCache {
         false
     }
 
-    fn crash_and_recover(&mut self, _io: &mut IoLog) -> CacheRecoveryInfo {
+    fn crash_and_recover(&mut self, _durable_lsn: Lsn, _io: &mut IoLog) -> CacheRecoveryInfo {
         // TAC maintains its slot directory persistently in flash, so its
         // clean cached copies would in principle survive. The reproduction
         // models the conservative outcome the paper measures against: the

@@ -74,12 +74,45 @@ pub struct InsertOutcome {
 pub struct CacheRecoveryInfo {
     /// Whether any cached state survived and is usable after restart.
     pub survived: bool,
-    /// Persistent metadata segments read back.
+    /// Persistent metadata units read back (cache checkpoint + sealed
+    /// journal groups).
     pub metadata_segments_loaded: u64,
     /// Data pages scanned to rebuild lost metadata entries.
     pub pages_scanned: u64,
     /// Cached page versions accessible after recovery.
     pub entries_restored: u64,
+    /// Whether a [`crate::meta::CacheCheckpoint`] was found and loaded.
+    pub checkpoint_loaded: bool,
+    /// Entries loaded from the cache checkpoint snapshot.
+    pub checkpoint_entries_loaded: u64,
+    /// Journal records replayed from sealed groups past the checkpoint —
+    /// the replay length the checkpoint cadence bounds.
+    pub journal_records_replayed: u64,
+    /// Journaled versions discarded because their pageLSN exceeded the WAL's
+    /// durable end (reconciliation rule: flash must never run ahead of the
+    /// durable log).
+    pub entries_discarded_beyond_wal: u64,
+}
+
+impl CacheRecoveryInfo {
+    /// Element-wise sum with `other` (merging per-shard reports). `survived`
+    /// is the conjunction: the cache is warm only if every shard recovered.
+    pub fn merged(&self, other: &CacheRecoveryInfo) -> CacheRecoveryInfo {
+        CacheRecoveryInfo {
+            survived: self.survived && other.survived,
+            metadata_segments_loaded: self.metadata_segments_loaded
+                + other.metadata_segments_loaded,
+            pages_scanned: self.pages_scanned + other.pages_scanned,
+            entries_restored: self.entries_restored + other.entries_restored,
+            checkpoint_loaded: self.checkpoint_loaded || other.checkpoint_loaded,
+            checkpoint_entries_loaded: self.checkpoint_entries_loaded
+                + other.checkpoint_entries_loaded,
+            journal_records_replayed: self.journal_records_replayed
+                + other.journal_records_replayed,
+            entries_discarded_beyond_wal: self.entries_discarded_beyond_wal
+                + other.entries_discarded_beyond_wal,
+        }
+    }
 }
 
 /// Configuration for a flash cache instance.
@@ -101,9 +134,11 @@ pub struct CacheConfig {
     pub tac_extent_pages: usize,
     /// TAC only: minimum extent temperature (accesses) for admission.
     pub tac_admission_temperature: u32,
-    /// Entries per persistent metadata segment (paper: 64,000 entries of
-    /// 24 bytes, about 1.5 MB per segment).
-    pub metadata_segment_entries: usize,
+    /// Cache-checkpoint cadence of the mapping-metadata journal: a
+    /// [`crate::meta::CacheCheckpoint`] is written every this many sealed
+    /// groups, bounding restart metadata replay to
+    /// `meta_checkpoint_interval_groups × group_size` journal records.
+    pub meta_checkpoint_interval_groups: usize,
 }
 
 impl Default for CacheConfig {
@@ -116,7 +151,7 @@ impl Default for CacheConfig {
             lc_clean_target: 0.6,
             tac_extent_pages: 32,
             tac_admission_temperature: 2,
-            metadata_segment_entries: 64_000,
+            meta_checkpoint_interval_groups: 8,
         }
     }
 }
@@ -139,6 +174,13 @@ impl CacheConfig {
     /// Builder-style enable of second chance.
     pub fn with_second_chance(mut self, on: bool) -> Self {
         self.second_chance = on;
+        self
+    }
+
+    /// Builder-style override of the cache-checkpoint cadence (sealed groups
+    /// between two [`crate::meta::CacheCheckpoint`] writes).
+    pub fn meta_checkpoint_interval_groups(mut self, groups: usize) -> Self {
+        self.meta_checkpoint_interval_groups = groups.max(1);
         self
     }
 
@@ -342,7 +384,7 @@ mod tests {
     #[test]
     fn default_config_matches_paper_constants() {
         let cfg = CacheConfig::default();
-        assert_eq!(cfg.metadata_segment_entries, 64_000);
+        assert_eq!(cfg.meta_checkpoint_interval_groups, 8);
         assert!(cfg.group_size == 64 || cfg.group_size == 128);
     }
 

@@ -158,6 +158,61 @@ pub fn run_concurrent(db: &Arc<Database>, config: &DriverConfig) -> DriverReport
     }
 }
 
+/// One measurement window of a post-restart throughput ramp
+/// ([`run_ramp`]) — the functional analogue of one point on the paper's
+/// Figure 6 time series.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RampWindow {
+    /// Window index (0 = first window after the restart).
+    pub window: usize,
+    /// Transactions committed in this window.
+    pub committed: u64,
+    /// Wall-clock seconds the window took.
+    pub secs: f64,
+    /// Committed transactions per minute over the window.
+    pub tpm: f64,
+    /// DRAM misses served by the flash cache during the window.
+    pub flash_hits: u64,
+    /// DRAM misses served by the disk during the window.
+    pub disk_fetches: u64,
+}
+
+/// Drive `db` through `windows` equal transaction budgets and measure each
+/// window's throughput and fetch mix. Run immediately after
+/// [`face_engine::Database::restart`] (or `restart_cold`), this traces the
+/// post-crash throughput ramp: a warm flash cache serves the early windows'
+/// misses at flash speed, a cold one pays disk reads until it refills.
+///
+/// Each window executes `config.txns_per_thread` transactions per thread
+/// with a window-specific seed (runs stay reproducible, windows stay
+/// distinct).
+pub fn run_ramp(db: &Arc<Database>, config: &DriverConfig, windows: usize) -> Vec<RampWindow> {
+    let mut out = Vec::with_capacity(windows);
+    for w in 0..windows {
+        let before = db.buffer_stats();
+        let cfg = DriverConfig {
+            seed: config.seed + (w as u64 + 1) * 7_919,
+            ..config.clone()
+        };
+        let report = run_concurrent(db, &cfg);
+        let after = db.buffer_stats();
+        let secs = report.wall.as_secs_f64();
+        out.push(RampWindow {
+            window: w,
+            committed: report.committed(),
+            secs,
+            tpm: if secs > 0.0 {
+                report.committed() as f64 * 60.0 / secs
+            } else {
+                0.0
+            },
+            flash_hits: after.flash_hits - before.flash_hits,
+            disk_fetches: after.disk_fetches - before.disk_fetches,
+        });
+    }
+    out
+}
+
 fn run_thread(db: &Database, config: &DriverConfig, thread: usize) -> ThreadStats {
     let (lo, hi) = warehouse_range(config.warehouses, config.threads, thread);
     let mut workload = TpccWorkload::with_home_range(
@@ -278,6 +333,33 @@ mod tests {
         // Different threads draw from different streams (overwhelmingly
         // likely to differ in op counts).
         assert_ne!((a.0, a.1), (a.1, a.0.wrapping_add(1)), "sanity");
+    }
+
+    #[test]
+    fn ramp_windows_measure_disjoint_work() {
+        let db = db(16 * 1024);
+        let config = DriverConfig {
+            threads: 2,
+            txns_per_thread: 10,
+            warehouses: 4,
+            seed: 5,
+        };
+        let windows = run_ramp(&db, &config, 3);
+        assert_eq!(windows.len(), 3);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.window, i);
+            assert_eq!(w.committed, 2 * 10);
+            assert!(w.tpm > 0.0);
+            assert!(w.secs > 0.0);
+        }
+        // Window fetch-mix deltas partition the engine's totals.
+        let buffer = db.buffer_stats();
+        let flash: u64 = windows.iter().map(|w| w.flash_hits).sum();
+        let disk: u64 = windows.iter().map(|w| w.disk_fetches).sum();
+        assert!(flash <= buffer.flash_hits);
+        assert!(disk <= buffer.disk_fetches);
+        let total: u64 = windows.iter().map(|w| w.committed).sum();
+        assert_eq!(db.stats().txns_committed, total);
     }
 
     #[test]

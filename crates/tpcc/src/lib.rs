@@ -20,7 +20,7 @@ pub mod layout;
 pub mod random;
 pub mod workload;
 
-pub use driver::{run_concurrent, DriverConfig, DriverReport, ThreadStats};
+pub use driver::{run_concurrent, run_ramp, DriverConfig, DriverReport, RampWindow, ThreadStats};
 pub use layout::{Table, TableLayout};
 pub use random::TpccRandom;
 pub use workload::{TpccConfig, TpccTransaction, TpccWorkload, TransactionKind};

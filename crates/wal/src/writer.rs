@@ -171,6 +171,20 @@ impl WalWriter {
         self.force(self.next_lsn())
     }
 
+    /// Crash support: drop the volatile log tail. Records appended but never
+    /// flushed are discarded and LSN assignment rewinds to the durable end —
+    /// exactly what a real crash does to the log buffer. Returns the number
+    /// of bytes dropped. Must only be called with no appender or flush
+    /// leader in flight (the engine calls it from `crash()`, whose contract
+    /// already requires quiesced clients).
+    pub fn discard_unflushed(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let dropped = inner.pending.len() as u64;
+        inner.pending.clear();
+        inner.next_lsn = inner.durable_lsn;
+        dropped
+    }
+
     /// The LSN that will be assigned to the next appended record. This is
     /// also one past the LSN range covered by [`WalWriter::force_all`].
     pub fn next_lsn(&self) -> Lsn {
@@ -380,6 +394,35 @@ mod tests {
         let records = reader.read_to_end().unwrap();
         assert_eq!(records.len() as u64, threads * per_thread * 2);
         assert_eq!(w.forces() + w.piggybacked_forces(), threads * per_thread);
+    }
+
+    #[test]
+    fn discard_unflushed_rewinds_to_the_durable_end() {
+        let w = writer();
+        w.append(&LogRecord::Begin { txn: TxnId(1) });
+        w.append_and_force(&LogRecord::Commit { txn: TxnId(1) })
+            .unwrap();
+        let durable = w.durable_lsn();
+        // Volatile tail: appended, never forced.
+        w.append(&LogRecord::Begin { txn: TxnId(2) });
+        w.append(&LogRecord::Update {
+            txn: TxnId(2),
+            page: face_pagestore::PageId::new(0, 1),
+            offset: 0,
+            data: vec![9; 8],
+        });
+        assert!(w.next_lsn() > durable);
+        let dropped = w.discard_unflushed();
+        assert!(dropped > 0);
+        assert_eq!(w.next_lsn(), durable);
+        assert_eq!(w.durable_lsn(), durable);
+        assert_eq!(w.storage().len(), durable.0);
+        // The log keeps working; new records reuse the freed LSN range.
+        let lsn = w.append(&LogRecord::Begin { txn: TxnId(3) });
+        assert_eq!(lsn, durable);
+        assert!(w.force_all().unwrap());
+        // Nothing to drop when everything is durable.
+        assert_eq!(w.discard_unflushed(), 0);
     }
 
     #[test]

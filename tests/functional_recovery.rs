@@ -141,6 +141,122 @@ fn deletes_survive_crash_and_recovery() {
 }
 
 #[test]
+fn warm_restart_keeps_the_cache_hot_and_reconciled() {
+    for policy in [
+        CachePolicyKind::FaceGsc,
+        CachePolicyKind::FaceGr,
+        CachePolicyKind::Face,
+    ] {
+        let db = db_with(policy, 16, 2048);
+        // A working set far beyond 16 DRAM frames: most pages live in flash.
+        let txn = db.begin();
+        for k in 0..400u64 {
+            db.put(txn, k, &value(k, 1)).unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.checkpoint().unwrap();
+        let txn = db.begin();
+        for k in 0..400u64 {
+            db.put(txn, k, &value(k, 2)).unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.crash();
+        let report = db.restart().unwrap();
+        assert!(report.cache_recovery.survived, "{policy}");
+        assert!(report.cache_recovery.entries_restored > 0, "{policy}");
+        // The write-ahead guard means nothing in flash ever outran the log.
+        assert_eq!(
+            report.cache_recovery.entries_discarded_beyond_wal, 0,
+            "{policy}"
+        );
+        assert_eq!(report.durable_lsn, db.wal_durable_lsn(), "{policy}");
+        // Re-reads after the restart are served by the warm cache, not disk.
+        let before = db.buffer_stats();
+        for k in 0..400u64 {
+            assert_eq!(db.get(k).unwrap().unwrap(), value(k, 2), "{policy}: {k}");
+        }
+        let after = db.buffer_stats();
+        let flash = after.flash_hits - before.flash_hits;
+        let disk = after.disk_fetches - before.disk_fetches;
+        assert!(
+            flash > disk,
+            "{policy}: post-restart reads hit flash {flash} vs disk {disk}"
+        );
+        // No recovered flash slot carries an LSN beyond the durable log.
+        let durable = db.wal_durable_lsn();
+        for store in db.flash_stores() {
+            for slot in 0..store.capacity() {
+                if let Some((page, lsn)) = store.slot_header(slot) {
+                    assert!(lsn <= durable, "{policy}: {page} at {lsn:?} > {durable:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cold_restart_evacuates_dirty_flash_pages_before_wiping() {
+    // Under FaCE, checkpointed dirty pages live only in flash. A cold
+    // restart (cache device decommissioned) must drain them to disk or it
+    // would lose committed data.
+    let db = db_with(CachePolicyKind::FaceGsc, 16, 2048);
+    let txn = db.begin();
+    for k in 0..300u64 {
+        db.put(txn, k, &value(k, 7)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    db.checkpoint().unwrap();
+    db.crash();
+    let disk_writes_before = db.tier_stats().disk_writes;
+    let report = db.restart_cold().unwrap();
+    assert!(!report.cache_recovery.survived);
+    assert!(
+        db.tier_stats().disk_writes > disk_writes_before,
+        "evacuation must write dirty flash pages to disk"
+    );
+    for k in 0..300u64 {
+        assert_eq!(db.get(k).unwrap().unwrap(), value(k, 7), "key {k} lost");
+    }
+    // The cache is genuinely cold: it refills as the workload resumes.
+    let cache = db.cache_stats().unwrap();
+    let inserts_before = cache.inserts;
+    for _ in 0..2 {
+        for k in 0..300u64 {
+            db.get(k).unwrap();
+        }
+    }
+    assert!(db.cache_stats().unwrap().inserts > inserts_before);
+}
+
+#[test]
+fn checkpoint_cadence_bounds_journal_replay() {
+    // A tight cadence keeps the journal short: recovery loads the checkpoint
+    // plus at most `interval x group_size` records per shard.
+    let mut config = EngineConfig::in_memory()
+        .buffer_frames(16)
+        .table_buckets(256)
+        .flash_cache(CachePolicyKind::FaceGsc, 1024);
+    config.cache_config.group_size = 8;
+    config.cache_config.meta_checkpoint_interval_groups = 2;
+    let db = Database::open(config).unwrap();
+    let txn = db.begin();
+    for k in 0..500u64 {
+        db.put(txn, k, &value(k, 1)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    db.crash();
+    let report = db.restart().unwrap();
+    assert!(report.cache_recovery.survived);
+    assert!(report.cache_recovery.checkpoint_loaded);
+    // 4 shards x (2 groups x 8 entries) is the worst case the cadence allows.
+    assert!(
+        report.cache_recovery.journal_records_replayed <= 4 * 2 * 8,
+        "replay {} exceeds the cadence bound",
+        report.cache_recovery.journal_records_replayed
+    );
+}
+
+#[test]
 fn face_reduces_disk_writes_versus_no_cache() {
     let run = |policy: CachePolicyKind| -> (u64, u64) {
         let db = db_with(policy, 16, 1024);
