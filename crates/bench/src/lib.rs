@@ -26,4 +26,4 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{ExperimentScale, RunResult};
-pub use report::{print_table, write_json};
+pub use report::{print_table, write_json, write_json_at};

@@ -58,6 +58,22 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Serialise `value` as pretty JSON at an explicit path (the perf-trajectory
+/// files like `BENCH_throughput.json` live at the repo root, outside the
+/// gitignored `results/`, so future PRs can diff them).
+pub fn write_json_at<T: Serialize>(path: &Path, value: &T) {
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(results written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise {}: {e}", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,6 @@ pub use lru::LruList;
 pub use pool::{BufferPool, BufferStats, DEFAULT_POOL_SHARDS};
 pub use sim::{BufferSim, EvictedMeta, SimAccess};
 pub use tier::{
-    DirectDiskTier, FetchOutcome, FetchSource, LowerTier, TierError, TierResult, WriteBackOutcome,
-    WriteBackReason,
+    DirectDiskTier, FetchOutcome, FetchSource, LowerTier, NoVictims, TierError, TierResult,
+    VictimPull, WriteBackOutcome, WriteBackReason,
 };

@@ -18,7 +18,12 @@ use parking_lot::Mutex;
 
 use crate::flags::FrameFlags;
 use crate::lru::LruList;
-use crate::tier::{FetchSource, LowerTier, TierResult, WriteBackReason};
+use crate::tier::{FetchSource, LowerTier, TierResult, VictimPull, WriteBackReason};
+
+/// How many LRU-tail frames a shard is probed for when the lower tier pulls
+/// extra dirty victims (Group Second Chance batch top-up). Bounds the time
+/// spent under an opportunistically `try_lock`ed shard.
+const VICTIM_PROBE_DEPTH: usize = 8;
 
 /// Default shard count for pools that do not specify one.
 pub const DEFAULT_POOL_SHARDS: usize = 8;
@@ -257,7 +262,7 @@ impl<L: LowerTier> BufferPool<L> {
     pub fn allocate_page(&self, file: u32) -> TierResult<PageId> {
         let id = self.lower.allocate(file)?;
         let mut shard = self.shard(id).lock();
-        self.make_room(&mut shard)?;
+        self.make_room(id.stripe_of(self.shards.len()), &mut shard)?;
         let mut flags = FrameFlags::fetched_from_disk();
         flags.mark_updated();
         shard.frames.insert(
@@ -288,7 +293,47 @@ impl<L: LowerTier> BufferPool<L> {
             .map(|(i, _)| i)
             .expect("at least one shard");
         let mut shard = self.shards[fullest].lock();
-        self.evict_from(&mut shard)
+        self.evict_from(fullest, &mut shard)
+    }
+
+    /// Opportunistically remove one cold dirty frame matching `filter` from
+    /// a shard other than `exclude`, probing each shard's LRU tail at most
+    /// [`VICTIM_PROBE_DEPTH`] deep. Only `try_lock` is used, so this can run
+    /// while the caller holds other locks (it never blocks on a buffer
+    /// shard); shards currently contended are simply skipped. Returns the
+    /// frame's page and flags; the frame leaves the pool.
+    fn pull_dirty_victim(
+        &self,
+        exclude: usize,
+        filter: &dyn Fn(PageId, Lsn) -> bool,
+    ) -> Option<(Page, bool, bool)> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i == exclude {
+                continue;
+            }
+            let Some(mut shard) = shard.try_lock() else {
+                continue;
+            };
+            let candidate = shard
+                .lru
+                .iter_lru_to_mru()
+                .take(VICTIM_PROBE_DEPTH)
+                .copied()
+                .find(|id| {
+                    shard
+                        .frames
+                        .get(id)
+                        .is_some_and(|f| f.flags.dirty && filter(*id, f.page.lsn()))
+                });
+            if let Some(id) = candidate {
+                let frame = shard.frames.remove(&id).expect("candidate is resident");
+                shard.lru.remove(&id);
+                self.stats.evictions.inc();
+                self.stats.dirty_evictions.inc();
+                return Some((frame.page, frame.flags.dirty, frame.flags.fdirty));
+            }
+        }
+        None
     }
 
     /// Checkpoint support: hand every dirty page to the lower tier (which
@@ -353,7 +398,7 @@ impl<L: LowerTier> BufferPool<L> {
             .collect()
     }
 
-    fn evict_from(&self, shard: &mut Shard) -> TierResult<Option<PageId>> {
+    fn evict_from(&self, shard_index: usize, shard: &mut Shard) -> TierResult<Option<PageId>> {
         let Some(victim) = shard.lru.pop_lru() else {
             return Ok(None);
         };
@@ -362,11 +407,20 @@ impl<L: LowerTier> BufferPool<L> {
         if frame.flags.needs_writeback() {
             self.stats.dirty_evictions.inc();
         }
-        self.lower.write_back(
+        // Offer the tier a pull source over the *other* shards so a batching
+        // cache (GSC) can top its write group up with more cold dirty pages.
+        // The source excludes this shard (its lock is held) and only
+        // try_locks the rest, so the lock graph stays acyclic.
+        let mut victims = PoolVictims {
+            pool: self,
+            exclude: shard_index,
+        };
+        self.lower.write_back_with(
             &frame.page,
             frame.flags.dirty,
             frame.flags.fdirty,
             WriteBackReason::Eviction,
+            &mut victims,
         )?;
         Ok(Some(victim))
     }
@@ -379,7 +433,7 @@ impl<L: LowerTier> BufferPool<L> {
             return Ok(());
         }
         self.stats.misses.inc();
-        self.make_room(shard)?;
+        self.make_room(id.stripe_of(self.shards.len()), shard)?;
         let mut page = Page::zeroed();
         let outcome = self.lower.fetch(id, &mut page)?;
         match outcome.source {
@@ -400,11 +454,24 @@ impl<L: LowerTier> BufferPool<L> {
         Ok(())
     }
 
-    fn make_room(&self, shard: &mut Shard) -> TierResult<()> {
+    fn make_room(&self, shard_index: usize, shard: &mut Shard) -> TierResult<()> {
         while shard.frames.len() >= shard.capacity {
-            self.evict_from(shard)?;
+            self.evict_from(shard_index, shard)?;
         }
         Ok(())
+    }
+}
+
+/// The pool's [`VictimPull`] implementation handed to the lower tier during
+/// evictions (see [`BufferPool::evict_from`]).
+struct PoolVictims<'a, L: LowerTier> {
+    pool: &'a BufferPool<L>,
+    exclude: usize,
+}
+
+impl<L: LowerTier> VictimPull for PoolVictims<'_, L> {
+    fn pull(&mut self, filter: &dyn Fn(PageId, Lsn) -> bool) -> Option<(Page, bool, bool)> {
+        self.pool.pull_dirty_victim(self.exclude, filter)
     }
 }
 
@@ -633,6 +700,78 @@ mod tests {
         }
         let stats = pool.stats();
         assert_eq!(stats.accesses, 8 * 50 * 32 + 32);
+    }
+
+    #[test]
+    fn eviction_offers_dirty_victims_from_other_shards() {
+        use crate::tier::{LowerTier, VictimPull, WriteBackOutcome};
+        use std::sync::Mutex as StdMutex;
+
+        /// A tier that pulls every dirty victim it is offered, recording them.
+        struct PullingTier {
+            inner: DirectDiskTier,
+            pulled: StdMutex<Vec<PageId>>,
+        }
+        impl LowerTier for PullingTier {
+            fn fetch(&self, id: PageId, buf: &mut Page) -> TierResult<crate::tier::FetchOutcome> {
+                self.inner.fetch(id, buf)
+            }
+            fn write_back(
+                &self,
+                page: &Page,
+                dirty: bool,
+                fdirty: bool,
+                reason: WriteBackReason,
+            ) -> TierResult<WriteBackOutcome> {
+                self.inner.write_back(page, dirty, fdirty, reason)
+            }
+            fn write_back_with(
+                &self,
+                page: &Page,
+                dirty: bool,
+                fdirty: bool,
+                reason: WriteBackReason,
+                victims: &mut dyn VictimPull,
+            ) -> TierResult<WriteBackOutcome> {
+                while let Some((extra, d, f)) = victims.pull(&|_, _| true) {
+                    self.pulled.lock().unwrap().push(extra.id());
+                    self.inner.write_back(&extra, d, f, reason)?;
+                }
+                self.inner.write_back(page, dirty, fdirty, reason)
+            }
+            fn allocate(&self, file: u32) -> TierResult<PageId> {
+                self.inner.allocate(file)
+            }
+            fn sync(&self) -> TierResult<()> {
+                self.inner.sync()
+            }
+        }
+
+        let store = Arc::new(InMemoryPageStore::new());
+        let tier = PullingTier {
+            inner: DirectDiskTier::new(store.clone() as Arc<dyn PageStore>),
+            pulled: StdMutex::new(Vec::new()),
+        };
+        let pool = BufferPool::with_shards(8, 4, tier);
+        // Fill the pool with dirty pages, then overflow it: the eviction
+        // offers cold dirty frames from the other shards to the tier.
+        let ids: Vec<PageId> = (0..8).map(|_| pool.allocate_page(0).unwrap()).collect();
+        for id in &ids {
+            pool.update(*id, Lsn(1), |p| p.write_body(0, b"d")).unwrap();
+        }
+        for _ in 0..4 {
+            pool.allocate_page(0).unwrap();
+        }
+        let pulled = pool.lower().pulled.lock().unwrap().clone();
+        assert!(!pulled.is_empty(), "no victims were pulled across shards");
+        // Pulled frames really left the pool, and their data reached disk.
+        for id in &pulled {
+            assert!(!pool.contains(*id));
+            let mut buf = Page::zeroed();
+            store.read_page(*id, &mut buf).unwrap();
+            assert!(buf.is_formatted(), "pulled dirty page lost");
+        }
+        assert!(pool.len() <= pool.capacity());
     }
 
     #[test]

@@ -95,6 +95,40 @@ pub struct WriteBackOutcome {
     pub on_disk: bool,
 }
 
+/// A source of additional cold dirty victims the lower tier may pull while
+/// absorbing an eviction — the paper's §3.3 hook where Group Second Chance
+/// tops a flash write batch up "with dirty pages from the LRU tail of the
+/// DRAM buffer" (like Linux's writeback daemons or Oracle's DBWR batching).
+///
+/// Implementations must be **non-blocking with respect to buffer shards**
+/// (the pool's implementation only `try_lock`s other shards) because the
+/// tier invokes this while cache-internal locks are held; a blocking wait on
+/// a buffer shard would close a lock cycle.
+pub trait VictimPull {
+    /// Remove and return a cold dirty frame whose page satisfies `filter`
+    /// (page id and pageLSN), or `None` if none is available cheaply. The
+    /// frame leaves the DRAM buffer for good: the caller owns its fate.
+    /// Returns `(page, dirty, fdirty)`.
+    fn pull(
+        &mut self,
+        filter: &dyn Fn(PageId, face_pagestore::Lsn) -> bool,
+    ) -> Option<(Page, bool, bool)>;
+}
+
+/// A pull source that never yields anything (checkpoint flushes and tiers
+/// without batching use this).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoVictims;
+
+impl VictimPull for NoVictims {
+    fn pull(
+        &mut self,
+        _filter: &dyn Fn(PageId, face_pagestore::Lsn) -> bool,
+    ) -> Option<(Page, bool, bool)> {
+        None
+    }
+}
+
 /// The storage stack below the DRAM buffer pool.
 ///
 /// Every method takes `&self`: the sharded buffer pool calls into the tier
@@ -115,6 +149,22 @@ pub trait LowerTier: Send + Sync {
         fdirty: bool,
         reason: WriteBackReason,
     ) -> TierResult<WriteBackOutcome>;
+
+    /// Like [`LowerTier::write_back`], with a [`VictimPull`] the tier may
+    /// use to pull additional cold dirty pages out of the DRAM buffer (Group
+    /// Second Chance batch top-up). The default ignores the source; tiers
+    /// without batching need not override.
+    fn write_back_with(
+        &self,
+        page: &Page,
+        dirty: bool,
+        fdirty: bool,
+        reason: WriteBackReason,
+        victims: &mut dyn VictimPull,
+    ) -> TierResult<WriteBackOutcome> {
+        let _ = victims;
+        self.write_back(page, dirty, fdirty, reason)
+    }
 
     /// Allocate a brand-new page on the backing store.
     fn allocate(&self, file: u32) -> TierResult<PageId>;

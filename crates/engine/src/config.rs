@@ -1,10 +1,31 @@
 //! Engine configuration.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use face_cache::{CacheConfig, CachePolicyKind};
+use face_cache::{CacheConfig, CachePolicyKind, FlashStore};
 
 use crate::latency::DeviceLatency;
+
+/// A pluggable flash-store constructor (per cache shard, given the shard's
+/// slot capacity). Tests inject instrumented stores — e.g. one whose writes
+/// block — to pin down where device I/O happens; production configurations
+/// leave it unset and get in-memory stores.
+#[derive(Clone)]
+pub struct FlashStoreFactory(pub Arc<dyn Fn(usize) -> Arc<dyn FlashStore> + Send + Sync>);
+
+impl FlashStoreFactory {
+    /// Wrap a constructor closure.
+    pub fn new(f: impl Fn(usize) -> Arc<dyn FlashStore> + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for FlashStoreFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FlashStoreFactory(..)")
+    }
+}
 
 /// Where the engine keeps its durable state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +61,19 @@ pub struct EngineConfig {
     /// behaves like the paper's testbed. `None` (the default) runs at memory
     /// speed.
     pub device_latency: Option<DeviceLatency>,
+    /// Background destager threads performing the flash group writes and the
+    /// dequeued-dirty-page disk destages (FaCE policies only). `0` disables
+    /// the pool: the foreground applies group writes itself — still outside
+    /// any cache shard lock — and writes stage-outs to disk synchronously
+    /// (the "sync destage" baseline).
+    pub destage_threads: usize,
+    /// Bound on queued jobs per destager worker; a foreground thread
+    /// enqueueing into a full queue blocks (backpressure) without holding
+    /// any cache lock.
+    pub destage_queue_depth: usize,
+    /// Optional per-shard flash store constructor (tests inject instrumented
+    /// stores). `None` builds in-memory stores.
+    pub flash_store_factory: Option<FlashStoreFactory>,
 }
 
 impl EngineConfig {
@@ -59,6 +93,9 @@ impl EngineConfig {
             buffer_shards: 8,
             cache_shards: 4,
             device_latency: None,
+            destage_threads: 2,
+            destage_queue_depth: 64,
+            flash_store_factory: None,
         }
     }
 
@@ -110,6 +147,25 @@ impl EngineConfig {
     /// Set the flash cache's lock-stripe count.
     pub fn cache_shards(mut self, shards: usize) -> Self {
         self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Set the number of background destager threads (`0` = synchronous
+    /// destaging, still off the shard locks).
+    pub fn destage_threads(mut self, threads: usize) -> Self {
+        self.destage_threads = threads;
+        self
+    }
+
+    /// Set the per-worker destage queue bound (backpressure depth).
+    pub fn destage_queue_depth(mut self, depth: usize) -> Self {
+        self.destage_queue_depth = depth.max(1);
+        self
+    }
+
+    /// Inject a flash-store constructor (instrumented stores for tests).
+    pub fn flash_store_factory(mut self, factory: FlashStoreFactory) -> Self {
+        self.flash_store_factory = Some(factory);
         self
     }
 

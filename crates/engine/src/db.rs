@@ -186,12 +186,26 @@ impl Database {
             disk = Arc::new(LatencyPageStore::new(disk, latency));
             log_storage = Arc::new(LatencyLogStorage::new(log_storage, latency));
         }
+        // FaCE's group writes run through the asynchronous destage pipeline:
+        // the policy hands filled groups back instead of writing them under
+        // the shard lock. (LC/TAC have no group writes; the flag is inert
+        // for them.)
+        let mut cache_config = config.cache_config.clone();
+        if matches!(
+            config.cache_policy,
+            CachePolicyKind::Face | CachePolicyKind::FaceGr | CachePolicyKind::FaceGsc
+        ) {
+            cache_config.defer_group_writes = true;
+        }
         let cache = ShardedFlashCache::build(
             config.cache_policy,
-            config.cache_config.clone(),
+            cache_config,
             config.cache_shards,
             |shard_capacity| {
-                let store: Arc<dyn FlashStore> = Arc::new(MemFlashStore::new(shard_capacity));
+                let store: Arc<dyn FlashStore> = match &config.flash_store_factory {
+                    Some(factory) => (factory.0)(shard_capacity),
+                    None => Arc::new(MemFlashStore::new(shard_capacity)),
+                };
                 match config.device_latency {
                     Some(latency) => Arc::new(LatencyFlashStore::new(store, latency)),
                     None => store,
@@ -202,7 +216,12 @@ impl Database {
         // The tier carries the write-ahead guard: no dirty page reaches the
         // flash cache or the disk before its log records are durable, so a
         // recovered flash directory never outruns the durable log.
-        let tier = FaceTier::new(Arc::clone(&disk), cache).with_wal(Arc::clone(&wal));
+        let tier = FaceTier::new(Arc::clone(&disk), cache)
+            .with_wal(Arc::clone(&wal))
+            .with_destager(face_cache::DestageConfig {
+                threads: config.destage_threads,
+                queue_depth: config.destage_queue_depth,
+            });
         let pool = BufferPool::with_shards(config.buffer_frames, config.buffer_shards, tier);
 
         let db = Self {
@@ -462,6 +481,11 @@ impl Database {
     /// portion of the WAL survive. Client threads must have quiesced.
     pub fn crash(&self) {
         self.crashed.store(true, Ordering::Release);
+        // The destage pipeline dies with the process: queued group writes
+        // and disk destages are dropped (they never reached a device), and a
+        // worker mid-write finishes its device operation but never seals —
+        // restart's recovery drain waits for that before reading metadata.
+        self.pool.lower().crash_destage();
         self.pool.crash();
         // The log buffer is RAM: records appended but never forced die with
         // the process, and LSN assignment rewinds to the durable end.
@@ -595,6 +619,18 @@ impl Database {
     /// Lower-tier counters (flash fetches, disk fetches, disk writes).
     pub fn tier_stats(&self) -> TierStats {
         self.pool.lower().stats()
+    }
+
+    /// Destage pipeline counters (queued vs completed groups and disk
+    /// pages), when the background destager is enabled.
+    pub fn destage_stats(&self) -> Option<face_cache::DestageStats> {
+        self.pool.lower().destage_stats()
+    }
+
+    /// Block until every queued destage job has completed (benchmarks use
+    /// this to compare like with like; ordinary operation never waits).
+    pub fn drain_destage(&self) -> EngineResult<()> {
+        self.pool.lower().drain_destage().map_err(EngineError::from)
     }
 
     /// Flash cache counters, if a cache is configured (merged over shards).
@@ -906,6 +942,93 @@ mod tests {
         assert!(cache.hits > 0);
         assert!(db.tier_stats().flash_fetches > 0);
         assert!(!db.flash_stores().is_empty());
+    }
+
+    #[test]
+    fn gsc_pulls_dirty_pages_from_dram_through_the_concurrent_front() {
+        // The §3.3 supplier, end to end through the multi-threaded engine:
+        // a full GSC cache tops its write batches up with cold dirty frames
+        // pulled from other buffer shards (non-blocking try-lock pulls,
+        // WAL-covered pages only).
+        let db = Database::open(
+            EngineConfig::in_memory()
+                .buffer_frames(32)
+                .buffer_shards(4)
+                .table_buckets(512)
+                .flash_cache(CachePolicyKind::FaceGsc, 64)
+                .cache_shards(1),
+        )
+        .unwrap();
+        for round in 0..20u64 {
+            let txn = db.begin();
+            for k in 0..40u64 {
+                db.put(txn, round * 1000 + k, b"gsc batch fill").unwrap();
+            }
+            db.commit(txn).unwrap();
+        }
+        let pulled = db.cache_stats().unwrap().pulled_from_dram;
+        assert!(pulled > 0, "GSC never pulled from the DRAM LRU tail");
+        assert_eq!(db.tier_stats().gsc_pulls, pulled);
+        // Pulled pages entered the persistent cache WAL-covered: nothing in
+        // flash may outrun the durable log.
+        let durable = db.wal_durable_lsn();
+        for store in db.flash_stores() {
+            for slot in 0..store.capacity() {
+                if let Some((page, lsn)) = store.slot_header(slot) {
+                    assert!(lsn <= durable, "page {page} at {lsn:?} beyond durable");
+                }
+            }
+        }
+        // And the data is intact.
+        for round in 0..20u64 {
+            for k in 0..40u64 {
+                assert_eq!(
+                    db.get(round * 1000 + k).unwrap().as_deref(),
+                    Some(b"gsc batch fill".as_ref())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn async_destage_keeps_all_data_correct_under_load() {
+        // Small DRAM buffer + small cache: constant evictions, group writes
+        // and disk destages, all through the background pipeline. Every
+        // committed value must read back correctly while the pipeline is
+        // busy and after it drains.
+        let db = Database::open(
+            EngineConfig::in_memory()
+                .buffer_frames(16)
+                .table_buckets(256)
+                .flash_cache(CachePolicyKind::FaceGr, 64)
+                .cache_shards(2)
+                .destage_threads(2)
+                .destage_queue_depth(8),
+        )
+        .unwrap();
+        for round in 0..10u64 {
+            let txn = db.begin();
+            for k in 0..60u64 {
+                db.put(txn, k, format!("r{round}-k{k}").as_bytes()).unwrap();
+            }
+            db.commit(txn).unwrap();
+            // Reads race the pipeline: they must never see a stale version.
+            for k in 0..60u64 {
+                assert_eq!(
+                    db.get(k).unwrap().unwrap(),
+                    format!("r{round}-k{k}").as_bytes(),
+                    "round {round} key {k} stale"
+                );
+            }
+        }
+        db.drain_destage().unwrap();
+        let stats = db.destage_stats().expect("destager enabled");
+        assert!(stats.groups_enqueued > 0, "pipeline was never used");
+        assert_eq!(stats.groups_enqueued, stats.groups_completed);
+        assert_eq!(stats.disk_pages_enqueued, stats.disk_pages_completed);
+        for k in 0..60u64 {
+            assert_eq!(db.get(k).unwrap().unwrap(), format!("r9-k{k}").as_bytes());
+        }
     }
 
     #[test]

@@ -173,6 +173,13 @@ impl FlashStore for LatencyFlashStore {
         self.inner.write_slots(start_slot, pages);
     }
 
+    fn write_batch(&self, writes: &[(usize, &Page)]) {
+        // The destage pipeline's group write is one batch-sized sequential
+        // device operation: charged once, not per page.
+        pause(self.latency.flash_write);
+        self.inner.write_batch(writes);
+    }
+
     fn read_slot(&self, slot: usize) -> Option<Page> {
         pause(self.latency.flash_read);
         self.inner.read_slot(slot)

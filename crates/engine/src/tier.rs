@@ -10,15 +10,37 @@
 //! The tier is called concurrently by every shard of the buffer pool, so all
 //! of its state is interior-mutable: the flash cache is the lock-striped
 //! [`ShardedFlashCache`], activity counters are atomics, and the shared I/O
-//! event log sits behind its own mutex (each operation records into a local
-//! log and merges it in one short critical section).
+//! event log is itself lock-striped by calling thread
+//! ([`face_cache::StripedIoLog`] — the old single mutex was a serialization
+//! point on the hot path).
+//!
+//! ## The destage pipeline
+//!
+//! With FaCE policies, the tier owns a [`Destager`]: a foreground
+//! `write_back` only mutates the cache directory and *enqueues* the group's
+//! flash batch write and the dequeued-dirty-page disk writes; background
+//! workers perform them. Pages queued for a disk destage remain readable
+//! through the tier's wash table (`washing`) until their write completes, so
+//! a fetch can never observe the stale disk version of a page whose
+//! write-out is still in flight. The write-ahead guard runs **before**
+//! anything enters the pipeline.
+//!
+//! Lock order (outer → inner): buffer shard → cache shard directory →
+//! destage queue → WAL. Device I/O happens under none of them — group writes
+//! and destage disk writes run on destager threads (or, in sync-destage
+//! mode, on the foreground thread after every cache lock is released).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use face_buffer::{
-    FetchOutcome, FetchSource, LowerTier, TierError, TierResult, WriteBackOutcome, WriteBackReason,
+    FetchOutcome, FetchSource, LowerTier, TierError, TierResult, VictimPull, WriteBackOutcome,
+    WriteBackReason,
 };
-use face_cache::{CacheRecoveryInfo, Counter, IoLog, ShardedFlashCache, StagedPage};
+use face_cache::{
+    CacheRecoveryInfo, Counter, DestageConfig, DestageJob, DestageSink, DestageStats, Destager,
+    IoLog, PageSupplier, PendingGroupWrite, ShardedFlashCache, StagedPage, StripedIoLog,
+};
 use face_pagestore::{Lsn, Page, PageId, PageStore};
 use face_wal::WalWriter;
 use parking_lot::Mutex;
@@ -30,10 +52,16 @@ pub struct TierStats {
     pub flash_fetches: u64,
     /// Pages fetched from disk.
     pub disk_fetches: u64,
+    /// Disk fetches served from the tier's wash table (the page's destage
+    /// disk write had not completed yet; serving the disk copy would have
+    /// been stale).
+    pub wash_table_hits: u64,
     /// Pages written to disk (stage-outs, write-through and no-cache writes).
     pub disk_writes: u64,
     /// Pages handed to the flash cache.
     pub cache_inserts: u64,
+    /// Dirty pages pulled from the DRAM LRU tail into a GSC write batch.
+    pub gsc_pulls: u64,
     /// Physical log flushes led by the tier's write-ahead guard (a dirty
     /// page could not be persisted before its log records were).
     pub wal_guard_forces: u64,
@@ -45,8 +73,10 @@ pub struct TierStats {
 struct TierStatCounters {
     flash_fetches: Counter,
     disk_fetches: Counter,
+    wash_table_hits: Counter,
     disk_writes: Counter,
     cache_inserts: Counter,
+    gsc_pulls: Counter,
     wal_guard_forces: Counter,
 }
 
@@ -55,38 +85,118 @@ impl TierStatCounters {
         TierStats {
             flash_fetches: self.flash_fetches.get(),
             disk_fetches: self.disk_fetches.get(),
+            wash_table_hits: self.wash_table_hits.get(),
             disk_writes: self.disk_writes.get(),
             cache_inserts: self.cache_inserts.get(),
+            gsc_pulls: self.gsc_pulls.get(),
             wal_guard_forces: self.wal_guard_forces.get(),
         }
+    }
+}
+
+/// Pages whose destage disk write is queued or in flight, readable until the
+/// write lands. Keyed by page id; the LSN disambiguates versions so a
+/// completed older write never evicts a newer queued one.
+type WashTable = Mutex<HashMap<PageId, StagedPage>>;
+
+/// The one place a staged page's bytes reach the disk — shared by the
+/// synchronous path ([`FaceTier::write_staged_to_disk`]) and the destage
+/// workers, so the write protocol (checksum, store write, accounting,
+/// wash-table retirement) cannot diverge between the two arms the perf gate
+/// compares. The physical `DiskWrite` I/O event is *not* recorded here: the
+/// policy already charged it when it dequeued the page.
+fn persist_staged_page(
+    disk: &dyn PageStore,
+    stats: &TierStatCounters,
+    washing: &WashTable,
+    s: &StagedPage,
+) -> face_pagestore::StoreResult<()> {
+    if let Some(data) = &s.data {
+        let mut copy = data.as_ref().clone();
+        copy.update_checksum();
+        disk.write_page(copy.id(), &copy)?;
+    }
+    stats.disk_writes.inc();
+    // The disk now holds this version: retire the wash-table entry unless a
+    // newer version of the page was queued meanwhile.
+    let mut washing = washing.lock();
+    if washing.get(&s.page).is_some_and(|w| w.lsn <= s.lsn) {
+        washing.remove(&s.page);
+    }
+    Ok(())
+}
+
+/// The destager's view of the tier: flash stores + cache front for group
+/// writes, the disk store + wash table for destage writes, shared I/O and
+/// stats for accounting.
+struct DestageTarget {
+    cache: Arc<ShardedFlashCache>,
+    disk: Arc<dyn PageStore>,
+    io: Arc<StripedIoLog>,
+    stats: Arc<TierStatCounters>,
+    washing: Arc<WashTable>,
+}
+
+impl DestageSink for DestageTarget {
+    fn apply_group(&self, write: &PendingGroupWrite, io: &mut IoLog) {
+        // `sync`/checkpoint may have applied-and-sealed this group inline
+        // while the job sat in the queue (`drain` is best-effort when
+        // producers race it): don't write — and charge — the batch twice.
+        if !self.cache.group_write_pending(write.shard, write.epoch) {
+            return;
+        }
+        self.cache.apply_group_write(write, io);
+    }
+
+    fn complete_group(&self, shard: usize, epoch: u64, io: &mut IoLog) {
+        self.cache.complete_group(shard, epoch, io);
+    }
+
+    fn write_pages_to_disk(&self, pages: &[StagedPage], _io: &mut IoLog) -> Result<(), String> {
+        for s in pages {
+            persist_staged_page(&*self.disk, &self.stats, &self.washing, s)
+                .map_err(|e| format!("destage write of page {}: {e}", s.page))?;
+        }
+        Ok(())
+    }
+
+    fn publish_io(&self, io: IoLog) {
+        self.io.merge(io);
     }
 }
 
 /// The lower tier used by [`crate::Database`]: an optional flash cache backed
 /// by the disk store. Safe for concurrent callers.
 pub struct FaceTier {
-    cache: Option<ShardedFlashCache>,
+    cache: Option<Arc<ShardedFlashCache>>,
     disk: Arc<dyn PageStore>,
-    io: Mutex<IoLog>,
+    io: Arc<StripedIoLog>,
     /// The engine's log writer, when attached: the tier observes the
     /// write-ahead rule for every dirty page it persists — to flash as much
     /// as to disk, because a page in the flash cache *is* part of the
     /// persistent database (paper §4). Forcing here sits at the innermost
-    /// position of the documented lock order (buffer shard → tier → WAL),
-    /// so no new ordering is introduced.
+    /// position of the documented lock order (buffer shard → cache shard →
+    /// destage queue → WAL), so no new ordering is introduced.
     wal: Option<Arc<WalWriter>>,
-    stats: TierStatCounters,
+    stats: Arc<TierStatCounters>,
+    /// The background destage pool (FaCE policies with `destage_threads > 0`).
+    destager: Option<Destager>,
+    /// See [`WashTable`]. Shared with the destage sink; empty without a
+    /// destager.
+    washing: Arc<WashTable>,
 }
 
 impl FaceTier {
     /// Build a tier over `disk` with an optional (sharded) flash cache.
     pub fn new(disk: Arc<dyn PageStore>, cache: Option<ShardedFlashCache>) -> Self {
         Self {
-            cache,
+            cache: cache.map(Arc::new),
             disk,
-            io: Mutex::new(IoLog::new()),
+            io: Arc::new(StripedIoLog::default()),
             wal: None,
-            stats: TierStatCounters::default(),
+            stats: Arc::new(TierStatCounters::default()),
+            destager: None,
+            washing: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -94,6 +204,29 @@ impl FaceTier {
     /// persisting dirty pages (the write-ahead guard).
     pub fn with_wal(mut self, wal: Arc<WalWriter>) -> Self {
         self.wal = Some(wal);
+        self
+    }
+
+    /// Spawn the background destage pool. A no-op without a cache; callers
+    /// should also have enabled
+    /// [`face_cache::CacheConfig::defer_group_writes`] on the cache so group
+    /// writes actually reach the pipeline (stage-out disk writes use it
+    /// either way).
+    pub fn with_destager(mut self, config: DestageConfig) -> Self {
+        let Some(cache) = self.cache.as_ref() else {
+            return self;
+        };
+        if config.threads == 0 {
+            return self;
+        }
+        let target = DestageTarget {
+            cache: Arc::clone(cache),
+            disk: Arc::clone(&self.disk),
+            io: Arc::clone(&self.io),
+            stats: Arc::clone(&self.stats),
+            washing: Arc::clone(&self.washing),
+        };
+        self.destager = Some(Destager::new(config, Arc::new(target)));
         self
     }
 
@@ -130,7 +263,7 @@ impl FaceTier {
 
     /// The flash cache, if configured.
     pub fn cache(&self) -> Option<&ShardedFlashCache> {
-        self.cache.as_ref()
+        self.cache.as_deref()
     }
 
     /// The disk store.
@@ -143,27 +276,107 @@ impl FaceTier {
         self.stats.snapshot()
     }
 
+    /// Destage pipeline counters (queued vs completed), if a destager runs.
+    pub fn destage_stats(&self) -> Option<DestageStats> {
+        self.destager.as_ref().map(|d| d.stats())
+    }
+
+    /// Whether a background destage pool is running.
+    pub fn has_destager(&self) -> bool {
+        self.destager.is_some()
+    }
+
+    /// Wait until every queued destage job has completed, surfacing any
+    /// background write error. Checkpoints, restarts, cache evacuation and
+    /// shutdown call this before touching cache metadata; ordinary
+    /// operations never do.
+    pub fn drain_destage(&self) -> TierResult<()> {
+        if let Some(destager) = self.destager.as_ref() {
+            destager.drain().map_err(TierError::Cache)?;
+        }
+        Ok(())
+    }
+
+    /// Crash semantics for the pipeline: queued jobs are dropped (their
+    /// writes never reached a device) and in-flight completions are
+    /// invalidated — a worker mid-write finishes the device operation but
+    /// the group is never sealed. The wash table is volatile and dies too.
+    pub fn crash_destage(&self) {
+        if let Some(destager) = self.destager.as_ref() {
+            destager.abort_pending();
+        }
+        self.washing.lock().clear();
+    }
+
     /// Drain the accumulated I/O event log (simulation drivers charge device
-    /// time from it; functional callers may simply discard it).
+    /// time from it; functional callers may simply discard it). Only
+    /// *completed* I/O appears here — queued destage work is visible in
+    /// [`FaceTier::destage_stats`] until its workers perform it.
     pub fn drain_io(&self) -> Vec<face_cache::FlashIoEvent> {
-        self.io.lock().drain()
+        self.io.drain()
     }
 
     fn merge_io(&self, local: IoLog) {
-        if !local.is_empty() {
-            self.io.lock().merge(local);
+        self.io.merge(local);
+    }
+
+    /// Route a filled group's batch write: onto the pipeline when a destager
+    /// runs, else applied inline right here — in both cases strictly after
+    /// every cache lock was released.
+    fn dispatch_group_write(&self, cache: &ShardedFlashCache, write: PendingGroupWrite) {
+        match self.destager.as_ref() {
+            Some(destager) => destager.enqueue(DestageJob::Group(write)),
+            None => {
+                let mut io = IoLog::new();
+                cache.apply_group_write(&write, &mut io);
+                cache.complete_group(write.shard, write.epoch, &mut io);
+                self.merge_io(io);
+            }
+        }
+    }
+
+    /// Publish stage-outs into the wash table. Invoked **under the cache
+    /// shard lock** (via [`ShardedFlashCache::insert_with_sink`]) so the
+    /// entry appears atomically with the page's removal from the directory —
+    /// a concurrent fetch can therefore never miss both and serve the stale
+    /// disk version. Short map work only; the wash mutex is a leaf lock.
+    fn publish_to_wash_table(&self, staged: &[StagedPage]) {
+        let mut washing = self.washing.lock();
+        for s in staged {
+            if s.data.is_some() && washing.get(&s.page).is_none_or(|w| w.lsn <= s.lsn) {
+                washing.insert(s.page, s.clone());
+            }
+        }
+    }
+
+    /// Route dequeued dirty pages to disk (already published to the wash
+    /// table under the shard lock). The write-ahead guard runs here —
+    /// *before* anything enters the pipeline — so queued pages always have
+    /// durable log records (for FaCE stage-outs it is a no-op: the guard
+    /// already ran when the page entered the persisting cache).
+    fn dispatch_staged_out(&self, shard: usize, staged: Vec<StagedPage>) -> TierResult<()> {
+        if staged.is_empty() {
+            return Ok(());
+        }
+        match self.destager.as_ref() {
+            Some(destager) => {
+                for s in &staged {
+                    self.ensure_wal_durable(s.lsn)?;
+                }
+                destager.enqueue(DestageJob::Disk {
+                    shard,
+                    pages: staged,
+                });
+                Ok(())
+            }
+            None => self.write_staged_to_disk(&staged),
         }
     }
 
     fn write_staged_to_disk(&self, staged: &[StagedPage]) -> TierResult<()> {
         for s in staged {
             self.ensure_wal_durable(s.lsn)?;
-            if let Some(data) = &s.data {
-                let mut copy = data.clone();
-                copy.update_checksum();
-                self.disk.write_page(copy.id(), &copy)?;
-            }
-            self.stats.disk_writes.inc();
+            persist_staged_page(&*self.disk, &self.stats, &self.washing, s)?;
         }
         Ok(())
     }
@@ -178,11 +391,13 @@ impl FaceTier {
     }
 
     /// Checkpoint support: ask the cache for dirty pages that are not part of
-    /// the persistent database (LC) and write them to disk.
+    /// the persistent database (LC) and write them to disk. Drains the
+    /// destage pipeline first so the cache's sync sees no in-flight groups.
     pub fn checkpoint_cache(&self) -> TierResult<usize> {
         let Some(cache) = self.cache.as_ref() else {
             return Ok(0);
         };
+        self.drain_destage()?;
         let mut io = IoLog::new();
         cache.sync(&mut io);
         let drained = cache.drain_dirty_for_checkpoint(&mut io);
@@ -204,6 +419,10 @@ impl FaceTier {
         let Some(cache) = self.cache.as_ref() else {
             return CacheRecoveryInfo::default();
         };
+        // Let in-flight workers finish their (discarded) device operations
+        // before rebuilding metadata — a real restart begins after the dust
+        // settles on the devices. Queued jobs were dropped at crash time.
+        let _ = self.drain_destage();
         let mut io = IoLog::new();
         let info = cache.crash_and_recover(durable_lsn, &mut io);
         self.merge_io(io);
@@ -221,6 +440,7 @@ impl FaceTier {
         let Some(cache) = self.cache.as_ref() else {
             return Ok(0);
         };
+        self.drain_destage()?;
         let mut io = IoLog::new();
         let evacuated = cache.evacuate_dirty(&mut io);
         self.merge_io(io);
@@ -228,6 +448,35 @@ impl FaceTier {
         self.write_staged_to_disk(&evacuated)?;
         cache.reset_cold();
         Ok(n)
+    }
+}
+
+/// The tier-side [`PageSupplier`] adapter for Group Second Chance: pulls
+/// cold dirty frames out of the DRAM buffer (via the pool's non-blocking
+/// [`VictimPull`]) to top a shard's write batch up, paper §3.3.
+///
+/// It runs while the target cache shard's lock is held, so it accepts only
+/// pages that (a) route to that same shard and (b) are already WAL-covered —
+/// a page needing a log force would put device I/O under the shard lock,
+/// which this PR exists to eliminate. Skipped pages simply stay in DRAM.
+struct GscSupplier<'a> {
+    victims: &'a mut dyn VictimPull,
+    cache: &'a ShardedFlashCache,
+    target_shard: usize,
+    durable_lsn: Option<Lsn>,
+    stats: &'a TierStatCounters,
+}
+
+impl PageSupplier for GscSupplier<'_> {
+    fn next_dirty_page(&mut self) -> Option<StagedPage> {
+        let cache = self.cache;
+        let shard = self.target_shard;
+        let durable = self.durable_lsn;
+        let (page, dirty, fdirty) = self
+            .victims
+            .pull(&|id, lsn| cache.shard_of(id) == shard && durable.is_none_or(|d| lsn < d))?;
+        self.stats.gsc_pulls.inc();
+        Some(StagedPage::with_data(page, dirty, fdirty))
     }
 }
 
@@ -260,6 +509,26 @@ impl LowerTier for FaceTier {
                 }
             }
         }
+        // A page whose stage-out disk write is queued or in flight must be
+        // served from the wash table: the disk still holds the older
+        // version. (The synchronous path publishes and retires within one
+        // write-back too, so concurrent fetches need the table either way.)
+        if self.cache.is_some() {
+            let washed = self
+                .washing
+                .lock()
+                .get(&id)
+                .and_then(|s| s.data.as_ref().map(Arc::clone));
+            if let Some(frame) = washed {
+                *buf = frame.as_ref().clone();
+                self.stats.disk_fetches.inc();
+                self.stats.wash_table_hits.inc();
+                return Ok(FetchOutcome {
+                    source: FetchSource::Disk,
+                    dirty: false,
+                });
+            }
+        }
         self.disk.read_page(id, buf)?;
         self.stats.disk_fetches.inc();
         if let Some(cache) = self.cache.as_ref() {
@@ -283,6 +552,17 @@ impl LowerTier for FaceTier {
         dirty: bool,
         fdirty: bool,
         reason: WriteBackReason,
+    ) -> TierResult<WriteBackOutcome> {
+        self.write_back_with(page, dirty, fdirty, reason, &mut face_buffer::NoVictims)
+    }
+
+    fn write_back_with(
+        &self,
+        page: &Page,
+        dirty: bool,
+        fdirty: bool,
+        reason: WriteBackReason,
+        victims: &mut dyn VictimPull,
     ) -> TierResult<WriteBackOutcome> {
         match self.cache.as_ref() {
             None => {
@@ -313,7 +593,12 @@ impl LowerTier for FaceTier {
                 if reason == WriteBackReason::Checkpoint && !cache.persists_dirty_pages() {
                     let staged = StagedPage::with_data(page.clone(), dirty, fdirty);
                     let mut io = IoLog::new();
-                    let outcome = cache.insert(staged, &mut io);
+                    let outcome = cache.insert_with_sink(
+                        staged,
+                        &mut face_cache::NoSupplier,
+                        &mut io,
+                        &mut |out| self.publish_to_wash_table(out),
+                    );
                     self.merge_io(io);
                     self.write_staged_to_disk(&outcome.staged_out)?;
                     if dirty {
@@ -326,9 +611,29 @@ impl LowerTier for FaceTier {
                 }
 
                 let persists = cache.persists_dirty_pages();
+                let shard = cache.shard_of(page.id());
                 let staged = StagedPage::with_data(page.clone(), dirty, fdirty);
                 let mut io = IoLog::new();
-                let outcome = cache.insert(staged, &mut io);
+                let outcome = if reason == WriteBackReason::Eviction && persists {
+                    // Offer the GSC supplier; non-GSC policies ignore it.
+                    let mut supplier = GscSupplier {
+                        victims,
+                        cache,
+                        target_shard: shard,
+                        durable_lsn: self.wal.as_ref().map(|w| w.durable_lsn()),
+                        stats: &self.stats,
+                    };
+                    cache.insert_with_sink(staged, &mut supplier, &mut io, &mut |out| {
+                        self.publish_to_wash_table(out)
+                    })
+                } else {
+                    cache.insert_with_sink(
+                        staged,
+                        &mut face_cache::NoSupplier,
+                        &mut io,
+                        &mut |out| self.publish_to_wash_table(out),
+                    )
+                };
                 self.merge_io(io);
                 if outcome.cached {
                     self.stats.cache_inserts.inc();
@@ -336,7 +641,10 @@ impl LowerTier for FaceTier {
                 if outcome.wrote_through_to_disk && dirty {
                     self.write_page_to_disk(page)?;
                 }
-                self.write_staged_to_disk(&outcome.staged_out)?;
+                self.dispatch_staged_out(shard, outcome.staged_out)?;
+                if let Some(write) = outcome.pending_group {
+                    self.dispatch_group_write(cache, write);
+                }
                 Ok(WriteBackOutcome {
                     in_flash: outcome.cached && persists,
                     on_disk: outcome.wrote_through_to_disk,
@@ -350,6 +658,7 @@ impl LowerTier for FaceTier {
     }
 
     fn sync(&self) -> TierResult<()> {
+        self.drain_destage()?;
         if let Some(cache) = self.cache.as_ref() {
             let mut io = IoLog::new();
             cache.sync(&mut io);
@@ -591,6 +900,134 @@ mod tests {
         tier.write_back(&page, true, true, WriteBackReason::Eviction)
             .unwrap();
         assert_eq!(tier.stats().wal_guard_forces, 1);
+    }
+
+    #[test]
+    fn destaged_stage_outs_reach_disk_and_stay_readable_meanwhile() {
+        // A tiny FaCE cache + a destager: stage-outs are queued, not written
+        // synchronously — yet a fetch between enqueue and completion must
+        // see the new version (wash table), never the stale disk copy.
+        let disk = Arc::new(InMemoryPageStore::new());
+        let cfg = CacheConfig {
+            capacity_pages: 4,
+            group_size: 2,
+            defer_group_writes: true,
+            ..CacheConfig::default()
+        };
+        let cache = ShardedFlashCache::build(CachePolicyKind::FaceGr, cfg, 1, |cap| {
+            Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
+        });
+        let tier =
+            FaceTier::new(disk.clone() as Arc<dyn PageStore>, cache).with_destager(DestageConfig {
+                threads: 1,
+                queue_depth: 64,
+            });
+        assert!(tier.has_destager());
+        let ids: Vec<PageId> = (0..10).map(|_| tier.allocate(0).unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            let page = dirty_page(*id, format!("v{i}").as_bytes());
+            tier.write_back(&page, true, true, WriteBackReason::Eviction)
+                .unwrap();
+        }
+        // Every page is readable right now with its latest contents,
+        // whether it sits in flash, the wash table or on disk already.
+        for (i, id) in ids.iter().enumerate() {
+            let mut buf = Page::zeroed();
+            tier.fetch(*id, &mut buf).unwrap();
+            assert_eq!(
+                buf.read_body(0, 2),
+                format!("v{i}").as_bytes(),
+                "page {i} served stale"
+            );
+        }
+        tier.drain_destage().unwrap();
+        let stats = tier.destage_stats().unwrap();
+        assert!(stats.groups_enqueued > 0, "group writes used the pipeline");
+        assert_eq!(stats.groups_enqueued, stats.groups_completed);
+        assert_eq!(stats.disk_pages_enqueued, stats.disk_pages_completed);
+        assert!(stats.disk_pages_completed >= 2, "stage-outs destaged");
+        // After the drain, the staged-out pages are physically on disk.
+        let mut on_disk = 0;
+        for id in &ids {
+            let mut buf = Page::zeroed();
+            disk.read_page(*id, &mut buf).unwrap();
+            if buf.is_formatted() {
+                on_disk += 1;
+            }
+        }
+        assert!(on_disk >= 2, "destage writes never reached the disk");
+    }
+
+    #[test]
+    fn foreground_write_back_does_not_pay_for_destage_disk_io() {
+        use std::time::{Duration, Instant};
+
+        /// A disk whose page writes cost 25 ms — foreground write-backs must
+        /// not pay it once the destager owns stage-outs.
+        struct SlowDisk(Arc<InMemoryPageStore>);
+        impl PageStore for SlowDisk {
+            fn read_page(&self, id: PageId, buf: &mut Page) -> face_pagestore::StoreResult<()> {
+                self.0.read_page(id, buf)
+            }
+            fn write_page(&self, id: PageId, page: &Page) -> face_pagestore::StoreResult<()> {
+                std::thread::sleep(Duration::from_millis(25));
+                self.0.write_page(id, page)
+            }
+            fn allocate(&self, file: u32) -> face_pagestore::StoreResult<PageId> {
+                self.0.allocate(file)
+            }
+            fn num_pages(&self, file: u32) -> u64 {
+                self.0.num_pages(file)
+            }
+            fn sync(&self) -> face_pagestore::StoreResult<()> {
+                self.0.sync()
+            }
+        }
+
+        let disk = Arc::new(SlowDisk(Arc::new(InMemoryPageStore::new())));
+        let cfg = CacheConfig {
+            capacity_pages: 4,
+            group_size: 2,
+            defer_group_writes: true,
+            ..CacheConfig::default()
+        };
+        let cache = ShardedFlashCache::build(CachePolicyKind::FaceGr, cfg, 1, |cap| {
+            Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
+        });
+        let tier = FaceTier::new(disk as Arc<dyn PageStore>, cache).with_destager(DestageConfig {
+            threads: 2,
+            queue_depth: 256,
+        });
+        let ids: Vec<PageId> = (0..12).map(|_| tier.allocate(0).unwrap()).collect();
+        // Warm the cache to capacity so later write-backs force stage-outs.
+        for id in &ids[..4] {
+            tier.write_back(
+                &dirty_page(*id, b"w"),
+                true,
+                true,
+                WriteBackReason::Eviction,
+            )
+            .unwrap();
+        }
+        // Each of these evicts dirty pages to disk (8 stage-outs, 200 ms of
+        // device time) — but the foreground only enqueues.
+        let start = Instant::now();
+        for id in &ids[4..] {
+            tier.write_back(
+                &dirty_page(*id, b"x"),
+                true,
+                true,
+                WriteBackReason::Eviction,
+            )
+            .unwrap();
+        }
+        let foreground = start.elapsed();
+        assert!(
+            foreground < Duration::from_millis(100),
+            "foreground paid for destage disk I/O: {foreground:?}"
+        );
+        tier.drain_destage().unwrap();
+        assert!(tier.stats().disk_writes >= 4);
     }
 
     #[test]

@@ -22,8 +22,9 @@ use std::sync::Arc;
 use face_pagestore::{Lsn, PageId};
 use parking_lot::Mutex;
 
+use crate::destage::PendingGroupWrite;
 use crate::io::IoLog;
-use crate::policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier};
+use crate::policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier, PageSupplier};
 use crate::store::FlashStore;
 use crate::types::{CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome};
 use crate::StagedPage;
@@ -136,7 +137,10 @@ impl ShardedFlashCache {
         self.capacity
     }
 
-    fn shard_of(&self, page: PageId) -> usize {
+    /// The shard `page` routes to. Public so callers can filter work by
+    /// shard — the GSC pull-from-DRAM supplier must only feed a shard pages
+    /// that belong to it, and destage jobs route by shard.
+    pub fn shard_of(&self, page: PageId) -> usize {
         face_pagestore::stripe_of(page.to_u64() / self.route_granularity, self.shards.len())
     }
 
@@ -151,14 +155,87 @@ impl ShardedFlashCache {
     }
 
     /// Hand a page leaving the DRAM buffer to its shard (see
-    /// [`FlashCache::insert`]). The GSC "pull extra dirty pages from the DRAM
-    /// LRU tail" hook is not plumbed through the concurrent front — suppliers
-    /// would have to re-enter the buffer pool while a shard lock is held; the
-    /// per-shard group batching is preserved without it.
+    /// [`FlashCache::insert`]) with no GSC supplier.
     pub fn insert(&self, staged: StagedPage, io: &mut IoLog) -> InsertOutcome {
-        self.shards[self.shard_of(staged.page)]
+        self.insert_with(staged, &mut NoSupplier, io)
+    }
+
+    /// Hand a page to its shard with a Group Second Chance supplier. The
+    /// supplier runs **while the shard lock is held**, so it must never block
+    /// on another cache shard and must only return pages that route to this
+    /// same shard (check with [`ShardedFlashCache::shard_of`]); the engine's
+    /// supplier additionally only uses `try_lock` on buffer shards, keeping
+    /// the lock graph acyclic. Pages it returns must already be WAL-covered
+    /// — they enter the persistent database right here.
+    ///
+    /// In deferred mode ([`CacheConfig::defer_group_writes`]) the returned
+    /// outcome may carry a [`PendingGroupWrite`] stamped with this shard's
+    /// index; the caller must apply it off-lock
+    /// ([`ShardedFlashCache::apply_group_write`]) and then seal it
+    /// ([`ShardedFlashCache::complete_group`]) — typically by enqueueing it
+    /// on a [`crate::destage::Destager`].
+    pub fn insert_with(
+        &self,
+        staged: StagedPage,
+        supplier: &mut dyn PageSupplier,
+        io: &mut IoLog,
+    ) -> InsertOutcome {
+        self.insert_with_sink(staged, supplier, io, &mut |_| {})
+    }
+
+    /// Like [`ShardedFlashCache::insert_with`], additionally invoking
+    /// `staged_out_sink` on the dequeued pages **before the shard lock is
+    /// released**. The tier uses this to publish stage-outs into its wash
+    /// table atomically with their removal from the directory — otherwise a
+    /// concurrent fetch could miss both the cache (entry already gone) and
+    /// the wash table (entry not yet published) and serve the stale disk
+    /// version. The sink must be short and must not take cache locks.
+    pub fn insert_with_sink(
+        &self,
+        staged: StagedPage,
+        supplier: &mut dyn PageSupplier,
+        io: &mut IoLog,
+        staged_out_sink: &mut dyn FnMut(&[StagedPage]),
+    ) -> InsertOutcome {
+        let shard = self.shard_of(staged.page);
+        let mut guard = self.shards[shard].lock();
+        let mut outcome = guard.insert(staged, supplier, io);
+        if !outcome.staged_out.is_empty() {
+            staged_out_sink(&outcome.staged_out);
+        }
+        drop(guard);
+        if let Some(pending) = outcome.pending_group.as_mut() {
+            pending.shard = shard;
+        }
+        outcome
+    }
+
+    /// Apply a deferred group's physical flash batch write against its
+    /// shard's store. Takes **no shard lock** — exactly why the write was
+    /// deferred.
+    pub fn apply_group_write(&self, write: &PendingGroupWrite, io: &mut IoLog) {
+        write.apply(&*self.stores[write.shard % self.stores.len()], io);
+    }
+
+    /// Whether a deferred group's physical write is still owed (formed but
+    /// neither applied-and-sealed inline by `sync` nor completed by the
+    /// pipeline). Destage workers consult this before applying, so a group
+    /// that `sync`/checkpoint already flushed inline — `drain` is
+    /// best-effort when producers race it — is not written (and charged)
+    /// twice.
+    pub fn group_write_pending(&self, shard: usize, epoch: u64) -> bool {
+        self.shards[shard % self.shards.len()]
             .lock()
-            .insert(staged, &mut NoSupplier, io)
+            .group_write_pending(epoch)
+    }
+
+    /// Seal a deferred group's journal records now that its batch write is
+    /// on flash (briefly takes the shard lock; see
+    /// [`FlashCache::complete_group`]).
+    pub fn complete_group(&self, shard: usize, epoch: u64, io: &mut IoLog) {
+        self.shards[shard % self.shards.len()]
+            .lock()
+            .complete_group(epoch, io);
     }
 
     /// Notification that `page` was fetched from disk (see
@@ -443,6 +520,98 @@ mod tests {
         // The cold cache accepts new work.
         c.insert(data_page(99), &mut io);
         assert!(c.contains(PageId::new(0, 99)));
+    }
+
+    #[test]
+    fn insert_with_supplier_feeds_the_target_shard() {
+        // One shard so every supplied page routes correctly; GSC pulls from
+        // the supplier once a replacement batch has room to top up.
+        let config = CacheConfig {
+            capacity_pages: 8,
+            group_size: 4,
+            second_chance: true,
+            meta_checkpoint_interval_groups: 1_000_000,
+            ..CacheConfig::default()
+        };
+        let c = ShardedFlashCache::build(CachePolicyKind::FaceGsc, config, 1, |cap| {
+            Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
+        })
+        .unwrap();
+        let mut io = IoLog::new();
+        for n in 0..8u32 {
+            c.insert(data_page(n), &mut io);
+        }
+        let mut next = 200u32;
+        let mut supplier = || {
+            let s = data_page(next);
+            next += 1;
+            Some(s)
+        };
+        c.insert_with(data_page(100), &mut supplier, &mut io);
+        assert!(c.stats().pulled_from_dram > 0, "supplier was consulted");
+        assert_eq!(c.shard_of(PageId::new(0, 200)), 0);
+        assert!(c.contains(PageId::new(0, 200)));
+    }
+
+    use crate::store::GateFlashStore;
+
+    #[test]
+    fn deferred_inserts_hold_no_shard_lock_across_flash_writes() {
+        let config = CacheConfig {
+            capacity_pages: 64,
+            group_size: 4,
+            defer_group_writes: true,
+            meta_checkpoint_interval_groups: 1_000_000,
+            ..CacheConfig::default()
+        };
+        let store = Arc::new(GateFlashStore::new(64));
+        let store_for_build = Arc::clone(&store);
+        let c = Arc::new(
+            ShardedFlashCache::build(CachePolicyKind::FaceGr, config, 1, move |_| {
+                Arc::clone(&store_for_build) as Arc<dyn FlashStore>
+            })
+            .unwrap(),
+        );
+
+        // Foreground: the gate is CLOSED, yet filling a group returns
+        // instantly — insert performs no flash I/O at all.
+        let mut io = IoLog::new();
+        let mut pending = None;
+        for n in 0..4u32 {
+            let out = c.insert(data_page(n), &mut io);
+            if out.pending_group.is_some() {
+                pending = out.pending_group;
+            }
+        }
+        let write = pending.expect("group filled");
+        assert!(io.is_empty(), "foreground charged I/O under deferral");
+
+        // Background: apply the group write; it blocks on the gate. The
+        // shard must stay usable the whole time — contains/fetch/insert from
+        // another thread proceed because apply holds no shard lock.
+        let bg = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                let mut io = IoLog::new();
+                c.apply_group_write(&write, &mut io);
+                c.complete_group(write.shard, write.epoch, &mut io);
+            })
+        };
+        // Give the background thread time to enter the blocked write.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        assert!(c.contains(PageId::new(0, 1)), "directory intact");
+        let mut io = IoLog::new();
+        assert!(c.fetch(PageId::new(0, 2), &mut io).is_some());
+        c.insert(data_page(50), &mut io);
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(250),
+            "shard mutex was held across the blocked flash write"
+        );
+        store.release();
+        bg.join().unwrap();
+        // The batch landed and sealed once the device unblocked.
+        assert!(store.read_slot(0).is_some());
     }
 
     #[test]

@@ -1,0 +1,646 @@
+//! The asynchronous group-write & destage pipeline.
+//!
+//! PR 2 sharded the flash cache so concurrent callers rarely meet; this
+//! module takes the next step the paper's host systems take (PostgreSQL's
+//! bgwriter, Oracle's DBWR): the *foreground* thread no longer pays for the
+//! group's device I/O at all. An insert that fills a replacement group only
+//! mutates the shard's directory and hands back a [`PendingGroupWrite`]; the
+//! physical batch write, the journal-group seal and the dequeued-dirty-page
+//! disk writes all happen on a small pool of background destager threads.
+//!
+//! ## Ordering and durability
+//!
+//! * Jobs are routed to workers by **cache shard** (`shard % threads`), so
+//!   one shard's group writes and disk destages execute in FIFO order on one
+//!   worker. Two versions of the same page can therefore never reach the
+//!   disk (or the same flash slot) out of order — a page always routes to
+//!   the same shard, and a shard always routes to the same worker.
+//! * A group's journal records are sealed (made crash-durable) by
+//!   [`crate::policy::FlashCache::complete_group`] strictly **after** its
+//!   batch write is applied, preserving PR 3's invariant that metadata never
+//!   outlives data it describes. Between enqueue and completion the records
+//!   are RAM-resident inside the policy and die with a crash — exactly like
+//!   the unsealed current group always has.
+//! * The write-ahead guard runs in the foreground **before** a page enters
+//!   the pipeline, so every queued page already has durable log records.
+//!
+//! ## Crash semantics
+//!
+//! [`Destager::abort_pending`] models a crash: queued jobs are dropped (their
+//! writes never reached the device) and the generation counter is bumped so a
+//! worker that is mid-write finishes its device operation but *discards* the
+//! completion — the bytes may land on flash, but the group is never sealed.
+//! Those are precisely the two in-pipeline crash points recovery must
+//! tolerate: work enqueued but unwritten (data and metadata both lost —
+//! consistent), and data written but metadata unsealed (the journal does not
+//! reference the slots; the bounded tail scan re-admits them only under the
+//! WAL reconciliation rules).
+//!
+//! ## Backpressure
+//!
+//! Each worker owns a bounded queue ([`DestageConfig::queue_depth`] jobs).
+//! A foreground thread that enqueues into a full queue blocks — without
+//! holding any cache lock — until the worker drains; the stall is counted in
+//! [`DestageStats::backpressure_stalls`]. Fetches of pages whose group write
+//! has not completed are served from the policy's in-flight frame map, so
+//! the foreground never waits for a *specific* group to finish.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use face_pagestore::{Lsn, PageId};
+use parking_lot::{Condvar, Mutex};
+
+use crate::io::IoLog;
+use crate::meta::JournalEntry;
+use crate::store::FlashStore;
+use crate::types::{Counter, StagedPage};
+
+/// One slot of a pending group write: where the version goes and, in
+/// data-carrying mode, the shared frame to write there.
+#[derive(Debug, Clone)]
+pub struct PendingSlotWrite {
+    /// The flash slot the version was assigned.
+    pub slot: usize,
+    /// The cached page.
+    pub page: PageId,
+    /// The pageLSN of the cached version.
+    pub lsn: Lsn,
+    /// The page contents (`None` with header-only or null stores).
+    pub data: Option<Arc<face_pagestore::Page>>,
+}
+
+/// A filled replacement group whose physical batch write was deferred by
+/// [`crate::types::CacheConfig::defer_group_writes`]. Produced under the
+/// shard lock (directory mutation only); applied and completed off-lock.
+#[derive(Debug, Clone)]
+pub struct PendingGroupWrite {
+    /// The cache shard that formed the group (stamped by
+    /// [`crate::concurrent::ShardedFlashCache`]; 0 for direct policy use).
+    pub shard: usize,
+    /// The journal group epoch these slots seal under.
+    pub epoch: u64,
+    /// The slots to write, in rear-assignment (queue) order.
+    pub pages: Vec<PendingSlotWrite>,
+    /// The group's journal records (diagnostic copy — the policy retains the
+    /// authoritative ones in its in-flight table until the seal).
+    pub meta_records: Vec<JournalEntry>,
+}
+
+impl PendingGroupWrite {
+    /// Perform the group's physical flash I/O against `store`: one
+    /// batch-sized sequential write of the data pages (the slots were
+    /// assigned consecutively at the queue rear) plus the slot-header notes
+    /// recovery's tail scan relies on. Holds **no** cache lock — that is the
+    /// point of deferring it.
+    pub fn apply(&self, store: &dyn FlashStore, io: &mut IoLog) {
+        if self.pages.is_empty() {
+            return;
+        }
+        io.flash_write_seq(self.pages.len() as u32);
+        if store.carries_data() {
+            let batch: Vec<(usize, &face_pagestore::Page)> = self
+                .pages
+                .iter()
+                .filter_map(|w| w.data.as_ref().map(|d| (w.slot, &**d)))
+                .collect();
+            store.write_batch(&batch);
+        }
+        for w in &self.pages {
+            store.note_slot_header(w.slot, w.page, w.lsn);
+        }
+    }
+}
+
+/// Configuration of a [`Destager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DestageConfig {
+    /// Worker threads. Must be at least 1 (a zero-thread "destager" is no
+    /// destager — callers apply writes inline instead).
+    pub threads: usize,
+    /// Maximum queued jobs per worker before enqueue blocks (backpressure).
+    pub queue_depth: usize,
+}
+
+impl Default for DestageConfig {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Work accepted by the destager.
+#[derive(Debug, Clone)]
+pub enum DestageJob {
+    /// A deferred flash group write: apply the batch, then seal its journal
+    /// group.
+    Group(PendingGroupWrite),
+    /// Dirty pages dequeued from the cache, bound for the disk array. The
+    /// shard is carried explicitly so same-page writes stay ordered.
+    Disk {
+        /// The cache shard that dequeued the pages (routing key).
+        shard: usize,
+        /// The pages to write, each already WAL-covered.
+        pages: Vec<StagedPage>,
+    },
+}
+
+impl DestageJob {
+    fn shard(&self) -> usize {
+        match self {
+            DestageJob::Group(w) => w.shard,
+            DestageJob::Disk { shard, .. } => *shard,
+        }
+    }
+}
+
+/// Where the destager sends its work. Implemented by the engine tier, which
+/// knows the flash stores, the cache front for group completion, the disk
+/// store and the shared I/O accounting.
+pub trait DestageSink: Send + Sync {
+    /// Apply a group's physical flash batch write (no cache lock held).
+    fn apply_group(&self, write: &PendingGroupWrite, io: &mut IoLog);
+    /// Seal the group's journal records now that its data is on flash
+    /// (briefly takes the shard lock).
+    fn complete_group(&self, shard: usize, epoch: u64, io: &mut IoLog);
+    /// Write dequeued dirty pages to the disk array.
+    fn write_pages_to_disk(&self, pages: &[StagedPage], io: &mut IoLog) -> Result<(), String>;
+    /// Merge a worker's local I/O log into the shared accounting.
+    fn publish_io(&self, io: IoLog);
+}
+
+/// Counters describing pipeline activity — the queued-versus-completed split
+/// the accounting contract promises (a queued write is *not yet* physical
+/// I/O; only completion moves it into the I/O log and the completed tallies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DestageStats {
+    /// Group writes accepted into the pipeline.
+    pub groups_enqueued: u64,
+    /// Group writes applied and sealed.
+    pub groups_completed: u64,
+    /// Group writes dropped by a crash ([`Destager::abort_pending`]).
+    pub groups_dropped: u64,
+    /// Dirty pages accepted for disk destaging.
+    pub disk_pages_enqueued: u64,
+    /// Dirty pages written to disk.
+    pub disk_pages_completed: u64,
+    /// Dirty pages dropped by a crash.
+    pub disk_pages_dropped: u64,
+    /// Enqueue attempts that blocked on a full worker queue.
+    pub backpressure_stalls: u64,
+}
+
+#[derive(Debug, Default)]
+struct DestageStatCounters {
+    groups_enqueued: Counter,
+    groups_completed: Counter,
+    groups_dropped: Counter,
+    disk_pages_enqueued: Counter,
+    disk_pages_completed: Counter,
+    disk_pages_dropped: Counter,
+    backpressure_stalls: Counter,
+}
+
+impl DestageStatCounters {
+    fn snapshot(&self) -> DestageStats {
+        DestageStats {
+            groups_enqueued: self.groups_enqueued.get(),
+            groups_completed: self.groups_completed.get(),
+            groups_dropped: self.groups_dropped.get(),
+            disk_pages_enqueued: self.disk_pages_enqueued.get(),
+            disk_pages_completed: self.disk_pages_completed.get(),
+            disk_pages_dropped: self.disk_pages_dropped.get(),
+            backpressure_stalls: self.backpressure_stalls.get(),
+        }
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<(u64, DestageJob)>,
+    /// The worker is executing a popped job right now.
+    busy: bool,
+}
+
+struct WorkerQueue {
+    state: Mutex<QueueState>,
+    /// Signalled when a job is pushed or shutdown is requested.
+    work_ready: Condvar,
+    /// Signalled when the queue shrinks or goes idle.
+    space_ready: Condvar,
+}
+
+struct Shared {
+    queues: Vec<WorkerQueue>,
+    queue_depth: usize,
+    sink: Arc<dyn DestageSink>,
+    stats: DestageStatCounters,
+    /// Bumped by [`Destager::abort_pending`]; a worker mid-job compares its
+    /// job's generation before sealing/counting, so completions of a
+    /// pre-crash job are discarded.
+    generation: AtomicU64,
+    shutdown: AtomicBool,
+    last_error: Mutex<Option<String>>,
+}
+
+/// A fixed pool of background destager threads with bounded per-worker
+/// queues, shard-affine routing and crash-abort support. See the module docs
+/// for the ordering and durability contract.
+pub struct Destager {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Destager {
+    /// Spawn `config.threads` workers draining into `sink`.
+    pub fn new(config: DestageConfig, sink: Arc<dyn DestageSink>) -> Self {
+        let threads = config.threads.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..threads)
+                .map(|_| WorkerQueue {
+                    state: Mutex::new(QueueState {
+                        jobs: VecDeque::new(),
+                        busy: false,
+                    }),
+                    work_ready: Condvar::new(),
+                    space_ready: Condvar::new(),
+                })
+                .collect(),
+            queue_depth: config.queue_depth.max(1),
+            sink,
+            stats: DestageStatCounters::default(),
+            generation: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            last_error: Mutex::new(None),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("face-destage-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn destager worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a job, blocking (without any cache lock) while the target
+    /// worker's queue is full.
+    pub fn enqueue(&self, job: DestageJob) {
+        match &job {
+            DestageJob::Group(_) => self.shared.stats.groups_enqueued.inc(),
+            DestageJob::Disk { pages, .. } => {
+                self.shared
+                    .stats
+                    .disk_pages_enqueued
+                    .add(pages.len() as u64);
+            }
+        }
+        let generation = self.shared.generation.load(Ordering::Acquire);
+        let queue = &self.shared.queues[job.shard() % self.shared.queues.len()];
+        let mut state = queue.state.lock();
+        // One logical stall per blocking enqueue, however many wakeups the
+        // wait loop takes (notify_all wakes every sleeper on each completed
+        // job, often with the queue still full).
+        let mut stalled = false;
+        while state.jobs.len() >= self.shared.queue_depth
+            && !self.shared.shutdown.load(Ordering::Acquire)
+        {
+            if !stalled {
+                stalled = true;
+                self.shared.stats.backpressure_stalls.inc();
+            }
+            state = queue.space_ready.wait(state);
+        }
+        state.jobs.push_back((generation, job));
+        drop(state);
+        queue.work_ready.notify_one();
+    }
+
+    /// Wait until every queue is empty and every worker idle, then surface
+    /// any background write error exactly once.
+    pub fn drain(&self) -> Result<(), String> {
+        for queue in &self.shared.queues {
+            let mut state = queue.state.lock();
+            while !state.jobs.is_empty() || state.busy {
+                state = queue.space_ready.wait(state);
+            }
+        }
+        self.shared.last_error.lock().take().map_or(Ok(()), Err)
+    }
+
+    /// Crash semantics: drop every queued job and invalidate in-flight
+    /// completions (a worker mid-write finishes the device operation but
+    /// never seals or counts it). Returns immediately; callers that need the
+    /// in-flight writes finished (restart does) follow up with
+    /// [`Destager::drain`].
+    pub fn abort_pending(&self) {
+        self.shared.generation.fetch_add(1, Ordering::AcqRel);
+        for queue in &self.shared.queues {
+            let dropped: Vec<(u64, DestageJob)> = {
+                let mut state = queue.state.lock();
+                state.jobs.drain(..).collect()
+            };
+            for (_, job) in dropped {
+                match job {
+                    DestageJob::Group(_) => self.shared.stats.groups_dropped.inc(),
+                    DestageJob::Disk { pages, .. } => {
+                        self.shared.stats.disk_pages_dropped.add(pages.len() as u64)
+                    }
+                }
+            }
+            queue.space_ready.notify_all();
+        }
+    }
+
+    /// Pipeline activity counters.
+    pub fn stats(&self) -> DestageStats {
+        self.shared.stats.snapshot()
+    }
+}
+
+impl Drop for Destager {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for queue in &self.shared.queues {
+            queue.work_ready.notify_all();
+            queue.space_ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let queue = &shared.queues[index];
+    loop {
+        let (generation, job) = {
+            let mut state = queue.state.lock();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    state.busy = true;
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                state = queue.work_ready.wait(state);
+            }
+        };
+        execute(shared, generation, job);
+        let mut state = queue.state.lock();
+        state.busy = false;
+        drop(state);
+        // Wake both backpressured producers and drain()ers.
+        queue.space_ready.notify_all();
+    }
+}
+
+fn execute(shared: &Shared, generation: u64, job: DestageJob) {
+    let mut io = IoLog::new();
+    let current = |s: &Shared| s.generation.load(Ordering::Acquire) == generation;
+    match job {
+        DestageJob::Group(write) => {
+            if !current(shared) {
+                shared.stats.groups_dropped.inc();
+                return;
+            }
+            shared.sink.apply_group(&write, &mut io);
+            // Crash point: the batch hit the device but the crash raced the
+            // seal — the journal must never reference it.
+            if current(shared) {
+                shared
+                    .sink
+                    .complete_group(write.shard, write.epoch, &mut io);
+                shared.stats.groups_completed.inc();
+                shared.sink.publish_io(io);
+            } else {
+                shared.stats.groups_dropped.inc();
+            }
+        }
+        DestageJob::Disk { pages, .. } => {
+            if !current(shared) {
+                shared.stats.disk_pages_dropped.add(pages.len() as u64);
+                return;
+            }
+            match shared.sink.write_pages_to_disk(&pages, &mut io) {
+                Ok(()) => {
+                    shared.stats.disk_pages_completed.add(pages.len() as u64);
+                    shared.sink.publish_io(io);
+                }
+                Err(e) => {
+                    shared.stats.disk_pages_dropped.add(pages.len() as u64);
+                    *shared.last_error.lock() = Some(e);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[derive(Default)]
+    struct RecordingSink {
+        groups: AtomicUsize,
+        completions: AtomicUsize,
+        disk_pages: AtomicUsize,
+        delay: Option<Duration>,
+        fail_disk: AtomicBool,
+    }
+
+    impl DestageSink for RecordingSink {
+        fn apply_group(&self, _write: &PendingGroupWrite, _io: &mut IoLog) {
+            if let Some(d) = self.delay {
+                std::thread::sleep(d);
+            }
+            self.groups.fetch_add(1, Ordering::SeqCst);
+        }
+        fn complete_group(&self, _shard: usize, _epoch: u64, _io: &mut IoLog) {
+            self.completions.fetch_add(1, Ordering::SeqCst);
+        }
+        fn write_pages_to_disk(&self, pages: &[StagedPage], _io: &mut IoLog) -> Result<(), String> {
+            if self.fail_disk.load(Ordering::SeqCst) {
+                return Err("injected disk failure".into());
+            }
+            self.disk_pages.fetch_add(pages.len(), Ordering::SeqCst);
+            Ok(())
+        }
+        fn publish_io(&self, _io: IoLog) {}
+    }
+
+    fn group(shard: usize, epoch: u64) -> PendingGroupWrite {
+        PendingGroupWrite {
+            shard,
+            epoch,
+            pages: vec![PendingSlotWrite {
+                slot: 0,
+                page: PageId::new(0, epoch as u32),
+                lsn: Lsn(epoch),
+                data: None,
+            }],
+            meta_records: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn drains_groups_and_disk_jobs() {
+        let sink = Arc::new(RecordingSink::default());
+        let d = Destager::new(
+            DestageConfig {
+                threads: 2,
+                queue_depth: 4,
+            },
+            Arc::clone(&sink) as Arc<dyn DestageSink>,
+        );
+        for e in 0..10 {
+            d.enqueue(DestageJob::Group(group(e as usize % 3, e)));
+        }
+        d.enqueue(DestageJob::Disk {
+            shard: 1,
+            pages: vec![StagedPage::meta_only(
+                PageId::new(0, 9),
+                Lsn(1),
+                true,
+                false,
+            )],
+        });
+        d.drain().unwrap();
+        assert_eq!(sink.groups.load(Ordering::SeqCst), 10);
+        assert_eq!(sink.completions.load(Ordering::SeqCst), 10);
+        assert_eq!(sink.disk_pages.load(Ordering::SeqCst), 1);
+        let stats = d.stats();
+        assert_eq!(stats.groups_enqueued, 10);
+        assert_eq!(stats.groups_completed, 10);
+        assert_eq!(stats.disk_pages_completed, 1);
+    }
+
+    #[test]
+    fn backpressure_blocks_until_the_worker_catches_up() {
+        let sink = Arc::new(RecordingSink {
+            delay: Some(Duration::from_millis(2)),
+            ..RecordingSink::default()
+        });
+        let d = Destager::new(
+            DestageConfig {
+                threads: 1,
+                queue_depth: 2,
+            },
+            Arc::clone(&sink) as Arc<dyn DestageSink>,
+        );
+        for e in 0..8 {
+            d.enqueue(DestageJob::Group(group(0, e)));
+        }
+        d.drain().unwrap();
+        assert_eq!(sink.completions.load(Ordering::SeqCst), 8);
+        assert!(
+            d.stats().backpressure_stalls > 0,
+            "queue depth 2 must stall"
+        );
+    }
+
+    #[test]
+    fn abort_drops_queued_work_and_in_flight_completions() {
+        let sink = Arc::new(RecordingSink {
+            delay: Some(Duration::from_millis(20)),
+            ..RecordingSink::default()
+        });
+        let d = Destager::new(
+            DestageConfig {
+                threads: 1,
+                queue_depth: 16,
+            },
+            Arc::clone(&sink) as Arc<dyn DestageSink>,
+        );
+        for e in 0..5 {
+            d.enqueue(DestageJob::Group(group(0, e)));
+        }
+        // Give the worker time to start job 0, then crash.
+        std::thread::sleep(Duration::from_millis(5));
+        d.abort_pending();
+        d.drain().unwrap();
+        let stats = d.stats();
+        // The in-flight job may have applied its device write, but nothing
+        // from this generation was ever *completed* (sealed).
+        assert_eq!(stats.groups_completed, 0, "no pre-crash group sealed");
+        assert_eq!(stats.groups_enqueued, 5);
+        assert_eq!(stats.groups_dropped, 5);
+        assert_eq!(sink.completions.load(Ordering::SeqCst), 0);
+        // The pipeline still accepts and completes post-crash work.
+        d.enqueue(DestageJob::Group(group(0, 99)));
+        d.drain().unwrap();
+        assert_eq!(d.stats().groups_completed, 1);
+    }
+
+    #[test]
+    fn disk_write_failure_surfaces_on_drain_once() {
+        let sink = Arc::new(RecordingSink::default());
+        sink.fail_disk.store(true, Ordering::SeqCst);
+        let d = Destager::new(
+            DestageConfig::default(),
+            Arc::clone(&sink) as Arc<dyn DestageSink>,
+        );
+        d.enqueue(DestageJob::Disk {
+            shard: 0,
+            pages: vec![StagedPage::meta_only(
+                PageId::new(0, 1),
+                Lsn(1),
+                true,
+                false,
+            )],
+        });
+        let err = d.drain().unwrap_err();
+        assert!(err.contains("injected"));
+        assert!(d.drain().is_ok(), "error reported exactly once");
+        assert_eq!(d.stats().disk_pages_dropped, 1);
+    }
+
+    #[test]
+    fn same_shard_jobs_execute_in_fifo_order() {
+        struct OrderSink {
+            seen: Mutex<Vec<u64>>,
+        }
+        impl DestageSink for OrderSink {
+            fn apply_group(&self, write: &PendingGroupWrite, _io: &mut IoLog) {
+                self.seen.lock().push(write.epoch);
+            }
+            fn complete_group(&self, _s: usize, _e: u64, _io: &mut IoLog) {}
+            fn write_pages_to_disk(
+                &self,
+                _p: &[StagedPage],
+                _io: &mut IoLog,
+            ) -> Result<(), String> {
+                Ok(())
+            }
+            fn publish_io(&self, _io: IoLog) {}
+        }
+        let sink = Arc::new(OrderSink {
+            seen: Mutex::new(Vec::new()),
+        });
+        let d = Destager::new(
+            DestageConfig {
+                threads: 3,
+                queue_depth: 64,
+            },
+            Arc::clone(&sink) as Arc<dyn DestageSink>,
+        );
+        for e in 0..50 {
+            d.enqueue(DestageJob::Group(group(4, e))); // one shard -> one worker
+        }
+        d.drain().unwrap();
+        let seen = sink.seen.lock();
+        assert_eq!(*seen, (0..50).collect::<Vec<u64>>(), "FIFO per shard");
+    }
+}

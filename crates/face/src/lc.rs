@@ -125,7 +125,7 @@ impl LcCache {
                 lsn: meta.lsn,
                 dirty: true,
                 fdirty: false,
-                data: self.store.read_slot(meta.slot),
+                data: self.store.read_slot(meta.slot).map(Arc::new),
             })
         } else {
             None
@@ -164,7 +164,7 @@ impl LcCache {
                 lsn: meta.lsn,
                 dirty: true,
                 fdirty: false,
-                data: self.store.read_slot(meta.slot),
+                data: self.store.read_slot(meta.slot).map(Arc::new),
             });
         }
         cleaned
@@ -282,7 +282,7 @@ impl FlashCache for LcCache {
                 lsn: meta.lsn,
                 dirty: true,
                 fdirty: false,
-                data: self.store.read_slot(meta.slot),
+                data: self.store.read_slot(meta.slot).map(Arc::new),
             });
         }
         out
@@ -304,7 +304,7 @@ impl FlashCache for LcCache {
                 lsn: meta.lsn,
                 dirty: true,
                 fdirty: false,
-                data: self.store.read_slot(meta.slot),
+                data: self.store.read_slot(meta.slot).map(Arc::new),
             });
         }
         out

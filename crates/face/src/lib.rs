@@ -42,6 +42,7 @@
 
 pub mod concurrent;
 pub mod cost_model;
+pub mod destage;
 pub mod directory;
 pub mod io;
 pub mod lc;
@@ -54,13 +55,17 @@ pub mod types;
 
 pub use concurrent::ShardedFlashCache;
 pub use cost_model::{AccessMix, CostModel};
+pub use destage::{
+    DestageConfig, DestageJob, DestageSink, DestageStats, Destager, PendingGroupWrite,
+    PendingSlotWrite,
+};
 pub use directory::{DirEntry, MetadataDirectory, RecoveredDirectory};
-pub use io::{FlashIoEvent, IoLog};
+pub use io::{FlashIoEvent, IoLog, StripedIoLog};
 pub use lc::LcCache;
 pub use meta::{CacheCheckpoint, JournalEntry, JournalStats, MetaJournal, RecoveredJournal};
 pub use mvfifo::MvFifoCache;
 pub use policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier, PageSupplier};
-pub use store::{FlashStore, HeaderFlashStore, MemFlashStore, NullFlashStore};
+pub use store::{FlashStore, GateFlashStore, HeaderFlashStore, MemFlashStore, NullFlashStore};
 pub use tac::TacCache;
 pub use types::{
     CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, Counter, FlashFetch,

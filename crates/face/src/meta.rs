@@ -229,11 +229,60 @@ impl MetaJournal {
             return;
         }
         let group = std::mem::take(&mut self.current);
+        self.next_epoch += 1;
+        self.seal_entries(group, io);
+    }
+
+    /// Detach the current group for a *deferred* batch write: its entries
+    /// leave the journal's current buffer (they stay RAM-resident in the
+    /// caller — still lost by a crash, exactly like the current group) and
+    /// the epoch counter advances so subsequent appends open the next group.
+    /// Nothing becomes durable here; the caller seals the detached entries
+    /// with [`MetaJournal::seal_detached_group`] once the group's data pages
+    /// have physically reached flash. Returns the detached group's epoch and
+    /// entries; `None` when the current group is empty.
+    pub fn begin_deferred_group(&mut self) -> Option<(u64, Vec<JournalEntry>)> {
+        if self.current.is_empty() {
+            return None;
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        Some((epoch, std::mem::take(&mut self.current)))
+    }
+
+    /// Seal a group detached by [`MetaJournal::begin_deferred_group`], now
+    /// that its batch write completed: the entries become durable (the small
+    /// sequential append charged to `io`) together with the current queue
+    /// pointers. Callers must seal detached groups in epoch order — the
+    /// destage pipeline's per-shard FIFO guarantees it, and the policy's
+    /// completion ordering enforces it.
+    pub fn seal_detached_group(
+        &mut self,
+        entries: Vec<JournalEntry>,
+        front: u64,
+        size: u64,
+        io: &mut IoLog,
+    ) {
+        self.durable_front = front;
+        self.durable_size = size;
+        if entries.is_empty() {
+            return;
+        }
+        debug_assert!(
+            self.sealed
+                .last()
+                .and_then(|g| g.first())
+                .is_none_or(|prev| prev.epoch < entries[0].epoch),
+            "detached groups must seal in epoch order"
+        );
+        self.seal_entries(entries, io);
+    }
+
+    fn seal_entries(&mut self, group: Vec<JournalEntry>, io: &mut IoLog) {
         let bytes = group.len() * JOURNAL_ENTRY_BYTES;
         let pages = bytes.div_ceil(face_pagestore::PAGE_SIZE).max(1) as u32;
         io.flash_write_seq(pages);
         self.sealed.push(group);
-        self.next_epoch += 1;
         self.stats.groups_sealed += 1;
         self.stats.bytes_flushed += bytes as u64;
     }

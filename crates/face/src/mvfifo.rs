@@ -18,11 +18,12 @@
 //!   write batch still has room it is topped up with dirty pages pulled from
 //!   the DRAM buffer's LRU tail.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use face_pagestore::{Lsn, Page, PageId};
 
+use crate::destage::{PendingGroupWrite, PendingSlotWrite};
 use crate::io::IoLog;
 use crate::meta::{JournalEntry, MetaJournal};
 use crate::policy::{FlashCache, PageSupplier};
@@ -48,6 +49,18 @@ struct SlotMeta {
     epoch: u64,
 }
 
+/// A group formed under [`CacheConfig::defer_group_writes`]: the directory
+/// already references its slots, but the physical batch write is owed by the
+/// caller (the destage pipeline). Its journal records are RAM-resident until
+/// [`MvFifoCache::complete_group`] seals them — a crash before then loses
+/// data and metadata together, the §4.3 invariant.
+struct InflightGroup {
+    write: PendingGroupWrite,
+    /// The caller reported the physical write done; the group seals once
+    /// every older in-flight group has sealed too.
+    completed: bool,
+}
+
 /// The FaCE flash cache.
 pub struct MvFifoCache {
     config: CacheConfig,
@@ -64,7 +77,13 @@ pub struct MvFifoCache {
     pending_slots: Vec<usize>,
     /// Data for the pending slots (parallel to `pending_slots`) when the
     /// store carries data.
-    pending_data: Vec<Option<Page>>,
+    pending_data: Vec<Option<Arc<Page>>>,
+    /// Deferred groups awaiting their physical batch write, by epoch.
+    inflight: BTreeMap<u64, InflightGroup>,
+    /// `slot -> (epoch, frame)` for the in-flight groups, so fetches of
+    /// versions whose batch write has not completed are served from RAM —
+    /// the foreground never waits for a specific group write to finish.
+    inflight_data: HashMap<usize, (u64, Arc<Page>)>,
     journal: MetaJournal,
     stats: CacheStatCounters,
 }
@@ -93,6 +112,8 @@ impl MvFifoCache {
             dir: HashMap::new(),
             pending_slots: Vec::new(),
             pending_data: Vec::new(),
+            inflight: BTreeMap::new(),
+            inflight_data: HashMap::new(),
             journal,
             stats: CacheStatCounters::default(),
         }
@@ -120,12 +141,35 @@ impl MvFifoCache {
     /// Snapshot the live directory (valid versions in queue order) as journal
     /// entries — the payload of a [`crate::meta::CacheCheckpoint`].
     fn directory_snapshot(&self) -> Vec<JournalEntry> {
+        self.snapshot_filtered(u64::MAX)
+    }
+
+    /// Snapshot only the **durable** part of the directory: entries whose
+    /// group has sealed. With deferred group writes, a cadence checkpoint can
+    /// fire while newer groups are still in flight (or buffering); their
+    /// bytes have not reached flash, so a snapshot referencing them would let
+    /// a crash resurrect metadata for pages that were never written — the
+    /// exact §4.3 violation the group-seal coupling exists to prevent.
+    fn durable_directory_snapshot(&self) -> Vec<JournalEntry> {
+        // Seals are contiguous in epoch order, so everything strictly below
+        // the oldest unsealed epoch (oldest in-flight group, else the
+        // still-buffering current group) is durable.
+        let oldest_unsealed = self
+            .inflight
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.journal.current_epoch());
+        self.snapshot_filtered(oldest_unsealed)
+    }
+
+    fn snapshot_filtered(&self, below_epoch: u64) -> Vec<JournalEntry> {
         let capacity = self.config.capacity_pages;
         let mut out = Vec::new();
         for i in 0..self.size {
             let slot = (self.front + i) % capacity;
             if let Some(m) = &self.slots[slot] {
-                if m.valid {
+                if m.valid && m.epoch < below_epoch {
                     out.push(JournalEntry {
                         epoch: m.epoch,
                         slot: slot as u32,
@@ -144,8 +188,8 @@ impl MvFifoCache {
     /// restart replays no journal at all. Independent of database
     /// checkpointing, as in the paper.
     pub fn checkpoint_metadata(&mut self, io: &mut IoLog) {
-        self.flush_pending(io);
-        // flush_pending may just have installed a cadence checkpoint (or a
+        self.flush_all_groups_inline(io);
+        // The flush may just have installed a cadence checkpoint (or a
         // previous call already left the journal fully folded): skip the
         // second, identical snapshot write in that case.
         let pointers = (self.front as u64, self.size as u64);
@@ -154,7 +198,7 @@ impl MvFifoCache {
         if already_folded {
             return;
         }
-        let snapshot = self.directory_snapshot();
+        let snapshot = self.durable_directory_snapshot();
         self.journal
             .install_checkpoint(pointers.0, pointers.1, snapshot, io);
         self.stats.metadata_flushes.inc();
@@ -178,13 +222,17 @@ impl MvFifoCache {
         self.config.capacity_pages - self.size
     }
 
-    /// The data stored at `slot`, looking in the not-yet-flushed pending
-    /// batch first (those pages are RAM-resident until the batch write).
-    fn slot_data(&self, slot: usize) -> Option<Page> {
+    /// The shared frame stored at `slot`, looking in the not-yet-formed
+    /// pending batch first, then the in-flight groups (both RAM-resident
+    /// until their batch write), then the flash store.
+    fn slot_frame(&self, slot: usize) -> Option<Arc<Page>> {
         if let Some(pos) = self.pending_slots.iter().position(|&s| s == slot) {
             return self.pending_data[pos].clone();
         }
-        self.store.read_slot(slot)
+        if let Some((_, frame)) = self.inflight_data.get(&slot) {
+            return Some(Arc::clone(frame));
+        }
+        self.store.read_slot(slot).map(Arc::new)
     }
 
     fn rear(&self) -> usize {
@@ -218,7 +266,9 @@ impl MvFifoCache {
     /// Physically write the pending batch as one sequential flash I/O and
     /// seal the batch's journal group (metadata flushed *with* the group, per
     /// §4.3). Once enough groups have sealed, a cache checkpoint snapshots
-    /// the directory and prunes the journal.
+    /// the directory and prunes the journal. This is the **inline** path;
+    /// with [`CacheConfig::defer_group_writes`] the batch is instead handed
+    /// back via [`MvFifoCache::form_pending_group`].
     fn flush_pending(&mut self, io: &mut IoLog) {
         if self.pending_slots.is_empty() {
             return;
@@ -243,11 +293,90 @@ impl MvFifoCache {
         self.pending_data.clear();
         self.journal
             .seal_group(self.front as u64, self.size as u64, io);
+        self.maybe_cadence_checkpoint(io);
+    }
+
+    fn maybe_cadence_checkpoint(&mut self, io: &mut IoLog) {
         if self.journal.checkpoint_due() {
-            let snapshot = self.directory_snapshot();
+            let snapshot = self.durable_directory_snapshot();
             self.journal
                 .install_checkpoint(self.front as u64, self.size as u64, snapshot, io);
             self.stats.metadata_flushes.inc();
+        }
+    }
+
+    /// Detach the filled pending batch as a [`PendingGroupWrite`] (deferred
+    /// mode): the directory keeps referencing the slots, the frames move into
+    /// the in-flight table so fetches and dequeues still see them, and the
+    /// group's journal records leave the current buffer but stay volatile
+    /// until [`MvFifoCache::complete_group`]. No I/O happens here — that is
+    /// the point.
+    fn form_pending_group(&mut self) -> Option<PendingGroupWrite> {
+        if self.pending_slots.is_empty() {
+            return None;
+        }
+        let (epoch, entries) = self
+            .journal
+            .begin_deferred_group()
+            .expect("pending slots imply unsealed journal entries");
+        let slots = std::mem::take(&mut self.pending_slots);
+        let data = std::mem::take(&mut self.pending_data);
+        let mut pages = Vec::with_capacity(slots.len());
+        for (slot, frame) in slots.into_iter().zip(data) {
+            let meta = self.slots[slot]
+                .as_ref()
+                .expect("pending slot has metadata");
+            if let Some(frame) = &frame {
+                self.inflight_data.insert(slot, (epoch, Arc::clone(frame)));
+            }
+            pages.push(PendingSlotWrite {
+                slot,
+                page: meta.page,
+                lsn: meta.lsn,
+                data: frame,
+            });
+        }
+        let write = PendingGroupWrite {
+            shard: 0,
+            epoch,
+            pages,
+            meta_records: entries,
+        };
+        self.inflight.insert(
+            epoch,
+            InflightGroup {
+                write: write.clone(),
+                completed: false,
+            },
+        );
+        Some(write)
+    }
+
+    /// Inline fallback for sync/checkpoint/evacuation paths: apply and seal
+    /// every in-flight group (oldest first), then flush the current batch.
+    /// Engine callers drain the destage pipeline before reaching these paths,
+    /// so the in-flight table is normally empty here; applying a group twice
+    /// is idempotent at the device (same bytes, same slots) and
+    /// [`MvFifoCache::complete_group`] ignores epochs already sealed.
+    fn flush_all_groups_inline(&mut self, io: &mut IoLog) {
+        let epochs: Vec<u64> = self.inflight.keys().copied().collect();
+        for epoch in epochs {
+            let write = match self.inflight.get(&epoch) {
+                Some(g) if !g.completed => Some(g.write.clone()),
+                _ => None,
+            };
+            if let Some(write) = write {
+                write.apply(&*self.store, io);
+            }
+            self.complete_group(epoch, io);
+        }
+        if self.config.defer_group_writes {
+            if let Some(write) = self.form_pending_group() {
+                write.apply(&*self.store, io);
+                self.complete_group(write.epoch, io);
+            }
+        } else {
+            self.flush_pending(io);
         }
     }
 
@@ -284,7 +413,10 @@ impl MvFifoCache {
                 continue;
             };
             // If this slot's write is still pending, take its data out of the
-            // pending batch so it is neither lost nor written later.
+            // pending batch so it is neither lost nor written later. A slot
+            // whose write is *in flight* keeps its queued write (the frames
+            // are shared and a later re-enqueue of the slot lands in a later
+            // group, which the per-shard FIFO destage order applies after).
             let pending_data = self
                 .pending_slots
                 .iter()
@@ -301,7 +433,9 @@ impl MvFifoCache {
                 if self.dir.get(&meta.page) == Some(&slot) {
                     self.dir.remove(&meta.page);
                 }
-                let data = pending_data.or_else(|| self.store.read_slot(slot));
+                let data = pending_data
+                    .or_else(|| self.inflight_data.get(&slot).map(|(_, f)| Arc::clone(f)))
+                    .or_else(|| self.store.read_slot(slot).map(Arc::new));
                 if self.config.second_chance && meta.referenced {
                     self.stats.second_chances.inc();
                     second_chance.push(StagedPage {
@@ -564,7 +698,7 @@ impl FlashCache for MvFifoCache {
         let lsn = meta.lsn;
         io.flash_read_rand(1);
         Some(FlashFetch {
-            data: self.slot_data(slot),
+            data: self.slot_frame(slot).map(|f| f.as_ref().clone()),
             dirty,
             lsn,
         })
@@ -618,11 +752,56 @@ impl FlashCache for MvFifoCache {
         }
 
         // Write the batch once it reaches the group size (always, for the
-        // base policy where the group size is 1).
+        // base policy where the group size is 1). In deferred mode the
+        // filled group is handed back instead: the caller owns the physical
+        // write, and this insert performed no device I/O at all.
         if self.pending_slots.len() >= self.config.group_size {
-            self.flush_pending(io);
+            if self.config.defer_group_writes {
+                outcome.pending_group = self.form_pending_group();
+            } else {
+                self.flush_pending(io);
+            }
         }
         outcome
+    }
+
+    fn group_write_pending(&self, epoch: u64) -> bool {
+        self.inflight.get(&epoch).is_some_and(|g| !g.completed)
+    }
+
+    fn complete_group(&mut self, epoch: u64, io: &mut IoLog) {
+        let Some(group) = self.inflight.get_mut(&epoch) else {
+            // Unknown epoch: already sealed inline (sync raced the pipeline)
+            // or dropped by a crash. Idempotent by design.
+            return;
+        };
+        group.completed = true;
+        // Seal contiguously from the oldest in-flight epoch so journal groups
+        // become durable in epoch order even if completions raced (they do
+        // not under the per-shard FIFO destage routing; this is the policy's
+        // own guarantee).
+        while let Some((&oldest, group)) = self.inflight.iter().next() {
+            if !group.completed {
+                break;
+            }
+            let group = self.inflight.remove(&oldest).expect("key just observed");
+            for w in &group.write.pages {
+                if self
+                    .inflight_data
+                    .get(&w.slot)
+                    .is_some_and(|(e, _)| *e == oldest)
+                {
+                    self.inflight_data.remove(&w.slot);
+                }
+            }
+            self.journal.seal_detached_group(
+                group.write.meta_records,
+                self.front as u64,
+                self.size as u64,
+                io,
+            );
+        }
+        self.maybe_cadence_checkpoint(io);
     }
 
     fn sync(&mut self, io: &mut IoLog) {
@@ -641,7 +820,7 @@ impl FlashCache for MvFifoCache {
         // successful evacuation is followed by a cache wipe, which retires
         // the flags anyway; a repeated call is idempotent, merely re-listing
         // the same pages.
-        self.flush_pending(io);
+        self.flush_all_groups_inline(io);
         let capacity = self.config.capacity_pages;
         let mut out = Vec::new();
         for i in 0..self.size {
@@ -658,7 +837,7 @@ impl FlashCache for MvFifoCache {
                 lsn: meta.lsn,
                 dirty: true,
                 fdirty: false,
-                data: self.store.read_slot(slot),
+                data: self.store.read_slot(slot).map(Arc::new),
             });
         }
         if !out.is_empty() {
@@ -1337,13 +1516,15 @@ mod tests {
             capacity: usize,
             group: usize,
             sc: bool,
+            defer: bool,
         ) {
             use std::collections::HashMap as Map;
             let store = Arc::new(MemFlashStore::new(capacity));
-            let mut cache = MvFifoCache::new(
-                meta_cfg(capacity, group, sc),
-                Arc::clone(&store) as Arc<dyn FlashStore>,
-            );
+            let cfg = CacheConfig {
+                defer_group_writes: defer,
+                ..meta_cfg(capacity, group, sc)
+            };
+            let mut cache = MvFifoCache::new(cfg, Arc::clone(&store) as Arc<dyn FlashStore>);
             let mut io = IoLog::new();
             // Every version ever enqueued, and the latest version per page.
             let mut enqueued: std::collections::HashSet<(PageId, Lsn)> =
@@ -1362,11 +1543,26 @@ mod tests {
                     _ => {
                         let mut p = Page::new(page);
                         p.set_lsn(lsn);
-                        cache.insert(
+                        let out = cache.insert(
                             StagedPage::with_data(p, *dirty, true),
                             &mut NoSupplier,
                             &mut io,
                         );
+                        // Deferred pipeline: the op byte decides how far the
+                        // destage of a returned group got before the crash —
+                        // never started (dropped), write applied but seal
+                        // lost, or fully completed. These are exactly the
+                        // in-pipeline crash points.
+                        if let Some(write) = out.pending_group {
+                            match op % 3 {
+                                0 => {} // enqueued, never written
+                                1 => write.apply(&*store, &mut io),
+                                _ => {
+                                    write.apply(&*store, &mut io);
+                                    cache.complete_group(write.epoch, &mut io);
+                                }
+                            }
+                        }
                         enqueued.insert((page, lsn));
                         latest.insert(page, lsn);
                         max_lsn = lsn.0;
@@ -1413,7 +1609,245 @@ mod tests {
                 group in 1usize..8,
                 sc in any::<bool>(),
             ) {
-                check_crash_recovery(ops, crash_at as usize, durable, 32, group, sc);
+                check_crash_recovery(ops, crash_at as usize, durable, 32, group, sc, false);
+            }
+
+            /// Same property with the asynchronous destage pipeline in every
+            /// intermediate state: groups enqueued but unwritten, written
+            /// but unsealed, and completed, interleaved arbitrarily.
+            #[test]
+            fn any_destage_crash_point_recovers_a_prefix_consistent_subset(
+                ops in prop::collection::vec((any::<u8>(), any::<u32>(), any::<bool>()), 1..250),
+                crash_at in any::<u16>(),
+                durable in any::<u8>(),
+                group in 1usize..8,
+                sc in any::<bool>(),
+            ) {
+                check_crash_recovery(ops, crash_at as usize, durable, 32, group, sc, true);
+            }
+        }
+    }
+
+    mod deferred {
+        use super::*;
+
+        fn defer_cfg(capacity: usize, group: usize) -> CacheConfig {
+            CacheConfig {
+                defer_group_writes: true,
+                ..meta_cfg(capacity, group, false)
+            }
+        }
+
+        fn data_staged(n: u32, lsn: u64) -> StagedPage {
+            let mut p = Page::new(pid(n));
+            p.set_lsn(Lsn(lsn));
+            p.write_body(0, &n.to_le_bytes());
+            StagedPage::with_data(p, true, true)
+        }
+
+        #[test]
+        fn filled_group_is_returned_not_written() {
+            let store = Arc::new(MemFlashStore::new(16));
+            let mut c = MvFifoCache::new(defer_cfg(16, 4), Arc::clone(&store) as _);
+            let mut io = IoLog::new();
+            let mut pending = None;
+            for n in 0..4u32 {
+                let out = c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                if out.pending_group.is_some() {
+                    pending = out.pending_group;
+                }
+            }
+            // The foreground performed no device I/O at all: the insert only
+            // mutated the directory and handed the batch back.
+            assert!(io.is_empty(), "deferred insert must charge no I/O");
+            assert_eq!(store.occupied(), 0, "no bytes reached the store");
+            let write = pending.expect("fourth insert fills the group");
+            assert_eq!(write.pages.len(), 4);
+            assert_eq!(write.meta_records.len(), 4);
+            assert_eq!(c.journal().unsealed_entries(), 0, "records detached");
+            assert_eq!(c.journal().sealed_groups(), 0, "but not yet durable");
+
+            // Fetches of in-flight versions are served from the shared RAM
+            // frames — the foreground never waits for the batch write.
+            let hit = c.fetch(pid(2), &mut io).expect("in-flight page served");
+            assert_eq!(hit.data.unwrap().read_body(0, 4), &2u32.to_le_bytes());
+
+            // The caller applies the batch off-lock, then seals it.
+            let mut apply_io = IoLog::new();
+            write.apply(&*store, &mut apply_io);
+            assert_eq!(apply_io.flash_pages_written(), 4);
+            assert_eq!(store.occupied(), 4);
+            c.complete_group(write.epoch, &mut apply_io);
+            assert_eq!(c.journal().sealed_groups(), 1);
+            // Completion is idempotent.
+            c.complete_group(write.epoch, &mut apply_io);
+            assert_eq!(c.journal().sealed_groups(), 1);
+        }
+
+        #[test]
+        fn completions_seal_in_epoch_order() {
+            let store = Arc::new(MemFlashStore::new(32));
+            let mut c = MvFifoCache::new(defer_cfg(32, 2), Arc::clone(&store) as _);
+            let mut io = IoLog::new();
+            let mut groups = Vec::new();
+            for n in 0..6u32 {
+                let out = c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                groups.extend(out.pending_group);
+            }
+            assert_eq!(groups.len(), 3);
+            // Complete the *youngest* group first: nothing may seal until the
+            // older ones complete, or replay order (and §4.3) would break.
+            for g in &groups {
+                g.apply(&*store, &mut io);
+            }
+            c.complete_group(groups[2].epoch, &mut io);
+            assert_eq!(c.journal().sealed_groups(), 0);
+            c.complete_group(groups[0].epoch, &mut io);
+            assert_eq!(c.journal().sealed_groups(), 1);
+            c.complete_group(groups[1].epoch, &mut io);
+            assert_eq!(c.journal().sealed_groups(), 3);
+            let rec = c.journal().recover(&mut IoLog::new());
+            let epochs: Vec<u64> = rec.entries.iter().map(|e| e.epoch).collect();
+            let mut sorted = epochs.clone();
+            sorted.sort_unstable();
+            assert_eq!(epochs, sorted, "replay must be epoch-ordered");
+        }
+
+        #[test]
+        fn crash_with_group_enqueued_but_unwritten_loses_it_consistently() {
+            // Crash point 1: the group left the foreground but its batch
+            // write never ran. Data and metadata die together — recovery
+            // sees neither.
+            let store = Arc::new(MemFlashStore::new(16));
+            let mut c = MvFifoCache::new(defer_cfg(16, 4), Arc::clone(&store) as _);
+            let mut io = IoLog::new();
+            let mut pending = None;
+            for n in 0..4u32 {
+                let out = c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                if out.pending_group.is_some() {
+                    pending = out.pending_group;
+                }
+            }
+            assert!(pending.is_some());
+            let info = c.crash_and_recover(Lsn(u64::MAX), &mut IoLog::new());
+            assert!(info.survived);
+            assert_eq!(info.entries_restored, 0, "unwritten group fully lost");
+            for n in 0..4u32 {
+                assert!(!c.contains(pid(n)));
+            }
+        }
+
+        #[test]
+        fn crash_with_write_done_but_seal_pending_readmits_only_reconciled() {
+            // Crash point 2: the batch hit the device but the journal seal
+            // never happened. The journal does not reference the slots; when
+            // the durable queue pointers cover them (a cadence checkpoint
+            // fired after an older group sealed), the bounded tail scan may
+            // re-admit them from page headers — but only under the WAL
+            // reconciliation rule.
+            let store = Arc::new(MemFlashStore::new(16));
+            let cfg = CacheConfig {
+                meta_checkpoint_interval_groups: 1,
+                ..defer_cfg(16, 2)
+            };
+            let mut c = MvFifoCache::new(cfg, Arc::clone(&store) as _);
+            let mut io = IoLog::new();
+            let mut groups = Vec::new();
+            for n in 0..4u32 {
+                let out = c.insert(data_staged(n, 10 + n as u64), &mut NoSupplier, &mut io);
+                groups.extend(out.pending_group);
+            }
+            assert_eq!(groups.len(), 2);
+            // Group 1 (pages 0,1) fully destages; its completion installs a
+            // cadence checkpoint whose pointers cover all four slots. Group 2
+            // (pages 2,3) hits the device but its seal is lost in the crash.
+            groups[0].apply(&*store, &mut io);
+            c.complete_group(groups[0].epoch, &mut io);
+            groups[1].apply(&*store, &mut io);
+            // Durable LSN 12 covers pages 0..=2; the header scan may re-admit
+            // page 2 but must discard page 3 (lsn 13).
+            let info = c.crash_and_recover(Lsn(12), &mut IoLog::new());
+            assert!(info.survived);
+            assert!(info.pages_scanned > 0, "tail scan probed the slots");
+            for (page, lsn, _) in c.valid_versions() {
+                assert!(lsn <= Lsn(12), "{page} outran the durable log");
+            }
+            assert!(c.contains(pid(0)) && c.contains(pid(1)), "sealed group");
+            assert!(c.contains(pid(2)), "scan re-admitted the covered page");
+            assert!(!c.contains(pid(3)), "scan must respect the durable LSN");
+        }
+
+        #[test]
+        fn sync_applies_and_seals_outstanding_groups_inline() {
+            let store = Arc::new(MemFlashStore::new(16));
+            let mut c = MvFifoCache::new(defer_cfg(16, 4), Arc::clone(&store) as _);
+            let mut io = IoLog::new();
+            for n in 0..5u32 {
+                c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                // The pending group is deliberately "leaked": sync is the
+                // safety net for callers that never drained it.
+            }
+            c.sync(&mut io);
+            assert_eq!(store.occupied(), 5, "group + partial batch written");
+            assert_eq!(c.journal().replay_entries(), 0, "checkpoint folded all");
+            let info = c.crash_and_recover(Lsn(u64::MAX), &mut IoLog::new());
+            assert_eq!(info.entries_restored, 5);
+        }
+
+        #[test]
+        fn cadence_checkpoint_never_references_unwritten_groups() {
+            // Group 1 completes while groups 2..N are still in flight; the
+            // cadence checkpoint (interval 1) fires at the completion and
+            // must exclude the in-flight entries — their bytes are not on
+            // flash, and a crash would otherwise serve garbage.
+            let store = Arc::new(MemFlashStore::new(32));
+            let cfg = CacheConfig {
+                meta_checkpoint_interval_groups: 1,
+                ..defer_cfg(32, 2)
+            };
+            let mut c = MvFifoCache::new(cfg, Arc::clone(&store) as _);
+            let mut io = IoLog::new();
+            let mut groups = Vec::new();
+            for n in 0..6u32 {
+                let out = c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                groups.extend(out.pending_group);
+            }
+            // Apply and seal only the first group; 2 and 3 stay in flight.
+            groups[0].apply(&*store, &mut io);
+            c.complete_group(groups[0].epoch, &mut io);
+            let ckpt = c.journal().checkpoint().expect("cadence fired");
+            assert_eq!(ckpt.entries.len(), 2, "only the sealed group's pages");
+            // Crash: in-flight groups vanish; the checkpoint must not
+            // resurrect their entries.
+            let info = c.crash_and_recover(Lsn(u64::MAX), &mut IoLog::new());
+            assert_eq!(info.entries_restored, 2);
+            assert!(c.contains(pid(0)) && c.contains(pid(1)));
+            for n in 2..6u32 {
+                assert!(!c.contains(pid(n)), "page {n} resurrected unwritten");
+            }
+        }
+
+        #[test]
+        fn dequeue_of_inflight_slot_carries_its_ram_frame() {
+            // A 4-slot cache with group 4: the first group is in flight when
+            // the next inserts force a dequeue of its slots. The staged-out
+            // dirty pages must carry data from the shared RAM frames (the
+            // store has nothing yet).
+            let store = Arc::new(MemFlashStore::new(4));
+            let mut c = MvFifoCache::new(defer_cfg(4, 4), Arc::clone(&store) as _);
+            let mut io = IoLog::new();
+            let mut groups = Vec::new();
+            for n in 0..4u32 {
+                let out = c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                groups.extend(out.pending_group);
+            }
+            assert_eq!(groups.len(), 1);
+            // Group 1 not applied yet; the next insert dequeues its slots.
+            let out = c.insert(data_staged(100, 100), &mut NoSupplier, &mut io);
+            assert_eq!(out.staged_out.len(), 4, "all four were dirty+valid");
+            for s in &out.staged_out {
+                let data = s.data.as_ref().expect("RAM frame travels along");
+                assert_eq!(data.id(), s.page);
             }
         }
     }

@@ -61,12 +61,33 @@ pub trait FlashCache: Send {
     /// the cache. `supplier` lets Group Second Chance pull extra dirty pages
     /// from the DRAM LRU tail; pass [`NoSupplier`] when that must not happen
     /// (e.g. during checkpoints).
+    ///
+    /// With [`crate::types::CacheConfig::defer_group_writes`] set, a filled
+    /// replacement group comes back in
+    /// [`InsertOutcome::pending_group`](crate::types::InsertOutcome) instead
+    /// of being written here: the caller applies the batch off-lock
+    /// ([`crate::destage::PendingGroupWrite::apply`]) and then calls
+    /// [`FlashCache::complete_group`].
     fn insert(
         &mut self,
         staged: StagedPage,
         supplier: &mut dyn PageSupplier,
         io: &mut IoLog,
     ) -> InsertOutcome;
+
+    /// Report that a deferred group's physical batch write finished: the
+    /// group's journal records may now seal (become crash-durable) — never
+    /// before, preserving the data-with-metadata coupling of §4.3. A no-op
+    /// for policies without deferred writes and for unknown epochs
+    /// (idempotent: sync may have sealed the group inline already).
+    fn complete_group(&mut self, _epoch: u64, _io: &mut IoLog) {}
+
+    /// Whether the deferred group `epoch` still owes its physical batch
+    /// write (formed, not yet applied inline or completed). `false` for
+    /// policies without deferred writes and for sealed/unknown epochs.
+    fn group_write_pending(&self, _epoch: u64) -> bool {
+        false
+    }
 
     /// Notification that `page` was fetched from *disk* into the DRAM buffer.
     /// Only on-entry policies (TAC) react to this.

@@ -25,6 +25,17 @@ pub trait FlashStore: Send + Sync {
         }
     }
 
+    /// Write an explicit (slot, page) batch as one sequential device
+    /// operation — the destage pipeline's group write, whose slots were
+    /// assigned consecutively at the queue rear (possibly wrapping).
+    /// Latency-charging wrappers override this to bill the batch once
+    /// instead of per page.
+    fn write_batch(&self, writes: &[(usize, &Page)]) {
+        for (slot, page) in writes {
+            self.write_slot(*slot, page);
+        }
+    }
+
     /// Read the page stored in `slot`, if any.
     fn read_slot(&self, slot: usize) -> Option<Page>;
 
@@ -177,6 +188,73 @@ impl FlashStore for HeaderFlashStore {
         if len > 0 {
             headers[slot % len] = None;
         }
+    }
+}
+
+/// A test instrument: a data-carrying flash store whose **writes block**
+/// until [`GateFlashStore::release`] opens the gate. Reads pass through.
+///
+/// This is how the no-device-I/O-under-lock acceptance gate and the
+/// in-pipeline crash-point tests park a writer mid-operation: close the
+/// gate, drive the system, observe that foreground operations proceed (or
+/// crash while a destage worker is stuck inside the device), then release.
+pub struct GateFlashStore {
+    inner: MemFlashStore,
+    open: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl GateFlashStore {
+    /// A gated store with `capacity` slots; the gate starts **closed**.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: MemFlashStore::new(capacity),
+            open: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Open the gate: blocked writers proceed, later writers never wait.
+    pub fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let guard = self.open.lock().unwrap();
+        let _guard = self.cv.wait_while(guard, |open| !*open).unwrap();
+    }
+}
+
+impl FlashStore for GateFlashStore {
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn write_slot(&self, slot: usize, page: &Page) {
+        self.wait_open();
+        self.inner.write_slot(slot, page);
+    }
+
+    fn write_batch(&self, writes: &[(usize, &Page)]) {
+        self.wait_open();
+        self.inner.write_batch(writes);
+    }
+
+    fn read_slot(&self, slot: usize) -> Option<Page> {
+        self.inner.read_slot(slot)
+    }
+
+    fn carries_data(&self) -> bool {
+        true
+    }
+
+    fn clear(&self) {
+        self.inner.clear();
+    }
+
+    fn clear_slot(&self, slot: usize) {
+        self.inner.clear_slot(slot);
     }
 }
 

@@ -1,11 +1,20 @@
 //! Shared types for the flash-cache policies.
 
+use std::sync::Arc;
+
 pub use face_pagestore::Counter;
 use face_pagestore::{Lsn, Page, PageId};
 use serde::{Deserialize, Serialize};
 
+use crate::destage::PendingGroupWrite;
+
 /// A page handed to the flash cache by the DRAM buffer (eviction or
 /// checkpoint flush) or pulled from the DRAM LRU tail by Group Second Chance.
+///
+/// The body travels behind an [`Arc`]: a page staged into a pending group,
+/// queued for destaging and finally written to the flash store or the disk is
+/// one shared 4 KiB frame, not a chain of copies. Cloning a `StagedPage` is
+/// a pointer bump.
 #[derive(Debug, Clone)]
 pub struct StagedPage {
     /// The page id.
@@ -18,7 +27,7 @@ pub struct StagedPage {
     /// be cached).
     pub fdirty: bool,
     /// The page contents. `None` in metadata-only simulation mode.
-    pub data: Option<Page>,
+    pub data: Option<Arc<Page>>,
 }
 
 impl StagedPage {
@@ -33,8 +42,20 @@ impl StagedPage {
         }
     }
 
-    /// A staged page carrying real data.
+    /// A staged page carrying real data (the page is moved into a shared
+    /// frame, not copied again downstream).
     pub fn with_data(page: Page, dirty: bool, fdirty: bool) -> Self {
+        Self {
+            page: page.id(),
+            lsn: page.lsn(),
+            dirty,
+            fdirty,
+            data: Some(Arc::new(page)),
+        }
+    }
+
+    /// A staged page over an already-shared frame.
+    pub fn with_shared(page: Arc<Page>, dirty: bool, fdirty: bool) -> Self {
         Self {
             page: page.id(),
             lsn: page.lsn(),
@@ -67,6 +88,12 @@ pub struct InsertOutcome {
     /// of this insert. In data-carrying mode each carries its contents; the
     /// caller must write them to the disk store.
     pub staged_out: Vec<StagedPage>,
+    /// With [`CacheConfig::defer_group_writes`] set, a filled replacement
+    /// group is *returned* here instead of being written under the caller's
+    /// lock. The caller must perform the physical batch write
+    /// ([`PendingGroupWrite::apply`]) outside any cache lock and then seal
+    /// its metadata ([`crate::policy::FlashCache::complete_group`]).
+    pub pending_group: Option<PendingGroupWrite>,
 }
 
 /// What a flash cache could restore of itself after a simulated crash.
@@ -139,6 +166,15 @@ pub struct CacheConfig {
     /// groups, bounding restart metadata replay to
     /// `meta_checkpoint_interval_groups × group_size` journal records.
     pub meta_checkpoint_interval_groups: usize,
+    /// When set, a filled replacement group is handed back to the caller as a
+    /// [`PendingGroupWrite`] instead of being written inside
+    /// [`crate::policy::FlashCache::insert`]: the insert mutates only the
+    /// directory and bookkeeping, and the caller performs the flash batch
+    /// write off-lock (typically on a [`crate::destage::Destager`] thread)
+    /// before sealing the group's journal records. Off by default: the
+    /// trace-driven simulator and single-threaded callers keep the inline
+    /// write-under-call contract.
+    pub defer_group_writes: bool,
 }
 
 impl Default for CacheConfig {
@@ -152,6 +188,7 @@ impl Default for CacheConfig {
             tac_extent_pages: 32,
             tac_admission_temperature: 2,
             meta_checkpoint_interval_groups: 8,
+            defer_group_writes: false,
         }
     }
 }
@@ -181,6 +218,13 @@ impl CacheConfig {
     /// between two [`crate::meta::CacheCheckpoint`] writes).
     pub fn meta_checkpoint_interval_groups(mut self, groups: usize) -> Self {
         self.meta_checkpoint_interval_groups = groups.max(1);
+        self
+    }
+
+    /// Builder-style enable of deferred group writes (see
+    /// [`CacheConfig::defer_group_writes`]).
+    pub fn defer_group_writes(mut self, on: bool) -> Self {
+        self.defer_group_writes = on;
         self
     }
 
