@@ -1,0 +1,90 @@
+//! Read-path perf-trajectory baseline: read-heavy (90/10) key-value
+//! throughput with the lock-light read path on versus the exclusive-lock
+//! baseline.
+//!
+//! Writes `BENCH_read.json` at the repo root (not the gitignored `results/`)
+//! so future PRs can diff the numbers, and acts as the read-side perf-smoke
+//! gate: it exits non-zero if
+//!
+//! * 4 threads fail to beat 1 thread by ≥ 2× in the lock-light arm (the
+//!   read path stopped scaling), or
+//! * lock-light loses to exclusive at 4 threads (holding shard mutexes
+//!   across flash reads would be as good as dropping them).
+//!
+//! Scale knobs: `FACE_READ_KEYS`, `FACE_READ_WARMUP_OPS`,
+//! `FACE_READ_MEASURE_OPS`, `FACE_READ_PCT`.
+
+use face_bench::experiments::{run_bench_read_throughput, ReadScale};
+use face_bench::{print_table, write_json_at};
+
+fn main() {
+    let scale = ReadScale::from_env();
+    let rows = run_bench_read_throughput(&scale, &[1, 2, 4]);
+    print_table(
+        "BENCH_read: ops/s per thread count, lock-light vs exclusive reads (FaCE+GSC, simulated devices)",
+        &[
+            "threads",
+            "mode",
+            "ops",
+            "wall s",
+            "ops/s",
+            "dram hit",
+            "flash hit",
+            "cache retries",
+            "pool retries",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}", r.threads),
+                    r.mode.clone(),
+                    format!("{}", r.ops),
+                    format!("{:.3}", r.wall_secs),
+                    format!("{:.0}", r.ops_per_sec),
+                    format!("{:.2}", r.dram_hit_ratio),
+                    format!("{:.2}", r.flash_hit_ratio),
+                    format!("{}", r.cache_fetch_retries),
+                    format!("{}", r.buffer_read_retries),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json_at(std::path::Path::new("BENCH_read.json"), &rows);
+
+    let cell =
+        |mode: &str, threads: usize| rows.iter().find(|r| r.mode == mode && r.threads == threads);
+    let mut failed = false;
+    match (cell("lock-light", 1), cell("lock-light", 4)) {
+        (Some(one), Some(four)) => {
+            let speedup = four.ops_per_sec / one.ops_per_sec.max(f64::MIN_POSITIVE);
+            let pass = speedup >= 2.0;
+            println!(
+                "[{}] lock-light 4-thread {:.0} ops/s vs 1-thread {:.0} ops/s ({:.2}x, need >= 2x)",
+                if pass { "PASS" } else { "FAIL" },
+                four.ops_per_sec,
+                one.ops_per_sec,
+                speedup
+            );
+            failed |= !pass;
+        }
+        _ => println!("[SKIP] lock-light 4-vs-1 verdict needs both rows"),
+    }
+    match (cell("exclusive", 4), cell("lock-light", 4)) {
+        (Some(excl), Some(light)) => {
+            let pass = light.ops_per_sec >= excl.ops_per_sec;
+            println!(
+                "[{}] 4-thread lock-light {:.0} ops/s vs exclusive {:.0} ops/s ({:+.1}%)",
+                if pass { "PASS" } else { "FAIL" },
+                light.ops_per_sec,
+                excl.ops_per_sec,
+                (light.ops_per_sec / excl.ops_per_sec.max(f64::MIN_POSITIVE) - 1.0) * 100.0
+            );
+            failed |= !pass;
+        }
+        _ => println!("[SKIP] lock-light-vs-exclusive verdict needs both 4-thread rows"),
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

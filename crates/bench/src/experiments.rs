@@ -673,6 +673,171 @@ pub fn run_bench_throughput(
     out
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_read: the read-path perf-trajectory matrix — read-heavy (90/10)
+// throughput with the lock-light read path on versus the exclusive-lock
+// baseline.
+// ---------------------------------------------------------------------------
+
+/// Scale knobs for the read-heavy sweep (`FACE_READ_*`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReadScale {
+    /// Keys pre-loaded into the table (≈ the hot working set in pages).
+    pub keys: u64,
+    /// Warm-up operations per run (split across the run's threads).
+    pub warmup_ops: u64,
+    /// Measured operations per run, split evenly across the run's threads.
+    pub measure_ops: u64,
+    /// Percentage of operations that are reads.
+    pub read_pct: u32,
+}
+
+impl Default for ReadScale {
+    fn default() -> Self {
+        Self {
+            keys: 8_192,
+            warmup_ops: 4_000,
+            measure_ops: 16_000,
+            read_pct: 90,
+        }
+    }
+}
+
+impl ReadScale {
+    /// Read the scale from `FACE_READ_*` environment variables.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            keys: env_u64("FACE_READ_KEYS", d.keys),
+            warmup_ops: env_u64("FACE_READ_WARMUP_OPS", d.warmup_ops),
+            measure_ops: env_u64("FACE_READ_MEASURE_OPS", d.measure_ops),
+            read_pct: env_u64("FACE_READ_PCT", d.read_pct as u64).min(100) as u32,
+        }
+    }
+
+    /// A tiny scale for unit tests of the harness itself.
+    pub fn tiny() -> Self {
+        Self {
+            keys: 512,
+            warmup_ops: 400,
+            measure_ops: 1_600,
+            read_pct: 90,
+        }
+    }
+}
+
+/// One row of the lock-light/exclusive read-throughput matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadBenchRow {
+    /// Worker threads driving the shared engine.
+    pub threads: usize,
+    /// "lock-light" (off-lock flash fetches, optimistic buffer hits) or
+    /// "exclusive" (the old take-the-shard-mutex-for-everything baseline).
+    pub mode: String,
+    /// Operations (gets + puts) in the measured window.
+    pub ops: u64,
+    /// Reads among them.
+    pub gets: u64,
+    /// Measured wall-clock seconds.
+    pub wall_secs: f64,
+    /// Aggregate operations per second.
+    pub ops_per_sec: f64,
+    /// DRAM buffer hit ratio during the measured window.
+    pub dram_hit_ratio: f64,
+    /// Flash-cache hit ratio over DRAM misses during the window.
+    pub flash_hit_ratio: f64,
+    /// Lock-light cache fetches that lost the eviction race and retried
+    /// (0 in exclusive mode by construction).
+    pub cache_fetch_retries: u64,
+    /// Optimistic buffer-pool read hits that caught an eviction and retried.
+    pub buffer_read_retries: u64,
+}
+
+/// The engine configuration behind the read bench: a DRAM buffer far smaller
+/// than the key working set (most reads miss to the flash cache) over
+/// simulated devices, so the exclusive arm really holds shard mutexes across
+/// ~20 µs flash reads — the serialization the lock-light path removes. Two
+/// cache shards (not fig4's eight) for the same reason `bench_throughput`
+/// shrinks its cache: at smoke scale the contention under test must actually
+/// occur, as it would on a production-sized shard at production thread
+/// counts.
+fn read_engine_config(lock_light: bool) -> face_engine::EngineConfig {
+    face_engine::EngineConfig::in_memory()
+        .buffer_frames(256)
+        .buffer_shards(8)
+        .table_buckets(4_096)
+        .flash_cache(CachePolicyKind::FaceGsc, 16_384)
+        .cache_shards(2)
+        .simulated_devices()
+        .lock_light_reads(lock_light)
+}
+
+/// Run the read-heavy (90/10 by default) sweep with the lock-light read path
+/// on and off across `thread_counts`, producing the `BENCH_read.json`
+/// matrix. Each cell gets a fresh engine, a full table load, its own warm-up
+/// and the same measured operation budget.
+pub fn run_bench_read_throughput(scale: &ReadScale, thread_counts: &[usize]) -> Vec<ReadBenchRow> {
+    use std::sync::Arc;
+    let mut out = Vec::new();
+    for &(label, lock_light) in &[("exclusive", false), ("lock-light", true)] {
+        for &threads in thread_counts {
+            let threads = threads.clamp(1, scale.keys.max(1) as usize);
+            let db = Arc::new(
+                face_engine::Database::open(read_engine_config(lock_light))
+                    .expect("in-memory open cannot fail"),
+            );
+            face_tpcc::load_read_heavy(&db, scale.keys);
+            let base = face_tpcc::ReadHeavyConfig {
+                threads,
+                ops_per_thread: (scale.warmup_ops as usize / threads).max(1),
+                keys: scale.keys,
+                read_pct: scale.read_pct,
+                ops_per_txn: 8,
+                seed: 7,
+            };
+            face_tpcc::run_read_heavy(&db, &base);
+
+            let buffer_before = db.buffer_stats();
+            let cache_before = db.cache_stats().unwrap_or_default();
+            let report = face_tpcc::run_read_heavy(
+                &db,
+                &face_tpcc::ReadHeavyConfig {
+                    ops_per_thread: (scale.measure_ops as usize / threads).max(1),
+                    seed: 1_000,
+                    ..base
+                },
+            );
+            let buffer = db.buffer_stats();
+            let cache = db.cache_stats().unwrap_or_default();
+            let wall = report.wall.as_secs_f64();
+            let ops = report.gets() + report.puts();
+            let misses = buffer.misses - buffer_before.misses;
+            let accesses = buffer.accesses - buffer_before.accesses;
+            out.push(ReadBenchRow {
+                threads,
+                mode: label.to_string(),
+                ops,
+                gets: report.gets(),
+                wall_secs: wall,
+                ops_per_sec: if wall > 0.0 { ops as f64 / wall } else { 0.0 },
+                dram_hit_ratio: if accesses > 0 {
+                    (buffer.hits - buffer_before.hits) as f64 / accesses as f64
+                } else {
+                    0.0
+                },
+                flash_hit_ratio: if misses > 0 {
+                    (buffer.flash_hits - buffer_before.flash_hits) as f64 / misses as f64
+                } else {
+                    0.0
+                },
+                cache_fetch_retries: cache.fetch_retries - cache_before.fetch_retries,
+                buffer_read_retries: buffer.read_retries - buffer_before.read_retries,
+            });
+        }
+    }
+    out
+}
+
 /// Sweep thread counts over the functional engine on the default simulated
 /// devices (real, scaled service times — see `face_engine::latency`). Each
 /// thread count gets a fresh engine, its own warm-up, and the same total
@@ -1133,6 +1298,25 @@ mod tests {
         // touched it.
         assert!(async_.destage_groups_completed > 0);
         assert_eq!(sync.destage_groups_completed, 0);
+    }
+
+    #[test]
+    fn bench_read_throughput_rows_cover_both_modes() {
+        let rows = run_bench_read_throughput(&ReadScale::tiny(), &[1]);
+        assert_eq!(rows.len(), 2);
+        let excl = rows.iter().find(|r| r.mode == "exclusive").unwrap();
+        let light = rows.iter().find(|r| r.mode == "lock-light").unwrap();
+        assert_eq!(excl.ops, light.ops, "same measured budget");
+        assert!(excl.ops_per_sec > 0.0 && light.ops_per_sec > 0.0);
+        // 90/10 mix: reads dominate in both arms.
+        assert!(excl.gets * 2 > excl.ops, "mix is not read-heavy");
+        // The working set exceeds the DRAM buffer and fits the flash cache,
+        // so the bench really measures the flash fetch path.
+        assert!(light.flash_hit_ratio > 0.5, "reads are not hitting flash");
+        assert_eq!(
+            excl.cache_fetch_retries, 0,
+            "exclusive mode cannot take the lock-light retry path"
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Per-frame state flags.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 /// The dirty / flash-dirty flag pair carried by every DRAM frame.
@@ -67,6 +69,60 @@ impl FrameFlags {
     }
 }
 
+const DIRTY_BIT: u8 = 1;
+const FDIRTY_BIT: u8 = 2;
+
+/// Atomic twin of [`FrameFlags`], packed into one byte, so the buffer pool's
+/// lock-light read path can inspect (and updaters raise) frame state without
+/// an exclusive shard lock. Transitions that *clear* bits (checkpoint,
+/// eviction) run under the frame's page latch or the shard's structural
+/// mutex; concurrent raises use atomic RMW, so no transition is ever lost.
+#[derive(Debug)]
+pub struct AtomicFrameFlags(AtomicU8);
+
+impl AtomicFrameFlags {
+    /// Start from `flags`.
+    pub fn new(flags: FrameFlags) -> Self {
+        let cell = Self(AtomicU8::new(0));
+        cell.store(flags);
+        cell
+    }
+
+    fn pack(flags: FrameFlags) -> u8 {
+        u8::from(flags.dirty) * DIRTY_BIT + u8::from(flags.fdirty) * FDIRTY_BIT
+    }
+
+    /// A point-in-time copy.
+    pub fn load(&self) -> FrameFlags {
+        let bits = self.0.load(Ordering::Acquire);
+        FrameFlags {
+            dirty: bits & DIRTY_BIT != 0,
+            fdirty: bits & FDIRTY_BIT != 0,
+        }
+    }
+
+    /// Overwrite both flags.
+    pub fn store(&self, flags: FrameFlags) {
+        self.0.store(Self::pack(flags), Ordering::Release);
+    }
+
+    /// See [`FrameFlags::mark_updated`].
+    pub fn mark_updated(&self) {
+        self.0.fetch_or(DIRTY_BIT | FDIRTY_BIT, Ordering::AcqRel);
+    }
+
+    /// See [`FrameFlags::staged_to_flash`].
+    pub fn staged_to_flash(&self) {
+        self.0.fetch_and(!FDIRTY_BIT, Ordering::AcqRel);
+    }
+
+    /// See [`FrameFlags::written_to_disk`].
+    pub fn written_to_disk(&self) {
+        self.0
+            .fetch_and(!(DIRTY_BIT | FDIRTY_BIT), Ordering::AcqRel);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +170,36 @@ mod tests {
         f.mark_updated();
         f.written_to_disk();
         assert!(!f.needs_writeback());
+    }
+
+    #[test]
+    fn atomic_flags_mirror_the_plain_transitions() {
+        let f = AtomicFrameFlags::new(FrameFlags::fetched_from_disk());
+        assert!(!f.load().needs_writeback());
+        f.mark_updated();
+        assert!(f.load().dirty && f.load().fdirty);
+        f.staged_to_flash();
+        assert!(f.load().dirty && !f.load().fdirty);
+        f.written_to_disk();
+        assert!(!f.load().needs_writeback());
+        f.store(FrameFlags::fetched_from_flash(true));
+        assert!(f.load().dirty && !f.load().fdirty);
+    }
+
+    #[test]
+    fn concurrent_raises_are_never_lost() {
+        let f = std::sync::Arc::new(AtomicFrameFlags::new(FrameFlags::default()));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let f = std::sync::Arc::clone(&f);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        f.mark_updated();
+                    }
+                });
+            }
+        });
+        assert!(f.load().dirty && f.load().fdirty);
     }
 
     #[test]

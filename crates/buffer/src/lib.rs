@@ -30,7 +30,7 @@ pub mod pool;
 pub mod sim;
 pub mod tier;
 
-pub use flags::FrameFlags;
+pub use flags::{AtomicFrameFlags, FrameFlags};
 pub use lru::LruList;
 pub use pool::{BufferPool, BufferStats, DEFAULT_POOL_SHARDS};
 pub use sim::{BufferSim, EvictedMeta, SimAccess};

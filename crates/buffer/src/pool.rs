@@ -3,20 +3,41 @@
 //! The pool hashes page ids over `N` independent shards — the same lock
 //! striping PostgreSQL applies to its buffer table — so threads touching
 //! different pages proceed in parallel. Each shard owns a fixed slice of the
-//! frame budget, its own LRU list and its own mutex; the lower tier is shared
-//! and must itself be concurrency-safe ([`LowerTier`] takes `&self`).
+//! frame budget and splits its state two ways:
 //!
-//! Lock order: a thread holds at most one shard lock at a time, and may call
-//! into the lower tier (which takes its own internal locks) while holding it.
-//! The lower tier never calls back into the pool, so the order
-//! `shard → tier-internals` is acyclic.
+//! * a **read-optimized mapping** (`RwLock<HashMap<PageId, Arc<FrameCell>>>`)
+//!   that lookups share, and
+//! * a **structural mutex** guarding the replacement order; misses,
+//!   evictions and updates serialize here.
+//!
+//! With [`BufferPool::lock_light_reads`] enabled, a read **hit** is a shared
+//! map lookup, a shared page latch and an atomic reference-bit touch — no
+//! exclusive lock anywhere. Replacement switches from strict LRU to a
+//! second-chance sweep over those reference bits (a clock approximation of
+//! LRU, as in the paper's host system). Without the flag every access takes
+//! the structural mutex and maintains exact LRU order, which several tests
+//! pin down.
+//!
+//! Frames live in `Arc`ed cells, so an eviction (or a destage completing
+//! mid-read) can never free a frame a reader still holds; the evictor flips
+//! the cell's `evicted` flag under the page latch and optimistic readers
+//! revalidate it after acquiring theirs, retrying the lookup if they lost
+//! the race ([`BufferStats::read_retries`]).
+//!
+//! Lock order within the pool: structural mutex → mapping lock → page latch.
+//! A thread holds at most one shard's structural mutex (the GSC victim pull
+//! only ever `try_lock`s others), and may call into the lower tier (which
+//! takes its own internal locks) while holding it. The lower tier never
+//! calls back into the pool, so `shard → tier-internals` stays acyclic.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use face_pagestore::{Counter, Lsn, Page, PageId};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use crate::flags::FrameFlags;
+use crate::flags::{AtomicFrameFlags, FrameFlags};
 use crate::lru::LruList;
 use crate::tier::{FetchSource, LowerTier, TierResult, VictimPull, WriteBackReason};
 
@@ -47,6 +68,12 @@ pub struct BufferStats {
     pub dirty_evictions: u64,
     /// Pages flushed by checkpoints.
     pub checkpoint_writes: u64,
+    /// Lock-light read hits that caught their frame mid-eviction and
+    /// retried the lookup (the optimistic path's revalidation firing).
+    pub read_retries: u64,
+    /// Eviction candidates spared by the second-chance sweep because their
+    /// reference bit was set (lock-light mode only).
+    pub ref_rescues: u64,
 }
 
 impl BufferStats {
@@ -81,6 +108,8 @@ struct AtomicBufferStats {
     evictions: Counter,
     dirty_evictions: Counter,
     checkpoint_writes: Counter,
+    read_retries: Counter,
+    ref_rescues: Counter,
 }
 
 impl AtomicBufferStats {
@@ -94,6 +123,8 @@ impl AtomicBufferStats {
             evictions: self.evictions.get(),
             dirty_evictions: self.dirty_evictions.get(),
             checkpoint_writes: self.checkpoint_writes.get(),
+            read_retries: self.read_retries.get(),
+            ref_rescues: self.ref_rescues.get(),
         }
     }
 
@@ -106,32 +137,66 @@ impl AtomicBufferStats {
         self.evictions.set(0);
         self.dirty_evictions.set(0);
         self.checkpoint_writes.set(0);
+        self.read_retries.set(0);
+        self.ref_rescues.set(0);
     }
 }
 
-struct Frame {
-    page: Page,
-    flags: FrameFlags,
+/// One resident frame: the page body behind its latch, plus the atomic
+/// per-frame state the lock-light read path touches without the shard lock.
+struct FrameCell {
+    /// The page latch. Readers share it; updaters and the evictor hold it
+    /// exclusively (WAL appends happen under it, keeping per-page log order
+    /// consistent with apply order).
+    page: RwLock<Page>,
+    flags: AtomicFrameFlags,
+    /// Reference bit for the second-chance sweep: set by hits, cleared (one
+    /// rescue each) by the evictor.
+    referenced: AtomicBool,
+    /// Flipped by the evictor under the page latch; an optimistic reader
+    /// that sees it set lost the race and retries its lookup.
+    evicted: AtomicBool,
 }
 
-/// One lock-striped slice of the pool: a frame table and its LRU list.
-struct Shard {
-    capacity: usize,
-    frames: HashMap<PageId, Frame>,
+impl FrameCell {
+    fn new(page: Page, flags: FrameFlags) -> Self {
+        Self {
+            page: RwLock::new(page),
+            flags: AtomicFrameFlags::new(flags),
+            referenced: AtomicBool::new(false),
+            evicted: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Replacement state of one shard, behind the structural mutex.
+struct ShardCore {
     lru: LruList<PageId>,
 }
 
-/// A fixed-capacity, sharded DRAM buffer pool with per-shard LRU replacement
+/// One lock-striped slice of the pool.
+struct Shard {
+    capacity: usize,
+    /// The read-optimized mapping; see the module docs for the lock order.
+    map: RwLock<HashMap<PageId, Arc<FrameCell>>>,
+    core: Mutex<ShardCore>,
+}
+
+/// A fixed-capacity, sharded DRAM buffer pool with per-shard replacement
 /// over a pluggable [`LowerTier`].
 ///
 /// All operations take `&self`; the pool is `Send + Sync` whenever its lower
 /// tier is. The pool owns page data; callers access pages through closures so
-/// that a page reference can never outlive its residency (or its shard lock).
+/// that a page reference can never outlive its latch.
 pub struct BufferPool<L: LowerTier> {
     capacity: usize,
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<Shard>,
     lower: L,
     stats: AtomicBufferStats,
+    /// Resident-frame mirror, so [`BufferPool::len`] never sweeps the shard
+    /// locks. Maintained at insert/evict; exact at quiesce.
+    resident: Counter,
+    lock_light: bool,
 }
 
 impl<L: LowerTier> BufferPool<L> {
@@ -144,7 +209,8 @@ impl<L: LowerTier> BufferPool<L> {
     /// A pool striped over exactly `shards` shards (clamped to `capacity` so
     /// every shard owns at least one frame). `shards == 1` reproduces the
     /// classic single-LRU pool, which some tests rely on for exact eviction
-    /// order.
+    /// order. Reads take the exclusive structural path; see
+    /// [`BufferPool::lock_light_reads`].
     pub fn with_shards(capacity: usize, shards: usize, lower: L) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let shards = shards.clamp(1, capacity);
@@ -153,11 +219,13 @@ impl<L: LowerTier> BufferPool<L> {
         let shards = (0..shards)
             .map(|i| {
                 let cap = base + usize::from(i < rem);
-                Mutex::new(Shard {
+                Shard {
                     capacity: cap,
-                    frames: HashMap::with_capacity(cap),
-                    lru: LruList::with_capacity(cap),
-                })
+                    map: RwLock::new(HashMap::with_capacity(cap)),
+                    core: Mutex::new(ShardCore {
+                        lru: LruList::with_capacity(cap),
+                    }),
+                }
             })
             .collect();
         Self {
@@ -165,7 +233,24 @@ impl<L: LowerTier> BufferPool<L> {
             shards,
             lower,
             stats: AtomicBufferStats::default(),
+            resident: Counter::default(),
+            lock_light: false,
         }
+    }
+
+    /// Builder-style switch for the lock-light read path: hits become a
+    /// shared map lookup + shared page latch + atomic reference-bit touch,
+    /// and replacement becomes a second-chance sweep over those bits. Off
+    /// (the default), every access takes the structural mutex and maintains
+    /// exact LRU order.
+    pub fn lock_light_reads(mut self, on: bool) -> Self {
+        self.lock_light = on;
+        self
+    }
+
+    /// Whether the lock-light read path is enabled.
+    pub fn is_lock_light(&self) -> bool {
+        self.lock_light
     }
 
     /// Pool capacity in frames (summed over shards).
@@ -178,24 +263,33 @@ impl<L: LowerTier> BufferPool<L> {
         self.shards.len()
     }
 
-    /// Number of resident pages.
+    /// Number of resident pages, from the atomic mirror — no shard lock is
+    /// taken (the previous implementation locked every shard per call).
+    /// Exact whenever no insert/evict is in flight.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().frames.len()).sum()
+        self.resident.get() as usize
     }
 
-    /// Whether the pool holds no pages.
+    /// Whether the pool holds no pages (same contract as [`BufferPool::len`]).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Whether `id` is resident.
+    /// Resident pages per shard, counted under the mapping locks (test and
+    /// diagnostic support for checking the [`BufferPool::len`] mirror).
+    pub fn resident_by_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.map.read().len()).collect()
+    }
+
+    /// Whether `id` is resident. A shared map lookup — never an exclusive
+    /// lock.
     pub fn contains(&self, id: PageId) -> bool {
-        self.shard(id).lock().frames.contains_key(&id)
+        self.shard(id).map.read().contains_key(&id)
     }
 
     /// The flags of a resident page.
     pub fn flags(&self, id: PageId) -> Option<FrameFlags> {
-        self.shard(id).lock().frames.get(&id).map(|f| f.flags)
+        self.shard(id).map.read().get(&id).map(|c| c.flags.load())
     }
 
     /// Activity counters (a point-in-time snapshot of the atomic tallies).
@@ -213,18 +307,44 @@ impl<L: LowerTier> BufferPool<L> {
         &self.lower
     }
 
-    fn shard(&self, id: PageId) -> &Mutex<Shard> {
-        &self.shards[id.stripe_of(self.shards.len())]
+    fn shard_index(&self, id: PageId) -> usize {
+        id.stripe_of(self.shards.len())
+    }
+
+    fn shard(&self, id: PageId) -> &Shard {
+        &self.shards[self.shard_index(id)]
     }
 
     /// Read access to a page: fetches it from the lower tier on a miss and
-    /// passes a shared reference to `f`. The shard lock is held for the
-    /// duration of `f`.
+    /// passes a shared reference to `f`.
+    ///
+    /// In lock-light mode a hit holds only the shared mapping lock (briefly)
+    /// and the shared page latch for the duration of `f`; otherwise the
+    /// shard's structural mutex is held throughout, as the classic pool did.
     pub fn read<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> TierResult<R> {
-        let mut shard = self.shard(id).lock();
-        self.ensure_resident(&mut shard, id)?;
-        let frame = shard.frames.get(&id).expect("just made resident");
-        Ok(f(&frame.page))
+        self.stats.accesses.inc();
+        let sidx = self.shard_index(id);
+        if self.lock_light {
+            loop {
+                let cell = self.shards[sidx].map.read().get(&id).cloned();
+                let Some(cell) = cell else { break };
+                let page = cell.page.read();
+                if cell.evicted.load(Ordering::Acquire) {
+                    // The frame left the pool between our lookup and our
+                    // latch; the map already reflects it — retry.
+                    self.stats.read_retries.inc();
+                    drop(page);
+                    continue;
+                }
+                cell.referenced.store(true, Ordering::Relaxed);
+                self.stats.hits.inc();
+                return Ok(f(&page));
+            }
+        }
+        let mut core = self.shards[sidx].core.lock();
+        let cell = self.resident_cell(sidx, &mut core, id)?;
+        let page = cell.page.read();
+        Ok(f(&page))
     }
 
     /// Update a page: fetches on miss, applies `f`, stamps `lsn` into the
@@ -243,17 +363,21 @@ impl<L: LowerTier> BufferPool<L> {
         })
     }
 
-    /// Update a page under its shard lock (the page latch), leaving LSN
-    /// stamping to the closure. This is the concurrent engine's write path:
-    /// appending the WAL record and applying the change inside one critical
-    /// section keeps the log order consistent with the page's update order,
-    /// which redo correctness requires once multiple threads write.
+    /// Update a page under its page latch, leaving LSN stamping to the
+    /// closure. This is the concurrent engine's write path: appending the
+    /// WAL record and applying the change inside one critical section keeps
+    /// the log order consistent with the page's update order, which redo
+    /// correctness requires once multiple threads write. Updates always take
+    /// the structural mutex (they may need to evict), so an update can never
+    /// race an eviction of its own frame.
     pub fn update_with<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> TierResult<R> {
-        let mut shard = self.shard(id).lock();
-        self.ensure_resident(&mut shard, id)?;
-        let frame = shard.frames.get_mut(&id).expect("just made resident");
-        let r = f(&mut frame.page);
-        frame.flags.mark_updated();
+        self.stats.accesses.inc();
+        let sidx = self.shard_index(id);
+        let mut core = self.shards[sidx].core.lock();
+        let cell = self.resident_cell(sidx, &mut core, id)?;
+        let mut page = cell.page.write();
+        let r = f(&mut page);
+        cell.flags.mark_updated();
         Ok(r)
     }
 
@@ -261,18 +385,17 @@ impl<L: LowerTier> BufferPool<L> {
     /// dirty (it exists nowhere below the buffer yet).
     pub fn allocate_page(&self, file: u32) -> TierResult<PageId> {
         let id = self.lower.allocate(file)?;
-        let mut shard = self.shard(id).lock();
-        self.make_room(id.stripe_of(self.shards.len()), &mut shard)?;
+        let sidx = self.shard_index(id);
+        let mut core = self.shards[sidx].core.lock();
+        self.make_room(sidx, &mut core)?;
         let mut flags = FrameFlags::fetched_from_disk();
         flags.mark_updated();
-        shard.frames.insert(
-            id,
-            Frame {
-                page: Page::new(id),
-                flags,
-            },
-        );
-        shard.lru.insert_mru(id);
+        self.shards[sidx]
+            .map
+            .write()
+            .insert(id, Arc::new(FrameCell::new(Page::new(id), flags)));
+        core.lru.insert_mru(id);
+        self.resident.inc();
         Ok(id)
     }
 
@@ -289,19 +412,20 @@ impl<L: LowerTier> BufferPool<L> {
             .shards
             .iter()
             .enumerate()
-            .max_by_key(|(_, s)| s.lock().frames.len())
+            .max_by_key(|(_, s)| s.map.read().len())
             .map(|(i, _)| i)
             .expect("at least one shard");
-        let mut shard = self.shards[fullest].lock();
-        self.evict_from(fullest, &mut shard)
+        let mut core = self.shards[fullest].core.lock();
+        self.evict_from(fullest, &mut core)
     }
 
     /// Opportunistically remove one cold dirty frame matching `filter` from
     /// a shard other than `exclude`, probing each shard's LRU tail at most
-    /// [`VICTIM_PROBE_DEPTH`] deep. Only `try_lock` is used, so this can run
-    /// while the caller holds other locks (it never blocks on a buffer
-    /// shard); shards currently contended are simply skipped. Returns the
-    /// frame's page and flags; the frame leaves the pool.
+    /// [`VICTIM_PROBE_DEPTH`] deep. Only `try_lock` is used on the
+    /// structural mutex, so this can run while the caller holds other locks
+    /// (it never blocks on a buffer shard); shards currently contended are
+    /// simply skipped. Returns the frame's page and flags; the frame leaves
+    /// the pool.
     fn pull_dirty_victim(
         &self,
         exclude: usize,
@@ -311,26 +435,35 @@ impl<L: LowerTier> BufferPool<L> {
             if i == exclude {
                 continue;
             }
-            let Some(mut shard) = shard.try_lock() else {
+            let Some(mut core) = shard.core.try_lock() else {
                 continue;
             };
-            let candidate = shard
-                .lru
-                .iter_lru_to_mru()
-                .take(VICTIM_PROBE_DEPTH)
-                .copied()
-                .find(|id| {
-                    shard
-                        .frames
-                        .get(id)
-                        .is_some_and(|f| f.flags.dirty && filter(*id, f.page.lsn()))
-                });
+            let candidate = {
+                let map = shard.map.read();
+                core.lru
+                    .iter_lru_to_mru()
+                    .take(VICTIM_PROBE_DEPTH)
+                    .copied()
+                    .find(|id| {
+                        map.get(id).is_some_and(|c| {
+                            c.flags.load().dirty && filter(*id, c.page.read().lsn())
+                        })
+                    })
+            };
             if let Some(id) = candidate {
-                let frame = shard.frames.remove(&id).expect("candidate is resident");
-                shard.lru.remove(&id);
+                let cell = shard
+                    .map
+                    .write()
+                    .remove(&id)
+                    .expect("candidate is resident");
+                core.lru.remove(&id);
+                let page = cell.page.write();
+                cell.evicted.store(true, Ordering::Release);
+                self.resident.sub(1);
+                let flags = cell.flags.load();
                 self.stats.evictions.inc();
                 self.stats.dirty_evictions.inc();
-                return Some((frame.page, frame.flags.dirty, frame.flags.fdirty));
+                return Some((page.clone(), flags.dirty, flags.fdirty));
             }
         }
         None
@@ -341,33 +474,38 @@ impl<L: LowerTier> BufferPool<L> {
     /// and update the resident flags according to where the copy landed.
     /// Returns the number of pages written.
     ///
-    /// Shards are flushed one at a time; updates racing ahead of the
-    /// checkpoint simply leave their pages dirty for the next one (a fuzzy
-    /// checkpoint, as in the paper's host system).
+    /// Shards are flushed one at a time (their structural mutex held, so no
+    /// frame evicts mid-flush; lock-light read hits keep flowing); updates
+    /// racing ahead of the checkpoint simply leave their pages dirty for the
+    /// next one (a fuzzy checkpoint, as in the paper's host system).
     pub fn flush_all_dirty(&self) -> TierResult<usize> {
         let mut written = 0;
         for shard in &self.shards {
-            let mut shard = shard.lock();
-            let dirty_ids: Vec<PageId> = shard
-                .frames
-                .iter()
-                .filter(|(_, f)| f.flags.needs_writeback())
-                .map(|(id, _)| *id)
+            let _core = shard.core.lock();
+            let dirty: Vec<Arc<FrameCell>> = shard
+                .map
+                .read()
+                .values()
+                .filter(|c| c.flags.load().needs_writeback())
+                .map(Arc::clone)
                 .collect();
-            for id in dirty_ids {
-                let frame = shard.frames.get(&id).expect("still resident");
+            for cell in dirty {
+                // The shared latch keeps the body stable; updaters are held
+                // off by the structural mutex, so the flag transition below
+                // cannot swallow a concurrent mark_updated.
+                let page = cell.page.read();
+                let flags = cell.flags.load();
                 let outcome = self.lower.write_back(
-                    &frame.page,
-                    frame.flags.dirty,
-                    frame.flags.fdirty,
+                    &page,
+                    flags.dirty,
+                    flags.fdirty,
                     WriteBackReason::Checkpoint,
                 )?;
-                let frame = shard.frames.get_mut(&id).expect("still resident");
                 if outcome.on_disk {
-                    frame.flags.written_to_disk();
+                    cell.flags.written_to_disk();
                 }
                 if outcome.in_flash {
-                    frame.flags.staged_to_flash();
+                    cell.flags.staged_to_flash();
                 }
                 written += 1;
                 self.stats.checkpoint_writes.inc();
@@ -382,58 +520,54 @@ impl<L: LowerTier> BufferPool<L> {
     /// concurrent operations (a real crash does so by definition).
     pub fn crash(&self) {
         for shard in &self.shards {
-            let mut shard = shard.lock();
-            shard.frames.clear();
-            shard.lru.clear();
+            let mut core = shard.core.lock();
+            let mut map = shard.map.write();
+            for cell in map.values() {
+                cell.evicted.store(true, Ordering::Release);
+            }
+            map.clear();
+            core.lru.clear();
         }
+        self.resident.set(0);
     }
 
     /// The resident pages from least- to most-recently used within each
     /// shard, concatenated in shard order (for inspection and tests; exact
-    /// global order only with one shard).
+    /// global order only with one shard and the exclusive read path).
     pub fn resident_lru_order(&self) -> Vec<PageId> {
         self.shards
             .iter()
-            .flat_map(|s| s.lock().lru.iter_lru_to_mru().copied().collect::<Vec<_>>())
+            .flat_map(|s| {
+                s.core
+                    .lock()
+                    .lru
+                    .iter_lru_to_mru()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
             .collect()
     }
 
-    fn evict_from(&self, shard_index: usize, shard: &mut Shard) -> TierResult<Option<PageId>> {
-        let Some(victim) = shard.lru.pop_lru() else {
-            return Ok(None);
-        };
-        let frame = shard.frames.remove(&victim).expect("lru and map in sync");
-        self.stats.evictions.inc();
-        if frame.flags.needs_writeback() {
-            self.stats.dirty_evictions.inc();
-        }
-        // Offer the tier a pull source over the *other* shards so a batching
-        // cache (GSC) can top its write group up with more cold dirty pages.
-        // The source excludes this shard (its lock is held) and only
-        // try_locks the rest, so the lock graph stays acyclic.
-        let mut victims = PoolVictims {
-            pool: self,
-            exclude: shard_index,
-        };
-        self.lower.write_back_with(
-            &frame.page,
-            frame.flags.dirty,
-            frame.flags.fdirty,
-            WriteBackReason::Eviction,
-            &mut victims,
-        )?;
-        Ok(Some(victim))
-    }
-
-    fn ensure_resident(&self, shard: &mut Shard, id: PageId) -> TierResult<()> {
-        self.stats.accesses.inc();
-        if shard.frames.contains_key(&id) {
+    /// The frame cell for `id`, fetched from the lower tier on a miss. Runs
+    /// under the shard's structural mutex.
+    fn resident_cell(
+        &self,
+        sidx: usize,
+        core: &mut ShardCore,
+        id: PageId,
+    ) -> TierResult<Arc<FrameCell>> {
+        let shard = &self.shards[sidx];
+        if let Some(cell) = shard.map.read().get(&id).cloned() {
             self.stats.hits.inc();
-            shard.lru.touch(&id);
-            return Ok(());
+            if self.lock_light {
+                cell.referenced.store(true, Ordering::Relaxed);
+            } else {
+                core.lru.touch(&id);
+            }
+            return Ok(cell);
         }
         self.stats.misses.inc();
-        self.make_room(id.stripe_of(self.shards.len()), shard)?;
+        self.make_room(sidx, core)?;
         let mut page = Page::zeroed();
         let outcome = self.lower.fetch(id, &mut page)?;
         match outcome.source {
@@ -449,16 +583,77 @@ impl<L: LowerTier> BufferPool<L> {
         if !page.is_formatted() {
             page.set_id(id);
         }
-        shard.frames.insert(id, Frame { page, flags });
-        shard.lru.insert_mru(id);
+        let cell = Arc::new(FrameCell::new(page, flags));
+        shard.map.write().insert(id, Arc::clone(&cell));
+        core.lru.insert_mru(id);
+        self.resident.inc();
+        Ok(cell)
+    }
+
+    fn make_room(&self, sidx: usize, core: &mut ShardCore) -> TierResult<()> {
+        while self.shards[sidx].map.read().len() >= self.shards[sidx].capacity {
+            self.evict_from(sidx, core)?;
+        }
         Ok(())
     }
 
-    fn make_room(&self, shard_index: usize, shard: &mut Shard) -> TierResult<()> {
-        while shard.frames.len() >= shard.capacity {
-            self.evict_from(shard_index, shard)?;
+    fn evict_from(&self, sidx: usize, core: &mut ShardCore) -> TierResult<Option<PageId>> {
+        let shard = &self.shards[sidx];
+        // Pick the victim. In lock-light mode the LRU tail is only an
+        // admission order, so sweep it with second chances for frames whose
+        // reference bit readers set; bound the sweep to one full rotation so
+        // hammered shards still make progress.
+        let mut sweep = core.lru.len();
+        let victim = loop {
+            let Some(candidate) = core.lru.pop_lru() else {
+                return Ok(None);
+            };
+            if self.lock_light && sweep > 0 {
+                let referenced = shard
+                    .map
+                    .read()
+                    .get(&candidate)
+                    .is_some_and(|c| c.referenced.swap(false, Ordering::Relaxed));
+                if referenced {
+                    core.lru.insert_mru(candidate);
+                    self.stats.ref_rescues.inc();
+                    sweep -= 1;
+                    continue;
+                }
+            }
+            break candidate;
+        };
+        let cell = shard
+            .map
+            .write()
+            .remove(&victim)
+            .expect("lru and map in sync");
+        // The exclusive latch waits out in-flight readers; `evicted` then
+        // turns away optimistic readers that already hold the cell.
+        let page = cell.page.write();
+        cell.evicted.store(true, Ordering::Release);
+        self.resident.sub(1);
+        let flags = cell.flags.load();
+        self.stats.evictions.inc();
+        if flags.needs_writeback() {
+            self.stats.dirty_evictions.inc();
         }
-        Ok(())
+        // Offer the tier a pull source over the *other* shards so a batching
+        // cache (GSC) can top its write group up with more cold dirty pages.
+        // The source excludes this shard (its structural mutex is held) and
+        // only try_locks the rest, so the lock graph stays acyclic.
+        let mut victims = PoolVictims {
+            pool: self,
+            exclude: sidx,
+        };
+        self.lower.write_back_with(
+            &page,
+            flags.dirty,
+            flags.fdirty,
+            WriteBackReason::Eviction,
+            &mut victims,
+        )?;
+        Ok(Some(victim))
     }
 }
 
@@ -496,6 +691,18 @@ mod tests {
         let store = Arc::new(InMemoryPageStore::new());
         let tier = DirectDiskTier::new(store.clone() as Arc<dyn PageStore>);
         (BufferPool::with_shards(capacity, shards, tier), store)
+    }
+
+    fn lock_light_pool(
+        capacity: usize,
+        shards: usize,
+    ) -> (BufferPool<DirectDiskTier>, Arc<InMemoryPageStore>) {
+        let store = Arc::new(InMemoryPageStore::new());
+        let tier = DirectDiskTier::new(store.clone() as Arc<dyn PageStore>);
+        (
+            BufferPool::with_shards(capacity, shards, tier).lock_light_reads(true),
+            store,
+        )
     }
 
     #[test]
@@ -657,6 +864,107 @@ mod tests {
             pool.allocate_page(0).unwrap();
         }
         assert!(pool.len() <= 3);
+    }
+
+    #[test]
+    fn resident_mirror_matches_shards_at_quiesce() {
+        let (pool, _) = lock_light_pool(64, 8);
+        let ids: Vec<PageId> = (0..48).map(|_| pool.allocate_page(0).unwrap()).collect();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let pool = &pool;
+                let ids = ids.clone();
+                s.spawn(move || {
+                    for (i, id) in ids.iter().enumerate() {
+                        if i % 8 == t {
+                            pool.update(*id, Lsn(1), |_| ()).unwrap();
+                        } else {
+                            pool.read(*id, |_| ()).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        // At quiesce, the lock-free mirror equals the per-shard truth.
+        let swept: usize = pool.resident_by_shard().iter().sum();
+        assert_eq!(pool.len(), swept);
+        assert!(pool.len() <= pool.capacity());
+    }
+
+    #[test]
+    fn lock_light_hits_round_trip_and_count() {
+        let (pool, _) = lock_light_pool(8, 2);
+        assert!(pool.is_lock_light());
+        let id = pool.allocate_page(0).unwrap();
+        pool.update(id, Lsn(3), |p| p.write_body(0, b"optimistic"))
+            .unwrap();
+        for _ in 0..10 {
+            let val = pool.read(id, |p| p.read_body(0, 10).to_vec()).unwrap();
+            assert_eq!(val, b"optimistic");
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits, 11, "update hit + 10 read hits");
+        assert_eq!(s.read_retries, 0, "nothing evicted under us");
+    }
+
+    #[test]
+    fn second_chance_spares_referenced_frames() {
+        // Capacity 2, one shard, lock-light: hits do not reorder the LRU
+        // list, but the reference bit must rescue the hot page from
+        // eviction (the clock sweep standing in for recency).
+        let (pool, _) = lock_light_pool(2, 1);
+        let a = pool.allocate_page(0).unwrap();
+        let b = pool.allocate_page(0).unwrap();
+        pool.read(a, |_| ()).unwrap(); // sets a's reference bit
+        let c = pool.allocate_page(0).unwrap();
+        assert!(pool.contains(a), "referenced frame was evicted");
+        assert!(!pool.contains(b), "unreferenced frame should have gone");
+        assert!(pool.contains(c));
+        assert!(pool.stats().ref_rescues > 0);
+    }
+
+    #[test]
+    fn lock_light_concurrent_reads_and_updates_do_not_lose_pages() {
+        use std::sync::Arc;
+        let store = Arc::new(InMemoryPageStore::new());
+        let tier = DirectDiskTier::new(store.clone() as Arc<dyn PageStore>);
+        let pool = Arc::new(BufferPool::with_shards(24, 4, tier).lock_light_reads(true));
+        // Fewer frames than pages: constant eviction under the readers.
+        let ids: Vec<PageId> = (0..32).map(|_| pool.allocate_page(0).unwrap()).collect();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let pool = Arc::clone(&pool);
+                let ids = ids.clone();
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        for (i, id) in ids.iter().enumerate() {
+                            if i % 8 == t {
+                                // Each thread owns a disjoint slice of pages.
+                                pool.update(*id, Lsn(round + 1), |p| {
+                                    p.write_body(0, &(t as u64 * 1000 + round).to_le_bytes())
+                                })
+                                .unwrap();
+                            } else {
+                                pool.read(*id, |p| p.lsn()).unwrap();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Every owned page carries its owner's final round value.
+        for (i, id) in ids.iter().enumerate() {
+            let t = i % 8;
+            let val = pool
+                .read(*id, |p| {
+                    u64::from_le_bytes(p.read_body(0, 8).try_into().unwrap())
+                })
+                .unwrap();
+            assert_eq!(val, t as u64 * 1000 + 49, "page {i} lost an update");
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.accesses, 8 * 50 * 32 + 32);
+        assert_eq!(stats.hits + stats.misses, stats.accesses);
     }
 
     #[test]

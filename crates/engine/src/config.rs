@@ -71,6 +71,13 @@ pub struct EngineConfig {
     /// enqueueing into a full queue blocks (backpressure) without holding
     /// any cache lock.
     pub destage_queue_depth: usize,
+    /// Lock-light read path (default **on**): buffer-pool read hits take
+    /// only shared locks plus an atomic reference-bit touch (replacement
+    /// becomes a second-chance sweep), and flash-cache fetches pin the
+    /// version under the shard lock, drop it, read the device **off-lock**
+    /// and revalidate against the slot generation. Turn off for the
+    /// exclusive-lock A/B baseline (`bench_read_throughput` compares both).
+    pub lock_light_reads: bool,
     /// Optional per-shard flash store constructor (tests inject instrumented
     /// stores). `None` builds in-memory stores.
     pub flash_store_factory: Option<FlashStoreFactory>,
@@ -95,6 +102,7 @@ impl EngineConfig {
             device_latency: None,
             destage_threads: 2,
             destage_queue_depth: 64,
+            lock_light_reads: true,
             flash_store_factory: None,
         }
     }
@@ -160,6 +168,14 @@ impl EngineConfig {
     /// Set the per-worker destage queue bound (backpressure depth).
     pub fn destage_queue_depth(mut self, depth: usize) -> Self {
         self.destage_queue_depth = depth.max(1);
+        self
+    }
+
+    /// Toggle the lock-light read path (see
+    /// [`EngineConfig::lock_light_reads`]); `false` restores the
+    /// exclusive-lock baseline.
+    pub fn lock_light_reads(mut self, on: bool) -> Self {
+        self.lock_light_reads = on;
         self
     }
 

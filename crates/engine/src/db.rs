@@ -197,6 +197,9 @@ impl Database {
         ) {
             cache_config.defer_group_writes = true;
         }
+        // The read-side counterpart: flash fetches pin under the shard lock
+        // and read the device off-lock (every policy supports the protocol).
+        cache_config.lock_light_reads = config.lock_light_reads;
         let cache = ShardedFlashCache::build(
             config.cache_policy,
             cache_config,
@@ -222,7 +225,8 @@ impl Database {
                 threads: config.destage_threads,
                 queue_depth: config.destage_queue_depth,
             });
-        let pool = BufferPool::with_shards(config.buffer_frames, config.buffer_shards, tier);
+        let pool = BufferPool::with_shards(config.buffer_frames, config.buffer_shards, tier)
+            .lock_light_reads(config.lock_light_reads);
 
         let db = Self {
             config,

@@ -25,10 +25,33 @@
 //! write-out is still in flight. The write-ahead guard runs **before**
 //! anything enters the pipeline.
 //!
-//! Lock order (outer → inner): buffer shard → cache shard directory →
-//! destage queue → WAL. Device I/O happens under none of them — group writes
-//! and destage disk writes run on destager threads (or, in sync-destage
-//! mode, on the foreground thread after every cache lock is released).
+//! ## The lock-light read path
+//!
+//! Fetches are the mirror image: with
+//! [`face_cache::CacheConfig::lock_light_reads`] (set by the engine's
+//! `lock_light_reads`, default on), [`ShardedFlashCache::fetch`] pins the
+//! version under a short cache-shard lock, **drops the lock, performs the
+//! flash device read off-lock**, and revalidates against the slot's
+//! generation (retrying if an eviction or slot reuse won the race).
+//! Versions still in a deferred group are served from their shared
+//! `Arc<Page>` RAM frames — a destage completing mid-read can never free a
+//! frame a reader holds. The wash table is a read-mostly `RwLock`: the
+//! fetch path shares it, only publish (under the cache shard lock) and
+//! retire (destage completion) take it exclusively.
+//!
+//! Lock order (outer → inner): buffer shard (structural mutex → mapping →
+//! page latch) → cache shard directory → wash table → destage queue → WAL.
+//! **No device I/O happens under a cache shard lock**: group writes and
+//! destage disk writes run on destager threads (or, in sync-destage mode, on
+//! the foreground thread after every cache lock is released), and flash
+//! fetch reads run between the pin and validate halves of the fetch with no
+//! lock held — one slow flash read never stalls the other threads hashing
+//! to that cache shard. Deliberately out of scope: a DRAM **miss** still
+//! performs its tier fetch while holding the missing page's *buffer* shard
+//! structural mutex (misses and evictions are the buffer pool's serialized
+//! slow path; only read *hits* are lock-free there), so two misses hashing
+//! to the same buffer shard serialize — different buffer shards, and all
+//! hits, proceed.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -43,7 +66,7 @@ use face_cache::{
 };
 use face_pagestore::{Lsn, Page, PageId, PageStore};
 use face_wal::WalWriter;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 /// Counters for the tier's physical activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -97,7 +120,7 @@ impl TierStatCounters {
 /// Pages whose destage disk write is queued or in flight, readable until the
 /// write lands. Keyed by page id; the LSN disambiguates versions so a
 /// completed older write never evicts a newer queued one.
-type WashTable = Mutex<HashMap<PageId, StagedPage>>;
+type WashTable = RwLock<HashMap<PageId, StagedPage>>;
 
 /// The one place a staged page's bytes reach the disk — shared by the
 /// synchronous path ([`FaceTier::write_staged_to_disk`]) and the destage
@@ -119,7 +142,7 @@ fn persist_staged_page(
     stats.disk_writes.inc();
     // The disk now holds this version: retire the wash-table entry unless a
     // newer version of the page was queued meanwhile.
-    let mut washing = washing.lock();
+    let mut washing = washing.write();
     if washing.get(&s.page).is_some_and(|w| w.lsn <= s.lsn) {
         washing.remove(&s.page);
     }
@@ -196,7 +219,7 @@ impl FaceTier {
             wal: None,
             stats: Arc::new(TierStatCounters::default()),
             destager: None,
-            washing: Arc::new(Mutex::new(HashMap::new())),
+            washing: Arc::new(RwLock::new(HashMap::new())),
         }
     }
 
@@ -305,7 +328,7 @@ impl FaceTier {
         if let Some(destager) = self.destager.as_ref() {
             destager.abort_pending();
         }
-        self.washing.lock().clear();
+        self.washing.write().clear();
     }
 
     /// Drain the accumulated I/O event log (simulation drivers charge device
@@ -341,7 +364,7 @@ impl FaceTier {
     /// a concurrent fetch can therefore never miss both and serve the stale
     /// disk version. Short map work only; the wash mutex is a leaf lock.
     fn publish_to_wash_table(&self, staged: &[StagedPage]) {
-        let mut washing = self.washing.lock();
+        let mut washing = self.washing.write();
         for s in staged {
             if s.data.is_some() && washing.get(&s.page).is_none_or(|w| w.lsn <= s.lsn) {
                 washing.insert(s.page, s.clone());
@@ -516,7 +539,7 @@ impl LowerTier for FaceTier {
         if self.cache.is_some() {
             let washed = self
                 .washing
-                .lock()
+                .read()
                 .get(&id)
                 .and_then(|s| s.data.as_ref().map(Arc::clone));
             if let Some(frame) = washed {
@@ -1056,5 +1079,70 @@ mod tests {
         });
         assert_eq!(tier.stats().flash_fetches, 64);
         assert_eq!(tier.cache().unwrap().stats().inserts, 64);
+    }
+
+    #[test]
+    fn fetch_holds_no_cache_shard_lock_across_the_flash_read() {
+        // The read-side mirror of the PR-4 write-side gate: a fetch parked
+        // inside the flash device read must not stall any other operation
+        // hashing to the same (single) cache shard.
+        use face_cache::GateFlashStore;
+        use std::time::{Duration, Instant};
+
+        let disk = Arc::new(InMemoryPageStore::new());
+        let cfg = CacheConfig {
+            capacity_pages: 64,
+            group_size: 4,
+            lock_light_reads: true,
+            ..CacheConfig::default()
+        };
+        let store = Arc::new(GateFlashStore::new(64));
+        store.release(); // writes flow; only reads get gated
+        let store_for_build = Arc::clone(&store);
+        let cache = ShardedFlashCache::build(CachePolicyKind::FaceGr, cfg, 1, move |_| {
+            Arc::clone(&store_for_build) as Arc<dyn FlashStore>
+        });
+        let tier = Arc::new(FaceTier::new(disk as Arc<dyn PageStore>, cache));
+        let ids: Vec<PageId> = (0..8).map(|_| tier.allocate(0).unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            tier.write_back(
+                &dirty_page(*id, format!("v{i}").as_bytes()),
+                true,
+                true,
+                WriteBackReason::Eviction,
+            )
+            .unwrap();
+        }
+
+        store.hold_reads();
+        let bg = {
+            let tier = Arc::clone(&tier);
+            let id = ids[1];
+            std::thread::spawn(move || {
+                let mut buf = Page::zeroed();
+                let out = tier.fetch(id, &mut buf).unwrap();
+                assert_eq!(out.source, FetchSource::FlashCache);
+                buf
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        // Foreground traffic through the same shard proceeds while the
+        // reader is parked inside the device.
+        tier.write_back(
+            &dirty_page(ids[0], b"w2"),
+            true,
+            true,
+            WriteBackReason::Eviction,
+        )
+        .unwrap();
+        assert!(tier.cache().unwrap().contains(ids[2]));
+        assert!(
+            start.elapsed() < Duration::from_millis(250),
+            "a cache shard lock was held across the blocked flash read"
+        );
+        store.release_reads();
+        let buf = bg.join().unwrap();
+        assert_eq!(buf.read_body(0, 2), b"v1", "parked fetch served stale");
     }
 }

@@ -19,8 +19,8 @@
 
 use std::sync::Arc;
 
-use face_pagestore::{Lsn, PageId};
-use parking_lot::Mutex;
+use face_pagestore::{Counter, Lsn, PageId};
+use parking_lot::RwLock;
 
 use crate::destage::PendingGroupWrite;
 use crate::io::IoLog;
@@ -31,9 +31,25 @@ use crate::StagedPage;
 
 /// A lock-striped set of independent policy instances, routable by page id,
 /// exposing the whole [`FlashCache`] surface through `&self`.
+///
+/// Each shard sits behind an `RwLock`: mutating operations take the write
+/// lock, while pure lookups ([`ShardedFlashCache::contains`], the validate
+/// half of the lock-light fetch, [`ShardedFlashCache::stats`]) share a read
+/// lock. With [`CacheConfig::lock_light_reads`] set,
+/// [`ShardedFlashCache::fetch`] pins the version under a short write lock,
+/// **drops the lock, performs the flash device read with no lock held**, and
+/// revalidates against the slot's generation — so one slow device read never
+/// stalls the other threads hashing to the shard (the read-side counterpart
+/// of the deferred group writes).
 pub struct ShardedFlashCache {
-    shards: Vec<Mutex<Box<dyn FlashCache>>>,
+    shards: Vec<RwLock<Box<dyn FlashCache>>>,
     stores: Vec<Arc<dyn FlashStore>>,
+    /// Per-shard occupancy mirrors, refreshed after every mutating shard
+    /// operation, so [`ShardedFlashCache::len`] never sweeps the shard locks
+    /// (it used to take every lock per call). Exact whenever writers are
+    /// quiesced; a point-in-time approximation under concurrency, like
+    /// [`ShardedFlashCache::stats`].
+    occupancy: Vec<Counter>,
     /// Per-shard configurations (each shard owns a slice of the capacity);
     /// kept so a shard can be rebuilt cold ([`ShardedFlashCache::reset_cold`]).
     configs: Vec<CacheConfig>,
@@ -42,6 +58,8 @@ pub struct ShardedFlashCache {
     /// TAC routes by extent so per-extent temperature is not diluted across
     /// shards; every other policy routes by page.
     route_granularity: u64,
+    /// Mirror of [`CacheConfig::lock_light_reads`].
+    lock_light: bool,
     persists: bool,
     name: &'static str,
 }
@@ -87,10 +105,11 @@ impl ShardedFlashCache {
             name = cache.policy_name();
             stores.push(store);
             configs.push(shard_config);
-            built.push(Mutex::new(cache));
+            built.push(RwLock::new(cache));
         }
-        let persists = built[0].lock().persists_dirty_pages();
+        let persists = built[0].read().persists_dirty_pages();
         Some(Self {
+            occupancy: (0..built.len()).map(|_| Counter::default()).collect(),
             shards: built,
             stores,
             configs,
@@ -101,9 +120,16 @@ impl ShardedFlashCache {
             } else {
                 1
             },
+            lock_light: config.lock_light_reads,
             persists,
             name,
         })
+    }
+
+    /// Refresh a shard's occupancy mirror from the policy, while its lock is
+    /// still held by the caller.
+    fn note_len(&self, shard: usize, cache: &dyn FlashCache) {
+        self.occupancy[shard].set(cache.len() as u64);
     }
 
     /// Number of shards.
@@ -144,14 +170,67 @@ impl ShardedFlashCache {
         face_pagestore::stripe_of(page.to_u64() / self.route_granularity, self.shards.len())
     }
 
-    /// Whether a valid copy of `page` is cached.
+    /// Whether a valid copy of `page` is cached. Takes only the shard's
+    /// **read** lock, so hot-path callers never serialize behind writers
+    /// already inside the shard (and never block readers at all).
     pub fn contains(&self, page: PageId) -> bool {
-        self.shards[self.shard_of(page)].lock().contains(page)
+        self.shards[self.shard_of(page)].read().contains(page)
     }
 
     /// Look up `page` on a DRAM miss (see [`FlashCache::fetch`]).
+    ///
+    /// With [`CacheConfig::lock_light_reads`] set this is the lock-light
+    /// protocol: pin the version under a short shard write lock
+    /// ([`FlashCache::fetch_pin`]), drop the lock, perform the flash device
+    /// read **off-lock**, then revalidate the slot's generation under a read
+    /// lock ([`FlashCache::fetch_validate`]). Losing the race to an eviction
+    /// or slot reuse discards the read and retries the lookup from scratch
+    /// ([`CacheStats::fetch_retries`]); versions still in a deferred group
+    /// are served from their shared RAM frames with no device read at all.
+    /// Without the flag, the classic read-under-lock path runs unchanged.
     pub fn fetch(&self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
-        self.shards[self.shard_of(page)].lock().fetch(page, io)
+        let shard = self.shard_of(page);
+        if !self.lock_light {
+            return self.shards[shard].write().fetch(page, io);
+        }
+        let store = &self.stores[shard];
+        let mut retry = false;
+        loop {
+            let pin = self.shards[shard].write().fetch_pin(page, retry, io)?;
+            // RAM-resident frame (pending batch / in-flight group): immutable
+            // and Arc-shared, valid regardless of what happens to the slot.
+            if let Some(frame) = pin.frame {
+                return Some(FlashFetch {
+                    data: Some(frame.as_ref().clone()),
+                    dirty: pin.dirty,
+                    lsn: pin.lsn,
+                });
+            }
+            // Metadata-only hit: nothing to read, nothing to validate — the
+            // pinned metadata was consistent under the lock.
+            if !pin.data_expected || !store.carries_data() {
+                return Some(FlashFetch {
+                    data: None,
+                    dirty: pin.dirty,
+                    lsn: pin.lsn,
+                });
+            }
+            // The flash device read, with **no shard lock held**.
+            let data = store.read_slot(pin.slot);
+            if self.shards[shard]
+                .read()
+                .fetch_validate(pin.slot, pin.generation)
+            {
+                return Some(FlashFetch {
+                    data,
+                    dirty: pin.dirty,
+                    lsn: pin.lsn,
+                });
+            }
+            // The slot was evicted or reused while we read: the bytes may
+            // belong to a different version. Discard and retry.
+            retry = true;
+        }
     }
 
     /// Hand a page leaving the DRAM buffer to its shard (see
@@ -198,11 +277,12 @@ impl ShardedFlashCache {
         staged_out_sink: &mut dyn FnMut(&[StagedPage]),
     ) -> InsertOutcome {
         let shard = self.shard_of(staged.page);
-        let mut guard = self.shards[shard].lock();
+        let mut guard = self.shards[shard].write();
         let mut outcome = guard.insert(staged, supplier, io);
         if !outcome.staged_out.is_empty() {
             staged_out_sink(&outcome.staged_out);
         }
+        self.note_len(shard, &**guard);
         drop(guard);
         if let Some(pending) = outcome.pending_group.as_mut() {
             pending.shard = shard;
@@ -225,7 +305,7 @@ impl ShardedFlashCache {
     /// twice.
     pub fn group_write_pending(&self, shard: usize, epoch: u64) -> bool {
         self.shards[shard % self.shards.len()]
-            .lock()
+            .read()
             .group_write_pending(epoch)
     }
 
@@ -234,22 +314,24 @@ impl ShardedFlashCache {
     /// [`FlashCache::complete_group`]).
     pub fn complete_group(&self, shard: usize, epoch: u64, io: &mut IoLog) {
         self.shards[shard % self.shards.len()]
-            .lock()
+            .write()
             .complete_group(epoch, io);
     }
 
     /// Notification that `page` was fetched from disk (see
     /// [`FlashCache::on_fetched_from_disk`]).
     pub fn on_fetched_from_disk(&self, page: PageId, io: &mut IoLog) -> InsertOutcome {
-        self.shards[self.shard_of(page)]
-            .lock()
-            .on_fetched_from_disk(page, io)
+        let shard = self.shard_of(page);
+        let mut guard = self.shards[shard].write();
+        let outcome = guard.on_fetched_from_disk(page, io);
+        self.note_len(shard, &**guard);
+        outcome
     }
 
     /// Flush buffered batches and metadata on every shard.
     pub fn sync(&self, io: &mut IoLog) {
         for shard in &self.shards {
-            shard.lock().sync(io);
+            shard.write().sync(io);
         }
     }
 
@@ -257,7 +339,7 @@ impl ShardedFlashCache {
     pub fn drain_dirty_for_checkpoint(&self, io: &mut IoLog) -> Vec<StagedPage> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.extend(shard.lock().drain_dirty_for_checkpoint(io));
+            out.extend(shard.write().drain_dirty_for_checkpoint(io));
         }
         out
     }
@@ -268,7 +350,7 @@ impl ShardedFlashCache {
     pub fn evacuate_dirty(&self, io: &mut IoLog) -> Vec<StagedPage> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.extend(shard.lock().evacuate_dirty(io));
+            out.extend(shard.write().evacuate_dirty(io));
         }
         out
     }
@@ -283,8 +365,10 @@ impl ShardedFlashCache {
             survived: true,
             ..CacheRecoveryInfo::default()
         };
-        for shard in &self.shards {
-            let info = shard.lock().crash_and_recover(durable_lsn, io);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut guard = shard.write();
+            let info = guard.crash_and_recover(durable_lsn, io);
+            self.note_len(i, &**guard);
             merged = merged.merged(&info);
         }
         merged
@@ -295,53 +379,62 @@ impl ShardedFlashCache {
     /// instances are built. Models restarting with a wiped or replaced cache
     /// device — the baseline the warm-recovery experiments compare against.
     pub fn reset_cold(&self) {
-        for ((shard, store), config) in self
+        for (i, ((shard, store), config)) in self
             .shards
             .iter()
             .zip(self.stores.iter())
             .zip(self.configs.iter())
+            .enumerate()
         {
-            let mut guard = shard.lock();
+            let mut guard = shard.write();
             store.clear();
             *guard = build_cache(self.kind, config.clone(), Arc::clone(store))
                 .expect("kind is not None");
+            self.note_len(i, &**guard);
         }
     }
 
     /// Merged activity counters across shards.
     ///
-    /// The snapshot is **consistent across shards**: every shard lock is
-    /// acquired (in shard order) before any counter is read, so the merged
-    /// numbers reflect one instant and per-shard sums cannot tear against a
-    /// concurrent operation that spans the snapshot (the previous
-    /// implementation read shard 0, released it, then read shard 1 — an
-    /// insert landing in between was half-counted). The result is still a
-    /// *point-in-time* value: by the time the caller looks at it, further
-    /// operations may have run. Callers needing exact books must quiesce
-    /// writers first — the staleness, not the tearing, is the contract.
+    /// The snapshot is **consistent across shards**: every shard's read lock
+    /// is acquired (in shard order) before any counter is read, so the
+    /// merged numbers reflect one instant and per-shard sums cannot tear
+    /// against a concurrent mutating operation that spans the snapshot (a
+    /// read lock suffices: mutators hold the write lock). The result is
+    /// still a *point-in-time* value: by the time the caller looks at it,
+    /// further operations may have run. Callers needing exact books must
+    /// quiesce writers first — the staleness, not the tearing, is the
+    /// contract.
     pub fn stats(&self) -> CacheStats {
-        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         guards
             .iter()
             .map(|g| g.stats())
             .fold(CacheStats::default(), |acc, s| acc.merged(&s))
     }
 
-    /// Reset activity counters on every shard, under the same consistent
-    /// all-shards pass as [`ShardedFlashCache::stats`].
+    /// Reset activity counters on every shard, under an all-shards **write**
+    /// pass: a reset is a mutation, and holding mere read locks would let a
+    /// concurrent [`ShardedFlashCache::stats`] snapshot interleave with the
+    /// zeroing and merge pre-reset and post-reset shard values.
     pub fn reset_stats(&self) {
-        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
         for g in &guards {
             g.reset_stats();
         }
     }
 
-    /// Occupied page slots across shards.
+    /// Occupied page slots across shards, from the per-shard occupancy
+    /// mirrors — **no shard lock is taken**. Exact at quiesce; under
+    /// concurrent inserts the value may lag the shards by in-flight
+    /// operations (the previous implementation locked every shard per call,
+    /// which serialized hot-path callers against the whole cache).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.occupancy.iter().map(|c| c.get() as usize).sum()
     }
 
-    /// Whether no shard holds anything.
+    /// Whether no shard holds anything (same contract as
+    /// [`ShardedFlashCache::len`]).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -359,6 +452,10 @@ mod tests {
             group_size: 4,
             meta_checkpoint_interval_groups: 1_000_000,
             lc_dirty_threshold: 2.0,
+            // The whole suite runs through the lock-light read path (the
+            // policy-level tests in mvfifo/lc/tac keep covering the classic
+            // read-under-lock fetch).
+            lock_light_reads: true,
             ..CacheConfig::default()
         };
         ShardedFlashCache::build(kind, config, shards, |cap| {
@@ -612,6 +709,164 @@ mod tests {
         bg.join().unwrap();
         // The batch landed and sealed once the device unblocked.
         assert!(store.read_slot(0).is_some());
+    }
+
+    #[test]
+    fn lock_light_fetch_holds_no_shard_lock_across_flash_reads() {
+        let config = CacheConfig {
+            capacity_pages: 64,
+            group_size: 4,
+            lock_light_reads: true,
+            meta_checkpoint_interval_groups: 1_000_000,
+            ..CacheConfig::default()
+        };
+        let store = Arc::new(GateFlashStore::new(64));
+        store.release(); // writes flow; only reads are gated below
+        let store_for_build = Arc::clone(&store);
+        let c = Arc::new(
+            ShardedFlashCache::build(CachePolicyKind::FaceGr, config, 1, move |_| {
+                Arc::clone(&store_for_build) as Arc<dyn FlashStore>
+            })
+            .unwrap(),
+        );
+        let mut io = IoLog::new();
+        for n in 0..8u32 {
+            c.insert(data_page(n), &mut io); // two sealed groups on the store
+        }
+
+        // Background: a fetch parks inside the device read. The shard must
+        // stay fully usable the whole time — the reader holds no shard lock
+        // across the read.
+        store.hold_reads();
+        let bg = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                let mut io = IoLog::new();
+                c.fetch(PageId::new(0, 1), &mut io).expect("cached")
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        assert!(c.contains(PageId::new(0, 2)), "directory reachable");
+        let mut io = IoLog::new();
+        c.insert(data_page(50), &mut io);
+        // Page 50 sits in the pending batch: its fetch is served from the
+        // shared RAM frame, no device read, no waiting on the gate.
+        let ram_hit = c.fetch(PageId::new(0, 50), &mut io).expect("pending");
+        assert_eq!(ram_hit.data.unwrap().read_body(0, 4), &50u32.to_le_bytes());
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(250),
+            "shard lock was held across the blocked flash read"
+        );
+        store.release_reads();
+        let hit = bg.join().unwrap();
+        assert_eq!(hit.data.unwrap().read_body(0, 4), &1u32.to_le_bytes());
+        assert_eq!(c.stats().fetch_retries, 0, "nothing raced this read");
+    }
+
+    #[test]
+    fn lock_light_fetch_retries_when_losing_the_eviction_race() {
+        // Single shard, capacity = one group, clean pages throughout: the
+        // dequeue that steals the parked reader's slot performs no device
+        // read of its own (clean + valid + no second chance = silent drop),
+        // so only the reader is parked at the gate.
+        let config = CacheConfig {
+            capacity_pages: 4,
+            group_size: 4,
+            lock_light_reads: true,
+            meta_checkpoint_interval_groups: 1_000_000,
+            ..CacheConfig::default()
+        };
+        let store = Arc::new(GateFlashStore::new(4));
+        store.release();
+        let store_for_build = Arc::clone(&store);
+        let c = Arc::new(
+            ShardedFlashCache::build(CachePolicyKind::FaceGr, config, 1, move |_| {
+                Arc::clone(&store_for_build) as Arc<dyn FlashStore>
+            })
+            .unwrap(),
+        );
+        let clean = |n: u32| {
+            let mut p = Page::new(PageId::new(0, n));
+            p.set_lsn(Lsn(1));
+            p.write_body(0, &n.to_le_bytes());
+            StagedPage::with_data(p, false, true)
+        };
+        let mut io = IoLog::new();
+        for n in 0..4u32 {
+            c.insert(clean(n), &mut io);
+        }
+
+        store.hold_reads();
+        let bg = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.fetch(PageId::new(0, 1), &mut IoLog::new()))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Evict the whole first group and reuse its slots while the reader
+        // is parked inside the device read: the bytes it will get back
+        // belong to a different page, and the generation check must say so.
+        let mut io = IoLog::new();
+        for n in 10..14u32 {
+            c.insert(clean(n), &mut io);
+        }
+        assert!(!c.contains(PageId::new(0, 1)), "pinned version evicted");
+        store.release_reads();
+        let result = bg.join().unwrap();
+        assert!(
+            result.is_none(),
+            "a read that lost the slot to reuse must not serve foreign bytes"
+        );
+        assert!(
+            c.stats().fetch_retries > 0,
+            "the generation-validation retry path was not exercised"
+        );
+    }
+
+    #[test]
+    fn len_mirror_matches_shards_at_quiesce() {
+        let c = sharded(CachePolicyKind::FaceGsc, 256, 4);
+        let mut io = IoLog::new();
+        for n in 0..100u32 {
+            c.insert(data_page(n), &mut io);
+        }
+        // The lock-free mirror agrees with a locked sweep of the shards.
+        let swept: usize = c.shards.iter().map(|s| s.read().len()).sum();
+        assert_eq!(c.len(), swept);
+        assert_eq!(c.len(), 100);
+        let info = c.crash_and_recover(Lsn(u64::MAX), &mut io);
+        assert!(info.survived);
+        let swept: usize = c.shards.iter().map(|s| s.read().len()).sum();
+        assert_eq!(c.len(), swept, "mirror refreshed by recovery");
+        c.reset_cold();
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn exclusive_fetch_path_still_serves_hits() {
+        // lock_light_reads off: the classic read-under-lock fetch.
+        let config = CacheConfig {
+            capacity_pages: 64,
+            group_size: 4,
+            meta_checkpoint_interval_groups: 1_000_000,
+            ..CacheConfig::default()
+        };
+        assert!(!config.lock_light_reads);
+        let c = ShardedFlashCache::build(CachePolicyKind::FaceGsc, config, 2, |cap| {
+            Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
+        })
+        .unwrap();
+        let mut io = IoLog::new();
+        for n in 0..16u32 {
+            c.insert(data_page(n), &mut io);
+        }
+        for n in 0..16u32 {
+            let hit = c.fetch(PageId::new(0, n), &mut io).expect("cached");
+            assert_eq!(hit.data.unwrap().read_body(0, 4), &n.to_le_bytes());
+        }
+        assert_eq!(c.stats().fetch_retries, 0);
+        assert_eq!(c.stats().hits, 16);
     }
 
     #[test]

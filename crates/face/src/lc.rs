@@ -22,8 +22,8 @@ use crate::io::IoLog;
 use crate::policy::{FlashCache, PageSupplier};
 use crate::store::FlashStore;
 use crate::types::{
-    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FlashFetch, InsertOutcome,
-    StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FetchPin, FlashFetch,
+    InsertOutcome, SlotGenerations, StagedPage,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +48,11 @@ pub struct LcCache {
     free_slots: Vec<usize>,
     clock: u64,
     dirty_count: usize,
+    /// Per-slot version counters for the lock-light fetch protocol. LC
+    /// overwrites slots **in place**, so the counter bumps on every slot
+    /// write (admission and refresh), not only on reuse: an off-lock reader
+    /// racing an in-place overwrite must discard its read and retry.
+    generations: SlotGenerations,
     stats: CacheStatCounters,
 }
 
@@ -60,6 +65,7 @@ impl LcCache {
             "flash store smaller than configured capacity"
         );
         let free_slots = (0..config.capacity_pages).rev().collect();
+        let generations = SlotGenerations::new(config.capacity_pages);
         Self {
             config,
             store,
@@ -68,8 +74,13 @@ impl LcCache {
             free_slots,
             clock: 0,
             dirty_count: 0,
+            generations,
             stats: CacheStatCounters::default(),
         }
+    }
+
+    fn bump_generation(&mut self, slot: usize) {
+        self.generations.bump(slot);
     }
 
     /// Current fraction of cached pages that are dirty.
@@ -105,6 +116,7 @@ impl LcCache {
         if meta.dirty {
             self.dirty_count -= 1;
         }
+        self.bump_generation(meta.slot);
         self.free_slots.push(meta.slot);
         Some(meta)
     }
@@ -193,6 +205,32 @@ impl FlashCache for LcCache {
         })
     }
 
+    fn fetch_pin(&mut self, page: PageId, retry: bool, io: &mut IoLog) -> Option<FetchPin> {
+        if retry {
+            self.stats.fetch_retries.inc();
+        } else {
+            self.stats.lookups.inc();
+        }
+        let meta = *self.map.get(&page)?;
+        if !retry {
+            self.stats.hits.inc();
+        }
+        self.bump(page);
+        io.flash_read_rand(1);
+        Some(FetchPin {
+            slot: meta.slot,
+            lsn: meta.lsn,
+            dirty: meta.dirty,
+            generation: self.generations.current(meta.slot),
+            frame: None,
+            data_expected: true,
+        })
+    }
+
+    fn fetch_validate(&self, slot: usize, generation: u64) -> bool {
+        self.generations.check(slot, generation)
+    }
+
     fn insert(
         &mut self,
         staged: StagedPage,
@@ -218,6 +256,7 @@ impl FlashCache for LcCache {
             }
             let slot = meta.slot;
             io.flash_write_rand(1);
+            self.bump_generation(slot);
             if let Some(data) = &staged.data {
                 self.store.write_slot(slot, data);
             }
@@ -232,6 +271,7 @@ impl FlashCache for LcCache {
             }
             let slot = self.free_slots.pop().expect("slot freed by eviction");
             io.flash_write_rand(1);
+            self.bump_generation(slot);
             if let Some(data) = &staged.data {
                 self.store.write_slot(slot, data);
             }

@@ -68,6 +68,6 @@ pub use policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier, PageSuppl
 pub use store::{FlashStore, GateFlashStore, HeaderFlashStore, MemFlashStore, NullFlashStore};
 pub use tac::TacCache;
 pub use types::{
-    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, Counter, FlashFetch,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, Counter, FetchPin, FlashFetch,
     InsertOutcome, StagedPage,
 };

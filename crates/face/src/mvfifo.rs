@@ -29,8 +29,8 @@ use crate::meta::{JournalEntry, MetaJournal};
 use crate::policy::{FlashCache, PageSupplier};
 use crate::store::FlashStore;
 use crate::types::{
-    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FlashFetch, InsertOutcome,
-    StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FetchPin, FlashFetch,
+    InsertOutcome, SlotGenerations, StagedPage,
 };
 
 /// Metadata for one occupied flash slot.
@@ -84,6 +84,11 @@ pub struct MvFifoCache {
     /// versions whose batch write has not completed are served from RAM —
     /// the foreground never waits for a specific group write to finish.
     inflight_data: HashMap<usize, (u64, Arc<Page>)>,
+    /// Per-slot version counters for the lock-light fetch protocol: bumped
+    /// whenever the slot's occupant changes (enqueue assignment, dequeue), so
+    /// an off-lock reader can detect that the bytes it read may no longer
+    /// belong to the version it pinned ([`FlashCache::fetch_validate`]).
+    generations: SlotGenerations,
     journal: MetaJournal,
     stats: CacheStatCounters,
 }
@@ -114,6 +119,7 @@ impl MvFifoCache {
             pending_data: Vec::new(),
             inflight: BTreeMap::new(),
             inflight_data: HashMap::new(),
+            generations: SlotGenerations::new(capacity),
             journal,
             stats: CacheStatCounters::default(),
         }
@@ -222,17 +228,29 @@ impl MvFifoCache {
         self.config.capacity_pages - self.size
     }
 
+    /// The RAM-resident frame for `slot`, when its batch write has not
+    /// reached the device yet: `Some(frame)` for a slot in the not-yet-formed
+    /// pending batch or an in-flight deferred group (the inner option is
+    /// `None` for metadata-only staged pages), `None` when the slot's bytes
+    /// live on the flash store.
+    fn ram_frame(&self, slot: usize) -> Option<Option<Arc<Page>>> {
+        if let Some(pos) = self.pending_slots.iter().position(|&s| s == slot) {
+            return Some(self.pending_data[pos].clone());
+        }
+        if let Some((_, frame)) = self.inflight_data.get(&slot) {
+            return Some(Some(Arc::clone(frame)));
+        }
+        None
+    }
+
     /// The shared frame stored at `slot`, looking in the not-yet-formed
     /// pending batch first, then the in-flight groups (both RAM-resident
     /// until their batch write), then the flash store.
     fn slot_frame(&self, slot: usize) -> Option<Arc<Page>> {
-        if let Some(pos) = self.pending_slots.iter().position(|&s| s == slot) {
-            return self.pending_data[pos].clone();
+        match self.ram_frame(slot) {
+            Some(frame) => frame,
+            None => self.store.read_slot(slot).map(Arc::new),
         }
-        if let Some((_, frame)) = self.inflight_data.get(&slot) {
-            return Some(Arc::clone(frame));
-        }
-        self.store.read_slot(slot).map(Arc::new)
     }
 
     fn rear(&self) -> usize {
@@ -247,6 +265,7 @@ impl MvFifoCache {
         debug_assert!(self.free_slots() > 0, "enqueue without free slot");
         let slot = self.rear();
         self.size += 1;
+        self.generations.bump(slot);
         self.slots[slot] = Some(SlotMeta {
             page: staged.page,
             lsn: staged.lsn,
@@ -409,6 +428,9 @@ impl MvFifoCache {
         let mut second_chance = Vec::new();
         for i in 0..n {
             let slot = (self.front + i) % self.config.capacity_pages;
+            // The slot leaves the queue (and may be reused by a later
+            // enqueue): invalidate any outstanding lock-light pins on it.
+            self.generations.bump(slot);
             let Some(meta) = self.slots[slot].take() else {
                 continue;
             };
@@ -433,10 +455,16 @@ impl MvFifoCache {
                 if self.dir.get(&meta.page) == Some(&slot) {
                     self.dir.remove(&meta.page);
                 }
-                let data = pending_data
-                    .or_else(|| self.inflight_data.get(&slot).map(|(_, f)| Arc::clone(f)))
-                    .or_else(|| self.store.read_slot(slot).map(Arc::new));
+                // Only pages that survive (second chance) or go to disk
+                // (dirty) need their bytes; a clean unreferenced page is
+                // discarded without ever touching the device.
+                let slot_data = |cache: &Self, pending: Option<Arc<Page>>| {
+                    pending
+                        .or_else(|| cache.inflight_data.get(&slot).map(|(_, f)| Arc::clone(f)))
+                        .or_else(|| cache.store.read_slot(slot).map(Arc::new))
+                };
                 if self.config.second_chance && meta.referenced {
+                    let data = slot_data(self, pending_data);
                     self.stats.second_chances.inc();
                     second_chance.push(StagedPage {
                         page: meta.page,
@@ -446,6 +474,7 @@ impl MvFifoCache {
                         data,
                     });
                 } else if meta.dirty {
+                    let data = slot_data(self, pending_data);
                     self.stats.staged_out_to_disk.inc();
                     io.disk_write(meta.page);
                     to_disk.push(StagedPage {
@@ -702,6 +731,48 @@ impl FlashCache for MvFifoCache {
             dirty,
             lsn,
         })
+    }
+
+    fn fetch_pin(&mut self, page: PageId, retry: bool, io: &mut IoLog) -> Option<FetchPin> {
+        if retry {
+            self.stats.fetch_retries.inc();
+        } else {
+            self.stats.lookups.inc();
+        }
+        let slot = *self.dir.get(&page)?;
+        let meta = self.slots[slot].as_mut()?;
+        debug_assert!(meta.valid, "directory points at an invalid version");
+        if !retry {
+            self.stats.hits.inc();
+        }
+        meta.referenced = true;
+        let lsn = meta.lsn;
+        let dirty = meta.dirty;
+        io.flash_read_rand(1);
+        // A version whose batch write has not reached the device is served
+        // from its shared RAM frame — the store may still hold the slot's
+        // previous occupant, so an off-lock device read would be wrong, not
+        // merely stale. The frame is immutable and `Arc`-shared: it outlives
+        // any eviction or destage completing mid-read.
+        let (frame, data_expected) = match self.ram_frame(slot) {
+            Some(frame) => {
+                let expected = frame.is_some();
+                (frame, expected)
+            }
+            None => (None, true),
+        };
+        Some(FetchPin {
+            slot,
+            lsn,
+            dirty,
+            generation: self.generations.current(slot),
+            frame,
+            data_expected,
+        })
+    }
+
+    fn fetch_validate(&self, slot: usize, generation: u64) -> bool {
+        self.generations.check(slot, generation)
     }
 
     fn insert(

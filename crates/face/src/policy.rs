@@ -11,7 +11,7 @@ use crate::mvfifo::MvFifoCache;
 use crate::store::FlashStore;
 use crate::tac::TacCache;
 use crate::types::{
-    CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome, StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStats, FetchPin, FlashFetch, InsertOutcome, StagedPage,
 };
 
 /// Supplies additional dirty pages from the DRAM buffer's LRU tail so Group
@@ -45,7 +45,12 @@ where
 
 /// A second-level cache on a flash device, sitting between the DRAM buffer
 /// pool and the disk array.
-pub trait FlashCache: Send {
+///
+/// `Sync` is required because [`crate::ShardedFlashCache`] exposes the
+/// `&self` surface (lookups, validation, stats) through shared `RwLock` read
+/// guards — implementations keep their mutable state behind `&mut self` and
+/// their counters atomic, so this is free.
+pub trait FlashCache: Send + Sync {
     /// Human-readable policy name (used in reports).
     fn policy_name(&self) -> &'static str;
 
@@ -55,7 +60,31 @@ pub trait FlashCache: Send {
     /// Look up `page` on a DRAM miss. On a hit the cached copy is returned
     /// (with data when the backing store carries data) and the physical flash
     /// read is recorded in `io`.
+    ///
+    /// This is the classic **read-under-lock** path: the device read runs
+    /// inside the call, so a caller serializing on a shard mutex holds it
+    /// across the read. The lock-light alternative is the
+    /// [`FlashCache::fetch_pin`] / [`FlashCache::fetch_validate`] pair.
     fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch>;
+
+    /// First half of the lock-light fetch: resolve `page` to its slot, mark
+    /// it referenced, charge the flash read in `io`, and return a
+    /// [`FetchPin`] carrying the slot's generation — **without touching the
+    /// device**. The caller drops the shard lock, performs the read, and
+    /// revalidates with [`FlashCache::fetch_validate`].
+    ///
+    /// `retry` is true when this lookup repeats after a failed validation:
+    /// the retry is counted in [`CacheStats::fetch_retries`] instead of
+    /// being double-counted as a fresh lookup/hit. (A pinned hit whose
+    /// retry then misses stays counted as a hit — the version existed at
+    /// pin time; the race is visible in the retry counter.)
+    fn fetch_pin(&mut self, page: PageId, retry: bool, io: &mut IoLog) -> Option<FetchPin>;
+
+    /// Second half of the lock-light fetch: whether `slot` still holds the
+    /// version pinned at `generation`. `false` means the slot was evicted or
+    /// reused while the caller read the device off-lock — the bytes may
+    /// belong to a different version (or page) and must be discarded.
+    fn fetch_validate(&self, slot: usize, generation: u64) -> bool;
 
     /// Hand a page leaving the DRAM buffer (eviction or checkpoint flush) to
     /// the cache. `supplier` lets Group Second Chance pull extra dirty pages

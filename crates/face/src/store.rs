@@ -191,38 +191,83 @@ impl FlashStore for HeaderFlashStore {
     }
 }
 
-/// A test instrument: a data-carrying flash store whose **writes block**
-/// until [`GateFlashStore::release`] opens the gate. Reads pass through.
-///
-/// This is how the no-device-I/O-under-lock acceptance gate and the
-/// in-pipeline crash-point tests park a writer mid-operation: close the
-/// gate, drive the system, observe that foreground operations proceed (or
-/// crash while a destage worker is stuck inside the device), then release.
-pub struct GateFlashStore {
-    inner: MemFlashStore,
+/// A boolean gate that parks callers until it opens.
+struct Gate {
     open: std::sync::Mutex<bool>,
     cv: std::sync::Condvar,
 }
 
-impl GateFlashStore {
-    /// A gated store with `capacity` slots; the gate starts **closed**.
-    pub fn new(capacity: usize) -> Self {
+impl Gate {
+    fn new(open: bool) -> Self {
         Self {
-            inner: MemFlashStore::new(capacity),
-            open: std::sync::Mutex::new(false),
+            open: std::sync::Mutex::new(open),
             cv: std::sync::Condvar::new(),
         }
     }
 
-    /// Open the gate: blocked writers proceed, later writers never wait.
-    pub fn release(&self) {
+    fn release(&self) {
         *self.open.lock().unwrap() = true;
         self.cv.notify_all();
     }
 
-    fn wait_open(&self) {
+    fn hold(&self) {
+        *self.open.lock().unwrap() = false;
+    }
+
+    fn wait(&self) {
         let guard = self.open.lock().unwrap();
         let _guard = self.cv.wait_while(guard, |open| !*open).unwrap();
+    }
+}
+
+/// A test instrument: a data-carrying flash store whose **writes block**
+/// until [`GateFlashStore::release`] opens the write gate, and whose
+/// **reads** can likewise be parked with [`GateFlashStore::hold_reads`] /
+/// [`GateFlashStore::release_reads`] (the read gate starts open).
+///
+/// This is how the no-device-I/O-under-lock acceptance gates and the
+/// in-pipeline crash-point tests park a device operation mid-flight: close a
+/// gate, drive the system, observe that foreground operations proceed (or
+/// that a lock-light reader parked inside a device read blocks nobody), then
+/// release.
+pub struct GateFlashStore {
+    inner: MemFlashStore,
+    writes: Gate,
+    reads: Gate,
+}
+
+impl GateFlashStore {
+    /// A gated store with `capacity` slots; the **write** gate starts
+    /// closed, the read gate open.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: MemFlashStore::new(capacity),
+            writes: Gate::new(false),
+            reads: Gate::new(true),
+        }
+    }
+
+    /// Open the write gate: blocked writers proceed, later writers never
+    /// wait.
+    pub fn release(&self) {
+        self.writes.release();
+    }
+
+    /// Close the write gate again: subsequent slot writes park until
+    /// [`GateFlashStore::release`].
+    pub fn hold_writes(&self) {
+        self.writes.hold();
+    }
+
+    /// Close the read gate: subsequent slot reads park until
+    /// [`GateFlashStore::release_reads`].
+    pub fn hold_reads(&self) {
+        self.reads.hold();
+    }
+
+    /// Open the read gate: parked readers proceed.
+    pub fn release_reads(&self) {
+        self.reads.release();
     }
 }
 
@@ -232,16 +277,17 @@ impl FlashStore for GateFlashStore {
     }
 
     fn write_slot(&self, slot: usize, page: &Page) {
-        self.wait_open();
+        self.writes.wait();
         self.inner.write_slot(slot, page);
     }
 
     fn write_batch(&self, writes: &[(usize, &Page)]) {
-        self.wait_open();
+        self.writes.wait();
         self.inner.write_batch(writes);
     }
 
     fn read_slot(&self, slot: usize) -> Option<Page> {
+        self.reads.wait();
         self.inner.read_slot(slot)
     }
 

@@ -23,8 +23,8 @@ use crate::io::IoLog;
 use crate::policy::{FlashCache, PageSupplier};
 use crate::store::FlashStore;
 use crate::types::{
-    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FlashFetch, InsertOutcome,
-    StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FetchPin, FlashFetch,
+    InsertOutcome, SlotGenerations, StagedPage,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +48,10 @@ pub struct TacCache {
     extent_heat: HashMap<u64, u32>,
     free_slots: Vec<usize>,
     clock: u64,
+    /// Per-slot version counters for the lock-light fetch protocol. TAC
+    /// writes slots in place (admission and write-through refresh), so the
+    /// counter bumps on every slot write as well as on eviction.
+    generations: SlotGenerations,
     stats: CacheStatCounters,
 }
 
@@ -61,6 +65,7 @@ impl TacCache {
         );
         assert!(config.tac_extent_pages > 0, "extent must hold pages");
         let free_slots = (0..config.capacity_pages).rev().collect();
+        let generations = SlotGenerations::new(config.capacity_pages);
         Self {
             config,
             store,
@@ -68,8 +73,13 @@ impl TacCache {
             extent_heat: HashMap::new(),
             free_slots,
             clock: 0,
+            generations,
             stats: CacheStatCounters::default(),
         }
+    }
+
+    fn bump_generation(&mut self, slot: usize) {
+        self.generations.bump(slot);
     }
 
     fn extent_of(&self, page: PageId) -> u64 {
@@ -105,6 +115,7 @@ impl TacCache {
         };
         if let Some(victim) = victim {
             let meta = self.map.remove(&victim).expect("victim cached");
+            self.bump_generation(meta.slot);
             self.free_slots.push(meta.slot);
             self.stats.staged_out.inc();
             self.charge_metadata_update(io);
@@ -126,6 +137,7 @@ impl TacCache {
         };
         io.flash_write_rand(1);
         self.charge_metadata_update(io);
+        self.bump_generation(slot);
         let has_data = if let Some(d) = data {
             self.store.write_slot(slot, d);
             true
@@ -176,6 +188,38 @@ impl FlashCache for TacCache {
         })
     }
 
+    fn fetch_pin(&mut self, page: PageId, retry: bool, io: &mut IoLog) -> Option<FetchPin> {
+        if retry {
+            self.stats.fetch_retries.inc();
+        } else {
+            self.stats.lookups.inc();
+            self.warm_up(page);
+        }
+        let meta = self.map.get_mut(&page)?;
+        self.clock += 1;
+        meta.last_access = self.clock;
+        let meta = *meta;
+        if !retry {
+            self.stats.hits.inc();
+        }
+        io.flash_read_rand(1);
+        Some(FetchPin {
+            slot: meta.slot,
+            // Write-through: the cached copy is never newer than disk.
+            dirty: false,
+            lsn: meta.lsn,
+            generation: self.generations.current(meta.slot),
+            frame: None,
+            // Metadata-only admissions (on-entry, before any data write)
+            // have nothing on the device for this page.
+            data_expected: meta.has_data,
+        })
+    }
+
+    fn fetch_validate(&self, slot: usize, generation: u64) -> bool {
+        self.generations.check(slot, generation)
+    }
+
     fn insert(
         &mut self,
         staged: StagedPage,
@@ -203,6 +247,7 @@ impl FlashCache for TacCache {
                 let slot = meta.slot;
                 io.flash_write_rand(1);
                 self.charge_metadata_update(io);
+                self.bump_generation(slot);
                 if let Some(d) = &staged.data {
                     self.store.write_slot(slot, d);
                 }

@@ -66,6 +66,67 @@ impl StagedPage {
     }
 }
 
+/// A cached version pinned under the shard lock for an off-lock flash read —
+/// the first half of the lock-light fetch protocol
+/// ([`crate::policy::FlashCache::fetch_pin`]).
+///
+/// The pin is *optimistic*: nothing prevents the slot from being evicted or
+/// reused after the lock is dropped. `generation` is the slot's version
+/// counter at pin time; the caller performs the device read with no lock
+/// held and then revalidates with
+/// [`crate::policy::FlashCache::fetch_validate`] — a mismatch means the
+/// bytes read may belong to a different version (or page) and must be
+/// discarded and the lookup retried.
+#[derive(Debug, Clone)]
+pub struct FetchPin {
+    /// The flash slot holding the pinned version.
+    pub slot: usize,
+    /// The pinned version's pageLSN.
+    pub lsn: Lsn,
+    /// Whether the pinned version is newer than the disk copy.
+    pub dirty: bool,
+    /// The slot's generation counter at pin time.
+    pub generation: u64,
+    /// A RAM-resident frame for the version (pending batch or in-flight
+    /// deferred group). When present the caller needs no device read at all
+    /// — the shared frame is immutable and outlives any eviction race.
+    pub frame: Option<Arc<Page>>,
+    /// Whether a device read is expected to yield data for this version.
+    /// `false` for stores/entries without page bodies (the caller serves the
+    /// hit metadata-only, exactly like the locked path).
+    pub data_expected: bool,
+}
+
+/// Per-slot version counters backing the lock-light fetch protocol, shared
+/// by every policy: [`SlotGenerations::bump`] whenever a slot's occupant (or
+/// its bytes, for in-place-overwrite policies) changes, and
+/// [`SlotGenerations::check`] to validate a pin after an off-lock device
+/// read. One type so the validation rule cannot drift between policies.
+#[derive(Debug)]
+pub struct SlotGenerations(Vec<u64>);
+
+impl SlotGenerations {
+    /// Counters for `capacity` slots, all starting at zero.
+    pub fn new(capacity: usize) -> Self {
+        Self(vec![0; capacity])
+    }
+
+    /// The slot's current generation (what a [`FetchPin`] carries).
+    pub fn current(&self, slot: usize) -> u64 {
+        self.0[slot]
+    }
+
+    /// Invalidate outstanding pins on `slot`.
+    pub fn bump(&mut self, slot: usize) {
+        self.0[slot] = self.0[slot].wrapping_add(1);
+    }
+
+    /// Whether `slot` still holds the version pinned at `generation`.
+    pub fn check(&self, slot: usize, generation: u64) -> bool {
+        self.0.get(slot) == Some(&generation)
+    }
+}
+
 /// The result of a successful flash-cache fetch.
 #[derive(Debug, Clone)]
 pub struct FlashFetch {
@@ -175,6 +236,16 @@ pub struct CacheConfig {
     /// trace-driven simulator and single-threaded callers keep the inline
     /// write-under-call contract.
     pub defer_group_writes: bool,
+    /// When set, [`crate::ShardedFlashCache::fetch`] uses the lock-light
+    /// read path: the version is pinned under the shard lock
+    /// ([`crate::policy::FlashCache::fetch_pin`]), the lock is dropped, the
+    /// flash device read runs **off-lock**, and the result is validated
+    /// against the slot's generation counter
+    /// ([`crate::policy::FlashCache::fetch_validate`]) — a lost eviction
+    /// race retries ([`CacheStats::fetch_retries`]). Off by default: the
+    /// trace-driven simulator and single-threaded callers keep the
+    /// read-under-lock contract (the engine turns it on).
+    pub lock_light_reads: bool,
 }
 
 impl Default for CacheConfig {
@@ -189,6 +260,7 @@ impl Default for CacheConfig {
             tac_admission_temperature: 2,
             meta_checkpoint_interval_groups: 8,
             defer_group_writes: false,
+            lock_light_reads: false,
         }
     }
 }
@@ -225,6 +297,13 @@ impl CacheConfig {
     /// [`CacheConfig::defer_group_writes`]).
     pub fn defer_group_writes(mut self, on: bool) -> Self {
         self.defer_group_writes = on;
+        self
+    }
+
+    /// Builder-style enable of the lock-light read path (see
+    /// [`CacheConfig::lock_light_reads`]).
+    pub fn lock_light_reads(mut self, on: bool) -> Self {
+        self.lock_light_reads = on;
         self
     }
 
@@ -265,6 +344,10 @@ pub struct CacheStats {
     pub lazily_cleaned: u64,
     /// Persistent metadata segment flushes.
     pub metadata_flushes: u64,
+    /// Lock-light fetches that lost the eviction race: the slot's generation
+    /// changed between pinning the version and finishing the off-lock flash
+    /// read, so the read was discarded and the lookup retried.
+    pub fetch_retries: u64,
 }
 
 /// Atomic twin of [`CacheStats`], held inside each policy so that counters
@@ -298,6 +381,8 @@ pub struct CacheStatCounters {
     pub lazily_cleaned: Counter,
     /// See [`CacheStats::metadata_flushes`].
     pub metadata_flushes: Counter,
+    /// See [`CacheStats::fetch_retries`].
+    pub fetch_retries: Counter,
 }
 
 impl CacheStatCounters {
@@ -317,6 +402,7 @@ impl CacheStatCounters {
             pulled_from_dram: self.pulled_from_dram.get(),
             lazily_cleaned: self.lazily_cleaned.get(),
             metadata_flushes: self.metadata_flushes.get(),
+            fetch_retries: self.fetch_retries.get(),
         }
     }
 
@@ -341,6 +427,7 @@ impl CacheStatCounters {
         self.pulled_from_dram.set(s.pulled_from_dram);
         self.lazily_cleaned.set(s.lazily_cleaned);
         self.metadata_flushes.set(s.metadata_flushes);
+        self.fetch_retries.set(s.fetch_retries);
     }
 }
 
@@ -369,6 +456,7 @@ impl CacheStats {
             pulled_from_dram: self.pulled_from_dram + other.pulled_from_dram,
             lazily_cleaned: self.lazily_cleaned + other.lazily_cleaned,
             metadata_flushes: self.metadata_flushes + other.metadata_flushes,
+            fetch_retries: self.fetch_retries + other.fetch_retries,
         }
     }
 

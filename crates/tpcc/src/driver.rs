@@ -213,6 +213,139 @@ pub fn run_ramp(db: &Arc<Database>, config: &DriverConfig, windows: usize) -> Ve
     out
 }
 
+/// Configuration of a read-heavy key-value sweep — the workload behind
+/// `bench_read_throughput`. Uniform random `get`s over the whole key space
+/// with a small fraction of `put`s; each thread writes only its own key
+/// partition (the engine page-latches but does not lock rows), while reads
+/// range over everything, TPC-C-style ~2:1 read-dominance pushed to the 90/10
+/// mix the paper's flash-hit argument cares about.
+#[derive(Debug, Clone)]
+pub struct ReadHeavyConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Operations (gets + puts) each thread executes.
+    pub ops_per_thread: usize,
+    /// Keys in the table (pre-loaded with [`load_read_heavy`]).
+    pub keys: u64,
+    /// Percentage of operations that are reads (0..=100).
+    pub read_pct: u32,
+    /// Operations per transaction (commit granularity).
+    pub ops_per_txn: usize,
+    /// Base RNG seed; thread `t` uses `seed + t`.
+    pub seed: u64,
+}
+
+impl Default for ReadHeavyConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            ops_per_thread: 1_000,
+            keys: 8_192,
+            read_pct: 90,
+            ops_per_txn: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// A tiny splitmix64 stream — enough randomness for key picking without
+/// pulling the workload RNG into the driver.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pre-load `keys` sequential keys (single-threaded, batched commits) so a
+/// read-heavy run starts from a fully populated table whose cold pages have
+/// already flowed through the buffer into the flash cache.
+pub fn load_read_heavy(db: &Arc<Database>, keys: u64) {
+    let mut value = [0u8; 16];
+    let mut next = 0u64;
+    while next < keys {
+        let txn = db.begin();
+        for key in next..(next + 64).min(keys) {
+            value[..8].copy_from_slice(&key.to_le_bytes());
+            db.put(txn, key, &value).expect("load put failed");
+        }
+        db.commit(txn).expect("load commit failed");
+        next += 64;
+    }
+}
+
+/// Drive `db` with `config.threads` concurrent read-heavy clients and return
+/// the per-thread and merged statistics. Call [`load_read_heavy`] first.
+///
+/// # Panics
+/// Panics if `threads == 0`, `threads > keys`, `read_pct > 100`, or an
+/// engine operation fails.
+pub fn run_read_heavy(db: &Arc<Database>, config: &ReadHeavyConfig) -> DriverReport {
+    assert!(config.threads > 0, "need at least one thread");
+    assert!(
+        (config.threads as u64) <= config.keys,
+        "need at least one key per thread"
+    );
+    assert!(config.read_pct <= 100, "read_pct is a percentage");
+    let start = Instant::now();
+    let mut per_thread = vec![ThreadStats::default(); config.threads];
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let db = Arc::clone(db);
+            let cfg = config.clone();
+            handles.push(s.spawn(move || run_read_heavy_thread(&db, &cfg, t)));
+        }
+        for (t, handle) in handles.into_iter().enumerate() {
+            per_thread[t] = handle.join().expect("worker thread panicked");
+        }
+    });
+    DriverReport {
+        per_thread,
+        wall: start.elapsed(),
+    }
+}
+
+fn run_read_heavy_thread(db: &Database, config: &ReadHeavyConfig, thread: usize) -> ThreadStats {
+    // Disjoint write partition, shared read range.
+    let n = config.threads as u64;
+    let t = thread as u64;
+    let write_lo = t * config.keys / n;
+    let write_hi = ((t + 1) * config.keys / n).max(write_lo + 1);
+    let mut state = config.seed.wrapping_mul(0x5851_F42D_4C95_7F2D) + t;
+    let mut stats = ThreadStats {
+        thread,
+        ..ThreadStats::default()
+    };
+    let started = Instant::now();
+    let mut value = [0u8; 16];
+    let ops_per_txn = config.ops_per_txn.max(1);
+    let mut op = 0;
+    while op < config.ops_per_thread {
+        let txn = db.begin();
+        for _ in 0..ops_per_txn.min(config.ops_per_thread - op) {
+            let r = splitmix64(&mut state);
+            if r % 100 < config.read_pct as u64 {
+                let key = splitmix64(&mut state) % config.keys;
+                db.get(key).expect("get failed");
+                stats.gets += 1;
+            } else {
+                let key = write_lo + splitmix64(&mut state) % (write_hi - write_lo);
+                value[..8].copy_from_slice(&key.to_le_bytes());
+                value[8..].copy_from_slice(&t.to_le_bytes());
+                db.put(txn, key, &value).expect("put failed");
+                stats.puts += 1;
+            }
+            op += 1;
+        }
+        db.commit(txn).expect("commit failed");
+        stats.committed += 1;
+    }
+    stats.wall = started.elapsed();
+    stats
+}
+
 fn run_thread(db: &Database, config: &DriverConfig, thread: usize) -> ThreadStats {
     let (lo, hi) = warehouse_range(config.warehouses, config.threads, thread);
     let mut workload = TpccWorkload::with_home_range(
@@ -360,6 +493,46 @@ mod tests {
         assert!(disk <= buffer.disk_fetches);
         let total: u64 = windows.iter().map(|w| w.committed).sum();
         assert_eq!(db.stats().txns_committed, total);
+    }
+
+    #[test]
+    fn read_heavy_driver_mixes_partitions_and_reproduces() {
+        let db = db(4 * 1024);
+        load_read_heavy(&db, 512);
+        // Every loaded key is present before the run.
+        assert!(db.get(0).unwrap().is_some());
+        assert!(db.get(511).unwrap().is_some());
+        let config = ReadHeavyConfig {
+            threads: 4,
+            ops_per_thread: 250,
+            keys: 512,
+            read_pct: 90,
+            ops_per_txn: 8,
+            seed: 9,
+        };
+        let report = run_read_heavy(&db, &config);
+        assert_eq!(report.gets() + report.puts(), 1000);
+        // ~90/10: reads dominate by far.
+        assert!(
+            report.gets() > report.puts() * 4,
+            "{} gets vs {} puts is not read-heavy",
+            report.gets(),
+            report.puts()
+        );
+        assert!(report.committed() > 0);
+        assert!(report.tps() > 0.0);
+        // Writers stayed in their partitions: every key's value still decodes
+        // to the key itself (first 8 bytes), whoever last wrote it.
+        for key in 0..512u64 {
+            let val = db.get(key).unwrap().expect("key lost");
+            assert_eq!(u64::from_le_bytes(val[..8].try_into().unwrap()), key);
+        }
+        // Same seed, same work.
+        let db2 = super::tests::db(4 * 1024);
+        load_read_heavy(&db2, 512);
+        let again = run_read_heavy(&db2, &config);
+        assert_eq!(again.gets(), report.gets());
+        assert_eq!(again.puts(), report.puts());
     }
 
     #[test]

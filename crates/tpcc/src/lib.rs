@@ -20,7 +20,10 @@ pub mod layout;
 pub mod random;
 pub mod workload;
 
-pub use driver::{run_concurrent, run_ramp, DriverConfig, DriverReport, RampWindow, ThreadStats};
+pub use driver::{
+    load_read_heavy, run_concurrent, run_ramp, run_read_heavy, DriverConfig, DriverReport,
+    RampWindow, ReadHeavyConfig, ThreadStats,
+};
 pub use layout::{Table, TableLayout};
 pub use random::TpccRandom;
 pub use workload::{TpccConfig, TpccTransaction, TpccWorkload, TransactionKind};
