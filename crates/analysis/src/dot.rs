@@ -1,0 +1,58 @@
+//! Render the observed acquisition-order graph as Graphviz DOT — uploaded
+//! as a CI artifact by the `lockdep` job so the learned lock order can be
+//! inspected next to the documented one.
+
+use crate::classes::{is_scratch, LockClassId, CLASSES};
+use crate::witness;
+
+/// Render the global acquisition graph. Nodes are lock classes (scratch
+/// classes omitted unless they acquired edges), ranked by their documented
+/// order; solid edges are observed `held → acquired` pairs.
+pub fn render() -> String {
+    let edges = witness::edges();
+    let mut used = vec![false; CLASSES.len()];
+    for (from, to) in &edges {
+        used[from.0] = true;
+        used[to.0] = true;
+    }
+    let mut out = String::from("digraph lock_order {\n");
+    out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (i, c) in CLASSES.iter().enumerate() {
+        if is_scratch(c) && !used[i] {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {} [label=\"{}\\nrank {}\"{}];\n",
+            c.name,
+            c.name,
+            c.rank,
+            if c.forbids_io {
+                ", style=filled, fillcolor=lightyellow"
+            } else {
+                ""
+            }
+        ));
+    }
+    for (from, to) in &edges {
+        out.push_str(&format!("  {} -> {};\n", name(*from), name(*to)));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn name(id: LockClassId) -> &'static str {
+    CLASSES[id.0].name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_wellformed_dot() {
+        let dot = render();
+        assert!(dot.starts_with("digraph lock_order {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("cache_shard"));
+    }
+}

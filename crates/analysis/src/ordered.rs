@@ -1,0 +1,302 @@
+//! Lock wrappers that register every acquisition with the lockdep witness.
+//!
+//! `OrderedMutex` and `OrderedRwLock` wrap the vendored `parking_lot` stub
+//! and carry a [`LockClassId`] from the registry. In witness-enabled builds
+//! (debug, or the `lockdep` feature) each `lock`/`read`/`write` runs the
+//! order checks in [`crate::witness`]; otherwise the wrappers inline to the
+//! raw primitives and the witness calls are no-ops the optimiser removes.
+//!
+//! `OrderedCondvar` exists because condvar waits release and re-acquire the
+//! mutex: the witness entry is popped for the duration of the wait and the
+//! re-acquisition is checked like any other blocking acquisition.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use crate::classes::LockClassId;
+use crate::witness::{self, Kind, Mode, Token};
+
+/// A mutex bound to a lock class.
+pub struct OrderedMutex<T: ?Sized> {
+    class: LockClassId,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Create a mutex of the given class protecting `value`.
+    pub fn new(class: LockClassId, value: T) -> Self {
+        Self {
+            class,
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> OrderedMutex<T> {
+    /// The class this lock was registered under.
+    pub fn class(&self) -> LockClassId {
+        self.class
+    }
+
+    /// Acquire the lock, blocking until it is available.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        let token = witness::acquire(self.class, Mode::Exclusive, Kind::Block);
+        OrderedMutexGuard {
+            inner: Some(self.inner.lock()),
+            token,
+            class: self.class,
+        }
+    }
+
+    /// Acquire the lock without blocking, if it is free. Try acquisitions
+    /// are exempt from order checks — they cannot close a wait cycle.
+    pub fn try_lock(&self) -> Option<OrderedMutexGuard<'_, T>> {
+        let guard = self.inner.try_lock()?;
+        let token = witness::acquire(self.class, Mode::Exclusive, Kind::Try);
+        Some(OrderedMutexGuard {
+            inner: Some(guard),
+            token,
+            class: self.class,
+        })
+    }
+
+    /// Mutably access the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("class", &self.class.name())
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII guard returned by [`OrderedMutex::lock`].
+pub struct OrderedMutexGuard<'a, T: ?Sized> {
+    inner: Option<parking_lot::MutexGuard<'a, T>>,
+    token: Token,
+    class: LockClassId,
+}
+
+impl<'a, T: ?Sized> OrderedMutexGuard<'a, T> {
+    fn raw(&self) -> &parking_lot::MutexGuard<'a, T> {
+        match self.inner.as_ref() {
+            Some(g) => g,
+            None => unreachable!("guard used after condvar handoff"),
+        }
+    }
+
+    fn raw_mut(&mut self) -> &mut parking_lot::MutexGuard<'a, T> {
+        match self.inner.as_mut() {
+            Some(g) => g,
+            None => unreachable!("guard used after condvar handoff"),
+        }
+    }
+
+    /// Hand the raw guard to a condvar; releases the witness entry.
+    fn into_raw(mut self) -> (parking_lot::MutexGuard<'a, T>, LockClassId) {
+        let raw = self.inner.take().expect("guard already handed off");
+        witness::release(self.token);
+        (raw, self.class)
+    }
+
+    fn from_raw(raw: parking_lot::MutexGuard<'a, T>, class: LockClassId) -> Self {
+        let token = witness::acquire(class, Mode::Exclusive, Kind::Reacquire);
+        Self {
+            inner: Some(raw),
+            token,
+            class,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.raw()
+    }
+}
+
+impl<T: ?Sized> DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.raw_mut()
+    }
+}
+
+impl<T: ?Sized> Drop for OrderedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(guard) = self.inner.take() {
+            drop(guard);
+            witness::release(self.token);
+        }
+    }
+}
+
+/// A reader-writer lock bound to a lock class.
+pub struct OrderedRwLock<T: ?Sized> {
+    class: LockClassId,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// Create a lock of the given class protecting `value`.
+    pub fn new(class: LockClassId, value: T) -> Self {
+        Self {
+            class,
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> OrderedRwLock<T> {
+    /// The class this lock was registered under.
+    pub fn class(&self) -> LockClassId {
+        self.class
+    }
+
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, T> {
+        let token = witness::acquire(self.class, Mode::Shared, Kind::Block);
+        OrderedRwLockReadGuard {
+            inner: self.inner.read(),
+            token,
+        }
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T> {
+        let token = witness::acquire(self.class, Mode::Exclusive, Kind::Block);
+        OrderedRwLockWriteGuard {
+            inner: self.inner.write(),
+            token,
+        }
+    }
+
+    /// Acquire a shared read guard without blocking, if possible.
+    pub fn try_read(&self) -> Option<OrderedRwLockReadGuard<'_, T>> {
+        let inner = self.inner.try_read()?;
+        let token = witness::acquire(self.class, Mode::Shared, Kind::Try);
+        Some(OrderedRwLockReadGuard { inner, token })
+    }
+
+    /// Acquire an exclusive write guard without blocking, if possible.
+    pub fn try_write(&self) -> Option<OrderedRwLockWriteGuard<'_, T>> {
+        let inner = self.inner.try_write()?;
+        let token = witness::acquire(self.class, Mode::Exclusive, Kind::Try);
+        Some(OrderedRwLockWriteGuard { inner, token })
+    }
+
+    /// Mutably access the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedRwLock")
+            .field("class", &self.class.name())
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII guard returned by [`OrderedRwLock::read`].
+pub struct OrderedRwLockReadGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+    token: Token,
+}
+
+impl<T: ?Sized> Deref for OrderedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for OrderedRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::release(self.token);
+    }
+}
+
+/// RAII guard returned by [`OrderedRwLock::write`].
+pub struct OrderedRwLockWriteGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+    token: Token,
+}
+
+impl<T: ?Sized> Deref for OrderedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for OrderedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for OrderedRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::release(self.token);
+    }
+}
+
+/// A condition variable for [`OrderedMutex`] guards. Waiting pops the
+/// witness entry for the duration of the wait and re-registers (with order
+/// checks) on wake-up. Like the vendored stub, `wait`/`wait_while` take and
+/// return the guard by value.
+#[derive(Debug, Default)]
+pub struct OrderedCondvar {
+    inner: parking_lot::Condvar,
+}
+
+impl OrderedCondvar {
+    /// Create a new condition variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Block until notified, atomically releasing and re-acquiring the lock.
+    pub fn wait<'a, T>(&self, guard: OrderedMutexGuard<'a, T>) -> OrderedMutexGuard<'a, T> {
+        let (raw, class) = guard.into_raw();
+        let raw = self.inner.wait(raw);
+        OrderedMutexGuard::from_raw(raw, class)
+    }
+
+    /// Block until `condition` returns false (wait *while* it holds).
+    pub fn wait_while<'a, T>(
+        &self,
+        guard: OrderedMutexGuard<'a, T>,
+        condition: impl FnMut(&mut T) -> bool,
+    ) -> OrderedMutexGuard<'a, T> {
+        let (raw, class) = guard.into_raw();
+        let raw = self.inner.wait_while(raw, condition);
+        OrderedMutexGuard::from_raw(raw, class)
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}

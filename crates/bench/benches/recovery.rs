@@ -37,7 +37,7 @@ fn bench_directory_recover(c: &mut Criterion) {
 fn bench_redo_plan(c: &mut Criterion) {
     c.bench_function("wal_redo_plan_20k_records", |b| {
         let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
-        let writer = WalWriter::new(Arc::clone(&storage));
+        let writer = WalWriter::new(Arc::clone(&storage)).unwrap();
         for t in 0..1_000u64 {
             writer.append(&LogRecord::Begin { txn: TxnId(t) });
             for u in 0..18u32 {

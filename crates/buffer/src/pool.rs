@@ -34,8 +34,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use face_analysis::classes::{BUFFER_MAP, BUFFER_STRUCTURAL, PAGE_LATCH};
+use face_analysis::{witness, OrderedMutex, OrderedRwLock};
 use face_pagestore::{Counter, Lsn, Page, PageId};
-use parking_lot::{Mutex, RwLock};
 
 use crate::flags::{AtomicFrameFlags, FrameFlags};
 use crate::lru::LruList;
@@ -148,7 +149,7 @@ struct FrameCell {
     /// The page latch. Readers share it; updaters and the evictor hold it
     /// exclusively (WAL appends happen under it, keeping per-page log order
     /// consistent with apply order).
-    page: RwLock<Page>,
+    page: OrderedRwLock<Page>,
     flags: AtomicFrameFlags,
     /// Reference bit for the second-chance sweep: set by hits, cleared (one
     /// rescue each) by the evictor.
@@ -161,7 +162,7 @@ struct FrameCell {
 impl FrameCell {
     fn new(page: Page, flags: FrameFlags) -> Self {
         Self {
-            page: RwLock::new(page),
+            page: OrderedRwLock::new(PAGE_LATCH, page),
             flags: AtomicFrameFlags::new(flags),
             referenced: AtomicBool::new(false),
             evicted: AtomicBool::new(false),
@@ -178,8 +179,8 @@ struct ShardCore {
 struct Shard {
     capacity: usize,
     /// The read-optimized mapping; see the module docs for the lock order.
-    map: RwLock<HashMap<PageId, Arc<FrameCell>>>,
-    core: Mutex<ShardCore>,
+    map: OrderedRwLock<HashMap<PageId, Arc<FrameCell>>>,
+    core: OrderedMutex<ShardCore>,
 }
 
 /// A fixed-capacity, sharded DRAM buffer pool with per-shard replacement
@@ -221,10 +222,13 @@ impl<L: LowerTier> BufferPool<L> {
                 let cap = base + usize::from(i < rem);
                 Shard {
                     capacity: cap,
-                    map: RwLock::new(HashMap::with_capacity(cap)),
-                    core: Mutex::new(ShardCore {
-                        lru: LruList::with_capacity(cap),
-                    }),
+                    map: OrderedRwLock::new(BUFFER_MAP, HashMap::with_capacity(cap)),
+                    core: OrderedMutex::new(
+                        BUFFER_STRUCTURAL,
+                        ShardCore {
+                            lru: LruList::with_capacity(cap),
+                        },
+                    ),
                 }
             })
             .collect();
@@ -431,6 +435,14 @@ impl<L: LowerTier> BufferPool<L> {
         exclude: usize,
         filter: &dyn Fn(PageId, Lsn) -> bool,
     ) -> Option<(Page, bool, bool)> {
+        // The lower tier invokes this pull while holding its own (higher-
+        // ranked) locks, so the donor shard's map/latch acquisitions below
+        // run against the documented order. They are deadlock-free by
+        // construction: the donor's structural mutex is only ever
+        // `try_lock`ed, and holding it excludes every exclusive path on that
+        // shard, so nothing the donor side holds can be waiting on us.
+        let _region =
+            witness::nested_region("buffer: GSC donor-shard probe under the cache shard lock");
         for (i, shard) in self.shards.iter().enumerate() {
             if i == exclude {
                 continue;

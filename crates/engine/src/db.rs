@@ -37,6 +37,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use face_analysis::classes::TXN_STRIPE;
+use face_analysis::OrderedMutex;
 use face_buffer::BufferPool;
 use face_cache::{
     CachePolicyKind, CacheRecoveryInfo, CacheStats, Counter, FlashStore, MemFlashStore,
@@ -47,10 +49,10 @@ use face_wal::{
     recovery::build_redo_plan, CheckpointData, FileLogStorage, InMemoryLogStorage, LogRecord,
     LogStorage, Lsn, TxnId, WalWriter,
 };
-use parking_lot::Mutex;
 
 use crate::config::{EngineConfig, StorageBackend};
 use crate::error::{EngineError, EngineResult};
+use crate::iocheck::{CheckedFlashStore, CheckedLogStorage, CheckedPageStore};
 use crate::latency::{LatencyFlashStore, LatencyLogStorage, LatencyPageStore};
 use crate::table::{self, PutOutcome, VALUE_CAPACITY};
 use crate::tier::{FaceTier, TierStats};
@@ -161,7 +163,7 @@ pub struct Database {
     log_storage: Arc<dyn LogStorage>,
     disk: Arc<dyn PageStore>,
     next_txn: AtomicU64,
-    stripes: Vec<Mutex<TxnStripe>>,
+    stripes: Vec<OrderedMutex<TxnStripe>>,
     crashed: AtomicBool,
     stats: DbStatCounters,
 }
@@ -186,15 +188,22 @@ impl Database {
             disk = Arc::new(LatencyPageStore::new(disk, latency));
             log_storage = Arc::new(LatencyLogStorage::new(log_storage, latency));
         }
+        // With the witness compiled in, every physical device op is reported
+        // to the I/O-under-lock detector (see `crate::iocheck`).
+        if face_analysis::enabled() {
+            disk = Arc::new(CheckedPageStore::new(disk));
+            log_storage = Arc::new(CheckedLogStorage::new(log_storage));
+        }
         // FaCE's group writes run through the asynchronous destage pipeline:
         // the policy hands filled groups back instead of writing them under
         // the shard lock. (LC/TAC have no group writes; the flag is inert
         // for them.)
         let mut cache_config = config.cache_config.clone();
-        if matches!(
+        let face_family = matches!(
             config.cache_policy,
             CachePolicyKind::Face | CachePolicyKind::FaceGr | CachePolicyKind::FaceGsc
-        ) {
+        );
+        if face_family {
             cache_config.defer_group_writes = true;
         }
         // The read-side counterpart: flash fetches pin under the shard lock
@@ -205,17 +214,23 @@ impl Database {
             cache_config,
             config.cache_shards,
             |shard_capacity| {
-                let store: Arc<dyn FlashStore> = match &config.flash_store_factory {
+                let mut store: Arc<dyn FlashStore> = match &config.flash_store_factory {
                     Some(factory) => (factory.0)(shard_capacity),
                     None => Arc::new(MemFlashStore::new(shard_capacity)),
                 };
-                match config.device_latency {
-                    Some(latency) => Arc::new(LatencyFlashStore::new(store, latency)),
-                    None => store,
+                if let Some(latency) = config.device_latency {
+                    store = Arc::new(LatencyFlashStore::new(store, latency));
                 }
+                // FaCE's contract is that foreground paths never touch flash
+                // under the shard lock; LC/TAC stage synchronously by design,
+                // so only the FaCE-family policies get the detector.
+                if face_analysis::enabled() && face_family {
+                    store = Arc::new(CheckedFlashStore::new(store));
+                }
+                store
             },
         );
-        let wal = Arc::new(WalWriter::new(Arc::clone(&log_storage)));
+        let wal = Arc::new(WalWriter::new(Arc::clone(&log_storage))?);
         // The tier carries the write-ahead guard: no dirty page reaches the
         // flash cache or the disk before its log records are durable, so a
         // recovered flash directory never outruns the durable log.
@@ -235,14 +250,16 @@ impl Database {
             log_storage,
             disk,
             next_txn: AtomicU64::new(1),
-            stripes: (0..TXN_STRIPES).map(|_| Mutex::default()).collect(),
+            stripes: (0..TXN_STRIPES)
+                .map(|_| OrderedMutex::new(TXN_STRIPE, TxnStripe::default()))
+                .collect(),
             crashed: AtomicBool::new(false),
             stats: DbStatCounters::default(),
         };
         db.ensure_table_allocated()?;
         // A reopened database may have committed work in the log that never
         // reached the data files; replay it.
-        if !db.log_storage.is_empty() {
+        if !db.log_storage.is_empty()? {
             db.run_redo()?;
         }
         Ok(db)
@@ -261,7 +278,7 @@ impl Database {
         PageId::new(TABLE_FILE, (h % self.config.table_buckets as u64) as u32)
     }
 
-    fn stripe(&self, txn: TxnId) -> &Mutex<TxnStripe> {
+    fn stripe(&self, txn: TxnId) -> &OrderedMutex<TxnStripe> {
         &self.stripes[(txn.0 as usize) % TXN_STRIPES]
     }
 

@@ -128,7 +128,7 @@ impl LogStorage for LatencyLogStorage {
         self.inner.read_at(offset, buf)
     }
 
-    fn len(&self) -> u64 {
+    fn len(&self) -> WalResult<u64> {
         self.inner.len()
     }
 
@@ -230,11 +230,11 @@ mod tests {
         let log = LatencyLogStorage::new(Arc::new(InMemoryLogStorage::new()), latency);
         log.append(b"abc").unwrap();
         log.sync().unwrap();
-        assert_eq!(log.len(), 3);
+        assert_eq!(log.len().unwrap(), 3);
         let mut buf = [0u8; 3];
         assert_eq!(log.read_at(0, &mut buf).unwrap(), 3);
         log.truncate(1).unwrap();
-        assert_eq!(log.len(), 1);
+        assert_eq!(log.len().unwrap(), 1);
 
         let flash = LatencyFlashStore::new(Arc::new(face_cache::MemFlashStore::new(4)), latency);
         assert_eq!(flash.capacity(), 4);

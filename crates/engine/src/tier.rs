@@ -56,6 +56,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use face_analysis::classes::WASH_TABLE;
+use face_analysis::OrderedRwLock;
 use face_buffer::{
     FetchOutcome, FetchSource, LowerTier, TierError, TierResult, VictimPull, WriteBackOutcome,
     WriteBackReason,
@@ -66,7 +68,6 @@ use face_cache::{
 };
 use face_pagestore::{Lsn, Page, PageId, PageStore};
 use face_wal::WalWriter;
-use parking_lot::RwLock;
 
 /// Counters for the tier's physical activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -120,7 +121,7 @@ impl TierStatCounters {
 /// Pages whose destage disk write is queued or in flight, readable until the
 /// write lands. Keyed by page id; the LSN disambiguates versions so a
 /// completed older write never evicts a newer queued one.
-type WashTable = RwLock<HashMap<PageId, StagedPage>>;
+type WashTable = OrderedRwLock<HashMap<PageId, StagedPage>>;
 
 /// The one place a staged page's bytes reach the disk — shared by the
 /// synchronous path ([`FaceTier::write_staged_to_disk`]) and the destage
@@ -219,7 +220,7 @@ impl FaceTier {
             wal: None,
             stats: Arc::new(TierStatCounters::default()),
             destager: None,
-            washing: Arc::new(RwLock::new(HashMap::new())),
+            washing: Arc::new(OrderedRwLock::new(WASH_TABLE, HashMap::new())),
         }
     }
 
@@ -895,7 +896,7 @@ mod tests {
             Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
         });
         let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
-        let wal = Arc::new(WalWriter::new(Arc::clone(&storage)));
+        let wal = Arc::new(WalWriter::new(Arc::clone(&storage)).unwrap());
         let tier = FaceTier::new(disk as Arc<dyn PageStore>, cache).with_wal(Arc::clone(&wal));
 
         let id = tier.allocate(0).unwrap();

@@ -19,8 +19,9 @@
 
 use std::sync::Arc;
 
+use face_analysis::classes::CACHE_SHARD;
+use face_analysis::{witness, OrderedRwLock};
 use face_pagestore::{Counter, Lsn, PageId};
-use parking_lot::RwLock;
 
 use crate::destage::PendingGroupWrite;
 use crate::io::IoLog;
@@ -42,7 +43,7 @@ use crate::StagedPage;
 /// stalls the other threads hashing to the shard (the read-side counterpart
 /// of the deferred group writes).
 pub struct ShardedFlashCache {
-    shards: Vec<RwLock<Box<dyn FlashCache>>>,
+    shards: Vec<OrderedRwLock<Box<dyn FlashCache>>>,
     stores: Vec<Arc<dyn FlashStore>>,
     /// Per-shard occupancy mirrors, refreshed after every mutating shard
     /// operation, so [`ShardedFlashCache::len`] never sweeps the shard locks
@@ -105,7 +106,7 @@ impl ShardedFlashCache {
             name = cache.policy_name();
             stores.push(store);
             configs.push(shard_config);
-            built.push(RwLock::new(cache));
+            built.push(OrderedRwLock::new(CACHE_SHARD, cache));
         }
         let persists = built[0].read().persists_dirty_pages();
         Some(Self {
@@ -191,6 +192,10 @@ impl ShardedFlashCache {
     pub fn fetch(&self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
         let shard = self.shard_of(page);
         if !self.lock_light {
+            // The classic read-under-lock path is the A/B baseline the
+            // lock-light experiments compare against: its device read under
+            // the shard lock is the measured cost, not an accident.
+            let _allow = witness::allow_device_io("cache: classic read-under-lock fetch");
             return self.shards[shard].write().fetch(page, io);
         }
         let store = &self.stores[shard];
@@ -330,6 +335,10 @@ impl ShardedFlashCache {
 
     /// Flush buffered batches and metadata on every shard.
     pub fn sync(&self, io: &mut IoLog) {
+        // Checkpoint/shutdown path: pending group writes and metadata are
+        // flushed inline, under the shard lock, by design (durability over
+        // latency here).
+        let _allow = witness::allow_device_io("cache: sync flushes groups inline");
         for shard in &self.shards {
             shard.write().sync(io);
         }
@@ -337,6 +346,7 @@ impl ShardedFlashCache {
 
     /// Drain dirty pages for a checkpoint from every shard (LC).
     pub fn drain_dirty_for_checkpoint(&self, io: &mut IoLog) -> Vec<StagedPage> {
+        let _allow = witness::allow_device_io("cache: LC checkpoint drain reads slots");
         let mut out = Vec::new();
         for shard in &self.shards {
             out.extend(shard.write().drain_dirty_for_checkpoint(io));
@@ -348,6 +358,8 @@ impl ShardedFlashCache {
     /// [`FlashCache::evacuate_dirty`]): the caller must write them to disk
     /// before wiping the cache with [`ShardedFlashCache::reset_cold`].
     pub fn evacuate_dirty(&self, io: &mut IoLog) -> Vec<StagedPage> {
+        // Admin/quiesced operation: reads every dirty slot under the lock.
+        let _allow = witness::allow_device_io("cache: quiesced dirty evacuation");
         let mut out = Vec::new();
         for shard in &self.shards {
             out.extend(shard.write().evacuate_dirty(io));
@@ -361,6 +373,9 @@ impl ShardedFlashCache {
     /// (the durable end of the WAL): versions newer than it are discarded.
     /// Callers without a WAL pass `Lsn(u64::MAX)`.
     pub fn crash_and_recover(&self, durable_lsn: Lsn, io: &mut IoLog) -> CacheRecoveryInfo {
+        // Restart path: the world is quiesced, metadata scans and slot reads
+        // run under the shard lock by construction.
+        let _allow = witness::allow_device_io("cache: quiesced crash-and-recover");
         let mut merged = CacheRecoveryInfo {
             survived: true,
             ..CacheRecoveryInfo::default()
@@ -379,6 +394,7 @@ impl ShardedFlashCache {
     /// instances are built. Models restarting with a wiped or replaced cache
     /// device — the baseline the warm-recovery experiments compare against.
     pub fn reset_cold(&self) {
+        let _allow = witness::allow_device_io("cache: quiesced cold reset wipes stores");
         for (i, ((shard, store), config)) in self
             .shards
             .iter()

@@ -49,8 +49,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use face_analysis::classes::{DESTAGE_QUEUE, DIAG};
+use face_analysis::{OrderedCondvar, OrderedMutex};
 use face_pagestore::{Lsn, PageId};
-use parking_lot::{Condvar, Mutex};
 
 use crate::io::IoLog;
 use crate::meta::JournalEntry;
@@ -225,11 +226,11 @@ struct QueueState {
 }
 
 struct WorkerQueue {
-    state: Mutex<QueueState>,
+    state: OrderedMutex<QueueState>,
     /// Signalled when a job is pushed or shutdown is requested.
-    work_ready: Condvar,
+    work_ready: OrderedCondvar,
     /// Signalled when the queue shrinks or goes idle.
-    space_ready: Condvar,
+    space_ready: OrderedCondvar,
 }
 
 struct Shared {
@@ -242,7 +243,7 @@ struct Shared {
     /// pre-crash job are discarded.
     generation: AtomicU64,
     shutdown: AtomicBool,
-    last_error: Mutex<Option<String>>,
+    last_error: OrderedMutex<Option<String>>,
 }
 
 /// A fixed pool of background destager threads with bounded per-worker
@@ -260,12 +261,15 @@ impl Destager {
         let shared = Arc::new(Shared {
             queues: (0..threads)
                 .map(|_| WorkerQueue {
-                    state: Mutex::new(QueueState {
-                        jobs: VecDeque::new(),
-                        busy: false,
-                    }),
-                    work_ready: Condvar::new(),
-                    space_ready: Condvar::new(),
+                    state: OrderedMutex::new(
+                        DESTAGE_QUEUE,
+                        QueueState {
+                            jobs: VecDeque::new(),
+                            busy: false,
+                        },
+                    ),
+                    work_ready: OrderedCondvar::new(),
+                    space_ready: OrderedCondvar::new(),
                 })
                 .collect(),
             queue_depth: config.queue_depth.max(1),
@@ -273,7 +277,7 @@ impl Destager {
             stats: DestageStatCounters::default(),
             generation: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            last_error: Mutex::new(None),
+            last_error: OrderedMutex::new(DIAG, None),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -610,7 +614,7 @@ mod tests {
     #[test]
     fn same_shard_jobs_execute_in_fifo_order() {
         struct OrderSink {
-            seen: Mutex<Vec<u64>>,
+            seen: OrderedMutex<Vec<u64>>,
         }
         impl DestageSink for OrderSink {
             fn apply_group(&self, write: &PendingGroupWrite, _io: &mut IoLog) {
@@ -627,7 +631,7 @@ mod tests {
             fn publish_io(&self, _io: IoLog) {}
         }
         let sink = Arc::new(OrderSink {
-            seen: Mutex::new(Vec::new()),
+            seen: OrderedMutex::new(DIAG, Vec::new()),
         });
         let d = Destager::new(
             DestageConfig {

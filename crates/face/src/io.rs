@@ -216,7 +216,7 @@ impl IoLog {
 /// to begin with.
 #[derive(Debug)]
 pub struct StripedIoLog {
-    stripes: Vec<parking_lot::Mutex<IoLog>>,
+    stripes: Vec<face_analysis::OrderedMutex<IoLog>>,
 }
 
 impl StripedIoLog {
@@ -224,12 +224,17 @@ impl StripedIoLog {
     pub fn new(n: usize) -> Self {
         Self {
             stripes: (0..n.max(1))
-                .map(|_| parking_lot::Mutex::new(IoLog::new()))
+                .map(|_| {
+                    face_analysis::OrderedMutex::new(
+                        face_analysis::classes::IO_STRIPE,
+                        IoLog::new(),
+                    )
+                })
                 .collect(),
         }
     }
 
-    fn stripe(&self) -> &parking_lot::Mutex<IoLog> {
+    fn stripe(&self) -> &face_analysis::OrderedMutex<IoLog> {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         std::thread::current().id().hash(&mut h);

@@ -461,7 +461,17 @@ impl MvFifoCache {
                 let slot_data = |cache: &Self, pending: Option<Arc<Page>>| {
                     pending
                         .or_else(|| cache.inflight_data.get(&slot).map(|(_, f)| Arc::clone(f)))
-                        .or_else(|| cache.store.read_slot(slot).map(Arc::new))
+                        .or_else(|| {
+                            // Residual under-lock flash read: the victim's
+                            // bytes are no longer RAM-resident (its group
+                            // write completed long ago), so the dequeue has
+                            // to fetch them from the device while the shard
+                            // lock is held. Acknowledged, counted, rare.
+                            let _allow = face_analysis::witness::allow_device_io(
+                                "mvfifo: dequeue reads a non-resident victim's slot",
+                            );
+                            cache.store.read_slot(slot).map(Arc::new)
+                        })
                 };
                 if self.config.second_chance && meta.referenced {
                     let data = slot_data(self, pending_data);

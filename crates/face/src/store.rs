@@ -5,8 +5,9 @@
 //! the [`NullFlashStore`] holds nothing and is used in metadata-only
 //! simulation mode.
 
+use face_analysis::classes::FLASH_SLOTS;
+use face_analysis::OrderedRwLock;
 use face_pagestore::{Page, PageId};
-use parking_lot::RwLock;
 
 /// Storage for flash cache slots.
 pub trait FlashStore: Send + Sync {
@@ -71,7 +72,7 @@ pub trait FlashStore: Send + Sync {
 /// crash drops the DRAM buffer and the in-memory metadata directory but keeps
 /// the `MemFlashStore` contents, exactly like a real non-volatile SSD.
 pub struct MemFlashStore {
-    slots: RwLock<Vec<Option<Box<Page>>>>,
+    slots: OrderedRwLock<Vec<Option<Box<Page>>>>,
 }
 
 impl MemFlashStore {
@@ -80,7 +81,7 @@ impl MemFlashStore {
         let mut slots = Vec::with_capacity(capacity);
         slots.resize_with(capacity, || None);
         Self {
-            slots: RwLock::new(slots),
+            slots: OrderedRwLock::new(FLASH_SLOTS, slots),
         }
     }
 
@@ -132,7 +133,7 @@ impl FlashStore for MemFlashStore {
 /// caches cost only a few bytes per slot while recovery experiments still
 /// exercise the paper's §4.2 header-scan path.
 pub struct HeaderFlashStore {
-    headers: RwLock<Vec<Option<(PageId, face_pagestore::Lsn)>>>,
+    headers: OrderedRwLock<Vec<Option<(PageId, face_pagestore::Lsn)>>>,
 }
 
 impl HeaderFlashStore {
@@ -141,7 +142,7 @@ impl HeaderFlashStore {
         let mut headers = Vec::with_capacity(capacity);
         headers.resize_with(capacity, || None);
         Self {
-            headers: RwLock::new(headers),
+            headers: OrderedRwLock::new(FLASH_SLOTS, headers),
         }
     }
 }
@@ -191,7 +192,9 @@ impl FlashStore for HeaderFlashStore {
     }
 }
 
-/// A boolean gate that parks callers until it opens.
+/// A boolean gate that parks callers until it opens. Poisoning is erased
+/// (a panicking holder cannot corrupt a `bool`), so no path here can panic
+/// a second thread.
 struct Gate {
     open: std::sync::Mutex<bool>,
     cv: std::sync::Condvar,
@@ -205,18 +208,27 @@ impl Gate {
         }
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, bool> {
+        self.open
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn release(&self) {
-        *self.open.lock().unwrap() = true;
+        *self.lock() = true;
         self.cv.notify_all();
     }
 
     fn hold(&self) {
-        *self.open.lock().unwrap() = false;
+        *self.lock() = false;
     }
 
     fn wait(&self) {
-        let guard = self.open.lock().unwrap();
-        let _guard = self.cv.wait_while(guard, |open| !*open).unwrap();
+        let guard = self.lock();
+        let _guard = self
+            .cv
+            .wait_while(guard, |open| !*open)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
     }
 }
 

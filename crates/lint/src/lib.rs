@@ -1,0 +1,503 @@
+//! `face-lint`: a dependency-free source pass enforcing the workspace's
+//! concurrency and hygiene contract.
+//!
+//! Rules (all scanning `crates/**/*.rs` and `src/**/*.rs`, never `vendor/`):
+//!
+//! - `raw-lock` — raw `parking_lot` usage outside `face-analysis`. Every
+//!   lock must go through `OrderedMutex`/`OrderedRwLock` so the lockdep
+//!   witness sees it.
+//! - `sleep` — `thread::sleep` outside the device-latency emulators
+//!   (`face-iosim`, `face_engine::latency`) and test code. Library code must
+//!   never block on wall-clock time.
+//! - `print` — `println!`/`eprintln!`/`print!`/`dbg!` in library crates
+//!   (the bench/report binaries and test code are exempt).
+//! - `unwrap-device` — `.unwrap()`/`.expect(` on the device-path files
+//!   (flash store, WAL storage/writer, page store) outside `#[cfg(test)]`
+//!   scopes: device failures must surface as typed errors.
+//!
+//! `#[cfg(test)]` scopes are detected with a brace-depth scanner; `tests/`,
+//! `benches/`, `examples/` and `src/bin/` trees are exempt wholesale.
+//!
+//! The separate docs check ([`check_docs`]) renders the canonical lock-order
+//! block from `face_analysis::classes` and rejects drift between it and the
+//! marked regions in README.md and ROADMAP.md.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (`raw-lock`, `sleep`, `print`, `unwrap-device`,
+    /// `docs-drift`).
+    pub rule: &'static str,
+    /// File the finding is in, relative to the scanned root.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// The offending source line or a description.
+    pub text: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule,
+            self.text.trim()
+        )
+    }
+}
+
+/// Files whose non-test `.unwrap()`/`.expect(` calls are device-path debt.
+const DEVICE_PATH_FILES: &[&str] = &[
+    "crates/face/src/store.rs",
+    "crates/wal/src/storage.rs",
+    "crates/wal/src/writer.rs",
+    "crates/pagestore/src/file_store.rs",
+    "crates/pagestore/src/mem_store.rs",
+];
+
+/// The begin/end markers bracketing the generated lock-order block in docs.
+pub const DOC_BEGIN: &str = "<!-- lock-order:begin -->";
+/// See [`DOC_BEGIN`].
+pub const DOC_END: &str = "<!-- lock-order:end -->";
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Per-line view of a source file with `#[cfg(test)]` scope tracking and
+/// comment stripping.
+struct ScopedLine<'a> {
+    /// 1-based line number.
+    number: usize,
+    /// The raw line (for display).
+    raw: &'a str,
+    /// The line with comments removed (for matching).
+    code: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    in_test_scope: bool,
+}
+
+/// Walk `source` producing comment-stripped lines annotated with whether
+/// they are inside a `#[cfg(test)]` scope.
+fn scoped_lines(source: &str) -> Vec<ScopedLine<'_>> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    // Depths at which a #[cfg(test)] item's brace opened.
+    let mut test_depths: Vec<i64> = Vec::new();
+    let mut pending_cfg_test = false;
+    let mut in_block_comment = false;
+    let mut in_string = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let in_test_at_start = !test_depths.is_empty();
+        let mut code = String::with_capacity(raw.len());
+        let mut chars = raw.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_block_comment {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    in_block_comment = false;
+                }
+                continue;
+            }
+            if in_string {
+                code.push(c);
+                if c == '\\' {
+                    // Skip the escaped character.
+                    if let Some(e) = chars.next() {
+                        code.push(e);
+                    }
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '/' if chars.peek() == Some(&'/') => break, // line comment
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    in_block_comment = true;
+                }
+                '"' => {
+                    in_string = true;
+                    code.push(c);
+                }
+                '\'' => {
+                    // Char literal (or lifetime). Consume a possible escaped
+                    // or plain char followed by a closing quote so braces in
+                    // char literals do not confuse the depth counter.
+                    code.push(c);
+                    match chars.peek() {
+                        Some('\\') => {
+                            chars.next();
+                            chars.next();
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                            }
+                        }
+                        Some(&n) if n != '\'' => {
+                            chars.next();
+                            if chars.peek() == Some(&'\'') {
+                                chars.next(); // closing quote: char literal
+                            }
+                            // Otherwise a lifetime: nothing more to consume.
+                        }
+                        _ => {}
+                    }
+                }
+                '{' => {
+                    depth += 1;
+                    if pending_cfg_test {
+                        test_depths.push(depth);
+                        pending_cfg_test = false;
+                    }
+                    code.push(c);
+                }
+                '}' => {
+                    if test_depths.last() == Some(&depth) {
+                        test_depths.pop();
+                    }
+                    depth -= 1;
+                    code.push(c);
+                }
+                _ => code.push(c),
+            }
+        }
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && code.contains(';') && !code.contains('{') {
+            // `#[cfg(test)] use …;` — no scope to attach to.
+            pending_cfg_test = false;
+        }
+        out.push(ScopedLine {
+            number: idx + 1,
+            raw,
+            code,
+            in_test_scope: in_test_at_start || !test_depths.is_empty(),
+        });
+    }
+    out
+}
+
+fn is_exempt_tree(rel: &str) -> bool {
+    rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/src/bin/")
+        || rel.ends_with("/main.rs")
+        || rel.ends_with("/build.rs")
+}
+
+/// Run the source rules over `root` (the workspace root). Returns findings;
+/// an empty vector means the tree is clean.
+pub fn scan_sources(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    collect_rs_files(&root.join("src"), &mut files);
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The lint's own sources and tests mention every forbidden pattern
+        // as string literals and fixtures; the witness crate owns the raw
+        // primitives by design.
+        if rel.starts_with("crates/lint/") {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let exempt_tree = is_exempt_tree(&rel);
+        let is_device_file = DEVICE_PATH_FILES.contains(&rel.as_str());
+        for line in scoped_lines(&source) {
+            let code = line.code.as_str();
+            if code.contains("parking_lot") && !rel.starts_with("crates/analysis/") {
+                findings.push(Finding {
+                    rule: "raw-lock",
+                    file: rel.clone(),
+                    line: line.number,
+                    text: line.raw.to_string(),
+                });
+            }
+            if !line.in_test_scope && !exempt_tree {
+                if code.contains("thread::sleep")
+                    && !rel.starts_with("crates/iosim/")
+                    && rel != "crates/engine/src/latency.rs"
+                {
+                    findings.push(Finding {
+                        rule: "sleep",
+                        file: rel.clone(),
+                        line: line.number,
+                        text: line.raw.to_string(),
+                    });
+                }
+                if (code.contains("println!")
+                    || code.contains("eprintln!")
+                    || code.contains("print!")
+                    || code.contains("dbg!"))
+                    && !rel.starts_with("crates/bench/")
+                {
+                    findings.push(Finding {
+                        rule: "print",
+                        file: rel.clone(),
+                        line: line.number,
+                        text: line.raw.to_string(),
+                    });
+                }
+                if is_device_file && (code.contains(".unwrap()") || code.contains(".expect(")) {
+                    findings.push(Finding {
+                        rule: "unwrap-device",
+                        file: rel.clone(),
+                        line: line.number,
+                        text: line.raw.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn extract_doc_block(content: &str) -> Option<String> {
+    let begin = content.find(DOC_BEGIN)?;
+    let end = content.find(DOC_END)?;
+    let inner = &content[begin + DOC_BEGIN.len()..end];
+    Some(inner.trim().to_string())
+}
+
+/// Check that README.md and ROADMAP.md carry the canonical lock-order block
+/// (rendered from the `face-analysis` class registry) between the
+/// `lock-order:begin`/`lock-order:end` markers.
+pub fn check_docs(root: &Path) -> Vec<Finding> {
+    let expected = face_analysis::classes::lock_order_doc();
+    let expected = expected.trim();
+    let mut findings = Vec::new();
+    for doc in ["README.md", "ROADMAP.md"] {
+        let path = root.join(doc);
+        let Ok(content) = fs::read_to_string(&path) else {
+            findings.push(Finding {
+                rule: "docs-drift",
+                file: doc.to_string(),
+                line: 0,
+                text: "file missing".to_string(),
+            });
+            continue;
+        };
+        match extract_doc_block(&content) {
+            None => findings.push(Finding {
+                rule: "docs-drift",
+                file: doc.to_string(),
+                line: 0,
+                text: format!("missing `{DOC_BEGIN}` … `{DOC_END}` block"),
+            }),
+            Some(actual) if actual != expected => {
+                // Report the first differing line to make the drift findable.
+                let detail = expected
+                    .lines()
+                    .zip(actual.lines().chain(std::iter::repeat("<missing>")))
+                    .find(|(e, a)| e != a)
+                    .map(|(e, a)| format!("expected `{e}`, found `{a}`"))
+                    .unwrap_or_else(|| "block has extra trailing lines".to_string());
+                findings.push(Finding {
+                    rule: "docs-drift",
+                    file: doc.to_string(),
+                    line: 0,
+                    text: format!(
+                        "lock-order block drifted from face_analysis::classes ({detail}); \
+                         regenerate with `cargo run -p face-lint -- --print-docs`"
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf()
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("face_lint_{tag}_{}_{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn write(root: &Path, rel: &str, content: &str) {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, content).unwrap();
+    }
+
+    #[test]
+    fn the_workspace_is_clean() {
+        let findings = scan_sources(&repo_root());
+        assert!(
+            findings.is_empty(),
+            "workspace lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn the_docs_match_the_registry() {
+        let findings = check_docs(&repo_root());
+        assert!(
+            findings.is_empty(),
+            "docs drift:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn seeded_violations_fail_the_scan() {
+        let root = temp_root("seeded");
+        write(
+            &root,
+            "crates/foo/src/lib.rs",
+            "use parking_lot::Mutex;\n\
+             pub fn nap() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n\
+             pub fn shout() { println!(\"loud\"); }\n",
+        );
+        write(
+            &root,
+            "crates/face/src/store.rs",
+            "pub fn read() { std::fs::read(\"x\").unwrap(); }\n",
+        );
+        let findings = scan_sources(&root);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"raw-lock"), "{findings:?}");
+        assert!(rules.contains(&"sleep"), "{findings:?}");
+        assert!(rules.contains(&"print"), "{findings:?}");
+        assert!(rules.contains(&"unwrap-device"), "{findings:?}");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn cfg_test_scopes_and_exempt_trees_are_allowed() {
+        let root = temp_root("clean");
+        write(
+            &root,
+            "crates/face/src/store.rs",
+            "pub fn fine() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \u{20}   #[test]\n\
+             \u{20}   fn t() { std::fs::read(\"x\").unwrap(); std::thread::sleep(d); println!(\"ok\"); }\n\
+             }\n",
+        );
+        write(
+            &root,
+            "crates/engine/tests/gate.rs",
+            "fn t() { std::thread::sleep(d); println!(\"ok\"); }\n",
+        );
+        write(
+            &root,
+            "crates/iosim/src/lib.rs",
+            "pub fn tick() { std::thread::sleep(d); }\n",
+        );
+        write(
+            &root,
+            "crates/bench/src/report.rs",
+            "pub fn emit() { println!(\"row\"); }\n",
+        );
+        write(
+            &root,
+            "crates/analysis/src/ordered.rs",
+            "use parking_lot::Mutex;\n",
+        );
+        let findings = scan_sources(&root);
+        assert!(
+            findings.is_empty(),
+            "{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn comments_do_not_trip_rules() {
+        let root = temp_root("comments");
+        write(
+            &root,
+            "crates/foo/src/lib.rs",
+            "// parking_lot is wrapped by face-analysis; println! is banned.\n\
+             /* thread::sleep(…) would be a bug here */\n\
+             pub fn quiet() {}\n",
+        );
+        let findings = scan_sources(&root);
+        assert!(findings.is_empty(), "{findings:?}");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn docs_drift_is_detected() {
+        let root = temp_root("docs");
+        let good = format!(
+            "# Title\n\n{}\n{}\n{}\n",
+            DOC_BEGIN,
+            face_analysis::classes::lock_order_doc().trim(),
+            DOC_END
+        );
+        write(&root, "README.md", &good);
+        write(&root, "ROADMAP.md", &good);
+        assert!(check_docs(&root).is_empty());
+
+        let stale = format!("# Title\n\n{DOC_BEGIN}\nsome stale order\n{DOC_END}\n");
+        write(&root, "README.md", &stale);
+        let findings = check_docs(&root);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "docs-drift");
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

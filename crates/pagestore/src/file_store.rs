@@ -12,7 +12,8 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use parking_lot::Mutex;
+use face_analysis::classes::PAGE_STORE;
+use face_analysis::OrderedMutex;
 
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::store::{validate_read, PageStore, StoreError, StoreResult};
@@ -20,7 +21,7 @@ use crate::store::{validate_read, PageStore, StoreError, StoreResult};
 /// A directory of `file_<n>.db` files, each a dense array of 4 KiB pages.
 pub struct FilePageStore {
     dir: PathBuf,
-    files: Mutex<HashMap<u32, File>>,
+    files: OrderedMutex<HashMap<u32, File>>,
 }
 
 impl FilePageStore {
@@ -30,7 +31,7 @@ impl FilePageStore {
         fs::create_dir_all(&dir)?;
         Ok(Self {
             dir,
-            files: Mutex::new(HashMap::new()),
+            files: OrderedMutex::new(PAGE_STORE, HashMap::new()),
         })
     }
 

@@ -3,7 +3,8 @@
 
 use std::collections::HashMap;
 
-use parking_lot::RwLock;
+use face_analysis::classes::PAGE_STORE;
+use face_analysis::OrderedRwLock;
 
 use crate::page::{Page, PageId};
 use crate::store::{validate_read, PageStore, StoreError, StoreResult};
@@ -16,15 +17,22 @@ struct Inner {
 }
 
 /// A heap-allocated page store.
-#[derive(Default)]
 pub struct InMemoryPageStore {
-    inner: RwLock<Inner>,
+    inner: OrderedRwLock<Inner>,
+}
+
+impl Default for InMemoryPageStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl InMemoryPageStore {
     /// An empty store.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: OrderedRwLock::new(PAGE_STORE, Inner::default()),
+        }
     }
 
     /// Number of pages that have actually been written (not just allocated).

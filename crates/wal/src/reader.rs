@@ -55,7 +55,7 @@ impl LogReader {
     /// Read the next record, or `Ok(None)` at end of log (including a torn
     /// tail).
     pub fn next_record(&mut self) -> WalResult<Option<LoggedRecord>> {
-        let log_len = self.storage.len();
+        let log_len = self.storage.len()?;
         if self.pos >= log_len {
             return Ok(None);
         }
@@ -118,7 +118,7 @@ mod tests {
 
     fn setup() -> (Arc<dyn LogStorage>, Vec<Lsn>) {
         let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
-        let w = WalWriter::new(Arc::clone(&storage));
+        let w = WalWriter::new(Arc::clone(&storage)).unwrap();
         let lsns = vec![
             w.append(&LogRecord::Begin { txn: TxnId(1) }),
             w.append(&LogRecord::Update {
@@ -181,7 +181,7 @@ mod tests {
         let (storage, lsns) = setup();
         // Flip a byte inside the payload of the middle record. Do it by
         // rewriting the whole stream (storage has no random write; rebuild).
-        let mut all = vec![0u8; storage.len() as usize];
+        let mut all = vec![0u8; storage.len().unwrap() as usize];
         storage.read_at(0, &mut all).unwrap();
         all[(lsns[1].0 + FRAME_HEADER_SIZE + 2) as usize] ^= 0xFF;
         let corrupted = InMemoryLogStorage::new();

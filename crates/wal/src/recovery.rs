@@ -157,7 +157,7 @@ mod tests {
 
     fn storage_with<F: FnOnce(&WalWriter)>(f: F) -> Arc<dyn LogStorage> {
         let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
-        let w = WalWriter::new(Arc::clone(&storage));
+        let w = WalWriter::new(Arc::clone(&storage)).unwrap();
         f(&w);
         w.force_all().unwrap();
         storage
@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn redo_starts_at_checkpoint_redo_lsn() {
         let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
-        let w = WalWriter::new(Arc::clone(&storage));
+        let w = WalWriter::new(Arc::clone(&storage)).unwrap();
         w.append(&LogRecord::Begin { txn: TxnId(1) });
         w.append(&update(1, 1, 1));
         w.append(&LogRecord::Commit { txn: TxnId(1) });
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn later_checkpoint_wins() {
         let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
-        let w = WalWriter::new(Arc::clone(&storage));
+        let w = WalWriter::new(Arc::clone(&storage)).unwrap();
         w.append(&LogRecord::Checkpoint(CheckpointData {
             redo_lsn: Lsn(0),
             active_txns: vec![TxnId(9)],

@@ -4,7 +4,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use parking_lot::Mutex;
+use face_analysis::classes::WAL_STORAGE;
+use face_analysis::OrderedMutex;
 
 /// Errors from the WAL layer.
 #[derive(Debug)]
@@ -67,12 +68,15 @@ pub trait LogStorage: Send + Sync {
     /// of bytes read (0 at end of stream).
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> WalResult<usize>;
 
-    /// Current length of the stream in bytes.
-    fn len(&self) -> u64;
+    /// Current length of the stream in bytes. Fallible: on file-backed
+    /// storage this is a metadata query of the device, and recovery decides
+    /// where the durable log ends from it — an I/O error here must surface,
+    /// not read as "empty log".
+    fn len(&self) -> WalResult<u64>;
 
-    /// Whether the stream is empty.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// Whether the stream is empty (same fallibility as [`LogStorage::len`]).
+    fn is_empty(&self) -> WalResult<bool> {
+        Ok(self.len()? == 0)
     }
 
     /// Make all appended data durable.
@@ -86,15 +90,22 @@ pub trait LogStorage: Send + Sync {
 /// A log kept in memory. Durability is simulated: the contents survive as
 /// long as the process does, which is exactly what the crash-simulation tests
 /// need (they drop volatile state explicitly but keep the "devices").
-#[derive(Default)]
 pub struct InMemoryLogStorage {
-    data: Mutex<Vec<u8>>,
+    data: OrderedMutex<Vec<u8>>,
 }
 
 impl InMemoryLogStorage {
     /// An empty log.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            data: OrderedMutex::new(WAL_STORAGE, Vec::new()),
+        }
+    }
+}
+
+impl Default for InMemoryLogStorage {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -117,8 +128,8 @@ impl LogStorage for InMemoryLogStorage {
         Ok(n)
     }
 
-    fn len(&self) -> u64 {
-        self.data.lock().len() as u64
+    fn len(&self) -> WalResult<u64> {
+        Ok(self.data.lock().len() as u64)
     }
 
     fn sync(&self) -> WalResult<()> {
@@ -135,7 +146,7 @@ impl LogStorage for InMemoryLogStorage {
 /// A log stored in a single append-only file.
 pub struct FileLogStorage {
     path: PathBuf,
-    file: Mutex<File>,
+    file: OrderedMutex<File>,
 }
 
 impl FileLogStorage {
@@ -152,7 +163,7 @@ impl FileLogStorage {
             .open(&path)?;
         Ok(Self {
             path,
-            file: Mutex::new(file),
+            file: OrderedMutex::new(WAL_STORAGE, file),
         })
     }
 
@@ -184,8 +195,11 @@ impl LogStorage for FileLogStorage {
         Ok(want)
     }
 
-    fn len(&self) -> u64 {
-        self.file.lock().metadata().map(|m| m.len()).unwrap_or(0)
+    fn len(&self) -> WalResult<u64> {
+        // Previously swallowed the metadata error into `0`, which recovery
+        // would have read as "the log is empty" — losing every committed
+        // transaction on a transient device error.
+        Ok(self.file.lock().metadata()?.len())
     }
 
     fn sync(&self) -> WalResult<()> {
@@ -212,12 +226,12 @@ mod tests {
     }
 
     fn exercise(storage: &dyn LogStorage) {
-        assert!(storage.is_empty());
+        assert!(storage.is_empty().unwrap());
         let o1 = storage.append(b"hello ").unwrap();
         let o2 = storage.append(b"world").unwrap();
         assert_eq!(o1, 0);
         assert_eq!(o2, 6);
-        assert_eq!(storage.len(), 11);
+        assert_eq!(storage.len().unwrap(), 11);
         storage.sync().unwrap();
 
         let mut buf = [0u8; 5];
@@ -233,7 +247,7 @@ mod tests {
         assert_eq!(&buf[..3], b"rld");
 
         storage.truncate(6).unwrap();
-        assert_eq!(storage.len(), 6);
+        assert_eq!(storage.len().unwrap(), 6);
         let o3 = storage.append(b"again").unwrap();
         assert_eq!(o3, 6);
     }
@@ -264,7 +278,7 @@ mod tests {
         }
         {
             let s = FileLogStorage::open(&path).unwrap();
-            assert_eq!(s.len(), 7);
+            assert_eq!(s.len().unwrap(), 7);
             let mut buf = [0u8; 7];
             s.read_at(0, &mut buf).unwrap();
             assert_eq!(&buf, b"durable");

@@ -2,8 +2,9 @@
 
 use std::sync::Arc;
 
+use face_analysis::classes::{WAL_APPEND, WAL_FLUSH};
+use face_analysis::OrderedMutex;
 use face_pagestore::Lsn;
-use parking_lot::Mutex;
 
 use crate::codec::crc32;
 use crate::record::LogRecord;
@@ -52,29 +53,33 @@ struct WriterInner {
 /// and flush everything that accumulated, batch-sized.
 pub struct WalWriter {
     storage: Arc<dyn LogStorage>,
-    inner: Mutex<WriterInner>,
+    inner: OrderedMutex<WriterInner>,
     /// Serialises physical flushes; held across storage I/O, never while
     /// holding `inner`. Lock order: `flush_lock` → `inner`.
-    flush_lock: Mutex<()>,
+    flush_lock: OrderedMutex<()>,
 }
 
 impl WalWriter {
     /// Create a writer appending to `storage`. The next LSN continues from
     /// the existing end of the log, so reopening after a crash keeps LSNs
-    /// monotonic.
-    pub fn new(storage: Arc<dyn LogStorage>) -> Self {
-        let end = Lsn(storage.len());
-        Self {
+    /// monotonic. Fails if the storage cannot report its length — guessing
+    /// an end-of-log here would assign already-used LSNs.
+    pub fn new(storage: Arc<dyn LogStorage>) -> WalResult<Self> {
+        let end = Lsn(storage.len()?);
+        Ok(Self {
             storage,
-            inner: Mutex::new(WriterInner {
-                pending: Vec::new(),
-                next_lsn: end,
-                durable_lsn: end,
-                poisoned: false,
-                stats: WriterStats::default(),
-            }),
-            flush_lock: Mutex::new(()),
-        }
+            inner: OrderedMutex::new(
+                WAL_APPEND,
+                WriterInner {
+                    pending: Vec::new(),
+                    next_lsn: end,
+                    durable_lsn: end,
+                    poisoned: false,
+                    stats: WriterStats::default(),
+                },
+            ),
+            flush_lock: OrderedMutex::new(WAL_FLUSH, ()),
+        })
     }
 
     /// Append a record to the in-memory log tail; returns its LSN.
@@ -235,7 +240,7 @@ mod tests {
     use crate::storage::InMemoryLogStorage;
 
     fn writer() -> WalWriter {
-        WalWriter::new(Arc::new(InMemoryLogStorage::new()))
+        WalWriter::new(Arc::new(InMemoryLogStorage::new())).unwrap()
     }
 
     #[test]
@@ -254,10 +259,10 @@ mod tests {
         let w = writer();
         w.append(&LogRecord::Begin { txn: TxnId(1) });
         assert_eq!(w.durable_lsn(), Lsn(0));
-        assert_eq!(w.storage().len(), 0);
+        assert_eq!(w.storage().len().unwrap(), 0);
         assert!(w.force_all().unwrap());
         assert_eq!(w.durable_lsn(), w.next_lsn());
-        assert_eq!(w.storage().len(), w.next_lsn().0);
+        assert_eq!(w.storage().len().unwrap(), w.next_lsn().0);
     }
 
     #[test]
@@ -317,7 +322,7 @@ mod tests {
             fn read_at(&self, offset: u64, buf: &mut [u8]) -> WalResult<usize> {
                 self.inner.read_at(offset, buf)
             }
-            fn len(&self) -> u64 {
+            fn len(&self) -> WalResult<u64> {
                 self.inner.len()
             }
             fn sync(&self) -> WalResult<()> {
@@ -332,7 +337,7 @@ mod tests {
             inner: InMemoryLogStorage::new(),
             fail: AtomicBool::new(false),
         });
-        let w = WalWriter::new(Arc::clone(&storage) as Arc<dyn LogStorage>);
+        let w = WalWriter::new(Arc::clone(&storage) as Arc<dyn LogStorage>).unwrap();
         // A healthy commit first.
         w.append(&LogRecord::Begin { txn: TxnId(1) });
         w.append_and_force(&LogRecord::Commit { txn: TxnId(1) })
@@ -367,7 +372,7 @@ mod tests {
     fn concurrent_commits_stay_ordered_and_durable() {
         use std::sync::Arc;
         let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
-        let w = Arc::new(WalWriter::new(Arc::clone(&storage)));
+        let w = Arc::new(WalWriter::new(Arc::clone(&storage)).unwrap());
         let threads = 8;
         let per_thread = 50u64;
         std::thread::scope(|s| {
@@ -388,7 +393,7 @@ mod tests {
         assert_eq!(w.records_appended(), threads * per_thread * 2);
         // Every byte appended ended up durable exactly once, in LSN order.
         assert_eq!(w.durable_lsn(), w.next_lsn());
-        assert_eq!(storage.len(), w.next_lsn().0);
+        assert_eq!(storage.len().unwrap(), w.next_lsn().0);
         // The frame stream parses end to end (no interleaving corruption).
         let mut reader = crate::reader::LogReader::new(storage);
         let records = reader.read_to_end().unwrap();
@@ -416,7 +421,7 @@ mod tests {
         assert!(dropped > 0);
         assert_eq!(w.next_lsn(), durable);
         assert_eq!(w.durable_lsn(), durable);
-        assert_eq!(w.storage().len(), durable.0);
+        assert_eq!(w.storage().len().unwrap(), durable.0);
         // The log keeps working; new records reuse the freed LSN range.
         let lsn = w.append(&LogRecord::Begin { txn: TxnId(3) });
         assert_eq!(lsn, durable);
@@ -429,12 +434,12 @@ mod tests {
     fn lsns_continue_after_reopen() {
         let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
         let end = {
-            let w = WalWriter::new(Arc::clone(&storage));
+            let w = WalWriter::new(Arc::clone(&storage)).unwrap();
             w.append(&LogRecord::Begin { txn: TxnId(1) });
             w.force_all().unwrap();
             w.next_lsn()
         };
-        let w2 = WalWriter::new(storage);
+        let w2 = WalWriter::new(storage).unwrap();
         assert_eq!(w2.next_lsn(), end);
         assert_eq!(w2.durable_lsn(), end);
         let lsn = w2.append(&LogRecord::Commit { txn: TxnId(1) });

@@ -244,6 +244,10 @@ fn checkpoint_cadence_bounds_journal_replay() {
         db.put(txn, k, &value(k, 1)).unwrap();
     }
     db.commit(txn).unwrap();
+    // The cadence checkpoint is taken by the background destager as groups
+    // seal; drain it so the crash deterministically lands after the
+    // checkpoint rather than racing it.
+    db.drain_destage().unwrap();
     db.crash();
     let report = db.restart().unwrap();
     assert!(report.cache_recovery.survived);
