@@ -1,0 +1,93 @@
+//! Flash write-economy gate: flash bytes written per committed transaction
+//! under a skewed hot-set mix (10% of the keys take 90% of the operations by
+//! default), admission-filtered policies versus the unfiltered FaCE+GSC
+//! baseline.
+//!
+//! The cold majority of the mix is one-touch pages; an admission filter
+//! (the ghost directory in front of mvFIFO, or S3-FIFO's built-in ghost
+//! queue) should refuse to pay flash writes for them without giving up the
+//! hot set's flash hit ratio.
+//!
+//! Writes `BENCH_flash_economy.json` at the repo root (not the gitignored
+//! `results/`) so future PRs can diff the numbers, and acts as the
+//! write-economy CI gate: it exits non-zero if any filtered arm writes at
+//! least as many flash bytes as the baseline, or lands more than one
+//! percentage point below the baseline's flash hit ratio.
+//!
+//! Scale knobs: `FACE_ECON_KEYS`, `FACE_ECON_WARMUP_OPS`,
+//! `FACE_ECON_MEASURE_OPS`, `FACE_ECON_READ_PCT`, `FACE_ECON_HOT_KEY_PCT`,
+//! `FACE_ECON_HOT_OP_PCT`, `FACE_ECON_THREADS`.
+
+use face_bench::experiments::{evaluate_flash_economy, run_bench_flash_economy, EconomyScale};
+use face_bench::{print_table, write_json_at};
+
+/// Hit-ratio slack the gate allows a filtered arm (one percentage point).
+const HIT_RATIO_TOLERANCE: f64 = 0.01;
+
+fn main() {
+    let scale = EconomyScale::from_env();
+    let rows = run_bench_flash_economy(&scale);
+    print_table(
+        "BENCH_flash_economy: flash bytes per committed txn, ghost admission vs unfiltered (skewed mix, simulated devices)",
+        &[
+            "policy",
+            "ghost",
+            "committed",
+            "flash pages",
+            "flash MB",
+            "writes/txn",
+            "dram hit",
+            "flash hit",
+            "filtered",
+            "ghost hits",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    format!("{}", r.ghost_admission),
+                    format!("{}", r.committed),
+                    format!("{}", r.flash_pages_written),
+                    format!("{:.2}", r.flash_bytes_written as f64 / 1_000_000.0),
+                    format!("{:.3}", r.flash_writes_per_txn),
+                    format!("{:.2}", r.dram_hit_ratio),
+                    format!("{:.2}", r.flash_hit_ratio),
+                    format!("{}", r.admission_filtered),
+                    format!("{}", r.admission_ghost_hits),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json_at(std::path::Path::new("BENCH_flash_economy.json"), &rows);
+
+    let failures = evaluate_flash_economy(&rows, HIT_RATIO_TOLERANCE);
+    if let Some(baseline) = rows.iter().find(|r| !r.ghost_admission) {
+        for row in rows.iter().filter(|r| r.ghost_admission) {
+            let saved = 1.0
+                - row.flash_bytes_written as f64
+                    / (baseline.flash_bytes_written as f64).max(f64::MIN_POSITIVE);
+            println!(
+                "[{}] {} (ghost): {:.3} flash writes/txn vs baseline {:.3} ({:.1}% fewer bytes), \
+                 flash hit {:.2} vs {:.2}",
+                if failures.iter().any(|f| f.starts_with(&row.policy)) {
+                    "FAIL"
+                } else {
+                    "PASS"
+                },
+                row.policy,
+                row.flash_writes_per_txn,
+                baseline.flash_writes_per_txn,
+                saved * 100.0,
+                row.flash_hit_ratio,
+                baseline.flash_hit_ratio,
+            );
+        }
+    }
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("[FAIL] {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Schema check for the committed perf-trajectory files (`BENCH_*.json` at
+//! the repo root). These files are diffed across PRs, so a bench that
+//! silently starts writing empty arrays, loses a counter field, or emits
+//! invalid JSON would corrupt the trajectory without failing any test —
+//! this binary is the CI tripwire for that.
+//!
+//! For every `BENCH_*.json` in the given root (default: the current
+//! directory) it checks that the file parses, is a non-empty JSON array of
+//! objects, and — for the known files — that every row carries the required
+//! fields, including the flash write-economy counters. Unknown `BENCH_*`
+//! files only get the generic checks, so adding a new bench does not require
+//! touching this binary (extending `required_fields` is still encouraged).
+//!
+//! Usage: `bench_schema_check [root-dir]`. Exits non-zero on any failure.
+
+use std::path::Path;
+
+/// Required per-row fields for each known perf-trajectory file.
+fn required_fields(file_name: &str) -> &'static [&'static str] {
+    match file_name {
+        "BENCH_throughput.json" => &[
+            "threads",
+            "destage",
+            "destage_threads",
+            "committed",
+            "wall_secs",
+            "tps",
+            "tpm",
+            "destage_groups_completed",
+            "destage_backpressure_stalls",
+            "flash_pages_written",
+            "flash_bytes_written",
+            "flash_writes_per_txn",
+        ],
+        "BENCH_read.json" => &[
+            "threads",
+            "mode",
+            "ops",
+            "gets",
+            "wall_secs",
+            "ops_per_sec",
+            "dram_hit_ratio",
+            "flash_hit_ratio",
+            "cache_fetch_retries",
+            "buffer_read_retries",
+            "flash_pages_written",
+            "flash_bytes_written",
+        ],
+        "BENCH_flash_economy.json" => &[
+            "policy",
+            "ghost_admission",
+            "committed",
+            "ops",
+            "wall_secs",
+            "flash_pages_written",
+            "flash_bytes_written",
+            "flash_writes_per_txn",
+            "dram_hit_ratio",
+            "flash_hit_ratio",
+            "admission_filtered",
+            "admission_ghost_hits",
+        ],
+        _ => &[],
+    }
+}
+
+/// Check one file; returns the problems found (empty means it is clean).
+fn check_file(path: &Path) -> Vec<String> {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("{name}: unreadable: {e}")],
+    };
+    let value: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("{name}: invalid JSON: {e}")],
+    };
+    let Some(rows) = value.as_array() else {
+        return vec![format!("{name}: top-level value is not an array")];
+    };
+    if rows.is_empty() {
+        return vec![format!("{name}: empty result array")];
+    }
+    let mut problems = Vec::new();
+    let fields = required_fields(&name);
+    for (i, row) in rows.iter().enumerate() {
+        let Some(obj) = row.as_object() else {
+            problems.push(format!("{name}: row {i} is not an object"));
+            continue;
+        };
+        for field in fields {
+            if !obj.contains_key(*field) {
+                problems.push(format!("{name}: row {i} is missing `{field}`"));
+            }
+        }
+    }
+    problems
+}
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let root = Path::new(&root);
+    let mut files: Vec<_> = match std::fs::read_dir(root) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .map(|n| {
+                        let n = n.to_string_lossy();
+                        n.starts_with("BENCH_") && n.ends_with(".json")
+                    })
+                    .unwrap_or(false)
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("[FAIL] cannot read {}: {e}", root.display());
+            std::process::exit(1);
+        }
+    };
+    files.sort();
+    // The trajectory files this repo commits; their absence is itself a
+    // schema break (a bench stopped writing its file).
+    let mut problems = Vec::new();
+    for expected in [
+        "BENCH_throughput.json",
+        "BENCH_read.json",
+        "BENCH_flash_economy.json",
+    ] {
+        if !files.iter().any(|p| p.ends_with(expected)) {
+            problems.push(format!("{expected}: missing from {}", root.display()));
+        }
+    }
+    for file in &files {
+        let file_problems = check_file(file);
+        let name = file.file_name().unwrap_or_default().to_string_lossy();
+        if file_problems.is_empty() {
+            println!("[PASS] {name}");
+        }
+        problems.extend(file_problems);
+    }
+    if !problems.is_empty() {
+        for problem in &problems {
+            eprintln!("[FAIL] {problem}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench schema check: {} file(s) clean", files.len());
+}

@@ -594,6 +594,13 @@ pub struct ThroughputBenchRow {
     pub destage_groups_completed: u64,
     /// Enqueue attempts that hit backpressure (0 for sync).
     pub destage_backpressure_stalls: u64,
+    /// Flash pages physically programmed during the measured window.
+    pub flash_pages_written: u64,
+    /// The same, in bytes (pages × 4 KiB).
+    pub flash_bytes_written: u64,
+    /// Flash page writes per committed transaction — the write-economy
+    /// figure of merit.
+    pub flash_writes_per_txn: f64,
 }
 
 /// Run the standard concurrent TPC-C configuration with the destager on
@@ -635,6 +642,7 @@ pub fn run_bench_throughput(
                 },
             );
             let stats_before = db.destage_stats().unwrap_or_default();
+            let flash_before = db.flash_pages_written();
             let started = std::time::Instant::now();
             let report = face_tpcc::run_concurrent(
                 &db,
@@ -650,6 +658,7 @@ pub fn run_bench_throughput(
             db.drain_destage().expect("pipeline drain");
             let wall = started.elapsed().as_secs_f64();
             let stats = db.destage_stats().unwrap_or_default();
+            let flash_pages = db.flash_pages_written() - flash_before;
             let committed = report.committed();
             let tps = if wall > 0.0 {
                 committed as f64 / wall
@@ -667,6 +676,13 @@ pub fn run_bench_throughput(
                 destage_groups_completed: stats.groups_completed - stats_before.groups_completed,
                 destage_backpressure_stalls: stats.backpressure_stalls
                     - stats_before.backpressure_stalls,
+                flash_pages_written: flash_pages,
+                flash_bytes_written: flash_pages * face_pagestore::PAGE_SIZE as u64,
+                flash_writes_per_txn: if committed > 0 {
+                    flash_pages as f64 / committed as f64
+                } else {
+                    0.0
+                },
             });
         }
     }
@@ -751,6 +767,10 @@ pub struct ReadBenchRow {
     pub cache_fetch_retries: u64,
     /// Optimistic buffer-pool read hits that caught an eviction and retried.
     pub buffer_read_retries: u64,
+    /// Flash pages physically programmed during the measured window.
+    pub flash_pages_written: u64,
+    /// The same, in bytes (pages × 4 KiB).
+    pub flash_bytes_written: u64,
 }
 
 /// The engine configuration behind the read bench: a DRAM buffer far smaller
@@ -799,6 +819,7 @@ pub fn run_bench_read_throughput(scale: &ReadScale, thread_counts: &[usize]) -> 
 
             let buffer_before = db.buffer_stats();
             let cache_before = db.cache_stats().unwrap_or_default();
+            let flash_before = db.flash_pages_written();
             let report = face_tpcc::run_read_heavy(
                 &db,
                 &face_tpcc::ReadHeavyConfig {
@@ -809,6 +830,7 @@ pub fn run_bench_read_throughput(scale: &ReadScale, thread_counts: &[usize]) -> 
             );
             let buffer = db.buffer_stats();
             let cache = db.cache_stats().unwrap_or_default();
+            let flash_pages = db.flash_pages_written() - flash_before;
             let wall = report.wall.as_secs_f64();
             let ops = report.gets() + report.puts();
             let misses = buffer.misses - buffer_before.misses;
@@ -832,10 +854,245 @@ pub fn run_bench_read_throughput(scale: &ReadScale, thread_counts: &[usize]) -> 
                 },
                 cache_fetch_retries: cache.fetch_retries - cache_before.fetch_retries,
                 buffer_read_retries: buffer.read_retries - buffer_before.read_retries,
+                flash_pages_written: flash_pages,
+                flash_bytes_written: flash_pages * face_pagestore::PAGE_SIZE as u64,
             });
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_flash_economy: the write-economy gate — flash bytes written per
+// committed transaction under a skewed mix, admission-filtered policies
+// versus the unfiltered FaCE baseline.
+// ---------------------------------------------------------------------------
+
+/// Scale knobs for the flash write-economy bench (`FACE_ECON_*`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EconomyScale {
+    /// Keys pre-loaded into the table.
+    pub keys: u64,
+    /// Warm-up operations per arm (split across the arm's threads).
+    pub warmup_ops: u64,
+    /// Measured operations per arm, split evenly across the arm's threads.
+    pub measure_ops: u64,
+    /// Percentage of operations that are reads.
+    pub read_pct: u32,
+    /// Percentage of the key space forming the hot set.
+    pub hot_key_pct: u32,
+    /// Percentage of operations aimed at the hot set.
+    pub hot_op_pct: u32,
+    /// Worker threads per arm.
+    pub threads: usize,
+}
+
+impl Default for EconomyScale {
+    fn default() -> Self {
+        Self {
+            keys: 8_192,
+            warmup_ops: 8_000,
+            measure_ops: 24_000,
+            read_pct: 80,
+            hot_key_pct: 10,
+            hot_op_pct: 90,
+            threads: 4,
+        }
+    }
+}
+
+impl EconomyScale {
+    /// Read the scale from `FACE_ECON_*` environment variables.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            keys: env_u64("FACE_ECON_KEYS", d.keys),
+            warmup_ops: env_u64("FACE_ECON_WARMUP_OPS", d.warmup_ops),
+            measure_ops: env_u64("FACE_ECON_MEASURE_OPS", d.measure_ops),
+            read_pct: env_u64("FACE_ECON_READ_PCT", d.read_pct as u64).min(100) as u32,
+            hot_key_pct: env_u64("FACE_ECON_HOT_KEY_PCT", d.hot_key_pct as u64).min(100) as u32,
+            hot_op_pct: env_u64("FACE_ECON_HOT_OP_PCT", d.hot_op_pct as u64).min(100) as u32,
+            threads: env_u64("FACE_ECON_THREADS", d.threads as u64).max(1) as usize,
+        }
+    }
+
+    /// A tiny scale for unit tests of the harness itself.
+    pub fn tiny() -> Self {
+        Self {
+            keys: 1_024,
+            warmup_ops: 1_000,
+            measure_ops: 4_000,
+            read_pct: 80,
+            hot_key_pct: 10,
+            hot_op_pct: 90,
+            threads: 2,
+        }
+    }
+}
+
+/// One arm of the write-economy comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EconomyBenchRow {
+    /// Cache policy label ("face-gsc", "s3-fifo", ...).
+    pub policy: String,
+    /// Whether the ghost admission filter was enabled on top of the policy
+    /// (always effectively true for S3-FIFO, whose ghost queue is built in).
+    pub ghost_admission: bool,
+    /// Committed transactions in the measured window.
+    pub committed: u64,
+    /// Operations (gets + puts) in the measured window.
+    pub ops: u64,
+    /// Measured wall-clock seconds.
+    pub wall_secs: f64,
+    /// Flash pages physically programmed during the measured window.
+    pub flash_pages_written: u64,
+    /// The same, in bytes (pages × 4 KiB).
+    pub flash_bytes_written: u64,
+    /// Flash page writes per committed transaction — the write-economy
+    /// figure of merit (lower is better).
+    pub flash_writes_per_txn: f64,
+    /// DRAM buffer hit ratio during the measured window.
+    pub dram_hit_ratio: f64,
+    /// Flash-cache hit ratio over DRAM misses during the window (the
+    /// "equal-or-better hit ratio" side of the gate).
+    pub flash_hit_ratio: f64,
+    /// Clean one-touch inserts the admission filter turned away.
+    pub admission_filtered: u64,
+    /// Ghost-directory hits that earned a page its flash write.
+    pub admission_ghost_hits: u64,
+}
+
+/// The engine configuration behind the economy bench: the flash cache holds
+/// a quarter of the key space, so the cold majority of a skewed mix cycles
+/// through it — exactly the churn an admission filter is supposed to refuse
+/// to pay flash writes for — while the DRAM buffer is far smaller than the
+/// hot set, so hits still have to come from flash.
+fn economy_engine_config(
+    scale: &EconomyScale,
+    policy: CachePolicyKind,
+    ghost: bool,
+) -> face_engine::EngineConfig {
+    let cache_pages = (scale.keys / 4).max(128) as usize;
+    let mut config = face_engine::EngineConfig::in_memory()
+        .buffer_frames(128)
+        .buffer_shards(8)
+        .table_buckets(4_096)
+        .flash_cache(policy, cache_pages)
+        .cache_shards(2)
+        .simulated_devices();
+    config.cache_config.ghost_admission = ghost;
+    config
+}
+
+/// Run the skewed-mix write-economy comparison: the unfiltered FaCE+GSC
+/// baseline, the same policy behind the ghost admission filter, and S3-FIFO
+/// (ghost queue built in). Each arm gets a fresh engine, a full table load,
+/// its own warm-up and the same measured operation budget, so rows differ
+/// only in admission policy. Produces `BENCH_flash_economy.json`.
+pub fn run_bench_flash_economy(scale: &EconomyScale) -> Vec<EconomyBenchRow> {
+    use std::sync::Arc;
+    let arms = [
+        ("face-gsc", CachePolicyKind::FaceGsc, false),
+        ("face-gsc", CachePolicyKind::FaceGsc, true),
+        ("s3-fifo", CachePolicyKind::S3Fifo, false),
+    ];
+    let mut out = Vec::new();
+    for &(label, policy, ghost) in &arms {
+        let threads = scale.threads.clamp(1, scale.keys.max(1) as usize);
+        let db = Arc::new(
+            face_engine::Database::open(economy_engine_config(scale, policy, ghost))
+                .expect("in-memory open cannot fail"),
+        );
+        face_tpcc::load_read_heavy(&db, scale.keys);
+        let base = face_tpcc::SkewedMixConfig {
+            threads,
+            ops_per_thread: (scale.warmup_ops as usize / threads).max(1),
+            keys: scale.keys,
+            hot_key_pct: scale.hot_key_pct,
+            hot_op_pct: scale.hot_op_pct,
+            read_pct: scale.read_pct,
+            ops_per_txn: 8,
+            seed: 7,
+        };
+        face_tpcc::run_skewed_mix(&db, &base);
+
+        let buffer_before = db.buffer_stats();
+        let cache_before = db.cache_stats().unwrap_or_default();
+        let flash_before = db.flash_pages_written();
+        let report = face_tpcc::run_skewed_mix(
+            &db,
+            &face_tpcc::SkewedMixConfig {
+                ops_per_thread: (scale.measure_ops as usize / threads).max(1),
+                seed: 1_000,
+                ..base
+            },
+        );
+        let buffer = db.buffer_stats();
+        let cache = db.cache_stats().unwrap_or_default();
+        let flash_pages = db.flash_pages_written() - flash_before;
+        let committed = report.committed();
+        let misses = buffer.misses - buffer_before.misses;
+        let accesses = buffer.accesses - buffer_before.accesses;
+        out.push(EconomyBenchRow {
+            policy: label.to_string(),
+            // S3-FIFO's ghost queue is part of the policy itself.
+            ghost_admission: ghost || policy == CachePolicyKind::S3Fifo,
+            committed,
+            ops: report.gets() + report.puts(),
+            wall_secs: report.wall.as_secs_f64(),
+            flash_pages_written: flash_pages,
+            flash_bytes_written: flash_pages * face_pagestore::PAGE_SIZE as u64,
+            flash_writes_per_txn: if committed > 0 {
+                flash_pages as f64 / committed as f64
+            } else {
+                0.0
+            },
+            dram_hit_ratio: if accesses > 0 {
+                (buffer.hits - buffer_before.hits) as f64 / accesses as f64
+            } else {
+                0.0
+            },
+            flash_hit_ratio: if misses > 0 {
+                (buffer.flash_hits - buffer_before.flash_hits) as f64 / misses as f64
+            } else {
+                0.0
+            },
+            admission_filtered: cache.admission_filtered - cache_before.admission_filtered,
+            admission_ghost_hits: cache.admission_ghost_hits - cache_before.admission_ghost_hits,
+        });
+    }
+    out
+}
+
+/// The CI gate over [`run_bench_flash_economy`] rows: every admission-
+/// filtered arm must write fewer flash bytes than the unfiltered baseline
+/// while giving up at most `hit_ratio_tolerance` of its flash hit ratio.
+/// Returns the failures (empty means the gate passes).
+pub fn evaluate_flash_economy(rows: &[EconomyBenchRow], hit_ratio_tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(baseline) = rows.iter().find(|r| !r.ghost_admission) else {
+        return vec!["no unfiltered baseline row".to_string()];
+    };
+    let filtered: Vec<_> = rows.iter().filter(|r| r.ghost_admission).collect();
+    if filtered.is_empty() {
+        failures.push("no admission-filtered rows".to_string());
+    }
+    for row in filtered {
+        let arm = format!("{} (ghost_admission={})", row.policy, row.ghost_admission);
+        if row.flash_bytes_written >= baseline.flash_bytes_written {
+            failures.push(format!(
+                "{arm}: flash_bytes_written {} >= baseline {}",
+                row.flash_bytes_written, baseline.flash_bytes_written
+            ));
+        }
+        if row.flash_hit_ratio < baseline.flash_hit_ratio - hit_ratio_tolerance {
+            failures.push(format!(
+                "{arm}: flash_hit_ratio {:.4} < baseline {:.4} - {hit_ratio_tolerance}",
+                row.flash_hit_ratio, baseline.flash_hit_ratio
+            ));
+        }
+    }
+    failures
 }
 
 /// Sweep thread counts over the functional engine on the default simulated

@@ -157,6 +157,11 @@ impl FlashStore for CheckedFlashStore {
         check_device_op("flash.clear");
         self.inner.clear();
     }
+
+    fn pages_written(&self) -> u64 {
+        // A counter read, not a device op: no check.
+        self.inner.pages_written()
+    }
 }
 
 #[cfg(test)]

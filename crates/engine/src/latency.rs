@@ -204,6 +204,10 @@ impl FlashStore for LatencyFlashStore {
     fn clear(&self) {
         self.inner.clear();
     }
+
+    fn pages_written(&self) -> u64 {
+        self.inner.pages_written()
+    }
 }
 
 #[cfg(test)]

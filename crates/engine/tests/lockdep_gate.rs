@@ -79,6 +79,19 @@ fn scenario(policy: CachePolicyKind, lock_light: bool) {
     hammer(&db);
 }
 
+fn scenario_ghosted(policy: CachePolicyKind, lock_light: bool) {
+    let mut config = EngineConfig::in_memory()
+        .buffer_frames(32)
+        .flash_cache(policy, 128)
+        .cache_shards(2)
+        .buffer_shards(2)
+        .destage_threads(2)
+        .lock_light_reads(lock_light);
+    config.cache_config.ghost_admission = true;
+    let db = Arc::new(Database::open(config).unwrap());
+    hammer(&db);
+}
+
 #[test]
 fn concurrent_engine_has_no_lockdep_violations() {
     if !face_analysis::enabled() {
@@ -90,6 +103,7 @@ fn concurrent_engine_has_no_lockdep_violations() {
         CachePolicyKind::Face,
         CachePolicyKind::FaceGr,
         CachePolicyKind::FaceGsc,
+        CachePolicyKind::S3Fifo,
     ] {
         for lock_light in [false, true] {
             scenario(policy, lock_light);
@@ -98,6 +112,10 @@ fn concurrent_engine_has_no_lockdep_violations() {
     // The synchronous baselines exercise the allow-scoped under-lock paths.
     scenario(CachePolicyKind::Lc, false);
     scenario(CachePolicyKind::Tac, false);
+    // The ghost-admission filter nests its stripe inside the shard lock —
+    // cover it over both the GSC write path and TAC's on-entry path.
+    scenario_ghosted(CachePolicyKind::FaceGsc, true);
+    scenario_ghosted(CachePolicyKind::Tac, false);
 
     if let Ok(path) = std::env::var("LOCKDEP_DOT") {
         if !path.is_empty() {

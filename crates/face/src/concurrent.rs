@@ -23,6 +23,7 @@ use face_analysis::classes::CACHE_SHARD;
 use face_analysis::{witness, OrderedRwLock};
 use face_pagestore::{Counter, Lsn, PageId};
 
+use crate::admission::SharedGhost;
 use crate::destage::PendingGroupWrite;
 use crate::io::IoLog;
 use crate::policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier, PageSupplier};
@@ -63,6 +64,15 @@ pub struct ShardedFlashCache {
     lock_light: bool,
     persists: bool,
     name: &'static str,
+    /// Ghost-queue admission filter in front of the legacy policies
+    /// ([`CacheConfig::ghost_admission`]): a clean first-touch page is
+    /// recorded here instead of earning a flash write. `None` when the flag
+    /// is off and for S3-FIFO, whose ghost queue is integral to the policy.
+    ghost: Option<SharedGhost>,
+    /// Clean first touches the ghost filter kept off the flash.
+    admission_filtered: Counter,
+    /// Ghost re-references that earned their flash write.
+    admission_ghost_hits: Counter,
 }
 
 impl ShardedFlashCache {
@@ -85,7 +95,12 @@ impl ShardedFlashCache {
         let capacity = config.capacity_pages.max(1);
         // Never create shards so small that a policy's group size exceeds its
         // capacity; each shard must hold at least one replacement group.
-        let min_per_shard = config.group_size.max(1);
+        // S3-FIFO additionally needs two slots per shard (one per region).
+        let min_per_shard = config.group_size.max(if kind == CachePolicyKind::S3Fifo {
+            2
+        } else {
+            1
+        });
         let shards = shards.clamp(1, (capacity / min_per_shard).max(1));
         let base = capacity / shards;
         let rem = capacity % shards;
@@ -109,7 +124,14 @@ impl ShardedFlashCache {
             built.push(OrderedRwLock::new(CACHE_SHARD, cache));
         }
         let persists = built[0].read().persists_dirty_pages();
+        // One filter for the whole cache, not per shard: a page's first touch
+        // and its comeback must meet even though insert order is arbitrary.
+        let ghost = (config.ghost_admission && kind != CachePolicyKind::S3Fifo)
+            .then(|| SharedGhost::new(config.effective_ghost_capacity()));
         Some(Self {
+            ghost,
+            admission_filtered: Counter::default(),
+            admission_ghost_hits: Counter::default(),
             occupancy: (0..built.len()).map(|_| Counter::default()).collect(),
             shards: built,
             stores,
@@ -283,6 +305,27 @@ impl ShardedFlashCache {
     ) -> InsertOutcome {
         let shard = self.shard_of(staged.page);
         let mut guard = self.shards[shard].write();
+        if let Some(ghost) = &self.ghost {
+            // The admission filter applies to **clean first touches only**:
+            // dirty pages must be absorbed (rejecting one would drop the only
+            // up-to-date copy), and an already-cached page's insert is the
+            // policy's business (conditional enqueue / version supersession).
+            // A rejected clean page still exists on disk, so `cached: false`
+            // is safe. The ghost stripe nests inside the shard lock
+            // (`ghost_admission` ranks below `cache_shard`), keeping the
+            // reject decision atomic with the directory check.
+            if !staged.dirty && !guard.contains(staged.page) {
+                if ghost.admit_or_record(staged.page) {
+                    self.admission_ghost_hits.inc();
+                } else {
+                    self.admission_filtered.inc();
+                    return InsertOutcome {
+                        cached: false,
+                        ..Default::default()
+                    };
+                }
+            }
+        }
         let mut outcome = guard.insert(staged, supplier, io);
         if !outcome.staged_out.is_empty() {
             staged_out_sink(&outcome.staged_out);
@@ -328,6 +371,19 @@ impl ShardedFlashCache {
     pub fn on_fetched_from_disk(&self, page: PageId, io: &mut IoLog) -> InsertOutcome {
         let shard = self.shard_of(page);
         let mut guard = self.shards[shard].write();
+        if let Some(ghost) = &self.ghost {
+            // On-entry caching (TAC) admits pages read from disk — always
+            // clean, so the same first-touch filter applies in front of the
+            // policy's own temperature check.
+            if !guard.contains(page) {
+                if ghost.admit_or_record(page) {
+                    self.admission_ghost_hits.inc();
+                } else {
+                    self.admission_filtered.inc();
+                    return InsertOutcome::default();
+                }
+            }
+        }
         let outcome = guard.on_fetched_from_disk(page, io);
         self.note_len(shard, &**guard);
         outcome
@@ -408,6 +464,9 @@ impl ShardedFlashCache {
                 .expect("kind is not None");
             self.note_len(i, &**guard);
         }
+        if let Some(ghost) = &self.ghost {
+            ghost.clear();
+        }
     }
 
     /// Merged activity counters across shards.
@@ -423,10 +482,27 @@ impl ShardedFlashCache {
     /// contract.
     pub fn stats(&self) -> CacheStats {
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
-        guards
+        let mut merged = guards
             .iter()
             .map(|g| g.stats())
-            .fold(CacheStats::default(), |acc, s| acc.merged(&s))
+            .fold(CacheStats::default(), |acc, s| acc.merged(&s));
+        // Device-level page-program tally and the sharded admission filter's
+        // counters live outside the shards — atomic reads, no extra lock
+        // sweep. (S3-FIFO shards report their admission counters through the
+        // per-shard stats merged above; exactly one of the two sources is
+        // nonzero.)
+        merged.flash_pages_written = self.flash_pages_written();
+        merged.admission_filtered += self.admission_filtered.get();
+        merged.admission_ghost_hits += self.admission_ghost_hits.get();
+        merged
+    }
+
+    /// Lifetime flash page programs across every shard's store — a
+    /// **lock-free** sum of the per-device atomic tallies (monotonic: it
+    /// survives [`CacheStats`] resets and cold wipes, so callers diff
+    /// before/after readings).
+    pub fn flash_pages_written(&self) -> u64 {
+        self.stores.iter().map(|s| s.pages_written()).sum()
     }
 
     /// Reset activity counters on every shard, under an all-shards **write**
@@ -438,6 +514,8 @@ impl ShardedFlashCache {
         for g in &guards {
             g.reset_stats();
         }
+        self.admission_filtered.set(0);
+        self.admission_ghost_hits.set(0);
     }
 
     /// Occupied page slots across shards, from the per-shard occupancy
@@ -537,7 +615,17 @@ mod tests {
         assert_eq!(stats.inserts, 64);
         assert_eq!(stats.hits, 64);
         c.reset_stats();
-        assert_eq!(c.stats(), CacheStats::default());
+        let after = c.stats();
+        // Everything resets except the device-level page-program tally,
+        // which is monotonic by contract (callers diff readings).
+        assert_eq!(
+            after,
+            CacheStats {
+                flash_pages_written: after.flash_pages_written,
+                ..CacheStats::default()
+            }
+        );
+        assert_eq!(after.flash_pages_written, c.flash_pages_written());
     }
 
     #[test]
@@ -883,6 +971,123 @@ mod tests {
         }
         assert_eq!(c.stats().fetch_retries, 0);
         assert_eq!(c.stats().hits, 16);
+    }
+
+    fn clean_page(n: u32) -> StagedPage {
+        let mut p = Page::new(PageId::new(0, n));
+        p.set_lsn(Lsn(n as u64 + 1));
+        p.write_body(0, &n.to_le_bytes());
+        StagedPage::with_data(p, false, true)
+    }
+
+    fn ghosted(kind: CachePolicyKind, capacity: usize, shards: usize) -> ShardedFlashCache {
+        let config = CacheConfig {
+            capacity_pages: capacity,
+            group_size: 4,
+            meta_checkpoint_interval_groups: 1_000_000,
+            ghost_admission: true,
+            ..CacheConfig::default()
+        };
+        ShardedFlashCache::build(kind, config, shards, |cap| {
+            Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn ghost_admission_rejects_clean_first_touches() {
+        let c = ghosted(CachePolicyKind::FaceGsc, 256, 4);
+        let mut io = IoLog::new();
+        // Clean one-touch pages: every insert is filtered, no flash writes.
+        for n in 0..32u32 {
+            let out = c.insert(clean_page(n), &mut io);
+            assert!(!out.cached, "clean first touch must be filtered");
+            assert!(!c.contains(PageId::new(0, n)));
+        }
+        c.sync(&mut io);
+        assert_eq!(c.flash_pages_written(), 0, "one-touch pages cost nothing");
+        let stats = c.stats();
+        assert_eq!(stats.admission_filtered, 32);
+        assert_eq!(stats.admission_ghost_hits, 0);
+        assert_eq!(stats.flash_pages_written, 0);
+
+        // The comeback earns the write.
+        for n in 0..32u32 {
+            let out = c.insert(clean_page(n), &mut io);
+            assert!(out.cached, "ghost re-reference must be admitted");
+            assert!(c.contains(PageId::new(0, n)));
+        }
+        c.sync(&mut io);
+        assert!(c.flash_pages_written() >= 32);
+        assert_eq!(c.stats().admission_ghost_hits, 32);
+    }
+
+    #[test]
+    fn ghost_admission_never_rejects_dirty_pages() {
+        let c = ghosted(CachePolicyKind::FaceGsc, 256, 4);
+        let mut io = IoLog::new();
+        for n in 0..16u32 {
+            // data_page() stages dirty pages: the only up-to-date copy.
+            let out = c.insert(data_page(n), &mut io);
+            assert!(out.cached, "a dirty page must always be absorbed");
+            assert!(c.contains(PageId::new(0, n)));
+        }
+        assert_eq!(c.stats().admission_filtered, 0);
+    }
+
+    #[test]
+    fn ghost_admission_gates_tac_disk_fetches() {
+        let c = ghosted(CachePolicyKind::Tac, 64, 1);
+        let mut io = IoLog::new();
+        let page = PageId::new(0, 0);
+        // The filters compose: odd touches are ghosted (each pass-through
+        // consumes the ghost entry), even touches reach TAC and heat the
+        // extent — so with TAC's threshold of two the fourth touch caches.
+        assert!(!c.on_fetched_from_disk(page, &mut io).cached); // ghosted
+        assert!(!c.on_fetched_from_disk(page, &mut io).cached); // TAC heat 1
+        assert!(!c.on_fetched_from_disk(page, &mut io).cached); // ghosted
+        let out = c.on_fetched_from_disk(page, &mut io); // TAC heat 2
+        assert!(out.cached, "heat accumulated after ghost admission");
+        assert_eq!(c.stats().admission_filtered, 2);
+        assert_eq!(c.stats().admission_ghost_hits, 2);
+    }
+
+    #[test]
+    fn s3fifo_shards_round_trip_and_recover() {
+        let config = CacheConfig {
+            capacity_pages: 256,
+            group_size: 4,
+            meta_checkpoint_interval_groups: 1_000_000,
+            lock_light_reads: true,
+            ..CacheConfig::default()
+        };
+        let c = ShardedFlashCache::build(CachePolicyKind::S3Fifo, config, 4, |cap| {
+            Arc::new(MemFlashStore::new(cap)) as Arc<dyn FlashStore>
+        })
+        .unwrap();
+        assert_eq!(c.policy_name(), "S3-FIFO");
+        assert!(c.persists_dirty_pages());
+        let mut io = IoLog::new();
+        for n in 0..64u32 {
+            assert!(c.insert(data_page(n), &mut io).cached, "dirty absorbed");
+        }
+        // Dirty first touches sit on probation in the small queue and would
+        // demote if never touched again; a second version of each page is a
+        // proven re-reference and lands in the roomy main queue.
+        for n in 0..64u32 {
+            assert!(c.insert(data_page(n), &mut io).cached, "update absorbed");
+        }
+        for n in 0..64u32 {
+            let hit = c.fetch(PageId::new(0, n), &mut io).expect("cached");
+            assert_eq!(hit.data.unwrap().read_body(0, 4), &n.to_le_bytes());
+        }
+        c.sync(&mut io);
+        assert!(c.flash_pages_written() > 0);
+        let info = c.crash_and_recover(Lsn(u64::MAX), &mut io);
+        assert!(info.survived, "S3-FIFO metadata persists like FaCE's");
+        for n in 0..64u32 {
+            assert!(c.contains(PageId::new(0, n)), "page {n} lost in crash");
+        }
     }
 
     #[test]

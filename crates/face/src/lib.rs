@@ -12,6 +12,7 @@
 //! | FaCE (mvFIFO) | on exit from DRAM | write-back | multi-version FIFO | [`mvfifo`] |
 //! | FaCE + GR | on exit | write-back | mvFIFO, batched group I/O | [`mvfifo`] |
 //! | FaCE + GSC | on exit | write-back | mvFIFO, group second chance | [`mvfifo`] |
+//! | S3-FIFO | on exit, ghost-gated | write-back | small/main/ghost FIFO | [`s3fifo`] |
 //! | LC (lazy cleaning) | on exit | write-back | LRU-2, in-place overwrite | [`lc`] |
 //! | TAC (temperature-aware) | on entry | write-through | temperature buckets | [`tac`] |
 //!
@@ -40,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admission;
 pub mod concurrent;
 pub mod cost_model;
 pub mod destage;
@@ -49,10 +51,12 @@ pub mod lc;
 pub mod meta;
 pub mod mvfifo;
 pub mod policy;
+pub mod s3fifo;
 pub mod store;
 pub mod tac;
 pub mod types;
 
+pub use admission::{GhostQueue, SharedGhost};
 pub use concurrent::ShardedFlashCache;
 pub use cost_model::{AccessMix, CostModel};
 pub use destage::{
@@ -65,6 +69,7 @@ pub use lc::LcCache;
 pub use meta::{CacheCheckpoint, JournalEntry, JournalStats, MetaJournal, RecoveredJournal};
 pub use mvfifo::MvFifoCache;
 pub use policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier, PageSupplier};
+pub use s3fifo::S3FifoCache;
 pub use store::{FlashStore, GateFlashStore, HeaderFlashStore, MemFlashStore, NullFlashStore};
 pub use tac::TacCache;
 pub use types::{

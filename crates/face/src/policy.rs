@@ -8,6 +8,7 @@ use face_pagestore::PageId;
 use crate::io::IoLog;
 use crate::lc::LcCache;
 use crate::mvfifo::MvFifoCache;
+use crate::s3fifo::S3FifoCache;
 use crate::store::FlashStore;
 use crate::tac::TacCache;
 use crate::types::{
@@ -202,6 +203,10 @@ pub enum CachePolicyKind {
     FaceGr,
     /// FaCE with Group Second Chance.
     FaceGsc,
+    /// S3-FIFO: small/main static queues plus a ghost admission directory
+    /// (quick demotion of one-hit wonders, no flash write for a clean first
+    /// touch).
+    S3Fifo,
     /// Lazy Cleaning baseline (LRU-2, write-back, in-place overwrite).
     Lc,
     /// Temperature-aware caching baseline (on-entry, write-through).
@@ -210,10 +215,11 @@ pub enum CachePolicyKind {
 
 impl CachePolicyKind {
     /// All policies that actually cache (excludes `None`).
-    pub const CACHING: [CachePolicyKind; 5] = [
+    pub const CACHING: [CachePolicyKind; 6] = [
         CachePolicyKind::Face,
         CachePolicyKind::FaceGr,
         CachePolicyKind::FaceGsc,
+        CachePolicyKind::S3Fifo,
         CachePolicyKind::Lc,
         CachePolicyKind::Tac,
     ];
@@ -225,6 +231,7 @@ impl CachePolicyKind {
             CachePolicyKind::Face => "FaCE",
             CachePolicyKind::FaceGr => "FaCE+GR",
             CachePolicyKind::FaceGsc => "FaCE+GSC",
+            CachePolicyKind::S3Fifo => "S3-FIFO",
             CachePolicyKind::Lc => "LC",
             CachePolicyKind::Tac => "TAC",
         }
@@ -268,6 +275,7 @@ pub fn build_cache(
             };
             Some(Box::new(MvFifoCache::new(cfg, store)))
         }
+        CachePolicyKind::S3Fifo => Some(Box::new(S3FifoCache::new(config, store))),
         CachePolicyKind::Lc => Some(Box::new(LcCache::new(config, store))),
         CachePolicyKind::Tac => Some(Box::new(TacCache::new(config, store))),
     }
@@ -282,7 +290,8 @@ mod tests {
     fn labels_and_display() {
         assert_eq!(CachePolicyKind::FaceGsc.label(), "FaCE+GSC");
         assert_eq!(format!("{}", CachePolicyKind::Lc), "LC");
-        assert_eq!(CachePolicyKind::CACHING.len(), 5);
+        assert_eq!(CachePolicyKind::S3Fifo.label(), "S3-FIFO");
+        assert_eq!(CachePolicyKind::CACHING.len(), 6);
     }
 
     #[test]

@@ -1,0 +1,1563 @@
+//! S3-FIFO replacement with ghost-queue admission — a wear-aware policy
+//! behind the same [`FlashCache`] contract as the FaCE mvFIFO family.
+//!
+//! The flash device is split into two **static circular queues**: a small
+//! probationary region (default 10 % of capacity) and a main region, plus a
+//! RAM-only **ghost** FIFO of recently rejected/evicted page ids
+//! ([`crate::admission::GhostQueue`]). The flow:
+//!
+//! * a **clean first touch** is recorded only in the ghost directory and is
+//!   *not* admitted — no flash write for a potential one-hit wonder;
+//! * a page whose id is live in the ghost (it came back) is admitted straight
+//!   into the **main** queue — the re-reference earned the flash write;
+//! * a **dirty** first touch must be absorbed (that is FaCE's write-economy
+//!   bargain), so it enters the **small** queue on probation;
+//! * eviction from *small* quickly demotes one-hit wonders: an unreferenced
+//!   victim leaves the flash (dirty → disk, clean → dropped) and its id goes
+//!   to the ghost; a referenced victim is promoted to *main*;
+//! * eviction from *main* is group FIFO with second chance, exactly like
+//!   FaCE+GSC's dequeue (forced progress when every victim is referenced).
+//!
+//! Everything around that — multi-version slots with a validity bit, deferred
+//! group writes with [`S3FifoCache::complete_group`] sealing, the
+//! `fetch_pin`/`fetch_validate` generation protocol, metadata-journal
+//! durability with crash recovery — mirrors [`crate::mvfifo::MvFifoCache`].
+//! Both regions share one pending batch and one journal; a journal group's
+//! `front`/`size` pointers pack the two regions' pointers into the two u64s
+//! (`pack_pointers`). The ghost directory is volatile by design: it is an
+//! admission heuristic, and after a crash it restarts empty.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use face_pagestore::{Lsn, Page, PageId};
+
+use crate::admission::GhostQueue;
+use crate::destage::{PendingGroupWrite, PendingSlotWrite};
+use crate::io::IoLog;
+use crate::meta::{JournalEntry, MetaJournal};
+use crate::policy::{FlashCache, PageSupplier};
+use crate::store::FlashStore;
+use crate::types::{
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FetchPin, FlashFetch,
+    InsertOutcome, SlotGenerations, StagedPage,
+};
+
+/// Metadata for one occupied flash slot (same shape as mvFIFO's).
+#[derive(Debug, Clone)]
+struct SlotMeta {
+    page: PageId,
+    lsn: Lsn,
+    dirty: bool,
+    /// This is the latest version of the page.
+    valid: bool,
+    /// Hit while cached — promotion (small) / second-chance (main) candidate.
+    referenced: bool,
+    /// The journal group epoch this version was enqueued under.
+    epoch: u64,
+}
+
+/// A deferred group whose physical batch write is owed by the caller.
+struct InflightGroup {
+    write: PendingGroupWrite,
+    completed: bool,
+}
+
+/// One of the two static queue regions of the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Queue {
+    Small,
+    Main,
+}
+
+/// A circular FIFO over the slot range `[base, base + cap)`.
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    base: usize,
+    cap: usize,
+    /// Offset (within the region) of the oldest occupied slot.
+    front: usize,
+    /// Occupied slots.
+    size: usize,
+}
+
+impl Region {
+    fn new(base: usize, cap: usize) -> Self {
+        Self {
+            base,
+            cap,
+            front: 0,
+            size: 0,
+        }
+    }
+
+    fn free(&self) -> usize {
+        self.cap - self.size
+    }
+
+    /// Absolute slot index of the `i`-th occupied slot (queue order).
+    fn slot_at(&self, i: usize) -> usize {
+        self.base + (self.front + i) % self.cap
+    }
+
+    fn rear(&self) -> usize {
+        self.base + (self.front + self.size) % self.cap
+    }
+
+    /// Whether the absolute slot index lies inside the occupied window.
+    fn in_window(&self, slot: usize) -> bool {
+        if slot < self.base || slot >= self.base + self.cap {
+            return false;
+        }
+        let offset = (slot - self.base + self.cap - self.front) % self.cap;
+        offset < self.size
+    }
+}
+
+/// Pack the two regions' queue pointers into one u64 (small in the low half)
+/// for the journal's single `front`/`size` pointer pair. Capacities are
+/// asserted below `u32::MAX`, so the halves cannot collide.
+fn pack_pointers(small: usize, main: usize) -> u64 {
+    (small as u64) | ((main as u64) << 32)
+}
+
+/// Inverse of [`pack_pointers`].
+fn unpack_pointers(packed: u64) -> (usize, usize) {
+    ((packed & u32::MAX as u64) as usize, (packed >> 32) as usize)
+}
+
+/// The S3-FIFO flash cache.
+pub struct S3FifoCache {
+    config: CacheConfig,
+    store: Arc<dyn FlashStore>,
+    /// Slot metadata over the whole device; `None` = outside both queues.
+    slots: Vec<Option<SlotMeta>>,
+    small: Region,
+    main: Region,
+    /// Latest valid version of each cached page.
+    dir: HashMap<PageId, usize>,
+    /// RAM-only ghost directory (rejected first touches + small-queue
+    /// evictions). Lost on crash — admission heuristic, not metadata.
+    ghost: GhostQueue,
+    /// Slots assigned but whose physical batch write has not happened yet.
+    /// Shared by both regions: their entries seal under one journal group.
+    pending_slots: Vec<usize>,
+    pending_data: Vec<Option<Arc<Page>>>,
+    /// Deferred groups awaiting their physical batch write, by epoch.
+    inflight: BTreeMap<u64, InflightGroup>,
+    /// `slot -> (epoch, frame)` for in-flight groups (RAM-served fetches).
+    inflight_data: HashMap<usize, (u64, Arc<Page>)>,
+    generations: SlotGenerations,
+    journal: MetaJournal,
+    stats: CacheStatCounters,
+}
+
+impl S3FifoCache {
+    /// Split `capacity` into the small-queue share and the rest, both at
+    /// least one slot.
+    fn split_capacity(config: &CacheConfig) -> (usize, usize) {
+        let capacity = config.capacity_pages;
+        let fraction = if config.s3_small_fraction.is_finite() {
+            config.s3_small_fraction.clamp(0.0, 1.0)
+        } else {
+            0.1
+        };
+        let small = ((capacity as f64 * fraction).round() as usize).clamp(1, capacity - 1);
+        (small, capacity - small)
+    }
+
+    /// Create a cache with the given configuration over `store`.
+    ///
+    /// # Panics
+    /// Panics if the capacity is below two pages (each region needs a slot),
+    /// exceeds `u32::MAX` (queue pointers pack into journal u64 halves), or
+    /// the store is smaller than the configured capacity.
+    pub fn new(config: CacheConfig, store: Arc<dyn FlashStore>) -> Self {
+        assert!(
+            config.capacity_pages >= 2,
+            "S3-FIFO needs at least two pages (one per region)"
+        );
+        assert!(
+            config.capacity_pages < u32::MAX as usize,
+            "region pointers pack into u32 halves"
+        );
+        assert!(
+            store.capacity() >= config.capacity_pages,
+            "flash store smaller than configured capacity"
+        );
+        assert!(config.group_size >= 1, "group size must be at least 1");
+        let capacity = config.capacity_pages;
+        let (small_cap, main_cap) = Self::split_capacity(&config);
+        let journal = MetaJournal::new(config.meta_checkpoint_interval_groups);
+        let ghost = GhostQueue::new(config.effective_ghost_capacity());
+        Self {
+            config,
+            store,
+            slots: (0..capacity).map(|_| None).collect(),
+            small: Region::new(0, small_cap),
+            main: Region::new(small_cap, main_cap),
+            dir: HashMap::new(),
+            ghost,
+            pending_slots: Vec::new(),
+            pending_data: Vec::new(),
+            inflight: BTreeMap::new(),
+            inflight_data: HashMap::new(),
+            generations: SlotGenerations::new(capacity),
+            journal,
+            stats: CacheStatCounters::default(),
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The persistent mapping-metadata journal (for recovery experiments).
+    pub fn journal(&self) -> &MetaJournal {
+        &self.journal
+    }
+
+    /// (small, main) occupied sizes — queue-membership assertions in tests.
+    pub fn region_sizes(&self) -> (usize, usize) {
+        (self.small.size, self.main.size)
+    }
+
+    /// Live ghost entries (diagnostics).
+    pub fn ghost_len(&self) -> usize {
+        self.ghost.len()
+    }
+
+    /// The valid (served) page versions with LSN and dirty flag, small queue
+    /// first, each region in queue (oldest-to-newest) order.
+    pub fn valid_versions(&self) -> Vec<(PageId, Lsn, bool)> {
+        self.directory_snapshot()
+            .into_iter()
+            .map(|e| (e.page, e.lsn, e.dirty))
+            .collect()
+    }
+
+    fn region(&self, which: Queue) -> &Region {
+        match which {
+            Queue::Small => &self.small,
+            Queue::Main => &self.main,
+        }
+    }
+
+    fn region_mut(&mut self, which: Queue) -> &mut Region {
+        match which {
+            Queue::Small => &mut self.small,
+            Queue::Main => &mut self.main,
+        }
+    }
+
+    /// Which region an absolute slot index belongs to.
+    fn queue_of(&self, slot: usize) -> Queue {
+        if slot < self.small.cap {
+            Queue::Small
+        } else {
+            Queue::Main
+        }
+    }
+
+    fn packed_front(&self) -> u64 {
+        pack_pointers(self.small.front, self.main.front)
+    }
+
+    fn packed_size(&self) -> u64 {
+        pack_pointers(self.small.size, self.main.size)
+    }
+
+    fn snapshot_filtered(&self, below_epoch: u64) -> Vec<JournalEntry> {
+        let mut out = Vec::new();
+        for region in [&self.small, &self.main] {
+            for i in 0..region.size {
+                let slot = region.slot_at(i);
+                if let Some(m) = &self.slots[slot] {
+                    if m.valid && m.epoch < below_epoch {
+                        out.push(JournalEntry {
+                            epoch: m.epoch,
+                            slot: slot as u32,
+                            page: m.page,
+                            lsn: m.lsn,
+                            dirty: m.dirty,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The live directory (valid versions, small then main, queue order).
+    fn directory_snapshot(&self) -> Vec<JournalEntry> {
+        self.snapshot_filtered(u64::MAX)
+    }
+
+    /// Only entries whose journal group has sealed — see
+    /// `MvFifoCache::durable_directory_snapshot` for why a checkpoint must
+    /// never reference in-flight (unwritten) versions.
+    fn durable_directory_snapshot(&self) -> Vec<JournalEntry> {
+        let oldest_unsealed = self
+            .inflight
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.journal.current_epoch());
+        self.snapshot_filtered(oldest_unsealed)
+    }
+
+    /// Force a cache checkpoint: flush the pending batch and persist a
+    /// directory snapshot, so a subsequent restart replays no journal.
+    pub fn checkpoint_metadata(&mut self, io: &mut IoLog) {
+        self.flush_all_groups_inline(io);
+        let pointers = (self.packed_front(), self.packed_size());
+        let already_folded = self.journal.replay_entries() == 0
+            && self.journal.checkpoint().map(|c| (c.front, c.size)) == Some(pointers);
+        if already_folded {
+            return;
+        }
+        let snapshot = self.durable_directory_snapshot();
+        self.journal
+            .install_checkpoint(pointers.0, pointers.1, snapshot, io);
+        self.stats.metadata_flushes.inc();
+    }
+
+    /// The RAM-resident frame for `slot` (pending batch or in-flight group),
+    /// if its batch write has not reached the device.
+    fn ram_frame(&self, slot: usize) -> Option<Option<Arc<Page>>> {
+        if let Some(pos) = self.pending_slots.iter().position(|&s| s == slot) {
+            return Some(self.pending_data[pos].clone());
+        }
+        if let Some((_, frame)) = self.inflight_data.get(&slot) {
+            return Some(Some(Arc::clone(frame)));
+        }
+        None
+    }
+
+    fn slot_frame(&self, slot: usize) -> Option<Arc<Page>> {
+        match self.ram_frame(slot) {
+            Some(frame) => frame,
+            None => self.store.read_slot(slot).map(Arc::new),
+        }
+    }
+
+    /// Assign `which`'s rear slot to a page version and record its journal
+    /// entry in the current group; the physical write is deferred to the
+    /// pending batch.
+    fn enqueue_assign(&mut self, which: Queue, staged: &StagedPage) -> usize {
+        debug_assert!(self.region(which).free() > 0, "enqueue without free slot");
+        let slot = self.region(which).rear();
+        self.region_mut(which).size += 1;
+        self.generations.bump(slot);
+        self.slots[slot] = Some(SlotMeta {
+            page: staged.page,
+            lsn: staged.lsn,
+            dirty: staged.dirty,
+            valid: true,
+            referenced: false,
+            epoch: self.journal.current_epoch(),
+        });
+        self.dir.insert(staged.page, slot);
+        self.journal
+            .append(slot as u32, staged.page, staged.lsn, staged.dirty);
+        self.pending_slots.push(slot);
+        self.pending_data.push(staged.data.clone());
+        slot
+    }
+
+    /// Physically write the pending batch and seal its journal group
+    /// (inline path; deferred mode uses [`S3FifoCache::form_pending_group`]).
+    /// The batch may span both regions: each region appends sequentially at
+    /// its own rear, so the device sees (at most) two append streams.
+    fn flush_pending(&mut self, io: &mut IoLog) {
+        if self.pending_slots.is_empty() {
+            return;
+        }
+        let n = self.pending_slots.len() as u32;
+        io.flash_write_seq(n);
+        for (slot, data) in self.pending_slots.iter().zip(self.pending_data.iter()) {
+            if self.store.carries_data() {
+                if let Some(page) = data {
+                    self.store.write_slot(*slot, page);
+                }
+            }
+            if let Some(meta) = &self.slots[*slot] {
+                self.store.note_slot_header(*slot, meta.page, meta.lsn);
+            }
+        }
+        self.pending_slots.clear();
+        self.pending_data.clear();
+        self.journal
+            .seal_group(self.packed_front(), self.packed_size(), io);
+        self.maybe_cadence_checkpoint(io);
+    }
+
+    fn maybe_cadence_checkpoint(&mut self, io: &mut IoLog) {
+        if self.journal.checkpoint_due() {
+            let snapshot = self.durable_directory_snapshot();
+            self.journal
+                .install_checkpoint(self.packed_front(), self.packed_size(), snapshot, io);
+            self.stats.metadata_flushes.inc();
+        }
+    }
+
+    /// Detach the filled pending batch as a [`PendingGroupWrite`] (deferred
+    /// mode). No I/O happens here.
+    fn form_pending_group(&mut self) -> Option<PendingGroupWrite> {
+        if self.pending_slots.is_empty() {
+            return None;
+        }
+        let (epoch, entries) = self
+            .journal
+            .begin_deferred_group()
+            .expect("pending slots imply unsealed journal entries");
+        let slots = std::mem::take(&mut self.pending_slots);
+        let data = std::mem::take(&mut self.pending_data);
+        let mut pages = Vec::with_capacity(slots.len());
+        for (slot, frame) in slots.into_iter().zip(data) {
+            let meta = self.slots[slot]
+                .as_ref()
+                .expect("pending slot has metadata");
+            if let Some(frame) = &frame {
+                self.inflight_data.insert(slot, (epoch, Arc::clone(frame)));
+            }
+            pages.push(PendingSlotWrite {
+                slot,
+                page: meta.page,
+                lsn: meta.lsn,
+                data: frame,
+            });
+        }
+        let write = PendingGroupWrite {
+            shard: 0,
+            epoch,
+            pages,
+            meta_records: entries,
+        };
+        self.inflight.insert(
+            epoch,
+            InflightGroup {
+                write: write.clone(),
+                completed: false,
+            },
+        );
+        Some(write)
+    }
+
+    /// Inline fallback for sync/checkpoint/evacuation: apply and seal every
+    /// in-flight group (oldest first), then flush the current batch.
+    fn flush_all_groups_inline(&mut self, io: &mut IoLog) {
+        let epochs: Vec<u64> = self.inflight.keys().copied().collect();
+        for epoch in epochs {
+            let write = match self.inflight.get(&epoch) {
+                Some(g) if !g.completed => Some(g.write.clone()),
+                _ => None,
+            };
+            if let Some(write) = write {
+                write.apply(&*self.store, io);
+            }
+            self.complete_group(epoch, io);
+        }
+        if self.config.defer_group_writes {
+            if let Some(write) = self.form_pending_group() {
+                write.apply(&*self.store, io);
+                self.complete_group(write.epoch, io);
+            }
+        } else {
+            self.flush_pending(io);
+        }
+    }
+
+    /// Dequeue up to `group_size` victims from `which`'s front.
+    ///
+    /// * **Small**: an unreferenced valid victim leaves the flash — its id is
+    ///   recorded in the ghost, dirty contents go to `to_disk`; a referenced
+    ///   valid victim is returned in `survivors` for promotion to main.
+    /// * **Main**: a referenced valid victim is returned in `survivors` for
+    ///   re-enqueue at the main rear (second chance), with forced progress
+    ///   when the whole group was referenced; unreferenced dirty victims go
+    ///   to `to_disk`.
+    ///
+    /// Every dequeued slot leaves its region unconditionally (unlike mvFIFO's
+    /// single queue, promotion moves pages *between* regions, so a small-
+    /// queue dequeue always makes progress).
+    fn group_dequeue(
+        &mut self,
+        which: Queue,
+        io: &mut IoLog,
+    ) -> (Vec<StagedPage>, Vec<StagedPage>) {
+        let n = self.config.group_size.min(self.region(which).size);
+        if n == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        // One sequential batch read if any victim's contents are needed
+        // (stage-out to disk, promotion, or second chance).
+        let mut needs_read = false;
+        for i in 0..n {
+            let slot = self.region(which).slot_at(i);
+            if let Some(m) = &self.slots[slot] {
+                if m.valid && (m.dirty || m.referenced) {
+                    needs_read = true;
+                    break;
+                }
+            }
+        }
+        if needs_read {
+            io.flash_read_seq(n as u32);
+        }
+
+        let mut to_disk = Vec::new();
+        let mut survivors = Vec::new();
+        for i in 0..n {
+            let slot = self.region(which).slot_at(i);
+            self.generations.bump(slot);
+            let Some(meta) = self.slots[slot].take() else {
+                continue;
+            };
+            let pending_data = self
+                .pending_slots
+                .iter()
+                .position(|&s| s == slot)
+                .and_then(|pos| {
+                    self.pending_slots.remove(pos);
+                    self.pending_data.remove(pos)
+                });
+            self.stats.staged_out.inc();
+            if meta.valid {
+                if self.dir.get(&meta.page) == Some(&slot) {
+                    self.dir.remove(&meta.page);
+                }
+                let slot_data = |cache: &Self, pending: Option<Arc<Page>>| {
+                    pending
+                        .or_else(|| cache.inflight_data.get(&slot).map(|(_, f)| Arc::clone(f)))
+                        .or_else(|| {
+                            // Residual under-lock flash read, same as the
+                            // mvFIFO dequeue: the victim's bytes are no
+                            // longer RAM-resident. Acknowledged and rare.
+                            let _allow = face_analysis::witness::allow_device_io(
+                                "s3fifo: dequeue reads a non-resident victim's slot",
+                            );
+                            cache.store.read_slot(slot).map(Arc::new)
+                        })
+                };
+                if meta.referenced {
+                    // Promotion (small) / second chance (main): the page
+                    // proved itself while cached.
+                    let data = slot_data(self, pending_data);
+                    self.stats.second_chances.inc();
+                    survivors.push(StagedPage {
+                        page: meta.page,
+                        lsn: meta.lsn,
+                        dirty: meta.dirty,
+                        fdirty: true, // force unconditional re-enqueue
+                        data,
+                    });
+                } else {
+                    if which == Queue::Small {
+                        // Quick demotion: remember the id so a comeback is
+                        // admitted straight to main.
+                        self.ghost.record(meta.page);
+                    }
+                    if meta.dirty {
+                        let data = slot_data(self, pending_data);
+                        self.stats.staged_out_to_disk.inc();
+                        io.disk_write(meta.page);
+                        to_disk.push(StagedPage {
+                            page: meta.page,
+                            lsn: meta.lsn,
+                            dirty: true,
+                            fdirty: false,
+                            data,
+                        });
+                    }
+                    // Clean, unreferenced valid pages are simply discarded.
+                }
+            }
+            // Invalid (superseded) versions are discarded with no I/O.
+        }
+        {
+            let region = self.region_mut(which);
+            region.front = (region.front + n) % region.cap;
+            region.size -= n;
+        }
+
+        // Forced progress in main (paper §3.3): if every victim was
+        // referenced, a full re-enqueue would replace nothing — force the
+        // oldest out. Small needs no forcing: promotion always vacates it.
+        if which == Queue::Main && !survivors.is_empty() && survivors.len() == n {
+            let forced = survivors.remove(0);
+            self.stats.second_chances.sub(1);
+            if forced.dirty {
+                self.stats.staged_out_to_disk.inc();
+                io.disk_write(forced.page);
+                to_disk.push(forced);
+            }
+        }
+        (to_disk, survivors)
+    }
+
+    /// Invalidate the previous version of `page`, if cached.
+    fn invalidate_previous(&mut self, page: PageId) {
+        if let Some(slot) = self.dir.remove(&page) {
+            if let Some(meta) = &mut self.slots[slot] {
+                meta.valid = false;
+                self.stats.invalidations.inc();
+            }
+        }
+    }
+
+    /// Admit one version into the main queue: make space (second-chance
+    /// survivors re-enqueue inside the loop, like mvFIFO's `admit`), then
+    /// assign a slot.
+    fn admit_main(&mut self, staged: StagedPage, outcome: &mut InsertOutcome, io: &mut IoLog) {
+        while self.main.free() == 0 {
+            let (to_disk, survivors) = self.group_dequeue(Queue::Main, io);
+            outcome.staged_out.extend(to_disk);
+            for sc in survivors {
+                // Space is guaranteed: the dequeue freed `n` slots and at
+                // most `n - 1` survivors remain (forced progress).
+                self.invalidate_previous(sc.page);
+                self.enqueue_assign(Queue::Main, &sc);
+            }
+        }
+        self.invalidate_previous(staged.page);
+        self.enqueue_assign(Queue::Main, &staged);
+        self.stats.cached_inserts.inc();
+    }
+
+    /// Admit one version into the small (probationary) queue, promoting
+    /// referenced victims into main as a side effect.
+    fn admit_small(&mut self, staged: StagedPage, outcome: &mut InsertOutcome, io: &mut IoLog) {
+        while self.small.free() == 0 {
+            let (to_disk, promotions) = self.group_dequeue(Queue::Small, io);
+            outcome.staged_out.extend(to_disk);
+            for p in promotions {
+                self.admit_main(p, outcome, io);
+            }
+        }
+        self.invalidate_previous(staged.page);
+        self.enqueue_assign(Queue::Small, &staged);
+        self.stats.cached_inserts.inc();
+    }
+
+    /// Restore a cache from its surviving flash-resident state after a
+    /// crash. Identical reconciliation rules to `MvFifoCache::recover`
+    /// (versions beyond `durable_lsn` are discarded and their slots
+    /// physically invalidated; a bounded newest-first header scan re-admits
+    /// uncovered window slots); the only structural difference is that the
+    /// journal's packed pointers rebuild *two* queue windows, and the ghost
+    /// directory restarts empty (it is RAM-only by design).
+    pub fn recover(
+        config: CacheConfig,
+        store: Arc<dyn FlashStore>,
+        survived: &MetaJournal,
+        durable_lsn: Lsn,
+        io: &mut IoLog,
+    ) -> (Self, CacheRecoveryInfo) {
+        let recovered = survived.recover(io);
+        let group_size = config.group_size;
+
+        let mut cache = Self::new(config, Arc::clone(&store));
+        let (small_front, main_front) = unpack_pointers(recovered.front);
+        let (small_size, main_size) = unpack_pointers(recovered.size);
+        cache.small.front = small_front % cache.small.cap.max(1);
+        cache.small.size = small_size.min(cache.small.cap);
+        cache.main.front = main_front % cache.main.cap.max(1);
+        cache.main.size = main_size.min(cache.main.cap);
+        let mut info = CacheRecoveryInfo {
+            survived: true,
+            metadata_segments_loaded: u64::from(recovered.checkpoint_loaded)
+                + survived.sealed_groups() as u64,
+            checkpoint_loaded: recovered.checkpoint_loaded,
+            checkpoint_entries_loaded: recovered.checkpoint_entries,
+            journal_records_replayed: recovered.journal_records_replayed,
+            ..CacheRecoveryInfo::default()
+        };
+
+        // Replay in journal order; later entries supersede earlier ones for
+        // their page and their slot alike.
+        let mut doomed_slots: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for e in &recovered.entries {
+            let slot = e.slot as usize;
+            if slot >= cache.slots.len() {
+                continue;
+            }
+            let live = match cache.queue_of(slot) {
+                Queue::Small => cache.small.in_window(slot),
+                Queue::Main => cache.main.in_window(slot),
+            };
+            if !live {
+                continue;
+            }
+            if e.lsn > durable_lsn {
+                // Rule 1: the version outran the durable log. Its bytes own
+                // the slot (data and metadata seal together), so any earlier
+                // entry replayed onto the slot goes too.
+                info.entries_discarded_beyond_wal += 1;
+                doomed_slots.insert(slot);
+                if let Some(old) = cache.slots[slot].take() {
+                    if cache.dir.get(&old.page) == Some(&slot) {
+                        cache.dir.remove(&old.page);
+                    }
+                }
+                continue;
+            }
+            doomed_slots.remove(&slot);
+            if let Some(old) = &cache.slots[slot] {
+                if old.page != e.page && cache.dir.get(&old.page) == Some(&slot) {
+                    cache.dir.remove(&old.page);
+                }
+            }
+            if let Some(prev) = cache.dir.insert(e.page, slot) {
+                if prev != slot {
+                    if let Some(m) = &mut cache.slots[prev] {
+                        m.valid = false;
+                    }
+                }
+            }
+            cache.slots[slot] = Some(SlotMeta {
+                page: e.page,
+                lsn: e.lsn,
+                dirty: e.dirty,
+                valid: true,
+                referenced: false,
+                epoch: e.epoch,
+            });
+        }
+
+        for slot in &doomed_slots {
+            store.clear_slot(*slot);
+        }
+
+        // Bounded tail scan (§4.2), shared budget across both regions,
+        // newest-first within each: window slots the journal left uncovered
+        // are probed through their page headers under the same rules.
+        let mut scanned = 0u64;
+        let scan_cap = (2 * group_size.max(1)) as u64;
+        let windows = [cache.main, cache.small];
+        for region in windows {
+            for i in (0..region.size).rev() {
+                if scanned >= scan_cap {
+                    break;
+                }
+                let slot = region.slot_at(i);
+                if cache.slots[slot].is_some() {
+                    continue;
+                }
+                scanned += 1;
+                info.pages_scanned += 1;
+                if let Some((page, lsn)) = store.slot_header(slot) {
+                    if lsn > durable_lsn || cache.dir.contains_key(&page) {
+                        continue;
+                    }
+                    cache.dir.insert(page, slot);
+                    cache.slots[slot] = Some(SlotMeta {
+                        page,
+                        lsn,
+                        // The dirty flag is not in the page header; assume
+                        // dirty (safe: at worst an extra disk write).
+                        dirty: true,
+                        valid: true,
+                        referenced: false,
+                        epoch: 0,
+                    });
+                }
+            }
+        }
+        if scanned > 0 {
+            io.flash_read_seq(scanned as u32);
+        }
+
+        info.entries_restored = cache.dir.len() as u64;
+        cache.journal = survived.clone();
+        // Reconciliation discarded versions the survivor's durable metadata
+        // still describes: rewrite the snapshot from the reconciled
+        // directory so a later recovery cannot resurrect the dead timeline.
+        if info.entries_discarded_beyond_wal > 0 {
+            let snapshot = cache.directory_snapshot();
+            cache.journal.install_checkpoint(
+                cache.packed_front(),
+                cache.packed_size(),
+                snapshot,
+                io,
+            );
+        }
+        (cache, info)
+    }
+}
+
+impl FlashCache for S3FifoCache {
+    fn policy_name(&self) -> &'static str {
+        "S3-FIFO"
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.dir.contains_key(&page)
+    }
+
+    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
+        self.stats.lookups.inc();
+        let slot = *self.dir.get(&page)?;
+        let meta = self.slots[slot].as_mut()?;
+        debug_assert!(meta.valid, "directory points at an invalid version");
+        self.stats.hits.inc();
+        meta.referenced = true;
+        let dirty = meta.dirty;
+        let lsn = meta.lsn;
+        io.flash_read_rand(1);
+        Some(FlashFetch {
+            data: self.slot_frame(slot).map(|f| f.as_ref().clone()),
+            dirty,
+            lsn,
+        })
+    }
+
+    fn fetch_pin(&mut self, page: PageId, retry: bool, io: &mut IoLog) -> Option<FetchPin> {
+        if retry {
+            self.stats.fetch_retries.inc();
+        } else {
+            self.stats.lookups.inc();
+        }
+        let slot = *self.dir.get(&page)?;
+        let meta = self.slots[slot].as_mut()?;
+        debug_assert!(meta.valid, "directory points at an invalid version");
+        if !retry {
+            self.stats.hits.inc();
+        }
+        meta.referenced = true;
+        let lsn = meta.lsn;
+        let dirty = meta.dirty;
+        io.flash_read_rand(1);
+        let (frame, data_expected) = match self.ram_frame(slot) {
+            Some(frame) => {
+                let expected = frame.is_some();
+                (frame, expected)
+            }
+            None => (None, true),
+        };
+        Some(FetchPin {
+            slot,
+            lsn,
+            dirty,
+            generation: self.generations.current(slot),
+            frame,
+            data_expected,
+        })
+    }
+
+    fn fetch_validate(&self, slot: usize, generation: u64) -> bool {
+        self.generations.check(slot, generation)
+    }
+
+    fn insert(
+        &mut self,
+        staged: StagedPage,
+        _supplier: &mut dyn PageSupplier,
+        io: &mut IoLog,
+    ) -> InsertOutcome {
+        self.stats.inserts.inc();
+        if staged.dirty {
+            self.stats.dirty_inserts.inc();
+        }
+        let mut outcome = InsertOutcome {
+            cached: true,
+            ..Default::default()
+        };
+
+        // Conditional enqueue (shared with Algorithm 1): a clean page whose
+        // identical copy is already cached is not enqueued again.
+        if !staged.fdirty && self.dir.contains_key(&staged.page) {
+            self.stats.skipped_inserts.inc();
+            return outcome;
+        }
+
+        if self.dir.contains_key(&staged.page) {
+            // A newer version of a cached page: it is demonstrably no
+            // one-hit wonder — the fresh version goes to main.
+            self.admit_main(staged, &mut outcome, io);
+        } else if self.ghost.take(staged.page) {
+            // The id came back while its ghost entry was live: the
+            // re-reference earns the flash write, straight into main.
+            self.stats.admission_ghost_hits.inc();
+            self.admit_main(staged, &mut outcome, io);
+        } else if staged.dirty {
+            // A dirty first touch must be absorbed (write economy is bought
+            // with exactly these writes) — probation in the small queue.
+            self.admit_small(staged, &mut outcome, io);
+        } else {
+            // Clean first touch: ghost only. No flash write for a potential
+            // one-hit wonder; the disk copy is current, so rejecting is safe.
+            self.ghost.record(staged.page);
+            self.stats.admission_filtered.inc();
+            outcome.cached = false;
+            return outcome;
+        }
+
+        if self.pending_slots.len() >= self.config.group_size {
+            if self.config.defer_group_writes {
+                outcome.pending_group = self.form_pending_group();
+            } else {
+                self.flush_pending(io);
+            }
+        }
+        outcome
+    }
+
+    fn group_write_pending(&self, epoch: u64) -> bool {
+        self.inflight.get(&epoch).is_some_and(|g| !g.completed)
+    }
+
+    fn complete_group(&mut self, epoch: u64, io: &mut IoLog) {
+        let Some(group) = self.inflight.get_mut(&epoch) else {
+            return;
+        };
+        group.completed = true;
+        while let Some((&oldest, group)) = self.inflight.iter().next() {
+            if !group.completed {
+                break;
+            }
+            let group = self.inflight.remove(&oldest).expect("key just observed");
+            for w in &group.write.pages {
+                if self
+                    .inflight_data
+                    .get(&w.slot)
+                    .is_some_and(|(e, _)| *e == oldest)
+                {
+                    self.inflight_data.remove(&w.slot);
+                }
+            }
+            self.journal.seal_detached_group(
+                group.write.meta_records,
+                self.packed_front(),
+                self.packed_size(),
+                io,
+            );
+        }
+        self.maybe_cadence_checkpoint(io);
+    }
+
+    fn sync(&mut self, io: &mut IoLog) {
+        self.checkpoint_metadata(io);
+    }
+
+    fn evacuate_dirty(&mut self, io: &mut IoLog) -> Vec<StagedPage> {
+        // Same contract as mvFIFO: dirty flash pages are the only persistent
+        // copy; flags are left set so a failed disk write can be retried.
+        self.flush_all_groups_inline(io);
+        let mut out = Vec::new();
+        for region in [self.small, self.main] {
+            for i in 0..region.size {
+                let slot = region.slot_at(i);
+                let Some(meta) = self.slots[slot].as_ref() else {
+                    continue;
+                };
+                if !meta.valid || !meta.dirty {
+                    continue;
+                }
+                io.disk_write(meta.page);
+                out.push(StagedPage {
+                    page: meta.page,
+                    lsn: meta.lsn,
+                    dirty: true,
+                    fdirty: false,
+                    data: self.store.read_slot(slot).map(Arc::new),
+                });
+            }
+        }
+        if !out.is_empty() {
+            io.flash_read_seq(out.len() as u32);
+        }
+        out
+    }
+
+    fn persists_dirty_pages(&self) -> bool {
+        true
+    }
+
+    fn crash_and_recover(&mut self, durable_lsn: Lsn, io: &mut IoLog) -> CacheRecoveryInfo {
+        // RAM-resident state — directory, slot metadata, pending batch, the
+        // unsealed journal group AND the ghost directory — is lost; the
+        // flash contents, cache checkpoint and sealed groups survive.
+        let mut survivor = self.journal.clone();
+        survivor.crash();
+        let config = self.config.clone();
+        let store = Arc::clone(&self.store);
+        let stats = self.stats.snapshot();
+        let (mut rebuilt, info) = Self::recover(config, store, &survivor, durable_lsn, io);
+        rebuilt.stats = CacheStatCounters::from(stats);
+        *self = rebuilt;
+        info
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.capacity_pages
+    }
+
+    fn len(&self) -> usize {
+        self.small.size + self.main.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NoSupplier;
+    use crate::store::MemFlashStore;
+
+    fn pid(n: u32) -> PageId {
+        PageId::new(0, n)
+    }
+
+    fn cfg(capacity: usize, group: usize) -> CacheConfig {
+        CacheConfig {
+            capacity_pages: capacity,
+            group_size: group,
+            meta_checkpoint_interval_groups: 4,
+            ..CacheConfig::default()
+        }
+    }
+
+    fn staged(n: u32, lsn: u64, dirty: bool) -> StagedPage {
+        let mut page = Page::new(pid(n));
+        page.set_lsn(Lsn(lsn));
+        page.update_checksum();
+        StagedPage::with_data(page, dirty, true)
+    }
+
+    fn cache(capacity: usize, group: usize) -> (S3FifoCache, Arc<MemFlashStore>) {
+        let store = Arc::new(MemFlashStore::new(capacity));
+        (
+            S3FifoCache::new(
+                cfg(capacity, group),
+                Arc::clone(&store) as Arc<dyn FlashStore>,
+            ),
+            store,
+        )
+    }
+
+    #[test]
+    fn clean_first_touch_is_ghosted_not_cached() {
+        let (mut c, store) = cache(16, 2);
+        let mut io = IoLog::new();
+        let outcome = c.insert(staged(1, 1, false), &mut NoSupplier, &mut io);
+        assert!(!outcome.cached, "one-touch clean page is rejected");
+        assert!(!c.contains(pid(1)));
+        assert_eq!(c.ghost_len(), 1);
+        assert_eq!(c.stats().admission_filtered, 1);
+        c.sync(&mut io);
+        assert_eq!(store.pages_written(), 0, "no flash write was paid");
+    }
+
+    #[test]
+    fn ghost_re_reference_is_admitted_to_main() {
+        let (mut c, store) = cache(16, 1);
+        let mut io = IoLog::new();
+        assert!(
+            !c.insert(staged(1, 1, false), &mut NoSupplier, &mut io)
+                .cached
+        );
+        let outcome = c.insert(staged(1, 2, false), &mut NoSupplier, &mut io);
+        assert!(outcome.cached, "re-referenced ghost entry is admitted");
+        assert!(c.contains(pid(1)));
+        let (small, main) = c.region_sizes();
+        assert_eq!((small, main), (0, 1), "ghost hits go straight to main");
+        assert_eq!(c.stats().admission_ghost_hits, 1);
+        c.sync(&mut io);
+        assert!(store.pages_written() >= 1, "the comeback paid its write");
+    }
+
+    #[test]
+    fn dirty_first_touch_enters_small_queue() {
+        let (mut c, _) = cache(16, 1);
+        let mut io = IoLog::new();
+        assert!(
+            c.insert(staged(1, 1, true), &mut NoSupplier, &mut io)
+                .cached
+        );
+        let (small, main) = c.region_sizes();
+        assert_eq!((small, main), (1, 0));
+        assert!(c.contains(pid(1)));
+    }
+
+    #[test]
+    fn unreferenced_small_victims_demote_to_ghost_dirty_ones_reach_disk() {
+        // capacity 20 → small cap 2. Fill small with dirty pages and keep
+        // inserting: victims are unreferenced, so they demote.
+        let (mut c, _) = cache(20, 1);
+        let mut io = IoLog::new();
+        for n in 0..5 {
+            assert!(
+                c.insert(staged(n, n as u64 + 1, true), &mut NoSupplier, &mut io)
+                    .cached
+            );
+        }
+        let (small, main) = c.region_sizes();
+        assert_eq!(small, 2, "small queue stays at its capacity");
+        assert_eq!(main, 0, "no victim was referenced, nothing promoted");
+        let stats = c.stats();
+        assert_eq!(stats.staged_out_to_disk, 3, "dirty demotions reached disk");
+        assert!(c.ghost_len() >= 3, "demoted ids are remembered as ghosts");
+    }
+
+    #[test]
+    fn referenced_small_victims_promote_to_main() {
+        let (mut c, _) = cache(20, 1);
+        let mut io = IoLog::new();
+        c.insert(staged(1, 1, true), &mut NoSupplier, &mut io);
+        assert!(c.fetch(pid(1), &mut io).is_some(), "touch it while cached");
+        // Force small evictions by pushing more dirty first-touches.
+        c.insert(staged(2, 2, true), &mut NoSupplier, &mut io);
+        c.insert(staged(3, 3, true), &mut NoSupplier, &mut io);
+        assert!(c.contains(pid(1)), "referenced victim survived");
+        let slot = *c.dir.get(&pid(1)).unwrap();
+        assert!(slot >= c.small.cap, "page 1 now lives in the main region");
+        assert!(c.stats().second_chances >= 1);
+    }
+
+    #[test]
+    fn main_eviction_gives_second_chances_with_forced_progress() {
+        let (mut c, _) = cache(20, 2);
+        let mut io = IoLog::new();
+        // Fill main via ghost re-references (reject once, insert again).
+        for n in 0..30u32 {
+            c.insert(
+                staged(n, u64::from(n) * 2 + 1, false),
+                &mut NoSupplier,
+                &mut io,
+            );
+            c.insert(
+                staged(n, u64::from(n) * 2 + 2, false),
+                &mut NoSupplier,
+                &mut io,
+            );
+        }
+        let (_, main) = c.region_sizes();
+        assert_eq!(main, 18, "main region is full");
+        // Reference everything cached, then keep inserting: forced progress
+        // must still evict.
+        let cached: Vec<PageId> = c.dir.keys().copied().collect();
+        for p in &cached {
+            assert!(c.fetch(*p, &mut io).is_some());
+        }
+        for n in 100..110u32 {
+            c.insert(
+                staged(n, 1000 + u64::from(n), false),
+                &mut NoSupplier,
+                &mut io,
+            );
+            c.insert(
+                staged(n, 2000 + u64::from(n), false),
+                &mut NoSupplier,
+                &mut io,
+            );
+        }
+        assert!(c.len() <= c.capacity());
+        assert!(c.stats().second_chances > 0);
+    }
+
+    #[test]
+    fn updates_of_cached_pages_invalidate_previous_versions() {
+        let (mut c, _) = cache(20, 1);
+        let mut io = IoLog::new();
+        c.insert(staged(1, 1, true), &mut NoSupplier, &mut io);
+        c.insert(staged(1, 2, true), &mut NoSupplier, &mut io);
+        assert_eq!(c.stats().invalidations, 1);
+        let f = c.fetch(pid(1), &mut io).unwrap();
+        assert_eq!(f.lsn, Lsn(2), "latest version is served");
+        // The update of a cached page goes to main (proven re-reference).
+        let slot = *c.dir.get(&pid(1)).unwrap();
+        assert!(slot >= c.small.cap);
+    }
+
+    #[test]
+    fn clean_identical_copy_is_skipped() {
+        let (mut c, _) = cache(16, 1);
+        let mut io = IoLog::new();
+        c.insert(staged(1, 1, true), &mut NoSupplier, &mut io);
+        let mut page = Page::new(pid(1));
+        page.set_lsn(Lsn(1));
+        let dup = StagedPage::with_data(page, false, false);
+        let outcome = c.insert(dup, &mut NoSupplier, &mut io);
+        assert!(outcome.cached);
+        assert_eq!(c.stats().skipped_inserts, 1);
+    }
+
+    #[test]
+    fn fetch_serves_data_and_lock_light_pins_validate() {
+        let (mut c, _) = cache(16, 1);
+        let mut io = IoLog::new();
+        c.insert(staged(7, 3, true), &mut NoSupplier, &mut io);
+        let f = c.fetch(pid(7), &mut io).unwrap();
+        assert!(f.dirty);
+        assert_eq!(f.lsn, Lsn(3));
+        assert!(f.data.is_some());
+
+        let pin = c.fetch_pin(pid(7), false, &mut io).unwrap();
+        assert!(c.fetch_validate(pin.slot, pin.generation));
+        // Evicting the slot invalidates the pin.
+        let mut io2 = IoLog::new();
+        for n in 100..140u32 {
+            c.insert(
+                staged(n, 100 + u64::from(n), true),
+                &mut NoSupplier,
+                &mut io2,
+            );
+            c.insert(
+                staged(n, 200 + u64::from(n), true),
+                &mut NoSupplier,
+                &mut io2,
+            );
+        }
+        let still_valid = c.fetch_validate(pin.slot, pin.generation);
+        if !c.contains(pid(7)) {
+            assert!(!still_valid, "a pin on an evicted slot must not validate");
+        }
+    }
+
+    #[test]
+    fn deferred_groups_seal_in_epoch_order() {
+        let store = Arc::new(MemFlashStore::new(20));
+        let config = CacheConfig {
+            defer_group_writes: true,
+            // Keep the checkpoint cadence out of the way: a checkpoint folds
+            // (prunes) sealed groups, which would hide the seals under test.
+            meta_checkpoint_interval_groups: 1000,
+            ..cfg(20, 2)
+        };
+        let mut c = S3FifoCache::new(config, store);
+        let mut io = IoLog::new();
+        let mut pending = Vec::new();
+        for n in 0..8u32 {
+            let out = c.insert(staged(n, u64::from(n) + 1, true), &mut NoSupplier, &mut io);
+            if let Some(w) = out.pending_group {
+                pending.push(w);
+            }
+        }
+        assert!(!pending.is_empty(), "deferred mode hands groups back");
+        // Complete out of order: seals must still be contiguous.
+        let sealed_before = c.journal().sealed_groups();
+        for w in pending.iter().rev() {
+            assert!(c.group_write_pending(w.epoch));
+            w.apply(&*c.store, &mut io);
+            c.complete_group(w.epoch, &mut io);
+        }
+        assert!(c.journal().sealed_groups() > sealed_before);
+        for w in &pending {
+            assert!(!c.group_write_pending(w.epoch));
+        }
+    }
+
+    #[test]
+    fn crash_and_recover_preserves_queue_membership() {
+        let (mut c, _) = cache(24, 2);
+        let mut io = IoLog::new();
+        // Mixed population: dirty first-touches (small), ghost comebacks
+        // (main), promotions.
+        for n in 0..6u32 {
+            c.insert(staged(n, u64::from(n) + 1, true), &mut NoSupplier, &mut io);
+        }
+        for n in 10..14u32 {
+            c.insert(staged(n, u64::from(n) + 1, false), &mut NoSupplier, &mut io);
+            c.insert(
+                staged(n, u64::from(n) + 20, false),
+                &mut NoSupplier,
+                &mut io,
+            );
+        }
+        c.sync(&mut io);
+        let before = c.valid_versions();
+        let sizes_before = c.region_sizes();
+        let info = c.crash_and_recover(Lsn(u64::MAX), &mut io);
+        assert!(info.survived);
+        assert_eq!(c.valid_versions(), before, "directory survives the crash");
+        assert_eq!(c.region_sizes(), sizes_before, "queue membership survives");
+        assert_eq!(c.ghost_len(), 0, "the ghost directory is volatile");
+        // Served versions still fetch.
+        for (page, lsn, _) in before {
+            let f = c.fetch(page, &mut io).expect("recovered page fetches");
+            assert_eq!(f.lsn, lsn);
+        }
+    }
+
+    #[test]
+    fn recovery_never_resurrects_beyond_durable_versions() {
+        let (mut c, _) = cache(24, 2);
+        let mut io = IoLog::new();
+        // Admit via ghost comebacks so all six land in main (the small queue
+        // holds only two pages at this capacity and would demote the rest).
+        for n in 0..6u32 {
+            c.insert(staged(n, 1, false), &mut NoSupplier, &mut io);
+            c.insert(
+                staged(n, 10 + u64::from(n), false),
+                &mut NoSupplier,
+                &mut io,
+            );
+        }
+        c.sync(&mut io);
+        // durable_lsn 12: versions with LSN 13..15 outran the log.
+        let info = c.crash_and_recover(Lsn(12), &mut io);
+        assert!(
+            info.entries_discarded_beyond_wal >= 3,
+            "discarded {}",
+            info.entries_discarded_beyond_wal
+        );
+        for n in 0..6u32 {
+            if let Some(f) = c.fetch(pid(n), &mut io) {
+                assert!(f.lsn <= Lsn(12), "resurrected beyond-durable version");
+            }
+        }
+        // A second crash/recovery stays consistent (doomed slots were
+        // physically invalidated and the checkpoint rewritten).
+        let before = c.valid_versions();
+        c.crash_and_recover(Lsn(u64::MAX), &mut io);
+        assert_eq!(c.valid_versions(), before);
+    }
+
+    #[test]
+    fn capacity_splits_give_both_regions_at_least_one_slot() {
+        for capacity in [2usize, 3, 10, 100] {
+            let config = cfg(capacity, 1);
+            let (small, main) = S3FifoCache::split_capacity(&config);
+            assert!(small >= 1 && main >= 1);
+            assert_eq!(small + main, capacity);
+        }
+        let extreme = CacheConfig {
+            s3_small_fraction: 1.0,
+            ..cfg(8, 1)
+        };
+        let (small, main) = S3FifoCache::split_capacity(&extreme);
+        assert_eq!((small, main), (7, 1));
+    }
+
+    #[test]
+    fn pointer_packing_round_trips() {
+        for (s, m) in [(0usize, 0usize), (3, 7), (u32::MAX as usize - 1, 12)] {
+            assert_eq!(unpack_pointers(pack_pointers(s, m)), (s, m));
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn check_structure(cache: &S3FifoCache) {
+            assert!(cache.len() <= cache.capacity());
+            let (small, main) = cache.region_sizes();
+            assert!(small <= cache.small.cap, "small region within its cap");
+            assert!(main <= cache.main.cap, "main region within its cap");
+            for (p, s) in cache.dir.iter() {
+                let m = cache.slots[*s]
+                    .as_ref()
+                    .expect("directory points at a slot");
+                assert!(m.valid, "directory must reference valid versions only");
+                assert_eq!(m.page, *p);
+                assert!(
+                    cache.small.in_window(*s) || cache.main.in_window(*s),
+                    "slot {s} outside both queue windows"
+                );
+            }
+            // At most one valid version per page.
+            let mut valid_pages = std::collections::HashSet::new();
+            for m in cache.slots.iter().flatten() {
+                if m.valid {
+                    assert!(valid_pages.insert(m.page), "duplicate valid version");
+                }
+            }
+        }
+
+        /// An arbitrary interleaving of inserts and fetches against any
+        /// geometry preserves the structural invariants of S3-FIFO (bounded
+        /// regions, a directory that only points at valid in-window slots),
+        /// and — the admission property — a clean page the workload touches
+        /// once never costs a flash write.
+        fn check(ops: Vec<(u8, u32, bool)>, capacity: usize, group: usize) {
+            let store = Arc::new(MemFlashStore::new(capacity));
+            let mut cache = S3FifoCache::new(
+                cfg(capacity, group),
+                Arc::clone(&store) as Arc<dyn FlashStore>,
+            );
+            let mut io = IoLog::new();
+            let mut touched: std::collections::HashMap<PageId, u32> =
+                std::collections::HashMap::new();
+            let mut any_dirty_or_repeat = false;
+            for (i, (op, page, dirty)) in ops.iter().enumerate() {
+                let page_id = pid(page % 64);
+                if op % 3 == 0 {
+                    cache.fetch(page_id, &mut io);
+                } else {
+                    cache.insert(
+                        staged(page % 64, i as u64 + 1, *dirty),
+                        &mut NoSupplier,
+                        &mut io,
+                    );
+                    let n = touched.entry(page_id).or_insert(0);
+                    *n += 1;
+                    if *dirty || *n > 1 {
+                        any_dirty_or_repeat = true;
+                    }
+                }
+                check_structure(&cache);
+            }
+            cache.sync(&mut io);
+            if !any_dirty_or_repeat {
+                assert_eq!(
+                    store.pages_written(),
+                    0,
+                    "a stream of clean one-touch pages must not cost flash writes"
+                );
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn invariants_hold_under_arbitrary_interleavings(
+                ops in prop::collection::vec((any::<u8>(), any::<u32>(), any::<bool>()), 1..200),
+                group in 1usize..8,
+            ) {
+                check(ops, 24, group);
+            }
+
+            /// Distinct clean pages only (one touch each, forced clean): the
+            /// write-economy promise holds for any such stream.
+            #[test]
+            fn one_touch_clean_streams_never_pay_flash_writes(
+                raw in prop::collection::vec(0u32..512, 1..100),
+            ) {
+                let mut seen = std::collections::HashSet::new();
+                let ops = raw
+                    .into_iter()
+                    .filter(|p| seen.insert(*p))
+                    .map(|p| (1u8, p, false))
+                    .collect::<Vec<_>>();
+                let store = Arc::new(MemFlashStore::new(16));
+                let mut cache = S3FifoCache::new(
+                    cfg(16, 2),
+                    Arc::clone(&store) as Arc<dyn FlashStore>,
+                );
+                let mut io = IoLog::new();
+                for (i, (_, p, _)) in ops.iter().enumerate() {
+                    let out = cache.insert(
+                        staged(*p, i as u64 + 1, false),
+                        &mut NoSupplier,
+                        &mut io,
+                    );
+                    prop_assert!(!out.cached);
+                }
+                cache.sync(&mut io);
+                prop_assert_eq!(store.pages_written(), 0);
+            }
+        }
+
+        /// Crash-point recovery property, mirroring mvFIFO's: run a recorded
+        /// history (with the deferred destage pipeline in every intermediate
+        /// state), crash after `crash_at` operations, recover with an
+        /// arbitrary durable LSN, and check the recovered directory is a
+        /// prefix-consistent subset of what the history enqueued.
+        fn check_crash_recovery(
+            ops: Vec<(u8, u32, bool)>,
+            crash_at: usize,
+            durable_pick: u8,
+            capacity: usize,
+            group: usize,
+            defer: bool,
+        ) {
+            use std::collections::HashMap as Map;
+            let store = Arc::new(MemFlashStore::new(capacity));
+            let config = CacheConfig {
+                defer_group_writes: defer,
+                ..cfg(capacity, group)
+            };
+            let mut cache = S3FifoCache::new(config, Arc::clone(&store) as Arc<dyn FlashStore>);
+            let mut io = IoLog::new();
+            let mut enqueued: std::collections::HashSet<(PageId, Lsn)> =
+                std::collections::HashSet::new();
+            let mut latest: Map<PageId, Lsn> = Map::new();
+            let crash_at = crash_at % (ops.len() + 1);
+            let mut max_lsn = 0u64;
+            for (i, (op, page, dirty)) in ops.iter().take(crash_at).enumerate() {
+                let lsn = Lsn(i as u64 + 1);
+                let page_id = pid(page % 48);
+                match op % 4 {
+                    0 => {
+                        cache.fetch(page_id, &mut io);
+                    }
+                    1 => cache.sync(&mut io),
+                    _ => {
+                        let out = cache.insert(
+                            staged(page % 48, lsn.0, *dirty),
+                            &mut NoSupplier,
+                            &mut io,
+                        );
+                        if let Some(write) = out.pending_group {
+                            match op % 3 {
+                                0 => {} // enqueued, never written
+                                1 => write.apply(&*store, &mut io),
+                                _ => {
+                                    write.apply(&*store, &mut io);
+                                    cache.complete_group(write.epoch, &mut io);
+                                }
+                            }
+                        }
+                        if out.cached {
+                            enqueued.insert((page_id, lsn));
+                            latest.insert(page_id, lsn);
+                        }
+                        max_lsn = lsn.0;
+                    }
+                }
+            }
+            let durable = Lsn((durable_pick as u64) % (max_lsn + 2));
+            let info = cache.crash_and_recover(durable, &mut io);
+            assert!(info.survived);
+            for (page, lsn, _dirty) in cache.valid_versions() {
+                assert!(
+                    lsn <= durable,
+                    "{page}: recovered lsn {lsn:?} beyond durable {durable:?}"
+                );
+                assert!(
+                    enqueued.contains(&(page, lsn)),
+                    "{page}: recovered version {lsn:?} was never enqueued"
+                );
+                let newest = latest.get(&page).copied().expect("page was enqueued");
+                assert!(
+                    lsn <= newest,
+                    "{page}: recovered {lsn:?} newer than pre-crash latest {newest:?}"
+                );
+            }
+            check_structure(&cache);
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn any_crash_point_recovers_a_prefix_consistent_subset(
+                ops in prop::collection::vec((any::<u8>(), any::<u32>(), any::<bool>()), 1..250),
+                crash_at in any::<u16>(),
+                durable in any::<u8>(),
+                group in 1usize..8,
+            ) {
+                check_crash_recovery(ops, crash_at as usize, durable, 32, group, false);
+            }
+
+            #[test]
+            fn any_destage_crash_point_recovers_a_prefix_consistent_subset(
+                ops in prop::collection::vec((any::<u8>(), any::<u32>(), any::<bool>()), 1..250),
+                crash_at in any::<u16>(),
+                durable in any::<u8>(),
+                group in 1usize..8,
+            ) {
+                check_crash_recovery(ops, crash_at as usize, durable, 32, group, true);
+            }
+        }
+    }
+}

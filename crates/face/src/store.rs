@@ -5,9 +5,11 @@
 //! the [`NullFlashStore`] holds nothing and is used in metadata-only
 //! simulation mode.
 
+use std::sync::Arc;
+
 use face_analysis::classes::FLASH_SLOTS;
 use face_analysis::OrderedRwLock;
-use face_pagestore::{Page, PageId};
+use face_pagestore::{Counter, Page, PageId};
 
 /// Storage for flash cache slots.
 pub trait FlashStore: Send + Sync {
@@ -64,6 +66,18 @@ pub trait FlashStore: Send + Sync {
     /// would let a *later* recovery's header scan resurrect the dead
     /// timeline once the (reused) LSN range becomes durable again.
     fn clear_slot(&self, _slot: usize) {}
+
+    /// Lifetime count of page-program operations this device has absorbed —
+    /// the flash-wear tally behind
+    /// [`crate::types::CacheStats::flash_pages_written`]. Monotonic (a
+    /// [`FlashStore::clear`] does not rewind it) and readable lock-free, so
+    /// [`crate::ShardedFlashCache::stats`] can surface it without sweeping
+    /// the shard locks. Header-only and null stores count their header notes
+    /// (the metadata-granularity stand-in for the page program); wrappers
+    /// must delegate.
+    fn pages_written(&self) -> u64 {
+        0
+    }
 }
 
 /// An in-memory flash store: one optional page per slot.
@@ -73,6 +87,7 @@ pub trait FlashStore: Send + Sync {
 /// the `MemFlashStore` contents, exactly like a real non-volatile SSD.
 pub struct MemFlashStore {
     slots: OrderedRwLock<Vec<Option<Box<Page>>>>,
+    written: Counter,
 }
 
 impl MemFlashStore {
@@ -82,6 +97,7 @@ impl MemFlashStore {
         slots.resize_with(capacity, || None);
         Self {
             slots: OrderedRwLock::new(FLASH_SLOTS, slots),
+            written: Counter::default(),
         }
     }
 
@@ -97,6 +113,7 @@ impl FlashStore for MemFlashStore {
     }
 
     fn write_slot(&self, slot: usize, page: &Page) {
+        self.written.inc();
         let mut slots = self.slots.write();
         let len = slots.len();
         slots[slot % len] = Some(Box::new(page.clone()));
@@ -125,6 +142,10 @@ impl FlashStore for MemFlashStore {
             slots[slot % len] = None;
         }
     }
+
+    fn pages_written(&self) -> u64 {
+        self.written.get()
+    }
 }
 
 /// A store that keeps only the page id and pageLSN of each slot — what a real
@@ -134,6 +155,7 @@ impl FlashStore for MemFlashStore {
 /// exercise the paper's §4.2 header-scan path.
 pub struct HeaderFlashStore {
     headers: OrderedRwLock<Vec<Option<(PageId, face_pagestore::Lsn)>>>,
+    written: Counter,
 }
 
 impl HeaderFlashStore {
@@ -143,6 +165,7 @@ impl HeaderFlashStore {
         headers.resize_with(capacity, || None);
         Self {
             headers: OrderedRwLock::new(FLASH_SLOTS, headers),
+            written: Counter::default(),
         }
     }
 }
@@ -153,6 +176,7 @@ impl FlashStore for HeaderFlashStore {
     }
 
     fn write_slot(&self, slot: usize, page: &Page) {
+        self.written.inc();
         let mut headers = self.headers.write();
         let len = headers.len();
         headers[slot % len] = Some((page.id(), page.lsn()));
@@ -168,6 +192,9 @@ impl FlashStore for HeaderFlashStore {
     }
 
     fn note_slot_header(&self, slot: usize, page: PageId, lsn: face_pagestore::Lsn) {
+        // In header-only mode the note *is* the page program — the policies
+        // skip `write_slot` when the store carries no data.
+        self.written.inc();
         let mut headers = self.headers.write();
         let len = headers.len();
         headers[slot % len] = Some((page, lsn));
@@ -189,6 +216,10 @@ impl FlashStore for HeaderFlashStore {
         if len > 0 {
             headers[slot % len] = None;
         }
+    }
+
+    fn pages_written(&self) -> u64 {
+        self.written.get()
     }
 }
 
@@ -314,6 +345,10 @@ impl FlashStore for GateFlashStore {
     fn clear_slot(&self, slot: usize) {
         self.inner.clear_slot(slot);
     }
+
+    fn pages_written(&self) -> u64 {
+        self.inner.pages_written()
+    }
 }
 
 /// A flash store that keeps no data. Reads return `None`; writes are
@@ -322,12 +357,18 @@ impl FlashStore for GateFlashStore {
 #[derive(Debug, Clone)]
 pub struct NullFlashStore {
     capacity: usize,
+    /// Shared across clones: a clone models another handle to the same
+    /// device, not a second device.
+    written: Arc<Counter>,
 }
 
 impl NullFlashStore {
     /// A data-less store with `capacity` slots.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity }
+        Self {
+            capacity,
+            written: Arc::new(Counter::default()),
+        }
     }
 }
 
@@ -336,7 +377,15 @@ impl FlashStore for NullFlashStore {
         self.capacity
     }
 
-    fn write_slot(&self, _slot: usize, _page: &Page) {}
+    fn write_slot(&self, _slot: usize, _page: &Page) {
+        self.written.inc();
+    }
+
+    fn note_slot_header(&self, _slot: usize, _page: PageId, _lsn: face_pagestore::Lsn) {
+        // Like the header store: the note is the metadata-granularity page
+        // program in data-less simulation mode.
+        self.written.inc();
+    }
 
     fn read_slot(&self, _slot: usize) -> Option<Page> {
         None
@@ -347,6 +396,10 @@ impl FlashStore for NullFlashStore {
     }
 
     fn clear(&self) {}
+
+    fn pages_written(&self) -> u64 {
+        self.written.get()
+    }
 }
 
 #[cfg(test)]
@@ -415,5 +468,32 @@ mod tests {
         assert!(store.read_slot(5).is_none());
         assert!(store.slot_header(5).is_none());
         store.clear();
+    }
+
+    #[test]
+    fn pages_written_tallies_every_program_and_survives_clear() {
+        let store = MemFlashStore::new(8);
+        assert_eq!(store.pages_written(), 0);
+        let page = Page::new(PageId::new(0, 1));
+        store.write_slot(0, &page);
+        let pages: Vec<Page> = (0..3).map(|i| Page::new(PageId::new(0, i))).collect();
+        store.write_slots(2, &pages);
+        store.write_batch(&[(6, &page), (7, &page)]);
+        assert_eq!(store.pages_written(), 6);
+        store.clear();
+        assert_eq!(store.pages_written(), 6, "wear tally is monotonic");
+
+        // Header and null stores count their header notes — the page-program
+        // stand-in when no bodies are kept.
+        let header = HeaderFlashStore::new(4);
+        header.note_slot_header(0, PageId::new(0, 1), Lsn(1));
+        header.write_slot(1, &page);
+        assert_eq!(header.pages_written(), 2);
+
+        let null = NullFlashStore::new(4);
+        null.note_slot_header(0, PageId::new(0, 1), Lsn(1));
+        let null2 = null.clone();
+        null2.write_slot(1, &page);
+        assert_eq!(null.pages_written(), 2, "clones share the device tally");
     }
 }

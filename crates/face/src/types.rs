@@ -246,6 +246,24 @@ pub struct CacheConfig {
     /// trace-driven simulator and single-threaded callers keep the
     /// read-under-lock contract (the engine turns it on).
     pub lock_light_reads: bool,
+    /// Ghost-queue admission filtering for the legacy policies (mvFIFO
+    /// family, LC, TAC), applied by [`crate::ShardedFlashCache`]: a **clean**
+    /// page's first touch is recorded only in a RAM-resident ghost directory
+    /// and is *not* admitted (no flash write); only a re-reference while the
+    /// ghost entry is live earns the flash write. Dirty pages are always
+    /// admitted — rejecting them would forfeit the write absorption FaCE is
+    /// built on. [`crate::CachePolicyKind::S3Fifo`] ignores this flag: its ghost
+    /// queue is an integral part of the policy and always on.
+    pub ghost_admission: bool,
+    /// Capacity of the ghost directory in page ids (both the sharded
+    /// admission filter and the S3-FIFO policy's ghost queue). `0` (default)
+    /// sizes it automatically to the cache capacity, the classic S3-FIFO
+    /// choice ("as many ghosts as the main cache holds objects").
+    pub ghost_capacity_pages: usize,
+    /// S3-FIFO only: fraction of the capacity given to the small
+    /// (probationary) queue. The remainder is the main queue. Clamped so both
+    /// regions hold at least one page.
+    pub s3_small_fraction: f64,
 }
 
 impl Default for CacheConfig {
@@ -261,6 +279,9 @@ impl Default for CacheConfig {
             meta_checkpoint_interval_groups: 8,
             defer_group_writes: false,
             lock_light_reads: false,
+            ghost_admission: false,
+            ghost_capacity_pages: 0,
+            s3_small_fraction: 0.1,
         }
     }
 }
@@ -307,6 +328,36 @@ impl CacheConfig {
         self
     }
 
+    /// Builder-style enable of ghost-queue admission filtering (see
+    /// [`CacheConfig::ghost_admission`]).
+    pub fn ghost_admission(mut self, on: bool) -> Self {
+        self.ghost_admission = on;
+        self
+    }
+
+    /// Builder-style override of the ghost-directory capacity (see
+    /// [`CacheConfig::ghost_capacity_pages`]; `0` = auto-size to capacity).
+    pub fn ghost_capacity_pages(mut self, pages: usize) -> Self {
+        self.ghost_capacity_pages = pages;
+        self
+    }
+
+    /// Builder-style override of the S3-FIFO small-queue fraction.
+    pub fn s3_small_fraction(mut self, fraction: f64) -> Self {
+        self.s3_small_fraction = fraction;
+        self
+    }
+
+    /// The effective ghost-directory capacity: the explicit setting, or the
+    /// cache capacity when left at `0`.
+    pub fn effective_ghost_capacity(&self) -> usize {
+        if self.ghost_capacity_pages == 0 {
+            self.capacity_pages.max(1)
+        } else {
+            self.ghost_capacity_pages
+        }
+    }
+
     /// Capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.capacity_pages as u64 * face_pagestore::PAGE_SIZE as u64
@@ -348,6 +399,19 @@ pub struct CacheStats {
     /// changed between pinning the version and finishing the off-lock flash
     /// read, so the read was discarded and the lookup retried.
     pub fetch_retries: u64,
+    /// Physical pages written to the flash device — the flash-wear cost every
+    /// hit-ratio figure must be priced against. Counted by the
+    /// [`crate::store::FlashStore`] implementations themselves (so batch,
+    /// deferred and destaged writes are all captured) and surfaced by
+    /// [`crate::ShardedFlashCache::stats`] without taking any shard lock.
+    /// Individual policies leave this at zero; it is a device-level tally.
+    pub flash_pages_written: u64,
+    /// Clean first-touch inserts the ghost-queue admission filter rejected —
+    /// flash writes *not* paid for one-touch pages.
+    pub admission_filtered: u64,
+    /// Inserts admitted because the page's id was found in the ghost
+    /// directory (a filtered page proved it was no one-hit wonder).
+    pub admission_ghost_hits: u64,
 }
 
 /// Atomic twin of [`CacheStats`], held inside each policy so that counters
@@ -383,6 +447,10 @@ pub struct CacheStatCounters {
     pub metadata_flushes: Counter,
     /// See [`CacheStats::fetch_retries`].
     pub fetch_retries: Counter,
+    /// See [`CacheStats::admission_filtered`].
+    pub admission_filtered: Counter,
+    /// See [`CacheStats::admission_ghost_hits`].
+    pub admission_ghost_hits: Counter,
 }
 
 impl CacheStatCounters {
@@ -403,6 +471,11 @@ impl CacheStatCounters {
             lazily_cleaned: self.lazily_cleaned.get(),
             metadata_flushes: self.metadata_flushes.get(),
             fetch_retries: self.fetch_retries.get(),
+            // Device-level tally, owned by the flash stores (see
+            // [`CacheStats::flash_pages_written`]).
+            flash_pages_written: 0,
+            admission_filtered: self.admission_filtered.get(),
+            admission_ghost_hits: self.admission_ghost_hits.get(),
         }
     }
 
@@ -428,6 +501,8 @@ impl CacheStatCounters {
         self.lazily_cleaned.set(s.lazily_cleaned);
         self.metadata_flushes.set(s.metadata_flushes);
         self.fetch_retries.set(s.fetch_retries);
+        self.admission_filtered.set(s.admission_filtered);
+        self.admission_ghost_hits.set(s.admission_ghost_hits);
     }
 }
 
@@ -457,7 +532,16 @@ impl CacheStats {
             lazily_cleaned: self.lazily_cleaned + other.lazily_cleaned,
             metadata_flushes: self.metadata_flushes + other.metadata_flushes,
             fetch_retries: self.fetch_retries + other.fetch_retries,
+            flash_pages_written: self.flash_pages_written + other.flash_pages_written,
+            admission_filtered: self.admission_filtered + other.admission_filtered,
+            admission_ghost_hits: self.admission_ghost_hits + other.admission_ghost_hits,
         }
+    }
+
+    /// Flash bytes written — [`CacheStats::flash_pages_written`] priced in
+    /// bytes, the unit the write-economy gate compares.
+    pub fn flash_bytes_written(&self) -> u64 {
+        self.flash_pages_written * face_pagestore::PAGE_SIZE as u64
     }
 
     /// Flash hit ratio over lookups — Table 3(a) ("ratio of flash cache hits

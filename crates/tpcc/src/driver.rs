@@ -346,6 +346,140 @@ fn run_read_heavy_thread(db: &Database, config: &ReadHeavyConfig, thread: usize)
     stats
 }
 
+/// Configuration of a skew-heavy key-value mix — the workload behind
+/// `bench_flash_economy`. A small **hot set** of keys receives most of the
+/// operations (re-references that deserve flash residency), while the rest
+/// of the operations spray uniformly over the cold majority — one-touch
+/// pages that an admission-filtered cache should never pay a flash write
+/// for. Writes stay within each thread's key partition of the chosen range,
+/// like [`ReadHeavyConfig`].
+#[derive(Debug, Clone)]
+pub struct SkewedMixConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Operations (gets + puts) each thread executes.
+    pub ops_per_thread: usize,
+    /// Keys in the table (pre-loaded with [`load_read_heavy`]).
+    pub keys: u64,
+    /// Percentage of the key space forming the hot set (0..=100; clamped to
+    /// at least one key).
+    pub hot_key_pct: u32,
+    /// Percentage of operations aimed at the hot set (0..=100).
+    pub hot_op_pct: u32,
+    /// Percentage of operations that are reads (0..=100).
+    pub read_pct: u32,
+    /// Operations per transaction (commit granularity).
+    pub ops_per_txn: usize,
+    /// Base RNG seed; thread `t` uses a stream derived from `seed + t`.
+    pub seed: u64,
+}
+
+impl Default for SkewedMixConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            ops_per_thread: 1_000,
+            keys: 8_192,
+            hot_key_pct: 10,
+            hot_op_pct: 90,
+            read_pct: 70,
+            ops_per_txn: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Drive `db` with `config.threads` concurrent skew-heavy clients (see
+/// [`SkewedMixConfig`]). Call [`load_read_heavy`] first.
+///
+/// # Panics
+/// Panics if `threads == 0`, `threads > keys`, any percentage exceeds 100,
+/// or an engine operation fails.
+pub fn run_skewed_mix(db: &Arc<Database>, config: &SkewedMixConfig) -> DriverReport {
+    assert!(config.threads > 0, "need at least one thread");
+    assert!(
+        (config.threads as u64) <= config.keys,
+        "need at least one key per thread"
+    );
+    assert!(config.hot_key_pct <= 100, "hot_key_pct is a percentage");
+    assert!(config.hot_op_pct <= 100, "hot_op_pct is a percentage");
+    assert!(config.read_pct <= 100, "read_pct is a percentage");
+    let start = Instant::now();
+    let mut per_thread = vec![ThreadStats::default(); config.threads];
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let db = Arc::clone(db);
+            let cfg = config.clone();
+            handles.push(s.spawn(move || run_skewed_mix_thread(&db, &cfg, t)));
+        }
+        for (t, handle) in handles.into_iter().enumerate() {
+            per_thread[t] = handle.join().expect("worker thread panicked");
+        }
+    });
+    DriverReport {
+        per_thread,
+        wall: start.elapsed(),
+    }
+}
+
+fn run_skewed_mix_thread(db: &Database, config: &SkewedMixConfig, thread: usize) -> ThreadStats {
+    let n = config.threads as u64;
+    let t = thread as u64;
+    // Hot keys at the front of the key space; at least one, never all.
+    let hot_keys = (config.keys * config.hot_key_pct as u64 / 100)
+        .max(1)
+        .min(config.keys - 1);
+    let cold_keys = config.keys - hot_keys;
+    // Reads range over the whole chosen region; writes stay in this thread's
+    // slice of it (disjoint write partitions, like the read-heavy driver).
+    let pick = |range_lo: u64, range_len: u64, write: bool, r: u64| {
+        if write {
+            let lo = t * range_len / n;
+            let hi = ((t + 1) * range_len / n).max(lo + 1).min(range_len);
+            range_lo + lo + r % (hi - lo)
+        } else {
+            range_lo + r % range_len
+        }
+    };
+    let mut state = config.seed.wrapping_mul(0x5851_F42D_4C95_7F2D) + t;
+    let mut stats = ThreadStats {
+        thread,
+        ..ThreadStats::default()
+    };
+    let started = Instant::now();
+    let mut value = [0u8; 16];
+    let ops_per_txn = config.ops_per_txn.max(1);
+    let mut op = 0;
+    while op < config.ops_per_thread {
+        let txn = db.begin();
+        for _ in 0..ops_per_txn.min(config.ops_per_thread - op) {
+            let hot = splitmix64(&mut state) % 100 < config.hot_op_pct as u64;
+            let write = splitmix64(&mut state) % 100 >= config.read_pct as u64;
+            let r = splitmix64(&mut state);
+            let key = if hot {
+                pick(0, hot_keys, write, r)
+            } else {
+                pick(hot_keys, cold_keys, write, r)
+            };
+            if write {
+                value[..8].copy_from_slice(&key.to_le_bytes());
+                value[8..].copy_from_slice(&t.to_le_bytes());
+                db.put(txn, key, &value).expect("put failed");
+                stats.puts += 1;
+            } else {
+                db.get(key).expect("get failed");
+                stats.gets += 1;
+            }
+            op += 1;
+        }
+        db.commit(txn).expect("commit failed");
+        stats.committed += 1;
+    }
+    stats.wall = started.elapsed();
+    stats
+}
+
 fn run_thread(db: &Database, config: &DriverConfig, thread: usize) -> ThreadStats {
     let (lo, hi) = warehouse_range(config.warehouses, config.threads, thread);
     let mut workload = TpccWorkload::with_home_range(

@@ -21,8 +21,8 @@ pub mod random;
 pub mod workload;
 
 pub use driver::{
-    load_read_heavy, run_concurrent, run_ramp, run_read_heavy, DriverConfig, DriverReport,
-    RampWindow, ReadHeavyConfig, ThreadStats,
+    load_read_heavy, run_concurrent, run_ramp, run_read_heavy, run_skewed_mix, DriverConfig,
+    DriverReport, RampWindow, ReadHeavyConfig, SkewedMixConfig, ThreadStats,
 };
 pub use layout::{Table, TableLayout};
 pub use random::TpccRandom;
