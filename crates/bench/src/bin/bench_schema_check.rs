@@ -31,6 +31,10 @@ fn required_fields(file_name: &str) -> &'static [&'static str] {
             "flash_pages_written",
             "flash_bytes_written",
             "flash_writes_per_txn",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "p999_us",
         ],
         "BENCH_read.json" => &[
             "threads",
@@ -45,6 +49,40 @@ fn required_fields(file_name: &str) -> &'static [&'static str] {
             "buffer_read_retries",
             "flash_pages_written",
             "flash_bytes_written",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "p999_us",
+        ],
+        "BENCH_tail.json" => &[
+            "policy",
+            "ghost_admission",
+            "scan",
+            "arrival",
+            "threads",
+            "committed",
+            "wall_secs",
+            "tps",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "p999_us",
+            "max_us",
+            "baseline_window_p99_us",
+            "stressed_window_p99_us",
+            "post_scan_window_p99_us",
+            "scan_pages",
+            "scan_window",
+            "scan_end_window",
+            "burst_first_window",
+            "burst_last_window",
+            "recovered_window",
+            "clamped_txns",
+            "dram_hit_ratio",
+            "flash_hit_ratio",
+            "flash_pages_written",
+            "flash_bytes_written",
+            "windows",
         ],
         "BENCH_flash_economy.json" => &[
             "policy",
@@ -96,6 +134,17 @@ fn check_file(path: &Path) -> Vec<String> {
                 problems.push(format!("{name}: row {i} is missing `{field}`"));
             }
         }
+        // Latency percentiles, where present, must be monotone — a recorder
+        // whose p99 drops below its p50 is broken, not fast.
+        let quantiles: Vec<f64> = ["p50_us", "p95_us", "p99_us", "p999_us"]
+            .iter()
+            .filter_map(|q| obj.get(*q).and_then(serde_json::Value::as_f64))
+            .collect();
+        if quantiles.len() == 4 && quantiles.windows(2).any(|w| w[0] > w[1]) {
+            problems.push(format!(
+                "{name}: row {i} percentiles not monotone (p50≤p95≤p99≤p999 violated: {quantiles:?})"
+            ));
+        }
     }
     problems
 }
@@ -129,6 +178,7 @@ fn main() {
         "BENCH_throughput.json",
         "BENCH_read.json",
         "BENCH_flash_economy.json",
+        "BENCH_tail.json",
     ] {
         if !files.iter().any(|p| p.ends_with(expected)) {
             problems.push(format!("{expected}: missing from {}", root.display()));

@@ -1,0 +1,97 @@
+//! Tail-latency gate: p99 under cache-flushing scans and arrival bursts.
+//!
+//! Runs the arm matrix of [`face_bench::tail`] — FaCE+GSC unfiltered,
+//! FaCE+GSC ghost-gated, and S3-FIFO, each with and without a mid-run scan
+//! sized to flush the flash cache, plus burst-arrival arms for the
+//! scan-resistant policies — and writes `BENCH_tail.json` at the repo root
+//! (not the gitignored `results/`) so future PRs can diff the numbers.
+//!
+//! Exits non-zero when the gate fails:
+//!
+//! - a filtered arm's p99-under-scan exceeds its no-scan baseline by more
+//!   than the bound,
+//! - the unfiltered baseline is *not* demonstrably worse than the filtered
+//!   arms (the scan must visibly hurt an admit-everything cache, or the
+//!   experiment is not measuring what it claims), or
+//! - post-burst p99 fails to recover within the allowed windows.
+//!
+//! Scale knobs: `FACE_TAIL_KEYS`, `FACE_TAIL_THETA`, `FACE_TAIL_RMW_PCT`,
+//! `FACE_TAIL_OPS_PER_TXN`, `FACE_TAIL_THREADS`, `FACE_TAIL_WARMUP_MS`,
+//! `FACE_TAIL_MEASURE_MS`, `FACE_TAIL_WINDOW_MS`, `FACE_TAIL_SCAN_MARGIN_PCT`,
+//! `FACE_TAIL_BURST_GAP_US`.
+
+use face_bench::{
+    evaluate_tail, print_table, run_bench_tail, write_json_at, TailBounds, TailScale,
+};
+
+fn main() {
+    let scale = TailScale::from_env();
+    let bounds = TailBounds::default();
+    let rows = run_bench_tail(&scale, &bounds);
+    print_table(
+        "BENCH_tail: windowed p99 under mid-run scan / burst arrival (simulated devices)",
+        &[
+            "policy",
+            "ghost",
+            "scan",
+            "arrival",
+            "committed",
+            "tps",
+            "p50 µs",
+            "p99 µs",
+            "p999 µs",
+            "base w-p99",
+            "stress w-p99",
+            "post w-p99",
+            "scan pages",
+            "recovered@",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    format!("{}", r.ghost_admission),
+                    format!("{}", r.scan),
+                    r.arrival.clone(),
+                    format!("{}", r.committed),
+                    format!("{:.0}", r.tps),
+                    format!("{:.0}", r.p50_us),
+                    format!("{:.0}", r.p99_us),
+                    format!("{:.0}", r.p999_us),
+                    format!("{:.0}", r.baseline_window_p99_us),
+                    format!("{:.0}", r.stressed_window_p99_us),
+                    format!("{:.0}", r.post_scan_window_p99_us),
+                    format!("{}", r.scan_pages),
+                    format!("{}", r.recovered_window),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json_at(std::path::Path::new("BENCH_tail.json"), &rows);
+
+    let failures = evaluate_tail(&rows, &bounds);
+    for row in rows
+        .iter()
+        .filter(|r| r.scan && r.baseline_window_p99_us > 0.0)
+    {
+        println!(
+            "{} ghost={}: p99-under-scan {:.0} µs vs pre-scan baseline {:.0} µs \
+             (ratio {:.2}), post-scan {:.0} µs",
+            row.policy,
+            row.ghost_admission,
+            row.stressed_window_p99_us,
+            row.baseline_window_p99_us,
+            row.stressed_window_p99_us / row.baseline_window_p99_us,
+            row.post_scan_window_p99_us,
+        );
+    }
+    if failures.is_empty() {
+        println!("[PASS] tail gate: filtered arms hold p99 under scan, bursts recover");
+    } else {
+        for failure in &failures {
+            eprintln!("[FAIL] {failure}");
+        }
+        std::process::exit(1);
+    }
+}

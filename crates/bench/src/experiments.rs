@@ -21,7 +21,16 @@ pub const TXNS_PER_SIM_SECOND: u64 = 40;
 
 /// Read a `u64` scale knob from the environment, falling back to `default`
 /// when unset or unparsable (shared by every `*Scale::from_env`).
-fn env_u64(name: &str, default: u64) -> u64 {
+pub(crate) fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read an `f64` scale knob from the environment (e.g. the zipfian theta),
+/// falling back to `default` when unset or unparsable.
+pub(crate) fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
@@ -601,6 +610,14 @@ pub struct ThroughputBenchRow {
     /// Flash page writes per committed transaction — the write-economy
     /// figure of merit.
     pub flash_writes_per_txn: f64,
+    /// Median per-transaction commit latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile commit latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile commit latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile commit latency, µs.
+    pub p999_us: f64,
 }
 
 /// Run the standard concurrent TPC-C configuration with the destager on
@@ -656,6 +673,7 @@ pub fn run_bench_throughput(
             // Fairness: the async arm's queued writes are part of the same
             // physical work the sync arm paid inline.
             db.drain_destage().expect("pipeline drain");
+            let latency = report.latency_summary();
             let wall = started.elapsed().as_secs_f64();
             let stats = db.destage_stats().unwrap_or_default();
             let flash_pages = db.flash_pages_written() - flash_before;
@@ -683,6 +701,10 @@ pub fn run_bench_throughput(
                 } else {
                     0.0
                 },
+                p50_us: latency.p50_us,
+                p95_us: latency.p95_us,
+                p99_us: latency.p99_us,
+                p999_us: latency.p999_us,
             });
         }
     }
@@ -771,6 +793,14 @@ pub struct ReadBenchRow {
     pub flash_pages_written: u64,
     /// The same, in bytes (pages × 4 KiB).
     pub flash_bytes_written: u64,
+    /// Median per-transaction commit latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile commit latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile commit latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile commit latency, µs.
+    pub p999_us: f64,
 }
 
 /// The engine configuration behind the read bench: a DRAM buffer far smaller
@@ -831,6 +861,7 @@ pub fn run_bench_read_throughput(scale: &ReadScale, thread_counts: &[usize]) -> 
             let buffer = db.buffer_stats();
             let cache = db.cache_stats().unwrap_or_default();
             let flash_pages = db.flash_pages_written() - flash_before;
+            let latency = report.latency_summary();
             let wall = report.wall.as_secs_f64();
             let ops = report.gets() + report.puts();
             let misses = buffer.misses - buffer_before.misses;
@@ -856,6 +887,10 @@ pub fn run_bench_read_throughput(scale: &ReadScale, thread_counts: &[usize]) -> 
                 buffer_read_retries: buffer.read_retries - buffer_before.read_retries,
                 flash_pages_written: flash_pages,
                 flash_bytes_written: flash_pages * face_pagestore::PAGE_SIZE as u64,
+                p50_us: latency.p50_us,
+                p95_us: latency.p95_us,
+                p99_us: latency.p99_us,
+                p999_us: latency.p999_us,
             });
         }
     }

@@ -18,12 +18,21 @@
 //! | `FACE_WARMUP_TXNS` | transactions before measurement | 4000 |
 //! | `FACE_MEASURE_TXNS` | measured transactions | 8000 |
 //! | `FACE_CLIENTS` | closed client population | 50 |
+//!
+//! The functional-engine gates read their own prefixes — `FACE_CONC_*`
+//! ([`experiments`]), `FACE_READ_*`, `FACE_ECON_*`, `FACE_REC_*` and
+//! `FACE_TAIL_*` ([`tail::TailScale::from_env`]) — all collected in one
+//! table in `EXPERIMENTS.md`. The four `bench_*` gate binaries write
+//! committed `BENCH_*.json` files at the repo root; [`tail`] documents the
+//! windowed-p99 methodology behind `BENCH_tail.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
 pub mod report;
+pub mod tail;
 
 pub use experiments::{ExperimentScale, RunResult};
 pub use report::{print_table, write_json, write_json_at};
+pub use tail::{evaluate_tail, run_bench_tail, TailBenchRow, TailBounds, TailScale};

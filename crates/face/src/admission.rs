@@ -22,6 +22,21 @@
 //! The ghost directory is deliberately **RAM-only**: it is an admission
 //! heuristic, not cache metadata. After a crash it restarts empty — the worst
 //! case is a few re-filtered first touches, never a correctness problem.
+//!
+//! ```
+//! use face_cache::GhostQueue;
+//! use face_pagestore::PageId;
+//!
+//! let mut ghost = GhostQueue::new(4);
+//! let page = PageId::new(0, 7);
+//! // First touch: recorded in the ghost only — no flash write is paid.
+//! assert!(!ghost.admit_or_record(page));
+//! assert!(ghost.contains(page));
+//! // Re-reference while the ghost entry is live: the write is earned, and
+//! // the entry is consumed (a third touch of an uncached page starts over).
+//! assert!(ghost.admit_or_record(page));
+//! assert!(!ghost.contains(page));
+//! ```
 
 use std::collections::{HashMap, VecDeque};
 

@@ -374,8 +374,14 @@ impl ShardedFlashCache {
         if let Some(ghost) = &self.ghost {
             // On-entry caching (TAC) admits pages read from disk — always
             // clean, so the same first-touch filter applies in front of the
-            // policy's own temperature check.
-            if !guard.contains(page) {
+            // policy's own temperature check. For the eviction-time policies
+            // (FaCE family, LC) this notification is a no-op and must NOT
+            // touch the ghost: their admission point is the buffer-pool
+            // write-back (`insert_with_sink`), and recording the fetch here
+            // would make a page's own later eviction look like a ghost
+            // re-reference — one logical touch counted as two, admitting
+            // every one-touch scan page the filter exists to reject.
+            if self.kind == CachePolicyKind::Tac && !guard.contains(page) {
                 if ghost.admit_or_record(page) {
                     self.admission_ghost_hits.inc();
                 } else {
@@ -1033,6 +1039,33 @@ mod tests {
             assert!(c.contains(PageId::new(0, n)));
         }
         assert_eq!(c.stats().admission_filtered, 0);
+    }
+
+    #[test]
+    fn disk_fetch_notification_does_not_spend_the_ghost_touch() {
+        // A disk fetch followed by the same page's clean buffer eviction is
+        // ONE logical touch for an eviction-time policy. If the fetch
+        // notification recorded into the ghost, the eviction would read as a
+        // re-reference and every one-touch scan page would be admitted —
+        // exactly what the filter exists to prevent.
+        let c = ghosted(CachePolicyKind::FaceGsc, 256, 4);
+        let mut io = IoLog::new();
+        for n in 0..8u32 {
+            let page = PageId::new(0, n);
+            assert!(!c.on_fetched_from_disk(page, &mut io).cached);
+            let out = c.insert(clean_page(n), &mut io);
+            assert!(
+                !out.cached,
+                "fetch + first eviction must still count as a first touch"
+            );
+            assert!(!c.contains(page));
+        }
+        assert_eq!(c.stats().admission_filtered, 8);
+        assert_eq!(c.stats().admission_ghost_hits, 0);
+
+        // The genuine comeback (second eviction) still earns the write.
+        let out = c.insert(clean_page(0), &mut io);
+        assert!(out.cached, "second eviction is a real re-reference");
     }
 
     #[test]

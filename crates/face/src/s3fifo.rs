@@ -26,6 +26,31 @@
 //! `front`/`size` pointers pack the two regions' pointers into the two u64s
 //! (`pack_pointers`). The ghost directory is volatile by design: it is an
 //! admission heuristic, and after a crash it restarts empty.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use face_cache::{
+//!     CacheConfig, FlashCache, FlashStore, IoLog, MemFlashStore, NoSupplier, S3FifoCache,
+//!     StagedPage,
+//! };
+//! use face_pagestore::{Page, PageId};
+//!
+//! let store = Arc::new(MemFlashStore::new(16));
+//! let config = CacheConfig { capacity_pages: 16, group_size: 2, ..CacheConfig::default() };
+//! let mut cache = S3FifoCache::new(config, Arc::clone(&store) as Arc<dyn FlashStore>);
+//! let mut io = IoLog::new();
+//!
+//! let mut page = Page::new(PageId::new(0, 1));
+//! page.update_checksum();
+//! // A clean one-touch page is ghosted, not cached: no flash write is paid.
+//! let first = cache.insert(StagedPage::with_data(page.clone(), false, true), &mut NoSupplier, &mut io);
+//! assert!(!first.cached);
+//! assert_eq!(cache.ghost_len(), 1);
+//! // The re-reference earns admission (straight into the main queue).
+//! let second = cache.insert(StagedPage::with_data(page, false, true), &mut NoSupplier, &mut io);
+//! assert!(second.cached);
+//! assert!(cache.contains(PageId::new(0, 1)));
+//! ```
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;

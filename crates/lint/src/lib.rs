@@ -7,7 +7,9 @@
 //!   lock must go through `OrderedMutex`/`OrderedRwLock` so the lockdep
 //!   witness sees it.
 //! - `sleep` — `thread::sleep` outside the device-latency emulators
-//!   (`face-iosim`, `face_engine::latency`) and test code. Library code must
+//!   (`face-iosim`, `face_engine::latency`), the arrival-schedule emulator
+//!   (`face_workload::arrival`, which paces transaction release the way
+//!   `latency.rs` paces device service) and test code. Library code must
 //!   never block on wall-clock time.
 //! - `print` — `println!`/`eprintln!`/`print!`/`dbg!` in library crates
 //!   (the bench/report binaries and test code are exempt).
@@ -248,6 +250,7 @@ pub fn scan_sources(root: &Path) -> Vec<Finding> {
                 if code.contains("thread::sleep")
                     && !rel.starts_with("crates/iosim/")
                     && rel != "crates/engine/src/latency.rs"
+                    && rel != "crates/workload/src/arrival.rs"
                 {
                     findings.push(Finding {
                         rule: "sleep",

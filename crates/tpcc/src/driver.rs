@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use face_engine::Database;
+use face_workload::{LatencyHistogram, LatencySummary};
 
 use crate::workload::{TpccConfig, TpccWorkload, TransactionKind};
 
@@ -71,6 +72,10 @@ pub struct DriverReport {
     pub per_thread: Vec<ThreadStats>,
     /// Wall time from first spawn to last join.
     pub wall: Duration,
+    /// Merged per-transaction commit latencies (begin → commit, including
+    /// the group-commit log force). Each thread records into a private
+    /// histogram; the driver merges them after `join`.
+    pub latency: LatencyHistogram,
 }
 
 impl DriverReport {
@@ -102,6 +107,11 @@ impl DriverReport {
         } else {
             self.committed() as f64 / secs
         }
+    }
+
+    /// Percentile summary of per-transaction commit latency across threads.
+    pub fn latency_summary(&self) -> LatencySummary {
+        self.latency.summary()
     }
 
     /// Aggregate committed NewOrders per minute (the paper's tpmC metric).
@@ -141,6 +151,7 @@ pub fn run_concurrent(db: &Arc<Database>, config: &DriverConfig) -> DriverReport
     );
     let start = Instant::now();
     let mut per_thread = vec![ThreadStats::default(); config.threads];
+    let mut latency = LatencyHistogram::new();
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(config.threads);
         for t in 0..config.threads {
@@ -149,12 +160,15 @@ pub fn run_concurrent(db: &Arc<Database>, config: &DriverConfig) -> DriverReport
             handles.push(s.spawn(move || run_thread(&db, &cfg, t)));
         }
         for (t, handle) in handles.into_iter().enumerate() {
-            per_thread[t] = handle.join().expect("worker thread panicked");
+            let (stats, hist) = handle.join().expect("worker thread panicked");
+            per_thread[t] = stats;
+            latency.merge(&hist);
         }
     });
     DriverReport {
         per_thread,
         wall: start.elapsed(),
+        latency,
     }
 }
 
@@ -290,6 +304,7 @@ pub fn run_read_heavy(db: &Arc<Database>, config: &ReadHeavyConfig) -> DriverRep
     assert!(config.read_pct <= 100, "read_pct is a percentage");
     let start = Instant::now();
     let mut per_thread = vec![ThreadStats::default(); config.threads];
+    let mut latency = LatencyHistogram::new();
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(config.threads);
         for t in 0..config.threads {
@@ -298,16 +313,23 @@ pub fn run_read_heavy(db: &Arc<Database>, config: &ReadHeavyConfig) -> DriverRep
             handles.push(s.spawn(move || run_read_heavy_thread(&db, &cfg, t)));
         }
         for (t, handle) in handles.into_iter().enumerate() {
-            per_thread[t] = handle.join().expect("worker thread panicked");
+            let (stats, hist) = handle.join().expect("worker thread panicked");
+            per_thread[t] = stats;
+            latency.merge(&hist);
         }
     });
     DriverReport {
         per_thread,
         wall: start.elapsed(),
+        latency,
     }
 }
 
-fn run_read_heavy_thread(db: &Database, config: &ReadHeavyConfig, thread: usize) -> ThreadStats {
+fn run_read_heavy_thread(
+    db: &Database,
+    config: &ReadHeavyConfig,
+    thread: usize,
+) -> (ThreadStats, LatencyHistogram) {
     // Disjoint write partition, shared read range.
     let n = config.threads as u64;
     let t = thread as u64;
@@ -318,11 +340,13 @@ fn run_read_heavy_thread(db: &Database, config: &ReadHeavyConfig, thread: usize)
         thread,
         ..ThreadStats::default()
     };
+    let mut latency = LatencyHistogram::new();
     let started = Instant::now();
     let mut value = [0u8; 16];
     let ops_per_txn = config.ops_per_txn.max(1);
     let mut op = 0;
     while op < config.ops_per_thread {
+        let txn_started = Instant::now();
         let txn = db.begin();
         for _ in 0..ops_per_txn.min(config.ops_per_thread - op) {
             let r = splitmix64(&mut state);
@@ -340,10 +364,11 @@ fn run_read_heavy_thread(db: &Database, config: &ReadHeavyConfig, thread: usize)
             op += 1;
         }
         db.commit(txn).expect("commit failed");
+        latency.record(txn_started.elapsed());
         stats.committed += 1;
     }
     stats.wall = started.elapsed();
-    stats
+    (stats, latency)
 }
 
 /// Configuration of a skew-heavy key-value mix — the workload behind
@@ -406,6 +431,7 @@ pub fn run_skewed_mix(db: &Arc<Database>, config: &SkewedMixConfig) -> DriverRep
     assert!(config.read_pct <= 100, "read_pct is a percentage");
     let start = Instant::now();
     let mut per_thread = vec![ThreadStats::default(); config.threads];
+    let mut latency = LatencyHistogram::new();
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(config.threads);
         for t in 0..config.threads {
@@ -414,16 +440,23 @@ pub fn run_skewed_mix(db: &Arc<Database>, config: &SkewedMixConfig) -> DriverRep
             handles.push(s.spawn(move || run_skewed_mix_thread(&db, &cfg, t)));
         }
         for (t, handle) in handles.into_iter().enumerate() {
-            per_thread[t] = handle.join().expect("worker thread panicked");
+            let (stats, hist) = handle.join().expect("worker thread panicked");
+            per_thread[t] = stats;
+            latency.merge(&hist);
         }
     });
     DriverReport {
         per_thread,
         wall: start.elapsed(),
+        latency,
     }
 }
 
-fn run_skewed_mix_thread(db: &Database, config: &SkewedMixConfig, thread: usize) -> ThreadStats {
+fn run_skewed_mix_thread(
+    db: &Database,
+    config: &SkewedMixConfig,
+    thread: usize,
+) -> (ThreadStats, LatencyHistogram) {
     let n = config.threads as u64;
     let t = thread as u64;
     // Hot keys at the front of the key space; at least one, never all.
@@ -447,11 +480,13 @@ fn run_skewed_mix_thread(db: &Database, config: &SkewedMixConfig, thread: usize)
         thread,
         ..ThreadStats::default()
     };
+    let mut latency = LatencyHistogram::new();
     let started = Instant::now();
     let mut value = [0u8; 16];
     let ops_per_txn = config.ops_per_txn.max(1);
     let mut op = 0;
     while op < config.ops_per_thread {
+        let txn_started = Instant::now();
         let txn = db.begin();
         for _ in 0..ops_per_txn.min(config.ops_per_thread - op) {
             let hot = splitmix64(&mut state) % 100 < config.hot_op_pct as u64;
@@ -474,13 +509,18 @@ fn run_skewed_mix_thread(db: &Database, config: &SkewedMixConfig, thread: usize)
             op += 1;
         }
         db.commit(txn).expect("commit failed");
+        latency.record(txn_started.elapsed());
         stats.committed += 1;
     }
     stats.wall = started.elapsed();
-    stats
+    (stats, latency)
 }
 
-fn run_thread(db: &Database, config: &DriverConfig, thread: usize) -> ThreadStats {
+fn run_thread(
+    db: &Database,
+    config: &DriverConfig,
+    thread: usize,
+) -> (ThreadStats, LatencyHistogram) {
     let (lo, hi) = warehouse_range(config.warehouses, config.threads, thread);
     let mut workload = TpccWorkload::with_home_range(
         TpccConfig {
@@ -494,10 +534,12 @@ fn run_thread(db: &Database, config: &DriverConfig, thread: usize) -> ThreadStat
         thread,
         ..ThreadStats::default()
     };
+    let mut latency = LatencyHistogram::new();
     let started = Instant::now();
     let mut value = [0u8; 16];
     for _ in 0..config.txns_per_thread {
         let spec = workload.next_transaction();
+        let txn_started = Instant::now();
         let txn = db.begin();
         for access in &spec.accesses {
             let key = access.page.to_u64();
@@ -512,13 +554,14 @@ fn run_thread(db: &Database, config: &DriverConfig, thread: usize) -> ThreadStat
             }
         }
         db.commit(txn).expect("commit failed");
+        latency.record(txn_started.elapsed());
         stats.committed += 1;
         if spec.kind == TransactionKind::NewOrder {
             stats.new_orders += 1;
         }
     }
     stats.wall = started.elapsed();
-    stats
+    (stats, latency)
 }
 
 #[cfg(test)]
@@ -575,6 +618,13 @@ mod tests {
         assert!(report.tps() > 0.0);
         assert!(report.new_orders() > 0);
         assert!(report.tpmc() > 0.0);
+
+        // Every committed transaction left a latency observation, and the
+        // merged percentiles are monotone.
+        let lat = report.latency_summary();
+        assert_eq!(lat.count, report.committed());
+        assert!(lat.p50_us > 0.0);
+        assert!(lat.p50_us <= lat.p99_us && lat.p99_us <= lat.max_us);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 pub mod driver;
 pub mod layout;
 pub mod random;
+pub mod tail;
 pub mod workload;
 
 pub use driver::{
@@ -26,4 +27,5 @@ pub use driver::{
 };
 pub use layout::{Table, TableLayout};
 pub use random::TpccRandom;
+pub use tail::{run_tail, TailConfig, TailReport, TailScan, TailWindow};
 pub use workload::{TpccConfig, TpccTransaction, TpccWorkload, TransactionKind};

@@ -1,0 +1,168 @@
+//! Arrival schedules: open/closed-loop pacing and on/off bursts.
+//!
+//! A [`Pacer`] turns an [`Arrival`] schedule into per-transaction pauses.
+//! Like `face_engine::latency` (the simulated device service times), this
+//! module is an *emulator of elapsed time* and is therefore the one place in
+//! `face-workload` allowed to call `thread::sleep` — `face-lint` exempts
+//! exactly this file, the same carve-out the device emulators get.
+//!
+//! Schedules are wall-clock-phase based, not per-thread-counter based: every
+//! thread sharing a start instant agrees on when the burst window is open,
+//! so an N-thread driver produces one coherent burst rather than N skewed
+//! ones.
+
+use std::time::{Duration, Instant};
+
+/// When transactions are released to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Closed loop, no think time: issue as fast as the engine completes.
+    Unpaced,
+    /// Closed loop with a fixed think time before every transaction.
+    Paced {
+        /// Pause before each transaction.
+        gap: Duration,
+    },
+    /// One burst: paced at `gap` until `pre` has elapsed, unpaced for the
+    /// next `burst`, then paced at `gap` again (the recovery phase).
+    SingleBurst {
+        /// Paced lead-in length.
+        pre: Duration,
+        /// Unpaced burst length.
+        burst: Duration,
+        /// Think time outside the burst window.
+        gap: Duration,
+    },
+    /// Periodic on/off bursts: each period is `on` of unpaced arrivals
+    /// followed by `off` of arrivals paced at `gap`.
+    OnOff {
+        /// Unpaced span of each period.
+        on: Duration,
+        /// Paced span of each period.
+        off: Duration,
+        /// Think time during the off span.
+        gap: Duration,
+    },
+}
+
+/// Applies an [`Arrival`] schedule relative to a start instant.
+#[derive(Debug, Clone)]
+pub struct Pacer {
+    schedule: Arrival,
+    start: Instant,
+}
+
+impl Pacer {
+    /// A pacer whose phase 0 is now.
+    pub fn new(schedule: Arrival) -> Self {
+        Self::started_at(schedule, Instant::now())
+    }
+
+    /// A pacer phased against an externally shared start instant (all
+    /// threads of a driver should share one so burst windows line up).
+    pub fn started_at(schedule: Arrival, start: Instant) -> Self {
+        Self { schedule, start }
+    }
+
+    /// The schedule this pacer applies.
+    pub fn schedule(&self) -> Arrival {
+        self.schedule
+    }
+
+    /// Time since the shared start instant.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn gap_at(&self, elapsed: Duration) -> Option<Duration> {
+        match self.schedule {
+            Arrival::Unpaced => None,
+            Arrival::Paced { gap } => Some(gap),
+            Arrival::SingleBurst { pre, burst, gap } => {
+                if elapsed >= pre && elapsed < pre + burst {
+                    None
+                } else {
+                    Some(gap)
+                }
+            }
+            Arrival::OnOff { on, off, gap } => {
+                let period = (on + off).as_nanos().max(1);
+                if elapsed.as_nanos() % period < on.as_nanos() {
+                    None
+                } else {
+                    Some(gap)
+                }
+            }
+        }
+    }
+
+    /// Whether `elapsed` falls inside an unpaced burst window.
+    pub fn in_burst_at(&self, elapsed: Duration) -> bool {
+        matches!(
+            self.schedule,
+            Arrival::SingleBurst { .. } | Arrival::OnOff { .. }
+        ) && self.gap_at(elapsed).is_none()
+    }
+
+    /// Whether the pacer is currently inside an unpaced burst window.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst_at(self.elapsed())
+    }
+
+    /// Block for the schedule-appropriate think time before the next
+    /// transaction. No-op in unpaced phases.
+    pub fn pause(&self) {
+        if let Some(gap) = self.gap_at(self.elapsed()) {
+            if gap > Duration::ZERO {
+                std::thread::sleep(gap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_burst_phases() {
+        let p = Pacer::new(Arrival::SingleBurst {
+            pre: Duration::from_millis(100),
+            burst: Duration::from_millis(50),
+            gap: Duration::from_micros(200),
+        });
+        assert!(!p.in_burst_at(Duration::from_millis(0)));
+        assert!(!p.in_burst_at(Duration::from_millis(99)));
+        assert!(p.in_burst_at(Duration::from_millis(100)));
+        assert!(p.in_burst_at(Duration::from_millis(149)));
+        assert!(!p.in_burst_at(Duration::from_millis(150)));
+        assert_eq!(
+            p.gap_at(Duration::from_millis(10)),
+            Some(Duration::from_micros(200))
+        );
+        assert_eq!(p.gap_at(Duration::from_millis(120)), None);
+    }
+
+    #[test]
+    fn on_off_is_periodic() {
+        let p = Pacer::new(Arrival::OnOff {
+            on: Duration::from_millis(10),
+            off: Duration::from_millis(30),
+            gap: Duration::from_micros(100),
+        });
+        for period in 0..4u64 {
+            let base = Duration::from_millis(40 * period);
+            assert!(p.in_burst_at(base + Duration::from_millis(5)));
+            assert!(!p.in_burst_at(base + Duration::from_millis(15)));
+            assert!(!p.in_burst_at(base + Duration::from_millis(39)));
+        }
+    }
+
+    #[test]
+    fn unpaced_never_bursty_never_gapped() {
+        let p = Pacer::new(Arrival::Unpaced);
+        assert!(!p.in_burst_at(Duration::from_secs(1)));
+        assert_eq!(p.gap_at(Duration::from_secs(1)), None);
+        p.pause(); // must not block
+    }
+}

@@ -1,0 +1,56 @@
+//! # face-workload — deterministic workloads and tail-latency measurement
+//!
+//! The measurement substrate for the FaCE reproduction's benchmarks: every
+//! driver in `face-tpcc` and every gate in `face-bench` builds its traffic
+//! and its latency numbers from this crate.
+//!
+//! Real cache workloads are not uniform TPC-C means: they are **zipfian**
+//! (a small hot set takes most of the traffic), **scan-polluted** (periodic
+//! sequential sweeps try to flush the cache) and **bursty** (arrival rate
+//! switches between idle and saturating). And caches are judged on **p99**,
+//! not throughput averages. This crate supplies both halves:
+//!
+//! - **Generation** — [`Zipfian`] (Gray et al. inverse-CDF skew with hot-key
+//!   rotation), [`WorkloadGen`] (transaction-shaped get/read-modify-write
+//!   mixes), [`ScanPlan`] (sweeps sized to flush a cache of known size) and
+//!   [`Arrival`]/[`Pacer`] (paced, single-burst and periodic on/off arrival
+//!   schedules).
+//! - **Measurement** — [`LatencyHistogram`], a log-bucketed (HDR-style)
+//!   nanosecond histogram each worker thread owns privately and the driver
+//!   merges after `join` (lock-free by construction), summarised as flat
+//!   p50/p95/p99/p999 [`LatencySummary`] rows for the committed
+//!   `BENCH_*.json` files.
+//!
+//! Everything is seed-deterministic and dependency-free: the same
+//! `(seed, config)` pair replays the same key sequence on any thread, which
+//! is what makes cross-arm benchmark comparisons (unfiltered vs ghost-gated
+//! vs S3-FIFO) apples-to-apples.
+//!
+//! ```
+//! use face_workload::{LatencyHistogram, MixConfig, WorkloadGen};
+//! use std::time::Duration;
+//!
+//! // Per-thread: generate transactions, record each one's latency.
+//! let mut gen = WorkloadGen::new(MixConfig::read_heavy(4096), 1);
+//! let mut hist = LatencyHistogram::new();
+//! let mut txn = Vec::new();
+//! for _ in 0..100 {
+//!     gen.next_txn(&mut txn);
+//!     // ... run `txn` against the engine ...
+//!     hist.record(Duration::from_micros(120 + txn.len() as u64));
+//! }
+//! // Driver-side: merge per-thread histograms after join, then summarise.
+//! let mut merged = LatencyHistogram::new();
+//! merged.merge(&hist);
+//! assert_eq!(merged.summary().count, 100);
+//! ```
+
+mod arrival;
+mod hist;
+mod mix;
+mod zipf;
+
+pub use arrival::{Arrival, Pacer};
+pub use hist::{LatencyHistogram, LatencySummary};
+pub use mix::{MixConfig, Op, ScanPlan, WorkloadGen};
+pub use zipf::{Zipfian, ZipfianConfig};

@@ -1,0 +1,238 @@
+//! Transaction-shaped operation mixes over a zipfian key stream, plus
+//! cache-flushing scan plans.
+//!
+//! [`WorkloadGen`] deals transactions: each is `ops_per_txn` operations whose
+//! keys come from one [`Zipfian`] stream and whose read/read-modify-write
+//! split comes from an independent splitmix64 coin stream (so changing the
+//! mix ratio never perturbs *which* keys are touched). Hot-set drift is
+//! modelled by rotating the zipfian mapping every `rotate_every_txns`
+//! transactions.
+//!
+//! [`ScanPlan`] describes a sequential sweep over a contiguous key range —
+//! the classic cache-polluting full-table scan. [`ScanPlan::sized_to_flush`]
+//! sizes the sweep so its distinct pages outnumber the flash cache, which is
+//! exactly the traffic a scan-resistant admission policy must shrug off.
+
+use crate::zipf::{splitmix64, Zipfian, ZipfianConfig};
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point read of `key`.
+    Get { key: u64 },
+    /// Read `key`, then write it back (dirties the page).
+    ReadModifyWrite { key: u64 },
+}
+
+impl Op {
+    /// The key this operation touches.
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Get { key } | Op::ReadModifyWrite { key } => key,
+        }
+    }
+}
+
+/// Configuration for [`WorkloadGen`].
+#[derive(Debug, Clone, Copy)]
+pub struct MixConfig {
+    /// Distinct keys in the workload's active set.
+    pub keys: u64,
+    /// Zipfian skew exponent in `[0, 1)`; 0 = uniform.
+    pub theta: f64,
+    /// Percent of operations that are read-modify-write (0–100).
+    pub rmw_pct: u32,
+    /// Operations per generated transaction.
+    pub ops_per_txn: u32,
+    /// Rotate the hot set every this many transactions (0 = never).
+    pub rotate_every_txns: u64,
+    /// Keys to shift the hot set by on each rotation.
+    pub rotate_step: u64,
+}
+
+impl MixConfig {
+    /// A read-heavy default: 90 % reads over a zipfian-0.99 key stream,
+    /// 8 ops per transaction, no hot-set rotation.
+    pub fn read_heavy(keys: u64) -> Self {
+        Self {
+            keys,
+            theta: 0.99,
+            rmw_pct: 10,
+            ops_per_txn: 8,
+            rotate_every_txns: 0,
+            rotate_step: 0,
+        }
+    }
+}
+
+/// Deterministic transaction generator: zipfian keys + RMW coin.
+///
+/// ```
+/// use face_workload::{MixConfig, Op, WorkloadGen};
+///
+/// let mut gen = WorkloadGen::new(MixConfig::read_heavy(1024), 7);
+/// let mut txn = Vec::new();
+/// gen.next_txn(&mut txn);
+/// assert_eq!(txn.len(), 8);
+/// assert!(txn.iter().all(|op| op.key() < 1024));
+/// // Same seed, same config => identical stream.
+/// let mut replay = WorkloadGen::new(MixConfig::read_heavy(1024), 7);
+/// let mut txn2 = Vec::new();
+/// replay.next_txn(&mut txn2);
+/// assert_eq!(txn, txn2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    cfg: MixConfig,
+    zipf: Zipfian,
+    coin: u64,
+    txns_dealt: u64,
+}
+
+impl WorkloadGen {
+    /// Build a generator for `cfg`, seeded so distinct seeds give
+    /// independent streams (give thread `t` seed `base + t`).
+    pub fn new(cfg: MixConfig, seed: u64) -> Self {
+        let zipf = Zipfian::new(
+            ZipfianConfig {
+                items: cfg.keys,
+                theta: cfg.theta,
+            },
+            seed,
+        );
+        Self {
+            cfg,
+            zipf,
+            coin: seed ^ 0xC0FF_EE00_D15C_0B41,
+            txns_dealt: 0,
+        }
+    }
+
+    /// The configuration this generator was built with.
+    pub fn config(&self) -> &MixConfig {
+        &self.cfg
+    }
+
+    /// Transactions dealt so far.
+    pub fn txns_dealt(&self) -> u64 {
+        self.txns_dealt
+    }
+
+    /// Fill `out` with the next transaction's operations (clears it first).
+    pub fn next_txn(&mut self, out: &mut Vec<Op>) {
+        out.clear();
+        if self.cfg.rotate_every_txns > 0
+            && self.txns_dealt > 0
+            && self.txns_dealt.is_multiple_of(self.cfg.rotate_every_txns)
+        {
+            self.zipf.rotate(self.cfg.rotate_step);
+        }
+        for _ in 0..self.cfg.ops_per_txn {
+            let key = self.zipf.next_key();
+            let rmw = (splitmix64(&mut self.coin) % 100) < self.cfg.rmw_pct as u64;
+            out.push(if rmw {
+                Op::ReadModifyWrite { key }
+            } else {
+                Op::Get { key }
+            });
+        }
+        self.txns_dealt += 1;
+    }
+}
+
+/// A sequential sweep over `[first_key, first_key + key_span)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanPlan {
+    /// First key of the sweep.
+    pub first_key: u64,
+    /// Number of consecutive keys to touch.
+    pub key_span: u64,
+}
+
+impl ScanPlan {
+    /// Size a scan to flush a flash cache of `cache_pages` pages: the sweep
+    /// covers `margin_pct` percent more distinct pages than the cache holds,
+    /// assuming `keys_per_page` keys hash to each page on average.
+    pub fn sized_to_flush(
+        first_key: u64,
+        cache_pages: u64,
+        keys_per_page: u64,
+        margin_pct: u64,
+    ) -> Self {
+        let pages = cache_pages + cache_pages * margin_pct / 100;
+        Self {
+            first_key,
+            key_span: pages * keys_per_page.max(1),
+        }
+    }
+
+    /// The keys of the sweep, in order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> {
+        self.first_key..self.first_key + self.key_span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_fraction_tracks_config() {
+        let cfg = MixConfig {
+            keys: 512,
+            theta: 0.8,
+            rmw_pct: 30,
+            ops_per_txn: 4,
+            rotate_every_txns: 0,
+            rotate_step: 0,
+        };
+        let mut gen = WorkloadGen::new(cfg, 99);
+        let mut txn = Vec::new();
+        let mut rmw = 0usize;
+        let mut total = 0usize;
+        for _ in 0..5_000 {
+            gen.next_txn(&mut txn);
+            total += txn.len();
+            rmw += txn
+                .iter()
+                .filter(|o| matches!(o, Op::ReadModifyWrite { .. }))
+                .count();
+        }
+        let frac = rmw as f64 / total as f64;
+        assert!((frac - 0.30).abs() < 0.03, "rmw fraction {frac}");
+    }
+
+    #[test]
+    fn rotation_changes_hot_keys_between_epochs() {
+        let cfg = MixConfig {
+            keys: 100,
+            theta: 0.99,
+            rmw_pct: 0,
+            ops_per_txn: 1,
+            rotate_every_txns: 1000,
+            rotate_step: 37,
+        };
+        let mut gen = WorkloadGen::new(cfg, 5);
+        let mut txn = Vec::new();
+        let mut epoch_mode = Vec::new();
+        for _epoch in 0..3 {
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..1000 {
+                gen.next_txn(&mut txn);
+                *counts.entry(txn[0].key()).or_insert(0u64) += 1;
+            }
+            let mode = counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0;
+            epoch_mode.push(mode);
+        }
+        assert_eq!((epoch_mode[0] + 37) % 100, epoch_mode[1]);
+        assert_eq!((epoch_mode[1] + 37) % 100, epoch_mode[2]);
+    }
+
+    #[test]
+    fn scan_plan_covers_more_pages_than_cache() {
+        let plan = ScanPlan::sized_to_flush(5000, 1000, 2, 20);
+        assert_eq!(plan.first_key, 5000);
+        assert_eq!(plan.key_span, 2400);
+        assert_eq!(plan.keys().count(), 2400);
+    }
+}

@@ -1,0 +1,205 @@
+//! Seedable zipfian key-popularity generator with hot-key rotation.
+//!
+//! Implements the rejection-free inverse-CDF construction of Gray et al.
+//! ("Quickly generating billion-record synthetic databases", SIGMOD '94),
+//! the same scheme YCSB uses: rank 0 is the most popular item and rank
+//! popularity falls off as `1 / rank^theta`. `theta = 0` degenerates to
+//! uniform; YCSB's default skew is `theta = 0.99`.
+//!
+//! The generator carries its own splitmix64 stream, so a `(seed, config)`
+//! pair replays bit-identically on any thread — the property the
+//! `zipf_props` proptest pins down.
+//!
+//! **Hot-key rotation**: ranks map to keys through a rotating offset
+//! (`key = (rank + rotation) % items`), so [`Zipfian::rotate`] shifts which
+//! region of the key space is hot without disturbing the popularity
+//! distribution or the random stream. Drivers use this to model hot-set
+//! drift mid-run.
+
+/// Configuration for a [`Zipfian`] generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfianConfig {
+    /// Number of distinct items (keys); ranks and keys are `0 .. items`.
+    pub items: u64,
+    /// Skew exponent in `[0.0, 1.0)`. 0 = uniform, 0.99 = YCSB default.
+    pub theta: f64,
+}
+
+/// A deterministic zipfian generator over `0 .. items`.
+///
+/// ```
+/// use face_workload::{Zipfian, ZipfianConfig};
+///
+/// let cfg = ZipfianConfig { items: 1000, theta: 0.99 };
+/// let mut a = Zipfian::new(cfg, 42);
+/// let mut b = Zipfian::new(cfg, 42);
+/// let seq: Vec<u64> = (0..16).map(|_| a.next_key()).collect();
+/// assert_eq!(seq, (0..16).map(|_| b.next_key()).collect::<Vec<_>>());
+/// assert!(seq.iter().all(|&k| k < 1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    state: u64,
+    rotation: u64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // O(n) setup; fine at bench scale (thousands of keys), precomputed once.
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    // 53 random mantissa bits -> uniform in [0, 1)
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Zipfian {
+    /// Build a generator; `O(items)` one-time zeta computation.
+    ///
+    /// # Panics
+    /// If `items == 0` or `theta` is outside `[0.0, 1.0)`.
+    pub fn new(cfg: ZipfianConfig, seed: u64) -> Self {
+        assert!(cfg.items > 0, "zipfian over an empty key space");
+        assert!(
+            (0.0..1.0).contains(&cfg.theta),
+            "theta must be in [0, 1), got {}",
+            cfg.theta
+        );
+        let zetan = zeta(cfg.items, cfg.theta);
+        let zeta2 = zeta(2.min(cfg.items), cfg.theta);
+        let alpha = 1.0 / (1.0 - cfg.theta);
+        let eta = (1.0 - (2.0 / cfg.items as f64).powf(1.0 - cfg.theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            items: cfg.items,
+            theta: cfg.theta,
+            alpha,
+            zetan,
+            eta,
+            state: seed ^ 0x5ACE_1E55_0F1A_5417,
+            rotation: 0,
+        }
+    }
+
+    /// Number of distinct items.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Current rank→key rotation offset.
+    pub fn rotation(&self) -> u64 {
+        self.rotation
+    }
+
+    /// Draw the next popularity *rank*: 0 is hottest, `items - 1` coldest.
+    pub fn next_rank(&mut self) -> u64 {
+        let u = unit_f64(&mut self.state);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.items >= 2 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.items - 1)
+    }
+
+    /// Map a rank to a key under the current rotation.
+    pub fn key_of(&self, rank: u64) -> u64 {
+        (rank + self.rotation) % self.items
+    }
+
+    /// Draw the next key (rank drawn zipfian, then rotated).
+    pub fn next_key(&mut self) -> u64 {
+        let rank = self.next_rank();
+        self.key_of(rank)
+    }
+
+    /// Shift the hot region by `step` keys (hot-key rotation). Does not
+    /// consume randomness, so rotated and unrotated replays stay aligned.
+    pub fn rotate(&mut self, step: u64) {
+        self.rotation = (self.rotation + step % self.items) % self.items;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let mut z = Zipfian::new(
+            ZipfianConfig {
+                items: 100,
+                theta: 0.0,
+            },
+            7,
+        );
+        let mut counts = [0u64; 100];
+        for _ in 0..100_000 {
+            counts[z.next_key() as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // each key expects 1000 draws; allow wide tolerance
+        assert!(*min > 700 && *max < 1300, "min {min} max {max}");
+    }
+
+    #[test]
+    fn rank_zero_dominates_under_skew() {
+        let mut z = Zipfian::new(
+            ZipfianConfig {
+                items: 1000,
+                theta: 0.99,
+            },
+            11,
+        );
+        let mut head = 0u64;
+        let draws = 50_000;
+        for _ in 0..draws {
+            if z.next_rank() == 0 {
+                head += 1;
+            }
+        }
+        // P(rank 0) = 1/zeta(1000, 0.99) ~ 0.126
+        let frac = head as f64 / draws as f64;
+        assert!(frac > 0.09 && frac < 0.17, "rank-0 mass {frac}");
+    }
+
+    #[test]
+    fn rotation_shifts_keys_not_ranks() {
+        let cfg = ZipfianConfig {
+            items: 64,
+            theta: 0.9,
+        };
+        let mut a = Zipfian::new(cfg, 3);
+        let mut b = Zipfian::new(cfg, 3);
+        b.rotate(10);
+        for _ in 0..256 {
+            let ka = a.next_key();
+            let kb = b.next_key();
+            assert_eq!((ka + 10) % 64, kb);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the zipfian generator: distribution sanity (the hot
+//! 10 % of keys really absorb the configured share of traffic) and seed
+//! determinism across threads (the same `(seed, config)` pair replays the
+//! same sequence no matter which thread runs it).
+
+use face_workload::{MixConfig, Op, WorkloadGen, Zipfian, ZipfianConfig};
+use proptest::prelude::*;
+
+/// Mass the hot 10 % of ranks must absorb per theta, with slack for
+/// sampling noise. For theta=0.99 over ~1000 keys the analytic value is
+/// ~0.64; for theta=0.8 it is ~0.47; theta=0.5 gives ~0.30.
+fn hot_mass_floor(theta: f64) -> f64 {
+    if theta >= 0.95 {
+        0.55
+    } else if theta >= 0.75 {
+        0.40
+    } else {
+        0.24
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hot 10 % of keys (the rotated rank-0.. region) receive at least the
+    /// configured mass, within tolerance, for any seed and supported theta.
+    #[test]
+    fn hot_ten_percent_receives_configured_mass(
+        seed in any::<u64>(),
+        theta_idx in 0usize..3,
+        items in 500u64..2000,
+        rotation in 0u64..5000,
+    ) {
+        let theta = [0.5, 0.8, 0.99][theta_idx];
+        let mut z = Zipfian::new(ZipfianConfig { items, theta }, seed);
+        z.rotate(rotation);
+        let hot_span = (items / 10).max(1);
+        let draws = 20_000u64;
+        let mut hot = 0u64;
+        for _ in 0..draws {
+            let key = z.next_key();
+            // The hot region is the rotated image of ranks 0..hot_span.
+            let rank_region = (key + items - z.rotation() % items) % items;
+            if rank_region < hot_span {
+                hot += 1;
+            }
+        }
+        let mass = hot as f64 / draws as f64;
+        prop_assert!(
+            mass >= hot_mass_floor(theta),
+            "theta {} items {} rotation {}: hot mass {} below floor {}",
+            theta, items, rotation, mass, hot_mass_floor(theta)
+        );
+    }
+
+    /// Same seed ⇒ bit-identical rank sequence even when the two replicas
+    /// run on different threads.
+    #[test]
+    fn same_seed_same_sequence_across_threads(
+        seed in any::<u64>(),
+        items in 2u64..10_000,
+        theta_idx in 0usize..4,
+    ) {
+        let theta = [0.0, 0.5, 0.9, 0.99][theta_idx];
+        let cfg = ZipfianConfig { items, theta };
+        let worker = move || -> Vec<u64> {
+            let mut z = Zipfian::new(cfg, seed);
+            (0..512).map(|_| z.next_key()).collect()
+        };
+        let (a, b) = std::thread::scope(|s| {
+            let ha = s.spawn(worker);
+            let hb = s.spawn(worker);
+            (ha.join().expect("thread a"), hb.join().expect("thread b"))
+        });
+        prop_assert_eq!(a, b);
+    }
+
+    /// The full transaction generator (keys + RMW coin + rotation schedule)
+    /// is equally deterministic across threads.
+    #[test]
+    fn workload_gen_replays_identically_across_threads(
+        seed in any::<u64>(),
+        keys in 64u64..4096,
+        rmw_pct in 0u32..=100,
+    ) {
+        let cfg = MixConfig {
+            keys,
+            theta: 0.9,
+            rmw_pct,
+            ops_per_txn: 6,
+            rotate_every_txns: 40,
+            rotate_step: 17,
+        };
+        let worker = move || -> Vec<Op> {
+            let mut gen = WorkloadGen::new(cfg, seed);
+            let mut txn = Vec::new();
+            let mut all = Vec::new();
+            for _ in 0..128 {
+                gen.next_txn(&mut txn);
+                all.extend_from_slice(&txn);
+            }
+            all
+        };
+        let (a, b) = std::thread::scope(|s| {
+            let ha = s.spawn(worker);
+            let hb = s.spawn(worker);
+            (ha.join().expect("thread a"), hb.join().expect("thread b"))
+        });
+        prop_assert_eq!(a, b);
+    }
+}

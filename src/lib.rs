@@ -11,6 +11,8 @@
 //!   performance simulator.
 //! * [`face_iosim`] — calibrated models of the paper's devices (Table 1).
 //! * [`face_tpcc`] — the TPC-C workload generator.
+//! * [`face_workload`] — deterministic zipfian/scan/burst traffic shapes and
+//!   the log-bucketed latency histogram behind the tail-latency gates.
 //! * [`face_buffer`], [`face_wal`], [`face_pagestore`] — the supporting
 //!   substrates.
 //!
@@ -27,6 +29,7 @@ pub use face_iosim;
 pub use face_pagestore;
 pub use face_tpcc;
 pub use face_wal;
+pub use face_workload;
 
 /// Commonly used items for examples and tests.
 pub mod prelude {
