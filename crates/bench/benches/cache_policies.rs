@@ -26,13 +26,14 @@ fn bench_policies(c: &mut Criterion) {
                 n += 1;
                 let page = PageId::from_u64((n * n) % 20_000);
                 if n.is_multiple_of(3) {
-                    black_box(cache.fetch(page, &mut io));
+                    let _ = black_box(cache.fetch(page, &mut io));
                 } else {
-                    cache.insert(
+                    black_box(cache.insert(
                         StagedPage::meta_only(page, Lsn(n), n.is_multiple_of(2), true),
                         &mut NoSupplier,
                         &mut io,
-                    );
+                    ))
+                    .expect("null store never fails");
                 }
                 io.clear();
             });

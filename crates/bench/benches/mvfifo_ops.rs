@@ -35,7 +35,8 @@ fn bench_insert(c: &mut Criterion) {
             let mut n = 0u64;
             b.iter(|| {
                 n += 1;
-                cache.insert(black_box(staged(n)), &mut NoSupplier, &mut io);
+                black_box(cache.insert(black_box(staged(n)), &mut NoSupplier, &mut io))
+                    .expect("null store never fails");
                 io.clear();
             });
         });
@@ -48,13 +49,15 @@ fn bench_fetch(c: &mut Criterion) {
         let mut cache = cache(16_384, 64, true);
         let mut io = IoLog::new();
         for n in 0..16_000u64 {
-            cache.insert(staged(n), &mut NoSupplier, &mut io);
+            cache
+                .insert(staged(n), &mut NoSupplier, &mut io)
+                .expect("null store never fails");
         }
         io.clear();
         let mut n = 0u64;
         b.iter(|| {
             n = (n + 7) % 16_000;
-            black_box(cache.fetch(PageId::from_u64(n % 100_000), &mut io));
+            let _ = black_box(cache.fetch(PageId::from_u64(n % 100_000), &mut io));
             io.clear();
         });
     });

@@ -1,0 +1,103 @@
+//! Degraded-mode gate: TPC-C throughput through a full flash-device
+//! failure. One engine runs healthy, takes a seed-deterministic whole-device
+//! permanent fault (breaker trips into disk-only degraded mode), then is
+//! healed with `Database::heal_flash`; a disk-only engine provides the
+//! baseline the tripped phase is judged against.
+//!
+//! Writes `BENCH_degrade.json` at the repo root (not the gitignored
+//! `results/`) so future PRs can diff the numbers, and acts as the
+//! robustness CI gate: it exits non-zero if
+//!
+//! * the breaker fails to trip (or trips during the healthy window),
+//! * the tripped engine stops serving, writes flash pages, or falls below a
+//!   sane fraction of the disk-only baseline's throughput, or
+//! * `heal_flash` fails to close the breaker or post-heal throughput does
+//!   not recover to a sane fraction of the healthy window.
+//!
+//! Scale knobs: `FACE_DEGRADE_WAREHOUSES`, `FACE_DEGRADE_WARMUP_TXNS`,
+//! `FACE_DEGRADE_MEASURE_TXNS`, `FACE_DEGRADE_THREADS`.
+
+use face_bench::experiments::{evaluate_bench_degrade, run_bench_degrade, DegradeScale};
+use face_bench::{print_table, write_json_at};
+
+/// The tripped engine must keep at least this fraction of the disk-only
+/// baseline's throughput (it is doing the same disk-bound work plus the
+/// bypass bookkeeping).
+const MIN_TRIPPED_FRACTION_OF_DISK: f64 = 0.25;
+
+/// Post-heal throughput must recover to at least this fraction of the
+/// healthy window (the cache restarts cold, so parity is not expected).
+const MIN_HEALED_FRACTION_OF_HEALTHY: f64 = 0.25;
+
+fn main() {
+    let scale = DegradeScale::from_env();
+    let rows = run_bench_degrade(&scale);
+    print_table(
+        "BENCH_degrade: tps through a flash-device failure and heal (FaCE+GSC, simulated devices)",
+        &[
+            "phase",
+            "threads",
+            "txns",
+            "wall s",
+            "tps",
+            "breaker",
+            "trips",
+            "bypassed",
+            "evacuated",
+            "flash pages",
+            "p99 µs",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.phase.clone(),
+                    format!("{}", r.threads),
+                    format!("{}", r.committed),
+                    format!("{:.3}", r.wall_secs),
+                    format!("{:.0}", r.tps),
+                    r.breaker.clone(),
+                    format!("{}", r.trips),
+                    format!("{}", r.bypassed_inserts + r.bypassed_fetches),
+                    format!("{}", r.evacuated_pages),
+                    format!("{}", r.flash_pages_written),
+                    format!("{:.0}", r.p99_us),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json_at(std::path::Path::new("BENCH_degrade.json"), &rows);
+
+    let failures = evaluate_bench_degrade(
+        &rows,
+        MIN_TRIPPED_FRACTION_OF_DISK,
+        MIN_HEALED_FRACTION_OF_HEALTHY,
+    );
+    let cell = |phase: &str| rows.iter().find(|r| r.phase == phase);
+    if let (Some(disk), Some(healthy), Some(tripped), Some(healed)) = (
+        cell("disk-only"),
+        cell("healthy"),
+        cell("tripped"),
+        cell("healed"),
+    ) {
+        println!(
+            "[{}] tripped {:.0} tps vs disk-only {:.0} tps ({:.0}% — floor {:.0}%); \
+             healed {:.0} tps vs healthy {:.0} tps ({:.0}% — floor {:.0}%)",
+            if failures.is_empty() { "PASS" } else { "FAIL" },
+            tripped.tps,
+            disk.tps,
+            tripped.tps / disk.tps.max(f64::MIN_POSITIVE) * 100.0,
+            MIN_TRIPPED_FRACTION_OF_DISK * 100.0,
+            healed.tps,
+            healthy.tps,
+            healed.tps / healthy.tps.max(f64::MIN_POSITIVE) * 100.0,
+            MIN_HEALED_FRACTION_OF_HEALTHY * 100.0,
+        );
+    }
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("[FAIL] {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -84,6 +84,29 @@ fn required_fields(file_name: &str) -> &'static [&'static str] {
             "flash_bytes_written",
             "windows",
         ],
+        "BENCH_degrade.json" => &[
+            "phase",
+            "threads",
+            "committed",
+            "wall_secs",
+            "tps",
+            "tpm",
+            "breaker",
+            "trips",
+            "quarantined_slots",
+            "retries",
+            "transient_errors",
+            "permanent_errors",
+            "bypassed_inserts",
+            "bypassed_fetches",
+            "evacuated_pages",
+            "heals",
+            "flash_pages_written",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "p999_us",
+        ],
         "BENCH_flash_economy.json" => &[
             "policy",
             "ghost_admission",
@@ -179,6 +202,7 @@ fn main() {
         "BENCH_read.json",
         "BENCH_flash_economy.json",
         "BENCH_tail.json",
+        "BENCH_degrade.json",
     ] {
         if !files.iter().any(|p| p.ends_with(expected)) {
             problems.push(format!("{expected}: missing from {}", root.display()));

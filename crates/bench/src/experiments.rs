@@ -1130,6 +1130,315 @@ pub fn evaluate_flash_economy(rows: &[EconomyBenchRow], hit_ratio_tolerance: f64
     failures
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_degrade: throughput through a full flash-device failure — healthy,
+// breaker-tripped (disk-only degraded mode) and post-heal, against a
+// disk-only baseline engine that never had a flash tier.
+// ---------------------------------------------------------------------------
+
+/// Scale knobs for the degraded-mode bench (`FACE_DEGRADE_*`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DegradeScale {
+    /// TPC-C warehouses (also the maximum thread count).
+    pub warehouses: u32,
+    /// Warm-up / phase-transition transactions (split across threads).
+    pub warmup_txns: u64,
+    /// Measured transactions per phase, split evenly across threads.
+    pub measure_txns: u64,
+    /// Worker threads driving the shared engine.
+    pub threads: usize,
+}
+
+impl Default for DegradeScale {
+    fn default() -> Self {
+        Self {
+            warehouses: 8,
+            warmup_txns: 160,
+            measure_txns: 480,
+            threads: 4,
+        }
+    }
+}
+
+impl DegradeScale {
+    /// Read the scale from `FACE_DEGRADE_*` environment variables.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            warehouses: env_u64("FACE_DEGRADE_WAREHOUSES", d.warehouses as u64) as u32,
+            warmup_txns: env_u64("FACE_DEGRADE_WARMUP_TXNS", d.warmup_txns),
+            measure_txns: env_u64("FACE_DEGRADE_MEASURE_TXNS", d.measure_txns),
+            threads: env_u64("FACE_DEGRADE_THREADS", d.threads as u64).max(1) as usize,
+        }
+    }
+
+    /// A tiny scale for unit tests of the harness itself.
+    pub fn tiny() -> Self {
+        Self {
+            warehouses: 4,
+            warmup_txns: 40,
+            measure_txns: 160,
+            threads: 2,
+        }
+    }
+}
+
+/// One phase of the degraded-mode trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradeBenchRow {
+    /// "disk-only" (no flash tier configured), "healthy" (flash tier up),
+    /// "tripped" (breaker open, disk-only degraded mode) or "healed"
+    /// (after `Database::heal_flash`).
+    pub phase: String,
+    /// Worker threads driving the shared engine.
+    pub threads: usize,
+    /// Committed transactions in the measured window.
+    pub committed: u64,
+    /// Measured wall-clock seconds.
+    pub wall_secs: f64,
+    /// Aggregate committed transactions per second.
+    pub tps: f64,
+    /// Aggregate committed transactions per minute.
+    pub tpm: f64,
+    /// Breaker state at the end of the window ("n/a" without a flash tier).
+    pub breaker: String,
+    /// Cumulative breaker trips at the end of the window.
+    pub trips: u64,
+    /// Cumulative quarantined slots.
+    pub quarantined_slots: u64,
+    /// Cumulative transient-error retries.
+    pub retries: u64,
+    /// Cumulative transient device errors observed.
+    pub transient_errors: u64,
+    /// Cumulative permanent device errors observed.
+    pub permanent_errors: u64,
+    /// Cumulative flash inserts skipped because the breaker was open.
+    pub bypassed_inserts: u64,
+    /// Cumulative flash fetches skipped because the breaker was open.
+    pub bypassed_fetches: u64,
+    /// Cumulative dirty pages evacuated off the failing device.
+    pub evacuated_pages: u64,
+    /// Cumulative `heal_flash` completions.
+    pub heals: u64,
+    /// Flash pages physically programmed during the window.
+    pub flash_pages_written: u64,
+    /// Median per-transaction commit latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile commit latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile commit latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile commit latency, µs.
+    pub p999_us: f64,
+}
+
+fn degrade_engine_config(
+    scale: &DegradeScale,
+    policy: CachePolicyKind,
+) -> face_engine::EngineConfig {
+    let mut config = concurrent_engine_config(&ConcurrentScale {
+        warehouses: scale.warehouses,
+        warmup_txns: scale.warmup_txns,
+        measure_txns: scale.measure_txns,
+    })
+    .flash_cache(policy, 512);
+    // Small enough that the cache cycles (groups fill, destage runs) at
+    // smoke scale — the failure has to hit a tier that is actually working.
+    config.cache_config.group_size = 8;
+    config.buffer_frames = 512;
+    config
+}
+
+/// Run one measured window against `db` and snapshot a trajectory row.
+fn degrade_phase_row(
+    db: &std::sync::Arc<face_engine::Database>,
+    scale: &DegradeScale,
+    phase: &str,
+    seed: u64,
+) -> DegradeBenchRow {
+    let threads = scale.threads.clamp(1, scale.warehouses as usize);
+    let flash_before = db.flash_pages_written();
+    let report = face_tpcc::run_concurrent(
+        db,
+        &face_tpcc::DriverConfig {
+            threads,
+            txns_per_thread: (scale.measure_txns as usize / threads).max(1),
+            warehouses: scale.warehouses,
+            seed,
+        },
+    );
+    db.drain_destage().expect("pipeline drain");
+    let latency = report.latency_summary();
+    let committed = report.committed();
+    let wall = report.wall.as_secs_f64();
+    let tps = if wall > 0.0 {
+        committed as f64 / wall
+    } else {
+        0.0
+    };
+    let stats = db.degrade_stats();
+    let breaker = stats
+        .as_ref()
+        .map(|s| s.breaker.clone())
+        .unwrap_or_else(|| "n/a".to_string());
+    let stats = stats.unwrap_or_default();
+    DegradeBenchRow {
+        phase: phase.to_string(),
+        threads,
+        committed,
+        wall_secs: wall,
+        tps,
+        tpm: tps * 60.0,
+        breaker,
+        trips: stats.trips,
+        quarantined_slots: stats.quarantined_slots,
+        retries: stats.retries,
+        transient_errors: stats.transient_errors,
+        permanent_errors: stats.permanent_errors,
+        bypassed_inserts: stats.bypassed_inserts,
+        bypassed_fetches: stats.bypassed_fetches,
+        evacuated_pages: stats.evacuated_pages,
+        heals: stats.heals,
+        flash_pages_written: db.flash_pages_written() - flash_before,
+        p50_us: latency.p50_us,
+        p95_us: latency.p95_us,
+        p99_us: latency.p99_us,
+        p999_us: latency.p999_us,
+    }
+}
+
+/// The degraded-mode trajectory: a disk-only baseline engine, then one
+/// flash-tier engine driven through healthy → tripped → healed phases. The
+/// trip is a seed-deterministic whole-device permanent fault (dormant during
+/// the healthy window, armed between phases, one shot), so the same four
+/// rows come out every run. Produces `BENCH_degrade.json`.
+pub fn run_bench_degrade(scale: &DegradeScale) -> Vec<DegradeBenchRow> {
+    use std::sync::Arc;
+    let threads = scale.threads.clamp(1, scale.warehouses as usize);
+    let warm = |db: &Arc<face_engine::Database>, seed: u64| {
+        face_tpcc::run_concurrent(
+            db,
+            &face_tpcc::DriverConfig {
+                threads,
+                txns_per_thread: (scale.warmup_txns as usize / threads).max(1),
+                warehouses: scale.warehouses,
+                seed,
+            },
+        );
+    };
+    let mut out = Vec::new();
+
+    // Baseline arm: the engine FaCE's safety argument falls back to — no
+    // flash tier at all, every miss and every dirty write-back on the disk.
+    {
+        let db = Arc::new(
+            face_engine::Database::open(degrade_engine_config(scale, CachePolicyKind::None))
+                .expect("in-memory open cannot fail"),
+        );
+        warm(&db, 1);
+        out.push(degrade_phase_row(&db, scale, "disk-only", 1_000));
+    }
+
+    // Faulted arm: one engine through all three phases. The plan starts
+    // disarmed, so the healthy window runs on a clean device.
+    let plan = Arc::new(
+        face_pagestore::FaultPlan::new(97)
+            .probability(1.0)
+            .permanent()
+            .device_scoped()
+            .max_faults(1)
+            .armed_on_crash(),
+    );
+    let db = Arc::new(
+        face_engine::Database::open(
+            degrade_engine_config(scale, CachePolicyKind::FaceGsc).flash_faults(Arc::clone(&plan)),
+        )
+        .expect("in-memory open cannot fail"),
+    );
+    warm(&db, 2);
+    out.push(degrade_phase_row(&db, scale, "healthy", 2_000));
+
+    // Arm the one-shot device fault; the transition run absorbs the trip
+    // (evacuation, breaker open) so the measured window is steady-state
+    // degraded mode.
+    plan.arm();
+    warm(&db, 3);
+    out.push(degrade_phase_row(&db, scale, "tripped", 3_000));
+
+    // Replace the device: the fault budget is spent, so the healed tier
+    // behaves. The rewarm refills the cold cache before measuring.
+    db.heal_flash().expect("heal_flash");
+    warm(&db, 4);
+    out.push(degrade_phase_row(&db, scale, "healed", 4_000));
+    out
+}
+
+/// The CI gate over [`run_bench_degrade`] rows: the engine must keep
+/// serving with the breaker open (at a sane fraction of what a disk-only
+/// engine manages) and must come back after `heal_flash`. Returns the
+/// failures (empty means the gate passes).
+pub fn evaluate_bench_degrade(
+    rows: &[DegradeBenchRow],
+    min_tripped_fraction_of_disk: f64,
+    min_healed_fraction_of_healthy: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let phase = |name: &str| rows.iter().find(|r| r.phase == name);
+    let (Some(disk), Some(healthy), Some(tripped), Some(healed)) = (
+        phase("disk-only"),
+        phase("healthy"),
+        phase("tripped"),
+        phase("healed"),
+    ) else {
+        return vec!["missing phase row (need disk-only/healthy/tripped/healed)".to_string()];
+    };
+    if healthy.breaker != "closed" {
+        failures.push(format!(
+            "healthy: breaker `{}` (dormant fault plan fired early?)",
+            healthy.breaker
+        ));
+    }
+    if tripped.breaker != "tripped" || tripped.trips == 0 {
+        failures.push(format!(
+            "tripped: breaker `{}`, trips {} — the device fault never tripped",
+            tripped.breaker, tripped.trips
+        ));
+    }
+    if tripped.bypassed_inserts + tripped.bypassed_fetches == 0 {
+        failures.push("tripped: breaker open but nothing bypassed the flash tier".to_string());
+    }
+    if tripped.flash_pages_written != 0 {
+        failures.push(format!(
+            "tripped: {} flash pages written with the breaker open",
+            tripped.flash_pages_written
+        ));
+    }
+    if tripped.committed == 0 || tripped.tps <= 0.0 {
+        failures.push("tripped: engine stopped serving (0 committed)".to_string());
+    }
+    let disk_floor = disk.tps * min_tripped_fraction_of_disk;
+    if tripped.tps < disk_floor {
+        failures.push(format!(
+            "tripped: {:.0} tps < {:.0} ({} of the {:.0} tps disk-only baseline)",
+            tripped.tps, disk_floor, min_tripped_fraction_of_disk, disk.tps
+        ));
+    }
+    if healed.breaker != "closed" || healed.heals == 0 {
+        failures.push(format!(
+            "healed: breaker `{}`, heals {} — heal_flash did not close the breaker",
+            healed.breaker, healed.heals
+        ));
+    }
+    let healthy_floor = healthy.tps * min_healed_fraction_of_healthy;
+    if healed.tps < healthy_floor {
+        failures.push(format!(
+            "healed: {:.0} tps < {:.0} ({} of the {:.0} tps healthy window)",
+            healed.tps, healthy_floor, min_healed_fraction_of_healthy, healthy.tps
+        ));
+    }
+    failures
+}
+
 /// Sweep thread counts over the functional engine on the default simulated
 /// devices (real, scaled service times — see `face_engine::latency`). Each
 /// thread count gets a fresh engine, its own warm-up, and the same total
@@ -1590,6 +1899,21 @@ mod tests {
         // touched it.
         assert!(async_.destage_groups_completed > 0);
         assert_eq!(sync.destage_groups_completed, 0);
+    }
+
+    #[test]
+    fn bench_degrade_trajectory_trips_and_heals() {
+        let rows = run_bench_degrade(&DegradeScale::tiny());
+        assert_eq!(rows.len(), 4);
+        let failures = evaluate_bench_degrade(&rows, 0.0, 0.0);
+        assert!(failures.is_empty(), "{failures:?}");
+        // The state trajectory itself, beyond the (zeroed) tps floors.
+        let phase = |p: &str| rows.iter().find(|r| r.phase == p).unwrap();
+        assert_eq!(phase("disk-only").breaker, "n/a");
+        assert!(phase("healthy").flash_pages_written > 0);
+        assert_eq!(phase("tripped").flash_pages_written, 0);
+        assert!(phase("healed").flash_pages_written > 0, "cache stayed cold");
+        assert!(rows.iter().all(|r| r.committed > 0 && r.tps > 0.0));
     }
 
     #[test]

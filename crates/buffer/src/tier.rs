@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use face_pagestore::{Counter, Page, PageId, PageStore, StoreError};
+use face_pagestore::{Counter, DeviceError, Page, PageId, PageStore, StoreError};
 
 /// Errors surfaced by a lower tier.
 #[derive(Debug)]
@@ -19,6 +19,10 @@ pub enum TierError {
     Store(StoreError),
     /// An error from the flash-cache layer.
     Cache(String),
+    /// A typed device failure that survived retry, failover and quarantine —
+    /// what the tier surfaces when degraded-mode machinery could not absorb
+    /// a flash or disk fault (e.g. a dirty flash page whose bytes are gone).
+    Device(DeviceError),
     /// The WAL could not be forced up to a page's LSN before persisting the
     /// page (tiers that observe the write-ahead rule refuse to write a dirty
     /// page whose log records are not durable).
@@ -31,6 +35,7 @@ impl std::fmt::Display for TierError {
             TierError::PageNotFound(id) => write!(f, "page {id} not found in any tier"),
             TierError::Store(e) => write!(f, "store error: {e}"),
             TierError::Cache(msg) => write!(f, "flash cache error: {msg}"),
+            TierError::Device(e) => write!(f, "device error: {e}"),
             TierError::Wal(msg) => write!(f, "write-ahead rule violated: {msg}"),
         }
     }
@@ -40,6 +45,7 @@ impl std::error::Error for TierError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TierError::Store(e) => Some(e),
+            TierError::Device(e) => Some(e),
             _ => None,
         }
     }
@@ -49,8 +55,15 @@ impl From<StoreError> for TierError {
     fn from(e: StoreError) -> Self {
         match e {
             StoreError::PageNotFound(id) => TierError::PageNotFound(id),
+            StoreError::Device(e) => TierError::Device(e),
             other => TierError::Store(other),
         }
+    }
+}
+
+impl From<DeviceError> for TierError {
+    fn from(e: DeviceError) -> Self {
+        TierError::Device(e)
     }
 }
 
@@ -305,5 +318,12 @@ mod tests {
         assert!(matches!(e, TierError::Store(_)));
         let e = TierError::Wal("log force failed".into());
         assert!(format!("{e}").contains("log force failed"));
+        let e: TierError = face_pagestore::DeviceError::permanent_device(
+            face_pagestore::DeviceOp::Write,
+            "controller gone",
+        )
+        .into();
+        assert!(matches!(e, TierError::Device(_)));
+        assert!(format!("{e}").contains("controller gone"));
     }
 }

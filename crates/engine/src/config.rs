@@ -3,7 +3,8 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use face_cache::{CacheConfig, CachePolicyKind, FlashStore};
+use face_cache::{CacheConfig, CachePolicyKind, DegradeConfig, FlashStore};
+use face_pagestore::FaultPlan;
 
 use crate::latency::DeviceLatency;
 
@@ -81,6 +82,15 @@ pub struct EngineConfig {
     /// Optional per-shard flash store constructor (tests inject instrumented
     /// stores). `None` builds in-memory stores.
     pub flash_store_factory: Option<FlashStoreFactory>,
+    /// Retry / quarantine / breaker thresholds of the degraded-mode
+    /// machinery (active whenever a flash cache is configured).
+    pub degrade: DegradeConfig,
+    /// Fault-injection plan consulted by every flash slot read and write
+    /// (one plan shared across all cache shards; slot indices are
+    /// shard-local). `None` injects nothing.
+    pub flash_faults: Option<Arc<FaultPlan>>,
+    /// Fault-injection plan for the disk page store (`slot` = page number).
+    pub disk_faults: Option<Arc<FaultPlan>>,
 }
 
 impl EngineConfig {
@@ -104,6 +114,9 @@ impl EngineConfig {
             destage_queue_depth: 64,
             lock_light_reads: true,
             flash_store_factory: None,
+            degrade: DegradeConfig::default(),
+            flash_faults: None,
+            disk_faults: None,
         }
     }
 
@@ -182,6 +195,41 @@ impl EngineConfig {
     /// Inject a flash-store constructor (instrumented stores for tests).
     pub fn flash_store_factory(mut self, factory: FlashStoreFactory) -> Self {
         self.flash_store_factory = Some(factory);
+        self
+    }
+
+    /// Override the degraded-mode thresholds (retry budget, per-slot strike
+    /// count, breaker trip threshold).
+    pub fn degrade_config(mut self, degrade: DegradeConfig) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Install a fault-injection plan on the flash cache device. Keep a
+    /// clone of the `Arc` to arm the plan or read its fault counters.
+    pub fn flash_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.flash_faults = Some(plan);
+        self
+    }
+
+    /// Install a fault-injection plan on the disk page store.
+    pub fn disk_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.disk_faults = Some(plan);
+        self
+    }
+
+    /// Install fault plans from `FACE_FAULT_*` environment knobs (see
+    /// [`FaultPlan::from_env`]). `FACE_FAULT_DEVICE` selects the target:
+    /// `flash` (the default) or `disk`. A no-op when no trigger is set, so
+    /// binaries can call this unconditionally.
+    pub fn faults_from_env(mut self) -> Self {
+        if let Some(plan) = FaultPlan::from_env() {
+            let plan = Arc::new(plan);
+            match std::env::var("FACE_FAULT_DEVICE").as_deref() {
+                Ok("disk") => self.disk_faults = Some(plan),
+                _ => self.flash_faults = Some(plan),
+            }
+        }
         self
     }
 

@@ -41,10 +41,10 @@ use face_analysis::classes::TXN_STRIPE;
 use face_analysis::OrderedMutex;
 use face_buffer::BufferPool;
 use face_cache::{
-    CachePolicyKind, CacheRecoveryInfo, CacheStats, Counter, FlashStore, MemFlashStore,
-    ShardedFlashCache,
+    CachePolicyKind, CacheRecoveryInfo, CacheStats, Counter, DegradeController, DegradeStats,
+    FaultyFlashStore, FlashStore, MemFlashStore, ShardedFlashCache,
 };
-use face_pagestore::{FilePageStore, InMemoryPageStore, PageId, PageStore};
+use face_pagestore::{FaultyPageStore, FilePageStore, InMemoryPageStore, PageId, PageStore};
 use face_wal::{
     recovery::build_redo_plan, CheckpointData, FileLogStorage, InMemoryLogStorage, LogRecord,
     LogStorage, Lsn, TxnId, WalWriter,
@@ -184,6 +184,12 @@ impl Database {
                     Arc::new(FileLogStorage::open(dir.join("wal.log"))?),
                 ),
             };
+        // Fault injection sits directly over the raw device, below the
+        // latency and witness wrappers, so injected errors travel the same
+        // path a real device error would.
+        if let Some(plan) = &config.disk_faults {
+            disk = Arc::new(FaultyPageStore::new(disk, Arc::clone(plan)));
+        }
         if let Some(latency) = config.device_latency {
             disk = Arc::new(LatencyPageStore::new(disk, latency));
             log_storage = Arc::new(LatencyLogStorage::new(log_storage, latency));
@@ -212,6 +218,11 @@ impl Database {
         // The read-side counterpart: flash fetches pin under the shard lock
         // and read the device off-lock (every policy supports the protocol).
         cache_config.lock_light_reads = config.lock_light_reads;
+        // One degrade controller shared by the cache (error classification,
+        // quarantine strikes), the tier (trip/evacuation/heal) and the
+        // destager (retry accounting) — active whenever a cache exists.
+        let degrade = (config.cache_policy != CachePolicyKind::None)
+            .then(|| Arc::new(DegradeController::new(config.degrade)));
         let cache = ShardedFlashCache::build(
             config.cache_policy,
             cache_config,
@@ -221,6 +232,12 @@ impl Database {
                     Some(factory) => (factory.0)(shard_capacity),
                     None => Arc::new(MemFlashStore::new(shard_capacity)),
                 };
+                // Faults inject directly over the raw store so the retry /
+                // quarantine / breaker machinery above sees them exactly as
+                // it would a failing device.
+                if let Some(plan) = &config.flash_faults {
+                    store = Arc::new(FaultyFlashStore::new(store, Arc::clone(plan)));
+                }
                 if let Some(latency) = config.device_latency {
                     store = Arc::new(LatencyFlashStore::new(store, latency));
                 }
@@ -232,17 +249,25 @@ impl Database {
                 }
                 store
             },
-        );
+        )
+        .map(|cache| match &degrade {
+            Some(ctrl) => cache.with_degrade(Arc::clone(ctrl)),
+            None => cache,
+        });
         let wal = Arc::new(WalWriter::new(Arc::clone(&log_storage))?);
         // The tier carries the write-ahead guard: no dirty page reaches the
         // flash cache or the disk before its log records are durable, so a
         // recovered flash directory never outruns the durable log.
-        let tier = FaceTier::new(Arc::clone(&disk), cache)
-            .with_wal(Arc::clone(&wal))
-            .with_destager(face_cache::DestageConfig {
-                threads: config.destage_threads,
-                queue_depth: config.destage_queue_depth,
-            });
+        let mut tier = FaceTier::new(Arc::clone(&disk), cache).with_wal(Arc::clone(&wal));
+        if let Some(ctrl) = &degrade {
+            // Must precede `with_destager`: the destager captures the
+            // controller for its retry/abort bookkeeping.
+            tier = tier.with_degrade(Arc::clone(ctrl));
+        }
+        let tier = tier.with_destager(face_cache::DestageConfig {
+            threads: config.destage_threads,
+            queue_depth: config.destage_queue_depth,
+        });
         let pool = BufferPool::with_shards(config.buffer_frames, config.buffer_shards, tier)
             .lock_light_reads(config.lock_light_reads);
 
@@ -703,6 +728,27 @@ impl Database {
     /// an empty slice with no cache configured.
     pub fn flash_stores(&self) -> &[Arc<dyn FlashStore>] {
         self.pool.lower().cache().map(|c| c.stores()).unwrap_or(&[])
+    }
+
+    /// Degraded-mode counters and breaker state, when a flash cache is
+    /// configured: retries, quarantined slots, evacuated pages, bypassed
+    /// operations (see [`face_cache::DegradeStats`]).
+    pub fn degrade_stats(&self) -> Option<DegradeStats> {
+        self.pool.lower().degrade_stats()
+    }
+
+    /// Bring a tripped (or quarantining) flash cache back into service: the
+    /// cache restarts cold — directory dropped, slots writable again — and
+    /// the breaker closes. Returns the number of dirty pages the reset had
+    /// to evacuate to disk (normally zero: the trip already evacuated).
+    ///
+    /// Call after replacing or re-trusting the flash device. A no-op
+    /// without a cache.
+    pub fn heal_flash(&self) -> EngineResult<usize> {
+        if self.pool.lower().degrade().is_none() {
+            return Ok(0);
+        }
+        self.pool.lower().heal_cache().map_err(EngineError::from)
     }
 }
 

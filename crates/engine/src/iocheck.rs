@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use face_analysis::witness::check_device_op;
 use face_cache::FlashStore;
-use face_pagestore::{Lsn, Page, PageId, PageStore, StoreResult};
+use face_pagestore::{DeviceResult, Lsn, Page, PageId, PageStore, StoreResult};
 use face_wal::{LogStorage, WalResult};
 
 /// A [`PageStore`] that reports every disk operation to the witness.
@@ -117,22 +117,22 @@ impl FlashStore for CheckedFlashStore {
         self.inner.capacity()
     }
 
-    fn write_slot(&self, slot: usize, page: &Page) {
+    fn write_slot(&self, slot: usize, page: &Page) -> DeviceResult<()> {
         check_device_op("flash.write_slot");
-        self.inner.write_slot(slot, page);
+        self.inner.write_slot(slot, page)
     }
 
-    fn write_slots(&self, start_slot: usize, pages: &[Page]) {
+    fn write_slots(&self, start_slot: usize, pages: &[Page]) -> DeviceResult<()> {
         check_device_op("flash.write_slots");
-        self.inner.write_slots(start_slot, pages);
+        self.inner.write_slots(start_slot, pages)
     }
 
-    fn write_batch(&self, writes: &[(usize, &Page)]) {
+    fn write_batch(&self, writes: &[(usize, &Page)]) -> DeviceResult<()> {
         check_device_op("flash.write_batch");
-        self.inner.write_batch(writes);
+        self.inner.write_batch(writes)
     }
 
-    fn read_slot(&self, slot: usize) -> Option<Page> {
+    fn read_slot(&self, slot: usize) -> DeviceResult<Option<Page>> {
         check_device_op("flash.read_slot");
         self.inner.read_slot(slot)
     }
@@ -242,19 +242,19 @@ mod tests {
         let id = PageId::new(0, 0);
         let mut page = Page::new(id);
         page.update_checksum();
-        flash.write_slot(1, &page);
-        assert!(flash.read_slot(1).is_some());
+        flash.write_slot(1, &page).unwrap();
+        assert!(flash.read_slot(1).unwrap().is_some());
         assert!(flash.slot_header(1).is_some());
         flash.clear_slot(1);
-        assert!(flash.read_slot(1).is_none());
-        flash.write_slots(0, std::slice::from_ref(&page));
-        flash.write_batch(&[(2, &page)]);
+        assert!(flash.read_slot(1).unwrap().is_none());
+        flash.write_slots(0, std::slice::from_ref(&page)).unwrap();
+        flash.write_batch(&[(2, &page)]).unwrap();
         assert!(flash.slot_header(2).is_some());
         // MemFlashStore derives headers from stored pages, so the explicit
         // note is a no-op there — this only checks the call delegates.
         flash.note_slot_header(3, id, Lsn(5));
         flash.clear();
-        assert!(flash.read_slot(0).is_none());
+        assert!(flash.read_slot(0).unwrap().is_none());
 
         let log = CheckedLogStorage::new(Arc::new(InMemoryLogStorage::new()));
         log.append(b"abc").unwrap();

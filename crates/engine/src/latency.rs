@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use face_cache::FlashStore;
-use face_pagestore::{Lsn, Page, PageId, PageStore, StoreResult};
+use face_pagestore::{DeviceResult, Lsn, Page, PageId, PageStore, StoreResult};
 use face_wal::{LogStorage, WalResult};
 
 /// Per-operation service times charged by the latency wrappers.
@@ -162,25 +162,25 @@ impl FlashStore for LatencyFlashStore {
         self.inner.capacity()
     }
 
-    fn write_slot(&self, slot: usize, page: &Page) {
+    fn write_slot(&self, slot: usize, page: &Page) -> DeviceResult<()> {
         pause(self.latency.flash_write);
-        self.inner.write_slot(slot, page);
+        self.inner.write_slot(slot, page)
     }
 
-    fn write_slots(&self, start_slot: usize, pages: &[Page]) {
+    fn write_slots(&self, start_slot: usize, pages: &[Page]) -> DeviceResult<()> {
         // One sequential batch write: charged once, not per page.
         pause(self.latency.flash_write);
-        self.inner.write_slots(start_slot, pages);
+        self.inner.write_slots(start_slot, pages)
     }
 
-    fn write_batch(&self, writes: &[(usize, &Page)]) {
+    fn write_batch(&self, writes: &[(usize, &Page)]) -> DeviceResult<()> {
         // The destage pipeline's group write is one batch-sized sequential
         // device operation: charged once, not per page.
         pause(self.latency.flash_write);
-        self.inner.write_batch(writes);
+        self.inner.write_batch(writes)
     }
 
-    fn read_slot(&self, slot: usize) -> Option<Page> {
+    fn read_slot(&self, slot: usize) -> DeviceResult<Option<Page>> {
         pause(self.latency.flash_read);
         self.inner.read_slot(slot)
     }
@@ -243,11 +243,11 @@ mod tests {
         let flash = LatencyFlashStore::new(Arc::new(face_cache::MemFlashStore::new(4)), latency);
         assert_eq!(flash.capacity(), 4);
         assert!(flash.carries_data());
-        flash.write_slot(1, &page);
-        assert!(flash.read_slot(1).is_some());
+        flash.write_slot(1, &page).unwrap();
+        assert!(flash.read_slot(1).unwrap().is_some());
         assert!(flash.slot_header(1).is_some());
         flash.clear();
-        assert!(flash.read_slot(1).is_none());
+        assert!(flash.read_slot(1).unwrap().is_none());
     }
 
     #[test]

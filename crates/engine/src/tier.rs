@@ -63,10 +63,13 @@ use face_buffer::{
     WriteBackReason,
 };
 use face_cache::{
-    CacheRecoveryInfo, Counter, DestageConfig, DestageJob, DestageSink, DestageStats, Destager,
-    IoLog, PageSupplier, PendingGroupWrite, ShardedFlashCache, StagedPage, StripedIoLog,
+    BreakerState, CacheRecoveryInfo, Counter, DegradeAction, DegradeController, DegradeStats,
+    DestageConfig, DestageJob, DestageSink, DestageStats, Destager, IoLog, PageSupplier,
+    PendingGroupWrite, ShardedFlashCache, StagedPage, StripedIoLog,
 };
-use face_pagestore::{Lsn, Page, PageId, PageStore};
+use face_pagestore::{
+    backoff_sleep, DeviceError, DeviceResult, Lsn, Page, PageId, PageStore, StoreError,
+};
 use face_wal::WalWriter;
 
 /// Counters for the tier's physical activity.
@@ -135,11 +138,15 @@ fn persist_staged_page(
     washing: &WashTable,
     s: &StagedPage,
 ) -> face_pagestore::StoreResult<()> {
-    if let Some(data) = &s.data {
-        let mut copy = data.as_ref().clone();
-        copy.update_checksum();
-        disk.write_page(copy.id(), &copy)?;
-    }
+    let Some(data) = &s.data else {
+        // A wound marker (dirty page whose flash bytes were lost): nothing
+        // to write, and the wash-table entry must *stay* so fetches refuse
+        // the stale disk copy until a newer version or WAL redo heals it.
+        return Ok(());
+    };
+    let mut copy = data.as_ref().clone();
+    copy.update_checksum();
+    disk.write_page(copy.id(), &copy)?;
     stats.disk_writes.inc();
     // The disk now holds this version: retire the wash-table entry unless a
     // newer version of the page was queued meanwhile.
@@ -148,6 +155,61 @@ fn persist_staged_page(
         washing.remove(&s.page);
     }
     Ok(())
+}
+
+/// Publish staged pages into the wash table (see
+/// [`FaceTier::publish_to_wash_table`] for the atomicity contract). A free
+/// function because both the tier and the destage sink need it.
+fn publish_to_wash(washing: &WashTable, staged: &[StagedPage]) {
+    let mut washing = washing.write();
+    for s in staged {
+        // Data-less *clean* pages carry nothing worth publishing. Data-less
+        // *dirty* pages are wound markers: the page's newest committed
+        // version died with a flash slot, and the entry makes fetches refuse
+        // the stale disk copy until redo (or a newer write-back) heals it.
+        if s.data.is_none() && !s.dirty {
+            continue;
+        }
+        let superseded = match washing.get(&s.page) {
+            None => false,
+            // Never replace an entry that has the bytes with a same-version
+            // wound marker — the bytes win.
+            Some(w) => w.lsn > s.lsn || (w.lsn == s.lsn && w.data.is_some()),
+        };
+        if !superseded {
+            washing.insert(s.page, s.clone());
+        }
+    }
+}
+
+/// Lift a disk-store failure into the typed device-error vocabulary the
+/// degraded-mode machinery speaks. Fault-injecting stores already report
+/// typed errors; anything else (I/O error, closed store) is a permanent
+/// whole-device condition.
+/// The typed error served for a *wounded* page: its newest committed version
+/// was dirty on a flash slot whose bytes are gone, so serving the stale disk
+/// copy would let a later write-back stamp it with a newer pageLSN and make
+/// WAL redo skip the lost records — silent data loss. The page is
+/// unavailable until a newer version is written back or restart redo
+/// rebuilds it from the log.
+fn lost_page_error(page: PageId, lsn: Lsn) -> TierError {
+    TierError::Device(DeviceError::permanent_device(
+        face_pagestore::DeviceOp::Read,
+        format!(
+            "page {page}: newest committed version (lsn {lsn}) was lost with a \
+             failing flash slot; it will be rebuilt from the WAL at the next restart"
+        ),
+    ))
+}
+
+fn disk_write_error(page: PageId, e: StoreError) -> DeviceError {
+    match e {
+        StoreError::Device(d) => d,
+        other => face_pagestore::DeviceError::permanent_device(
+            face_pagestore::DeviceOp::Write,
+            format!("disk write of page {page}: {other}"),
+        ),
+    }
 }
 
 /// The destager's view of the tier: flash stores + cache front for group
@@ -159,27 +221,50 @@ struct DestageTarget {
     io: Arc<StripedIoLog>,
     stats: Arc<TierStatCounters>,
     washing: Arc<WashTable>,
+    degrade: Option<Arc<DegradeController>>,
 }
 
 impl DestageSink for DestageTarget {
-    fn apply_group(&self, write: &PendingGroupWrite, io: &mut IoLog) {
+    fn apply_group(&self, write: &PendingGroupWrite, io: &mut IoLog) -> DeviceResult<()> {
         // `sync`/checkpoint may have applied-and-sealed this group inline
         // while the job sat in the queue (`drain` is best-effort when
         // producers race it): don't write — and charge — the batch twice.
         if !self.cache.group_write_pending(write.shard, write.epoch) {
-            return;
+            return Ok(());
         }
-        self.cache.apply_group_write(write, io);
+        self.cache.apply_group_write(write, io)
     }
 
     fn complete_group(&self, shard: usize, epoch: u64, io: &mut IoLog) {
         self.cache.complete_group(shard, epoch, io);
     }
 
-    fn write_pages_to_disk(&self, pages: &[StagedPage], _io: &mut IoLog) -> Result<(), String> {
+    fn abort_group(&self, shard: usize, epoch: u64, io: &mut IoLog) -> Vec<StagedPage> {
+        self.cache.abort_group(shard, epoch, io, &mut |out| {
+            publish_to_wash(&self.washing, out)
+        })
+    }
+
+    fn quarantine_slot(&self, shard: usize, slot: usize, io: &mut IoLog) -> Vec<StagedPage> {
+        let out = self
+            .cache
+            .quarantine_slot(shard, slot, io, &mut |s| publish_to_wash(&self.washing, s));
+        if out.dirty_unread {
+            if let Some(c) = &self.degrade {
+                c.note_dirty_unread(1);
+            }
+        }
+        out.evacuee.into_iter().collect()
+    }
+
+    fn write_pages_to_disk(
+        &self,
+        pages: &[StagedPage],
+        _io: &mut IoLog,
+    ) -> Result<(), DeviceError> {
         for s in pages {
             persist_staged_page(&*self.disk, &self.stats, &self.washing, s)
-                .map_err(|e| format!("destage write of page {}: {e}", s.page))?;
+                .map_err(|e| disk_write_error(s.page, e))?;
         }
         Ok(())
     }
@@ -208,6 +293,11 @@ pub struct FaceTier {
     /// See [`WashTable`]. Shared with the destage sink; empty without a
     /// destager.
     washing: Arc<WashTable>,
+    /// The degraded-mode brain, when fault tolerance is enabled: decides
+    /// retry budgets, slot quarantine and breaker trips for every final
+    /// device error the tier (or its destager) observes. Without one,
+    /// device errors surface directly as [`TierError::Device`].
+    degrade: Option<Arc<DegradeController>>,
 }
 
 impl FaceTier {
@@ -221,6 +311,7 @@ impl FaceTier {
             stats: Arc::new(TierStatCounters::default()),
             destager: None,
             washing: Arc::new(OrderedRwLock::new(WASH_TABLE, HashMap::new())),
+            degrade: None,
         }
     }
 
@@ -228,6 +319,14 @@ impl FaceTier {
     /// persisting dirty pages (the write-ahead guard).
     pub fn with_wal(mut self, wal: Arc<WalWriter>) -> Self {
         self.wal = Some(wal);
+        self
+    }
+
+    /// Attach the degraded-mode controller (shared with the cache front and,
+    /// via [`FaceTier::with_destager`], the destage workers — call this
+    /// *before* `with_destager` so the workers inherit it).
+    pub fn with_degrade(mut self, controller: Arc<DegradeController>) -> Self {
+        self.degrade = Some(controller);
         self
     }
 
@@ -249,8 +348,13 @@ impl FaceTier {
             io: Arc::clone(&self.io),
             stats: Arc::clone(&self.stats),
             washing: Arc::clone(&self.washing),
+            degrade: self.degrade.clone(),
         };
-        self.destager = Some(Destager::new(config, Arc::new(target)));
+        self.destager = Some(Destager::new(
+            config,
+            Arc::new(target),
+            self.degrade.clone(),
+        ));
         self
     }
 
@@ -305,6 +409,118 @@ impl FaceTier {
         self.destager.as_ref().map(|d| d.stats())
     }
 
+    /// The degraded-mode controller, if fault tolerance is enabled.
+    pub fn degrade(&self) -> Option<&Arc<DegradeController>> {
+        self.degrade.as_ref()
+    }
+
+    /// Snapshot of the degraded-mode counters and breaker state.
+    pub fn degrade_stats(&self) -> Option<DegradeStats> {
+        self.degrade.as_ref().map(|c| c.snapshot())
+    }
+
+    /// Record a *final* device error (retries exhausted) with the controller
+    /// and carry out its verdict: nothing, a slot quarantine, or the breaker
+    /// trip. Without a controller the caller surfaces the error instead.
+    fn handle_device_error(&self, shard: usize, err: &DeviceError) -> TierResult<()> {
+        let Some(controller) = self.degrade.as_ref() else {
+            return Ok(());
+        };
+        match controller.note_error(shard, err) {
+            DegradeAction::Continue => Ok(()),
+            DegradeAction::Quarantine { shard, slot } => {
+                self.quarantine_slot(shard, slot).map(|_| ())
+            }
+            DegradeAction::Trip => self.maybe_claim_trip(),
+        }
+    }
+
+    /// Take a condemned slot out of rotation. The displaced dirty resident
+    /// (if its bytes were recoverable) is published to the wash table under
+    /// the shard lock and then persisted to disk WAL-guarded; it is also
+    /// returned so a fetch that triggered the quarantine can serve it.
+    fn quarantine_slot(&self, shard: usize, slot: usize) -> TierResult<Option<StagedPage>> {
+        let Some(cache) = self.cache.as_ref() else {
+            return Ok(None);
+        };
+        let mut io = IoLog::new();
+        let out =
+            cache.quarantine_slot(shard, slot, &mut io, &mut |s| self.publish_to_wash_table(s));
+        self.merge_io(io);
+        if let Some(controller) = self.degrade.as_ref() {
+            if out.quarantined {
+                controller.note_quarantined();
+            }
+            if out.dirty_unread {
+                controller.note_dirty_unread(1);
+            }
+        }
+        // A data-less evacuee is a wound marker: already wash-published via
+        // the sink above; nothing to persist and nothing evacuated.
+        if let Some(evacuee) = out.evacuee.as_ref().filter(|s| s.data.is_some()) {
+            self.write_staged_to_disk(std::slice::from_ref(evacuee))?;
+            if let Some(controller) = self.degrade.as_ref() {
+                controller.note_evacuated(1);
+            }
+        }
+        Ok(out.evacuee)
+    }
+
+    /// Claim and run the breaker's trip transition if one is requested:
+    /// drain the pipeline, evacuate every dirty flash page to disk
+    /// (WAL-guarded, wash-published), then flip the breaker to `Tripped` so
+    /// fetches and inserts bypass the flash tier. Exactly one caller wins
+    /// the claim; the rest return immediately.
+    fn maybe_claim_trip(&self) -> TierResult<()> {
+        let (Some(cache), Some(controller)) = (self.cache.as_ref(), self.degrade.as_ref()) else {
+            return Ok(());
+        };
+        if controller.state() != BreakerState::TripRequested || !controller.begin_evacuation() {
+            return Ok(());
+        }
+        // The device is failing — a pipeline drain error here is just more
+        // of the same evidence and must not abort the evacuation.
+        let _ = self.drain_destage();
+        let mut io = IoLog::new();
+        let ev = cache.evacuate_dirty(&mut io);
+        self.merge_io(io);
+        controller.note_dirty_unread(ev.unread_dirty);
+        // Wound markers (data-less) among the pages stay wash-published so
+        // stale disk serves are refused; only data-carrying pages persist.
+        publish_to_wash(&self.washing, &ev.pages);
+        let persisted = self.write_staged_to_disk(&ev.pages);
+        controller.note_evacuated(ev.pages.iter().filter(|s| s.data.is_some()).count() as u64);
+        // Complete the trip even if the disk also failed: the evacuated
+        // pages stay readable through the wash table, and a wedged
+        // `Evacuating` state would keep routing traffic at the bad device.
+        controller.complete_trip();
+        persisted
+    }
+
+    /// Drain dirty pages the cache parked after failed writes (rolled back
+    /// from the directory; the only remaining copies) and persist them to
+    /// disk WAL-guarded, wash-published while in flight.
+    fn rescue_write_fallout(&self, cache: &ShardedFlashCache) -> TierResult<()> {
+        let fallout = cache.take_write_fallout();
+        if fallout.is_empty() {
+            return Ok(());
+        }
+        publish_to_wash(&self.washing, &fallout);
+        self.write_staged_to_disk(&fallout)
+    }
+
+    /// Re-enable a tripped (or merely suspect) flash tier: evacuate whatever
+    /// dirty pages remain, wipe the cache cold, and re-close the breaker —
+    /// forgiving quarantine tallies (the policies were rebuilt, so their
+    /// tombstones are gone too). Returns the number of pages evacuated.
+    pub fn heal_cache(&self) -> TierResult<usize> {
+        let n = self.reset_cache_cold()?;
+        if let Some(controller) = self.degrade.as_ref() {
+            controller.heal();
+        }
+        Ok(n)
+    }
+
     /// Whether a background destage pool is running.
     pub fn has_destager(&self) -> bool {
         self.destager.is_some()
@@ -316,7 +532,7 @@ impl FaceTier {
     /// operations never do.
     pub fn drain_destage(&self) -> TierResult<()> {
         if let Some(destager) = self.destager.as_ref() {
-            destager.drain().map_err(TierError::Cache)?;
+            destager.drain().map_err(TierError::Device)?;
         }
         Ok(())
     }
@@ -346,15 +562,62 @@ impl FaceTier {
 
     /// Route a filled group's batch write: onto the pipeline when a destager
     /// runs, else applied inline right here — in both cases strictly after
-    /// every cache lock was released.
-    fn dispatch_group_write(&self, cache: &ShardedFlashCache, write: PendingGroupWrite) {
+    /// every cache lock was released. The inline arm mirrors the destager's
+    /// recovery policy: bounded retry for transient errors, then abort the
+    /// group (slots freed, journal records dropped) and fail its dirty pages
+    /// over to disk.
+    fn dispatch_group_write(
+        &self,
+        cache: &ShardedFlashCache,
+        write: PendingGroupWrite,
+    ) -> TierResult<()> {
         match self.destager.as_ref() {
-            Some(destager) => destager.enqueue(DestageJob::Group(write)),
+            Some(destager) => {
+                destager.enqueue(DestageJob::Group(write));
+                Ok(())
+            }
             None => {
+                let max_retries = self
+                    .degrade
+                    .as_ref()
+                    .map(|c| c.config().max_retries)
+                    .unwrap_or_else(|| face_cache::DegradeConfig::default().max_retries);
                 let mut io = IoLog::new();
-                cache.apply_group_write(&write, &mut io);
-                cache.complete_group(write.shard, write.epoch, &mut io);
+                let mut attempt: u32 = 0;
+                let result = loop {
+                    match cache.apply_group_write(&write, &mut io) {
+                        Ok(()) => {
+                            cache.complete_group(write.shard, write.epoch, &mut io);
+                            break Ok(());
+                        }
+                        Err(e) if e.is_transient() && attempt < max_retries => {
+                            attempt += 1;
+                            if let Some(c) = &self.degrade {
+                                c.note_retry();
+                            }
+                            backoff_sleep(attempt);
+                        }
+                        Err(e) => break Err(e),
+                    }
+                };
+                let fallout = match &result {
+                    Ok(()) => Vec::new(),
+                    Err(_) => cache.abort_group(write.shard, write.epoch, &mut io, &mut |out| {
+                        publish_to_wash(&self.washing, out)
+                    }),
+                };
                 self.merge_io(io);
+                match result {
+                    Ok(()) => Ok(()),
+                    Err(e) => {
+                        self.write_staged_to_disk(&fallout)?;
+                        if self.degrade.is_some() {
+                            self.handle_device_error(write.shard, &e)
+                        } else {
+                            Err(TierError::Device(e))
+                        }
+                    }
+                }
             }
         }
     }
@@ -365,12 +628,7 @@ impl FaceTier {
     /// a concurrent fetch can therefore never miss both and serve the stale
     /// disk version. Short map work only; the wash mutex is a leaf lock.
     fn publish_to_wash_table(&self, staged: &[StagedPage]) {
-        let mut washing = self.washing.write();
-        for s in staged {
-            if s.data.is_some() && washing.get(&s.page).is_none_or(|w| w.lsn <= s.lsn) {
-                washing.insert(s.page, s.clone());
-            }
-        }
+        publish_to_wash(&self.washing, staged);
     }
 
     /// Route dequeued dirty pages to disk (already published to the wash
@@ -411,7 +669,24 @@ impl FaceTier {
         copy.update_checksum();
         self.disk.write_page(copy.id(), &copy)?;
         self.stats.disk_writes.inc();
+        // The disk now holds this version: any wound at or below its LSN is
+        // healed (the lost flash version is superseded).
+        self.clear_wound(copy.id(), copy.lsn());
         Ok(())
+    }
+
+    /// Heal a wound marker once a version at or above the lost one has been
+    /// placed durably (flash under a persisting policy, or disk). Data-ful
+    /// wash entries are untouched — their retirement belongs to
+    /// `persist_staged_page`.
+    fn clear_wound(&self, id: PageId, lsn: Lsn) {
+        let mut washing = self.washing.write();
+        if washing
+            .get(&id)
+            .is_some_and(|w| w.data.is_none() && w.dirty && w.lsn <= lsn)
+        {
+            washing.remove(&id);
+        }
     }
 
     /// Checkpoint support: ask the cache for dirty pages that are not part of
@@ -423,12 +698,39 @@ impl FaceTier {
         };
         self.drain_destage()?;
         let mut io = IoLog::new();
-        cache.sync(&mut io);
-        let drained = cache.drain_dirty_for_checkpoint(&mut io);
+        let synced = cache.sync(&mut io);
+        let drained = match synced {
+            Ok(()) => cache.drain_dirty_for_checkpoint(&mut io),
+            Err(e) => Err(e),
+        };
         self.merge_io(io);
-        let n = drained.len();
-        self.write_staged_to_disk(&drained)?;
-        Ok(n)
+        // Failed flash writes leave their dirty pages in the cache's fallout
+        // buffer: rescue them to disk before deciding the checkpoint failed.
+        self.rescue_write_fallout(cache)?;
+        match drained {
+            Ok(drained) => {
+                let n = drained.len();
+                self.write_staged_to_disk(&drained)?;
+                // A wound marker means a committed version exists only in the
+                // WAL (its flash copy died unread). A checkpoint taken now
+                // would let the log truncate past the records that can still
+                // rebuild it — refuse until the wound heals or a restart's
+                // redo repairs the disk copy.
+                if let Some(w) = self
+                    .washing
+                    .read()
+                    .values()
+                    .find(|s| s.data.is_none() && s.dirty)
+                {
+                    return Err(lost_page_error(w.page, w.lsn));
+                }
+                Ok(n)
+            }
+            Err(e) => {
+                self.handle_device_error(0, &e)?;
+                Err(TierError::Device(e))
+            }
+        }
     }
 
     /// Restart support: crash and recover the flash cache from its persistent
@@ -464,12 +766,26 @@ impl FaceTier {
         let Some(cache) = self.cache.as_ref() else {
             return Ok(0);
         };
-        self.drain_destage()?;
+        // Absorb (do not surface) pipeline errors here: evacuation is the
+        // response to a failing device, and the sweep below is the recovery.
+        if self.degrade.is_some() {
+            let _ = self.drain_destage();
+        } else {
+            self.drain_destage()?;
+        }
         let mut io = IoLog::new();
         let evacuated = cache.evacuate_dirty(&mut io);
         self.merge_io(io);
-        let n = evacuated.len();
-        self.write_staged_to_disk(&evacuated)?;
+        if evacuated.unread_dirty > 0 {
+            if let Some(controller) = self.degrade.as_ref() {
+                controller.note_dirty_unread(evacuated.unread_dirty);
+            }
+        }
+        // Wound markers (data-less) among the pages must outlive the wipe:
+        // publish them so fetches keep refusing the stale disk copies.
+        publish_to_wash(&self.washing, &evacuated.pages);
+        let n = evacuated.pages.iter().filter(|s| s.data.is_some()).count();
+        self.write_staged_to_disk(&evacuated.pages)?;
         cache.reset_cold();
         Ok(n)
     }
@@ -504,33 +820,101 @@ impl PageSupplier for GscSupplier<'_> {
     }
 }
 
-impl LowerTier for FaceTier {
-    fn fetch(&self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome> {
-        if let Some(cache) = self.cache.as_ref() {
+impl FaceTier {
+    /// The cache arm of [`FaceTier::fetch`]: returns the served outcome, or
+    /// `None` to fall through to the wash table and disk.
+    ///
+    /// Device errors reaching here already exhausted the concurrent layer's
+    /// off-lock transient retries, so each one is *final*: it is reported to
+    /// the degrade controller, whose verdict this loop carries out —
+    /// `Continue` re-attempts the fetch (bounded: strikes accumulate toward
+    /// quarantine or trip), `Quarantine` condemns the slot (a rescued dirty
+    /// evacuee serves the fetch directly; otherwise the disk copy is current
+    /// again), `Trip` evacuates and flips to disk-only. Without a
+    /// controller the error surfaces as [`TierError::Device`].
+    fn fetch_from_cache(
+        &self,
+        cache: &ShardedFlashCache,
+        id: PageId,
+        buf: &mut Page,
+    ) -> TierResult<Option<FetchOutcome>> {
+        loop {
             let mut io = IoLog::new();
-            let hit = cache.fetch(id, &mut io);
+            let fetched = cache.fetch(id, &mut io);
             self.merge_io(io);
-            if let Some(hit) = hit {
-                self.stats.flash_fetches.inc();
-                match hit.data {
-                    Some(data) => {
-                        *buf = data;
-                        return Ok(FetchOutcome {
-                            source: FetchSource::FlashCache,
-                            dirty: hit.dirty,
-                        });
+            match fetched {
+                Ok(None) => return Ok(None),
+                Ok(Some(hit)) => {
+                    self.stats.flash_fetches.inc();
+                    match hit.data {
+                        Some(data) => *buf = data,
+                        None => {
+                            // The cache is metadata-only (null flash store):
+                            // fall back to disk for the bytes but keep the
+                            // flash-hit accounting. Hybrid test setups only.
+                            self.disk.read_page(id, buf)?;
+                        }
                     }
-                    None => {
-                        // The cache is metadata-only (null flash store): fall
-                        // back to disk for the bytes but keep the flash-hit
-                        // accounting. Only possible in hybrid test setups.
-                        self.disk.read_page(id, buf)?;
-                        return Ok(FetchOutcome {
-                            source: FetchSource::FlashCache,
-                            dirty: hit.dirty,
-                        });
+                    return Ok(Some(FetchOutcome {
+                        source: FetchSource::FlashCache,
+                        dirty: hit.dirty,
+                    }));
+                }
+                Err(e) => {
+                    let Some(controller) = self.degrade.as_ref() else {
+                        return Err(TierError::Device(e));
+                    };
+                    match controller.note_error(cache.shard_of(id), &e) {
+                        DegradeAction::Continue => continue,
+                        DegradeAction::Quarantine { shard, slot } => {
+                            let evacuee = self.quarantine_slot(shard, slot)?;
+                            // The failing slot held our page: serve the
+                            // rescued bytes (already persisted WAL-guarded).
+                            if let Some(s) = evacuee.filter(|s| s.page == id) {
+                                if let Some(data) = &s.data {
+                                    *buf = data.as_ref().clone();
+                                    self.stats.flash_fetches.inc();
+                                    return Ok(Some(FetchOutcome {
+                                        source: FetchSource::FlashCache,
+                                        dirty: s.dirty,
+                                    }));
+                                }
+                                if s.dirty {
+                                    // The dirty resident's bytes are gone:
+                                    // the page is wounded (wash-published by
+                                    // the quarantine) — refuse the stale
+                                    // disk copy.
+                                    return Err(lost_page_error(id, s.lsn));
+                                }
+                            }
+                            // Clean (or vanished) resident: the disk copy is
+                            // current — fall through to it.
+                            return Ok(None);
+                        }
+                        DegradeAction::Trip => {
+                            self.maybe_claim_trip()?;
+                            return Ok(None);
+                        }
                     }
                 }
+            }
+        }
+    }
+}
+
+impl LowerTier for FaceTier {
+    fn fetch(&self, id: PageId, buf: &mut Page) -> TierResult<FetchOutcome> {
+        if self.degrade.is_some() {
+            self.maybe_claim_trip()?;
+        }
+        if let Some(cache) = self.cache.as_ref() {
+            let bypass = self.degrade.as_ref().is_some_and(|c| c.bypass_fetches());
+            if bypass {
+                if let Some(controller) = self.degrade.as_ref() {
+                    controller.note_bypassed_fetch();
+                }
+            } else if let Some(outcome) = self.fetch_from_cache(cache, id, buf)? {
+                return Ok(outcome);
             }
         }
         // A page whose stage-out disk write is queued or in flight must be
@@ -542,26 +926,51 @@ impl LowerTier for FaceTier {
                 .washing
                 .read()
                 .get(&id)
-                .and_then(|s| s.data.as_ref().map(Arc::clone));
-            if let Some(frame) = washed {
-                *buf = frame.as_ref().clone();
-                self.stats.disk_fetches.inc();
-                self.stats.wash_table_hits.inc();
-                return Ok(FetchOutcome {
-                    source: FetchSource::Disk,
-                    dirty: false,
-                });
+                .map(|s| (s.data.as_ref().map(Arc::clone), s.dirty, s.lsn));
+            match washed {
+                Some((Some(frame), _, _)) => {
+                    *buf = frame.as_ref().clone();
+                    self.stats.disk_fetches.inc();
+                    self.stats.wash_table_hits.inc();
+                    return Ok(FetchOutcome {
+                        source: FetchSource::Disk,
+                        dirty: false,
+                    });
+                }
+                // A wound marker: the page's newest committed version died
+                // with a flash slot. Refuse the stale disk copy (see
+                // `lost_page_error`) rather than serve it.
+                Some((None, true, lsn)) => return Err(lost_page_error(id, lsn)),
+                _ => {}
             }
         }
         self.disk.read_page(id, buf)?;
         self.stats.disk_fetches.inc();
-        if let Some(cache) = self.cache.as_ref() {
-            // On-entry policies (TAC) may admit the page now.
+        let bypass_admission = self
+            .degrade
+            .as_ref()
+            .is_some_and(|c| c.state() == BreakerState::Tripped);
+        if let (Some(cache), false) = (self.cache.as_ref(), bypass_admission) {
+            // On-entry policies (TAC) may admit the page now. The page is
+            // clean on disk, so an admission device error is absorbable: the
+            // controller records it and the fetch still succeeds.
             let mut io = IoLog::new();
-            let outcome = cache.on_fetched_from_disk(id, &mut io);
+            let admitted = cache.on_fetched_from_disk(id, &mut io);
             self.merge_io(io);
-            if outcome.cached {
-                self.stats.cache_inserts.inc();
+            match admitted {
+                Ok(outcome) => {
+                    if outcome.cached {
+                        self.stats.cache_inserts.inc();
+                    }
+                }
+                Err(e) => {
+                    self.rescue_write_fallout(cache)?;
+                    if self.degrade.is_some() {
+                        self.handle_device_error(cache.shard_of(id), &e)?;
+                    } else {
+                        return Err(TierError::Device(e));
+                    }
+                }
             }
         }
         Ok(FetchOutcome {
@@ -588,6 +997,30 @@ impl LowerTier for FaceTier {
         reason: WriteBackReason,
         victims: &mut dyn VictimPull,
     ) -> TierResult<WriteBackOutcome> {
+        if self.degrade.is_some() {
+            self.maybe_claim_trip()?;
+        }
+        // Disk-only degraded mode: the flash tier is bypassed outright.
+        // (Earlier breaker states — TripRequested, Evacuating — still route
+        // inserts *through* the failing cache with error absorption: fetches
+        // still serve from flash then, and bypassing an insert would let a
+        // stale resident copy win a later fetch.)
+        let tripped = self
+            .degrade
+            .as_ref()
+            .is_some_and(|c| c.state() == BreakerState::Tripped);
+        if tripped && self.cache.is_some() {
+            if let Some(controller) = self.degrade.as_ref() {
+                controller.note_bypassed_insert();
+            }
+            if dirty {
+                self.write_page_to_disk(page)?;
+            }
+            return Ok(WriteBackOutcome {
+                in_flash: false,
+                on_disk: true,
+            });
+        }
         match self.cache.as_ref() {
             None => {
                 // No flash cache: dirty pages go straight to disk.
@@ -617,14 +1050,27 @@ impl LowerTier for FaceTier {
                 if reason == WriteBackReason::Checkpoint && !cache.persists_dirty_pages() {
                     let staged = StagedPage::with_data(page.clone(), dirty, fdirty);
                     let mut io = IoLog::new();
-                    let outcome = cache.insert_with_sink(
+                    let refreshed = cache.insert_with_sink(
                         staged,
                         &mut face_cache::NoSupplier,
                         &mut io,
                         &mut |out| self.publish_to_wash_table(out),
                     );
                     self.merge_io(io);
-                    self.write_staged_to_disk(&outcome.staged_out)?;
+                    match refreshed {
+                        Ok(outcome) => self.write_staged_to_disk(&outcome.staged_out)?,
+                        Err(e) => {
+                            // The refresh failed but the policy dropped the
+                            // stale resident, so coherence holds; the disk
+                            // write below persists the page either way.
+                            self.rescue_write_fallout(cache)?;
+                            if self.degrade.is_some() {
+                                self.handle_device_error(cache.shard_of(page.id()), &e)?;
+                            } else {
+                                return Err(TierError::Device(e));
+                            }
+                        }
+                    }
                     if dirty {
                         self.write_page_to_disk(page)?;
                     }
@@ -638,7 +1084,7 @@ impl LowerTier for FaceTier {
                 let shard = cache.shard_of(page.id());
                 let staged = StagedPage::with_data(page.clone(), dirty, fdirty);
                 let mut io = IoLog::new();
-                let outcome = if reason == WriteBackReason::Eviction && persists {
+                let inserted = if reason == WriteBackReason::Eviction && persists {
                     // Offer the GSC supplier; non-GSC policies ignore it.
                     let mut supplier = GscSupplier {
                         victims,
@@ -659,15 +1105,41 @@ impl LowerTier for FaceTier {
                     )
                 };
                 self.merge_io(io);
+                let outcome = match inserted {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        // The policy rolled the failed write back and parked
+                        // every dirty page it displaced (including this one,
+                        // if dirty) in its fallout buffer — rescue them to
+                        // disk WAL-guarded, then let the controller decide
+                        // whether the slot or the whole device is condemned.
+                        self.rescue_write_fallout(cache)?;
+                        if self.degrade.is_some() {
+                            self.handle_device_error(shard, &e)?;
+                        } else {
+                            return Err(TierError::Device(e));
+                        }
+                        return Ok(WriteBackOutcome {
+                            in_flash: false,
+                            on_disk: true,
+                        });
+                    }
+                };
                 if outcome.cached {
                     self.stats.cache_inserts.inc();
+                    // Under a persisting policy the flash copy joins the
+                    // persistent database, so it supersedes any wound this
+                    // page carries (the lost version is at or below it).
+                    if dirty && persists {
+                        self.clear_wound(page.id(), page.lsn());
+                    }
                 }
                 if outcome.wrote_through_to_disk && dirty {
                     self.write_page_to_disk(page)?;
                 }
                 self.dispatch_staged_out(shard, outcome.staged_out)?;
                 if let Some(write) = outcome.pending_group {
-                    self.dispatch_group_write(cache, write);
+                    self.dispatch_group_write(cache, write)?;
                 }
                 Ok(WriteBackOutcome {
                     in_flash: outcome.cached && persists,
@@ -685,8 +1157,20 @@ impl LowerTier for FaceTier {
         self.drain_destage()?;
         if let Some(cache) = self.cache.as_ref() {
             let mut io = IoLog::new();
-            cache.sync(&mut io);
+            let synced = cache.sync(&mut io);
             self.merge_io(io);
+            // Shards whose flush failed rolled their pages back into the
+            // fallout buffer; once those reach disk, durability holds even
+            // though the flash write did not — so with a degrade controller
+            // the error is recorded and absorbed, not surfaced.
+            self.rescue_write_fallout(cache)?;
+            if let Err(e) = synced {
+                if self.degrade.is_some() {
+                    self.handle_device_error(0, &e)?;
+                } else {
+                    return Err(TierError::Device(e));
+                }
+            }
         }
         self.disk.sync()?;
         Ok(())

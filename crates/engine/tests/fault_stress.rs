@@ -1,0 +1,324 @@
+//! Seeded device-fault chaos tests — the CI `faults` gate that runs in
+//! **release mode with the lockdep witness compiled in** (`cargo test
+//! --release --features lockdep -p face-engine --test fault_stress`).
+//!
+//! Each scenario drives a concurrent commit workload through a
+//! [`FaultPlan`]-wrapped device and then asserts the robustness contract:
+//!
+//! * **no panic** — every injected error travels a typed `Result` path;
+//! * **no lost committed update** — every committed key reads back with its
+//!   last committed value, either live (transient faults, write faults that
+//!   fail over to disk) or after a crash-restart (permanent read faults,
+//!   where WAL redo repairs what the dead flash slots dropped);
+//! * **the degraded-mode counters move** — retries, quarantined slots,
+//!   breaker trips and bypassed operations are observable through
+//!   [`Database::degrade_stats`];
+//! * **lockdep / iocheck stay clean** — with the witness enabled a lock
+//!   order or I/O-under-lock violation panics the offending thread, so
+//!   passing at all certifies the fault paths hold the same discipline as
+//!   the happy paths.
+//!
+//! Every plan is seed-deterministic: the nth device operation always gets
+//! the same verdict, so a failing run replays with the same fault sequence.
+
+use std::sync::Arc;
+
+use face_cache::{CachePolicyKind, DegradeConfig};
+use face_engine::{Database, EngineConfig};
+use face_pagestore::FaultPlan;
+
+const THREADS: u64 = 4;
+const KEYS_PER_THREAD: u64 = 150;
+
+fn key_of(thread: u64, i: u64) -> u64 {
+    thread * 1_000_000 + i
+}
+
+fn value_of(key: u64, round: u64) -> Vec<u8> {
+    format!("r{round}-k{key}").into_bytes()
+}
+
+/// A small-buffer FaCE configuration so plenty of pages cross into (and
+/// back out of) the flash cache while the workload runs.
+fn faulty_db(plan: Arc<FaultPlan>, degrade: DegradeConfig) -> Arc<Database> {
+    Arc::new(
+        Database::open(
+            EngineConfig::in_memory()
+                .buffer_frames(32)
+                .buffer_shards(8)
+                .table_buckets(256)
+                .flash_cache(CachePolicyKind::FaceGsc, 1024)
+                .cache_shards(4)
+                .degrade_config(degrade)
+                .flash_faults(plan),
+        )
+        .unwrap(),
+    )
+}
+
+/// Commit `KEYS_PER_THREAD` keys per thread (several transactions each) and
+/// then read every key back through the faulty stack.
+fn run_round(db: &Arc<Database>, round: u64) {
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = Arc::clone(db);
+            s.spawn(move || {
+                for chunk in 0..5u64 {
+                    let txn = db.begin();
+                    for i in 0..KEYS_PER_THREAD / 5 {
+                        let key = key_of(t, chunk * (KEYS_PER_THREAD / 5) + i);
+                        db.put(txn, key, &value_of(key, round)).unwrap();
+                    }
+                    db.commit(txn).unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn assert_all_committed_keys(db: &Database, round: u64) {
+    for t in 0..THREADS {
+        for i in 0..KEYS_PER_THREAD {
+            let key = key_of(t, i);
+            assert_eq!(
+                db.get(key).unwrap().as_deref(),
+                Some(value_of(key, round).as_slice()),
+                "key {key} lost or stale"
+            );
+        }
+    }
+}
+
+/// Scenario 1: a low rate of transient flash errors on both reads and
+/// writes. The retry/absorb machinery must keep every operation succeeding
+/// with the breaker still closed — the workload never notices the device
+/// hiccuping.
+#[test]
+fn transient_flash_errors_are_absorbed() {
+    let plan = Arc::new(
+        FaultPlan::new(7)
+            .probability(0.02)
+            .transient()
+            .max_faults(60),
+    );
+    // A high trip threshold keeps this scenario in the absorb/retry regime.
+    let degrade = DegradeConfig {
+        trip_threshold: 100_000,
+        slot_failure_threshold: 100,
+        ..DegradeConfig::default()
+    };
+    let db = faulty_db(Arc::clone(&plan), degrade);
+    run_round(&db, 1);
+    db.drain_destage().unwrap();
+    assert_all_committed_keys(&db, 1);
+
+    assert!(plan.faults_injected() > 0, "the plan never fired");
+    let stats = db.degrade_stats().expect("cache configured");
+    assert_eq!(stats.breaker, "closed", "breaker tripped in absorb regime");
+    assert!(
+        stats.transient_errors + stats.retries > 0,
+        "no transient error ever surfaced to the degrade machinery: {stats:?}"
+    );
+}
+
+/// Scenario 2: permanent read failures pinned to a slot range. The strikes
+/// quarantine those slots out of the rotation, the mounting error tally
+/// trips the breaker into disk-only mode, and a crash-restart replays the
+/// WAL over the bypassed cache — no committed update is lost, even where
+/// the flash bytes died unread.
+///
+/// While the device is failing, operations MAY return typed errors: a dirty
+/// page whose only fresh copy died with a poisoned slot is *wounded* and
+/// refuses reads (serving the stale disk copy would let later updates stamp
+/// it with high LSNs and silently defeat WAL redo). The contract under test
+/// is that every *successfully committed* transaction survives the crash.
+#[test]
+fn permanent_slot_failures_quarantine_then_trip_and_redo_repairs() {
+    let plan = Arc::new(
+        FaultPlan::new(13)
+            .probability(1.0)
+            .permanent()
+            .reads_only()
+            .slot_range(0, 16),
+    );
+    // Default thresholds: one strike quarantines a permanently failing
+    // slot, eight total failures trip the breaker.
+    let db = faulty_db(Arc::clone(&plan), DegradeConfig::default());
+
+    // Fault-tolerant load: each chunk's transaction either commits whole or
+    // is abandoned on the first wound error; only committed keys join the
+    // expectation set.
+    let committed = std::sync::Mutex::new(std::collections::HashSet::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = Arc::clone(&db);
+            let committed = &committed;
+            s.spawn(move || {
+                for chunk in 0..5u64 {
+                    let txn = db.begin();
+                    let keys: Vec<u64> = (0..KEYS_PER_THREAD / 5)
+                        .map(|i| key_of(t, chunk * (KEYS_PER_THREAD / 5) + i))
+                        .collect();
+                    let ok = keys
+                        .iter()
+                        .all(|&key| db.put(txn, key, &value_of(key, 2)).is_ok());
+                    if ok && db.commit(txn).is_ok() {
+                        committed.lock().unwrap().extend(keys);
+                    } else {
+                        let _ = db.abort(txn);
+                    }
+                }
+            });
+        }
+    });
+    let committed = committed.into_inner().unwrap();
+    assert!(
+        !committed.is_empty(),
+        "not a single transaction committed through the failing device"
+    );
+    let _ = db.drain_destage();
+    // Touch every key so fetches land on the poisoned slots: early strikes
+    // quarantine, then the error tally crosses the trip threshold. Errors
+    // (wounded pages) are expected here; panics are not.
+    for t in 0..THREADS {
+        for i in 0..KEYS_PER_THREAD {
+            let _ = db.get(key_of(t, i));
+        }
+    }
+    let stats = db.degrade_stats().expect("cache configured");
+    assert!(
+        stats.quarantined_slots > 0,
+        "no slot was quarantined: {stats:?}"
+    );
+    assert!(stats.permanent_errors > 0);
+    assert_eq!(
+        stats.breaker, "tripped",
+        "sustained permanent failures must trip: {stats:?}"
+    );
+
+    // The breaker state survives the restart (same controller), so redo and
+    // all post-restart traffic bypass the bad device; WAL replay over the
+    // disk restores every committed key, including those whose only fresh
+    // copy had been on a now-unreadable flash slot.
+    db.crash();
+    db.restart().unwrap();
+    for &key in &committed {
+        assert_eq!(
+            db.get(key).unwrap().as_deref(),
+            Some(value_of(key, 2).as_slice()),
+            "committed key {key} lost or stale after redo"
+        );
+    }
+    let stats = db.degrade_stats().expect("cache configured");
+    assert_eq!(stats.breaker, "tripped");
+    assert!(stats.bypassed_fetches > 0, "nothing bypassed: {stats:?}");
+}
+
+/// Scenario 3: permanent write failures hitting the destage pipeline's
+/// group writes. Aborted groups must fail over to disk (write fallout), so
+/// every committed key stays readable *live* — no crash needed, because a
+/// failed write never destroys data that only exists elsewhere.
+#[test]
+fn mid_destage_batch_failure_fails_over_to_disk() {
+    let plan = Arc::new(
+        FaultPlan::new(23)
+            .probability(0.15)
+            .permanent()
+            .writes_only()
+            .max_faults(40),
+    );
+    let degrade = DegradeConfig {
+        trip_threshold: 100_000,
+        slot_failure_threshold: 100,
+        ..DegradeConfig::default()
+    };
+    let db = faulty_db(Arc::clone(&plan), degrade);
+    run_round(&db, 3);
+    db.drain_destage().unwrap();
+    assert_all_committed_keys(&db, 3);
+
+    assert!(plan.faults_injected() > 0, "the plan never fired");
+    let stats = db.degrade_stats().expect("cache configured");
+    assert!(
+        stats.write_errors > 0,
+        "no write error reached the degrade machinery: {stats:?}"
+    );
+    let destage = db.destage_stats().expect("destager configured");
+    assert!(
+        destage.groups_aborted + destage.permanent_errors > 0,
+        "the destager never saw the failing device: {destage:?}"
+    );
+}
+
+/// Scenario 4: the plan stays dormant through the initial load, arms at the
+/// crash, and injects transient faults into recovery itself. Redo must
+/// retry through them and restore every committed key.
+#[test]
+fn faults_during_recovery_are_survived() {
+    let plan = Arc::new(
+        FaultPlan::new(31)
+            .probability(0.1)
+            .transient()
+            .reads_only()
+            .max_faults(50)
+            .armed_on_crash(),
+    );
+    let degrade = DegradeConfig {
+        trip_threshold: 100_000,
+        slot_failure_threshold: 100,
+        ..DegradeConfig::default()
+    };
+    let db = faulty_db(Arc::clone(&plan), degrade);
+    run_round(&db, 4);
+    db.drain_destage().unwrap();
+    assert_eq!(plan.faults_injected(), 0, "dormant plan fired during load");
+
+    db.crash();
+    plan.arm();
+    db.restart().unwrap();
+    assert_all_committed_keys(&db, 4);
+}
+
+/// Scenario 5: a permanent whole-device error trips the breaker into
+/// disk-only degraded mode — the engine keeps serving reads and writes off
+/// the disk — and `heal_flash` brings the (replaced) device back cold.
+#[test]
+fn breaker_trips_to_disk_only_and_heals() {
+    let plan = Arc::new(
+        FaultPlan::new(47)
+            .arm_after(200)
+            .probability(1.0)
+            .permanent()
+            .device_scoped()
+            .max_faults(1),
+    );
+    let db = faulty_db(Arc::clone(&plan), DegradeConfig::default());
+    run_round(&db, 5);
+    db.drain_destage().unwrap();
+    assert_eq!(plan.faults_injected(), 1, "the device fault never fired");
+
+    // More load after the fault: the first foreground operation claims the
+    // trip (evacuating dirty flash pages), then everything bypasses flash.
+    run_round(&db, 6);
+    db.drain_destage().unwrap();
+    assert_all_committed_keys(&db, 6);
+    let stats = db.degrade_stats().expect("cache configured");
+    assert_eq!(stats.breaker, "tripped", "breaker never tripped: {stats:?}");
+    assert_eq!(stats.trips, 1);
+    assert!(
+        stats.bypassed_inserts + stats.bypassed_fetches > 0,
+        "tripped breaker bypassed nothing: {stats:?}"
+    );
+
+    // Heal: the cache restarts cold and the breaker closes. The plan's
+    // fault budget is spent, so the "replaced" device behaves.
+    db.heal_flash().unwrap();
+    let stats = db.degrade_stats().expect("cache configured");
+    assert_eq!(stats.breaker, "closed", "heal did not close the breaker");
+    assert_eq!(stats.heals, 1);
+    run_round(&db, 7);
+    db.drain_destage().unwrap();
+    assert_all_committed_keys(&db, 7);
+    let cache = db.cache_stats().expect("cache configured");
+    assert!(cache.inserts > 0, "healed cache admits nothing: {cache:?}");
+}

@@ -37,13 +37,13 @@ impl FlashStore for SlowReadStore {
     fn capacity(&self) -> usize {
         self.inner.capacity()
     }
-    fn write_slot(&self, slot: usize, page: &Page) {
-        self.inner.write_slot(slot, page);
+    fn write_slot(&self, slot: usize, page: &Page) -> face_pagestore::DeviceResult<()> {
+        self.inner.write_slot(slot, page)
     }
-    fn write_batch(&self, writes: &[(usize, &Page)]) {
-        self.inner.write_batch(writes);
+    fn write_batch(&self, writes: &[(usize, &Page)]) -> face_pagestore::DeviceResult<()> {
+        self.inner.write_batch(writes)
     }
-    fn read_slot(&self, slot: usize) -> Option<Page> {
+    fn read_slot(&self, slot: usize) -> face_pagestore::DeviceResult<Option<Page>> {
         std::thread::sleep(self.delay);
         self.inner.read_slot(slot)
     }

@@ -19,16 +19,20 @@
 
 use std::sync::Arc;
 
-use face_analysis::classes::CACHE_SHARD;
-use face_analysis::{witness, OrderedRwLock};
-use face_pagestore::{Counter, Lsn, PageId};
+use face_analysis::classes::{CACHE_SHARD, DIAG};
+use face_analysis::{witness, OrderedMutex, OrderedRwLock};
+use face_pagestore::{backoff_sleep, Counter, DeviceResult, Lsn, PageId};
 
 use crate::admission::SharedGhost;
+use crate::degrade::{DegradeConfig, DegradeController};
 use crate::destage::PendingGroupWrite;
 use crate::io::IoLog;
 use crate::policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier, PageSupplier};
 use crate::store::FlashStore;
-use crate::types::{CacheConfig, CacheRecoveryInfo, CacheStats, FlashFetch, InsertOutcome};
+use crate::types::{
+    CacheConfig, CacheRecoveryInfo, CacheStats, Evacuation, FlashFetch, InsertOutcome,
+    QuarantineOutcome,
+};
 use crate::StagedPage;
 
 /// A lock-striped set of independent policy instances, routable by page id,
@@ -73,6 +77,18 @@ pub struct ShardedFlashCache {
     admission_filtered: Counter,
     /// Ghost re-references that earned their flash write.
     admission_ghost_hits: Counter,
+    /// Degrade controller, when the owner installed one
+    /// ([`ShardedFlashCache::with_degrade`]): bounds the off-lock fetch
+    /// retries and counts them. Error *classification* (quarantine, breaker)
+    /// stays with the owner, which sees the errors this type propagates.
+    degrade: Option<Arc<DegradeController>>,
+    /// Dirty pages rescued from failed shard operations (insert, sync,
+    /// checkpoint drain), already published to the caller's stage-out sink
+    /// where one was in scope. The owner drains this via
+    /// [`ShardedFlashCache::take_write_fallout`] after an error and persists
+    /// the pages to disk WAL-guarded. `DIAG` class: taken briefly, never
+    /// around I/O, after the shard lock is released.
+    fallout: OrderedMutex<Vec<StagedPage>>,
 }
 
 impl ShardedFlashCache {
@@ -132,6 +148,8 @@ impl ShardedFlashCache {
             ghost,
             admission_filtered: Counter::default(),
             admission_ghost_hits: Counter::default(),
+            degrade: None,
+            fallout: OrderedMutex::new(DIAG, Vec::new()),
             occupancy: (0..built.len()).map(|_| Counter::default()).collect(),
             shards: built,
             stores,
@@ -149,10 +167,50 @@ impl ShardedFlashCache {
         })
     }
 
+    /// Install a degrade controller: bounds (and counts) the transient-error
+    /// retries of the off-lock fetch path. Call once at construction time,
+    /// before the cache is shared.
+    pub fn with_degrade(mut self, controller: Arc<DegradeController>) -> Self {
+        self.degrade = Some(controller);
+        self
+    }
+
+    /// Retry budget for transient device errors on the off-lock read path.
+    fn max_retries(&self) -> u32 {
+        self.degrade
+            .as_ref()
+            .map(|c| c.config().max_retries)
+            .unwrap_or_else(|| DegradeConfig::default().max_retries)
+    }
+
     /// Refresh a shard's occupancy mirror from the policy, while its lock is
     /// still held by the caller.
     fn note_len(&self, shard: usize, cache: &dyn FlashCache) {
         self.occupancy[shard].set(cache.len() as u64);
+    }
+
+    /// Drain a shard's policy-level write-fallout buffer (with the shard
+    /// lock still held), publish the pages to `staged_out_sink`, and park
+    /// them in the cache-level fallout buffer for
+    /// [`ShardedFlashCache::take_write_fallout`].
+    fn rescue_fallout(
+        &self,
+        cache: &mut dyn FlashCache,
+        staged_out_sink: &mut dyn FnMut(&[StagedPage]),
+    ) -> Vec<StagedPage> {
+        let fallout = cache.take_write_fallout();
+        if !fallout.is_empty() {
+            staged_out_sink(&fallout);
+        }
+        fallout
+    }
+
+    /// Dirty pages rescued from failed shard operations since the last call.
+    /// After any method here returns a device error, the owner must drain
+    /// this and persist the pages to disk (WAL-guarded) — they are no longer
+    /// reachable through the cache directory.
+    pub fn take_write_fallout(&self) -> Vec<StagedPage> {
+        std::mem::take(&mut *self.fallout.lock())
     }
 
     /// Number of shards.
@@ -211,7 +269,13 @@ impl ShardedFlashCache {
     /// ([`CacheStats::fetch_retries`]); versions still in a deferred group
     /// are served from their shared RAM frames with no device read at all.
     /// Without the flag, the classic read-under-lock path runs unchanged.
-    pub fn fetch(&self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
+    ///
+    /// Device read errors surface as `Err`: transient errors are retried
+    /// off-lock (with backoff, up to the degrade controller's budget) before
+    /// giving up. The caller decides what an error means — for a clean copy
+    /// the disk is still authoritative and a miss-to-disk is safe; for a
+    /// dirty copy the flash held the only current version.
+    pub fn fetch(&self, page: PageId, io: &mut IoLog) -> DeviceResult<Option<FlashFetch>> {
         let shard = self.shard_of(page);
         if !self.lock_light {
             // The classic read-under-lock path is the A/B baseline the
@@ -223,36 +287,52 @@ impl ShardedFlashCache {
         let store = &self.stores[shard];
         let mut retry = false;
         loop {
-            let pin = self.shards[shard].write().fetch_pin(page, retry, io)?;
+            let Some(pin) = self.shards[shard].write().fetch_pin(page, retry, io) else {
+                return Ok(None);
+            };
             // RAM-resident frame (pending batch / in-flight group): immutable
             // and Arc-shared, valid regardless of what happens to the slot.
             if let Some(frame) = pin.frame {
-                return Some(FlashFetch {
+                return Ok(Some(FlashFetch {
                     data: Some(frame.as_ref().clone()),
                     dirty: pin.dirty,
                     lsn: pin.lsn,
-                });
+                }));
             }
             // Metadata-only hit: nothing to read, nothing to validate — the
             // pinned metadata was consistent under the lock.
             if !pin.data_expected || !store.carries_data() {
-                return Some(FlashFetch {
+                return Ok(Some(FlashFetch {
                     data: None,
                     dirty: pin.dirty,
                     lsn: pin.lsn,
-                });
+                }));
             }
-            // The flash device read, with **no shard lock held**.
-            let data = store.read_slot(pin.slot);
+            // The flash device read, with **no shard lock held** — which is
+            // also why the transient-error backoff may sleep right here.
+            let mut attempt: u32 = 0;
+            let data = loop {
+                match store.read_slot(pin.slot) {
+                    Ok(d) => break d,
+                    Err(e) if e.is_transient() && attempt < self.max_retries() => {
+                        attempt += 1;
+                        if let Some(c) = &self.degrade {
+                            c.note_retry();
+                        }
+                        backoff_sleep(attempt);
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
             if self.shards[shard]
                 .read()
                 .fetch_validate(pin.slot, pin.generation)
             {
-                return Some(FlashFetch {
+                return Ok(Some(FlashFetch {
                     data,
                     dirty: pin.dirty,
                     lsn: pin.lsn,
-                });
+                }));
             }
             // The slot was evicted or reused while we read: the bytes may
             // belong to a different version. Discard and retry.
@@ -262,7 +342,7 @@ impl ShardedFlashCache {
 
     /// Hand a page leaving the DRAM buffer to its shard (see
     /// [`FlashCache::insert`]) with no GSC supplier.
-    pub fn insert(&self, staged: StagedPage, io: &mut IoLog) -> InsertOutcome {
+    pub fn insert(&self, staged: StagedPage, io: &mut IoLog) -> DeviceResult<InsertOutcome> {
         self.insert_with(staged, &mut NoSupplier, io)
     }
 
@@ -285,7 +365,7 @@ impl ShardedFlashCache {
         staged: StagedPage,
         supplier: &mut dyn PageSupplier,
         io: &mut IoLog,
-    ) -> InsertOutcome {
+    ) -> DeviceResult<InsertOutcome> {
         self.insert_with_sink(staged, supplier, io, &mut |_| {})
     }
 
@@ -302,7 +382,7 @@ impl ShardedFlashCache {
         supplier: &mut dyn PageSupplier,
         io: &mut IoLog,
         staged_out_sink: &mut dyn FnMut(&[StagedPage]),
-    ) -> InsertOutcome {
+    ) -> DeviceResult<InsertOutcome> {
         let shard = self.shard_of(staged.page);
         let mut guard = self.shards[shard].write();
         if let Some(ghost) = &self.ghost {
@@ -319,14 +399,29 @@ impl ShardedFlashCache {
                     self.admission_ghost_hits.inc();
                 } else {
                     self.admission_filtered.inc();
-                    return InsertOutcome {
+                    return Ok(InsertOutcome {
                         cached: false,
                         ..Default::default()
-                    };
+                    });
                 }
             }
         }
-        let mut outcome = guard.insert(staged, supplier, io);
+        let mut outcome = match guard.insert(staged, supplier, io) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // The policy rolled its directory back and parked every
+                // dirty page it had to un-cache in its fallout buffer.
+                // Publish them to the wash sink *before* releasing the lock
+                // (same race as regular stage-outs), then hand them up.
+                let fallout = self.rescue_fallout(&mut **guard, staged_out_sink);
+                self.note_len(shard, &**guard);
+                drop(guard);
+                if !fallout.is_empty() {
+                    self.fallout.lock().extend(fallout);
+                }
+                return Err(e);
+            }
+        };
         if !outcome.staged_out.is_empty() {
             staged_out_sink(&outcome.staged_out);
         }
@@ -335,14 +430,16 @@ impl ShardedFlashCache {
         if let Some(pending) = outcome.pending_group.as_mut() {
             pending.shard = shard;
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Apply a deferred group's physical flash batch write against its
     /// shard's store. Takes **no shard lock** — exactly why the write was
-    /// deferred.
-    pub fn apply_group_write(&self, write: &PendingGroupWrite, io: &mut IoLog) {
-        write.apply(&*self.stores[write.shard % self.stores.len()], io);
+    /// deferred. On error the group is still owed: the caller aborts it
+    /// ([`ShardedFlashCache::abort_group`]) or retries (the batch rewrite is
+    /// idempotent; the journal seals only on completion).
+    pub fn apply_group_write(&self, write: &PendingGroupWrite, io: &mut IoLog) -> DeviceResult<()> {
+        write.apply(&*self.stores[write.shard % self.stores.len()], io)
     }
 
     /// Whether a deferred group's physical write is still owed (formed but
@@ -368,7 +465,11 @@ impl ShardedFlashCache {
 
     /// Notification that `page` was fetched from disk (see
     /// [`FlashCache::on_fetched_from_disk`]).
-    pub fn on_fetched_from_disk(&self, page: PageId, io: &mut IoLog) -> InsertOutcome {
+    pub fn on_fetched_from_disk(
+        &self,
+        page: PageId,
+        io: &mut IoLog,
+    ) -> DeviceResult<InsertOutcome> {
         let shard = self.shard_of(page);
         let mut guard = self.shards[shard].write();
         if let Some(ghost) = &self.ghost {
@@ -386,7 +487,7 @@ impl ShardedFlashCache {
                     self.admission_ghost_hits.inc();
                 } else {
                     self.admission_filtered.inc();
-                    return InsertOutcome::default();
+                    return Ok(InsertOutcome::default());
                 }
             }
         }
@@ -396,37 +497,123 @@ impl ShardedFlashCache {
     }
 
     /// Flush buffered batches and metadata on every shard.
-    pub fn sync(&self, io: &mut IoLog) {
+    ///
+    /// Every shard is attempted even after one fails (a checkpoint wants
+    /// whatever durability it can get); the first error is returned. Dirty
+    /// pages a failing shard had to un-cache wait in
+    /// [`ShardedFlashCache::take_write_fallout`].
+    pub fn sync(&self, io: &mut IoLog) -> DeviceResult<()> {
         // Checkpoint/shutdown path: pending group writes and metadata are
         // flushed inline, under the shard lock, by design (durability over
         // latency here).
         let _allow = witness::allow_device_io("cache: sync flushes groups inline");
+        let mut first_err = None;
         for shard in &self.shards {
-            shard.write().sync(io);
+            let mut guard = shard.write();
+            if let Err(e) = guard.sync(io) {
+                let fallout = self.rescue_fallout(&mut **guard, &mut |_| {});
+                drop(guard);
+                if !fallout.is_empty() {
+                    self.fallout.lock().extend(fallout);
+                }
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 
     /// Drain dirty pages for a checkpoint from every shard (LC).
-    pub fn drain_dirty_for_checkpoint(&self, io: &mut IoLog) -> Vec<StagedPage> {
+    ///
+    /// On a shard error the pages already drained from *earlier* shards —
+    /// whose dirty flags are cleared — are parked in the fallout buffer
+    /// ([`ShardedFlashCache::take_write_fallout`]) instead of being lost
+    /// with the dropped return value.
+    pub fn drain_dirty_for_checkpoint(&self, io: &mut IoLog) -> DeviceResult<Vec<StagedPage>> {
         let _allow = witness::allow_device_io("cache: LC checkpoint drain reads slots");
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.extend(shard.write().drain_dirty_for_checkpoint(io));
+            match shard.write().drain_dirty_for_checkpoint(io) {
+                Ok(drained) => out.extend(drained),
+                Err(e) => {
+                    if !out.is_empty() {
+                        self.fallout.lock().extend(out);
+                    }
+                    return Err(e);
+                }
+            }
         }
-        out
+        Ok(out)
     }
 
     /// Evacuate every dirty valid page from every shard (see
     /// [`FlashCache::evacuate_dirty`]): the caller must write them to disk
     /// before wiping the cache with [`ShardedFlashCache::reset_cold`].
-    pub fn evacuate_dirty(&self, io: &mut IoLog) -> Vec<StagedPage> {
+    /// Includes any parked write-fallout. `unread_dirty` counts dirty pages
+    /// whose slots could not be read — their committed updates are
+    /// recoverable only through WAL redo.
+    pub fn evacuate_dirty(&self, io: &mut IoLog) -> Evacuation {
         // Admin/quiesced operation: reads every dirty slot under the lock.
         let _allow = witness::allow_device_io("cache: quiesced dirty evacuation");
-        let mut out = Vec::new();
+        let mut merged = Evacuation::default();
+        merged.pages.append(&mut self.fallout.lock());
         for shard in &self.shards {
-            out.extend(shard.write().evacuate_dirty(io));
+            let mut ev = shard.write().evacuate_dirty(io);
+            merged.pages.append(&mut ev.pages);
+            merged.unread_dirty += ev.unread_dirty;
         }
+        merged
+    }
+
+    /// Quarantine one slot of one shard (see [`FlashCache::quarantine_slot`]):
+    /// the slot leaves rotation, a clean resident is dropped, a dirty
+    /// resident is evacuated. The evacuee (if any) is published to
+    /// `staged_out_sink` **before the shard lock is released** — same
+    /// atomicity contract as [`ShardedFlashCache::insert_with_sink`] — and
+    /// also returned for the caller to persist to disk WAL-guarded.
+    pub fn quarantine_slot(
+        &self,
+        shard: usize,
+        slot: usize,
+        io: &mut IoLog,
+        staged_out_sink: &mut dyn FnMut(&[StagedPage]),
+    ) -> QuarantineOutcome {
+        // Quarantine makes a last-resort read of the failing slot to rescue
+        // a dirty resident; acknowledged under-lock I/O.
+        let _allow = witness::allow_device_io("cache: quarantine evacuates the failing slot");
+        let shard = shard % self.shards.len();
+        let mut guard = self.shards[shard].write();
+        let out = guard.quarantine_slot(slot, io);
+        if let Some(evacuee) = &out.evacuee {
+            staged_out_sink(std::slice::from_ref(evacuee));
+        }
+        self.note_len(shard, &**guard);
         out
+    }
+
+    /// Abort a deferred group whose batch write failed (see
+    /// [`FlashCache::abort_group`]): the group's slots become reclaimable
+    /// holes, its journal records die unsealed, and its dirty pages come
+    /// back for disk failover. Like
+    /// [`ShardedFlashCache::quarantine_slot`], the returned pages are
+    /// published to `staged_out_sink` under the shard lock.
+    pub fn abort_group(
+        &self,
+        shard: usize,
+        epoch: u64,
+        io: &mut IoLog,
+        staged_out_sink: &mut dyn FnMut(&[StagedPage]),
+    ) -> Vec<StagedPage> {
+        let shard = shard % self.shards.len();
+        let mut guard = self.shards[shard].write();
+        let fallout = guard.abort_group(epoch, io);
+        if !fallout.is_empty() {
+            staged_out_sink(&fallout);
+        }
+        self.note_len(shard, &**guard);
+        fallout
     }
 
     /// Crash and recover every shard, merging the per-shard reports.
@@ -438,6 +625,9 @@ impl ShardedFlashCache {
         // Restart path: the world is quiesced, metadata scans and slot reads
         // run under the shard lock by construction.
         let _allow = witness::allow_device_io("cache: quiesced crash-and-recover");
+        // Parked fallout is RAM-resident and dies with the crash; the WAL
+        // re-covers the committed updates those pages carried.
+        self.fallout.lock().clear();
         let mut merged = CacheRecoveryInfo {
             survived: true,
             ..CacheRecoveryInfo::default()
@@ -473,6 +663,7 @@ impl ShardedFlashCache {
         if let Some(ghost) = &self.ghost {
             ghost.clear();
         }
+        self.fallout.lock().clear();
     }
 
     /// Merged activity counters across shards.
@@ -607,14 +798,14 @@ mod tests {
         let c = sharded(CachePolicyKind::Face, 256, 4);
         let mut io = IoLog::new();
         for n in 0..64u32 {
-            c.insert(data_page(n), &mut io);
+            c.insert(data_page(n), &mut io).unwrap();
         }
         assert_eq!(c.len(), 64);
         assert!(!c.is_empty());
         for n in 0..64u32 {
             let page = PageId::new(0, n);
             assert!(c.contains(page), "page {n} routed consistently");
-            let hit = c.fetch(page, &mut io).expect("cached");
+            let hit = c.fetch(page, &mut io).unwrap().expect("cached");
             assert_eq!(hit.data.unwrap().read_body(0, 4), &n.to_le_bytes());
         }
         let stats = c.stats();
@@ -644,8 +835,8 @@ mod tests {
                     let mut io = IoLog::new();
                     for i in 0..200u32 {
                         let n = t * 1000 + (i % 50);
-                        c.insert(data_page(n), &mut io);
-                        c.fetch(PageId::new(0, n), &mut io);
+                        c.insert(data_page(n), &mut io).unwrap();
+                        c.fetch(PageId::new(0, n), &mut io).unwrap();
                     }
                 });
             }
@@ -661,9 +852,9 @@ mod tests {
         let c = sharded(CachePolicyKind::FaceGsc, 256, 4);
         let mut io = IoLog::new();
         for n in 0..40u32 {
-            c.insert(data_page(n), &mut io);
+            c.insert(data_page(n), &mut io).unwrap();
         }
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         let info = c.crash_and_recover(Lsn(u64::MAX), &mut io);
         assert!(info.survived);
         assert_eq!(info.entries_restored, 40);
@@ -678,7 +869,7 @@ mod tests {
         let lc = sharded(CachePolicyKind::Lc, 64, 4);
         let mut io = IoLog::new();
         for n in 0..10u32 {
-            lc.insert(data_page(n), &mut io);
+            lc.insert(data_page(n), &mut io).unwrap();
         }
         let info = lc.crash_and_recover(Lsn(u64::MAX), &mut io);
         assert!(!info.survived);
@@ -691,9 +882,9 @@ mod tests {
         let c = sharded(CachePolicyKind::FaceGsc, 256, 4);
         let mut io = IoLog::new();
         for n in 0..40u32 {
-            c.insert(data_page(n), &mut io); // page n carries Lsn(n + 1)
+            c.insert(data_page(n), &mut io).unwrap(); // page n carries Lsn(n + 1)
         }
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         // Only LSNs <= 20 are durable in the WAL: the newer half of the cache
         // must be discarded at recovery, the older half stays warm.
         let info = c.crash_and_recover(Lsn(20), &mut io);
@@ -714,9 +905,9 @@ mod tests {
         let c = sharded(CachePolicyKind::FaceGsc, 256, 4);
         let mut io = IoLog::new();
         for n in 0..32u32 {
-            c.insert(data_page(n), &mut io);
+            c.insert(data_page(n), &mut io).unwrap();
         }
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         assert!(!c.is_empty());
         c.reset_cold();
         assert!(c.is_empty());
@@ -725,7 +916,7 @@ mod tests {
         let info = c.crash_and_recover(Lsn(u64::MAX), &mut io);
         assert_eq!(info.entries_restored, 0);
         // The cold cache accepts new work.
-        c.insert(data_page(99), &mut io);
+        c.insert(data_page(99), &mut io).unwrap();
         assert!(c.contains(PageId::new(0, 99)));
     }
 
@@ -746,7 +937,7 @@ mod tests {
         .unwrap();
         let mut io = IoLog::new();
         for n in 0..8u32 {
-            c.insert(data_page(n), &mut io);
+            c.insert(data_page(n), &mut io).unwrap();
         }
         let mut next = 200u32;
         let mut supplier = || {
@@ -754,7 +945,8 @@ mod tests {
             next += 1;
             Some(s)
         };
-        c.insert_with(data_page(100), &mut supplier, &mut io);
+        c.insert_with(data_page(100), &mut supplier, &mut io)
+            .unwrap();
         assert!(c.stats().pulled_from_dram > 0, "supplier was consulted");
         assert_eq!(c.shard_of(PageId::new(0, 200)), 0);
         assert!(c.contains(PageId::new(0, 200)));
@@ -785,7 +977,7 @@ mod tests {
         let mut io = IoLog::new();
         let mut pending = None;
         for n in 0..4u32 {
-            let out = c.insert(data_page(n), &mut io);
+            let out = c.insert(data_page(n), &mut io).unwrap();
             if out.pending_group.is_some() {
                 pending = out.pending_group;
             }
@@ -800,7 +992,7 @@ mod tests {
             let c = Arc::clone(&c);
             std::thread::spawn(move || {
                 let mut io = IoLog::new();
-                c.apply_group_write(&write, &mut io);
+                c.apply_group_write(&write, &mut io).unwrap();
                 c.complete_group(write.shard, write.epoch, &mut io);
             })
         };
@@ -809,8 +1001,8 @@ mod tests {
         let start = std::time::Instant::now();
         assert!(c.contains(PageId::new(0, 1)), "directory intact");
         let mut io = IoLog::new();
-        assert!(c.fetch(PageId::new(0, 2), &mut io).is_some());
-        c.insert(data_page(50), &mut io);
+        assert!(c.fetch(PageId::new(0, 2), &mut io).unwrap().is_some());
+        c.insert(data_page(50), &mut io).unwrap();
         assert!(
             start.elapsed() < std::time::Duration::from_millis(250),
             "shard mutex was held across the blocked flash write"
@@ -818,7 +1010,7 @@ mod tests {
         store.release();
         bg.join().unwrap();
         // The batch landed and sealed once the device unblocked.
-        assert!(store.read_slot(0).is_some());
+        assert!(store.read_slot(0).unwrap().is_some());
     }
 
     #[test]
@@ -841,7 +1033,7 @@ mod tests {
         );
         let mut io = IoLog::new();
         for n in 0..8u32 {
-            c.insert(data_page(n), &mut io); // two sealed groups on the store
+            c.insert(data_page(n), &mut io).unwrap(); // two sealed groups on the store
         }
 
         // Background: a fetch parks inside the device read. The shard must
@@ -852,17 +1044,22 @@ mod tests {
             let c = Arc::clone(&c);
             std::thread::spawn(move || {
                 let mut io = IoLog::new();
-                c.fetch(PageId::new(0, 1), &mut io).expect("cached")
+                c.fetch(PageId::new(0, 1), &mut io)
+                    .unwrap()
+                    .expect("cached")
             })
         };
         std::thread::sleep(std::time::Duration::from_millis(20));
         let start = std::time::Instant::now();
         assert!(c.contains(PageId::new(0, 2)), "directory reachable");
         let mut io = IoLog::new();
-        c.insert(data_page(50), &mut io);
+        c.insert(data_page(50), &mut io).unwrap();
         // Page 50 sits in the pending batch: its fetch is served from the
         // shared RAM frame, no device read, no waiting on the gate.
-        let ram_hit = c.fetch(PageId::new(0, 50), &mut io).expect("pending");
+        let ram_hit = c
+            .fetch(PageId::new(0, 50), &mut io)
+            .unwrap()
+            .expect("pending");
         assert_eq!(ram_hit.data.unwrap().read_body(0, 4), &50u32.to_le_bytes());
         assert!(
             start.elapsed() < std::time::Duration::from_millis(250),
@@ -904,13 +1101,13 @@ mod tests {
         };
         let mut io = IoLog::new();
         for n in 0..4u32 {
-            c.insert(clean(n), &mut io);
+            c.insert(clean(n), &mut io).unwrap();
         }
 
         store.hold_reads();
         let bg = {
             let c = Arc::clone(&c);
-            std::thread::spawn(move || c.fetch(PageId::new(0, 1), &mut IoLog::new()))
+            std::thread::spawn(move || c.fetch(PageId::new(0, 1), &mut IoLog::new()).unwrap())
         };
         std::thread::sleep(std::time::Duration::from_millis(20));
         // Evict the whole first group and reuse its slots while the reader
@@ -918,7 +1115,7 @@ mod tests {
         // belong to a different page, and the generation check must say so.
         let mut io = IoLog::new();
         for n in 10..14u32 {
-            c.insert(clean(n), &mut io);
+            c.insert(clean(n), &mut io).unwrap();
         }
         assert!(!c.contains(PageId::new(0, 1)), "pinned version evicted");
         store.release_reads();
@@ -938,7 +1135,7 @@ mod tests {
         let c = sharded(CachePolicyKind::FaceGsc, 256, 4);
         let mut io = IoLog::new();
         for n in 0..100u32 {
-            c.insert(data_page(n), &mut io);
+            c.insert(data_page(n), &mut io).unwrap();
         }
         // The lock-free mirror agrees with a locked sweep of the shards.
         let swept: usize = c.shards.iter().map(|s| s.read().len()).sum();
@@ -969,10 +1166,13 @@ mod tests {
         .unwrap();
         let mut io = IoLog::new();
         for n in 0..16u32 {
-            c.insert(data_page(n), &mut io);
+            c.insert(data_page(n), &mut io).unwrap();
         }
         for n in 0..16u32 {
-            let hit = c.fetch(PageId::new(0, n), &mut io).expect("cached");
+            let hit = c
+                .fetch(PageId::new(0, n), &mut io)
+                .unwrap()
+                .expect("cached");
             assert_eq!(hit.data.unwrap().read_body(0, 4), &n.to_le_bytes());
         }
         assert_eq!(c.stats().fetch_retries, 0);
@@ -1006,11 +1206,11 @@ mod tests {
         let mut io = IoLog::new();
         // Clean one-touch pages: every insert is filtered, no flash writes.
         for n in 0..32u32 {
-            let out = c.insert(clean_page(n), &mut io);
+            let out = c.insert(clean_page(n), &mut io).unwrap();
             assert!(!out.cached, "clean first touch must be filtered");
             assert!(!c.contains(PageId::new(0, n)));
         }
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         assert_eq!(c.flash_pages_written(), 0, "one-touch pages cost nothing");
         let stats = c.stats();
         assert_eq!(stats.admission_filtered, 32);
@@ -1019,11 +1219,11 @@ mod tests {
 
         // The comeback earns the write.
         for n in 0..32u32 {
-            let out = c.insert(clean_page(n), &mut io);
+            let out = c.insert(clean_page(n), &mut io).unwrap();
             assert!(out.cached, "ghost re-reference must be admitted");
             assert!(c.contains(PageId::new(0, n)));
         }
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         assert!(c.flash_pages_written() >= 32);
         assert_eq!(c.stats().admission_ghost_hits, 32);
     }
@@ -1034,7 +1234,7 @@ mod tests {
         let mut io = IoLog::new();
         for n in 0..16u32 {
             // data_page() stages dirty pages: the only up-to-date copy.
-            let out = c.insert(data_page(n), &mut io);
+            let out = c.insert(data_page(n), &mut io).unwrap();
             assert!(out.cached, "a dirty page must always be absorbed");
             assert!(c.contains(PageId::new(0, n)));
         }
@@ -1052,8 +1252,8 @@ mod tests {
         let mut io = IoLog::new();
         for n in 0..8u32 {
             let page = PageId::new(0, n);
-            assert!(!c.on_fetched_from_disk(page, &mut io).cached);
-            let out = c.insert(clean_page(n), &mut io);
+            assert!(!c.on_fetched_from_disk(page, &mut io).unwrap().cached);
+            let out = c.insert(clean_page(n), &mut io).unwrap();
             assert!(
                 !out.cached,
                 "fetch + first eviction must still count as a first touch"
@@ -1064,7 +1264,7 @@ mod tests {
         assert_eq!(c.stats().admission_ghost_hits, 0);
 
         // The genuine comeback (second eviction) still earns the write.
-        let out = c.insert(clean_page(0), &mut io);
+        let out = c.insert(clean_page(0), &mut io).unwrap();
         assert!(out.cached, "second eviction is a real re-reference");
     }
 
@@ -1076,10 +1276,10 @@ mod tests {
         // The filters compose: odd touches are ghosted (each pass-through
         // consumes the ghost entry), even touches reach TAC and heat the
         // extent — so with TAC's threshold of two the fourth touch caches.
-        assert!(!c.on_fetched_from_disk(page, &mut io).cached); // ghosted
-        assert!(!c.on_fetched_from_disk(page, &mut io).cached); // TAC heat 1
-        assert!(!c.on_fetched_from_disk(page, &mut io).cached); // ghosted
-        let out = c.on_fetched_from_disk(page, &mut io); // TAC heat 2
+        assert!(!c.on_fetched_from_disk(page, &mut io).unwrap().cached); // ghosted
+        assert!(!c.on_fetched_from_disk(page, &mut io).unwrap().cached); // TAC heat 1
+        assert!(!c.on_fetched_from_disk(page, &mut io).unwrap().cached); // ghosted
+        let out = c.on_fetched_from_disk(page, &mut io).unwrap(); // TAC heat 2
         assert!(out.cached, "heat accumulated after ghost admission");
         assert_eq!(c.stats().admission_filtered, 2);
         assert_eq!(c.stats().admission_ghost_hits, 2);
@@ -1102,19 +1302,28 @@ mod tests {
         assert!(c.persists_dirty_pages());
         let mut io = IoLog::new();
         for n in 0..64u32 {
-            assert!(c.insert(data_page(n), &mut io).cached, "dirty absorbed");
+            assert!(
+                c.insert(data_page(n), &mut io).unwrap().cached,
+                "dirty absorbed"
+            );
         }
         // Dirty first touches sit on probation in the small queue and would
         // demote if never touched again; a second version of each page is a
         // proven re-reference and lands in the roomy main queue.
         for n in 0..64u32 {
-            assert!(c.insert(data_page(n), &mut io).cached, "update absorbed");
+            assert!(
+                c.insert(data_page(n), &mut io).unwrap().cached,
+                "update absorbed"
+            );
         }
         for n in 0..64u32 {
-            let hit = c.fetch(PageId::new(0, n), &mut io).expect("cached");
+            let hit = c
+                .fetch(PageId::new(0, n), &mut io)
+                .unwrap()
+                .expect("cached");
             assert_eq!(hit.data.unwrap().read_body(0, 4), &n.to_le_bytes());
         }
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         assert!(c.flash_pages_written() > 0);
         let info = c.crash_and_recover(Lsn(u64::MAX), &mut io);
         assert!(info.survived, "S3-FIFO metadata persists like FaCE's");
@@ -1131,8 +1340,8 @@ mod tests {
         // for the second access to cross the admission temperature.
         let a = PageId::new(0, 0);
         let b = PageId::new(0, 1);
-        c.on_fetched_from_disk(a, &mut io);
-        let out = c.on_fetched_from_disk(b, &mut io);
+        c.on_fetched_from_disk(a, &mut io).unwrap();
+        let out = c.on_fetched_from_disk(b, &mut io).unwrap();
         assert!(out.cached, "extent heat must not be diluted across shards");
         assert!(!c.persists_dirty_pages());
     }
@@ -1142,9 +1351,9 @@ mod tests {
         let c = sharded(CachePolicyKind::Lc, 64, 4);
         let mut io = IoLog::new();
         for n in 0..20u32 {
-            c.insert(data_page(n), &mut io);
+            c.insert(data_page(n), &mut io).unwrap();
         }
-        let drained = c.drain_dirty_for_checkpoint(&mut io);
+        let drained = c.drain_dirty_for_checkpoint(&mut io).unwrap();
         assert_eq!(drained.len(), 20);
     }
 }

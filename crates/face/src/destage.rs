@@ -51,8 +51,9 @@ use std::sync::Arc;
 
 use face_analysis::classes::{DESTAGE_QUEUE, DIAG};
 use face_analysis::{OrderedCondvar, OrderedMutex};
-use face_pagestore::{Lsn, PageId};
+use face_pagestore::{backoff_sleep, DeviceError, DeviceResult, Lsn, PageId};
 
+use crate::degrade::{DegradeAction, DegradeConfig, DegradeController};
 use crate::io::IoLog;
 use crate::meta::JournalEntry;
 use crate::store::FlashStore;
@@ -95,22 +96,28 @@ impl PendingGroupWrite {
     /// assigned consecutively at the queue rear) plus the slot-header notes
     /// recovery's tail scan relies on. Holds **no** cache lock — that is the
     /// point of deferring it.
-    pub fn apply(&self, store: &dyn FlashStore, io: &mut IoLog) {
+    ///
+    /// On `Err` a prefix of the batch may have reached flash, but the
+    /// group's journal records are never sealed, so recovery cannot see the
+    /// partial group (crash-equivalent). Retrying the whole batch is safe —
+    /// it rewrites the same slots with the same bytes.
+    pub fn apply(&self, store: &dyn FlashStore, io: &mut IoLog) -> DeviceResult<()> {
         if self.pages.is_empty() {
-            return;
+            return Ok(());
         }
-        io.flash_write_seq(self.pages.len() as u32);
         if store.carries_data() {
             let batch: Vec<(usize, &face_pagestore::Page)> = self
                 .pages
                 .iter()
                 .filter_map(|w| w.data.as_ref().map(|d| (w.slot, &**d)))
                 .collect();
-            store.write_batch(&batch);
+            store.write_batch(&batch)?;
         }
+        io.flash_write_seq(self.pages.len() as u32);
         for w in &self.pages {
             store.note_slot_header(w.slot, w.page, w.lsn);
         }
+        Ok(())
     }
 }
 
@@ -163,12 +170,25 @@ impl DestageJob {
 /// store and the shared I/O accounting.
 pub trait DestageSink: Send + Sync {
     /// Apply a group's physical flash batch write (no cache lock held).
-    fn apply_group(&self, write: &PendingGroupWrite, io: &mut IoLog);
+    fn apply_group(&self, write: &PendingGroupWrite, io: &mut IoLog) -> DeviceResult<()>;
     /// Seal the group's journal records now that its data is on flash
     /// (briefly takes the shard lock).
     fn complete_group(&self, shard: usize, epoch: u64, io: &mut IoLog);
+    /// Abandon a group whose batch write failed for good: drop its journal
+    /// records, free its slots and return the dirty pages that now need
+    /// disk failover (each still WAL-covered). Default: nothing to abort.
+    fn abort_group(&self, shard: usize, epoch: u64, io: &mut IoLog) -> Vec<StagedPage> {
+        let _ = (shard, epoch, io);
+        Vec::new()
+    }
+    /// Take a condemned slot out of rotation, returning the dirty evacuee
+    /// (if any) that needs disk failover. Default: nothing to quarantine.
+    fn quarantine_slot(&self, shard: usize, slot: usize, io: &mut IoLog) -> Vec<StagedPage> {
+        let _ = (shard, slot, io);
+        Vec::new()
+    }
     /// Write dequeued dirty pages to the disk array.
-    fn write_pages_to_disk(&self, pages: &[StagedPage], io: &mut IoLog) -> Result<(), String>;
+    fn write_pages_to_disk(&self, pages: &[StagedPage], io: &mut IoLog) -> Result<(), DeviceError>;
     /// Merge a worker's local I/O log into the shared accounting.
     fn publish_io(&self, io: IoLog);
 }
@@ -192,6 +212,16 @@ pub struct DestageStats {
     pub disk_pages_dropped: u64,
     /// Enqueue attempts that blocked on a full worker queue.
     pub backpressure_stalls: u64,
+    /// Transient device errors retried with backoff.
+    pub retries: u64,
+    /// Device errors that exhausted their retries (or were never worth
+    /// retrying) with `kind == Transient`.
+    pub transient_errors: u64,
+    /// Device errors with `kind == Permanent`.
+    pub permanent_errors: u64,
+    /// Group writes abandoned after a final device error (slots freed,
+    /// dirty pages failed over to disk).
+    pub groups_aborted: u64,
 }
 
 #[derive(Debug, Default)]
@@ -203,6 +233,10 @@ struct DestageStatCounters {
     disk_pages_completed: Counter,
     disk_pages_dropped: Counter,
     backpressure_stalls: Counter,
+    retries: Counter,
+    transient_errors: Counter,
+    permanent_errors: Counter,
+    groups_aborted: Counter,
 }
 
 impl DestageStatCounters {
@@ -215,6 +249,18 @@ impl DestageStatCounters {
             disk_pages_completed: self.disk_pages_completed.get(),
             disk_pages_dropped: self.disk_pages_dropped.get(),
             backpressure_stalls: self.backpressure_stalls.get(),
+            retries: self.retries.get(),
+            transient_errors: self.transient_errors.get(),
+            permanent_errors: self.permanent_errors.get(),
+            groups_aborted: self.groups_aborted.get(),
+        }
+    }
+
+    fn note_final_error(&self, err: &DeviceError) {
+        if err.is_transient() {
+            self.transient_errors.inc();
+        } else {
+            self.permanent_errors.inc();
         }
     }
 }
@@ -243,7 +289,11 @@ struct Shared {
     /// pre-crash job are discarded.
     generation: AtomicU64,
     shutdown: AtomicBool,
-    last_error: OrderedMutex<Option<String>>,
+    last_error: OrderedMutex<Option<DeviceError>>,
+    /// Degraded-mode brain; absent in direct policy tests. Retry budget
+    /// falls back to [`DegradeConfig::default`] without one.
+    controller: Option<Arc<DegradeController>>,
+    max_retries: u32,
 }
 
 /// A fixed pool of background destager threads with bounded per-worker
@@ -255,9 +305,19 @@ pub struct Destager {
 }
 
 impl Destager {
-    /// Spawn `config.threads` workers draining into `sink`.
-    pub fn new(config: DestageConfig, sink: Arc<dyn DestageSink>) -> Self {
+    /// Spawn `config.threads` workers draining into `sink`. Pass a
+    /// [`DegradeController`] to report final device errors (and take its
+    /// retry budget); without one a default budget still bounds retries.
+    pub fn new(
+        config: DestageConfig,
+        sink: Arc<dyn DestageSink>,
+        controller: Option<Arc<DegradeController>>,
+    ) -> Self {
         let threads = config.threads.max(1);
+        let max_retries = controller
+            .as_ref()
+            .map(|c| c.config().max_retries)
+            .unwrap_or_else(|| DegradeConfig::default().max_retries);
         let shared = Arc::new(Shared {
             queues: (0..threads)
                 .map(|_| WorkerQueue {
@@ -278,6 +338,8 @@ impl Destager {
             generation: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             last_error: OrderedMutex::new(DIAG, None),
+            controller,
+            max_retries,
         });
         let workers = (0..threads)
             .map(|i| {
@@ -285,7 +347,9 @@ impl Destager {
                 std::thread::Builder::new()
                     .name(format!("face-destage-{i}"))
                     .spawn(move || worker_loop(&shared, i))
-                    .expect("spawn destager worker")
+                    // Thread-spawn failure is an OS resource error at pool
+                    // construction, not device I/O: panicking is right.
+                    .expect("spawn destager worker") // face-lint: allow(unwrap-device)
             })
             .collect();
         Self { shared, workers }
@@ -331,7 +395,7 @@ impl Destager {
 
     /// Wait until every queue is empty and every worker idle, then surface
     /// any background write error exactly once.
-    pub fn drain(&self) -> Result<(), String> {
+    pub fn drain(&self) -> Result<(), DeviceError> {
         for queue in &self.shared.queues {
             let mut state = queue.state.lock();
             while !state.jobs.is_empty() || state.busy {
@@ -418,17 +482,42 @@ fn execute(shared: &Shared, generation: u64, job: DestageJob) {
                 shared.stats.groups_dropped.inc();
                 return;
             }
-            shared.sink.apply_group(&write, &mut io);
-            // Crash point: the batch hit the device but the crash raced the
-            // seal — the journal must never reference it.
-            if current(shared) {
-                shared
-                    .sink
-                    .complete_group(write.shard, write.epoch, &mut io);
-                shared.stats.groups_completed.inc();
-                shared.sink.publish_io(io);
-            } else {
-                shared.stats.groups_dropped.inc();
+            let mut attempt: u32 = 0;
+            loop {
+                match shared.sink.apply_group(&write, &mut io) {
+                    Ok(()) => {
+                        // Crash point: the batch hit the device but the crash
+                        // raced the seal — the journal must never reference it.
+                        if current(shared) {
+                            shared
+                                .sink
+                                .complete_group(write.shard, write.epoch, &mut io);
+                            shared.stats.groups_completed.inc();
+                            shared.sink.publish_io(io);
+                        } else {
+                            shared.stats.groups_dropped.inc();
+                        }
+                        return;
+                    }
+                    Err(e) => {
+                        if e.is_transient()
+                            && attempt < shared.max_retries
+                            && current(shared)
+                            && !shared.shutdown.load(Ordering::Acquire)
+                        {
+                            attempt += 1;
+                            shared.stats.retries.inc();
+                            if let Some(c) = &shared.controller {
+                                c.note_retry();
+                            }
+                            backoff_sleep(attempt);
+                            continue;
+                        }
+                        fail_group(shared, &write, &e, &mut io);
+                        shared.sink.publish_io(io);
+                        return;
+                    }
+                }
             }
         }
         DestageJob::Disk { pages, .. } => {
@@ -436,15 +525,67 @@ fn execute(shared: &Shared, generation: u64, job: DestageJob) {
                 shared.stats.disk_pages_dropped.add(pages.len() as u64);
                 return;
             }
-            match shared.sink.write_pages_to_disk(&pages, &mut io) {
-                Ok(()) => {
-                    shared.stats.disk_pages_completed.add(pages.len() as u64);
-                    shared.sink.publish_io(io);
+            // Disk is the backstop, not the breaker's subject: transient
+            // failures are retried here but never reported to the degrade
+            // controller (tripping would not help — there is no tier below
+            // disk to fail over to; recovery's WAL redo is the last resort).
+            let mut attempt: u32 = 0;
+            loop {
+                match shared.sink.write_pages_to_disk(&pages, &mut io) {
+                    Ok(()) => {
+                        shared.stats.disk_pages_completed.add(pages.len() as u64);
+                        shared.sink.publish_io(io);
+                        return;
+                    }
+                    Err(e) => {
+                        if e.is_transient()
+                            && attempt < shared.max_retries
+                            && !shared.shutdown.load(Ordering::Acquire)
+                        {
+                            attempt += 1;
+                            shared.stats.retries.inc();
+                            backoff_sleep(attempt);
+                            continue;
+                        }
+                        shared.stats.note_final_error(&e);
+                        shared.stats.disk_pages_dropped.add(pages.len() as u64);
+                        *shared.last_error.lock() = Some(e);
+                        return;
+                    }
                 }
-                Err(e) => {
-                    shared.stats.disk_pages_dropped.add(pages.len() as u64);
-                    *shared.last_error.lock() = Some(e);
-                }
+            }
+        }
+    }
+}
+
+/// A group write failed for good: abandon the group (its journal records
+/// drop with it, its slots free up), fail its dirty pages over to disk, and
+/// let the degrade controller decide whether the offending slot leaves the
+/// rotation or the breaker trips.
+fn fail_group(shared: &Shared, write: &PendingGroupWrite, err: &DeviceError, io: &mut IoLog) {
+    shared.stats.note_final_error(err);
+    shared.stats.groups_aborted.inc();
+    let mut fallout = shared.sink.abort_group(write.shard, write.epoch, io);
+    if let Some(controller) = &shared.controller {
+        if let DegradeAction::Quarantine { shard, slot } = controller.note_error(write.shard, err) {
+            let evacuees = shared.sink.quarantine_slot(shard, slot, io);
+            controller.note_quarantined();
+            controller.note_evacuated(evacuees.len() as u64);
+            fallout.extend(evacuees);
+        }
+        // `DegradeAction::Trip` already moved the breaker to TripRequested
+        // inside note_error; the next foreground operation claims the
+        // evacuation (workers have no WAL access). `Continue` needs nothing.
+    }
+    // A successfully absorbed abort (slots freed, dirty pages safe on disk)
+    // is visible in the abort/error counters, not as a drain() error — only
+    // a failover that itself failed leaves data in jeopardy.
+    if !fallout.is_empty() {
+        match shared.sink.write_pages_to_disk(&fallout, io) {
+            Ok(()) => shared.stats.disk_pages_completed.add(fallout.len() as u64),
+            Err(e) => {
+                shared.stats.disk_pages_dropped.add(fallout.len() as u64);
+                *shared.last_error.lock() = Some(e);
             }
         }
     }
@@ -456,28 +597,66 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
     use std::time::Duration;
 
+    use face_pagestore::DeviceOp;
+
     #[derive(Default)]
     struct RecordingSink {
         groups: AtomicUsize,
         completions: AtomicUsize,
         disk_pages: AtomicUsize,
+        aborts: AtomicUsize,
+        quarantines: AtomicUsize,
         delay: Option<Duration>,
         fail_disk: AtomicBool,
+        /// Fail the next N apply_group calls with a transient slot error.
+        fail_group_transient: AtomicUsize,
+        /// Fail every apply_group call with a permanent slot error.
+        fail_group_permanent: AtomicBool,
+        /// Pages abort_group hands back for disk failover.
+        abort_fallout: usize,
     }
 
     impl DestageSink for RecordingSink {
-        fn apply_group(&self, _write: &PendingGroupWrite, _io: &mut IoLog) {
+        fn apply_group(&self, _write: &PendingGroupWrite, _io: &mut IoLog) -> DeviceResult<()> {
             if let Some(d) = self.delay {
                 std::thread::sleep(d);
             }
+            if self.fail_group_permanent.load(Ordering::SeqCst) {
+                return Err(DeviceError::permanent_slot(DeviceOp::Write, 0, "injected"));
+            }
+            if self
+                .fail_group_transient
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return Err(DeviceError::transient_slot(DeviceOp::Write, 0, "injected"));
+            }
             self.groups.fetch_add(1, Ordering::SeqCst);
+            Ok(())
         }
         fn complete_group(&self, _shard: usize, _epoch: u64, _io: &mut IoLog) {
             self.completions.fetch_add(1, Ordering::SeqCst);
         }
-        fn write_pages_to_disk(&self, pages: &[StagedPage], _io: &mut IoLog) -> Result<(), String> {
+        fn abort_group(&self, _shard: usize, _epoch: u64, _io: &mut IoLog) -> Vec<StagedPage> {
+            self.aborts.fetch_add(1, Ordering::SeqCst);
+            (0..self.abort_fallout)
+                .map(|i| StagedPage::meta_only(PageId::new(0, i as u32), Lsn(1), true, false))
+                .collect()
+        }
+        fn quarantine_slot(&self, _shard: usize, _slot: usize, _io: &mut IoLog) -> Vec<StagedPage> {
+            self.quarantines.fetch_add(1, Ordering::SeqCst);
+            Vec::new()
+        }
+        fn write_pages_to_disk(
+            &self,
+            pages: &[StagedPage],
+            _io: &mut IoLog,
+        ) -> Result<(), DeviceError> {
             if self.fail_disk.load(Ordering::SeqCst) {
-                return Err("injected disk failure".into());
+                return Err(DeviceError::permanent_device(
+                    DeviceOp::Write,
+                    "injected disk failure",
+                ));
             }
             self.disk_pages.fetch_add(pages.len(), Ordering::SeqCst);
             Ok(())
@@ -508,6 +687,7 @@ mod tests {
                 queue_depth: 4,
             },
             Arc::clone(&sink) as Arc<dyn DestageSink>,
+            None,
         );
         for e in 0..10 {
             d.enqueue(DestageJob::Group(group(e as usize % 3, e)));
@@ -543,6 +723,7 @@ mod tests {
                 queue_depth: 2,
             },
             Arc::clone(&sink) as Arc<dyn DestageSink>,
+            None,
         );
         for e in 0..8 {
             d.enqueue(DestageJob::Group(group(0, e)));
@@ -567,6 +748,7 @@ mod tests {
                 queue_depth: 16,
             },
             Arc::clone(&sink) as Arc<dyn DestageSink>,
+            None,
         );
         for e in 0..5 {
             d.enqueue(DestageJob::Group(group(0, e)));
@@ -595,6 +777,7 @@ mod tests {
         let d = Destager::new(
             DestageConfig::default(),
             Arc::clone(&sink) as Arc<dyn DestageSink>,
+            None,
         );
         d.enqueue(DestageJob::Disk {
             shard: 0,
@@ -606,9 +789,97 @@ mod tests {
             )],
         });
         let err = d.drain().unwrap_err();
-        assert!(err.contains("injected"));
+        assert!(err.to_string().contains("injected"), "{err}");
         assert!(d.drain().is_ok(), "error reported exactly once");
         assert_eq!(d.stats().disk_pages_dropped, 1);
+        assert_eq!(d.stats().permanent_errors, 1);
+    }
+
+    #[test]
+    fn transient_group_failure_is_retried_until_it_succeeds() {
+        let sink = Arc::new(RecordingSink {
+            fail_group_transient: AtomicUsize::new(2),
+            ..RecordingSink::default()
+        });
+        let d = Destager::new(
+            DestageConfig {
+                threads: 1,
+                queue_depth: 4,
+            },
+            Arc::clone(&sink) as Arc<dyn DestageSink>,
+            None,
+        );
+        d.enqueue(DestageJob::Group(group(0, 1)));
+        d.drain().unwrap();
+        let stats = d.stats();
+        assert_eq!(stats.groups_completed, 1, "third attempt succeeds");
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.groups_aborted, 0);
+        assert_eq!(sink.completions.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn permanent_group_failure_aborts_quarantines_and_fails_over() {
+        let sink = Arc::new(RecordingSink {
+            fail_group_permanent: AtomicBool::new(true),
+            abort_fallout: 3,
+            ..RecordingSink::default()
+        });
+        let controller = Arc::new(DegradeController::default());
+        let d = Destager::new(
+            DestageConfig {
+                threads: 1,
+                queue_depth: 4,
+            },
+            Arc::clone(&sink) as Arc<dyn DestageSink>,
+            Some(Arc::clone(&controller)),
+        );
+        d.enqueue(DestageJob::Group(group(0, 1)));
+        // A permanent error never retries and the failover absorbed the
+        // dirty pages, so the drain is clean.
+        d.drain().unwrap();
+        let stats = d.stats();
+        assert_eq!(stats.groups_aborted, 1);
+        assert_eq!(stats.permanent_errors, 1);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.groups_completed, 0);
+        assert_eq!(stats.disk_pages_completed, 3, "fallout failed over");
+        assert_eq!(sink.aborts.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            sink.quarantines.load(Ordering::SeqCst),
+            1,
+            "permanent slot error condemns the slot on first strike"
+        );
+        assert_eq!(controller.snapshot().quarantined_slots, 1);
+    }
+
+    #[test]
+    fn transient_group_failure_that_exhausts_retries_aborts() {
+        let sink = Arc::new(RecordingSink {
+            fail_group_transient: AtomicUsize::new(usize::MAX),
+            ..RecordingSink::default()
+        });
+        let controller = Arc::new(DegradeController::new(DegradeConfig {
+            max_retries: 2,
+            slot_failure_threshold: 100,
+            trip_threshold: 100,
+        }));
+        let d = Destager::new(
+            DestageConfig {
+                threads: 1,
+                queue_depth: 4,
+            },
+            Arc::clone(&sink) as Arc<dyn DestageSink>,
+            Some(Arc::clone(&controller)),
+        );
+        d.enqueue(DestageJob::Group(group(0, 1)));
+        d.drain().unwrap();
+        let stats = d.stats();
+        assert_eq!(stats.retries, 2, "budget from the controller config");
+        assert_eq!(stats.transient_errors, 1);
+        assert_eq!(stats.groups_aborted, 1);
+        assert_eq!(sink.aborts.load(Ordering::SeqCst), 1);
+        assert_eq!(controller.snapshot().transient_errors, 1);
     }
 
     #[test]
@@ -617,15 +888,16 @@ mod tests {
             seen: OrderedMutex<Vec<u64>>,
         }
         impl DestageSink for OrderSink {
-            fn apply_group(&self, write: &PendingGroupWrite, _io: &mut IoLog) {
+            fn apply_group(&self, write: &PendingGroupWrite, _io: &mut IoLog) -> DeviceResult<()> {
                 self.seen.lock().push(write.epoch);
+                Ok(())
             }
             fn complete_group(&self, _s: usize, _e: u64, _io: &mut IoLog) {}
             fn write_pages_to_disk(
                 &self,
                 _p: &[StagedPage],
                 _io: &mut IoLog,
-            ) -> Result<(), String> {
+            ) -> Result<(), DeviceError> {
                 Ok(())
             }
             fn publish_io(&self, _io: IoLog) {}
@@ -639,6 +911,7 @@ mod tests {
                 queue_depth: 64,
             },
             Arc::clone(&sink) as Arc<dyn DestageSink>,
+            None,
         );
         for e in 0..50 {
             d.enqueue(DestageJob::Group(group(4, e))); // one shard -> one worker

@@ -44,6 +44,7 @@
 pub mod admission;
 pub mod concurrent;
 pub mod cost_model;
+pub mod degrade;
 pub mod destage;
 pub mod directory;
 pub mod io;
@@ -59,6 +60,7 @@ pub mod types;
 pub use admission::{GhostQueue, SharedGhost};
 pub use concurrent::ShardedFlashCache;
 pub use cost_model::{AccessMix, CostModel};
+pub use degrade::{BreakerState, DegradeAction, DegradeConfig, DegradeController, DegradeStats};
 pub use destage::{
     DestageConfig, DestageJob, DestageSink, DestageStats, Destager, PendingGroupWrite,
     PendingSlotWrite,
@@ -70,9 +72,11 @@ pub use meta::{CacheCheckpoint, JournalEntry, JournalStats, MetaJournal, Recover
 pub use mvfifo::MvFifoCache;
 pub use policy::{build_cache, CachePolicyKind, FlashCache, NoSupplier, PageSupplier};
 pub use s3fifo::S3FifoCache;
-pub use store::{FlashStore, GateFlashStore, HeaderFlashStore, MemFlashStore, NullFlashStore};
+pub use store::{
+    FaultyFlashStore, FlashStore, GateFlashStore, HeaderFlashStore, MemFlashStore, NullFlashStore,
+};
 pub use tac::TacCache;
 pub use types::{
-    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, Counter, FetchPin, FlashFetch,
-    InsertOutcome, StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, Counter, Evacuation, FetchPin,
+    FlashFetch, InsertOutcome, QuarantineOutcome, StagedPage,
 };

@@ -233,6 +233,29 @@ impl MetaJournal {
         self.seal_entries(group, io);
     }
 
+    /// Drop the RAM-resident current group without sealing it — the
+    /// response to an inline batch write that failed on the device. The
+    /// effect is exactly a crash landing between the appends and the seal:
+    /// the group's data and metadata are lost *together*, so the directory
+    /// invariant (no sealed metadata for unwritten bytes) holds. Returns
+    /// how many entries were discarded.
+    pub fn abort_current_group(&mut self) -> usize {
+        let n = self.current.len();
+        self.current.clear();
+        n
+    }
+
+    /// Drop the current group's record(s) for one slot without touching the
+    /// rest of the group — used when a single pending slot is quarantined
+    /// before its batch write: the slot's data never reaches the device, so
+    /// its metadata must not seal either. Returns how many records were
+    /// removed.
+    pub fn remove_current_records_for_slot(&mut self, slot: u32) -> usize {
+        let before = self.current.len();
+        self.current.retain(|e| e.slot != slot);
+        before - self.current.len()
+    }
+
     /// Detach the current group for a *deferred* batch write: its entries
     /// leave the journal's current buffer (they stay RAM-resident in the
     /// caller — still lost by a crash, exactly like the current group) and

@@ -18,10 +18,10 @@
 //!   write batch still has room it is topped up with dirty pages pulled from
 //!   the DRAM buffer's LRU tail.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
-use face_pagestore::{Lsn, Page, PageId};
+use face_pagestore::{DeviceResult, Lsn, Page, PageId};
 
 use crate::destage::{PendingGroupWrite, PendingSlotWrite};
 use crate::io::IoLog;
@@ -29,8 +29,8 @@ use crate::meta::{JournalEntry, MetaJournal};
 use crate::policy::{FlashCache, PageSupplier};
 use crate::store::FlashStore;
 use crate::types::{
-    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FetchPin, FlashFetch,
-    InsertOutcome, SlotGenerations, StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, Evacuation, FetchPin,
+    FlashFetch, InsertOutcome, QuarantineOutcome, SlotGenerations, StagedPage,
 };
 
 /// Metadata for one occupied flash slot.
@@ -89,6 +89,17 @@ pub struct MvFifoCache {
     /// an off-lock reader can detect that the bytes it read may no longer
     /// belong to the version it pinned ([`FlashCache::fetch_validate`]).
     generations: SlotGenerations,
+    /// Slots removed from the replacement rotation after repeated device
+    /// failures ([`FlashCache::quarantine_slot`]). RAM-only by design: the
+    /// flash bytes are not trimmed, so a post-crash recovery may still use
+    /// them if they turn out readable; a slot that keeps failing is simply
+    /// re-quarantined. Inside the queue window a quarantined slot is a hole
+    /// (`slots[s]` stays `None`); at the rear it is absorbed into the window
+    /// without a page ([`MvFifoCache::absorb_quarantined_rear`]).
+    quarantined: HashSet<usize>,
+    /// Dirty pages rolled back from failed inline flash writes, awaiting the
+    /// caller's disk failover ([`FlashCache::take_write_fallout`]).
+    write_fallout: Vec<StagedPage>,
     journal: MetaJournal,
     stats: CacheStatCounters,
 }
@@ -120,6 +131,8 @@ impl MvFifoCache {
             inflight: BTreeMap::new(),
             inflight_data: HashMap::new(),
             generations: SlotGenerations::new(capacity),
+            quarantined: HashSet::new(),
+            write_fallout: Vec::new(),
             journal,
             stats: CacheStatCounters::default(),
         }
@@ -192,9 +205,11 @@ impl MvFifoCache {
     /// Force a flash-cache checkpoint: flush the pending batch (sealing its
     /// journal group) and persist a directory snapshot, so a subsequent
     /// restart replays no journal at all. Independent of database
-    /// checkpointing, as in the paper.
-    pub fn checkpoint_metadata(&mut self, io: &mut IoLog) {
-        self.flush_all_groups_inline(io);
+    /// checkpointing, as in the paper. On a device error the unflushable
+    /// batch has been rolled back (dirty pages wait in
+    /// [`FlashCache::take_write_fallout`]) and no snapshot is written.
+    pub fn checkpoint_metadata(&mut self, io: &mut IoLog) -> DeviceResult<()> {
+        self.flush_all_groups_inline(io)?;
         // The flush may just have installed a cadence checkpoint (or a
         // previous call already left the journal fully folded): skip the
         // second, identical snapshot write in that case.
@@ -202,12 +217,13 @@ impl MvFifoCache {
         let already_folded = self.journal.replay_entries() == 0
             && self.journal.checkpoint().map(|c| (c.front, c.size)) == Some(pointers);
         if already_folded {
-            return;
+            return Ok(());
         }
         let snapshot = self.durable_directory_snapshot();
         self.journal
             .install_checkpoint(pointers.0, pointers.1, snapshot, io);
         self.stats.metadata_flushes.inc();
+        Ok(())
     }
 
     /// Fraction of occupied slots holding invalidated (duplicate) versions —
@@ -228,6 +244,26 @@ impl MvFifoCache {
         self.config.capacity_pages - self.size
     }
 
+    /// Slots still usable for caching: total capacity minus the quarantined
+    /// ones. At zero the cache cannot admit anything and inserts degrade to
+    /// serve-through (the engine's breaker trips long before this point).
+    fn usable_capacity(&self) -> usize {
+        self.config.capacity_pages - self.quarantined.len()
+    }
+
+    /// Absorb quarantined slots sitting at the queue rear into the window as
+    /// holes, so the next enqueue lands on a usable slot. Each absorbed slot
+    /// consumes window space and is reclaimed when it circulates back to the
+    /// front (a dequeue of an empty slot is a no-op).
+    fn absorb_quarantined_rear(&mut self) {
+        while self.free_slots() > 0 && self.quarantined.contains(&self.rear()) {
+            let slot = self.rear();
+            debug_assert!(self.slots[slot].is_none(), "quarantined slot occupied");
+            self.generations.bump(slot);
+            self.size += 1;
+        }
+    }
+
     /// The RAM-resident frame for `slot`, when its batch write has not
     /// reached the device yet: `Some(frame)` for a slot in the not-yet-formed
     /// pending batch or an in-flight deferred group (the inner option is
@@ -245,11 +281,11 @@ impl MvFifoCache {
 
     /// The shared frame stored at `slot`, looking in the not-yet-formed
     /// pending batch first, then the in-flight groups (both RAM-resident
-    /// until their batch write), then the flash store.
-    fn slot_frame(&self, slot: usize) -> Option<Arc<Page>> {
+    /// until their batch write), then the flash store (fallible).
+    fn slot_frame(&self, slot: usize) -> DeviceResult<Option<Arc<Page>>> {
         match self.ram_frame(slot) {
-            Some(frame) => frame,
-            None => self.store.read_slot(slot).map(Arc::new),
+            Some(frame) => Ok(frame),
+            None => Ok(self.store.read_slot(slot)?.map(Arc::new)),
         }
     }
 
@@ -264,6 +300,10 @@ impl MvFifoCache {
     fn enqueue_assign(&mut self, staged: &StagedPage, _io: &mut IoLog) -> usize {
         debug_assert!(self.free_slots() > 0, "enqueue without free slot");
         let slot = self.rear();
+        debug_assert!(
+            !self.quarantined.contains(&slot),
+            "enqueue onto a quarantined slot"
+        );
         self.size += 1;
         self.generations.bump(slot);
         self.slots[slot] = Some(SlotMeta {
@@ -288,24 +328,32 @@ impl MvFifoCache {
     /// the directory and prunes the journal. This is the **inline** path;
     /// with [`CacheConfig::defer_group_writes`] the batch is instead handed
     /// back via [`MvFifoCache::form_pending_group`].
-    fn flush_pending(&mut self, io: &mut IoLog) {
+    fn flush_pending(&mut self, io: &mut IoLog) -> DeviceResult<()> {
         if self.pending_slots.is_empty() {
-            return;
+            return Ok(());
         }
         let n = self.pending_slots.len() as u32;
         // One batch-sized sequential flash write (the pending slots were
         // assigned consecutively at the rear).
         io.flash_write_seq(n);
-        for (slot, data) in self.pending_slots.iter().zip(self.pending_data.iter()) {
+        for i in 0..self.pending_slots.len() {
+            let slot = self.pending_slots[i];
             if self.store.carries_data() {
-                if let Some(page) = data {
-                    self.store.write_slot(*slot, page);
+                if let Some(page) = self.pending_data[i].clone() {
+                    if let Err(e) = self.store.write_slot(slot, &page) {
+                        // A prefix of the batch may have persisted; its
+                        // journal group never seals, so those bytes are
+                        // invisible to recovery — exactly what a crash
+                        // between the writes and the seal would leave.
+                        self.rollback_pending(io);
+                        return Err(e);
+                    }
                 }
             }
             // Header-only stores learn which page now occupies the slot, so
             // a recovery scan of page headers works in simulation mode too.
-            if let Some(meta) = &self.slots[*slot] {
-                self.store.note_slot_header(*slot, meta.page, meta.lsn);
+            if let Some(meta) = &self.slots[slot] {
+                self.store.note_slot_header(slot, meta.page, meta.lsn);
             }
         }
         self.pending_slots.clear();
@@ -313,6 +361,40 @@ impl MvFifoCache {
         self.journal
             .seal_group(self.front as u64, self.size as u64, io);
         self.maybe_cadence_checkpoint(io);
+        Ok(())
+    }
+
+    /// Inline-write failure: un-admit every entry of the pending batch. The
+    /// batch's journal records are dropped with it — data and metadata are
+    /// lost together, exactly as a crash between the appends and the seal
+    /// would lose them (§4.3). Versions the batch invalidated are *not*
+    /// revalidated (their contents are stale); dirty rolled-back pages move
+    /// to the write-fallout buffer for the caller's disk failover. The
+    /// slots stay inside the queue window as holes and are reclaimed when
+    /// they circulate to the front.
+    fn rollback_pending(&mut self, io: &mut IoLog) {
+        let slots = std::mem::take(&mut self.pending_slots);
+        let data = std::mem::take(&mut self.pending_data);
+        for (slot, frame) in slots.into_iter().zip(data) {
+            self.generations.bump(slot);
+            let Some(meta) = self.slots[slot].take() else {
+                continue;
+            };
+            if self.dir.get(&meta.page) == Some(&slot) {
+                self.dir.remove(&meta.page);
+            }
+            if meta.valid && meta.dirty {
+                io.disk_write(meta.page);
+                self.write_fallout.push(StagedPage {
+                    page: meta.page,
+                    lsn: meta.lsn,
+                    dirty: true,
+                    fdirty: false,
+                    data: frame,
+                });
+            }
+        }
+        self.journal.abort_current_group();
     }
 
     fn maybe_cadence_checkpoint(&mut self, io: &mut IoLog) {
@@ -377,7 +459,11 @@ impl MvFifoCache {
     /// so the in-flight table is normally empty here; applying a group twice
     /// is idempotent at the device (same bytes, same slots) and
     /// [`MvFifoCache::complete_group`] ignores epochs already sealed.
-    fn flush_all_groups_inline(&mut self, io: &mut IoLog) {
+    ///
+    /// A failed group write aborts that group ([`FlashCache::abort_group`]):
+    /// its dirty pages join the write-fallout buffer and the error is
+    /// returned; already-sealed groups are unaffected.
+    fn flush_all_groups_inline(&mut self, io: &mut IoLog) -> DeviceResult<()> {
         let epochs: Vec<u64> = self.inflight.keys().copied().collect();
         for epoch in epochs {
             let write = match self.inflight.get(&epoch) {
@@ -385,17 +471,26 @@ impl MvFifoCache {
                 _ => None,
             };
             if let Some(write) = write {
-                write.apply(&*self.store, io);
+                if let Err(e) = write.apply(&*self.store, io) {
+                    let fallout = self.abort_group(epoch, io);
+                    self.write_fallout.extend(fallout);
+                    return Err(e);
+                }
             }
             self.complete_group(epoch, io);
         }
         if self.config.defer_group_writes {
             if let Some(write) = self.form_pending_group() {
-                write.apply(&*self.store, io);
+                if let Err(e) = write.apply(&*self.store, io) {
+                    let fallout = self.abort_group(write.epoch, io);
+                    self.write_fallout.extend(fallout);
+                    return Err(e);
+                }
                 self.complete_group(write.epoch, io);
             }
+            Ok(())
         } else {
-            self.flush_pending(io);
+            self.flush_pending(io)
         }
     }
 
@@ -403,21 +498,47 @@ impl MvFifoCache {
     /// staged out to disk; referenced valid pages get a second chance under
     /// GSC. Returns the staged pages that must be written to disk and the
     /// pages to re-enqueue.
-    fn group_dequeue(&mut self, io: &mut IoLog) -> (Vec<StagedPage>, Vec<StagedPage>) {
+    ///
+    /// A device read error aborts the dequeue with **no mutation at all**:
+    /// the bytes of every victim that needs them (disk-bound dirty pages,
+    /// second-chance survivors) are prefetched in a read-only first pass, so
+    /// an error leaves the queue exactly as it was and the caller can retry
+    /// or degrade.
+    fn group_dequeue(
+        &mut self,
+        io: &mut IoLog,
+    ) -> DeviceResult<(Vec<StagedPage>, Vec<StagedPage>)> {
         let n = self.config.group_size.min(self.size);
         if n == 0 {
-            return (Vec::new(), Vec::new());
+            return Ok((Vec::new(), Vec::new()));
         }
-        // Decide whether the batch requires reading page contents back from
-        // flash: any page that will be flushed to disk or re-enqueued.
+        // Pass 1 (read-only): prefetch the bytes of every victim that will
+        // be flushed to disk or re-enqueued; clean unreferenced pages are
+        // discarded without ever touching the device.
+        let mut prefetched: HashMap<usize, Option<Arc<Page>>> = HashMap::new();
         let mut needs_read = false;
         for i in 0..n {
             let slot = (self.front + i) % self.config.capacity_pages;
-            if let Some(m) = &self.slots[slot] {
-                if m.valid && (m.dirty || (self.config.second_chance && m.referenced)) {
-                    needs_read = true;
-                    break;
-                }
+            let Some(m) = &self.slots[slot] else {
+                continue;
+            };
+            if m.valid && (m.dirty || (self.config.second_chance && m.referenced)) {
+                needs_read = true;
+                let frame = match self.ram_frame(slot) {
+                    Some(frame) => frame,
+                    None => {
+                        // Residual under-lock flash read: the victim's
+                        // bytes are no longer RAM-resident (its group
+                        // write completed long ago), so the dequeue has
+                        // to fetch them from the device while the shard
+                        // lock is held. Acknowledged, counted, rare.
+                        let _allow = face_analysis::witness::allow_device_io(
+                            "mvfifo: dequeue reads a non-resident victim's slot",
+                        );
+                        self.store.read_slot(slot)?.map(Arc::new)
+                    }
+                };
+                prefetched.insert(slot, frame);
             }
         }
         if needs_read {
@@ -439,14 +560,10 @@ impl MvFifoCache {
             // whose write is *in flight* keeps its queued write (the frames
             // are shared and a later re-enqueue of the slot lands in a later
             // group, which the per-shard FIFO destage order applies after).
-            let pending_data = self
-                .pending_slots
-                .iter()
-                .position(|&s| s == slot)
-                .and_then(|pos| {
-                    self.pending_slots.remove(pos);
-                    self.pending_data.remove(pos)
-                });
+            if let Some(pos) = self.pending_slots.iter().position(|&s| s == slot) {
+                self.pending_slots.remove(pos);
+                self.pending_data.remove(pos);
+            }
             self.stats.staged_out.inc();
             if meta.valid {
                 // The directory entry must point at this slot (it is the
@@ -455,26 +572,8 @@ impl MvFifoCache {
                 if self.dir.get(&meta.page) == Some(&slot) {
                     self.dir.remove(&meta.page);
                 }
-                // Only pages that survive (second chance) or go to disk
-                // (dirty) need their bytes; a clean unreferenced page is
-                // discarded without ever touching the device.
-                let slot_data = |cache: &Self, pending: Option<Arc<Page>>| {
-                    pending
-                        .or_else(|| cache.inflight_data.get(&slot).map(|(_, f)| Arc::clone(f)))
-                        .or_else(|| {
-                            // Residual under-lock flash read: the victim's
-                            // bytes are no longer RAM-resident (its group
-                            // write completed long ago), so the dequeue has
-                            // to fetch them from the device while the shard
-                            // lock is held. Acknowledged, counted, rare.
-                            let _allow = face_analysis::witness::allow_device_io(
-                                "mvfifo: dequeue reads a non-resident victim's slot",
-                            );
-                            cache.store.read_slot(slot).map(Arc::new)
-                        })
-                };
                 if self.config.second_chance && meta.referenced {
-                    let data = slot_data(self, pending_data);
+                    let data = prefetched.remove(&slot).flatten();
                     self.stats.second_chances.inc();
                     second_chance.push(StagedPage {
                         page: meta.page,
@@ -484,7 +583,7 @@ impl MvFifoCache {
                         data,
                     });
                 } else if meta.dirty {
-                    let data = slot_data(self, pending_data);
+                    let data = prefetched.remove(&slot).flatten();
                     self.stats.staged_out_to_disk.inc();
                     io.disk_write(meta.page);
                     to_disk.push(StagedPage {
@@ -520,7 +619,7 @@ impl MvFifoCache {
                 to_disk.push(forced);
             }
         }
-        (to_disk, second_chance)
+        Ok((to_disk, second_chance))
     }
 
     /// Invalidate the previous version of `page`, if cached.
@@ -535,15 +634,54 @@ impl MvFifoCache {
 
     /// Admit one page version: ensure space, assign a slot, and collect any
     /// stage-outs and second-chance re-enqueues triggered by replacement.
-    fn admit(&mut self, staged: StagedPage, outcome: &mut InsertOutcome, io: &mut IoLog) {
-        // Make space. Each iteration frees at least one slot.
-        while self.free_slots() == 0 {
-            let (to_disk, second_chance) = self.group_dequeue(io);
+    ///
+    /// On a device error the insert is not admitted: the staged page (if
+    /// dirty) and everything already dequeued into `outcome.staged_out` move
+    /// to the write-fallout buffer for disk failover, and the error
+    /// propagates.
+    fn admit(
+        &mut self,
+        staged: StagedPage,
+        outcome: &mut InsertOutcome,
+        io: &mut IoLog,
+    ) -> DeviceResult<()> {
+        // Make space. Each iteration frees at least one slot; quarantined
+        // holes at the rear are absorbed into the window so the enqueue
+        // lands on a usable slot (progress is guaranteed while at least one
+        // slot remains usable — the caller checks).
+        loop {
+            self.absorb_quarantined_rear();
+            if self.free_slots() > 0 {
+                break;
+            }
+            let (to_disk, second_chance) = match self.group_dequeue(io) {
+                Ok(batch) => batch,
+                Err(e) => {
+                    if staged.dirty {
+                        io.disk_write(staged.page);
+                        self.write_fallout.push(staged);
+                    }
+                    self.write_fallout.append(&mut outcome.staged_out);
+                    return Err(e);
+                }
+            };
             outcome.staged_out.extend(to_disk);
             for sc in second_chance {
-                // Re-enqueue survivors. Space for them is guaranteed: the
-                // dequeue freed `group_size` slots and at most
-                // `group_size - 1` survivors remain.
+                // Re-enqueue survivors. Space for them is normally
+                // guaranteed (the dequeue freed `group_size` slots and at
+                // most `group_size - 1` survivors remain) — unless
+                // quarantined holes absorbed the freed space, in which case
+                // the survivor loses its second chance: dirty to disk,
+                // clean dropped.
+                self.absorb_quarantined_rear();
+                if self.free_slots() == 0 {
+                    if sc.dirty {
+                        self.stats.staged_out_to_disk.inc();
+                        io.disk_write(sc.page);
+                        outcome.staged_out.push(sc);
+                    }
+                    continue;
+                }
                 self.invalidate_previous(sc.page);
                 self.enqueue_assign(&sc, io);
             }
@@ -551,6 +689,7 @@ impl MvFifoCache {
         self.invalidate_previous(staged.page);
         self.enqueue_assign(&staged, io);
         self.stats.cached_inserts.inc();
+        Ok(())
     }
 
     /// Restore a cache from its surviving flash-resident state after a crash:
@@ -726,21 +865,25 @@ impl FlashCache for MvFifoCache {
         self.dir.contains_key(&page)
     }
 
-    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
+    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> DeviceResult<Option<FlashFetch>> {
         self.stats.lookups.inc();
-        let slot = *self.dir.get(&page)?;
-        let meta = self.slots[slot].as_mut()?;
+        let Some(&slot) = self.dir.get(&page) else {
+            return Ok(None);
+        };
+        let Some(meta) = self.slots[slot].as_mut() else {
+            return Ok(None);
+        };
         debug_assert!(meta.valid, "directory points at an invalid version");
         self.stats.hits.inc();
         meta.referenced = true;
         let dirty = meta.dirty;
         let lsn = meta.lsn;
         io.flash_read_rand(1);
-        Some(FlashFetch {
-            data: self.slot_frame(slot).map(|f| f.as_ref().clone()),
+        Ok(Some(FlashFetch {
+            data: self.slot_frame(slot)?.map(|f| f.as_ref().clone()),
             dirty,
             lsn,
-        })
+        }))
     }
 
     fn fetch_pin(&mut self, page: PageId, retry: bool, io: &mut IoLog) -> Option<FetchPin> {
@@ -790,7 +933,7 @@ impl FlashCache for MvFifoCache {
         staged: StagedPage,
         supplier: &mut dyn PageSupplier,
         io: &mut IoLog,
-    ) -> InsertOutcome {
+    ) -> DeviceResult<InsertOutcome> {
         self.stats.inserts.inc();
         if staged.dirty {
             self.stats.dirty_inserts.inc();
@@ -804,16 +947,32 @@ impl FlashCache for MvFifoCache {
         // copy is already cached is not enqueued again.
         if !staged.fdirty && self.dir.contains_key(&staged.page) {
             self.stats.skipped_inserts.inc();
-            return outcome;
+            return Ok(outcome);
+        }
+
+        // Fully-quarantined degenerate case: nothing is usable, so the
+        // insert degrades to serve-through (dirty straight to disk).
+        if self.usable_capacity() == 0 {
+            outcome.cached = false;
+            if staged.dirty {
+                io.disk_write(staged.page);
+                self.stats.staged_out_to_disk.inc();
+                outcome.staged_out.push(staged);
+            }
+            return Ok(outcome);
         }
 
         let had_replacement_potential = self.free_slots() == 0;
-        self.admit(staged, &mut outcome, io);
+        self.admit(staged, &mut outcome, io)?;
 
         // Group Second Chance: top the write batch up with dirty pages pulled
         // from the DRAM buffer's LRU tail so the batch write is full-sized.
         if self.config.second_chance && had_replacement_potential {
-            while self.pending_slots.len() < self.config.group_size && self.free_slots() > 0 {
+            loop {
+                self.absorb_quarantined_rear();
+                if self.pending_slots.len() >= self.config.group_size || self.free_slots() == 0 {
+                    break;
+                }
                 let Some(extra) = supplier.next_dirty_page() else {
                     break;
                 };
@@ -839,11 +998,16 @@ impl FlashCache for MvFifoCache {
         if self.pending_slots.len() >= self.config.group_size {
             if self.config.defer_group_writes {
                 outcome.pending_group = self.form_pending_group();
-            } else {
-                self.flush_pending(io);
+            } else if let Err(e) = self.flush_pending(io) {
+                // The batch (including this insert) was rolled back; its
+                // dirty pages wait in the fallout buffer. Pages already
+                // dequeued by this call join them — `Err` carries no
+                // outcome, and the caller must still write them to disk.
+                self.write_fallout.append(&mut outcome.staged_out);
+                return Err(e);
             }
         }
-        outcome
+        Ok(outcome)
     }
 
     fn group_write_pending(&self, epoch: u64) -> bool {
@@ -885,13 +1049,17 @@ impl FlashCache for MvFifoCache {
         self.maybe_cadence_checkpoint(io);
     }
 
-    fn sync(&mut self, io: &mut IoLog) {
+    fn sync(&mut self, io: &mut IoLog) -> DeviceResult<()> {
         // Flush the pending batch (sealing its journal group) and snapshot
         // the directory, so a clean shutdown restarts with zero replay.
-        self.checkpoint_metadata(io);
+        self.checkpoint_metadata(io)
     }
 
-    fn evacuate_dirty(&mut self, io: &mut IoLog) -> Vec<StagedPage> {
+    fn take_write_fallout(&mut self) -> Vec<StagedPage> {
+        std::mem::take(&mut self.write_fallout)
+    }
+
+    fn evacuate_dirty(&mut self, io: &mut IoLog) -> Evacuation {
         // Dirty flash pages are the only persistent copy of their contents
         // (write-back, checkpoint-to-flash): before the cache device can be
         // wiped they must reach the disk. Clean and invalidated versions
@@ -901,9 +1069,17 @@ impl FlashCache for MvFifoCache {
         // successful evacuation is followed by a cache wipe, which retires
         // the flags anyway; a repeated call is idempotent, merely re-listing
         // the same pages.
-        self.flush_all_groups_inline(io);
+        //
+        // Best-effort under a failing device: each inline-flush error aborts
+        // exactly one group, whose dirty pages join the output from their
+        // RAM copies, so the loop below terminates; residents whose bytes
+        // the device refuses to return are counted in `unread_dirty` and
+        // left to WAL redo.
+        let mut ev = Evacuation::default();
+        while self.flush_all_groups_inline(io).is_err() {}
+        ev.pages.append(&mut self.write_fallout);
         let capacity = self.config.capacity_pages;
-        let mut out = Vec::new();
+        let mut scanned = 0u32;
         for i in 0..self.size {
             let slot = (self.front + i) % capacity;
             let Some(meta) = self.slots[slot].as_ref() else {
@@ -912,18 +1088,153 @@ impl FlashCache for MvFifoCache {
             if !meta.valid || !meta.dirty {
                 continue;
             }
+            let data = if self.store.carries_data() {
+                match self.store.read_slot(slot) {
+                    Ok(Some(p)) => Some(Arc::new(p)),
+                    Ok(None) | Err(_) => {
+                        // Bytes lost with the failing slot: emit a data-less
+                        // marker so the caller can refuse stale disk serves
+                        // of this page until WAL redo rebuilds it.
+                        ev.unread_dirty += 1;
+                        ev.pages.push(StagedPage {
+                            page: meta.page,
+                            lsn: meta.lsn,
+                            dirty: true,
+                            fdirty: false,
+                            data: None,
+                        });
+                        continue;
+                    }
+                }
+            } else {
+                None
+            };
+            scanned += 1;
             io.disk_write(meta.page);
-            out.push(StagedPage {
+            ev.pages.push(StagedPage {
                 page: meta.page,
                 lsn: meta.lsn,
                 dirty: true,
                 fdirty: false,
-                data: self.store.read_slot(slot).map(Arc::new),
+                data,
             });
         }
-        if !out.is_empty() {
-            io.flash_read_seq(out.len() as u32);
+        if scanned > 0 {
+            io.flash_read_seq(scanned);
         }
+        ev
+    }
+
+    fn quarantine_slot(&mut self, slot: usize, io: &mut IoLog) -> QuarantineOutcome {
+        let mut out = QuarantineOutcome::default();
+        if slot >= self.config.capacity_pages || self.quarantined.contains(&slot) {
+            return out;
+        }
+        out.quarantined = true;
+        self.quarantined.insert(slot);
+        self.generations.bump(slot);
+        // Pull the slot out of the not-yet-written pending batch; its
+        // journal record goes with it, so data and metadata leave together.
+        let pending = self
+            .pending_slots
+            .iter()
+            .position(|&s| s == slot)
+            .and_then(|pos| {
+                self.pending_slots.remove(pos);
+                self.journal.remove_current_records_for_slot(slot as u32);
+                self.pending_data.remove(pos)
+            });
+        let inflight = self.inflight_data.get(&slot).map(|(_, f)| Arc::clone(f));
+        let Some(meta) = self.slots[slot].take() else {
+            return out;
+        };
+        if !meta.valid {
+            return out;
+        }
+        if self.dir.get(&meta.page) == Some(&slot) {
+            self.dir.remove(&meta.page);
+        }
+        out.removed = Some(meta.page);
+        if !meta.dirty {
+            // Clean resident: simply dropped, re-fetched from disk on the
+            // next miss.
+            return out;
+        }
+        // Dirty resident: its bytes must reach the disk. RAM copies first;
+        // the device only as a last resort — the slot is being quarantined
+        // because it fails, so an unreadable dirty resident is counted and
+        // recovered through WAL redo instead.
+        let data = match pending.or(inflight) {
+            Some(frame) => Some(frame),
+            None if self.store.carries_data() => match self.store.read_slot(slot) {
+                Ok(Some(p)) => Some(Arc::new(p)),
+                Ok(None) | Err(_) => {
+                    // Bytes lost: hand back a data-less evacuee so the
+                    // caller can block stale disk serves of this page until
+                    // WAL redo rebuilds it.
+                    out.dirty_unread = true;
+                    out.evacuee = Some(StagedPage {
+                        page: meta.page,
+                        lsn: meta.lsn,
+                        dirty: true,
+                        fdirty: false,
+                        data: None,
+                    });
+                    return out;
+                }
+            },
+            None => None,
+        };
+        io.disk_write(meta.page);
+        out.evacuee = Some(StagedPage {
+            page: meta.page,
+            lsn: meta.lsn,
+            dirty: true,
+            fdirty: false,
+            data,
+        });
+        out
+    }
+
+    fn abort_group(&mut self, epoch: u64, io: &mut IoLog) -> Vec<StagedPage> {
+        let Some(group) = self.inflight.remove(&epoch) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for w in &group.write.pages {
+            if self
+                .inflight_data
+                .get(&w.slot)
+                .is_some_and(|(e, _)| *e == epoch)
+            {
+                self.inflight_data.remove(&w.slot);
+            }
+            let occupant_matches = self.slots[w.slot]
+                .as_ref()
+                .is_some_and(|m| m.epoch == epoch && m.page == w.page);
+            if !occupant_matches {
+                // Already dequeued, or the slot was reused by a later
+                // version — nothing of this group remains there.
+                continue;
+            }
+            let meta = self.slots[w.slot].take().expect("occupant just observed");
+            self.generations.bump(w.slot);
+            if self.dir.get(&meta.page) == Some(&w.slot) {
+                self.dir.remove(&meta.page);
+            }
+            if meta.valid && meta.dirty {
+                io.disk_write(meta.page);
+                out.push(StagedPage {
+                    page: meta.page,
+                    lsn: meta.lsn,
+                    dirty: true,
+                    fdirty: false,
+                    data: w.data.clone(),
+                });
+            }
+        }
+        // The group's journal records drop with `group`: they never seal,
+        // so data and metadata are lost together — the crash contract.
         out
     }
 
@@ -999,7 +1310,8 @@ mod tests {
     fn enqueue_and_hit() {
         let mut c = meta_cache(4, 1, false);
         let mut io = IoLog::new();
-        c.insert(staged(1, true, true), &mut NoSupplier, &mut io);
+        c.insert(staged(1, true, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert!(c.contains(pid(1)));
         assert_eq!(c.len(), 1);
         // The enqueue is a sequential flash write of one data page plus the
@@ -1008,13 +1320,13 @@ mod tests {
         assert_eq!(io.flash_pages_written_random(), 0);
 
         let mut io = IoLog::new();
-        let hit = c.fetch(pid(1), &mut io).unwrap();
+        let hit = c.fetch(pid(1), &mut io).unwrap().unwrap();
         assert!(hit.dirty);
         assert_eq!(hit.lsn, Lsn(1));
         assert_eq!(c.stats().hits, 1);
         // A flash hit is one random flash read.
         assert_eq!(io.events().len(), 1);
-        assert!(c.fetch(pid(99), &mut io).is_none());
+        assert!(c.fetch(pid(99), &mut io).unwrap().is_none());
         assert_eq!(c.stats().lookups, 2);
     }
 
@@ -1022,14 +1334,17 @@ mod tests {
     fn conditional_enqueue_skips_clean_duplicates() {
         let mut c = meta_cache(4, 1, false);
         let mut io = IoLog::new();
-        c.insert(staged(1, false, true), &mut NoSupplier, &mut io);
+        c.insert(staged(1, false, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(c.len(), 1);
         // Clean page, identical copy already cached: skipped.
-        c.insert(staged(1, false, false), &mut NoSupplier, &mut io);
+        c.insert(staged(1, false, false), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(c.len(), 1);
         assert_eq!(c.stats().skipped_inserts, 1);
         // fdirty copy is enqueued unconditionally and invalidates the old one.
-        c.insert(staged(1, true, true), &mut NoSupplier, &mut io);
+        c.insert(staged(1, true, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().invalidations, 1);
         assert!((c.duplicate_ratio() - 0.5).abs() < 1e-9);
@@ -1040,21 +1355,27 @@ mod tests {
         let mut c = meta_cache(2, 1, false);
         let mut io = IoLog::new();
         // Two versions of page 1 fill the cache; the older one is invalid.
-        c.insert(staged(1, true, true), &mut NoSupplier, &mut io);
-        c.insert(staged(1, true, true), &mut NoSupplier, &mut io);
+        c.insert(staged(1, true, true), &mut NoSupplier, &mut io)
+            .unwrap();
+        c.insert(staged(1, true, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(c.len(), 2);
 
         // Inserting page 2 dequeues the front slot: the *invalid* old version
         // of page 1, which must be discarded without a disk write.
         let mut io = IoLog::new();
-        let out = c.insert(staged(2, true, true), &mut NoSupplier, &mut io);
+        let out = c
+            .insert(staged(2, true, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(io.disk_writes(), 0);
         assert!(out.staged_out.is_empty());
         assert!(c.contains(pid(1)));
 
         // Next insert dequeues the valid dirty version of page 1: disk write.
         let mut io = IoLog::new();
-        let out = c.insert(staged(3, true, true), &mut NoSupplier, &mut io);
+        let out = c
+            .insert(staged(3, true, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(io.disk_writes(), 1);
         assert_eq!(out.staged_out.len(), 1);
         assert_eq!(out.staged_out[0].page, pid(1));
@@ -1066,10 +1387,14 @@ mod tests {
     fn clean_valid_pages_are_discarded_without_disk_write() {
         let mut c = meta_cache(2, 1, false);
         let mut io = IoLog::new();
-        c.insert(staged(1, false, true), &mut NoSupplier, &mut io);
-        c.insert(staged(2, false, true), &mut NoSupplier, &mut io);
+        c.insert(staged(1, false, true), &mut NoSupplier, &mut io)
+            .unwrap();
+        c.insert(staged(2, false, true), &mut NoSupplier, &mut io)
+            .unwrap();
         let mut io = IoLog::new();
-        let out = c.insert(staged(3, false, true), &mut NoSupplier, &mut io);
+        let out = c
+            .insert(staged(3, false, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(io.disk_writes(), 0);
         assert!(out.staged_out.is_empty());
         assert!(!c.contains(pid(1)));
@@ -1081,7 +1406,8 @@ mod tests {
         let mut io = IoLog::new();
         // Fill the cache with 16 dirty pages: writes happen in batches of 4.
         for i in 0..16 {
-            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io)
+                .unwrap();
         }
         let data_batches = io
             .events()
@@ -1095,7 +1421,8 @@ mod tests {
         // The next insert triggers a group dequeue of 4 dirty pages: one
         // sequential flash read of 4 pages + 4 disk writes.
         let mut io = IoLog::new();
-        c.insert(staged(100, true, true), &mut NoSupplier, &mut io);
+        c.insert(staged(100, true, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(io.disk_writes(), 4);
         let seq_reads: u64 = io
             .events()
@@ -1117,14 +1444,17 @@ mod tests {
         let mut c = meta_cache(8, 4, true);
         let mut io = IoLog::new();
         for i in 0..8 {
-            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io)
+                .unwrap();
         }
         // Reference pages 0 and 2 (they sit in the first group).
-        c.fetch(pid(0), &mut io).unwrap();
-        c.fetch(pid(2), &mut io).unwrap();
+        c.fetch(pid(0), &mut io).unwrap().unwrap();
+        c.fetch(pid(2), &mut io).unwrap().unwrap();
 
         let mut io = IoLog::new();
-        let out = c.insert(staged(100, true, true), &mut NoSupplier, &mut io);
+        let out = c
+            .insert(staged(100, true, true), &mut NoSupplier, &mut io)
+            .unwrap();
         // Pages 1 and 3 (unreferenced, dirty) go to disk; 0 and 2 survive.
         assert_eq!(io.disk_writes(), 2);
         assert!(c.contains(pid(0)));
@@ -1140,7 +1470,8 @@ mod tests {
         let mut c = meta_cache(8, 4, true);
         let mut io = IoLog::new();
         for i in 0..8 {
-            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io)
+                .unwrap();
         }
         // Supplier provides extra dirty pages 200, 201, ...
         let mut next = 200u32;
@@ -1150,7 +1481,8 @@ mod tests {
             Some(s)
         };
         let mut io = IoLog::new();
-        c.insert(staged(100, true, true), &mut supplier, &mut io);
+        c.insert(staged(100, true, true), &mut supplier, &mut io)
+            .unwrap();
         assert!(c.stats().pulled_from_dram > 0);
         assert!(c.contains(pid(200)));
         // The batch written was full-sized (4 pages) in a single write.
@@ -1171,13 +1503,16 @@ mod tests {
         let mut c = meta_cache(4, 4, true);
         let mut io = IoLog::new();
         for i in 0..4 {
-            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io)
+                .unwrap();
         }
         for i in 0..4 {
-            c.fetch(pid(i), &mut io).unwrap();
+            c.fetch(pid(i), &mut io).unwrap().unwrap();
         }
         // Every cached page is referenced; the insert must still succeed.
-        let out = c.insert(staged(99, true, true), &mut NoSupplier, &mut io);
+        let out = c
+            .insert(staged(99, true, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert!(c.contains(pid(99)));
         // The forced-out page went to disk (it was dirty).
         assert_eq!(out.staged_out.len(), 1);
@@ -1196,9 +1531,10 @@ mod tests {
             StagedPage::with_data(page, true, true),
             &mut NoSupplier,
             &mut io,
-        );
+        )
+        .unwrap();
 
-        let hit = c.fetch(pid(5), &mut io).unwrap();
+        let hit = c.fetch(pid(5), &mut io).unwrap().unwrap();
         let data = hit.data.expect("mem store carries data");
         assert_eq!(data.read_body(0, 14), b"flash resident");
         assert_eq!(data.lsn(), Lsn(42));
@@ -1215,11 +1551,15 @@ mod tests {
             StagedPage::with_data(p1, true, true),
             &mut NoSupplier,
             &mut io,
-        );
-        c.insert(staged(2, false, true), &mut NoSupplier, &mut io);
+        )
+        .unwrap();
+        c.insert(staged(2, false, true), &mut NoSupplier, &mut io)
+            .unwrap();
         // Page 1 is dequeued dirty; its data must be available for the disk
         // write the engine will perform.
-        let out = c.insert(staged(3, false, true), &mut NoSupplier, &mut io);
+        let out = c
+            .insert(staged(3, false, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(out.staged_out.len(), 1);
         let data = out.staged_out[0].data.as_ref().expect("data present");
         assert_eq!(data.read_body(0, 2), b"v1");
@@ -1231,13 +1571,14 @@ mod tests {
         let mut c = MvFifoCache::new(cfg, Arc::new(NullFlashStore::new(64)));
         let mut io = IoLog::new();
         for i in 0..5 {
-            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io)
+                .unwrap();
         }
         // 5 < group of 16: nothing written yet.
         assert_eq!(io.flash_pages_written(), 0);
         assert_eq!(c.journal().unsealed_entries(), 5);
         let mut io = IoLog::new();
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         // Pending batch (5 pages) + its journal group seal (1 page) + the
         // cache checkpoint snapshot (1 page).
         assert_eq!(io.flash_pages_written(), 7);
@@ -1250,7 +1591,7 @@ mod tests {
         // A second sync with nothing new to fold writes no second snapshot.
         assert_eq!(c.journal().stats().checkpoints_written, 1);
         let mut io = IoLog::new();
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         assert_eq!(c.journal().stats().checkpoints_written, 1);
         assert!(io.is_empty(), "idempotent sync must cost no flash I/O");
     }
@@ -1262,7 +1603,8 @@ mod tests {
         let mut c = MvFifoCache::new(cfg, Arc::new(NullFlashStore::new(1024)));
         let mut io = IoLog::new();
         for i in 0..250 {
-            c.insert(staged(i, true, true), &mut NoSupplier, &mut io);
+            c.insert(staged(i, true, true), &mut NoSupplier, &mut io)
+                .unwrap();
         }
         // Group size 1: every insert seals a group; every 100 groups a cache
         // checkpoint snapshots the directory and prunes the journal.
@@ -1288,7 +1630,8 @@ mod tests {
                 StagedPage::with_data(p, true, true),
                 &mut NoSupplier,
                 &mut io,
-            );
+            )
+            .unwrap();
         }
         // 20 enqueues, group size 1, checkpoint every 8 groups: two cache
         // checkpoints plus 4 sealed groups remain to replay.
@@ -1317,7 +1660,7 @@ mod tests {
         let mut ok = 0;
         let mut recovered = recovered;
         for i in 0..20u32 {
-            if let Some(hit) = recovered.fetch(pid(i), &mut io) {
+            if let Some(hit) = recovered.fetch(pid(i), &mut io).unwrap() {
                 let data = hit.data.unwrap();
                 assert_eq!(data.read_body(0, 4), &i.to_le_bytes());
                 ok += 1;
@@ -1344,7 +1687,8 @@ mod tests {
             StagedPage::with_data(old, true, true),
             &mut NoSupplier,
             &mut io,
-        );
+        )
+        .unwrap();
         let mut newer = Page::new(pid(7));
         newer.set_lsn(Lsn(2));
         newer.write_body(0, b"new");
@@ -1352,7 +1696,8 @@ mod tests {
             StagedPage::with_data(newer, true, true),
             &mut NoSupplier,
             &mut io,
-        );
+        )
+        .unwrap();
 
         let mut survivor = c.journal().clone();
         survivor.crash();
@@ -1363,7 +1708,7 @@ mod tests {
             Lsn(u64::MAX),
             &mut IoLog::new(),
         );
-        let hit = recovered.fetch(pid(7), &mut IoLog::new()).unwrap();
+        let hit = recovered.fetch(pid(7), &mut IoLog::new()).unwrap().unwrap();
         assert_eq!(hit.lsn, Lsn(2));
         assert_eq!(hit.data.unwrap().read_body(0, 3), b"new");
 
@@ -1377,7 +1722,10 @@ mod tests {
             &mut IoLog::new(),
         );
         assert_eq!(info.entries_discarded_beyond_wal, 1);
-        let hit = reconciled.fetch(pid(7), &mut IoLog::new()).unwrap();
+        let hit = reconciled
+            .fetch(pid(7), &mut IoLog::new())
+            .unwrap()
+            .unwrap();
         assert_eq!(hit.lsn, Lsn(1));
         assert_eq!(hit.data.unwrap().read_body(0, 3), b"old");
 
@@ -1386,7 +1734,10 @@ mod tests {
         // discarded version from stale persistent metadata.
         let info = reconciled.crash_and_recover(Lsn(u64::MAX), &mut IoLog::new());
         assert_eq!(info.entries_discarded_beyond_wal, 0);
-        let hit = reconciled.fetch(pid(7), &mut IoLog::new()).unwrap();
+        let hit = reconciled
+            .fetch(pid(7), &mut IoLog::new())
+            .unwrap()
+            .unwrap();
         assert_eq!(hit.lsn, Lsn(1), "dead-timeline version resurrected");
     }
 
@@ -1408,7 +1759,8 @@ mod tests {
             StagedPage::with_data(a, true, true),
             &mut NoSupplier,
             &mut io,
-        );
+        )
+        .unwrap();
         let mut b = Page::new(pid(2));
         b.set_lsn(Lsn(2));
         b.write_body(0, b"BBBB");
@@ -1416,8 +1768,9 @@ mod tests {
             StagedPage::with_data(b, true, true),
             &mut NoSupplier,
             &mut io,
-        );
-        c.checkpoint_metadata(&mut io); // snapshot: slot0->A, slot1->B
+        )
+        .unwrap();
+        c.checkpoint_metadata(&mut io).unwrap(); // snapshot: slot0->A, slot1->B
 
         // C evicts A (slot 0 reused) and seals with lsn 50.
         let mut newer = Page::new(pid(3));
@@ -1427,7 +1780,8 @@ mod tests {
             StagedPage::with_data(newer, true, true),
             &mut NoSupplier,
             &mut io,
-        );
+        )
+        .unwrap();
 
         let mut survivor = c.journal().clone();
         survivor.crash();
@@ -1445,7 +1799,7 @@ mod tests {
             !rec.contains(pid(1)),
             "A's slot holds C's bytes — serving it would return the wrong page"
         );
-        let hit = rec.fetch(pid(2), &mut IoLog::new()).unwrap();
+        let hit = rec.fetch(pid(2), &mut IoLog::new()).unwrap().unwrap();
         assert_eq!(hit.data.unwrap().read_body(0, 4), b"BBBB");
 
         // The discard is physical, not just metadata: even after durability
@@ -1477,18 +1831,20 @@ mod tests {
                 StagedPage::with_data(p, i % 2 == 0, true),
                 &mut NoSupplier,
                 &mut io,
-            );
+            )
+            .unwrap();
         }
         let first = c.evacuate_dirty(&mut io);
-        assert_eq!(first.len(), 2, "pages 0 and 2 are dirty");
-        assert!(first.iter().all(|s| s.dirty && s.data.is_some()));
+        assert_eq!(first.pages.len(), 2, "pages 0 and 2 are dirty");
+        assert_eq!(first.unread_dirty, 0);
+        assert!(first.pages.iter().all(|s| s.dirty && s.data.is_some()));
         // The flags stay set until the caller's disk writes succeed and the
         // cache is wiped: a repeated call re-lists the same pages instead of
         // silently treating them as clean.
         let second = c.evacuate_dirty(&mut io);
         assert_eq!(
-            first.iter().map(|s| s.page).collect::<Vec<_>>(),
-            second.iter().map(|s| s.page).collect::<Vec<_>>()
+            first.pages.iter().map(|s| s.page).collect::<Vec<_>>(),
+            second.pages.iter().map(|s| s.page).collect::<Vec<_>>()
         );
         assert_eq!(c.valid_versions().iter().filter(|(_, _, d)| *d).count(), 2);
     }
@@ -1506,7 +1862,8 @@ mod tests {
                 StagedPage::with_data(p, true, true),
                 &mut NoSupplier,
                 &mut io,
-            );
+            )
+            .unwrap();
         }
         let pre = c.valid_versions();
         let mut survivor = c.journal().clone();
@@ -1522,7 +1879,9 @@ mod tests {
         assert_eq!(rec.valid_versions(), pre);
         // ...so the next replacement dequeues the same victim as it would
         // have before the crash (page 0, the queue front).
-        let out = rec.insert(staged(100, true, true), &mut NoSupplier, &mut io);
+        let out = rec
+            .insert(staged(100, true, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(out.staged_out[0].page, pid(0));
     }
 
@@ -1539,9 +1898,11 @@ mod tests {
             let mut io = IoLog::new();
             for (op, page, dirty) in ops {
                 if op % 3 == 0 {
-                    cache.fetch(pid(page % 64), &mut io);
+                    cache.fetch(pid(page % 64), &mut io).unwrap();
                 } else {
-                    cache.insert(staged(page % 64, dirty, true), &mut NoSupplier, &mut io);
+                    cache
+                        .insert(staged(page % 64, dirty, true), &mut NoSupplier, &mut io)
+                        .unwrap();
                 }
                 assert!(cache.len() <= cache.capacity());
                 for (p, s) in cache.dir.iter() {
@@ -1618,17 +1979,19 @@ mod tests {
                 let page = pid(page % 48);
                 match op % 4 {
                     0 => {
-                        cache.fetch(page, &mut io);
+                        cache.fetch(page, &mut io).unwrap();
                     }
-                    1 => cache.sync(&mut io),
+                    1 => cache.sync(&mut io).unwrap(),
                     _ => {
                         let mut p = Page::new(page);
                         p.set_lsn(lsn);
-                        let out = cache.insert(
-                            StagedPage::with_data(p, *dirty, true),
-                            &mut NoSupplier,
-                            &mut io,
-                        );
+                        let out = cache
+                            .insert(
+                                StagedPage::with_data(p, *dirty, true),
+                                &mut NoSupplier,
+                                &mut io,
+                            )
+                            .unwrap();
                         // Deferred pipeline: the op byte decides how far the
                         // destage of a returned group got before the crash —
                         // never started (dropped), write applied but seal
@@ -1637,9 +2000,9 @@ mod tests {
                         if let Some(write) = out.pending_group {
                             match op % 3 {
                                 0 => {} // enqueued, never written
-                                1 => write.apply(&*store, &mut io),
+                                1 => write.apply(&*store, &mut io).unwrap(),
                                 _ => {
-                                    write.apply(&*store, &mut io);
+                                    write.apply(&*store, &mut io).unwrap();
                                     cache.complete_group(write.epoch, &mut io);
                                 }
                             }
@@ -1733,7 +2096,9 @@ mod tests {
             let mut io = IoLog::new();
             let mut pending = None;
             for n in 0..4u32 {
-                let out = c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                let out = c
+                    .insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io)
+                    .unwrap();
                 if out.pending_group.is_some() {
                     pending = out.pending_group;
                 }
@@ -1750,12 +2115,15 @@ mod tests {
 
             // Fetches of in-flight versions are served from the shared RAM
             // frames — the foreground never waits for the batch write.
-            let hit = c.fetch(pid(2), &mut io).expect("in-flight page served");
+            let hit = c
+                .fetch(pid(2), &mut io)
+                .unwrap()
+                .expect("in-flight page served");
             assert_eq!(hit.data.unwrap().read_body(0, 4), &2u32.to_le_bytes());
 
             // The caller applies the batch off-lock, then seals it.
             let mut apply_io = IoLog::new();
-            write.apply(&*store, &mut apply_io);
+            write.apply(&*store, &mut apply_io).unwrap();
             assert_eq!(apply_io.flash_pages_written(), 4);
             assert_eq!(store.occupied(), 4);
             c.complete_group(write.epoch, &mut apply_io);
@@ -1772,14 +2140,16 @@ mod tests {
             let mut io = IoLog::new();
             let mut groups = Vec::new();
             for n in 0..6u32 {
-                let out = c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                let out = c
+                    .insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io)
+                    .unwrap();
                 groups.extend(out.pending_group);
             }
             assert_eq!(groups.len(), 3);
             // Complete the *youngest* group first: nothing may seal until the
             // older ones complete, or replay order (and §4.3) would break.
             for g in &groups {
-                g.apply(&*store, &mut io);
+                g.apply(&*store, &mut io).unwrap();
             }
             c.complete_group(groups[2].epoch, &mut io);
             assert_eq!(c.journal().sealed_groups(), 0);
@@ -1804,7 +2174,9 @@ mod tests {
             let mut io = IoLog::new();
             let mut pending = None;
             for n in 0..4u32 {
-                let out = c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                let out = c
+                    .insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io)
+                    .unwrap();
                 if out.pending_group.is_some() {
                     pending = out.pending_group;
                 }
@@ -1835,16 +2207,18 @@ mod tests {
             let mut io = IoLog::new();
             let mut groups = Vec::new();
             for n in 0..4u32 {
-                let out = c.insert(data_staged(n, 10 + n as u64), &mut NoSupplier, &mut io);
+                let out = c
+                    .insert(data_staged(n, 10 + n as u64), &mut NoSupplier, &mut io)
+                    .unwrap();
                 groups.extend(out.pending_group);
             }
             assert_eq!(groups.len(), 2);
             // Group 1 (pages 0,1) fully destages; its completion installs a
             // cadence checkpoint whose pointers cover all four slots. Group 2
             // (pages 2,3) hits the device but its seal is lost in the crash.
-            groups[0].apply(&*store, &mut io);
+            groups[0].apply(&*store, &mut io).unwrap();
             c.complete_group(groups[0].epoch, &mut io);
-            groups[1].apply(&*store, &mut io);
+            groups[1].apply(&*store, &mut io).unwrap();
             // Durable LSN 12 covers pages 0..=2; the header scan may re-admit
             // page 2 but must discard page 3 (lsn 13).
             let info = c.crash_and_recover(Lsn(12), &mut IoLog::new());
@@ -1864,11 +2238,12 @@ mod tests {
             let mut c = MvFifoCache::new(defer_cfg(16, 4), Arc::clone(&store) as _);
             let mut io = IoLog::new();
             for n in 0..5u32 {
-                c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io)
+                    .unwrap();
                 // The pending group is deliberately "leaked": sync is the
                 // safety net for callers that never drained it.
             }
-            c.sync(&mut io);
+            c.sync(&mut io).unwrap();
             assert_eq!(store.occupied(), 5, "group + partial batch written");
             assert_eq!(c.journal().replay_entries(), 0, "checkpoint folded all");
             let info = c.crash_and_recover(Lsn(u64::MAX), &mut IoLog::new());
@@ -1890,11 +2265,13 @@ mod tests {
             let mut io = IoLog::new();
             let mut groups = Vec::new();
             for n in 0..6u32 {
-                let out = c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                let out = c
+                    .insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io)
+                    .unwrap();
                 groups.extend(out.pending_group);
             }
             // Apply and seal only the first group; 2 and 3 stay in flight.
-            groups[0].apply(&*store, &mut io);
+            groups[0].apply(&*store, &mut io).unwrap();
             c.complete_group(groups[0].epoch, &mut io);
             let ckpt = c.journal().checkpoint().expect("cadence fired");
             assert_eq!(ckpt.entries.len(), 2, "only the sealed group's pages");
@@ -1919,12 +2296,16 @@ mod tests {
             let mut io = IoLog::new();
             let mut groups = Vec::new();
             for n in 0..4u32 {
-                let out = c.insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io);
+                let out = c
+                    .insert(data_staged(n, n as u64 + 1), &mut NoSupplier, &mut io)
+                    .unwrap();
                 groups.extend(out.pending_group);
             }
             assert_eq!(groups.len(), 1);
             // Group 1 not applied yet; the next insert dequeues its slots.
-            let out = c.insert(data_staged(100, 100), &mut NoSupplier, &mut io);
+            let out = c
+                .insert(data_staged(100, 100), &mut NoSupplier, &mut io)
+                .unwrap();
             assert_eq!(out.staged_out.len(), 4, "all four were dirty+valid");
             for s in &out.staged_out {
                 let data = s.data.as_ref().expect("RAM frame travels along");
@@ -1942,13 +2323,14 @@ mod tests {
             rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
             let page = (rng >> 16) as u32 % 200;
             if rng.is_multiple_of(3) {
-                c.fetch(pid(page), &mut io);
+                c.fetch(pid(page), &mut io).unwrap();
             } else {
                 c.insert(
                     staged(page, rng.is_multiple_of(2), true),
                     &mut NoSupplier,
                     &mut io,
-                );
+                )
+                .unwrap();
             }
             assert!(c.len() <= c.capacity(), "overflow at step {i}");
             // The directory never points at an invalid slot.

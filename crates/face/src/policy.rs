@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use face_pagestore::PageId;
+use face_pagestore::{DeviceResult, PageId};
 
 use crate::io::IoLog;
 use crate::lc::LcCache;
@@ -12,7 +12,8 @@ use crate::s3fifo::S3FifoCache;
 use crate::store::FlashStore;
 use crate::tac::TacCache;
 use crate::types::{
-    CacheConfig, CacheRecoveryInfo, CacheStats, FetchPin, FlashFetch, InsertOutcome, StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStats, Evacuation, FetchPin, FlashFetch, InsertOutcome,
+    QuarantineOutcome, StagedPage,
 };
 
 /// Supplies additional dirty pages from the DRAM buffer's LRU tail so Group
@@ -60,13 +61,14 @@ pub trait FlashCache: Send + Sync {
 
     /// Look up `page` on a DRAM miss. On a hit the cached copy is returned
     /// (with data when the backing store carries data) and the physical flash
-    /// read is recorded in `io`.
+    /// read is recorded in `io`. `Err` means the device failed the read —
+    /// distinct from `Ok(None)`, a plain miss.
     ///
     /// This is the classic **read-under-lock** path: the device read runs
     /// inside the call, so a caller serializing on a shard mutex holds it
     /// across the read. The lock-light alternative is the
     /// [`FlashCache::fetch_pin`] / [`FlashCache::fetch_validate`] pair.
-    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch>;
+    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> DeviceResult<Option<FlashFetch>>;
 
     /// First half of the lock-light fetch: resolve `page` to its slot, mark
     /// it referenced, charge the flash read in `io`, and return a
@@ -98,12 +100,28 @@ pub trait FlashCache: Send + Sync {
     /// of being written here: the caller applies the batch off-lock
     /// ([`crate::destage::PendingGroupWrite::apply`]) and then calls
     /// [`FlashCache::complete_group`].
+    ///
+    /// An `Err` means an inline device write failed. The policy has rolled
+    /// the affected entries back out of its directory (their journal records
+    /// never seal); dirty pages of the failed batch are waiting in
+    /// [`FlashCache::take_write_fallout`] — the caller must drain them and
+    /// write them to disk (WAL-guarded), treating the inserted page as not
+    /// cached.
     fn insert(
         &mut self,
         staged: StagedPage,
         supplier: &mut dyn PageSupplier,
         io: &mut IoLog,
-    ) -> InsertOutcome;
+    ) -> DeviceResult<InsertOutcome>;
+
+    /// Dirty pages rolled back from failed inline flash writes, awaiting
+    /// disk failover. Populated when [`FlashCache::insert`],
+    /// [`FlashCache::on_fetched_from_disk`] or [`FlashCache::sync`] return a
+    /// device error; the caller drains this immediately (under the same
+    /// lock) and routes the pages through its stage-out-to-disk path.
+    fn take_write_fallout(&mut self) -> Vec<StagedPage> {
+        Vec::new()
+    }
 
     /// Report that a deferred group's physical batch write finished: the
     /// group's journal records may now seal (become crash-durable) — never
@@ -120,21 +138,29 @@ pub trait FlashCache: Send + Sync {
     }
 
     /// Notification that `page` was fetched from *disk* into the DRAM buffer.
-    /// Only on-entry policies (TAC) react to this.
-    fn on_fetched_from_disk(&mut self, _page: PageId, _io: &mut IoLog) -> InsertOutcome {
-        InsertOutcome::default()
+    /// Only on-entry policies (TAC) react to this. A device error follows
+    /// the [`FlashCache::insert`] contract (rollback + write fallout).
+    fn on_fetched_from_disk(
+        &mut self,
+        _page: PageId,
+        _io: &mut IoLog,
+    ) -> DeviceResult<InsertOutcome> {
+        Ok(InsertOutcome::default())
     }
 
     /// Flush any buffered page batch and metadata to flash (called by
-    /// checkpoints and before clean shutdown).
-    fn sync(&mut self, io: &mut IoLog);
+    /// checkpoints and before clean shutdown). On a device error the
+    /// unflushable group is rolled back (see [`FlashCache::insert`]); drain
+    /// [`FlashCache::take_write_fallout`] for its dirty pages.
+    fn sync(&mut self, io: &mut IoLog) -> DeviceResult<()>;
 
     /// Checkpoint support for policies whose cached dirty pages are *not*
     /// part of the persistent database (LC): return every dirty cached page
     /// (with data when available) so the caller can write them to disk, and
-    /// mark them clean. FaCE and TAC return nothing.
-    fn drain_dirty_for_checkpoint(&mut self, _io: &mut IoLog) -> Vec<StagedPage> {
-        Vec::new()
+    /// mark them clean. FaCE and TAC return nothing. A device error aborts
+    /// the drain (the checkpoint fails and can be retried).
+    fn drain_dirty_for_checkpoint(&mut self, _io: &mut IoLog) -> DeviceResult<Vec<StagedPage>> {
+        Ok(Vec::new())
     }
 
     /// Evacuation support: return **every** dirty valid cached page (with
@@ -147,8 +173,37 @@ pub trait FlashCache: Send + Sync {
     /// drop the only copy. A successful evacuation is followed by a wipe,
     /// which retires the flags; repeated calls are idempotent. Policies that
     /// never hold dirty pages (TAC) return nothing.
-    fn evacuate_dirty(&mut self, io: &mut IoLog) -> Vec<StagedPage> {
+    ///
+    /// Best-effort by design: evacuation runs precisely when the device is
+    /// suspect, so an unreadable dirty page is *counted*
+    /// ([`Evacuation::unread_dirty`]) rather than aborting the evacuation —
+    /// those pages are recovered from WAL redo instead of flash.
+    fn evacuate_dirty(&mut self, io: &mut IoLog) -> Evacuation {
         let _ = io;
+        Evacuation::default()
+    }
+
+    /// Take `slot` out of the replacement rotation permanently (until the
+    /// cache is rebuilt cold) and invalidate its resident version: the
+    /// degraded-mode response to a slot that keeps failing. A clean resident
+    /// is simply dropped (re-fetched from disk on next miss); a dirty
+    /// resident comes back in [`QuarantineOutcome::evacuee`] for a
+    /// WAL-guarded disk write — its bytes are pulled from RAM when the
+    /// group is still in flight, else read from the device (the caller
+    /// wraps the call in an acknowledged-I/O scope; quarantine is a rare
+    /// failure-path event). The flash store is *not* trimmed: if the bytes
+    /// are still readable after a crash, recovery may legitimately use them.
+    fn quarantine_slot(&mut self, _slot: usize, _io: &mut IoLog) -> QuarantineOutcome {
+        QuarantineOutcome::default()
+    }
+
+    /// Abort a deferred group whose physical batch write failed
+    /// permanently: drop its directory entries and journal records (they
+    /// never seal — exactly the crash contract: data and metadata are lost
+    /// together) and return the group's dirty pages (bytes from the
+    /// in-flight RAM copy) for disk failover. Idempotent for unknown
+    /// epochs. A no-op for policies without deferred writes.
+    fn abort_group(&mut self, _epoch: u64, _io: &mut IoLog) -> Vec<StagedPage> {
         Vec::new()
     }
 

@@ -43,19 +43,19 @@
 //! let mut page = Page::new(PageId::new(0, 1));
 //! page.update_checksum();
 //! // A clean one-touch page is ghosted, not cached: no flash write is paid.
-//! let first = cache.insert(StagedPage::with_data(page.clone(), false, true), &mut NoSupplier, &mut io);
+//! let first = cache.insert(StagedPage::with_data(page.clone(), false, true), &mut NoSupplier, &mut io).unwrap();
 //! assert!(!first.cached);
 //! assert_eq!(cache.ghost_len(), 1);
 //! // The re-reference earns admission (straight into the main queue).
-//! let second = cache.insert(StagedPage::with_data(page, false, true), &mut NoSupplier, &mut io);
+//! let second = cache.insert(StagedPage::with_data(page, false, true), &mut NoSupplier, &mut io).unwrap();
 //! assert!(second.cached);
 //! assert!(cache.contains(PageId::new(0, 1)));
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
-use face_pagestore::{Lsn, Page, PageId};
+use face_pagestore::{DeviceResult, Lsn, Page, PageId};
 
 use crate::admission::GhostQueue;
 use crate::destage::{PendingGroupWrite, PendingSlotWrite};
@@ -64,8 +64,8 @@ use crate::meta::{JournalEntry, MetaJournal};
 use crate::policy::{FlashCache, PageSupplier};
 use crate::store::FlashStore;
 use crate::types::{
-    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FetchPin, FlashFetch,
-    InsertOutcome, SlotGenerations, StagedPage,
+    CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, Evacuation, FetchPin,
+    FlashFetch, InsertOutcome, QuarantineOutcome, SlotGenerations, StagedPage,
 };
 
 /// Metadata for one occupied flash slot (same shape as mvFIFO's).
@@ -175,6 +175,13 @@ pub struct S3FifoCache {
     generations: SlotGenerations,
     journal: MetaJournal,
     stats: CacheStatCounters,
+    /// RAM-only quarantine tombstones: these slots never host a page again
+    /// (they circulate through their region's window as permanent holes).
+    /// Lost at crash — safe, the bytes were never trimmed.
+    quarantined: HashSet<usize>,
+    /// Dirty pages rolled back from failed inline flash writes, awaiting
+    /// the caller's disk failover ([`FlashCache::take_write_fallout`]).
+    write_fallout: Vec<StagedPage>,
 }
 
 impl S3FifoCache {
@@ -230,6 +237,8 @@ impl S3FifoCache {
             generations: SlotGenerations::new(capacity),
             journal,
             stats: CacheStatCounters::default(),
+            quarantined: HashSet::new(),
+            write_fallout: Vec::new(),
         }
     }
 
@@ -333,19 +342,46 @@ impl S3FifoCache {
     }
 
     /// Force a cache checkpoint: flush the pending batch and persist a
-    /// directory snapshot, so a subsequent restart replays no journal.
-    pub fn checkpoint_metadata(&mut self, io: &mut IoLog) {
-        self.flush_all_groups_inline(io);
+    /// directory snapshot, so a subsequent restart replays no journal. On
+    /// `Err` a group was aborted (its dirty pages wait in the write-fallout
+    /// buffer) and the checkpoint was not installed.
+    pub fn checkpoint_metadata(&mut self, io: &mut IoLog) -> DeviceResult<()> {
+        self.flush_all_groups_inline(io)?;
         let pointers = (self.packed_front(), self.packed_size());
         let already_folded = self.journal.replay_entries() == 0
             && self.journal.checkpoint().map(|c| (c.front, c.size)) == Some(pointers);
         if already_folded {
-            return;
+            return Ok(());
         }
         let snapshot = self.durable_directory_snapshot();
         self.journal
             .install_checkpoint(pointers.0, pointers.1, snapshot, io);
         self.stats.metadata_flushes.inc();
+        Ok(())
+    }
+
+    /// Slots of `which`'s region that can still host pages.
+    fn usable_capacity(&self, which: Queue) -> usize {
+        let r = *self.region(which);
+        let dead = self
+            .quarantined
+            .iter()
+            .filter(|&&s| s >= r.base && s < r.base + r.cap)
+            .count();
+        r.cap - dead
+    }
+
+    /// Absorb quarantined slots sitting at `which`'s rear into the window as
+    /// permanent holes, so the next enqueue lands on a usable slot. Holes
+    /// are reclaimed as no-op dequeues when the front reaches them.
+    fn absorb_quarantined_rear(&mut self, which: Queue) {
+        while self.region(which).free() > 0 && self.quarantined.contains(&self.region(which).rear())
+        {
+            let slot = self.region(which).rear();
+            debug_assert!(self.slots[slot].is_none(), "quarantined slot occupied");
+            self.generations.bump(slot);
+            self.region_mut(which).size += 1;
+        }
     }
 
     /// The RAM-resident frame for `slot` (pending batch or in-flight group),
@@ -360,10 +396,10 @@ impl S3FifoCache {
         None
     }
 
-    fn slot_frame(&self, slot: usize) -> Option<Arc<Page>> {
+    fn slot_frame(&self, slot: usize) -> DeviceResult<Option<Arc<Page>>> {
         match self.ram_frame(slot) {
-            Some(frame) => frame,
-            None => self.store.read_slot(slot).map(Arc::new),
+            Some(frame) => Ok(frame),
+            None => Ok(self.store.read_slot(slot)?.map(Arc::new)),
         }
     }
 
@@ -373,6 +409,10 @@ impl S3FifoCache {
     fn enqueue_assign(&mut self, which: Queue, staged: &StagedPage) -> usize {
         debug_assert!(self.region(which).free() > 0, "enqueue without free slot");
         let slot = self.region(which).rear();
+        debug_assert!(
+            !self.quarantined.contains(&slot),
+            "enqueue onto a quarantined slot"
+        );
         self.region_mut(which).size += 1;
         self.generations.bump(slot);
         self.slots[slot] = Some(SlotMeta {
@@ -395,27 +435,68 @@ impl S3FifoCache {
     /// (inline path; deferred mode uses [`S3FifoCache::form_pending_group`]).
     /// The batch may span both regions: each region appends sequentially at
     /// its own rear, so the device sees (at most) two append streams.
-    fn flush_pending(&mut self, io: &mut IoLog) {
+    ///
+    /// On a device error the whole batch is rolled back
+    /// ([`S3FifoCache::rollback_pending`]): a prefix may persist on flash,
+    /// but the journal group never seals, so recovery cannot see it —
+    /// crash-equivalent.
+    fn flush_pending(&mut self, io: &mut IoLog) -> DeviceResult<()> {
         if self.pending_slots.is_empty() {
-            return;
+            return Ok(());
         }
         let n = self.pending_slots.len() as u32;
-        io.flash_write_seq(n);
-        for (slot, data) in self.pending_slots.iter().zip(self.pending_data.iter()) {
+        for i in 0..self.pending_slots.len() {
+            let slot = self.pending_slots[i];
             if self.store.carries_data() {
-                if let Some(page) = data {
-                    self.store.write_slot(*slot, page);
+                if let Some(page) = self.pending_data[i].clone() {
+                    if let Err(e) = self.store.write_slot(slot, &page) {
+                        self.rollback_pending(io);
+                        return Err(e);
+                    }
                 }
             }
-            if let Some(meta) = &self.slots[*slot] {
-                self.store.note_slot_header(*slot, meta.page, meta.lsn);
+            if let Some(meta) = &self.slots[slot] {
+                self.store.note_slot_header(slot, meta.page, meta.lsn);
             }
         }
+        io.flash_write_seq(n);
         self.pending_slots.clear();
         self.pending_data.clear();
         self.journal
             .seal_group(self.packed_front(), self.packed_size(), io);
         self.maybe_cadence_checkpoint(io);
+        Ok(())
+    }
+
+    /// Undo the directory effects of a failed inline batch write: every
+    /// pending slot becomes a window hole, its journal record is dropped
+    /// with the aborted group, and dirty valid pages move to the
+    /// write-fallout buffer for the caller's disk failover. Previously
+    /// invalidated versions are *not* revalidated (they are stale).
+    fn rollback_pending(&mut self, io: &mut IoLog) {
+        let slots = std::mem::take(&mut self.pending_slots);
+        let data = std::mem::take(&mut self.pending_data);
+        for (slot, frame) in slots.into_iter().zip(data) {
+            self.generations.bump(slot);
+            let Some(meta) = self.slots[slot].take() else {
+                continue;
+            };
+            if self.dir.get(&meta.page) == Some(&slot) {
+                self.dir.remove(&meta.page);
+            }
+            if meta.valid && meta.dirty {
+                io.disk_write(meta.page);
+                self.stats.staged_out_to_disk.inc();
+                self.write_fallout.push(StagedPage {
+                    page: meta.page,
+                    lsn: meta.lsn,
+                    dirty: true,
+                    fdirty: false,
+                    data: frame,
+                });
+            }
+        }
+        self.journal.abort_current_group();
     }
 
     fn maybe_cadence_checkpoint(&mut self, io: &mut IoLog) {
@@ -471,8 +552,11 @@ impl S3FifoCache {
     }
 
     /// Inline fallback for sync/checkpoint/evacuation: apply and seal every
-    /// in-flight group (oldest first), then flush the current batch.
-    fn flush_all_groups_inline(&mut self, io: &mut IoLog) {
+    /// in-flight group (oldest first), then flush the current batch. On a
+    /// device error exactly one group is aborted (its dirty pages land in
+    /// the write-fallout buffer) and the error returns; the remaining
+    /// groups are untouched.
+    fn flush_all_groups_inline(&mut self, io: &mut IoLog) -> DeviceResult<()> {
         let epochs: Vec<u64> = self.inflight.keys().copied().collect();
         for epoch in epochs {
             let write = match self.inflight.get(&epoch) {
@@ -480,17 +564,26 @@ impl S3FifoCache {
                 _ => None,
             };
             if let Some(write) = write {
-                write.apply(&*self.store, io);
+                if let Err(e) = write.apply(&*self.store, io) {
+                    let fallout = self.abort_group(epoch, io);
+                    self.write_fallout.extend(fallout);
+                    return Err(e);
+                }
             }
             self.complete_group(epoch, io);
         }
         if self.config.defer_group_writes {
             if let Some(write) = self.form_pending_group() {
-                write.apply(&*self.store, io);
+                if let Err(e) = write.apply(&*self.store, io) {
+                    let fallout = self.abort_group(write.epoch, io);
+                    self.write_fallout.extend(fallout);
+                    return Err(e);
+                }
                 self.complete_group(write.epoch, io);
             }
+            Ok(())
         } else {
-            self.flush_pending(io);
+            self.flush_pending(io)
         }
     }
 
@@ -511,21 +604,36 @@ impl S3FifoCache {
         &mut self,
         which: Queue,
         io: &mut IoLog,
-    ) -> (Vec<StagedPage>, Vec<StagedPage>) {
+    ) -> DeviceResult<(Vec<StagedPage>, Vec<StagedPage>)> {
         let n = self.config.group_size.min(self.region(which).size);
         if n == 0 {
-            return (Vec::new(), Vec::new());
+            return Ok((Vec::new(), Vec::new()));
         }
-        // One sequential batch read if any victim's contents are needed
-        // (stage-out to disk, promotion, or second chance).
+        // Pass 1 (read-only): prefetch the bytes of every victim whose
+        // contents are needed (stage-out to disk, promotion, or second
+        // chance), so a device read error aborts before any mutation.
+        let mut prefetched: HashMap<usize, Option<Arc<Page>>> = HashMap::new();
         let mut needs_read = false;
         for i in 0..n {
             let slot = self.region(which).slot_at(i);
-            if let Some(m) = &self.slots[slot] {
-                if m.valid && (m.dirty || m.referenced) {
-                    needs_read = true;
-                    break;
-                }
+            let Some(m) = &self.slots[slot] else {
+                continue;
+            };
+            if m.valid && (m.dirty || m.referenced) {
+                needs_read = true;
+                let frame = match self.ram_frame(slot) {
+                    Some(frame) => frame,
+                    None => {
+                        // Residual under-lock flash read, same as the
+                        // mvFIFO dequeue: the victim's bytes are no
+                        // longer RAM-resident. Acknowledged and rare.
+                        let _allow = face_analysis::witness::allow_device_io(
+                            "s3fifo: dequeue reads a non-resident victim's slot",
+                        );
+                        self.store.read_slot(slot)?.map(Arc::new)
+                    }
+                };
+                prefetched.insert(slot, frame);
             }
         }
         if needs_read {
@@ -540,36 +648,19 @@ impl S3FifoCache {
             let Some(meta) = self.slots[slot].take() else {
                 continue;
             };
-            let pending_data = self
-                .pending_slots
-                .iter()
-                .position(|&s| s == slot)
-                .and_then(|pos| {
-                    self.pending_slots.remove(pos);
-                    self.pending_data.remove(pos)
-                });
+            if let Some(pos) = self.pending_slots.iter().position(|&s| s == slot) {
+                self.pending_slots.remove(pos);
+                self.pending_data.remove(pos);
+            }
             self.stats.staged_out.inc();
             if meta.valid {
                 if self.dir.get(&meta.page) == Some(&slot) {
                     self.dir.remove(&meta.page);
                 }
-                let slot_data = |cache: &Self, pending: Option<Arc<Page>>| {
-                    pending
-                        .or_else(|| cache.inflight_data.get(&slot).map(|(_, f)| Arc::clone(f)))
-                        .or_else(|| {
-                            // Residual under-lock flash read, same as the
-                            // mvFIFO dequeue: the victim's bytes are no
-                            // longer RAM-resident. Acknowledged and rare.
-                            let _allow = face_analysis::witness::allow_device_io(
-                                "s3fifo: dequeue reads a non-resident victim's slot",
-                            );
-                            cache.store.read_slot(slot).map(Arc::new)
-                        })
-                };
                 if meta.referenced {
                     // Promotion (small) / second chance (main): the page
                     // proved itself while cached.
-                    let data = slot_data(self, pending_data);
+                    let data = prefetched.remove(&slot).flatten();
                     self.stats.second_chances.inc();
                     survivors.push(StagedPage {
                         page: meta.page,
@@ -585,7 +676,7 @@ impl S3FifoCache {
                         self.ghost.record(meta.page);
                     }
                     if meta.dirty {
-                        let data = slot_data(self, pending_data);
+                        let data = prefetched.remove(&slot).flatten();
                         self.stats.staged_out_to_disk.inc();
                         io.disk_write(meta.page);
                         to_disk.push(StagedPage {
@@ -619,7 +710,7 @@ impl S3FifoCache {
                 to_disk.push(forced);
             }
         }
-        (to_disk, survivors)
+        Ok((to_disk, survivors))
     }
 
     /// Invalidate the previous version of `page`, if cached.
@@ -632,16 +723,63 @@ impl S3FifoCache {
         }
     }
 
+    /// Divert a page that cannot be cached (its region is fully
+    /// quarantined, or an eviction error displaced it): dirty pages go to
+    /// disk, clean pages are simply dropped (the disk copy is current).
+    fn serve_through(&mut self, staged: StagedPage, sink: &mut Vec<StagedPage>, io: &mut IoLog) {
+        if staged.dirty {
+            io.disk_write(staged.page);
+            self.stats.staged_out_to_disk.inc();
+            sink.push(staged);
+        }
+    }
+
     /// Admit one version into the main queue: make space (second-chance
     /// survivors re-enqueue inside the loop, like mvFIFO's `admit`), then
-    /// assign a slot.
-    fn admit_main(&mut self, staged: StagedPage, outcome: &mut InsertOutcome, io: &mut IoLog) {
-        while self.main.free() == 0 {
-            let (to_disk, survivors) = self.group_dequeue(Queue::Main, io);
+    /// assign a slot. On a dequeue device error the displaced pages —
+    /// including `staged` itself if dirty — land in the write-fallout
+    /// buffer for the caller's disk failover.
+    fn admit_main(
+        &mut self,
+        staged: StagedPage,
+        outcome: &mut InsertOutcome,
+        io: &mut IoLog,
+    ) -> DeviceResult<()> {
+        if self.usable_capacity(Queue::Main) == 0 {
+            // Every main slot is quarantined: serve through to disk.
+            outcome.cached = false;
+            let mut diverted = Vec::new();
+            self.serve_through(staged, &mut diverted, io);
+            outcome.staged_out.extend(diverted);
+            return Ok(());
+        }
+        loop {
+            self.absorb_quarantined_rear(Queue::Main);
+            if self.main.free() > 0 {
+                break;
+            }
+            let (to_disk, survivors) = match self.group_dequeue(Queue::Main, io) {
+                Ok(batch) => batch,
+                Err(e) => {
+                    let mut fallout = std::mem::take(&mut self.write_fallout);
+                    self.serve_through(staged, &mut fallout, io);
+                    self.write_fallout = fallout;
+                    return Err(e);
+                }
+            };
             outcome.staged_out.extend(to_disk);
             for sc in survivors {
-                // Space is guaranteed: the dequeue freed `n` slots and at
-                // most `n - 1` survivors remain (forced progress).
+                // Space is normally guaranteed (the dequeue freed `n` slots
+                // and at most `n - 1` survivors remain), but quarantine
+                // holes absorbed at the rear can eat the freed space — a
+                // survivor that loses its slot is diverted instead.
+                self.absorb_quarantined_rear(Queue::Main);
+                if self.main.free() == 0 {
+                    let mut diverted = Vec::new();
+                    self.serve_through(sc, &mut diverted, io);
+                    outcome.staged_out.extend(diverted);
+                    continue;
+                }
                 self.invalidate_previous(sc.page);
                 self.enqueue_assign(Queue::Main, &sc);
             }
@@ -649,21 +787,52 @@ impl S3FifoCache {
         self.invalidate_previous(staged.page);
         self.enqueue_assign(Queue::Main, &staged);
         self.stats.cached_inserts.inc();
+        Ok(())
     }
 
     /// Admit one version into the small (probationary) queue, promoting
     /// referenced victims into main as a side effect.
-    fn admit_small(&mut self, staged: StagedPage, outcome: &mut InsertOutcome, io: &mut IoLog) {
-        while self.small.free() == 0 {
-            let (to_disk, promotions) = self.group_dequeue(Queue::Small, io);
+    fn admit_small(
+        &mut self,
+        staged: StagedPage,
+        outcome: &mut InsertOutcome,
+        io: &mut IoLog,
+    ) -> DeviceResult<()> {
+        if self.usable_capacity(Queue::Small) == 0 {
+            outcome.cached = false;
+            let mut diverted = Vec::new();
+            self.serve_through(staged, &mut diverted, io);
+            outcome.staged_out.extend(diverted);
+            return Ok(());
+        }
+        loop {
+            self.absorb_quarantined_rear(Queue::Small);
+            if self.small.free() > 0 {
+                break;
+            }
+            let (to_disk, promotions) = match self.group_dequeue(Queue::Small, io) {
+                Ok(batch) => batch,
+                Err(e) => {
+                    let mut fallout = std::mem::take(&mut self.write_fallout);
+                    self.serve_through(staged, &mut fallout, io);
+                    self.write_fallout = fallout;
+                    return Err(e);
+                }
+            };
             outcome.staged_out.extend(to_disk);
             for p in promotions {
-                self.admit_main(p, outcome, io);
+                if let Err(e) = self.admit_main(p, outcome, io) {
+                    let mut fallout = std::mem::take(&mut self.write_fallout);
+                    self.serve_through(staged, &mut fallout, io);
+                    self.write_fallout = fallout;
+                    return Err(e);
+                }
             }
         }
         self.invalidate_previous(staged.page);
         self.enqueue_assign(Queue::Small, &staged);
         self.stats.cached_inserts.inc();
+        Ok(())
     }
 
     /// Restore a cache from its surviving flash-resident state after a
@@ -821,21 +990,25 @@ impl FlashCache for S3FifoCache {
         self.dir.contains_key(&page)
     }
 
-    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
+    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> DeviceResult<Option<FlashFetch>> {
         self.stats.lookups.inc();
-        let slot = *self.dir.get(&page)?;
-        let meta = self.slots[slot].as_mut()?;
+        let Some(&slot) = self.dir.get(&page) else {
+            return Ok(None);
+        };
+        let Some(meta) = self.slots[slot].as_mut() else {
+            return Ok(None);
+        };
         debug_assert!(meta.valid, "directory points at an invalid version");
         self.stats.hits.inc();
         meta.referenced = true;
         let dirty = meta.dirty;
         let lsn = meta.lsn;
         io.flash_read_rand(1);
-        Some(FlashFetch {
-            data: self.slot_frame(slot).map(|f| f.as_ref().clone()),
+        Ok(Some(FlashFetch {
+            data: self.slot_frame(slot)?.map(|f| f.as_ref().clone()),
             dirty,
             lsn,
-        })
+        }))
     }
 
     fn fetch_pin(&mut self, page: PageId, retry: bool, io: &mut IoLog) -> Option<FetchPin> {
@@ -880,7 +1053,7 @@ impl FlashCache for S3FifoCache {
         staged: StagedPage,
         _supplier: &mut dyn PageSupplier,
         io: &mut IoLog,
-    ) -> InsertOutcome {
+    ) -> DeviceResult<InsertOutcome> {
         self.stats.inserts.inc();
         if staged.dirty {
             self.stats.dirty_inserts.inc();
@@ -894,39 +1067,47 @@ impl FlashCache for S3FifoCache {
         // identical copy is already cached is not enqueued again.
         if !staged.fdirty && self.dir.contains_key(&staged.page) {
             self.stats.skipped_inserts.inc();
-            return outcome;
+            return Ok(outcome);
         }
 
-        if self.dir.contains_key(&staged.page) {
+        let admitted = if self.dir.contains_key(&staged.page) {
             // A newer version of a cached page: it is demonstrably no
             // one-hit wonder — the fresh version goes to main.
-            self.admit_main(staged, &mut outcome, io);
+            self.admit_main(staged, &mut outcome, io)
         } else if self.ghost.take(staged.page) {
             // The id came back while its ghost entry was live: the
             // re-reference earns the flash write, straight into main.
             self.stats.admission_ghost_hits.inc();
-            self.admit_main(staged, &mut outcome, io);
+            self.admit_main(staged, &mut outcome, io)
         } else if staged.dirty {
             // A dirty first touch must be absorbed (write economy is bought
             // with exactly these writes) — probation in the small queue.
-            self.admit_small(staged, &mut outcome, io);
+            self.admit_small(staged, &mut outcome, io)
         } else {
             // Clean first touch: ghost only. No flash write for a potential
             // one-hit wonder; the disk copy is current, so rejecting is safe.
             self.ghost.record(staged.page);
             self.stats.admission_filtered.inc();
             outcome.cached = false;
-            return outcome;
+            return Ok(outcome);
+        };
+        if let Err(e) = admitted {
+            // Already-dequeued pages would be lost with the Err (it carries
+            // no outcome): move them to the fallout buffer the caller
+            // drains alongside the error.
+            self.write_fallout.append(&mut outcome.staged_out);
+            return Err(e);
         }
 
         if self.pending_slots.len() >= self.config.group_size {
             if self.config.defer_group_writes {
                 outcome.pending_group = self.form_pending_group();
-            } else {
-                self.flush_pending(io);
+            } else if let Err(e) = self.flush_pending(io) {
+                self.write_fallout.append(&mut outcome.staged_out);
+                return Err(e);
             }
         }
-        outcome
+        Ok(outcome)
     }
 
     fn group_write_pending(&self, epoch: u64) -> bool {
@@ -962,15 +1143,23 @@ impl FlashCache for S3FifoCache {
         self.maybe_cadence_checkpoint(io);
     }
 
-    fn sync(&mut self, io: &mut IoLog) {
-        self.checkpoint_metadata(io);
+    fn sync(&mut self, io: &mut IoLog) -> DeviceResult<()> {
+        self.checkpoint_metadata(io)
     }
 
-    fn evacuate_dirty(&mut self, io: &mut IoLog) -> Vec<StagedPage> {
+    fn take_write_fallout(&mut self) -> Vec<StagedPage> {
+        std::mem::take(&mut self.write_fallout)
+    }
+
+    fn evacuate_dirty(&mut self, io: &mut IoLog) -> Evacuation {
         // Same contract as mvFIFO: dirty flash pages are the only persistent
         // copy; flags are left set so a failed disk write can be retried.
-        self.flush_all_groups_inline(io);
-        let mut out = Vec::new();
+        // Each flush error aborts exactly one group (its dirty pages land
+        // in the fallout buffer), so this loop is bounded.
+        while self.flush_all_groups_inline(io).is_err() {}
+        let mut ev = Evacuation::default();
+        ev.pages.append(&mut self.write_fallout);
+        let mut scanned = 0u32;
         for region in [self.small, self.main] {
             for i in 0..region.size {
                 let slot = region.slot_at(i);
@@ -980,18 +1169,150 @@ impl FlashCache for S3FifoCache {
                 if !meta.valid || !meta.dirty {
                     continue;
                 }
+                scanned += 1;
+                let data = if self.store.carries_data() {
+                    match self.store.read_slot(slot) {
+                        Ok(Some(p)) => Some(Arc::new(p)),
+                        // Unreadable dirty resident on a failing device:
+                        // counted, and a data-less marker emitted so the
+                        // caller can block stale disk serves of the page
+                        // until WAL redo rebuilds it.
+                        Ok(None) | Err(_) => {
+                            ev.unread_dirty += 1;
+                            ev.pages.push(StagedPage {
+                                page: meta.page,
+                                lsn: meta.lsn,
+                                dirty: true,
+                                fdirty: false,
+                                data: None,
+                            });
+                            continue;
+                        }
+                    }
+                } else {
+                    None
+                };
                 io.disk_write(meta.page);
+                ev.pages.push(StagedPage {
+                    page: meta.page,
+                    lsn: meta.lsn,
+                    dirty: true,
+                    fdirty: false,
+                    data,
+                });
+            }
+        }
+        if scanned > 0 {
+            io.flash_read_seq(scanned);
+        }
+        ev
+    }
+
+    fn quarantine_slot(&mut self, slot: usize, io: &mut IoLog) -> QuarantineOutcome {
+        let mut out = QuarantineOutcome::default();
+        if slot >= self.config.capacity_pages || self.quarantined.contains(&slot) {
+            return out;
+        }
+        out.quarantined = true;
+        self.quarantined.insert(slot);
+        self.generations.bump(slot);
+        // Pull the slot out of the not-yet-written pending batch; its
+        // journal record goes with it, so data and metadata leave together.
+        let pending = self
+            .pending_slots
+            .iter()
+            .position(|&s| s == slot)
+            .and_then(|pos| {
+                self.pending_slots.remove(pos);
+                self.journal.remove_current_records_for_slot(slot as u32);
+                self.pending_data.remove(pos)
+            });
+        let inflight = self.inflight_data.get(&slot).map(|(_, f)| Arc::clone(f));
+        let Some(meta) = self.slots[slot].take() else {
+            return out;
+        };
+        if !meta.valid {
+            return out;
+        }
+        if self.dir.get(&meta.page) == Some(&slot) {
+            self.dir.remove(&meta.page);
+        }
+        out.removed = Some(meta.page);
+        if !meta.dirty {
+            return out;
+        }
+        // Dirty resident: RAM copies first; the failing device only as a
+        // last resort (an unreadable dirty resident is counted and
+        // recovered through WAL redo).
+        let data = match pending.or(inflight) {
+            Some(frame) => Some(frame),
+            None if self.store.carries_data() => match self.store.read_slot(slot) {
+                Ok(Some(p)) => Some(Arc::new(p)),
+                Ok(None) | Err(_) => {
+                    // Bytes lost: hand back a data-less evacuee so the
+                    // caller can block stale disk serves until WAL redo
+                    // rebuilds the page.
+                    out.dirty_unread = true;
+                    out.evacuee = Some(StagedPage {
+                        page: meta.page,
+                        lsn: meta.lsn,
+                        dirty: true,
+                        fdirty: false,
+                        data: None,
+                    });
+                    return out;
+                }
+            },
+            None => None,
+        };
+        io.disk_write(meta.page);
+        out.evacuee = Some(StagedPage {
+            page: meta.page,
+            lsn: meta.lsn,
+            dirty: true,
+            fdirty: false,
+            data,
+        });
+        out
+    }
+
+    fn abort_group(&mut self, epoch: u64, io: &mut IoLog) -> Vec<StagedPage> {
+        let Some(group) = self.inflight.remove(&epoch) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for w in &group.write.pages {
+            if self
+                .inflight_data
+                .get(&w.slot)
+                .is_some_and(|(e, _)| *e == epoch)
+            {
+                self.inflight_data.remove(&w.slot);
+            }
+            let occupant_matches = self.slots[w.slot]
+                .as_ref()
+                .is_some_and(|m| m.epoch == epoch && m.page == w.page);
+            if !occupant_matches {
+                // The slot was dequeued or reassigned since; whatever lives
+                // there now belongs to a different (younger) group.
+                continue;
+            }
+            self.generations.bump(w.slot);
+            let meta = self.slots[w.slot].take().expect("occupant just observed");
+            if self.dir.get(&meta.page) == Some(&w.slot) {
+                self.dir.remove(&meta.page);
+            }
+            if meta.valid && meta.dirty {
+                io.disk_write(meta.page);
+                self.stats.staged_out_to_disk.inc();
                 out.push(StagedPage {
                     page: meta.page,
                     lsn: meta.lsn,
                     dirty: true,
                     fdirty: false,
-                    data: self.store.read_slot(slot).map(Arc::new),
+                    data: w.data.clone(),
                 });
             }
-        }
-        if !out.is_empty() {
-            io.flash_read_seq(out.len() as u32);
         }
         out
     }
@@ -1073,12 +1394,14 @@ mod tests {
     fn clean_first_touch_is_ghosted_not_cached() {
         let (mut c, store) = cache(16, 2);
         let mut io = IoLog::new();
-        let outcome = c.insert(staged(1, 1, false), &mut NoSupplier, &mut io);
+        let outcome = c
+            .insert(staged(1, 1, false), &mut NoSupplier, &mut io)
+            .unwrap();
         assert!(!outcome.cached, "one-touch clean page is rejected");
         assert!(!c.contains(pid(1)));
         assert_eq!(c.ghost_len(), 1);
         assert_eq!(c.stats().admission_filtered, 1);
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         assert_eq!(store.pages_written(), 0, "no flash write was paid");
     }
 
@@ -1088,15 +1411,18 @@ mod tests {
         let mut io = IoLog::new();
         assert!(
             !c.insert(staged(1, 1, false), &mut NoSupplier, &mut io)
+                .unwrap()
                 .cached
         );
-        let outcome = c.insert(staged(1, 2, false), &mut NoSupplier, &mut io);
+        let outcome = c
+            .insert(staged(1, 2, false), &mut NoSupplier, &mut io)
+            .unwrap();
         assert!(outcome.cached, "re-referenced ghost entry is admitted");
         assert!(c.contains(pid(1)));
         let (small, main) = c.region_sizes();
         assert_eq!((small, main), (0, 1), "ghost hits go straight to main");
         assert_eq!(c.stats().admission_ghost_hits, 1);
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         assert!(store.pages_written() >= 1, "the comeback paid its write");
     }
 
@@ -1106,6 +1432,7 @@ mod tests {
         let mut io = IoLog::new();
         assert!(
             c.insert(staged(1, 1, true), &mut NoSupplier, &mut io)
+                .unwrap()
                 .cached
         );
         let (small, main) = c.region_sizes();
@@ -1122,6 +1449,7 @@ mod tests {
         for n in 0..5 {
             assert!(
                 c.insert(staged(n, n as u64 + 1, true), &mut NoSupplier, &mut io)
+                    .unwrap()
                     .cached
             );
         }
@@ -1137,11 +1465,17 @@ mod tests {
     fn referenced_small_victims_promote_to_main() {
         let (mut c, _) = cache(20, 1);
         let mut io = IoLog::new();
-        c.insert(staged(1, 1, true), &mut NoSupplier, &mut io);
-        assert!(c.fetch(pid(1), &mut io).is_some(), "touch it while cached");
+        c.insert(staged(1, 1, true), &mut NoSupplier, &mut io)
+            .unwrap();
+        assert!(
+            c.fetch(pid(1), &mut io).unwrap().is_some(),
+            "touch it while cached"
+        );
         // Force small evictions by pushing more dirty first-touches.
-        c.insert(staged(2, 2, true), &mut NoSupplier, &mut io);
-        c.insert(staged(3, 3, true), &mut NoSupplier, &mut io);
+        c.insert(staged(2, 2, true), &mut NoSupplier, &mut io)
+            .unwrap();
+        c.insert(staged(3, 3, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert!(c.contains(pid(1)), "referenced victim survived");
         let slot = *c.dir.get(&pid(1)).unwrap();
         assert!(slot >= c.small.cap, "page 1 now lives in the main region");
@@ -1158,12 +1492,14 @@ mod tests {
                 staged(n, u64::from(n) * 2 + 1, false),
                 &mut NoSupplier,
                 &mut io,
-            );
+            )
+            .unwrap();
             c.insert(
                 staged(n, u64::from(n) * 2 + 2, false),
                 &mut NoSupplier,
                 &mut io,
-            );
+            )
+            .unwrap();
         }
         let (_, main) = c.region_sizes();
         assert_eq!(main, 18, "main region is full");
@@ -1171,19 +1507,21 @@ mod tests {
         // must still evict.
         let cached: Vec<PageId> = c.dir.keys().copied().collect();
         for p in &cached {
-            assert!(c.fetch(*p, &mut io).is_some());
+            assert!(c.fetch(*p, &mut io).unwrap().is_some());
         }
         for n in 100..110u32 {
             c.insert(
                 staged(n, 1000 + u64::from(n), false),
                 &mut NoSupplier,
                 &mut io,
-            );
+            )
+            .unwrap();
             c.insert(
                 staged(n, 2000 + u64::from(n), false),
                 &mut NoSupplier,
                 &mut io,
-            );
+            )
+            .unwrap();
         }
         assert!(c.len() <= c.capacity());
         assert!(c.stats().second_chances > 0);
@@ -1193,10 +1531,12 @@ mod tests {
     fn updates_of_cached_pages_invalidate_previous_versions() {
         let (mut c, _) = cache(20, 1);
         let mut io = IoLog::new();
-        c.insert(staged(1, 1, true), &mut NoSupplier, &mut io);
-        c.insert(staged(1, 2, true), &mut NoSupplier, &mut io);
+        c.insert(staged(1, 1, true), &mut NoSupplier, &mut io)
+            .unwrap();
+        c.insert(staged(1, 2, true), &mut NoSupplier, &mut io)
+            .unwrap();
         assert_eq!(c.stats().invalidations, 1);
-        let f = c.fetch(pid(1), &mut io).unwrap();
+        let f = c.fetch(pid(1), &mut io).unwrap().unwrap();
         assert_eq!(f.lsn, Lsn(2), "latest version is served");
         // The update of a cached page goes to main (proven re-reference).
         let slot = *c.dir.get(&pid(1)).unwrap();
@@ -1207,11 +1547,12 @@ mod tests {
     fn clean_identical_copy_is_skipped() {
         let (mut c, _) = cache(16, 1);
         let mut io = IoLog::new();
-        c.insert(staged(1, 1, true), &mut NoSupplier, &mut io);
+        c.insert(staged(1, 1, true), &mut NoSupplier, &mut io)
+            .unwrap();
         let mut page = Page::new(pid(1));
         page.set_lsn(Lsn(1));
         let dup = StagedPage::with_data(page, false, false);
-        let outcome = c.insert(dup, &mut NoSupplier, &mut io);
+        let outcome = c.insert(dup, &mut NoSupplier, &mut io).unwrap();
         assert!(outcome.cached);
         assert_eq!(c.stats().skipped_inserts, 1);
     }
@@ -1220,8 +1561,9 @@ mod tests {
     fn fetch_serves_data_and_lock_light_pins_validate() {
         let (mut c, _) = cache(16, 1);
         let mut io = IoLog::new();
-        c.insert(staged(7, 3, true), &mut NoSupplier, &mut io);
-        let f = c.fetch(pid(7), &mut io).unwrap();
+        c.insert(staged(7, 3, true), &mut NoSupplier, &mut io)
+            .unwrap();
+        let f = c.fetch(pid(7), &mut io).unwrap().unwrap();
         assert!(f.dirty);
         assert_eq!(f.lsn, Lsn(3));
         assert!(f.data.is_some());
@@ -1235,12 +1577,14 @@ mod tests {
                 staged(n, 100 + u64::from(n), true),
                 &mut NoSupplier,
                 &mut io2,
-            );
+            )
+            .unwrap();
             c.insert(
                 staged(n, 200 + u64::from(n), true),
                 &mut NoSupplier,
                 &mut io2,
-            );
+            )
+            .unwrap();
         }
         let still_valid = c.fetch_validate(pin.slot, pin.generation);
         if !c.contains(pid(7)) {
@@ -1262,7 +1606,9 @@ mod tests {
         let mut io = IoLog::new();
         let mut pending = Vec::new();
         for n in 0..8u32 {
-            let out = c.insert(staged(n, u64::from(n) + 1, true), &mut NoSupplier, &mut io);
+            let out = c
+                .insert(staged(n, u64::from(n) + 1, true), &mut NoSupplier, &mut io)
+                .unwrap();
             if let Some(w) = out.pending_group {
                 pending.push(w);
             }
@@ -1272,7 +1618,7 @@ mod tests {
         let sealed_before = c.journal().sealed_groups();
         for w in pending.iter().rev() {
             assert!(c.group_write_pending(w.epoch));
-            w.apply(&*c.store, &mut io);
+            w.apply(&*c.store, &mut io).unwrap();
             c.complete_group(w.epoch, &mut io);
         }
         assert!(c.journal().sealed_groups() > sealed_before);
@@ -1288,17 +1634,20 @@ mod tests {
         // Mixed population: dirty first-touches (small), ghost comebacks
         // (main), promotions.
         for n in 0..6u32 {
-            c.insert(staged(n, u64::from(n) + 1, true), &mut NoSupplier, &mut io);
+            c.insert(staged(n, u64::from(n) + 1, true), &mut NoSupplier, &mut io)
+                .unwrap();
         }
         for n in 10..14u32 {
-            c.insert(staged(n, u64::from(n) + 1, false), &mut NoSupplier, &mut io);
+            c.insert(staged(n, u64::from(n) + 1, false), &mut NoSupplier, &mut io)
+                .unwrap();
             c.insert(
                 staged(n, u64::from(n) + 20, false),
                 &mut NoSupplier,
                 &mut io,
-            );
+            )
+            .unwrap();
         }
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         let before = c.valid_versions();
         let sizes_before = c.region_sizes();
         let info = c.crash_and_recover(Lsn(u64::MAX), &mut io);
@@ -1308,7 +1657,10 @@ mod tests {
         assert_eq!(c.ghost_len(), 0, "the ghost directory is volatile");
         // Served versions still fetch.
         for (page, lsn, _) in before {
-            let f = c.fetch(page, &mut io).expect("recovered page fetches");
+            let f = c
+                .fetch(page, &mut io)
+                .unwrap()
+                .expect("recovered page fetches");
             assert_eq!(f.lsn, lsn);
         }
     }
@@ -1320,14 +1672,16 @@ mod tests {
         // Admit via ghost comebacks so all six land in main (the small queue
         // holds only two pages at this capacity and would demote the rest).
         for n in 0..6u32 {
-            c.insert(staged(n, 1, false), &mut NoSupplier, &mut io);
+            c.insert(staged(n, 1, false), &mut NoSupplier, &mut io)
+                .unwrap();
             c.insert(
                 staged(n, 10 + u64::from(n), false),
                 &mut NoSupplier,
                 &mut io,
-            );
+            )
+            .unwrap();
         }
-        c.sync(&mut io);
+        c.sync(&mut io).unwrap();
         // durable_lsn 12: versions with LSN 13..15 outran the log.
         let info = c.crash_and_recover(Lsn(12), &mut io);
         assert!(
@@ -1336,7 +1690,7 @@ mod tests {
             info.entries_discarded_beyond_wal
         );
         for n in 0..6u32 {
-            if let Some(f) = c.fetch(pid(n), &mut io) {
+            if let Some(f) = c.fetch(pid(n), &mut io).unwrap() {
                 assert!(f.lsn <= Lsn(12), "resurrected beyond-durable version");
             }
         }
@@ -1417,13 +1771,15 @@ mod tests {
             for (i, (op, page, dirty)) in ops.iter().enumerate() {
                 let page_id = pid(page % 64);
                 if op % 3 == 0 {
-                    cache.fetch(page_id, &mut io);
+                    cache.fetch(page_id, &mut io).unwrap();
                 } else {
-                    cache.insert(
-                        staged(page % 64, i as u64 + 1, *dirty),
-                        &mut NoSupplier,
-                        &mut io,
-                    );
+                    cache
+                        .insert(
+                            staged(page % 64, i as u64 + 1, *dirty),
+                            &mut NoSupplier,
+                            &mut io,
+                        )
+                        .unwrap();
                     let n = touched.entry(page_id).or_insert(0);
                     *n += 1;
                     if *dirty || *n > 1 {
@@ -1432,7 +1788,7 @@ mod tests {
                 }
                 check_structure(&cache);
             }
-            cache.sync(&mut io);
+            cache.sync(&mut io).unwrap();
             if !any_dirty_or_repeat {
                 assert_eq!(
                     store.pages_written(),
@@ -1475,10 +1831,11 @@ mod tests {
                         staged(*p, i as u64 + 1, false),
                         &mut NoSupplier,
                         &mut io,
-                    );
+                    )
+                    .unwrap();
                     prop_assert!(!out.cached);
                 }
-                cache.sync(&mut io);
+                cache.sync(&mut io).unwrap();
                 prop_assert_eq!(store.pages_written(), 0);
             }
         }
@@ -1514,21 +1871,19 @@ mod tests {
                 let page_id = pid(page % 48);
                 match op % 4 {
                     0 => {
-                        cache.fetch(page_id, &mut io);
+                        cache.fetch(page_id, &mut io).unwrap();
                     }
-                    1 => cache.sync(&mut io),
+                    1 => cache.sync(&mut io).unwrap(),
                     _ => {
-                        let out = cache.insert(
-                            staged(page % 48, lsn.0, *dirty),
-                            &mut NoSupplier,
-                            &mut io,
-                        );
+                        let out = cache
+                            .insert(staged(page % 48, lsn.0, *dirty), &mut NoSupplier, &mut io)
+                            .unwrap();
                         if let Some(write) = out.pending_group {
                             match op % 3 {
                                 0 => {} // enqueued, never written
-                                1 => write.apply(&*store, &mut io),
+                                1 => write.apply(&*store, &mut io).unwrap(),
                                 _ => {
-                                    write.apply(&*store, &mut io);
+                                    write.apply(&*store, &mut io).unwrap();
                                     cache.complete_group(write.epoch, &mut io);
                                 }
                             }

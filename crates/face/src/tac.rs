@@ -14,17 +14,17 @@
 //!   additional random flash writes (invalidate + validate) per admission or
 //!   replacement (paper §4.1).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use face_pagestore::{Lsn, PageId};
+use face_pagestore::{DeviceResult, Lsn, PageId};
 
 use crate::io::IoLog;
 use crate::policy::{FlashCache, PageSupplier};
 use crate::store::FlashStore;
 use crate::types::{
     CacheConfig, CacheRecoveryInfo, CacheStatCounters, CacheStats, FetchPin, FlashFetch,
-    InsertOutcome, SlotGenerations, StagedPage,
+    InsertOutcome, QuarantineOutcome, SlotGenerations, StagedPage,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +52,15 @@ pub struct TacCache {
     /// writes slots in place (admission and write-through refresh), so the
     /// counter bumps on every slot write as well as on eviction.
     generations: SlotGenerations,
+    /// Slots removed from rotation after repeated device failures. RAM-only
+    /// tombstones (cleared by restart); a quarantined slot never re-enters
+    /// `free_slots`. TAC copies are never dirty, so quarantine never needs
+    /// an evacuation — the disk always has the authoritative copy.
+    quarantined: HashSet<usize>,
+    /// Dirty write-through pages whose flash refresh failed. The insert
+    /// returns an error in that case, losing its outcome, so the page rides
+    /// here for the caller to drain and persist WAL-guarded.
+    write_fallout: Vec<StagedPage>,
     stats: CacheStatCounters,
 }
 
@@ -74,6 +83,8 @@ impl TacCache {
             free_slots,
             clock: 0,
             generations,
+            quarantined: HashSet::new(),
+            write_fallout: Vec::new(),
             stats: CacheStatCounters::default(),
         }
     }
@@ -128,18 +139,23 @@ impl TacCache {
         lsn: Lsn,
         data: Option<&face_pagestore::Page>,
         io: &mut IoLog,
-    ) {
+    ) -> DeviceResult<()> {
         if self.free_slots.is_empty() {
             self.evict_victim(io);
         }
         let Some(slot) = self.free_slots.pop() else {
-            return;
+            return Ok(());
         };
         io.flash_write_rand(1);
         self.charge_metadata_update(io);
         self.bump_generation(slot);
         let has_data = if let Some(d) = data {
-            self.store.write_slot(slot, d);
+            if let Err(e) = self.store.write_slot(slot, d) {
+                // Nothing was mapped yet and the page is clean on disk:
+                // return the slot to rotation and surface the error.
+                self.free_slots.push(slot);
+                return Err(e);
+            }
             true
         } else {
             false
@@ -155,6 +171,7 @@ impl TacCache {
             },
         );
         self.stats.cached_inserts.inc();
+        Ok(())
     }
 }
 
@@ -167,25 +184,27 @@ impl FlashCache for TacCache {
         self.map.contains_key(&page)
     }
 
-    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> Option<FlashFetch> {
+    fn fetch(&mut self, page: PageId, io: &mut IoLog) -> DeviceResult<Option<FlashFetch>> {
         self.stats.lookups.inc();
         self.warm_up(page);
-        let meta = self.map.get_mut(&page)?;
+        let Some(meta) = self.map.get_mut(&page) else {
+            return Ok(None);
+        };
         self.clock += 1;
         meta.last_access = self.clock;
         let meta = *meta;
         self.stats.hits.inc();
         io.flash_read_rand(1);
-        Some(FlashFetch {
+        Ok(Some(FlashFetch {
             data: if meta.has_data {
-                self.store.read_slot(meta.slot)
+                self.store.read_slot(meta.slot)?
             } else {
                 None
             },
             // Write-through: the cached copy is never newer than disk.
             dirty: false,
             lsn: meta.lsn,
-        })
+        }))
     }
 
     fn fetch_pin(&mut self, page: PageId, retry: bool, io: &mut IoLog) -> Option<FetchPin> {
@@ -225,7 +244,7 @@ impl FlashCache for TacCache {
         staged: StagedPage,
         _supplier: &mut dyn PageSupplier,
         io: &mut IoLog,
-    ) -> InsertOutcome {
+    ) -> DeviceResult<InsertOutcome> {
         self.stats.inserts.inc();
         if staged.dirty {
             self.stats.dirty_inserts.inc();
@@ -249,7 +268,21 @@ impl FlashCache for TacCache {
                 self.charge_metadata_update(io);
                 self.bump_generation(slot);
                 if let Some(d) = &staged.data {
-                    self.store.write_slot(slot, d);
+                    if let Err(e) = self.store.write_slot(slot, d) {
+                        // The in-place refresh may have torn the flash copy;
+                        // drop the (clean) entry — disk stays authoritative.
+                        // Returning an error loses the write-through outcome,
+                        // so the page rides the fallout buffer to disk.
+                        let meta = self.map.remove(&staged.page).expect("still cached");
+                        self.bump_generation(meta.slot);
+                        self.free_slots.push(meta.slot);
+                        self.write_fallout.push(StagedPage {
+                            dirty: true,
+                            fdirty: false,
+                            ..staged
+                        });
+                        return Err(e);
+                    }
                 }
                 outcome.cached = true;
                 self.stats.cached_inserts.inc();
@@ -259,25 +292,52 @@ impl FlashCache for TacCache {
             // TAC caches on entry.
             outcome.cached = self.map.contains_key(&staged.page);
         }
-        outcome
+        Ok(outcome)
     }
 
-    fn on_fetched_from_disk(&mut self, page: PageId, io: &mut IoLog) -> InsertOutcome {
+    fn on_fetched_from_disk(
+        &mut self,
+        page: PageId,
+        io: &mut IoLog,
+    ) -> DeviceResult<InsertOutcome> {
         self.warm_up(page);
         let mut outcome = InsertOutcome::default();
         if self.map.contains_key(&page) {
             outcome.cached = true;
-            return outcome;
+            return Ok(outcome);
         }
         // Admit only pages from sufficiently warm extents.
         if self.heat_of(page) >= self.config.tac_admission_temperature {
-            self.admit(page, Lsn::ZERO, None, io);
+            self.admit(page, Lsn::ZERO, None, io)?;
             outcome.cached = true;
         }
-        outcome
+        Ok(outcome)
     }
 
-    fn sync(&mut self, _io: &mut IoLog) {}
+    fn sync(&mut self, _io: &mut IoLog) -> DeviceResult<()> {
+        Ok(())
+    }
+
+    fn take_write_fallout(&mut self) -> Vec<StagedPage> {
+        std::mem::take(&mut self.write_fallout)
+    }
+
+    fn quarantine_slot(&mut self, slot: usize, _io: &mut IoLog) -> QuarantineOutcome {
+        let mut out = QuarantineOutcome::default();
+        if slot >= self.config.capacity_pages || !self.quarantined.insert(slot) {
+            return out;
+        }
+        out.quarantined = true;
+        self.bump_generation(slot);
+        self.free_slots.retain(|&s| s != slot);
+        if let Some((&page, _)) = self.map.iter().find(|(_, m)| m.slot == slot) {
+            // TAC copies are never dirty, so dropping the resident is safe:
+            // the next fetch misses to disk, which has the current version.
+            self.map.remove(&page);
+            out.removed = Some(page);
+        }
+        out
+    }
 
     fn persists_dirty_pages(&self) -> bool {
         // Nothing in the cache is ever dirty, so checkpoints need no extra
@@ -294,6 +354,9 @@ impl FlashCache for TacCache {
         self.map.clear();
         self.extent_heat.clear();
         self.free_slots = (0..self.config.capacity_pages).rev().collect();
+        // Quarantine tombstones are RAM-only and clear with the restart.
+        self.quarantined.clear();
+        self.write_fallout.clear();
         CacheRecoveryInfo::default()
     }
 
@@ -352,11 +415,11 @@ mod tests {
         let mut c = cache(8);
         let mut io = IoLog::new();
         // First disk fetch of a cold extent: not admitted.
-        let o = c.on_fetched_from_disk(pid(1), &mut io);
+        let o = c.on_fetched_from_disk(pid(1), &mut io).unwrap();
         assert!(!o.cached);
         assert!(!c.contains(pid(1)));
         // Second access to the same extent crosses the admission temperature.
-        let o = c.on_fetched_from_disk(pid(1), &mut io);
+        let o = c.on_fetched_from_disk(pid(1), &mut io).unwrap();
         assert!(o.cached);
         assert!(c.contains(pid(1)));
         // Admission cost: page write + 2 metadata writes, all random.
@@ -368,40 +431,46 @@ mod tests {
         let mut c = cache(8);
         let mut io = IoLog::new();
         // Warm and admit page 1.
-        c.on_fetched_from_disk(pid(1), &mut io);
-        c.on_fetched_from_disk(pid(1), &mut io);
+        c.on_fetched_from_disk(pid(1), &mut io).unwrap();
+        c.on_fetched_from_disk(pid(1), &mut io).unwrap();
         let mut io = IoLog::new();
-        let out = c.insert(
-            StagedPage::meta_only(pid(1), Lsn(5), true, true),
-            &mut NoSupplier,
-            &mut io,
-        );
+        let out = c
+            .insert(
+                StagedPage::meta_only(pid(1), Lsn(5), true, true),
+                &mut NoSupplier,
+                &mut io,
+            )
+            .unwrap();
         assert!(out.wrote_through_to_disk);
         assert_eq!(io.disk_writes(), 1);
         // The flash copy was refreshed too (random write + metadata).
         assert!(io.flash_pages_written_random() >= 1);
         // Cached copies are never dirty.
-        assert!(!c.fetch(pid(1), &mut io).unwrap().dirty);
+        assert!(!c.fetch(pid(1), &mut io).unwrap().unwrap().dirty);
     }
 
     #[test]
     fn dirty_page_not_cached_if_absent() {
         let mut c = cache(8);
         let mut io = IoLog::new();
-        let out = c.insert(
-            StagedPage::meta_only(pid(9), Lsn(1), true, true),
-            &mut NoSupplier,
-            &mut io,
-        );
+        let out = c
+            .insert(
+                StagedPage::meta_only(pid(9), Lsn(1), true, true),
+                &mut NoSupplier,
+                &mut io,
+            )
+            .unwrap();
         assert!(out.wrote_through_to_disk);
         assert!(!out.cached);
         assert!(!c.contains(pid(9)));
         // Clean exit of an uncached page does nothing at all.
-        let out = c.insert(
-            StagedPage::meta_only(pid(10), Lsn(1), false, false),
-            &mut NoSupplier,
-            &mut io,
-        );
+        let out = c
+            .insert(
+                StagedPage::meta_only(pid(10), Lsn(1), false, false),
+                &mut NoSupplier,
+                &mut io,
+            )
+            .unwrap();
         assert!(!out.cached);
     }
 
@@ -411,17 +480,17 @@ mod tests {
         let mut io = IoLog::new();
         // Page 0 (extent 0) becomes hot: many accesses.
         for _ in 0..5 {
-            c.on_fetched_from_disk(pid(0), &mut io);
+            c.on_fetched_from_disk(pid(0), &mut io).unwrap();
         }
         assert!(c.contains(pid(0)));
         // Page 8 (extent 2) just warm enough to admit.
-        c.on_fetched_from_disk(pid(8), &mut io);
-        c.on_fetched_from_disk(pid(8), &mut io);
+        c.on_fetched_from_disk(pid(8), &mut io).unwrap();
+        c.on_fetched_from_disk(pid(8), &mut io).unwrap();
         assert!(c.contains(pid(8)));
         // Page 16 (extent 4) warms up and needs a slot: the cold page 8 goes,
         // the hot page 0 stays.
-        c.on_fetched_from_disk(pid(16), &mut io);
-        c.on_fetched_from_disk(pid(16), &mut io);
+        c.on_fetched_from_disk(pid(16), &mut io).unwrap();
+        c.on_fetched_from_disk(pid(16), &mut io).unwrap();
         assert!(c.contains(pid(0)));
         assert!(!c.contains(pid(8)));
         assert!(c.contains(pid(16)));
@@ -433,21 +502,21 @@ mod tests {
         let mut c = cache(2);
         let mut io = IoLog::new();
         for p in [0u32, 4, 8, 12, 16, 20] {
-            c.on_fetched_from_disk(pid(p), &mut io);
-            c.on_fetched_from_disk(pid(p), &mut io);
+            c.on_fetched_from_disk(pid(p), &mut io).unwrap();
+            c.on_fetched_from_disk(pid(p), &mut io).unwrap();
         }
         assert_eq!(io.disk_writes(), 0);
         assert!(c.len() <= c.capacity());
         assert!(!c.persists_dirty_pages());
-        assert!(c.drain_dirty_for_checkpoint(&mut io).is_empty());
+        assert!(c.drain_dirty_for_checkpoint(&mut io).unwrap().is_empty());
     }
 
     #[test]
     fn metadata_persistence_overhead_is_charged() {
         let mut c = cache(4);
         let mut io = IoLog::new();
-        c.on_fetched_from_disk(pid(1), &mut io);
-        c.on_fetched_from_disk(pid(1), &mut io);
+        c.on_fetched_from_disk(pid(1), &mut io).unwrap();
+        c.on_fetched_from_disk(pid(1), &mut io).unwrap();
         // Admission: 1 data write + 2 metadata writes.
         assert_eq!(io.flash_pages_written_random(), 3);
         assert_eq!(c.stats().metadata_flushes, 1);
@@ -457,10 +526,10 @@ mod tests {
     fn fetch_misses_and_hits_update_stats() {
         let mut c = cache(4);
         let mut io = IoLog::new();
-        assert!(c.fetch(pid(3), &mut io).is_none());
-        c.on_fetched_from_disk(pid(3), &mut io);
-        c.on_fetched_from_disk(pid(3), &mut io);
-        assert!(c.fetch(pid(3), &mut io).is_some());
+        assert!(c.fetch(pid(3), &mut io).unwrap().is_none());
+        c.on_fetched_from_disk(pid(3), &mut io).unwrap();
+        c.on_fetched_from_disk(pid(3), &mut io).unwrap();
+        assert!(c.fetch(pid(3), &mut io).unwrap().is_some());
         assert_eq!(c.stats().lookups, 2);
         assert_eq!(c.stats().hits, 1);
         c.reset_stats();

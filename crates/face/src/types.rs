@@ -157,6 +157,41 @@ pub struct InsertOutcome {
     pub pending_group: Option<PendingGroupWrite>,
 }
 
+/// What [`crate::policy::FlashCache::evacuate_dirty`] salvaged. Best-effort
+/// by contract: evacuation runs when the device is suspect, so unreadable
+/// dirty pages are counted instead of failing the sweep.
+#[derive(Debug, Default)]
+pub struct Evacuation {
+    /// Every dirty valid cached page. Pages whose bytes could be produced
+    /// (from RAM or a successful device read) carry `data` and must be
+    /// written to disk by the caller; unreadable ones appear with
+    /// `data: None` — *wound markers* the caller publishes so stale disk
+    /// copies are refused until WAL redo rebuilds the page.
+    pub pages: Vec<StagedPage>,
+    /// Dirty valid pages whose flash bytes were unreadable (the number of
+    /// `data: None` markers in `pages`).
+    pub unread_dirty: u64,
+}
+
+/// What [`crate::policy::FlashCache::quarantine_slot`] displaced.
+#[derive(Debug, Default)]
+pub struct QuarantineOutcome {
+    /// Whether the slot was newly quarantined by this call (false when it
+    /// was already quarantined or out of range).
+    pub quarantined: bool,
+    /// The valid resident version dropped from the directory, if any.
+    pub removed: Option<PageId>,
+    /// A *dirty* displaced resident. With bytes (`data: Some`) the caller
+    /// writes it to disk under the WAL guard; with `data: None` (see
+    /// `dirty_unread`) it is a wound marker the caller publishes so stale
+    /// disk copies are refused until WAL redo rebuilds the page.
+    pub evacuee: Option<StagedPage>,
+    /// The displaced resident was dirty but its bytes were unreadable
+    /// (neither in RAM nor readable from the failing device): it must be
+    /// recovered from WAL redo.
+    pub dirty_unread: bool,
+}
+
 /// What a flash cache could restore of itself after a simulated crash.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheRecoveryInfo {

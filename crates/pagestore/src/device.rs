@@ -1,0 +1,174 @@
+//! Typed device failures shared by every storage tier.
+//!
+//! FaCE's safety argument (paper §3–4) makes the flash cache *disposable*:
+//! committed data is always reconstructible from WAL + disk, so a flash
+//! failure must degrade service, never lose data. Representing that policy
+//! starts here — every device edge (flash slot reads/writes, disk page I/O)
+//! reports failures as a [`DeviceError`] that carries enough structure for
+//! the layers above to pick the right recovery action:
+//!
+//! * [`DeviceErrorKind::Transient`] — worth a bounded retry with backoff
+//!   (off the foreground path: retries happen in the destager or off-lock,
+//!   never while a `no device I/O` lock class is held).
+//! * [`DeviceErrorKind::Permanent`] — retrying is pointless; a
+//!   [`DeviceScope::Slot`] failure quarantines that slot, a
+//!   [`DeviceScope::Device`] failure trips the breaker into disk-only
+//!   degraded mode.
+
+use std::fmt;
+
+/// Whether a failure is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceErrorKind {
+    /// A one-off failure (bus hiccup, program/erase retry): the same
+    /// operation may succeed if retried after a short backoff.
+    Transient,
+    /// The medium itself failed (worn-out block, bad sector): retrying the
+    /// same target will keep failing.
+    Permanent,
+}
+
+/// How much of the device a failure condemns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceScope {
+    /// One flash slot (or one disk page) is bad; the rest of the device
+    /// still works. Slot-scoped permanent failures quarantine the slot.
+    Slot(usize),
+    /// The whole device misbehaved; repeated device-scoped failures trip
+    /// the breaker into disk-only degraded mode.
+    Device,
+}
+
+/// The direction of the failed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceOp {
+    /// A read returned bad data or no data.
+    Read,
+    /// A write did not (fully) reach the medium.
+    Write,
+}
+
+/// A typed device failure: what happened, where, and whether retrying helps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceError {
+    /// Transient (retry) vs permanent (quarantine / trip).
+    pub kind: DeviceErrorKind,
+    /// One slot vs the whole device.
+    pub scope: DeviceScope,
+    /// Read vs write.
+    pub op: DeviceOp,
+    /// Human-readable context (original I/O error, injection site, ...).
+    pub detail: String,
+}
+
+impl DeviceError {
+    /// A transient failure scoped to one slot.
+    pub fn transient_slot(op: DeviceOp, slot: usize, detail: impl Into<String>) -> Self {
+        Self {
+            kind: DeviceErrorKind::Transient,
+            scope: DeviceScope::Slot(slot),
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// A permanent failure scoped to one slot.
+    pub fn permanent_slot(op: DeviceOp, slot: usize, detail: impl Into<String>) -> Self {
+        Self {
+            kind: DeviceErrorKind::Permanent,
+            scope: DeviceScope::Slot(slot),
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// A transient whole-device failure.
+    pub fn transient_device(op: DeviceOp, detail: impl Into<String>) -> Self {
+        Self {
+            kind: DeviceErrorKind::Transient,
+            scope: DeviceScope::Device,
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// A permanent whole-device failure.
+    pub fn permanent_device(op: DeviceOp, detail: impl Into<String>) -> Self {
+        Self {
+            kind: DeviceErrorKind::Permanent,
+            scope: DeviceScope::Device,
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether a bounded retry is worth attempting.
+    pub fn is_transient(&self) -> bool {
+        self.kind == DeviceErrorKind::Transient
+    }
+
+    /// The condemned slot, if the failure is slot-scoped.
+    pub fn slot(&self) -> Option<usize> {
+        match self.scope {
+            DeviceScope::Slot(s) => Some(s),
+            DeviceScope::Device => None,
+        }
+    }
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            DeviceErrorKind::Transient => "transient",
+            DeviceErrorKind::Permanent => "permanent",
+        };
+        let op = match self.op {
+            DeviceOp::Read => "read",
+            DeviceOp::Write => "write",
+        };
+        match self.scope {
+            DeviceScope::Slot(s) => write!(f, "{kind} device {op} error on slot {s}"),
+            DeviceScope::Device => write!(f, "{kind} device {op} error"),
+        }?;
+        if self.detail.is_empty() {
+            Ok(())
+        } else {
+            write!(f, ": {}", self.detail)
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Result alias for fallible device operations.
+pub type DeviceResult<T> = Result<T, DeviceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_classify_correctly() {
+        let e = DeviceError::transient_slot(DeviceOp::Write, 7, "injected");
+        assert!(e.is_transient());
+        assert_eq!(e.slot(), Some(7));
+        assert_eq!(e.op, DeviceOp::Write);
+
+        let e = DeviceError::permanent_device(DeviceOp::Read, "worn out");
+        assert!(!e.is_transient());
+        assert_eq!(e.slot(), None);
+    }
+
+    #[test]
+    fn display_carries_structure_and_detail() {
+        let e = DeviceError::permanent_slot(DeviceOp::Read, 12, "injected fault");
+        let s = e.to_string();
+        assert!(s.contains("permanent"), "{s}");
+        assert!(s.contains("read"), "{s}");
+        assert!(s.contains("slot 12"), "{s}");
+        assert!(s.contains("injected fault"), "{s}");
+
+        let e = DeviceError::transient_device(DeviceOp::Write, "");
+        assert_eq!(e.to_string(), "transient device write error");
+    }
+}

@@ -1,0 +1,543 @@
+//! Seed-deterministic fault injection for storage devices.
+//!
+//! A [`FaultPlan`] decides, per device operation, whether to inject a
+//! failure. Decisions are a pure function of `(seed, operation index,
+//! slot)` — no RNG state is shared between operations — so a plan fires the
+//! same faults on every run with the same seed, even when operations race:
+//! thread interleaving can permute *which thread* observes a given fault,
+//! but not how many fire over N operations or which operation indices fail.
+//!
+//! The plan is installed by wrapping a device: [`FaultyPageStore`] here for
+//! the disk side, `FaultyFlashStore` in `face-cache` for the flash side
+//! (installed through the existing `flash_store_factory` knob). Triggers
+//! (nth-op, probability, slot-range, arm-after) and modes (typed error,
+//! torn write, latency spike) compose freely.
+//!
+//! This file is the one place in the storage layers allowed to block on
+//! wall-clock time (latency spikes, retry backoff) — `face-lint` exempts it
+//! the same way it exempts the simulated-device latency emulators.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::device::{DeviceError, DeviceErrorKind, DeviceOp, DeviceScope};
+use crate::page::{Page, PageId};
+use crate::store::{PageStore, StoreError, StoreResult};
+
+/// What an injected fault does to the operation it hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation fails outright with a [`DeviceError`]; nothing is
+    /// persisted.
+    Error,
+    /// A *write* persists only a prefix of its payload, then reports the
+    /// error — the classic torn batch write. (Reads behave like `Error`.)
+    TornWrite,
+    /// The operation succeeds, but only after stalling for the given
+    /// duration — a latency spike, not a failure.
+    LatencySpike(Duration),
+}
+
+/// The injection decision for one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the operation with this error; persist nothing.
+    Fail(DeviceError),
+    /// Persist a prefix of the payload, then fail with this error.
+    Torn(DeviceError),
+    /// Stall for this long, then perform the operation normally.
+    Delay(Duration),
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, thread-safe fault-injection plan for one device.
+///
+/// Defaults to never firing; builders opt into triggers and modes.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    mode: FaultMode,
+    kind: DeviceErrorKind,
+    /// Force every injected error to be whole-device scoped (breaker-trip
+    /// tests); otherwise errors are slot-scoped when the slot is known.
+    device_scoped: bool,
+    /// 1-based operation indices that always fail. Sorted.
+    nth_ops: Vec<u64>,
+    /// Per-operation failure probability in `[0, 1]`.
+    probability: f64,
+    /// Only operations touching these slots are eligible (half-open range).
+    slot_range: Option<(usize, usize)>,
+    /// Operations to let through before any trigger becomes eligible.
+    arm_after_ops: u64,
+    /// Inject on reads / on writes.
+    fail_reads: bool,
+    fail_writes: bool,
+    /// Stop injecting after this many faults.
+    max_faults: u64,
+    /// When `false`, the plan stays dormant until [`FaultPlan::arm`] — used
+    /// by the fault-then-crash scenarios that arm the plan at restart.
+    armed: AtomicBool,
+    ops: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that never fires until triggers are configured.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            mode: FaultMode::Error,
+            kind: DeviceErrorKind::Transient,
+            device_scoped: false,
+            nth_ops: Vec::new(),
+            probability: 0.0,
+            slot_range: None,
+            arm_after_ops: 0,
+            fail_reads: true,
+            fail_writes: true,
+            max_faults: u64::MAX,
+            armed: AtomicBool::new(true),
+            ops: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+        }
+    }
+
+    /// Fail the nth operation (1-based). May be called repeatedly.
+    pub fn fail_nth(mut self, n: u64) -> Self {
+        self.nth_ops.push(n);
+        self.nth_ops.sort_unstable();
+        self
+    }
+
+    /// Fail each eligible operation with this probability.
+    pub fn probability(mut self, p: f64) -> Self {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Only operations touching slots in `start..end` are eligible.
+    pub fn slot_range(mut self, start: usize, end: usize) -> Self {
+        self.slot_range = Some((start, end));
+        self
+    }
+
+    /// Let the first `n` operations through before any trigger fires.
+    pub fn arm_after(mut self, n: u64) -> Self {
+        self.arm_after_ops = n;
+        self
+    }
+
+    /// Start dormant; [`FaultPlan::arm`] (called after a crash/restart)
+    /// activates the plan.
+    pub fn armed_on_crash(self) -> Self {
+        self.armed.store(false, Ordering::SeqCst);
+        self
+    }
+
+    /// What an injected fault does (error / torn write / latency spike).
+    pub fn mode(mut self, mode: FaultMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Injected errors are transient (retryable).
+    pub fn transient(mut self) -> Self {
+        self.kind = DeviceErrorKind::Transient;
+        self
+    }
+
+    /// Injected errors are permanent (quarantine / breaker fodder).
+    pub fn permanent(mut self) -> Self {
+        self.kind = DeviceErrorKind::Permanent;
+        self
+    }
+
+    /// Scope every injected error to the whole device instead of one slot.
+    pub fn device_scoped(mut self) -> Self {
+        self.device_scoped = true;
+        self
+    }
+
+    /// Inject only on reads.
+    pub fn reads_only(mut self) -> Self {
+        self.fail_reads = true;
+        self.fail_writes = false;
+        self
+    }
+
+    /// Inject only on writes.
+    pub fn writes_only(mut self) -> Self {
+        self.fail_reads = false;
+        self.fail_writes = true;
+        self
+    }
+
+    /// Stop after injecting `n` faults.
+    pub fn max_faults(mut self, n: u64) -> Self {
+        self.max_faults = n;
+        self
+    }
+
+    /// Activate a plan built with [`FaultPlan::armed_on_crash`].
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.load(Ordering::SeqCst)
+    }
+
+    /// Operations observed so far (fired or not).
+    pub fn ops_observed(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Decide what happens to one device operation. Counts the operation
+    /// either way so nth-op indices are stable.
+    pub fn decide(&self, op: DeviceOp, slot: Option<usize>) -> Option<FaultAction> {
+        let idx = self.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        if !self.armed.load(Ordering::SeqCst) || idx <= self.arm_after_ops {
+            return None;
+        }
+        match op {
+            DeviceOp::Read if !self.fail_reads => return None,
+            DeviceOp::Write if !self.fail_writes => return None,
+            _ => {}
+        }
+        if let Some((start, end)) = self.slot_range {
+            match slot {
+                Some(s) if s >= start && s < end => {}
+                _ => return None,
+            }
+        }
+        let by_nth = self.nth_ops.binary_search(&idx).is_ok();
+        let by_chance = self.probability > 0.0 && {
+            // Derive the coin flip from (seed, op index) alone: stateless,
+            // so concurrent callers stay deterministic in aggregate.
+            let r = splitmix64(self.seed ^ idx.wrapping_mul(0x2545_f491_4f6c_dd1d));
+            (r as f64 / u64::MAX as f64) < self.probability
+        };
+        if !by_nth && !by_chance {
+            return None;
+        }
+        // Reserve a fault ticket; give the ticket back if over budget.
+        let ticket = self.faults.fetch_add(1, Ordering::SeqCst);
+        if ticket >= self.max_faults {
+            self.faults.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        let err = self.build_error(op, slot, ticket + 1, idx);
+        Some(match self.mode {
+            FaultMode::Error => FaultAction::Fail(err),
+            FaultMode::TornWrite if op == DeviceOp::Write => FaultAction::Torn(err),
+            FaultMode::TornWrite => FaultAction::Fail(err),
+            FaultMode::LatencySpike(d) => FaultAction::Delay(d),
+        })
+    }
+
+    fn build_error(
+        &self,
+        op: DeviceOp,
+        slot: Option<usize>,
+        fault_no: u64,
+        idx: u64,
+    ) -> DeviceError {
+        let scope = match (self.device_scoped, slot) {
+            (false, Some(s)) => DeviceScope::Slot(s),
+            _ => DeviceScope::Device,
+        };
+        DeviceError {
+            kind: self.kind,
+            scope,
+            op,
+            detail: format!("injected fault #{fault_no} (op {idx}, seed {})", self.seed),
+        }
+    }
+
+    /// Build a plan from `FACE_FAULT_*` environment knobs. Returns `None`
+    /// unless at least one trigger (`FACE_FAULT_PROB` or `FACE_FAULT_NTH`)
+    /// is set. Knobs: `FACE_FAULT_SEED` (default 42), `FACE_FAULT_MODE`
+    /// (`error`|`torn`|`latency:<micros>`), `FACE_FAULT_KIND`
+    /// (`transient`|`permanent`), `FACE_FAULT_SCOPE` (`slot`|`device`),
+    /// `FACE_FAULT_PROB` (per-op probability), `FACE_FAULT_NTH`
+    /// (comma-separated 1-based op indices), `FACE_FAULT_SLOTS`
+    /// (`start..end`), `FACE_FAULT_AFTER` (ops before arming),
+    /// `FACE_FAULT_OPS` (`read`|`write`|`both`), `FACE_FAULT_MAX`
+    /// (fault budget).
+    pub fn from_env() -> Option<Self> {
+        let get = |k: &str| std::env::var(k).ok();
+        let prob = get("FACE_FAULT_PROB").and_then(|v| v.parse::<f64>().ok());
+        let nth: Vec<u64> = get("FACE_FAULT_NTH")
+            .map(|v| v.split(',').filter_map(|n| n.trim().parse().ok()).collect())
+            .unwrap_or_default();
+        if prob.is_none() && nth.is_empty() {
+            return None;
+        }
+        let seed = get("FACE_FAULT_SEED")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
+        let mut plan = Self::new(seed);
+        for n in nth {
+            plan = plan.fail_nth(n);
+        }
+        if let Some(p) = prob {
+            plan = plan.probability(p);
+        }
+        if let Some(mode) = get("FACE_FAULT_MODE") {
+            plan = match mode.as_str() {
+                "torn" => plan.mode(FaultMode::TornWrite),
+                m if m.starts_with("latency") => {
+                    let micros = m
+                        .split(':')
+                        .nth(1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(1_000);
+                    plan.mode(FaultMode::LatencySpike(Duration::from_micros(micros)))
+                }
+                _ => plan.mode(FaultMode::Error),
+            };
+        }
+        if let Some(kind) = get("FACE_FAULT_KIND") {
+            plan = match kind.as_str() {
+                "permanent" => plan.permanent(),
+                _ => plan.transient(),
+            };
+        }
+        if get("FACE_FAULT_SCOPE").as_deref() == Some("device") {
+            plan = plan.device_scoped();
+        }
+        if let Some(slots) = get("FACE_FAULT_SLOTS") {
+            if let Some((a, b)) = slots.split_once("..") {
+                if let (Ok(a), Ok(b)) = (a.trim().parse(), b.trim().parse()) {
+                    plan = plan.slot_range(a, b);
+                }
+            }
+        }
+        if let Some(after) = get("FACE_FAULT_AFTER").and_then(|v| v.parse().ok()) {
+            plan = plan.arm_after(after);
+        }
+        if let Some(ops) = get("FACE_FAULT_OPS") {
+            plan = match ops.as_str() {
+                "read" => plan.reads_only(),
+                "write" => plan.writes_only(),
+                _ => plan,
+            };
+        }
+        if let Some(max) = get("FACE_FAULT_MAX").and_then(|v| v.parse().ok()) {
+            plan = plan.max_faults(max);
+        }
+        Some(plan)
+    }
+}
+
+/// Stall the calling thread — the latency-spike arm of a [`FaultAction`].
+/// Lives here so device wrappers in other crates need no sleep of their own.
+pub fn sleep_for(d: Duration) {
+    std::thread::sleep(d);
+}
+
+/// Capped exponential backoff between retries of a transient device error:
+/// 50 µs doubling per attempt, capped at 2 ms. Callers must not hold any
+/// lock (the destager retries between jobs; foreground retries run off-lock).
+pub fn backoff_sleep(attempt: u32) {
+    let micros = 50u64.saturating_mul(1 << attempt.min(6));
+    std::thread::sleep(Duration::from_micros(micros.min(2_000)));
+}
+
+/// A [`PageStore`] wrapper that injects faults from a [`FaultPlan`] — the
+/// disk-side twin of the flash cache's `FaultyFlashStore`. Slot-range
+/// triggers match on the page number within its file.
+pub struct FaultyPageStore {
+    inner: Arc<dyn PageStore>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultyPageStore {
+    /// Wrap `inner`, consulting `plan` on every read and write.
+    pub fn new(inner: Arc<dyn PageStore>, plan: Arc<FaultPlan>) -> Self {
+        Self { inner, plan }
+    }
+
+    /// The installed plan (for arming and counters).
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+}
+
+impl PageStore for FaultyPageStore {
+    fn read_page(&self, id: PageId, buf: &mut Page) -> StoreResult<()> {
+        match self.plan.decide(DeviceOp::Read, Some(id.page_no as usize)) {
+            Some(FaultAction::Fail(e)) | Some(FaultAction::Torn(e)) => {
+                return Err(StoreError::Device(e))
+            }
+            Some(FaultAction::Delay(d)) => sleep_for(d),
+            None => {}
+        }
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> StoreResult<()> {
+        match self.plan.decide(DeviceOp::Write, Some(id.page_no as usize)) {
+            // A torn single-page write persists nothing: page granularity is
+            // the smallest unit this store models.
+            Some(FaultAction::Fail(e)) | Some(FaultAction::Torn(e)) => {
+                return Err(StoreError::Device(e))
+            }
+            Some(FaultAction::Delay(d)) => sleep_for(d),
+            None => {}
+        }
+        self.inner.write_page(id, page)
+    }
+
+    fn allocate(&self, file: u32) -> StoreResult<PageId> {
+        self.inner.allocate(file)
+    }
+
+    fn num_pages(&self, file: u32) -> u64 {
+        self.inner.num_pages(file)
+    }
+
+    fn sync(&self) -> StoreResult<()> {
+        self.inner.sync()
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.inner.contains(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem_store::InMemoryPageStore;
+    use crate::page::Lsn;
+
+    #[test]
+    fn nth_op_trigger_is_deterministic() {
+        let plan = FaultPlan::new(1).fail_nth(2).permanent();
+        assert_eq!(plan.decide(DeviceOp::Write, Some(0)), None);
+        let action = plan.decide(DeviceOp::Write, Some(3));
+        match action {
+            Some(FaultAction::Fail(e)) => {
+                assert_eq!(e.kind, DeviceErrorKind::Permanent);
+                assert_eq!(e.slot(), Some(3));
+            }
+            other => panic!("expected failure on op 2, got {other:?}"),
+        }
+        assert_eq!(plan.decide(DeviceOp::Write, Some(0)), None);
+        assert_eq!(plan.faults_injected(), 1);
+        assert_eq!(plan.ops_observed(), 3);
+    }
+
+    #[test]
+    fn probability_trigger_replays_identically() {
+        let run = || {
+            let plan = FaultPlan::new(99).probability(0.3);
+            (0..200)
+                .map(|i| plan.decide(DeviceOp::Write, Some(i)).is_some())
+                .collect::<Vec<bool>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must replay the same faults");
+        let fired = a.iter().filter(|f| **f).count();
+        assert!(
+            fired > 20 && fired < 120,
+            "p=0.3 over 200 ops fired {fired}"
+        );
+    }
+
+    #[test]
+    fn slot_range_and_direction_filters_apply() {
+        let plan = FaultPlan::new(7)
+            .probability(1.0)
+            .slot_range(10, 20)
+            .reads_only();
+        assert_eq!(
+            plan.decide(DeviceOp::Write, Some(15)),
+            None,
+            "writes exempt"
+        );
+        assert_eq!(plan.decide(DeviceOp::Read, Some(9)), None, "below range");
+        assert_eq!(plan.decide(DeviceOp::Read, Some(20)), None, "past range");
+        assert!(plan.decide(DeviceOp::Read, Some(10)).is_some());
+        assert_eq!(
+            plan.decide(DeviceOp::Read, None),
+            None,
+            "unknown slot exempt"
+        );
+    }
+
+    #[test]
+    fn arm_after_and_max_faults_bound_the_blast_radius() {
+        let plan = FaultPlan::new(3)
+            .probability(1.0)
+            .arm_after(2)
+            .max_faults(1);
+        assert_eq!(plan.decide(DeviceOp::Write, Some(0)), None);
+        assert_eq!(plan.decide(DeviceOp::Write, Some(0)), None);
+        assert!(plan.decide(DeviceOp::Write, Some(0)).is_some());
+        assert_eq!(plan.decide(DeviceOp::Write, Some(0)), None, "budget spent");
+        assert_eq!(plan.faults_injected(), 1);
+    }
+
+    #[test]
+    fn armed_on_crash_stays_dormant_until_armed() {
+        let plan = FaultPlan::new(5).probability(1.0).armed_on_crash();
+        assert_eq!(plan.decide(DeviceOp::Write, Some(0)), None);
+        plan.arm();
+        assert!(plan.decide(DeviceOp::Write, Some(0)).is_some());
+    }
+
+    #[test]
+    fn torn_mode_fails_writes_as_torn_and_reads_as_plain() {
+        let plan = FaultPlan::new(5)
+            .probability(1.0)
+            .mode(FaultMode::TornWrite);
+        assert!(matches!(
+            plan.decide(DeviceOp::Write, Some(0)),
+            Some(FaultAction::Torn(_))
+        ));
+        assert!(matches!(
+            plan.decide(DeviceOp::Read, Some(0)),
+            Some(FaultAction::Fail(_))
+        ));
+    }
+
+    #[test]
+    fn faulty_page_store_surfaces_typed_errors() {
+        let inner = Arc::new(InMemoryPageStore::new());
+        let id = inner.allocate(0).unwrap();
+        let mut page = Page::new(id);
+        page.set_lsn(Lsn(1));
+        page.update_checksum();
+
+        let plan = Arc::new(FaultPlan::new(11).fail_nth(1).permanent());
+        let store = FaultyPageStore::new(inner.clone(), plan.clone());
+        let err = store.write_page(id, &page).unwrap_err();
+        match err {
+            StoreError::Device(e) => {
+                assert_eq!(e.kind, DeviceErrorKind::Permanent);
+                assert_eq!(e.op, DeviceOp::Write);
+            }
+            other => panic!("expected device error, got {other}"),
+        }
+        // The failed write persisted nothing.
+        assert_eq!(inner.materialized_pages(), 0);
+        // Later ops pass through.
+        store.write_page(id, &page).unwrap();
+        let mut out = Page::zeroed();
+        store.read_page(id, &mut out).unwrap();
+        assert_eq!(out.lsn(), Lsn(1));
+        assert_eq!(plan.faults_injected(), 1);
+    }
+}

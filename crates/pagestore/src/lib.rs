@@ -20,6 +20,8 @@
 
 pub mod counter;
 pub mod counting;
+pub mod device;
+pub mod fault;
 pub mod file_store;
 pub mod mem_store;
 pub mod page;
@@ -27,6 +29,8 @@ pub mod store;
 
 pub use counter::Counter;
 pub use counting::CountingStore;
+pub use device::{DeviceError, DeviceErrorKind, DeviceOp, DeviceResult, DeviceScope};
+pub use fault::{backoff_sleep, sleep_for, FaultAction, FaultMode, FaultPlan, FaultyPageStore};
 pub use file_store::FilePageStore;
 pub use mem_store::InMemoryPageStore;
 pub use page::{stripe_of, Lsn, Page, PageId, PAGE_BODY_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE};

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::io;
 
+use crate::device::DeviceError;
 use crate::page::{Page, PageId};
 
 /// Errors returned by page stores.
@@ -20,6 +21,9 @@ pub enum StoreError {
         /// The id found in the page header.
         found: PageId,
     },
+    /// A typed device failure (transient vs permanent, slot vs device) —
+    /// what fault-injecting stores and failing media report.
+    Device(DeviceError),
     /// An underlying I/O error.
     Io(io::Error),
     /// The store has been closed or its backing file removed.
@@ -34,6 +38,7 @@ impl fmt::Display for StoreError {
             StoreError::WrongPage { requested, found } => {
                 write!(f, "requested page {requested} but found {found}")
             }
+            StoreError::Device(e) => write!(f, "{e}"),
             StoreError::Io(e) => write!(f, "I/O error: {e}"),
             StoreError::Closed => write!(f, "page store is closed"),
         }
@@ -44,6 +49,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
+            StoreError::Device(e) => Some(e),
             _ => None,
         }
     }
@@ -52,6 +58,12 @@ impl std::error::Error for StoreError {
 impl From<io::Error> for StoreError {
     fn from(e: io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+impl From<DeviceError> for StoreError {
+    fn from(e: DeviceError) -> Self {
+        StoreError::Device(e)
     }
 }
 
