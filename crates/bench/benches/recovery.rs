@@ -1,5 +1,5 @@
 //! Criterion benchmarks of the recovery path: metadata directory restore and
-//! WAL redo planning.
+//! WAL redo/undo planning.
 
 use std::sync::Arc;
 
@@ -7,7 +7,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use face_cache::{DirEntry, IoLog, MetadataDirectory};
 use face_pagestore::{Lsn, PageId};
 use face_wal::{
-    recovery::build_redo_plan, InMemoryLogStorage, LogRecord, LogStorage, TxnId, WalWriter,
+    build_recovery_plan, recovery::build_redo_plan, InMemoryLogStorage, LogRecord, LogStorage,
+    TxnId, WalWriter,
 };
 
 fn bench_directory_recover(c: &mut Criterion) {
@@ -46,6 +47,8 @@ fn bench_redo_plan(c: &mut Criterion) {
                     page: PageId::new(1, (t as u32 * 18 + u) % 5_000),
                     offset: 0,
                     data: vec![0xAB; 64],
+                    before: vec![0xBA; 64],
+                    prev_lsn: Lsn::ZERO,
                 });
             }
             writer.append(&LogRecord::Commit { txn: TxnId(t) });
@@ -58,5 +61,41 @@ fn bench_redo_plan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_directory_recover, bench_redo_plan);
+fn bench_recovery_plan_with_losers(c: &mut Criterion) {
+    c.bench_function("wal_recovery_plan_20k_records_10pct_losers", |b| {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let writer = WalWriter::new(Arc::clone(&storage)).unwrap();
+        for t in 0..1_000u64 {
+            writer.append(&LogRecord::Begin { txn: TxnId(t) });
+            let mut prev = Lsn::ZERO;
+            for u in 0..18u32 {
+                prev = writer.append(&LogRecord::Update {
+                    txn: TxnId(t),
+                    page: PageId::new(1, (t as u32 * 18 + u) % 5_000),
+                    offset: 0,
+                    data: vec![0xAB; 64],
+                    before: vec![0xBA; 64],
+                    prev_lsn: prev,
+                });
+            }
+            // One transaction in ten is a loser: no commit, its chain feeds
+            // the undo plan.
+            if t % 10 != 0 {
+                writer.append(&LogRecord::Commit { txn: TxnId(t) });
+            }
+        }
+        writer.force_all().unwrap();
+        b.iter(|| {
+            let (_, redo, undo) = build_recovery_plan(Arc::clone(&storage)).unwrap();
+            black_box((redo.len(), undo.len()));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_directory_recover,
+    bench_redo_plan,
+    bench_recovery_plan_with_losers
+);
 criterion_main!(benches);

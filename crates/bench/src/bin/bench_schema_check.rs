@@ -107,6 +107,7 @@ fn required_fields(file_name: &str) -> &'static [&'static str] {
             "p99_us",
             "p999_us",
         ],
+        "BENCH_recovery.json" => &["mode", "restart_secs", "recovery", "windows"],
         "BENCH_flash_economy.json" => &[
             "policy",
             "ghost_admission",
@@ -157,6 +158,30 @@ fn check_file(path: &Path) -> Vec<String> {
                 problems.push(format!("{name}: row {i} is missing `{field}`"));
             }
         }
+        // The recovery rows nest their report; the undo counters must be
+        // present there or the restart gate is diffing a hollow trajectory.
+        if name == "BENCH_recovery.json" {
+            match obj.get("recovery").and_then(serde_json::Value::as_object) {
+                Some(recovery) => {
+                    for field in [
+                        "records_scanned",
+                        "redo_applied",
+                        "redo_skipped",
+                        "losers_found",
+                        "updates_undone",
+                        "clrs_written",
+                        "clrs_skipped",
+                        "clrs_replayed",
+                        "durable_lsn",
+                    ] {
+                        if !recovery.contains_key(field) {
+                            problems.push(format!("{name}: row {i} recovery is missing `{field}`"));
+                        }
+                    }
+                }
+                None => problems.push(format!("{name}: row {i} `recovery` is not an object")),
+            }
+        }
         // Latency percentiles, where present, must be monotone — a recorder
         // whose p99 drops below its p50 is broken, not fast.
         let quantiles: Vec<f64> = ["p50_us", "p95_us", "p99_us", "p999_us"]
@@ -203,6 +228,7 @@ fn main() {
         "BENCH_flash_economy.json",
         "BENCH_tail.json",
         "BENCH_degrade.json",
+        "BENCH_recovery.json",
     ] {
         if !files.iter().any(|p| p.ends_with(expected)) {
             problems.push(format!("{expected}: missing from {}", root.display()));

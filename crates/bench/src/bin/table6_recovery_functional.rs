@@ -21,6 +21,9 @@ fn main() {
                 format!("{}", r.recovery.records_scanned),
                 format!("{}", r.recovery.redo_applied),
                 format!("{:.1}", r.recovery.flash_fetch_share * 100.0),
+                format!("{}", r.recovery.losers_found),
+                format!("{}", r.recovery.updates_undone),
+                format!("{}/{}", r.recovery.clrs_written, r.recovery.clrs_skipped),
                 format!("{}", r.recovery.cache_recovery.entries_restored),
                 format!("{}", r.recovery.cache_recovery.journal_records_replayed),
             ]
@@ -35,6 +38,9 @@ fn main() {
             "records",
             "redo",
             "redo flash %",
+            "losers",
+            "undone",
+            "CLRs w/s",
             "entries restored",
             "journal replayed",
         ],

@@ -1540,6 +1540,10 @@ pub struct RecoveryScale {
     pub windows: usize,
     /// Transactions per thread in each window.
     pub window_txns_per_thread: usize,
+    /// Loser transactions left in flight at the crash (each writes a handful
+    /// of keys above the TPC-C key space before the checkpoint, so their
+    /// pages persist and recovery must undo them with CLRs).
+    pub loser_txns: usize,
 }
 
 impl Default for RecoveryScale {
@@ -1551,6 +1555,7 @@ impl Default for RecoveryScale {
             post_ckpt_txns_per_thread: 60,
             windows: 4,
             window_txns_per_thread: 40,
+            loser_txns: 8,
         }
     }
 }
@@ -1573,6 +1578,7 @@ impl RecoveryScale {
             windows: (env_u64("FACE_REC_WINDOWS", d.windows as u64) as usize).max(1),
             window_txns_per_thread: env_u64("FACE_REC_WINDOW_TXNS", d.window_txns_per_thread as u64)
                 as usize,
+            loser_txns: env_u64("FACE_REC_LOSER_TXNS", d.loser_txns as u64) as usize,
         }
     }
 
@@ -1585,6 +1591,7 @@ impl RecoveryScale {
             post_ckpt_txns_per_thread: 20,
             windows: 2,
             window_txns_per_thread: 15,
+            loser_txns: 4,
         }
     }
 }
@@ -1606,6 +1613,16 @@ pub struct RecoveryReportRow {
     pub flash_fetch_share: f64,
     /// The durable WAL end recovery reconciled against.
     pub durable_lsn: u64,
+    /// Loser transactions the analysis pass found with undo work pending.
+    pub losers_found: u64,
+    /// Loser updates rolled back by the undo pass.
+    pub updates_undone: u64,
+    /// Compensation log records written by the undo pass.
+    pub clrs_written: u64,
+    /// Loser updates skipped because a durable CLR already compensated them.
+    pub clrs_skipped: u64,
+    /// CLRs from an earlier (interrupted) undo pass replayed during redo.
+    pub clrs_replayed: u64,
     /// What the flash cache restored of itself.
     pub cache_recovery: face_cache::CacheRecoveryInfo,
 }
@@ -1620,6 +1637,11 @@ impl From<&face_engine::RecoveryReport> for RecoveryReportRow {
             pages_from_disk: r.pages_from_disk,
             flash_fetch_share: r.flash_fetch_ratio(),
             durable_lsn: r.durable_lsn.0,
+            losers_found: r.undo.losers_found,
+            updates_undone: r.undo.updates_undone,
+            clrs_written: r.undo.clrs_written,
+            clrs_skipped: r.undo.clrs_skipped,
+            clrs_replayed: r.undo.clrs_replayed,
             cache_recovery: r.cache_recovery,
         }
     }
@@ -1690,9 +1712,20 @@ fn driver(scale: &RecoveryScale, txns_per_thread: usize, seed: u64) -> face_tpcc
     }
 }
 
-/// Shared crash prologue: load, checkpoint, a post-checkpoint wave, crash.
+/// Shared crash prologue: load, a loser wave, checkpoint, a post-checkpoint
+/// wave, crash. The losers begin before the checkpoint and never commit, so
+/// the checkpoint persists their pages and restart has real undo work.
 fn load_and_crash(scale: &RecoveryScale, db: &std::sync::Arc<face_engine::Database>) {
     face_tpcc::run_concurrent(db, &driver(scale, scale.load_txns_per_thread, 11));
+    for t in 0..scale.loser_txns as u64 {
+        let loser = db.begin();
+        for i in 0..4u64 {
+            // Best-effort: a full table stops the wave, not the experiment.
+            let key = u64::MAX - t * 4 - i;
+            let _ = db.put(loser, key, format!("loser-{t}-{i}").as_bytes());
+        }
+        // Never committed, never aborted: in flight at the crash.
+    }
     db.checkpoint().expect("checkpoint");
     face_tpcc::run_concurrent(db, &driver(scale, scale.post_ckpt_txns_per_thread, 23));
     db.crash();
@@ -1962,6 +1995,21 @@ mod tests {
         assert!(warm.windows[0].disk_fetches < cold.windows[0].disk_fetches);
         // Warm redo itself was flash-dominated.
         assert!(warm.recovery.pages_from_flash > warm.recovery.pages_from_disk);
+        // The loser wave left real undo work for both arms, and every undone
+        // update was compensated in the log.
+        for arm in [warm, cold] {
+            assert!(
+                arm.recovery.losers_found > 0,
+                "{} arm found no losers",
+                arm.mode
+            );
+            assert!(
+                arm.recovery.updates_undone > 0,
+                "{} arm undid nothing",
+                arm.mode
+            );
+            assert_eq!(arm.recovery.clrs_written, arm.recovery.updates_undone);
+        }
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //!   ([`face_buffer::BufferPool`]);
 //! * the flash cache is lock-striped by page id
 //!   ([`face_cache::ShardedFlashCache`] inside [`FaceTier`]);
-//! * the transaction table (active set + undo logs) is lock-striped by
+//! * the transaction table (active set + per-transaction last-LSN chain
+//!   heads; rollback state lives in the log itself) is lock-striped by
 //!   transaction id;
 //! * WAL appends serialise on the writer's short append mutex, and commits
 //!   amortise the log force through leader-based group commit
@@ -37,7 +38,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use face_analysis::classes::TXN_STRIPE;
+use face_analysis::classes::{DIAG, TXN_STRIPE};
 use face_analysis::OrderedMutex;
 use face_buffer::BufferPool;
 use face_cache::{
@@ -46,8 +47,8 @@ use face_cache::{
 };
 use face_pagestore::{FaultyPageStore, FilePageStore, InMemoryPageStore, PageId, PageStore};
 use face_wal::{
-    recovery::build_redo_plan, CheckpointData, FileLogStorage, InMemoryLogStorage, LogRecord,
-    LogStorage, Lsn, TxnId, WalWriter,
+    recovery::build_recovery_plan, CheckpointData, FileLogStorage, InMemoryLogStorage, LogReader,
+    LogRecord, LogStorage, Lsn, TxnId, WalWriter,
 };
 
 use crate::config::{EngineConfig, StorageBackend};
@@ -109,13 +110,41 @@ impl DbStatCounters {
     }
 }
 
-/// One stripe of the transaction table.
+/// One stripe of the transaction table (the ARIES transaction table: who is
+/// active and where each transaction's backward update chain ends). Rollback
+/// no longer keeps before-images in RAM — they are in the log records, and
+/// `abort` walks the chain from `last_lsn`.
 #[derive(Default)]
 struct TxnStripe {
     active: HashSet<u64>,
-    /// Per-transaction before-images (page, body offset, bytes) so that an
-    /// abort can compensate the updates it already applied.
-    undo: HashMap<u64, Vec<(PageId, u32, Vec<u8>)>>,
+    /// LSN of each active transaction's most recent update record (the head
+    /// of its `prev_lsn` chain).
+    last_lsn: HashMap<u64, Lsn>,
+}
+
+/// What restart undo had to do: losers rolled back, compensation records
+/// written (and skipped because an earlier crashed rollback already covered
+/// them), and where the undo pass found its pages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Loser transactions the analysis pass identified (in-flight at the
+    /// crash, or aborted with an unfinished rollback).
+    pub losers_found: u64,
+    /// Loser updates reverted by the undo pass.
+    pub updates_undone: u64,
+    /// Compensation records written by the undo pass (one per reverted
+    /// update).
+    pub clrs_written: u64,
+    /// Loser updates skipped because a durable CLR from a previous
+    /// (crashed) rollback already compensates them.
+    pub clrs_skipped: u64,
+    /// CLRs repeated by the redo pass (repeat-history: persisted loser
+    /// pages are repaired without re-running undo).
+    pub clrs_replayed: u64,
+    /// Undo page fetches served by the flash cache.
+    pub undo_pages_from_flash: u64,
+    /// Undo page fetches served by the disk.
+    pub undo_pages_from_disk: u64,
 }
 
 /// What a restart after a crash had to do, and where it found its pages.
@@ -138,6 +167,8 @@ pub struct RecoveryReport {
     pub durable_lsn: Lsn,
     /// What the flash cache could restore of itself.
     pub cache_recovery: CacheRecoveryInfo,
+    /// What the undo pass did (loser rollback work).
+    pub undo: RecoveryStats,
 }
 
 impl RecoveryReport {
@@ -166,6 +197,14 @@ pub struct Database {
     stripes: Vec<OrderedMutex<TxnStripe>>,
     crashed: AtomicBool,
     stats: DbStatCounters,
+    /// Crash-point injection for recovery itself: number of redo/undo page
+    /// applications before the next restart crashes mid-recovery
+    /// (`u64::MAX` = disarmed). Test hook; see
+    /// [`Database::arm_restart_crash`].
+    restart_crash_budget: AtomicU64,
+    /// Report of the most recent completed recovery, for
+    /// [`Database::recovery_info`].
+    last_recovery: OrderedMutex<Option<RecoveryReport>>,
 }
 
 impl Database {
@@ -283,12 +322,16 @@ impl Database {
                 .collect(),
             crashed: AtomicBool::new(false),
             stats: DbStatCounters::default(),
+            restart_crash_budget: AtomicU64::new(u64::MAX),
+            last_recovery: OrderedMutex::new(DIAG, None),
         };
         db.ensure_table_allocated()?;
         // A reopened database may have committed work in the log that never
-        // reached the data files; replay it.
+        // reached the data files, and losers from a previous process death;
+        // replay the one, roll back the other.
         if !db.log_storage.is_empty()? {
-            db.run_redo()?;
+            let report = db.run_recovery()?;
+            *db.last_recovery.lock() = Some(report);
         }
         Ok(db)
     }
@@ -330,19 +373,13 @@ impl Database {
     // Transactions
     // ------------------------------------------------------------------
 
-    fn begin_txn(&self, internal: bool) -> TxnId {
+    /// Start a new transaction.
+    pub fn begin(&self) -> TxnId {
         let txn = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
         self.stripe(txn).lock().active.insert(txn.0);
         self.wal.append(&LogRecord::Begin { txn });
-        if !internal {
-            self.stats.txns_started.inc();
-        }
+        self.stats.txns_started.inc();
         txn
-    }
-
-    /// Start a new transaction.
-    pub fn begin(&self) -> TxnId {
-        self.begin_txn(false)
     }
 
     /// Commit a transaction: its commit record (and everything before it) is
@@ -355,49 +392,97 @@ impl Database {
         self.wal.append_and_force(&LogRecord::Commit { txn })?;
         let mut stripe = self.stripe(txn).lock();
         stripe.active.remove(&txn.0);
-        stripe.undo.remove(&txn.0);
+        stripe.last_lsn.remove(&txn.0);
         drop(stripe);
         self.stats.txns_committed.inc();
         Ok(())
     }
 
-    /// Abort a transaction. Updates already applied by the transaction are
-    /// compensated by an internally generated, immediately committed
-    /// compensation transaction, so neither the running system nor a
-    /// post-crash redo retains the aborted changes.
+    /// Abort a transaction: log-driven rollback. The transaction's update
+    /// chain is walked backwards from its newest record, each update's
+    /// before-image is re-applied through the normal buffer/cache tier, and
+    /// a compensation record ([`face_wal::LogRecord::Clr`]) is logged per
+    /// reverted update. If the process crashes mid-rollback, restart undo
+    /// resumes at the `undo_next_lsn` of the last durable CLR — rollback
+    /// work is never repeated and never lost.
     pub fn abort(&self, txn: TxnId) -> EngineResult<()> {
         self.check_not_crashed()?;
         self.check_txn(txn)?;
-        self.wal.append(&LogRecord::Abort { txn });
-        let undo = {
+        // Force the Abort record: the chain walk below reads the
+        // transaction's update records back from log storage, and the
+        // unforced tail lives only in the writer's RAM buffer.
+        self.wal.append_and_force(&LogRecord::Abort { txn })?;
+        let head = {
             let mut stripe = self.stripe(txn).lock();
             stripe.active.remove(&txn.0);
-            stripe.undo.remove(&txn.0).unwrap_or_default()
+            stripe.last_lsn.remove(&txn.0).unwrap_or(Lsn::ZERO)
         };
         self.stats.txns_aborted.inc();
-        // Compensate the aborted updates under an internal transaction that
-        // commits immediately, so the undo survives a crash through redo.
-        if !undo.is_empty() {
-            let comp = self.begin_txn(true);
-            for (page, offset, before) in undo.into_iter().rev() {
-                let off = offset as usize;
-                self.pool.update_with(page, |p| {
-                    p.write_body(off, &before);
-                    let lsn = self.wal.append(&LogRecord::Update {
-                        txn: comp,
-                        page,
-                        offset,
-                        data: before,
-                    });
-                    if lsn > p.lsn() {
-                        p.set_lsn(lsn);
-                    }
-                })?;
+        self.rollback_chain(txn, head)?;
+        // Make the rollback durable so a crash cannot resurrect the aborted
+        // updates from persisted pages without their compensations.
+        self.wal.force_all()?;
+        Ok(())
+    }
+
+    /// Walk a transaction's backward update chain from `head`, compensating
+    /// each update. Returns the number of updates reverted. Encountering a
+    /// CLR (possible when resuming a crashed rollback) skips to its
+    /// `undo_next_lsn` instead of undoing anything twice.
+    fn rollback_chain(&self, txn: TxnId, head: Lsn) -> EngineResult<u64> {
+        let mut next = head;
+        let mut undone = 0u64;
+        while next != Lsn::ZERO {
+            let mut reader = LogReader::from_lsn(Arc::clone(&self.log_storage), next);
+            let Some(rec) = reader.next_record()? else {
+                break;
+            };
+            match rec.record {
+                LogRecord::Update {
+                    page,
+                    offset,
+                    before,
+                    prev_lsn,
+                    ..
+                } => {
+                    self.compensate(txn, page, offset, before, prev_lsn)?;
+                    undone += 1;
+                    next = prev_lsn;
+                }
+                LogRecord::Clr { undo_next_lsn, .. } => {
+                    next = undo_next_lsn;
+                }
+                _ => break,
             }
-            self.wal
-                .append_and_force(&LogRecord::Commit { txn: comp })?;
-            self.stripe(comp).lock().active.remove(&comp.0);
         }
+        Ok(undone)
+    }
+
+    /// Revert one update: restore the before-image under the page latch and
+    /// log the CLR in the same critical section (log order matches apply
+    /// order per page, exactly as forward updates do).
+    fn compensate(
+        &self,
+        txn: TxnId,
+        page: PageId,
+        offset: u32,
+        before: Vec<u8>,
+        undo_next_lsn: Lsn,
+    ) -> EngineResult<()> {
+        let off = offset as usize;
+        self.pool.update_with(page, |p| {
+            p.write_body(off, &before);
+            let lsn = self.wal.append(&LogRecord::Clr {
+                txn,
+                page,
+                offset,
+                data: before,
+                undo_next_lsn,
+            });
+            if lsn > p.lsn() {
+                p.set_lsn(lsn);
+            }
+        })?;
         Ok(())
     }
 
@@ -416,6 +501,7 @@ impl Database {
             });
         }
         let page_id = self.bucket_of(key);
+        let prev_lsn = self.chain_head(txn);
         // Apply the change and append its log record under the page latch:
         // with concurrent writers, redo correctness needs the log order of a
         // page's records to match the order the page absorbed them.
@@ -425,27 +511,35 @@ impl Database {
                 PutOutcome::Inserted(w) | PutOutcome::Updated(w) => w,
                 PutOutcome::PageFull => return Err(EngineError::TableFull(key)),
             };
-            let undo = undo.expect("pre-image present whenever a slot was written");
+            let before = undo.expect("pre-image present whenever a slot was written");
             let lsn = self.wal.append(&LogRecord::Update {
                 txn,
                 page: page_id,
                 offset: write.offset as u32,
                 data: write.bytes,
+                before,
+                prev_lsn,
             });
             if lsn > p.lsn() {
                 p.set_lsn(lsn);
             }
-            Ok((write.offset as u32, undo))
+            Ok(lsn)
         })?;
-        let (offset, undo) = write?;
-        self.stripe(txn)
-            .lock()
-            .undo
-            .entry(txn.0)
-            .or_default()
-            .push((page_id, offset, undo));
+        let lsn = write?;
+        self.stripe(txn).lock().last_lsn.insert(txn.0, lsn);
         self.stats.puts.inc();
         Ok(())
+    }
+
+    /// Head of `txn`'s backward update chain ([`Lsn::ZERO`] before its first
+    /// update).
+    fn chain_head(&self, txn: TxnId) -> Lsn {
+        self.stripe(txn)
+            .lock()
+            .last_lsn
+            .get(&txn.0)
+            .copied()
+            .unwrap_or(Lsn::ZERO)
     }
 
     /// Read the value stored under `key`.
@@ -462,6 +556,7 @@ impl Database {
         self.check_not_crashed()?;
         self.check_txn(txn)?;
         let page_id = self.bucket_of(key);
+        let prev_lsn = self.chain_head(txn);
         let write = self.pool.update_with(page_id, |p| {
             let (write, undo) = table::delete_with_undo(p, key)?;
             let lsn = self.wal.append(&LogRecord::Update {
@@ -469,21 +564,18 @@ impl Database {
                 page: page_id,
                 offset: write.offset as u32,
                 data: write.bytes,
+                before: undo,
+                prev_lsn,
             });
             if lsn > p.lsn() {
                 p.set_lsn(lsn);
             }
-            Some((write.offset as u32, undo))
+            Some(lsn)
         })?;
-        let Some((offset, undo)) = write else {
+        let Some(lsn) = write else {
             return Ok(false);
         };
-        self.stripe(txn)
-            .lock()
-            .undo
-            .entry(txn.0)
-            .or_default()
-            .push((page_id, offset, undo));
+        self.stripe(txn).lock().last_lsn.insert(txn.0, lsn);
         self.stats.deletes.inc();
         Ok(true)
     }
@@ -542,22 +634,29 @@ impl Database {
         for stripe in &self.stripes {
             let mut stripe = stripe.lock();
             stripe.active.clear();
-            stripe.undo.clear();
+            stripe.last_lsn.clear();
         }
     }
 
     /// Restart after [`Database::crash`]: restore the flash-cache directory
     /// from its persistent metadata (cache checkpoint + journal), reconcile
-    /// it against the WAL's durable end, then run log analysis and redo.
+    /// it against the WAL's durable end, then run log analysis, redo and
+    /// undo (losers are rolled back via compensation records).
     ///
     /// Reconciliation rules (paper §4):
     /// * a flash page whose pageLSN exceeds the last durable log record is
     ///   **discarded** — its log records were lost in the crash, so serving
     ///   it would diverge from what redo can reconstruct;
     /// * a dirty flash page at or below the durable end **substitutes for
-    ///   the disk copy** during redo — redo page fetches go through the
-    ///   normal buffer/cache path, so most of them are served by the flash
-    ///   cache when FaCE is enabled (the warm-restart effect of Figure 6).
+    ///   the disk copy** during redo — redo and undo page fetches go through
+    ///   the normal buffer/cache path, so most of them are served by the
+    ///   flash cache when FaCE is enabled (the warm-restart effect of
+    ///   Figure 6).
+    ///
+    /// Recovery is itself crash-safe: restarting again after a crash at any
+    /// point (mid-redo, mid-undo) converges to the same state, because redo
+    /// is pageLSN-guarded and every completed piece of undo left a durable
+    /// CLR that the next attempt resumes after.
     pub fn restart(&self) -> EngineResult<RecoveryReport> {
         self.prepare_restart();
 
@@ -566,10 +665,11 @@ impl Database {
         let durable_lsn = self.wal.durable_lsn();
         let cache_recovery = self.pool.lower().recover_cache(durable_lsn);
 
-        // Phase 2: WAL analysis + redo.
-        let mut report = self.run_redo()?;
+        // Phase 2: WAL analysis + redo + undo.
+        let mut report = self.run_recovery()?;
         report.durable_lsn = durable_lsn;
         report.cache_recovery = cache_recovery;
+        *self.last_recovery.lock() = Some(report.clone());
         Ok(report)
     }
 
@@ -589,10 +689,11 @@ impl Database {
         // flash pages are dirty, drain them to disk, then wipe the device.
         self.pool.lower().recover_cache(durable_lsn);
         self.pool.lower().reset_cache_cold()?;
-        let mut report = self.run_redo()?;
+        let mut report = self.run_recovery()?;
         report.durable_lsn = durable_lsn;
         // Nothing survives into the wiped cache by construction.
         report.cache_recovery = CacheRecoveryInfo::default();
+        *self.last_recovery.lock() = Some(report.clone());
         Ok(report)
     }
 
@@ -611,14 +712,51 @@ impl Database {
         self.crashed.store(false, Ordering::Release);
     }
 
-    fn run_redo(&self) -> EngineResult<RecoveryReport> {
-        let (analysis, plan) = build_redo_plan(Arc::clone(&self.log_storage))?;
+    /// Arm a crash `after_applies` page applications into the next
+    /// recovery (counting redo and undo applications alike). When the
+    /// budget runs out the database crashes exactly as [`Database::crash`]
+    /// and the restart call returns [`EngineError::Crashed`]; a further
+    /// [`Database::restart`] resumes recovery from the durable state. The
+    /// arming covers one recovery only: completing a recovery disarms any
+    /// unconsumed budget. Test hook for the crash-anywhere recovery
+    /// suites; disarmed by default.
+    pub fn arm_restart_crash(&self, after_applies: u64) {
+        self.restart_crash_budget
+            .store(after_applies, Ordering::Relaxed);
+    }
+
+    /// Consume one unit of the armed crash budget (recovery is
+    /// single-threaded, so plain load/store suffices). At zero: disarm,
+    /// crash, and fail the surrounding recovery.
+    fn consume_restart_budget(&self) -> EngineResult<()> {
+        let budget = self.restart_crash_budget.load(Ordering::Relaxed);
+        if budget == u64::MAX {
+            return Ok(());
+        }
+        if budget == 0 {
+            self.restart_crash_budget.store(u64::MAX, Ordering::Relaxed);
+            self.crash();
+            return Err(EngineError::Crashed);
+        }
+        self.restart_crash_budget
+            .store(budget - 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The ARIES pipeline: analysis (losers + resume points), redo
+    /// (committed updates and repeated CLRs, pageLSN-guarded), undo (loser
+    /// rollback through the normal tier, one CLR per reverted update).
+    fn run_recovery(&self) -> EngineResult<RecoveryReport> {
+        let (analysis, redo, undo_plan) = build_recovery_plan(Arc::clone(&self.log_storage))?;
         let mut report = RecoveryReport {
             records_scanned: analysis.records_scanned,
             ..Default::default()
         };
+        report.undo.losers_found = analysis.losers.len() as u64;
+        report.undo.clrs_skipped = undo_plan.already_compensated;
         let before = self.pool.stats();
-        for update in &plan.updates {
+        for update in &redo.updates {
+            self.consume_restart_budget()?;
             let current_lsn = self.pool.read(update.page, |p| p.lsn())?;
             if current_lsn >= update.lsn {
                 report.redo_skipped += 1;
@@ -630,19 +768,48 @@ impl Database {
                 p.write_body(offset, &data)
             })?;
             report.redo_applied += 1;
+            if update.clr {
+                report.undo.clrs_replayed += 1;
+            }
         }
-        let after = self.pool.stats();
-        report.pages_from_flash = after.flash_hits - before.flash_hits;
-        report.pages_from_disk = after.disk_fetches - before.disk_fetches;
+        let after_redo = self.pool.stats();
+        report.pages_from_flash = after_redo.flash_hits - before.flash_hits;
+        report.pages_from_disk = after_redo.disk_fetches - before.disk_fetches;
+
+        // Undo pass: newest-first over all losers. Each compensation goes
+        // through the normal tier (WAL-ahead guard, wash table, wounded-page
+        // rules all apply) and logs a CLR, so a crash here never repeats
+        // completed undo work on the next attempt.
+        for undo in &undo_plan.updates {
+            self.consume_restart_budget()?;
+            self.compensate(
+                undo.txn,
+                undo.page,
+                undo.offset,
+                undo.before.clone(),
+                undo.undo_next_lsn,
+            )?;
+            report.undo.updates_undone += 1;
+            report.undo.clrs_written += 1;
+        }
+        // Bound rework: the rollback is durable before recovery completes.
+        self.wal.force_all()?;
+        let after_undo = self.pool.stats();
+        report.undo.undo_pages_from_flash = after_undo.flash_hits - after_redo.flash_hits;
+        report.undo.undo_pages_from_disk = after_undo.disk_fetches - after_redo.disk_fetches;
+
         // Keep transaction ids monotonic across the restart.
         let max_seen = analysis
             .committed
             .iter()
             .chain(analysis.in_flight.iter())
+            .chain(analysis.losers.keys())
             .map(|t| t.0)
             .max()
             .unwrap_or(0);
         self.next_txn.fetch_max(max_seen + 1, Ordering::Relaxed);
+        // A crash armed for this recovery does not leak into the next one.
+        self.restart_crash_budget.store(u64::MAX, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -658,6 +825,14 @@ impl Database {
     /// Database-level counters (a point-in-time snapshot).
     pub fn stats(&self) -> DbStats {
         self.stats.snapshot()
+    }
+
+    /// Report of the most recent completed recovery (from
+    /// [`Database::open`] on a non-empty log, [`Database::restart`] or
+    /// [`Database::restart_cold`]), including the undo work in
+    /// [`RecoveryReport::undo`]. `None` if no recovery has run.
+    pub fn recovery_info(&self) -> Option<RecoveryReport> {
+        self.last_recovery.lock().clone()
     }
 
     /// Buffer pool counters (hits, misses, flash hits, evictions).
@@ -829,8 +1004,121 @@ mod tests {
         assert_eq!(db.get(1).unwrap().unwrap(), b"original");
         assert_eq!(db.get(2).unwrap(), None);
         assert_eq!(db.stats().txns_aborted, 1);
-        // The compensation transaction is internal, not user-visible.
+        // Log-driven rollback spawns no extra transactions.
         assert_eq!(db.stats().txns_started, 2);
+    }
+
+    #[test]
+    fn persisted_loser_update_is_rolled_back_on_restart() {
+        let db = small_db(CachePolicyKind::FaceGsc);
+        let setup = db.begin();
+        db.put(setup, 1, b"original").unwrap();
+        db.commit(setup).unwrap();
+
+        // A loser writes, and a checkpoint then flushes the dirty page into
+        // the flash cache (WAL-ahead guard forces the update record first):
+        // the loser's bytes have reached a persistent device.
+        let loser = db.begin();
+        db.put(loser, 1, b"doomed").unwrap();
+        db.put(loser, 2, b"phantom").unwrap();
+        db.checkpoint().unwrap();
+        db.crash();
+
+        // Redo alone cannot help here — the page already contains the loser
+        // update at a high pageLSN. Only the undo pass removes it.
+        let report = db.restart().unwrap();
+        assert_eq!(report.undo.losers_found, 1);
+        assert!(report.undo.updates_undone >= 2);
+        assert_eq!(report.undo.clrs_written, report.undo.updates_undone);
+        assert_eq!(db.get(1).unwrap().unwrap(), b"original");
+        assert_eq!(db.get(2).unwrap(), None);
+
+        // The rollback itself is durable: a second crash-restart finds the
+        // CLRs, has nothing left to undo, and the state is unchanged.
+        db.crash();
+        let report = db.restart().unwrap();
+        assert_eq!(report.undo.updates_undone, 0);
+        assert!(report.undo.clrs_skipped >= 2);
+        assert_eq!(db.get(1).unwrap().unwrap(), b"original");
+        assert_eq!(db.get(2).unwrap(), None);
+    }
+
+    #[test]
+    fn crash_mid_undo_recovery_converges() {
+        let db = small_db(CachePolicyKind::FaceGsc);
+        let setup = db.begin();
+        for k in 0..20u64 {
+            db.put(setup, k, b"committed").unwrap();
+        }
+        db.commit(setup).unwrap();
+        let loser = db.begin();
+        for k in 0..20u64 {
+            db.put(loser, k, b"loser bytes").unwrap();
+        }
+        // Persist the loser's pages, then crash with the txn in flight.
+        db.checkpoint().unwrap();
+        db.crash();
+
+        // Crash recovery itself at every budget until it survives; every
+        // intermediate crash must leave a state the next attempt completes
+        // from.
+        let mut budget = 0u64;
+        let report = loop {
+            db.arm_restart_crash(budget);
+            match db.restart() {
+                Ok(report) => break report,
+                Err(EngineError::Crashed) => budget += 1,
+                Err(other) => panic!("unexpected recovery error: {other}"),
+            }
+        };
+        assert!(budget > 0, "recovery never consumed the crash budget");
+        assert!(report.undo.updates_undone + report.undo.clrs_skipped >= 20);
+        for k in 0..20u64 {
+            assert_eq!(
+                db.get(k).unwrap().unwrap(),
+                b"committed",
+                "loser byte visible at key {k}"
+            );
+        }
+        assert_eq!(db.recovery_info().unwrap().undo, report.undo);
+    }
+
+    #[test]
+    fn runtime_abort_resumes_from_durable_clrs_after_crash() {
+        let db = small_db(CachePolicyKind::FaceGsc);
+        let setup = db.begin();
+        db.put(setup, 3, b"keep me").unwrap();
+        db.commit(setup).unwrap();
+
+        let txn = db.begin();
+        db.put(txn, 3, b"overwritten").unwrap();
+        db.put(txn, 4, b"inserted").unwrap();
+        db.abort(txn).unwrap();
+        assert_eq!(db.get(3).unwrap().unwrap(), b"keep me");
+        assert_eq!(db.get(4).unwrap(), None);
+
+        // The abort's CLR chain is complete and durable: restart finds no
+        // loser and repeats the CLRs at most via redo.
+        db.crash();
+        let report = db.restart().unwrap();
+        assert_eq!(report.undo.losers_found, 0);
+        assert_eq!(report.undo.updates_undone, 0);
+        assert_eq!(db.get(3).unwrap().unwrap(), b"keep me");
+        assert_eq!(db.get(4).unwrap(), None);
+    }
+
+    #[test]
+    fn recovery_info_is_none_until_a_recovery_ran() {
+        let db = small_db(CachePolicyKind::FaceGsc);
+        assert!(db.recovery_info().is_none());
+        let txn = db.begin();
+        db.put(txn, 1, b"x").unwrap();
+        db.commit(txn).unwrap();
+        db.crash();
+        let report = db.restart().unwrap();
+        let info = db.recovery_info().expect("restart stored its report");
+        assert_eq!(info.records_scanned, report.records_scanned);
+        assert_eq!(info.undo, report.undo);
     }
 
     #[test]

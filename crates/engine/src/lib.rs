@@ -10,8 +10,10 @@
 //!   consults the flash cache (`face-cache`) before the disk,
 //! * checkpointing that flushes dirty pages to the flash cache when FaCE is
 //!   enabled and to disk otherwise,
-//! * crash simulation and ARIES-style redo restart that fetches most pages
-//!   from the flash cache ([`RecoveryReport`] records how many), and
+//! * crash simulation and full ARIES restart (analysis, redo, and undo of
+//!   losers via compensation records) that fetches most pages from the
+//!   flash cache ([`RecoveryReport`] records how many, and
+//!   [`RecoveryStats`] what undo had to roll back), and
 //! * a trace-driven simulation engine ([`sim::SimEngine`]) that reproduces
 //!   the paper's performance experiments on calibrated simulated devices.
 //!
@@ -45,7 +47,7 @@ pub mod table;
 pub mod tier;
 
 pub use config::EngineConfig;
-pub use db::{Database, DbStats, RecoveryReport};
+pub use db::{Database, DbStats, RecoveryReport, RecoveryStats};
 pub use error::{EngineError, EngineResult};
 pub use latency::DeviceLatency;
 pub use tier::FaceTier;

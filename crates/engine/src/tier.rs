@@ -1392,6 +1392,8 @@ mod tests {
             page: id,
             offset: 0,
             data: vec![1; 8],
+            before: vec![0; 8],
+            prev_lsn: Lsn::ZERO,
         });
         assert_eq!(wal.durable_lsn(), Lsn(0), "nothing durable yet");
 

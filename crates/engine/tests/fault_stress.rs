@@ -279,6 +279,72 @@ fn faults_during_recovery_are_survived() {
     assert_all_committed_keys(&db, 4);
 }
 
+/// Scenario 4b: device faults injected into the *undo* path. The plan stays
+/// dormant while committed and loser waves load (the losers' pages pushed
+/// to flash by a checkpoint), then arms at the crash and throws transient
+/// faults at recovery — whose undo pass must retry through them, roll every
+/// loser back, and keep every committed key.
+#[test]
+fn faults_injected_into_undo_are_survived() {
+    let plan = Arc::new(
+        FaultPlan::new(61)
+            .probability(0.1)
+            .transient()
+            .max_faults(50)
+            .armed_on_crash(),
+    );
+    let degrade = DegradeConfig {
+        trip_threshold: 100_000,
+        slot_failure_threshold: 100,
+        ..DegradeConfig::default()
+    };
+    let db = faulty_db(Arc::clone(&plan), degrade);
+    run_round(&db, 8);
+    // Loser wave: in-flight transactions over a disjoint high key range.
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                let loser = db.begin();
+                for i in 0..20u64 {
+                    db.put(loser, key_of(t, 700_000 + i), b"loser bytes")
+                        .unwrap();
+                }
+                // Never committed, never aborted.
+            });
+        }
+    });
+    // Persist the losers' pages so only undo can remove them.
+    db.checkpoint().unwrap();
+    db.drain_destage().unwrap();
+    assert_eq!(plan.faults_injected(), 0, "dormant plan fired during load");
+
+    db.crash();
+    plan.arm();
+    // Crash recovery once mid-way for good measure, then let it finish
+    // through the faulting device.
+    db.arm_restart_crash(40);
+    let report = match db.restart() {
+        Err(face_engine::EngineError::Crashed) => db.restart().unwrap(),
+        Ok(report) => report,
+        Err(other) => panic!("unexpected recovery error: {other}"),
+    };
+    assert!(
+        report.undo.losers_found > 0 || report.undo.clrs_skipped > 0,
+        "no loser reached the undo pass: {report:?}"
+    );
+    assert_all_committed_keys(&db, 8);
+    for t in 0..THREADS {
+        for i in 0..20u64 {
+            assert_eq!(
+                db.get(key_of(t, 700_000 + i)).unwrap(),
+                None,
+                "loser byte visible at thread {t} slot {i}"
+            );
+        }
+    }
+}
+
 /// Scenario 5: a permanent whole-device error trips the breaker into
 /// disk-only degraded mode — the engine keeps serving reads and writes off
 /// the disk — and `heal_flash` brings the (replaced) device back cold.

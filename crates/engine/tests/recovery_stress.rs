@@ -13,7 +13,10 @@
 //! * crashes landing *inside the destage pipeline* — group writes enqueued
 //!   but not yet on flash, and a batch on flash whose journal seal never
 //!   happened — still recover a prefix-consistent cache and every committed
-//!   key (PR 3's invariants survive the PR 4 asynchronous pipeline).
+//!   key (PR 3's invariants survive the PR 4 asynchronous pipeline);
+//! * recovery itself survives a seeded crash-anywhere schedule: restarts
+//!   crashed mid-redo and mid-undo (persisted loser pages included)
+//!   converge to the committed state with no loser byte visible.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -336,6 +339,100 @@ fn pipeline_backpressure_blocks_foreground_without_losing_data() {
             db.get(k).unwrap().as_deref(),
             Some(b"backpressured".as_ref())
         );
+    }
+}
+
+#[test]
+fn crash_mid_undo_loop_converges_with_persisted_losers() {
+    // The crash-anywhere loop over restart *undo*: concurrent committed
+    // load, then a wave of loser transactions whose pages are pushed into
+    // the flash cache by a checkpoint (so redo alone could never remove
+    // them), then a crash. Recovery is crashed again and again at seeded
+    // budgets — landing in redo on the early attempts and mid-undo on the
+    // later ones — until it completes. Every attempt must leave a state the
+    // next one converges from: committed keys intact, no loser byte
+    // visible, and the reconciliation invariant holding throughout.
+    let db = stress_db();
+    let keys_per_thread = 48u64;
+    for iter in 0..4u64 {
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    let txn = db.begin();
+                    for i in 0..keys_per_thread {
+                        db.put(txn, key_of(t, i), format!("i{iter}-t{t}-{i}").as_bytes())
+                            .unwrap();
+                    }
+                    db.commit(txn).unwrap();
+                });
+            }
+        });
+        // Loser wave: one in-flight transaction per thread, writing a
+        // disjoint high key range, never committed.
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    let loser = db.begin();
+                    for i in 0..12u64 {
+                        db.put(loser, key_of(t, 500_000 + i), b"loser bytes")
+                            .unwrap();
+                    }
+                    // No commit, no abort: in flight at the crash.
+                });
+            }
+        });
+        // The checkpoint flushes the losers' dirty pages into the flash
+        // cache (WAL-ahead guard forces their records first).
+        db.checkpoint().unwrap();
+        db.crash();
+
+        // Seeded crash-anywhere schedule: budgets stride differently each
+        // iteration, so crash points move through redo into undo.
+        let mut budget = iter * 3;
+        let stride = 2 * iter + 5;
+        let mut crashes = 0u64;
+        let report = loop {
+            db.arm_restart_crash(budget);
+            match db.restart() {
+                Ok(report) => break report,
+                Err(face_engine::EngineError::Crashed) => {
+                    crashes += 1;
+                    assert!(
+                        crashes < 10_000,
+                        "iteration {iter}: recovery never converged"
+                    );
+                    budget += stride;
+                }
+                Err(other) => panic!("iteration {iter}: unexpected recovery error {other}"),
+            }
+        };
+        assert!(
+            crashes > 0,
+            "iteration {iter}: the schedule never crashed recovery"
+        );
+        assert!(
+            report.undo.losers_found > 0 || report.undo.clrs_skipped > 0,
+            "iteration {iter}: undo saw no loser work at all"
+        );
+        assert_flash_below_durable(&db);
+        for t in 0..THREADS {
+            for i in 0..keys_per_thread {
+                assert_eq!(
+                    db.get(key_of(t, i)).unwrap().as_deref(),
+                    Some(format!("i{iter}-t{t}-{i}").as_bytes()),
+                    "iteration {iter}: committed key lost"
+                );
+            }
+            for i in 0..12u64 {
+                assert_eq!(
+                    db.get(key_of(t, 500_000 + i)).unwrap(),
+                    None,
+                    "iteration {iter}: loser byte visible at thread {t} slot {i}"
+                );
+            }
+        }
     }
 }
 

@@ -1,4 +1,4 @@
-//! # face-wal — write-ahead logging and redo recovery
+//! # face-wal — write-ahead logging and ARIES restart recovery
 //!
 //! The FaCE paper keeps the two classical recovery principles unchanged
 //! (§4): write-ahead logging and commit-time force of the log tail. What
@@ -9,15 +9,20 @@
 //!
 //! This crate provides the substrate that makes that meaningful:
 //!
-//! * [`LogRecord`] — begin / update (redo-only, after-image) / commit / abort
-//!   / checkpoint records with a compact binary encoding.
+//! * [`LogRecord`] — begin / update (after-image **and** before-image, with
+//!   a per-transaction `prev_lsn` backward chain) / commit / abort /
+//!   compensation ([`LogRecord::Clr`], carrying `undo_next_lsn`) /
+//!   checkpoint records with a compact binary encoding.
 //! * [`WalWriter`] — an append buffer that assigns LSNs and forces the tail to
 //!   a [`LogStorage`] on commit (group commit).
 //! * [`LogReader`] — sequential scan of the log from any LSN.
-//! * [`recovery`] — the analysis pass (find the last checkpoint, the set of
-//!   committed transactions and the pages needing redo) producing a
-//!   [`recovery::RedoPlan`] that the engine applies through its buffer
-//!   manager / flash cache.
+//! * [`recovery`] — the analysis → redo → undo pipeline: analysis finds the
+//!   last checkpoint, the committed set, and the losers with their undo
+//!   resume points; [`recovery::build_recovery_plan`] produces a
+//!   [`recovery::RedoPlan`] (committed updates plus repeated CLRs) and an
+//!   [`recovery::UndoPlan`] (loser updates newest-first) that the engine
+//!   applies through its buffer manager / flash cache, logging a CLR per
+//!   reverted update so undo work is never repeated across crashes.
 //!
 //! LSNs are byte offsets into the logical log stream, as in ARIES and
 //! PostgreSQL.
@@ -35,6 +40,8 @@ pub mod writer;
 pub use face_pagestore::Lsn;
 pub use reader::LogReader;
 pub use record::{CheckpointData, LogRecord, TxnId};
-pub use recovery::{AnalysisResult, RedoPlan, RedoUpdate};
+pub use recovery::{
+    build_recovery_plan, AnalysisResult, RedoPlan, RedoUpdate, UndoPlan, UndoUpdate,
+};
 pub use storage::{FileLogStorage, InMemoryLogStorage, LogStorage, WalError, WalResult};
 pub use writer::WalWriter;

@@ -126,6 +126,8 @@ mod tests {
                 page: PageId::new(0, 3),
                 offset: 10,
                 data: vec![9; 20],
+                before: vec![0; 20],
+                prev_lsn: Lsn::ZERO,
             }),
             w.append(&LogRecord::Commit { txn: TxnId(1) }),
         ];

@@ -41,8 +41,12 @@ pub enum LogRecord {
         /// The transaction.
         txn: TxnId,
     },
-    /// A redo-only physiological update: `data` is the after-image of the
-    /// bytes at `offset` within the body of page `page`.
+    /// A physiological update carrying both images: `data` is the
+    /// after-image of the bytes at `offset` within the body of page `page`
+    /// (applied by redo), `before` the before-image (applied by undo when
+    /// the transaction turns out to be a loser). `prev_lsn` chains the
+    /// transaction's undoable records backwards, ARIES-style, so rollback
+    /// can walk from the newest update to the oldest without scanning.
     Update {
         /// The transaction performing the update.
         txn: TxnId,
@@ -52,16 +56,44 @@ pub enum LogRecord {
         offset: u32,
         /// After-image bytes.
         data: Vec<u8>,
+        /// Before-image bytes (what undo restores).
+        before: Vec<u8>,
+        /// LSN of this transaction's previous undoable record
+        /// ([`Lsn::ZERO`] for its first update — updates never sit at log
+        /// offset zero, a Begin always precedes them).
+        prev_lsn: Lsn,
     },
     /// The transaction committed. A commit record forces the log tail.
     Commit {
         /// The transaction.
         txn: TxnId,
     },
-    /// The transaction aborted; its updates must not be redone.
+    /// The transaction started rolling back; compensation records follow.
+    /// An aborted transaction is a loser until its CLR chain reaches
+    /// [`Lsn::ZERO`] — restart undo finishes whatever the runtime rollback
+    /// did not get to.
     Abort {
         /// The transaction.
         txn: TxnId,
+    },
+    /// A compensation log record: the durable trace of undoing one update.
+    /// CLRs are **redo-only** — they are repeated by restart redo and never
+    /// themselves undone — and `undo_next_lsn` points at the next record of
+    /// the same transaction still needing undo ([`Lsn::ZERO`] once the
+    /// rollback is complete), so undo work is never repeated across
+    /// crashes.
+    Clr {
+        /// The transaction being rolled back.
+        txn: TxnId,
+        /// The page the compensation applies to.
+        page: PageId,
+        /// Byte offset within the page body.
+        offset: u32,
+        /// Compensation after-image (the compensated update's before-image).
+        data: Vec<u8>,
+        /// Next record of this transaction to undo; [`Lsn::ZERO`] when the
+        /// rollback is complete.
+        undo_next_lsn: Lsn,
     },
     /// A fuzzy checkpoint completed.
     Checkpoint(CheckpointData),
@@ -72,6 +104,7 @@ const TAG_UPDATE: u8 = 2;
 const TAG_COMMIT: u8 = 3;
 const TAG_ABORT: u8 = 4;
 const TAG_CHECKPOINT: u8 = 5;
+const TAG_CLR: u8 = 6;
 
 impl LogRecord {
     /// The transaction this record belongs to, if any.
@@ -80,7 +113,8 @@ impl LogRecord {
             LogRecord::Begin { txn }
             | LogRecord::Update { txn, .. }
             | LogRecord::Commit { txn }
-            | LogRecord::Abort { txn } => Some(*txn),
+            | LogRecord::Abort { txn }
+            | LogRecord::Clr { txn, .. } => Some(*txn),
             LogRecord::Checkpoint(_) => None,
         }
     }
@@ -103,12 +137,16 @@ impl LogRecord {
                 page,
                 offset,
                 data,
+                before,
+                prev_lsn,
             } => {
                 w.put_u8(TAG_UPDATE);
                 w.put_u64(txn.0);
                 w.put_u64(page.to_u64());
                 w.put_u32(*offset);
                 w.put_bytes(data);
+                w.put_bytes(before);
+                w.put_u64(prev_lsn.0);
             }
             LogRecord::Commit { txn } => {
                 w.put_u8(TAG_COMMIT);
@@ -117,6 +155,20 @@ impl LogRecord {
             LogRecord::Abort { txn } => {
                 w.put_u8(TAG_ABORT);
                 w.put_u64(txn.0);
+            }
+            LogRecord::Clr {
+                txn,
+                page,
+                offset,
+                data,
+                undo_next_lsn,
+            } => {
+                w.put_u8(TAG_CLR);
+                w.put_u64(txn.0);
+                w.put_u64(page.to_u64());
+                w.put_u32(*offset);
+                w.put_bytes(data);
+                w.put_u64(undo_next_lsn.0);
             }
             LogRecord::Checkpoint(data) => {
                 w.put_u8(TAG_CHECKPOINT);
@@ -143,11 +195,15 @@ impl LogRecord {
                 let page = PageId::from_u64(r.get_u64()?);
                 let offset = r.get_u32()?;
                 let data = r.get_bytes()?.to_vec();
+                let before = r.get_bytes()?.to_vec();
+                let prev_lsn = Lsn(r.get_u64()?);
                 Ok(LogRecord::Update {
                     txn,
                     page,
                     offset,
                     data,
+                    before,
+                    prev_lsn,
                 })
             }
             TAG_COMMIT => Ok(LogRecord::Commit {
@@ -156,6 +212,20 @@ impl LogRecord {
             TAG_ABORT => Ok(LogRecord::Abort {
                 txn: TxnId(r.get_u64()?),
             }),
+            TAG_CLR => {
+                let txn = TxnId(r.get_u64()?);
+                let page = PageId::from_u64(r.get_u64()?);
+                let offset = r.get_u32()?;
+                let data = r.get_bytes()?.to_vec();
+                let undo_next_lsn = Lsn(r.get_u64()?);
+                Ok(LogRecord::Clr {
+                    txn,
+                    page,
+                    offset,
+                    data,
+                    undo_next_lsn,
+                })
+            }
             TAG_CHECKPOINT => {
                 let redo_lsn = Lsn(r.get_u64()?);
                 let n = r.get_u32()? as usize;
@@ -191,15 +261,33 @@ mod tests {
             page: PageId::new(3, 77),
             offset: 128,
             data: vec![1, 2, 3, 4, 5],
+            before: vec![9, 8, 7],
+            prev_lsn: Lsn(4096),
         });
         roundtrip(LogRecord::Update {
             txn: TxnId(42),
             page: PageId::new(0, 0),
             offset: 0,
             data: vec![],
+            before: vec![],
+            prev_lsn: Lsn::ZERO,
         });
         roundtrip(LogRecord::Commit { txn: TxnId(9) });
         roundtrip(LogRecord::Abort { txn: TxnId(10) });
+        roundtrip(LogRecord::Clr {
+            txn: TxnId(11),
+            page: PageId::new(1, 5),
+            offset: 256,
+            data: vec![0xAA; 16],
+            undo_next_lsn: Lsn(777),
+        });
+        roundtrip(LogRecord::Clr {
+            txn: TxnId(12),
+            page: PageId::new(0, 0),
+            offset: 0,
+            data: vec![],
+            undo_next_lsn: Lsn::ZERO,
+        });
         roundtrip(LogRecord::Checkpoint(CheckpointData {
             redo_lsn: Lsn(12345),
             active_txns: vec![TxnId(1), TxnId(2), TxnId(3)],
@@ -211,6 +299,17 @@ mod tests {
     fn txn_accessor() {
         assert_eq!(LogRecord::Begin { txn: TxnId(5) }.txn(), Some(TxnId(5)));
         assert_eq!(LogRecord::Checkpoint(CheckpointData::default()).txn(), None);
+        assert_eq!(
+            LogRecord::Clr {
+                txn: TxnId(6),
+                page: PageId::new(0, 1),
+                offset: 0,
+                data: vec![],
+                undo_next_lsn: Lsn::ZERO,
+            }
+            .txn(),
+            Some(TxnId(6))
+        );
         assert!(LogRecord::Commit { txn: TxnId(1) }.is_commit());
         assert!(!LogRecord::Abort { txn: TxnId(1) }.is_commit());
     }
@@ -219,9 +318,30 @@ mod tests {
     fn invalid_tag_rejected() {
         let err = LogRecord::decode(&[99]).unwrap_err();
         assert_eq!(err, CodecError::InvalidTag(99));
-        // Truncated payload.
+        // Truncated payloads.
         assert_eq!(
             LogRecord::decode(&[TAG_UPDATE, 1, 2]).unwrap_err(),
+            CodecError::UnexpectedEnd
+        );
+        assert_eq!(
+            LogRecord::decode(&[TAG_CLR, 1, 2]).unwrap_err(),
+            CodecError::UnexpectedEnd
+        );
+    }
+
+    #[test]
+    fn update_missing_before_image_is_rejected() {
+        // An old-format update (after-image only, no before-image or chain
+        // pointer) must not silently decode: the trailing fields are
+        // required.
+        let mut w = crate::codec::ByteWriter::with_capacity(32);
+        w.put_u8(TAG_UPDATE);
+        w.put_u64(1);
+        w.put_u64(PageId::new(0, 1).to_u64());
+        w.put_u32(0);
+        w.put_bytes(&[1, 2, 3]);
+        assert_eq!(
+            LogRecord::decode(&w.into_vec()).unwrap_err(),
             CodecError::UnexpectedEnd
         );
     }
@@ -244,13 +364,31 @@ mod tests {
                     any::<u64>(),
                     any::<u64>(),
                     any::<u32>(),
-                    prop::collection::vec(any::<u8>(), 0..256)
+                    prop::collection::vec(any::<u8>(), 0..256),
+                    prop::collection::vec(any::<u8>(), 0..256),
+                    any::<u64>(),
                 )
-                    .prop_map(|(t, p, o, d)| LogRecord::Update {
+                    .prop_map(|(t, p, o, d, b, prev)| LogRecord::Update {
                         txn: TxnId(t),
                         page: PageId::from_u64(p),
                         offset: o,
                         data: d,
+                        before: b,
+                        prev_lsn: Lsn(prev),
+                    }),
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u32>(),
+                    prop::collection::vec(any::<u8>(), 0..256),
+                    any::<u64>(),
+                )
+                    .prop_map(|(t, p, o, d, next)| LogRecord::Clr {
+                        txn: TxnId(t),
+                        page: PageId::from_u64(p),
+                        offset: o,
+                        data: d,
+                        undo_next_lsn: Lsn(next),
                     }),
                 (any::<u64>(), prop::collection::vec(any::<u64>(), 0..16)).prop_map(
                     |(lsn, txns)| LogRecord::Checkpoint(CheckpointData {

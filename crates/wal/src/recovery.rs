@@ -1,15 +1,24 @@
-//! Restart analysis and redo planning.
+//! Restart analysis, redo and undo planning.
 //!
-//! Recovery in the reproduction follows the paper's PostgreSQL host:
-//! redo-only recovery of committed work. The analysis pass scans the log to
-//! find (a) the most recent checkpoint, (b) the set of transactions that
-//! committed, and (c) every update record at or after the checkpoint's redo
-//! LSN that belongs to a committed transaction. The resulting [`RedoPlan`] is
-//! applied by the engine: each update's page is fetched (from the flash cache
-//! if present — this is where FaCE's restart advantage comes from), the
-//! after-image applied if the pageLSN is older, and the page marked dirty.
+//! Recovery is ARIES-complete: **analysis** scans the log to find the most
+//! recent checkpoint, the committed transactions, and the losers (started
+//! but not committed, with a non-empty undo chain); **redo** repeats history
+//! — committed updates *and every CLR* at or after the checkpoint's redo LSN
+//! — applying each after-image when the pageLSN is older (pages are fetched
+//! from the flash cache if present: FaCE's restart advantage); **undo**
+//! rolls losers back in descending-LSN order, writing a compensation log
+//! record ([`crate::LogRecord::Clr`]) for every reverted update.
+//!
+//! Idempotence across repeated crashes falls out of two facts. CLRs append
+//! in increasing LSN while compensating in decreasing target LSN, and log
+//! durability is always a prefix — so the durable CLRs of a transaction are
+//! exactly a prefix of its rollback, and the analysis pass can resume each
+//! loser at the `undo_next_lsn` of its latest durable CLR. Work already
+//! compensated is counted ([`UndoPlan::already_compensated`]) but never
+//! redone as undo; its page effects are repaired by redo repeating the CLRs
+//! themselves.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use face_pagestore::{Lsn, PageId};
@@ -19,19 +28,43 @@ use crate::record::{CheckpointData, LogRecord, TxnId};
 use crate::storage::LogStorage;
 use crate::WalResult;
 
-/// One update that must be re-applied during restart.
+/// One record that must be re-applied during restart redo.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RedoUpdate {
-    /// LSN of the update record.
+    /// LSN of the record.
     pub lsn: Lsn,
-    /// The transaction that made the update (always committed).
+    /// The transaction that made the update (committed, or — for CLRs —
+    /// a loser whose rollback is being repeated).
     pub txn: TxnId,
     /// The page to which the update applies.
     pub page: PageId,
     /// Byte offset within the page body.
     pub offset: u32,
-    /// After-image bytes.
+    /// After-image bytes (for a CLR: the compensated update's before-image).
     pub data: Vec<u8>,
+    /// Whether this redo item repeats a compensation record. CLRs are
+    /// redo-only: repeating them repairs persisted loser pages without
+    /// re-running undo.
+    pub clr: bool,
+}
+
+/// One loser update that restart undo must revert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndoUpdate {
+    /// LSN of the update record being undone.
+    pub lsn: Lsn,
+    /// The loser transaction.
+    pub txn: TxnId,
+    /// The page the update touched.
+    pub page: PageId,
+    /// Byte offset within the page body.
+    pub offset: u32,
+    /// Before-image bytes to restore.
+    pub before: Vec<u8>,
+    /// The transaction's next record to undo after this one (the update's
+    /// `prev_lsn`; [`Lsn::ZERO`] when this is the oldest). Written into the
+    /// CLR so a crash mid-undo resumes exactly here.
+    pub undo_next_lsn: Lsn,
 }
 
 /// What the analysis pass learned from the log.
@@ -43,19 +76,24 @@ pub struct AnalysisResult {
     pub checkpoint_lsn: Option<Lsn>,
     /// Transactions that committed (over the whole log).
     pub committed: HashSet<TxnId>,
-    /// Transactions that started but neither committed nor aborted ("losers";
-    /// with redo-only recovery their updates are simply not replayed).
+    /// Transactions that started but neither committed nor aborted.
     pub in_flight: HashSet<TxnId>,
+    /// Losers: transactions that must be (further) rolled back, mapped to
+    /// the LSN of their next record to undo. Covers in-flight transactions
+    /// and aborted ones whose runtime rollback did not finish; transactions
+    /// whose CLR chain already reached [`Lsn::ZERO`] are fully compensated
+    /// and excluded.
+    pub losers: BTreeMap<TxnId, Lsn>,
     /// Total records scanned.
     pub records_scanned: u64,
     /// End of the log at the time of analysis.
     pub end_lsn: Lsn,
 }
 
-/// The work restart must perform, in log order.
+/// The redo work restart must perform, in log order.
 #[derive(Debug, Clone, Default)]
 pub struct RedoPlan {
-    /// Updates to re-apply, ordered by LSN.
+    /// Records to re-apply (committed updates and CLRs), ordered by LSN.
     pub updates: Vec<RedoUpdate>,
     /// The LSN redo scanning started from.
     pub redo_start: Lsn,
@@ -75,12 +113,41 @@ impl RedoPlan {
     }
 }
 
+/// The undo work restart must perform.
+#[derive(Debug, Clone, Default)]
+pub struct UndoPlan {
+    /// Loser updates to revert, in descending LSN order (newest first),
+    /// interleaved across transactions exactly as single-pass ARIES undo
+    /// would visit them.
+    pub updates: Vec<UndoUpdate>,
+    /// Loser updates that already have a durable CLR from a previous
+    /// (crashed) rollback and are therefore skipped; redo repeats their
+    /// CLRs instead.
+    pub already_compensated: u64,
+}
+
+impl UndoPlan {
+    /// Number of updates to undo.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether there is nothing to undo.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
 /// Scan the whole log and classify transactions.
 pub fn analyze(storage: Arc<dyn LogStorage>) -> WalResult<AnalysisResult> {
     let mut reader = LogReader::new(storage);
     let mut result = AnalysisResult::default();
     let mut started: HashSet<TxnId> = HashSet::new();
     let mut finished: HashSet<TxnId> = HashSet::new();
+    // Per-transaction resume point: the LSN of the next record needing undo.
+    // An Update sets it to its own LSN; a CLR rewinds it to its
+    // undo_next_lsn (everything newer is already compensated).
+    let mut undo_next: HashMap<TxnId, Lsn> = HashMap::new();
 
     while let Some(rec) = reader.next_record()? {
         result.records_scanned += 1;
@@ -94,22 +161,43 @@ pub fn analyze(storage: Arc<dyn LogStorage>) -> WalResult<AnalysisResult> {
                 finished.insert(*txn);
             }
             LogRecord::Abort { txn } => {
+                // Rollback began, but the transaction stays a loser until
+                // its CLR chain reaches Lsn::ZERO.
                 finished.insert(*txn);
             }
             LogRecord::Checkpoint(data) => {
                 result.last_checkpoint = Some(data.clone());
                 result.checkpoint_lsn = Some(rec.lsn);
             }
-            LogRecord::Update { .. } => {}
+            LogRecord::Update { txn, .. } => {
+                undo_next.insert(*txn, rec.lsn);
+            }
+            LogRecord::Clr {
+                txn, undo_next_lsn, ..
+            } => {
+                undo_next.insert(*txn, *undo_next_lsn);
+            }
         }
     }
     result.in_flight = started.difference(&finished).copied().collect();
+    result.losers = started
+        .iter()
+        .filter(|t| !result.committed.contains(t))
+        .filter_map(|t| match undo_next.get(t) {
+            Some(resume) if *resume != Lsn::ZERO => Some((*t, *resume)),
+            _ => None,
+        })
+        .collect();
     Ok(result)
 }
 
-/// Build the redo plan: committed updates at or after the checkpoint's redo
-/// LSN (or the whole log if no checkpoint exists).
-pub fn build_redo_plan(storage: Arc<dyn LogStorage>) -> WalResult<(AnalysisResult, RedoPlan)> {
+/// Build the full recovery plan: analysis, then a second scan producing the
+/// redo plan (committed updates and all CLRs at or after the checkpoint's
+/// redo LSN) and the undo plan (loser updates at or before each loser's
+/// resume point, newest first).
+pub fn build_recovery_plan(
+    storage: Arc<dyn LogStorage>,
+) -> WalResult<(AnalysisResult, RedoPlan, UndoPlan)> {
     let analysis = analyze(Arc::clone(&storage))?;
     let redo_start = analysis
         .last_checkpoint
@@ -117,35 +205,99 @@ pub fn build_redo_plan(storage: Arc<dyn LogStorage>) -> WalResult<(AnalysisResul
         .map(|c| c.redo_lsn)
         .unwrap_or(Lsn::ZERO);
 
-    let mut reader = LogReader::from_lsn(storage, redo_start);
-    let mut updates = Vec::new();
+    // Loser updates may predate the checkpoint, so the second pass scans the
+    // whole log and filters redo work by LSN instead of starting the reader
+    // at redo_start.
+    let mut reader = LogReader::new(storage);
+    let mut redo_updates = Vec::new();
     let mut pages: BTreeMap<PageId, ()> = BTreeMap::new();
+    let mut undo_updates = Vec::new();
+    let mut already_compensated = 0u64;
     while let Some(rec) = reader.next_record()? {
-        if let LogRecord::Update {
-            txn,
-            page,
-            offset,
-            data,
-        } = rec.record
-        {
-            if analysis.committed.contains(&txn) {
+        match rec.record {
+            LogRecord::Update {
+                txn,
+                page,
+                offset,
+                data,
+                before,
+                prev_lsn,
+            } => {
+                if analysis.committed.contains(&txn) {
+                    if rec.lsn >= redo_start {
+                        pages.insert(page, ());
+                        redo_updates.push(RedoUpdate {
+                            lsn: rec.lsn,
+                            txn,
+                            page,
+                            offset,
+                            data,
+                            clr: false,
+                        });
+                    }
+                } else if let Some(resume) = analysis.losers.get(&txn) {
+                    if rec.lsn <= *resume {
+                        undo_updates.push(UndoUpdate {
+                            lsn: rec.lsn,
+                            txn,
+                            page,
+                            offset,
+                            before,
+                            undo_next_lsn: prev_lsn,
+                        });
+                    } else {
+                        already_compensated += 1;
+                    }
+                } else {
+                    // Fully compensated (or never-started garbage): redo of
+                    // its CLRs is all that is needed.
+                    already_compensated += 1;
+                }
+            }
+            // Repeat history: every CLR at or after the redo start is redone
+            // so persisted loser pages are repaired even when the
+            // compensation itself never reached a device before the crash.
+            LogRecord::Clr {
+                txn,
+                page,
+                offset,
+                data,
+                ..
+            } if rec.lsn >= redo_start => {
                 pages.insert(page, ());
-                updates.push(RedoUpdate {
+                redo_updates.push(RedoUpdate {
                     lsn: rec.lsn,
                     txn,
                     page,
                     offset,
                     data,
+                    clr: true,
                 });
             }
+            _ => {}
         }
     }
-    let plan = RedoPlan {
-        updates,
+    // The forward scan collected loser updates in ascending LSN order;
+    // single-pass ARIES undo visits them newest first across transactions.
+    undo_updates.reverse();
+    let redo = RedoPlan {
+        updates: redo_updates,
         redo_start,
         pages: pages.into_keys().collect(),
     };
-    Ok((analysis, plan))
+    let undo = UndoPlan {
+        updates: undo_updates,
+        already_compensated,
+    };
+    Ok((analysis, redo, undo))
+}
+
+/// Build only the redo plan (committed updates and CLRs at or after the
+/// checkpoint's redo LSN). Thin wrapper over [`build_recovery_plan`] kept
+/// for callers that do not run undo (e.g. redo-cost benchmarks).
+pub fn build_redo_plan(storage: Arc<dyn LogStorage>) -> WalResult<(AnalysisResult, RedoPlan)> {
+    let (analysis, redo, _) = build_recovery_plan(storage)?;
+    Ok((analysis, redo))
 }
 
 #[cfg(test)]
@@ -164,11 +316,17 @@ mod tests {
     }
 
     fn update(txn: u64, page: u32, val: u8) -> LogRecord {
+        update_chained(txn, page, val, Lsn::ZERO)
+    }
+
+    fn update_chained(txn: u64, page: u32, val: u8, prev_lsn: Lsn) -> LogRecord {
         LogRecord::Update {
             txn: TxnId(txn),
             page: PageId::new(0, page),
             offset: 0,
             data: vec![val; 8],
+            before: vec![val.wrapping_sub(1); 8],
+            prev_lsn,
         }
     }
 
@@ -191,6 +349,11 @@ mod tests {
         assert!(a.in_flight.contains(&TxnId(3)));
         assert_eq!(a.records_scanned, 8);
         assert!(a.last_checkpoint.is_none());
+        // Both the aborted txn (no CLRs yet) and the in-flight txn are
+        // losers; the committed one is not.
+        assert!(a.losers.contains_key(&TxnId(2)));
+        assert!(a.losers.contains_key(&TxnId(3)));
+        assert!(!a.losers.contains_key(&TxnId(1)));
     }
 
     #[test]
@@ -208,6 +371,7 @@ mod tests {
         assert!(!plan.is_empty());
         assert_eq!(plan.updates[0].page, PageId::new(0, 1));
         assert_eq!(plan.updates[0].txn, TxnId(1));
+        assert!(!plan.updates[0].clr);
         assert_eq!(plan.redo_start, Lsn::ZERO);
         assert_eq!(plan.pages, vec![PageId::new(0, 1)]);
     }
@@ -259,9 +423,11 @@ mod tests {
     #[test]
     fn empty_log_analyzes_cleanly() {
         let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
-        let (a, plan) = build_redo_plan(storage).unwrap();
+        let (a, redo, undo) = build_recovery_plan(storage).unwrap();
         assert_eq!(a.records_scanned, 0);
-        assert!(plan.is_empty());
+        assert!(redo.is_empty());
+        assert!(undo.is_empty());
+        assert!(a.losers.is_empty());
     }
 
     #[test]
@@ -277,5 +443,115 @@ mod tests {
         assert_eq!(plan.len(), 3);
         assert!(plan.updates.windows(2).all(|w| w[0].lsn < w[1].lsn));
         assert_eq!(plan.pages.len(), 2);
+    }
+
+    #[test]
+    fn undo_plan_walks_losers_newest_first_with_chain_pointers() {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = WalWriter::new(Arc::clone(&storage)).unwrap();
+        w.append(&LogRecord::Begin { txn: TxnId(1) });
+        let l1 = w.append(&update(1, 1, 1));
+        let l2 = w.append(&update_chained(1, 2, 2, l1));
+        w.append(&LogRecord::Begin { txn: TxnId(2) });
+        let l3 = w.append(&update(2, 3, 3));
+        w.force_all().unwrap();
+
+        let (a, _, undo) = build_recovery_plan(storage).unwrap();
+        assert_eq!(a.losers.get(&TxnId(1)), Some(&l2));
+        assert_eq!(a.losers.get(&TxnId(2)), Some(&l3));
+        assert_eq!(undo.len(), 3);
+        assert_eq!(undo.already_compensated, 0);
+        // Newest first, across transactions.
+        assert!(undo.updates.windows(2).all(|w| w[0].lsn > w[1].lsn));
+        let first = &undo.updates[0];
+        assert_eq!(first.lsn, l3);
+        assert_eq!(first.undo_next_lsn, Lsn::ZERO);
+        let second = &undo.updates[1];
+        assert_eq!(second.lsn, l2);
+        assert_eq!(second.undo_next_lsn, l1);
+        assert_eq!(second.before, vec![1u8; 8]);
+    }
+
+    #[test]
+    fn durable_clr_resumes_undo_and_skips_compensated_work() {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = WalWriter::new(Arc::clone(&storage)).unwrap();
+        w.append(&LogRecord::Begin { txn: TxnId(1) });
+        let l1 = w.append(&update(1, 1, 1));
+        let l2 = w.append(&update_chained(1, 2, 2, l1));
+        w.append(&LogRecord::Abort { txn: TxnId(1) });
+        // Rollback compensated the newest update, then crashed.
+        w.append(&LogRecord::Clr {
+            txn: TxnId(1),
+            page: PageId::new(0, 2),
+            offset: 0,
+            data: vec![1; 8],
+            undo_next_lsn: l1,
+        });
+        w.force_all().unwrap();
+
+        let (a, redo, undo) = build_recovery_plan(storage).unwrap();
+        // Resume point is the CLR's undo_next_lsn, not the newest update.
+        assert_eq!(a.losers.get(&TxnId(1)), Some(&l1));
+        assert_eq!(undo.len(), 1);
+        assert_eq!(undo.updates[0].lsn, l1);
+        assert_eq!(undo.already_compensated, 1);
+        let _ = l2;
+        // The CLR is repeated by redo.
+        assert_eq!(redo.len(), 1);
+        assert!(redo.updates[0].clr);
+        assert_eq!(redo.updates[0].data, vec![1u8; 8]);
+    }
+
+    #[test]
+    fn fully_compensated_txn_is_not_a_loser() {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = WalWriter::new(Arc::clone(&storage)).unwrap();
+        w.append(&LogRecord::Begin { txn: TxnId(1) });
+        let l1 = w.append(&update(1, 1, 5));
+        w.append(&LogRecord::Abort { txn: TxnId(1) });
+        w.append(&LogRecord::Clr {
+            txn: TxnId(1),
+            page: PageId::new(0, 1),
+            offset: 0,
+            data: vec![4; 8],
+            undo_next_lsn: Lsn::ZERO,
+        });
+        w.force_all().unwrap();
+
+        let (a, redo, undo) = build_recovery_plan(storage).unwrap();
+        assert!(a.losers.is_empty());
+        assert!(undo.is_empty());
+        assert_eq!(undo.already_compensated, 1);
+        let _ = l1;
+        // History is still repeated: the CLR is in the redo plan.
+        assert_eq!(redo.len(), 1);
+        assert!(redo.updates[0].clr);
+    }
+
+    #[test]
+    fn loser_updates_before_checkpoint_are_still_undone() {
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = WalWriter::new(Arc::clone(&storage)).unwrap();
+        w.append(&LogRecord::Begin { txn: TxnId(1) });
+        let l1 = w.append(&update(1, 1, 1));
+        // Checkpoint after the loser's update; redo starts past it.
+        let ckpt_redo = w.next_lsn();
+        w.append(&LogRecord::Checkpoint(CheckpointData {
+            redo_lsn: ckpt_redo,
+            active_txns: vec![TxnId(1)],
+        }));
+        w.append(&LogRecord::Begin { txn: TxnId(2) });
+        w.append(&update(2, 9, 9));
+        w.append(&LogRecord::Commit { txn: TxnId(2) });
+        w.force_all().unwrap();
+
+        let (_, redo, undo) = build_recovery_plan(storage).unwrap();
+        assert_eq!(redo.redo_start, ckpt_redo);
+        assert_eq!(redo.len(), 1);
+        assert_eq!(redo.updates[0].page, PageId::new(0, 9));
+        // The pre-checkpoint loser update is still in the undo plan.
+        assert_eq!(undo.len(), 1);
+        assert_eq!(undo.updates[0].lsn, l1);
     }
 }

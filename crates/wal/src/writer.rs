@@ -415,6 +415,8 @@ mod tests {
             page: face_pagestore::PageId::new(0, 1),
             offset: 0,
             data: vec![9; 8],
+            before: vec![0; 8],
+            prev_lsn: Lsn::ZERO,
         });
         assert!(w.next_lsn() > durable);
         let dropped = w.discard_unflushed();

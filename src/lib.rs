@@ -35,7 +35,7 @@ pub use face_workload;
 pub mod prelude {
     pub use face_cache::{CacheConfig, CachePolicyKind};
     pub use face_engine::sim::{PageAccess, SimConfig, SimEngine};
-    pub use face_engine::{Database, EngineConfig};
+    pub use face_engine::{Database, EngineConfig, EngineError, RecoveryReport, RecoveryStats};
     pub use face_iosim::DeviceProfile;
     pub use face_tpcc::{TpccConfig, TpccWorkload, TransactionKind};
 }
