@@ -14,7 +14,12 @@
 //!   ([`face_cache::ShardedFlashCache`] inside [`FaceTier`]);
 //! * the transaction table (active set + per-transaction last-LSN chain
 //!   heads; rollback state lives in the log itself) is lock-striped by
-//!   transaction id;
+//!   transaction id; **one writer per transaction is enforced**: each
+//!   operation claims its transaction for its duration, and a concurrent
+//!   operation on the same id fails with
+//!   [`EngineError::TransactionBusy`] rather than interleaving with the
+//!   chain-head read / WAL append / new-head store and breaking the
+//!   `prev_lsn` chain that rollback walks;
 //! * WAL appends serialise on the writer's short append mutex, and commits
 //!   amortise the log force through leader-based group commit
 //!   ([`face_wal::WalWriter`]);
@@ -117,9 +122,30 @@ impl DbStatCounters {
 #[derive(Default)]
 struct TxnStripe {
     active: HashSet<u64>,
+    /// Transactions with an operation currently in flight. One writer per
+    /// transaction is an enforced contract, not a convention: the chain-head
+    /// read, the WAL append under the page latch and the new-head store are
+    /// three separate critical sections, and a second thread interleaving
+    /// them on the same id would silently break the `prev_lsn` chain that
+    /// rollback and restart undo walk.
+    busy: HashSet<u64>,
     /// LSN of each active transaction's most recent update record (the head
     /// of its `prev_lsn` chain).
     last_lsn: HashMap<u64, Lsn>,
+}
+
+/// Exclusive claim on one transaction for the duration of one operation
+/// (`put` / `delete` / `commit` / `abort`). Dropping the claim releases the
+/// transaction for the next operation; see [`Database::claim_txn`].
+struct TxnClaim<'a> {
+    db: &'a Database,
+    txn: TxnId,
+}
+
+impl Drop for TxnClaim<'_> {
+    fn drop(&mut self) {
+        self.db.stripe(self.txn).lock().busy.remove(&self.txn.0);
+    }
 }
 
 /// What restart undo had to do: losers rolled back, compensation records
@@ -136,7 +162,10 @@ pub struct RecoveryStats {
     /// update).
     pub clrs_written: u64,
     /// Loser updates skipped because a durable CLR from a previous
-    /// (crashed) rollback already compensates them.
+    /// (crashed) rollback already compensates them. Counted over the
+    /// records the plan scan decodes — the scan starts at the earlier of
+    /// the checkpoint's redo LSN and the oldest loser's Begin, so fully
+    /// compensated work before that point is (rightly) never re-read.
     pub clrs_skipped: u64,
     /// CLRs repeated by the redo pass (repeat-history: persisted loser
     /// pages are repaired without re-running undo).
@@ -361,12 +390,23 @@ impl Database {
         }
     }
 
-    fn check_txn(&self, txn: TxnId) -> EngineResult<()> {
-        if self.stripe(txn).lock().active.contains(&txn.0) {
-            Ok(())
-        } else {
-            Err(EngineError::UnknownTransaction(txn.0))
+    /// Claim `txn` for one operation (one writer per transaction). The
+    /// claim is what makes an update's chain-head read, its WAL append
+    /// under the page latch and its new-head store atomic with respect to
+    /// the transaction: a second thread using the same id concurrently gets
+    /// [`EngineError::TransactionBusy`] instead of silently corrupting the
+    /// `prev_lsn` chain. The stripe lock is never held across a call into
+    /// another layer (the `txn_stripe` class contract); exclusion comes from
+    /// the `busy` marker the returned guard holds until dropped.
+    fn claim_txn(&self, txn: TxnId) -> EngineResult<TxnClaim<'_>> {
+        let mut stripe = self.stripe(txn).lock();
+        if !stripe.active.contains(&txn.0) {
+            return Err(EngineError::UnknownTransaction(txn.0));
         }
+        if !stripe.busy.insert(txn.0) {
+            return Err(EngineError::TransactionBusy(txn.0));
+        }
+        Ok(TxnClaim { db: self, txn })
     }
 
     // ------------------------------------------------------------------
@@ -388,7 +428,7 @@ impl Database {
     /// every commit record appended while it was in flight.
     pub fn commit(&self, txn: TxnId) -> EngineResult<()> {
         self.check_not_crashed()?;
-        self.check_txn(txn)?;
+        let _claim = self.claim_txn(txn)?;
         self.wal.append_and_force(&LogRecord::Commit { txn })?;
         let mut stripe = self.stripe(txn).lock();
         stripe.active.remove(&txn.0);
@@ -407,7 +447,7 @@ impl Database {
     /// work is never repeated and never lost.
     pub fn abort(&self, txn: TxnId) -> EngineResult<()> {
         self.check_not_crashed()?;
-        self.check_txn(txn)?;
+        let _claim = self.claim_txn(txn)?;
         // Force the Abort record: the chain walk below reads the
         // transaction's update records back from log storage, and the
         // unforced tail lives only in the writer's RAM buffer.
@@ -428,14 +468,20 @@ impl Database {
     /// Walk a transaction's backward update chain from `head`, compensating
     /// each update. Returns the number of updates reverted. Encountering a
     /// CLR (possible when resuming a crashed rollback) skips to its
-    /// `undo_next_lsn` instead of undoing anything twice.
+    /// `undo_next_lsn` instead of undoing anything twice. A chain LSN that
+    /// yields no record or a non-undoable one means the log is truncated or
+    /// corrupt: the incomplete rollback is surfaced as
+    /// [`EngineError::CorruptUndoChain`], never reported as success.
     fn rollback_chain(&self, txn: TxnId, head: Lsn) -> EngineResult<u64> {
         let mut next = head;
         let mut undone = 0u64;
         while next != Lsn::ZERO {
             let mut reader = LogReader::from_lsn(Arc::clone(&self.log_storage), next);
             let Some(rec) = reader.next_record()? else {
-                break;
+                return Err(EngineError::CorruptUndoChain {
+                    txn: txn.0,
+                    at: next.0,
+                });
             };
             match rec.record {
                 LogRecord::Update {
@@ -452,7 +498,12 @@ impl Database {
                 LogRecord::Clr { undo_next_lsn, .. } => {
                     next = undo_next_lsn;
                 }
-                _ => break,
+                _ => {
+                    return Err(EngineError::CorruptUndoChain {
+                        txn: txn.0,
+                        at: next.0,
+                    })
+                }
             }
         }
         Ok(undone)
@@ -493,7 +544,7 @@ impl Database {
     /// Insert or update `key` with `value` under transaction `txn`.
     pub fn put(&self, txn: TxnId, key: u64, value: &[u8]) -> EngineResult<()> {
         self.check_not_crashed()?;
-        self.check_txn(txn)?;
+        let claim = self.claim_txn(txn)?;
         if value.len() > VALUE_CAPACITY {
             return Err(EngineError::ValueTooLarge {
                 len: value.len(),
@@ -527,12 +578,14 @@ impl Database {
         })?;
         let lsn = write?;
         self.stripe(txn).lock().last_lsn.insert(txn.0, lsn);
+        drop(claim);
         self.stats.puts.inc();
         Ok(())
     }
 
     /// Head of `txn`'s backward update chain ([`Lsn::ZERO`] before its first
-    /// update).
+    /// update). Callers hold the transaction's [`TxnClaim`], so the head
+    /// cannot move between this read and the caller's new-head store.
     fn chain_head(&self, txn: TxnId) -> Lsn {
         self.stripe(txn)
             .lock()
@@ -554,7 +607,7 @@ impl Database {
     /// Delete `key` under transaction `txn`. Returns whether the key existed.
     pub fn delete(&self, txn: TxnId, key: u64) -> EngineResult<bool> {
         self.check_not_crashed()?;
-        self.check_txn(txn)?;
+        let claim = self.claim_txn(txn)?;
         let page_id = self.bucket_of(key);
         let prev_lsn = self.chain_head(txn);
         let write = self.pool.update_with(page_id, |p| {
@@ -576,6 +629,7 @@ impl Database {
             return Ok(false);
         };
         self.stripe(txn).lock().last_lsn.insert(txn.0, lsn);
+        drop(claim);
         self.stats.deletes.inc();
         Ok(true)
     }
@@ -634,6 +688,7 @@ impl Database {
         for stripe in &self.stripes {
             let mut stripe = stripe.lock();
             stripe.active.clear();
+            stripe.busy.clear();
             stripe.last_lsn.clear();
         }
     }
@@ -706,7 +761,9 @@ impl Database {
             let _ = self.wal.force_all();
             self.pool.crash();
             for stripe in &self.stripes {
-                stripe.lock().active.clear();
+                let mut stripe = stripe.lock();
+                stripe.active.clear();
+                stripe.busy.clear();
             }
         }
         self.crashed.store(false, Ordering::Release);
@@ -798,16 +855,15 @@ impl Database {
         report.undo.undo_pages_from_flash = after_undo.flash_hits - after_redo.flash_hits;
         report.undo.undo_pages_from_disk = after_undo.disk_fetches - after_redo.disk_fetches;
 
-        // Keep transaction ids monotonic across the restart.
-        let max_seen = analysis
-            .committed
-            .iter()
-            .chain(analysis.in_flight.iter())
-            .chain(analysis.losers.keys())
-            .map(|t| t.0)
-            .max()
-            .unwrap_or(0);
-        self.next_txn.fetch_max(max_seen + 1, Ordering::Relaxed);
+        // Keep transaction ids monotonic across the restart. The fence is
+        // the highest id mentioned by *any* log record — a fully
+        // rolled-back aborted transaction is in none of committed /
+        // in_flight / losers, but reusing its id would let a later crash
+        // stitch the old incarnation's already-compensated updates into the
+        // new transaction's undo chain and re-apply stale before-images
+        // over committed data.
+        self.next_txn
+            .fetch_max(analysis.max_txn_seen.0 + 1, Ordering::Relaxed);
         // A crash armed for this recovery does not leak into the next one.
         self.restart_crash_budget.store(u64::MAX, Ordering::Relaxed);
         Ok(report)
@@ -1034,11 +1090,14 @@ mod tests {
         assert_eq!(db.get(2).unwrap(), None);
 
         // The rollback itself is durable: a second crash-restart finds the
-        // CLRs, has nothing left to undo, and the state is unchanged.
+        // CLRs, has nothing left to undo, and the state is unchanged. (The
+        // fully-compensated txn is no loser, so the plan scan starts at the
+        // checkpoint and never re-reads its pre-checkpoint updates — the
+        // compensation shows up as replayed CLRs, not skipped updates.)
         db.crash();
         let report = db.restart().unwrap();
         assert_eq!(report.undo.updates_undone, 0);
-        assert!(report.undo.clrs_skipped >= 2);
+        assert!(report.undo.clrs_replayed >= 2);
         assert_eq!(db.get(1).unwrap().unwrap(), b"original");
         assert_eq!(db.get(2).unwrap(), None);
     }
@@ -1504,6 +1563,154 @@ mod tests {
             assert_eq!(db.get(7).unwrap().unwrap(), b"persisted");
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_never_reuses_fully_rolled_back_txn_ids() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "face_engine_txn_fence_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || {
+            EngineConfig::on_disk(&dir)
+                .buffer_frames(8)
+                .table_buckets(16)
+                .flash_cache(CachePolicyKind::FaceGsc, 64)
+        };
+        let aborted = {
+            let db = Database::open(config()).unwrap();
+            let txn = db.begin();
+            db.put(txn, 1, b"doomed").unwrap();
+            db.abort(txn).unwrap();
+            txn
+        };
+        {
+            // The aborted transaction is fully compensated, so it is in
+            // none of analysis' committed / in-flight / loser sets — its id
+            // must be fenced anyway.
+            let db = Database::open(config()).unwrap();
+            assert!(
+                db.begin().0 > aborted.0,
+                "reopen reused the fully-rolled-back id {}",
+                aborted.0
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reused_txn_id_cannot_resurrect_stale_before_images() {
+        // The end-to-end corruption an id reuse would cause: the old
+        // incarnation (aborted, fully compensated) updated key K; after
+        // reopen a new transaction with the same id crashes uncommitted,
+        // and restart undo — which collects loser work by transaction id —
+        // would re-apply the old incarnation's before-image of K over a
+        // value committed since.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "face_engine_txn_reuse_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || {
+            EngineConfig::on_disk(&dir)
+                .buffer_frames(8)
+                .table_buckets(16)
+                .flash_cache(CachePolicyKind::FaceGsc, 64)
+        };
+        const K: u64 = 1;
+        const J: u64 = 2;
+        {
+            let db = Database::open(config()).unwrap();
+            let base = db.begin();
+            db.put(base, K, b"base").unwrap();
+            db.commit(base).unwrap();
+            let doomed = db.begin();
+            db.put(doomed, K, b"doomed").unwrap();
+            db.abort(doomed).unwrap();
+        }
+        {
+            let db = Database::open(config()).unwrap();
+            // First new transaction: were the fence broken, this would wear
+            // the aborted transaction's id. It updates J and dies
+            // uncommitted at the crash.
+            let loser = db.begin();
+            db.put(loser, J, b"loser").unwrap();
+            let winner = db.begin();
+            db.put(winner, K, b"committed").unwrap();
+            // The commit force also makes the loser's earlier update
+            // durable, so restart sees it and must roll it back.
+            db.commit(winner).unwrap();
+            db.crash();
+        }
+        {
+            let db = Database::open(config()).unwrap();
+            assert_eq!(
+                db.get(K).unwrap().unwrap(),
+                b"committed",
+                "stale before-image from a previous txn-id incarnation \
+                 overwrote committed data"
+            );
+            assert_eq!(db.get(J).unwrap(), None, "loser update survived");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_ops_on_one_txn_are_rejected_not_corrupting() {
+        // Two threads hammer the same transaction. Every operation must
+        // either succeed or fail with TransactionBusy; whatever succeeded
+        // forms one intact prev_lsn chain, so the final abort reverts every
+        // surviving update.
+        let db = Arc::new(small_db(CachePolicyKind::FaceGsc));
+        let setup = db.begin();
+        for k in 0..8u64 {
+            db.put(setup, k, b"base").unwrap();
+        }
+        db.commit(setup).unwrap();
+
+        let txn = db.begin();
+        let mut rejected = 0u64;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|t| {
+                    let db = Arc::clone(&db);
+                    s.spawn(move || {
+                        let mut busy = 0u64;
+                        for i in 0..200u64 {
+                            match db.put(txn, (t * 97 + i) % 8, b"dirty") {
+                                Ok(()) => {}
+                                Err(EngineError::TransactionBusy(id)) => {
+                                    assert_eq!(id, txn.0);
+                                    busy += 1;
+                                }
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                        busy
+                    })
+                })
+                .collect();
+            for h in handles {
+                rejected += h.join().unwrap();
+            }
+        });
+        let _ = rejected; // Contention is timing-dependent; zero is legal.
+        db.abort(txn).unwrap();
+        for k in 0..8u64 {
+            assert_eq!(
+                db.get(k).unwrap().unwrap(),
+                b"base",
+                "abort missed an update on key {k}: the undo chain broke \
+                 under same-txn concurrency"
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,20 @@ pub enum EngineError {
     Wal(WalError),
     /// The transaction id is unknown or already finished.
     UnknownTransaction(u64),
+    /// Another operation on the same transaction is still in flight. The
+    /// engine enforces one writer per transaction: the chain-head read, the
+    /// WAL append and the new-head store of an update must not interleave
+    /// with another operation on the same id.
+    TransactionBusy(u64),
+    /// A transaction's backward undo chain pointed at a missing or
+    /// non-undoable log record — a truncated or corrupt log. The rollback
+    /// is incomplete and must not be reported as successful.
+    CorruptUndoChain {
+        /// The transaction being rolled back.
+        txn: u64,
+        /// The chain LSN at which the walk failed.
+        at: u64,
+    },
     /// The requested key does not exist.
     KeyNotFound(u64),
     /// A value is too large to fit in a page.
@@ -37,6 +51,18 @@ impl std::fmt::Display for EngineError {
             EngineError::Store(e) => write!(f, "page store error: {e}"),
             EngineError::Wal(e) => write!(f, "WAL error: {e}"),
             EngineError::UnknownTransaction(id) => write!(f, "unknown transaction {id}"),
+            EngineError::TransactionBusy(id) => {
+                write!(
+                    f,
+                    "transaction {id} already has an operation in flight (one writer per transaction)"
+                )
+            }
+            EngineError::CorruptUndoChain { txn, at } => {
+                write!(
+                    f,
+                    "undo chain of transaction {txn} broken at LSN {at} (truncated or corrupt log)"
+                )
+            }
             EngineError::KeyNotFound(k) => write!(f, "key {k} not found"),
             EngineError::ValueTooLarge { len, max } => {
                 write!(f, "value of {len} bytes exceeds the {max}-byte limit")
@@ -88,6 +114,8 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         assert!(format!("{}", EngineError::UnknownTransaction(7)).contains('7'));
+        assert!(format!("{}", EngineError::TransactionBusy(4)).contains('4'));
+        assert!(format!("{}", EngineError::CorruptUndoChain { txn: 2, at: 64 }).contains("64"));
         assert!(format!("{}", EngineError::KeyNotFound(9)).contains('9'));
         assert!(format!("{}", EngineError::ValueTooLarge { len: 10, max: 5 }).contains("10"));
         assert!(format!("{}", EngineError::TableFull(3)).contains('3'));

@@ -88,6 +88,17 @@ pub struct AnalysisResult {
     pub records_scanned: u64,
     /// End of the log at the time of analysis.
     pub end_lsn: Lsn,
+    /// The highest transaction id mentioned by **any** record in the log —
+    /// a superset of `committed` ∪ `in_flight` ∪ `losers`, because a fully
+    /// rolled-back aborted transaction is in none of those sets. Reopen
+    /// seeds its id allocator past this value: reusing a durable id would
+    /// let a later crash stitch the old incarnation's already-compensated
+    /// updates into the new transaction's undo chain.
+    pub max_txn_seen: TxnId,
+    /// Where a log scan that must see every loser record can safely start:
+    /// the earliest `Begin` LSN among the losers (`None` when there are no
+    /// losers). A transaction's updates never precede its `Begin` record.
+    pub undo_scan_start: Option<Lsn>,
 }
 
 /// The redo work restart must perform, in log order.
@@ -122,7 +133,10 @@ pub struct UndoPlan {
     pub updates: Vec<UndoUpdate>,
     /// Loser updates that already have a durable CLR from a previous
     /// (crashed) rollback and are therefore skipped; redo repeats their
-    /// CLRs instead.
+    /// CLRs instead. Counted over the records the plan scan decodes (the
+    /// scan starts at the earlier of the redo point and the oldest loser's
+    /// Begin), so compensated work before that point is never re-read and
+    /// does not appear here.
     pub already_compensated: u64,
 }
 
@@ -148,33 +162,45 @@ pub fn analyze(storage: Arc<dyn LogStorage>) -> WalResult<AnalysisResult> {
     // An Update sets it to its own LSN; a CLR rewinds it to its
     // undo_next_lsn (everything newer is already compensated).
     let mut undo_next: HashMap<TxnId, Lsn> = HashMap::new();
+    // First Begin LSN per transaction (for `undo_scan_start`).
+    let mut begin_lsn: HashMap<TxnId, Lsn> = HashMap::new();
+    let mut max_txn = TxnId(0);
 
     while let Some(rec) = reader.next_record()? {
         result.records_scanned += 1;
         result.end_lsn = rec.next_lsn;
         match &rec.record {
             LogRecord::Begin { txn } => {
+                max_txn = max_txn.max(*txn);
                 started.insert(*txn);
+                begin_lsn.entry(*txn).or_insert(rec.lsn);
             }
             LogRecord::Commit { txn } => {
+                max_txn = max_txn.max(*txn);
                 result.committed.insert(*txn);
                 finished.insert(*txn);
             }
             LogRecord::Abort { txn } => {
                 // Rollback began, but the transaction stays a loser until
                 // its CLR chain reaches Lsn::ZERO.
+                max_txn = max_txn.max(*txn);
                 finished.insert(*txn);
             }
             LogRecord::Checkpoint(data) => {
+                for txn in &data.active_txns {
+                    max_txn = max_txn.max(*txn);
+                }
                 result.last_checkpoint = Some(data.clone());
                 result.checkpoint_lsn = Some(rec.lsn);
             }
             LogRecord::Update { txn, .. } => {
+                max_txn = max_txn.max(*txn);
                 undo_next.insert(*txn, rec.lsn);
             }
             LogRecord::Clr {
                 txn, undo_next_lsn, ..
             } => {
+                max_txn = max_txn.max(*txn);
                 undo_next.insert(*txn, *undo_next_lsn);
             }
         }
@@ -188,6 +214,12 @@ pub fn analyze(storage: Arc<dyn LogStorage>) -> WalResult<AnalysisResult> {
             _ => None,
         })
         .collect();
+    result.max_txn_seen = max_txn;
+    result.undo_scan_start = result
+        .losers
+        .keys()
+        .map(|t| begin_lsn.get(t).copied().unwrap_or(Lsn::ZERO))
+        .min();
     Ok(result)
 }
 
@@ -205,10 +237,14 @@ pub fn build_recovery_plan(
         .map(|c| c.redo_lsn)
         .unwrap_or(Lsn::ZERO);
 
-    // Loser updates may predate the checkpoint, so the second pass scans the
-    // whole log and filters redo work by LSN instead of starting the reader
-    // at redo_start.
-    let mut reader = LogReader::new(storage);
+    // Loser updates may predate the checkpoint, so the second pass starts at
+    // the earlier of the redo point and the oldest loser's Begin record —
+    // with no losers it degenerates to redo_start, keeping restart cost
+    // proportional to the since-checkpoint tail rather than total log size.
+    let scan_start = analysis
+        .undo_scan_start
+        .map_or(redo_start, |l| l.min(redo_start));
+    let mut reader = LogReader::from_lsn(storage, scan_start);
     let mut redo_updates = Vec::new();
     let mut pages: BTreeMap<PageId, ()> = BTreeMap::new();
     let mut undo_updates = Vec::new();
@@ -527,6 +563,71 @@ mod tests {
         // History is still repeated: the CLR is in the redo plan.
         assert_eq!(redo.len(), 1);
         assert!(redo.updates[0].clr);
+    }
+
+    #[test]
+    fn max_txn_seen_covers_fully_compensated_txns() {
+        // Txn 7 aborted and fully rolled back: it lands in none of
+        // committed / in_flight / losers, yet its id must still fence the
+        // allocator after reopen — reuse would poison the next
+        // incarnation's undo chain.
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = WalWriter::new(Arc::clone(&storage)).unwrap();
+        w.append(&LogRecord::Begin { txn: TxnId(7) });
+        w.append(&update(7, 1, 3));
+        w.append(&LogRecord::Abort { txn: TxnId(7) });
+        w.append(&LogRecord::Clr {
+            txn: TxnId(7),
+            page: PageId::new(0, 1),
+            offset: 0,
+            data: vec![2; 8],
+            undo_next_lsn: Lsn::ZERO,
+        });
+        w.force_all().unwrap();
+
+        let a = analyze(storage).unwrap();
+        assert!(a.committed.is_empty());
+        assert!(a.in_flight.is_empty());
+        assert!(a.losers.is_empty());
+        assert_eq!(a.max_txn_seen, TxnId(7));
+        assert_eq!(a.undo_scan_start, None);
+    }
+
+    #[test]
+    fn plan_pass_skips_pre_checkpoint_log_when_no_losers() {
+        // A fully-compensated transaction lives entirely before the
+        // checkpoint. With no losers the plan-building scan starts at the
+        // checkpoint's redo LSN, so those records are never decoded again:
+        // already_compensated stays 0 and only post-checkpoint work appears.
+        let storage: Arc<dyn LogStorage> = Arc::new(InMemoryLogStorage::new());
+        let w = WalWriter::new(Arc::clone(&storage)).unwrap();
+        w.append(&LogRecord::Begin { txn: TxnId(1) });
+        w.append(&update(1, 1, 1));
+        w.append(&LogRecord::Abort { txn: TxnId(1) });
+        w.append(&LogRecord::Clr {
+            txn: TxnId(1),
+            page: PageId::new(0, 1),
+            offset: 0,
+            data: vec![0; 8],
+            undo_next_lsn: Lsn::ZERO,
+        });
+        let ckpt_redo = w.next_lsn();
+        w.append(&LogRecord::Checkpoint(CheckpointData {
+            redo_lsn: ckpt_redo,
+            active_txns: vec![],
+        }));
+        w.append(&LogRecord::Begin { txn: TxnId(2) });
+        w.append(&update(2, 9, 9));
+        w.append(&LogRecord::Commit { txn: TxnId(2) });
+        w.force_all().unwrap();
+
+        let (a, redo, undo) = build_recovery_plan(storage).unwrap();
+        assert!(a.losers.is_empty());
+        assert_eq!(a.undo_scan_start, None);
+        assert!(undo.is_empty());
+        assert_eq!(undo.already_compensated, 0);
+        assert_eq!(redo.len(), 1);
+        assert_eq!(redo.updates[0].page, PageId::new(0, 9));
     }
 
     #[test]
